@@ -1,0 +1,158 @@
+//! Table 5's CleverLeaf cost model.
+//!
+//! The paper's numbers: full node 2x P9 (44 cores, MPI) 127.5 s vs 4x V100
+//! 17.86 s => ~7x; single-socket P9 vs single V100: 74 s vs 5 s => ~15x.
+//! The GPU path uses the RAJA CUDA backend with device-resident data and
+//! Umpire pools; the knobs below reproduce exactly those mechanisms.
+
+use hetsim::{KernelProfile, Machine, Target};
+use portal::{Pool, Space};
+
+/// How the CleverLeaf run is mapped onto the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMapping {
+    /// All CPU sockets, MPI-style (11 ranks/socket in the paper).
+    FullNodeCpu,
+    /// All GPUs via the RAJA CUDA backend.
+    FullNodeGpu,
+    /// One socket only.
+    SingleSocketCpu,
+    /// One GPU only.
+    SingleGpu,
+}
+
+/// Per-cell-update work for the hydro sweep (flux + EOS + update).
+fn hydro_profile(cell_updates: f64, on_gpu: bool) -> KernelProfile {
+    let k = KernelProfile::new("cleverleaf-hydro")
+        .flops(250.0 * cell_updates)
+        .bytes_read(4.0 * 5.0 * 8.0 * cell_updates)
+        .bytes_written(4.0 * 8.0 * cell_updates)
+        .parallelism(cell_updates);
+    if on_gpu {
+        // RAJA CUDA backend: portable, so it pays the abstraction factor,
+        // folded into compute efficiency here.
+        k.compute_eff(0.7)
+    } else {
+        // Branchy EOS / flux logic defeats the P9 vector units; MPI-rank
+        // halo packing adds overhead. Measured CleverLeaf CPU efficiency
+        // is well under half of peak.
+        k.compute_eff(0.3)
+    }
+}
+
+/// Serial host-side regrid cost (tagging + box generation + schedule
+/// construction), amortised over the regrid interval. This work does not
+/// scale with GPUs — the Amdahl term that separates Table 5's full-node
+/// column from its single-device column.
+fn regrid_cost(machine: &Machine, cells: f64) -> f64 {
+    let sim = hetsim::Sim::new(machine.clone());
+    let k = KernelProfile::new("samrai-regrid")
+        .flops(20.0 * cells)
+        .bytes_read(32.0 * cells)
+        .parallelism(1.0)
+        .launch_class(hetsim::LaunchClass::HostSerial);
+    sim.cost(Target::cpu(1), &k) / 10.0 // regrid every ~10 steps
+}
+
+/// Simulated seconds for `steps` timesteps of `cell_updates` cells each,
+/// plus per-step temporary allocations (pooled or raw).
+pub fn run_cost(
+    machine: &Machine,
+    mapping: NodeMapping,
+    cell_updates: f64,
+    steps: usize,
+    pooled_allocations: bool,
+) -> f64 {
+    let sim = hetsim::Sim::new(machine.clone());
+    let (target, per_unit) = match mapping {
+        NodeMapping::FullNodeCpu => (Target::cpu_all(), 1.0),
+        NodeMapping::SingleSocketCpu => {
+            (Target::cpu(machine.node.cpu.cores_per_socket), 1.0)
+        }
+        NodeMapping::FullNodeGpu => (Target::gpu(0), machine.node.gpu_count() as f64),
+        NodeMapping::SingleGpu => (Target::gpu(0), 1.0),
+    };
+    let on_gpu = matches!(mapping, NodeMapping::FullNodeGpu | NodeMapping::SingleGpu);
+    let profile = hydro_profile(cell_updates / per_unit, on_gpu);
+    let mut step_compute = sim.cost(target, &profile);
+    match mapping {
+        // AMR patches never balance perfectly across 4 GPUs, and the
+        // host-serial regrid does not scale with device count.
+        NodeMapping::FullNodeGpu => {
+            step_compute = step_compute * 1.5 + regrid_cost(machine, cell_updates);
+        }
+        NodeMapping::FullNodeCpu => {
+            step_compute += regrid_cost(machine, cell_updates);
+        }
+        // The single-device column is the pure hydro-sweep comparison.
+        NodeMapping::SingleSocketCpu | NodeMapping::SingleGpu => {}
+    }
+
+    // Per-step temporaries: ~12 device arrays allocated and freed.
+    let alloc_cost_per_step = if on_gpu {
+        if pooled_allocations {
+            let pool = Pool::new(Space::Device);
+            let mut total = 0.0;
+            // Warm the pool once, then steady-state hits.
+            for _ in 0..2 {
+                let mut blocks = Vec::new();
+                for a in 0..12u64 {
+                    let (b, c) = pool.alloc(1 << (14 + a % 3));
+                    blocks.push(b);
+                    total = c; // steady-state cost of the last round
+                }
+                for b in blocks {
+                    pool.free(b);
+                }
+            }
+            12.0 * total
+        } else {
+            12.0 * Space::Device.raw_alloc_cost()
+        }
+    } else {
+        12.0 * Space::Host.raw_alloc_cost()
+    };
+
+    steps as f64 * (step_compute + alloc_cost_per_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+
+    const CELLS: f64 = 8.0e6; // a CleverLeaf production level
+    const STEPS: usize = 100;
+
+    #[test]
+    fn full_node_gpu_speedup_matches_table5_shape() {
+        let m = machines::sierra_node();
+        let cpu = run_cost(&m, NodeMapping::FullNodeCpu, CELLS, STEPS, true);
+        let gpu = run_cost(&m, NodeMapping::FullNodeGpu, CELLS, STEPS, true);
+        let speedup = cpu / gpu;
+        // Paper: ~7x full node.
+        assert!(speedup > 4.0 && speedup < 12.0, "full-node speedup {speedup}");
+    }
+
+    #[test]
+    fn single_socket_vs_single_gpu_is_larger() {
+        let m = machines::sierra_node();
+        let cpu = run_cost(&m, NodeMapping::SingleSocketCpu, CELLS, STEPS, true);
+        let gpu = run_cost(&m, NodeMapping::SingleGpu, CELLS, STEPS, true);
+        let s1 = cpu / gpu;
+        let full_cpu = run_cost(&m, NodeMapping::FullNodeCpu, CELLS, STEPS, true);
+        let full_gpu = run_cost(&m, NodeMapping::FullNodeGpu, CELLS, STEPS, true);
+        let s_full = full_cpu / full_gpu;
+        // Paper: 15x single pair vs 7x full node.
+        assert!(s1 > s_full, "single {s1} vs full {s_full}");
+        assert!(s1 > 8.0 && s1 < 22.0, "single-pair speedup {s1}");
+    }
+
+    #[test]
+    fn pooling_beats_raw_allocation_on_gpu() {
+        let m = machines::sierra_node();
+        let pooled = run_cost(&m, NodeMapping::SingleGpu, 1e5, 200, true);
+        let raw = run_cost(&m, NodeMapping::SingleGpu, 1e5, 200, false);
+        assert!(pooled < raw, "{pooled} vs {raw}");
+    }
+}

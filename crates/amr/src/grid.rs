@@ -1,0 +1,246 @@
+//! Boxes, patches, and the refine/coarsen transfer operators.
+
+/// An index box `[lo, hi)` in 2-D cell space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoxRegion {
+    pub lo: (usize, usize),
+    pub hi: (usize, usize),
+}
+
+impl BoxRegion {
+    pub fn new(lo: (usize, usize), hi: (usize, usize)) -> BoxRegion {
+        assert!(lo.0 <= hi.0 && lo.1 <= hi.1, "degenerate box");
+        BoxRegion { lo, hi }
+    }
+
+    pub fn nx(&self) -> usize {
+        self.hi.0 - self.lo.0
+    }
+
+    pub fn ny(&self) -> usize {
+        self.hi.1 - self.lo.1
+    }
+
+    pub fn cells(&self) -> usize {
+        self.nx() * self.ny()
+    }
+
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        i >= self.lo.0 && i < self.hi.0 && j >= self.lo.1 && j < self.hi.1
+    }
+
+    /// The box refined by `ratio`.
+    pub fn refined(&self, ratio: usize) -> BoxRegion {
+        BoxRegion::new(
+            (self.lo.0 * ratio, self.lo.1 * ratio),
+            (self.hi.0 * ratio, self.hi.1 * ratio),
+        )
+    }
+
+    /// Grow by `g` cells on each side, clamped to `[0, bound)`.
+    pub fn grown(&self, g: usize, bound: (usize, usize)) -> BoxRegion {
+        BoxRegion::new(
+            (self.lo.0.saturating_sub(g), self.lo.1.saturating_sub(g)),
+            ((self.hi.0 + g).min(bound.0), (self.hi.1 + g).min(bound.1)),
+        )
+    }
+}
+
+/// A patch: one field of `ncomp` components over a box, with `ghost`
+/// ghost-cell layers on each side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Patch {
+    pub region: BoxRegion,
+    pub ghost: usize,
+    pub ncomp: usize,
+    /// Data layout: component-major, then row-major over the grown box.
+    pub data: Vec<f64>,
+}
+
+impl Patch {
+    pub fn new(region: BoxRegion, ghost: usize, ncomp: usize) -> Patch {
+        let nx = region.nx() + 2 * ghost;
+        let ny = region.ny() + 2 * ghost;
+        Patch { region, ghost, ncomp, data: vec![0.0; ncomp * nx * ny] }
+    }
+
+    /// Padded dimensions.
+    pub fn padded(&self) -> (usize, usize) {
+        (self.region.nx() + 2 * self.ghost, self.region.ny() + 2 * self.ghost)
+    }
+
+    /// Flat index for component `c` at *local interior* coordinates
+    /// `(i, j)` (0-based, excluding ghosts). Ghosts are addressed by
+    /// passing `i + ghost` to [`Patch::idx_padded`].
+    #[inline]
+    pub fn idx(&self, c: usize, i: usize, j: usize) -> usize {
+        self.idx_padded(c, i + self.ghost, j + self.ghost)
+    }
+
+    /// Flat index in the padded (ghost-inclusive) coordinate system.
+    #[inline]
+    pub fn idx_padded(&self, c: usize, i: usize, j: usize) -> usize {
+        let (nx, ny) = self.padded();
+        debug_assert!(i < nx && j < ny && c < self.ncomp);
+        (c * nx + i) * ny + j
+    }
+
+    pub fn get(&self, c: usize, i: usize, j: usize) -> f64 {
+        self.data[self.idx(c, i, j)]
+    }
+
+    pub fn set(&mut self, c: usize, i: usize, j: usize, v: f64) {
+        let k = self.idx(c, i, j);
+        self.data[k] = v;
+    }
+
+    /// Fill ghost layers by copying the nearest interior cell (outflow /
+    /// zero-gradient physical boundary).
+    pub fn fill_ghosts_outflow(&mut self) {
+        let (nx, ny) = self.padded();
+        let g = self.ghost;
+        for c in 0..self.ncomp {
+            for i in 0..nx {
+                for j in 0..ny {
+                    let ii = i.clamp(g, nx - g - 1);
+                    let jj = j.clamp(g, ny - g - 1);
+                    if ii != i || jj != j {
+                        let v = self.data[self.idx_padded(c, ii, jj)];
+                        let k = self.idx_padded(c, i, j);
+                        self.data[k] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-component sum over the interior (for conservation checks).
+    pub fn interior_sum(&self, c: usize) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.region.nx() {
+            for j in 0..self.region.ny() {
+                s += self.get(c, i, j);
+            }
+        }
+        s
+    }
+}
+
+/// Conservative prolongation (piecewise-constant injection): each fine
+/// cell takes its coarse parent's value.
+pub fn prolong_constant(coarse: &Patch, fine: &mut Patch, ratio: usize) {
+    assert_eq!(coarse.ncomp, fine.ncomp);
+    for c in 0..fine.ncomp {
+        for fi in 0..fine.region.nx() {
+            for fj in 0..fine.region.ny() {
+                let gi = (fine.region.lo.0 + fi) / ratio;
+                let gj = (fine.region.lo.1 + fj) / ratio;
+                let ci = gi - coarse.region.lo.0;
+                let cj = gj - coarse.region.lo.1;
+                fine.set(c, fi, fj, coarse.get(c, ci, cj));
+            }
+        }
+    }
+}
+
+/// Conservative restriction (cell averaging): each coarse cell under the
+/// fine patch becomes the mean of its `ratio^2` children.
+pub fn restrict_average(fine: &Patch, coarse: &mut Patch, ratio: usize) {
+    assert_eq!(coarse.ncomp, fine.ncomp);
+    let inv = 1.0 / (ratio * ratio) as f64;
+    // Coarse cells fully covered by the fine region.
+    let clo = (fine.region.lo.0 / ratio, fine.region.lo.1 / ratio);
+    let chi = (fine.region.hi.0 / ratio, fine.region.hi.1 / ratio);
+    for c in 0..coarse.ncomp {
+        for gi in clo.0..chi.0 {
+            for gj in clo.1..chi.1 {
+                let mut s = 0.0;
+                for a in 0..ratio {
+                    for b in 0..ratio {
+                        let fi = gi * ratio + a - fine.region.lo.0;
+                        let fj = gj * ratio + b - fine.region.lo.1;
+                        s += fine.get(c, fi, fj);
+                    }
+                }
+                let ci = gi - coarse.region.lo.0;
+                let cj = gj - coarse.region.lo.1;
+                coarse.set(c, ci, cj, s * inv);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_geometry() {
+        let b = BoxRegion::new((2, 3), (6, 9));
+        assert_eq!(b.nx(), 4);
+        assert_eq!(b.ny(), 6);
+        assert_eq!(b.cells(), 24);
+        assert!(b.contains(2, 3) && !b.contains(6, 3));
+        assert_eq!(b.refined(2), BoxRegion::new((4, 6), (12, 18)));
+    }
+
+    #[test]
+    fn grown_clamps_at_domain() {
+        let b = BoxRegion::new((0, 1), (4, 5));
+        let g = b.grown(2, (6, 6));
+        assert_eq!(g, BoxRegion::new((0, 0), (6, 6)));
+    }
+
+    #[test]
+    fn ghost_fill_copies_edges() {
+        let mut p = Patch::new(BoxRegion::new((0, 0), (3, 3)), 2, 1);
+        for i in 0..3 {
+            for j in 0..3 {
+                p.set(0, i, j, (i * 3 + j) as f64);
+            }
+        }
+        p.fill_ghosts_outflow();
+        // Ghost to the left of (0,0) equals interior (0,0).
+        assert_eq!(p.data[p.idx_padded(0, 0, 2)], p.get(0, 0, 0));
+        // Corner ghost equals the interior corner.
+        assert_eq!(p.data[p.idx_padded(0, 0, 0)], p.get(0, 0, 0));
+        let (nx, ny) = p.padded();
+        assert_eq!(p.data[p.idx_padded(0, nx - 1, ny - 1)], p.get(0, 2, 2));
+    }
+
+    #[test]
+    fn restrict_of_prolong_is_identity() {
+        let ratio = 2;
+        let cbox = BoxRegion::new((0, 0), (4, 4));
+        let mut coarse = Patch::new(cbox, 0, 2);
+        for c in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    coarse.set(c, i, j, (c * 100 + i * 10 + j) as f64);
+                }
+            }
+        }
+        let mut fine = Patch::new(cbox.refined(ratio), 0, 2);
+        prolong_constant(&coarse, &mut fine, ratio);
+        let mut back = Patch::new(cbox, 0, 2);
+        restrict_average(&fine, &mut back, ratio);
+        assert_eq!(back.data, coarse.data);
+    }
+
+    #[test]
+    fn restriction_conserves_totals() {
+        let ratio = 2;
+        let fbox = BoxRegion::new((0, 0), (8, 8));
+        let mut fine = Patch::new(fbox, 0, 1);
+        for i in 0..8 {
+            for j in 0..8 {
+                fine.set(0, i, j, ((i * 13 + j * 7) % 5) as f64);
+            }
+        }
+        let mut coarse = Patch::new(BoxRegion::new((0, 0), (4, 4)), 0, 1);
+        restrict_average(&fine, &mut coarse, ratio);
+        let fine_total = fine.interior_sum(0);
+        let coarse_total = coarse.interior_sum(0) * (ratio * ratio) as f64;
+        assert!((fine_total - coarse_total).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,346 @@
+//! A two-level AMR hierarchy with gradient tagging, tag clustering into
+//! multiple fine patches, and subcycling.
+
+use crate::euler::EulerPatch;
+use crate::grid::{prolong_constant, restrict_average, BoxRegion};
+
+/// A coarse level covering the whole domain plus a fine level (refinement
+/// ratio 2) of disjoint patches covering the tagged regions.
+pub struct Hierarchy {
+    pub coarse: EulerPatch,
+    pub fine: Vec<EulerPatch>,
+    pub ratio: usize,
+    /// Gradient threshold for tagging.
+    pub tag_threshold: f64,
+    regrids: u64,
+}
+
+/// Group tagged cells into connected clusters (8-connectivity) and return
+/// each cluster's bounding box.
+fn cluster_boxes(tags: &[bool], nx: usize, ny: usize) -> Vec<BoxRegion> {
+    let mut seen = vec![false; nx * ny];
+    let mut out = Vec::new();
+    for start in 0..nx * ny {
+        if !tags[start] || seen[start] {
+            continue;
+        }
+        // BFS flood fill.
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut min = (nx, ny);
+        let mut max = (0usize, 0usize);
+        while let Some(c) = stack.pop() {
+            let (i, j) = (c / ny, c % ny);
+            min = (min.0.min(i), min.1.min(j));
+            max = (max.0.max(i + 1), max.1.max(j + 1));
+            for di in -1i32..=1 {
+                for dj in -1i32..=1 {
+                    let (ni2, nj2) = (i as i32 + di, j as i32 + dj);
+                    if ni2 < 0 || nj2 < 0 || ni2 >= nx as i32 || nj2 >= ny as i32 {
+                        continue;
+                    }
+                    let n2 = ni2 as usize * ny + nj2 as usize;
+                    if tags[n2] && !seen[n2] {
+                        seen[n2] = true;
+                        stack.push(n2);
+                    }
+                }
+            }
+        }
+        out.push(BoxRegion::new(min, max));
+    }
+    out
+}
+
+fn boxes_overlap(a: &BoxRegion, b: &BoxRegion) -> bool {
+    a.lo.0 < b.hi.0 && b.lo.0 < a.hi.0 && a.lo.1 < b.hi.1 && b.lo.1 < a.hi.1
+}
+
+fn merge_boxes(mut boxes: Vec<BoxRegion>) -> Vec<BoxRegion> {
+    // Merge any overlapping pair until a fixpoint: the result is disjoint.
+    loop {
+        let mut merged = false;
+        'outer: for i in 0..boxes.len() {
+            for j in (i + 1)..boxes.len() {
+                if boxes_overlap(&boxes[i], &boxes[j]) {
+                    let b = boxes.remove(j);
+                    let a = boxes[i];
+                    boxes[i] = BoxRegion::new(
+                        (a.lo.0.min(b.lo.0), a.lo.1.min(b.lo.1)),
+                        (a.hi.0.max(b.hi.0), a.hi.1.max(b.hi.1)),
+                    );
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged {
+            return boxes;
+        }
+    }
+}
+
+impl Hierarchy {
+    pub fn new(n: usize, h: f64, tag_threshold: f64) -> Hierarchy {
+        Hierarchy {
+            coarse: EulerPatch::new(BoxRegion::new((0, 0), (n, n)), h),
+            fine: Vec::new(),
+            ratio: 2,
+            tag_threshold,
+            regrids: 0,
+        }
+    }
+
+    pub fn regrids(&self) -> u64 {
+        self.regrids
+    }
+
+    /// Tag cells by density gradient, cluster the tags, and rebuild the
+    /// fine level as one grown patch per (merged) cluster.
+    pub fn regrid(&mut self) {
+        let region = self.coarse.patch.region;
+        let (nx, ny) = (region.nx(), region.ny());
+        let mut tags = vec![false; nx * ny];
+        let mut any = false;
+        for i in 0..nx {
+            for j in 0..ny {
+                if self.coarse.density_gradient(i, j) > self.tag_threshold {
+                    tags[i * ny + j] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            self.fine.clear();
+            return;
+        }
+        let boxes = cluster_boxes(&tags, nx, ny)
+            .into_iter()
+            .map(|b| b.grown(2, (nx, ny)))
+            .collect::<Vec<_>>();
+        let boxes = merge_boxes(boxes);
+        self.fine = boxes
+            .into_iter()
+            .map(|b| {
+                let mut fine =
+                    EulerPatch::new(b.refined(self.ratio), self.coarse.h / self.ratio as f64);
+                prolong_constant(&self.coarse.patch, &mut fine.patch, self.ratio);
+                fine
+            })
+            .collect();
+        self.regrids += 1;
+    }
+
+    /// Fraction of the domain covered by the fine level.
+    pub fn fine_coverage(&self) -> f64 {
+        let fine_cells: usize = self.fine.iter().map(|f| f.patch.region.cells()).sum();
+        fine_cells as f64 / (self.coarse.patch.region.cells() * self.ratio * self.ratio) as f64
+    }
+
+    /// Number of fine patches.
+    pub fn num_patches(&self) -> usize {
+        self.fine.len()
+    }
+
+    /// Advance the hierarchy by one coarse step with `ratio` subcycled
+    /// fine steps, then restrict the fine solution onto the coarse level.
+    pub fn step(&mut self) {
+        let mut dt = self.coarse.stable_dt();
+        for f in &self.fine {
+            dt = dt.min(f.stable_dt() * self.ratio as f64);
+        }
+        self.coarse.step(dt);
+        for fine in self.fine.iter_mut() {
+            let fdt = dt / self.ratio as f64;
+            for _ in 0..self.ratio {
+                fine.step(fdt);
+            }
+            restrict_average(&fine.patch, &mut self.coarse.patch, self.ratio);
+        }
+    }
+
+    /// Run `steps` coarse steps, regridding every `regrid_every`.
+    pub fn run(&mut self, steps: usize, regrid_every: usize) {
+        for s in 0..steps {
+            if s % regrid_every.max(1) == 0 {
+                self.regrid();
+            }
+            self.step();
+        }
+    }
+
+    /// Total of one conserved component over the coarse level.
+    pub fn total(&self, c: usize) -> f64 {
+        self.coarse.total(c)
+    }
+
+    /// Number of cell-updates a full step performs (coarse + subcycled
+    /// fine) — the work metric for the Table 5 cost model.
+    pub fn cell_updates_per_step(&self) -> usize {
+        let coarse = self.coarse.patch.region.cells();
+        let fine: usize = self.fine.iter().map(|f| f.patch.region.cells() * self.ratio).sum();
+        coarse + fine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::{sod, EulerState, NCOMP, RHO};
+
+    fn blast(n: usize) -> Hierarchy {
+        let mut h = Hierarchy::new(n, 1.0 / n as f64, 2.0);
+        h.coarse.init(|x, y| {
+            let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+            if r2 < 0.01 {
+                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+            } else {
+                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+            }
+        });
+        h
+    }
+
+    #[test]
+    fn regrid_places_fine_level_over_the_shock() {
+        let mut h = blast(48);
+        h.regrid();
+        assert!(!h.fine.is_empty(), "tags found");
+        // Some fine patch covers the blast centre (coarse cell 24 -> fine 48).
+        assert!(h.fine.iter().any(|f| f.patch.region.contains(48, 48)));
+        assert!(h.fine_coverage() < 0.6, "coverage {}", h.fine_coverage());
+    }
+
+    #[test]
+    fn smooth_flow_produces_no_fine_level() {
+        let mut h = Hierarchy::new(32, 1.0 / 32.0, 2.0);
+        h.coarse.init(|_, _| EulerState { rho: 1.0, u: 0.1, v: 0.0, p: 1.0 });
+        h.regrid();
+        assert!(h.fine.is_empty());
+        assert_eq!(h.fine_coverage(), 0.0);
+    }
+
+    #[test]
+    fn blast_wave_expands_and_coverage_grows() {
+        let mut h = blast(48);
+        h.regrid();
+        let c0 = h.fine_coverage();
+        h.run(12, 3);
+        let c1 = h.fine_coverage();
+        assert!(c1 > c0, "coverage {c0} -> {c1}");
+    }
+
+    #[test]
+    fn hierarchy_keeps_density_positive() {
+        let mut h = blast(40);
+        h.run(15, 4);
+        assert!(h.coarse.min_density() > 0.0);
+        for f in &h.fine {
+            assert!(f.min_density() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sod_on_hierarchy_tracks_single_level_solution() {
+        // A fine level over the discontinuity must not corrupt the coarse
+        // solution: compare against a coarse-only run.
+        let n = 64;
+        let mut amr = Hierarchy::new(n, 1.0 / n as f64, 1.5);
+        amr.coarse.init(sod);
+        let mut plain = Hierarchy::new(n, 1.0 / n as f64, f64::INFINITY);
+        plain.coarse.init(sod);
+        amr.run(10, 2);
+        assert!(!amr.fine.is_empty(), "sod should tag the membrane");
+        plain.run(10, 2);
+        assert!(plain.fine.is_empty());
+        let mut max_dev = 0.0f64;
+        for i in 0..n {
+            let a = amr.coarse.patch.get(RHO, i, n / 2);
+            let b = plain.coarse.patch.get(RHO, i, n / 2);
+            max_dev = max_dev.max((a - b).abs());
+        }
+        // Different effective resolution near the shock, but same waves.
+        assert!(max_dev < 0.12, "AMR diverged from single level: {max_dev}");
+    }
+
+    #[test]
+    fn cell_updates_count_fine_subcycles() {
+        let mut h = blast(48);
+        assert_eq!(h.cell_updates_per_step(), 48 * 48);
+        h.regrid();
+        assert!(h.cell_updates_per_step() > 48 * 48);
+        let fine_cells: usize = h.fine.iter().map(|f| f.patch.region.cells()).sum();
+        assert_eq!(h.cell_updates_per_step(), 48 * 48 + 2 * fine_cells);
+        let _ = NCOMP;
+    }
+}
+
+#[cfg(test)]
+mod multipatch_tests {
+    use super::*;
+    use crate::euler::EulerState;
+
+    /// Two well-separated blasts must get two separate fine patches.
+    #[test]
+    fn separated_features_get_separate_patches() {
+        let n = 64;
+        let mut h = Hierarchy::new(n, 1.0 / n as f64, 2.0);
+        h.coarse.init(|x, y| {
+            let b1 = (x - 0.2) * (x - 0.2) + (y - 0.2) * (y - 0.2) < 0.004;
+            let b2 = (x - 0.8) * (x - 0.8) + (y - 0.8) * (y - 0.8) < 0.004;
+            if b1 || b2 {
+                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+            } else {
+                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+            }
+        });
+        h.regrid();
+        assert_eq!(h.num_patches(), 2, "expected two disjoint patches");
+        // Patches are disjoint in coarse index space.
+        let a = h.fine[0].patch.region;
+        let b = h.fine[1].patch.region;
+        let disjoint = a.hi.0 <= b.lo.0 || b.hi.0 <= a.lo.0 || a.hi.1 <= b.lo.1 || b.hi.1 <= a.lo.1;
+        assert!(disjoint, "{a:?} overlaps {b:?}");
+        // Coverage is far below one big bounding box of both blasts.
+        assert!(h.fine_coverage() < 0.3, "{}", h.fine_coverage());
+    }
+
+    /// Adjacent features merge into one patch rather than overlapping.
+    #[test]
+    fn overlapping_clusters_merge() {
+        let n = 48;
+        let mut h = Hierarchy::new(n, 1.0 / n as f64, 2.0);
+        h.coarse.init(|x, y| {
+            let b1 = (x - 0.45) * (x - 0.45) + (y - 0.5) * (y - 0.5) < 0.004;
+            let b2 = (x - 0.55) * (x - 0.55) + (y - 0.5) * (y - 0.5) < 0.004;
+            if b1 || b2 {
+                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+            } else {
+                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+            }
+        });
+        h.regrid();
+        assert_eq!(h.num_patches(), 1, "close blasts must merge");
+    }
+
+    /// Physics still holds with multiple patches advancing.
+    #[test]
+    fn two_patch_run_conserves_and_stays_positive() {
+        let n = 64;
+        let mut h = Hierarchy::new(n, 1.0 / n as f64, 2.0);
+        h.coarse.init(|x, y| {
+            let b1 = (x - 0.25) * (x - 0.25) + (y - 0.25) * (y - 0.25) < 0.004;
+            let b2 = (x - 0.75) * (x - 0.75) + (y - 0.75) * (y - 0.75) < 0.004;
+            if b1 || b2 {
+                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+            } else {
+                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+            }
+        });
+        let m0 = h.total(crate::euler::RHO);
+        h.run(10, 3);
+        assert!(h.num_patches() >= 2);
+        assert!((h.total(crate::euler::RHO) - m0).abs() < 1e-6 * m0);
+        assert!(h.coarse.min_density() > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! `amr` — the SAMRAI stand-in (§4.10.5) with a CleverLeaf-style solver.
+//!
+//! SAMRAI provides structured adaptive mesh refinement; the iCoE port
+//! replaced its Fortran numerical kernels with RAJA/Umpire-based C++ that
+//! runs on either CPUs or GPUs, keeping data device-resident and pooling
+//! every allocation. CleverLeaf (the assessment mini-app of Table 5)
+//! solves the compressible Euler equations on that hierarchy.
+//!
+//! * [`grid`] — boxes, patches with ghost cells, refine/coarsen transfer
+//!   operators;
+//! * [`hierarchy`] — a two-level AMR hierarchy with gradient tagging and
+//!   subcycled time stepping;
+//! * [`euler`] — the ideal-gas Euler solver (Rusanov fluxes, CFL control);
+//! * [`cost`] — Table 5's CPU-vs-GPU node costs, including the
+//!   Umpire-pool allocation amortisation.
+
+pub mod cost;
+pub mod euler;
+pub mod grid;
+pub mod hierarchy;
+
+pub use euler::{EulerPatch, EulerState};
+pub use grid::{BoxRegion, Patch};
+pub use hierarchy::Hierarchy;

@@ -1,0 +1,177 @@
+//! Radix-2 FFT (the cuFFT stand-in) and the transpose-based 2-D FFT.
+
+use crate::cplx::C64;
+use crate::transpose::transpose_tiled;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `inverse` applies the
+/// conjugate transform *and* the 1/n normalisation.
+pub fn fft_inplace(data: &mut [C64], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = C64::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = C64::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Reference O(n^2) DFT (tests only).
+pub fn dft_reference(data: &[C64], inverse: bool) -> Vec<C64> {
+    let n = data.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut out = vec![C64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        for (j, &x) in data.iter().enumerate() {
+            *o += x * C64::cis(sign * std::f64::consts::TAU * (k * j) as f64 / n as f64);
+        }
+    }
+    if inverse {
+        for z in out.iter_mut() {
+            *z = z.scale(1.0 / n as f64);
+        }
+    }
+    out
+}
+
+/// 2-D FFT of an `n x n` row-major field, implemented the production way:
+/// row FFTs, transpose, row FFTs, transpose (§4.11's transpose bottleneck).
+pub fn fft2d(field: &mut Vec<C64>, n: usize, inverse: bool) {
+    assert_eq!(field.len(), n * n);
+    for row in field.chunks_mut(n) {
+        fft_inplace(row, inverse);
+    }
+    let mut t = vec![C64::ZERO; n * n];
+    transpose_tiled(field, &mut t, n, 32);
+    for row in t.chunks_mut(n) {
+        fft_inplace(row, inverse);
+    }
+    transpose_tiled(&t, field, n, 32);
+}
+
+/// Total power `sum |z|^2` (for Parseval checks).
+pub fn power(data: &[C64]) -> f64 {
+    data.iter().map(|z| z.norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        let n = 16;
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let expect = dft_reference(&input, false);
+        let mut got = input.clone();
+        fft_inplace(&mut got, false);
+        for i in 0..n {
+            assert!(close(got[i], expect[i], 1e-10), "bin {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 64;
+        let input: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let mut data = input.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for i in 0..n {
+            assert!(close(data[i], input[i], 1e-9), "index {i}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128;
+        let input: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin(), 0.0)).collect();
+        let p_time = power(&input);
+        let mut freq = input.clone();
+        fft_inplace(&mut freq, false);
+        let p_freq = power(&freq) / n as f64;
+        assert!((p_time - p_freq).abs() < 1e-9 * p_time.max(1.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let mut data = vec![C64::ZERO; n];
+        data[0] = C64::ONE;
+        fft_inplace(&mut data, false);
+        for z in &data {
+            assert!(close(*z, C64::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_tone_hits_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<C64> = (0..n)
+            .map(|i| C64::cis(std::f64::consts::TAU * (k0 * i) as f64 / n as f64))
+            .collect();
+        fft_inplace(&mut data, false);
+        for (k, z) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-8, "leakage in bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip() {
+        let n = 32;
+        let input: Vec<C64> = (0..n * n)
+            .map(|i| C64::new((i as f64 * 0.01).cos(), (i as f64 * 0.02).sin()))
+            .collect();
+        let mut field = input.clone();
+        fft2d(&mut field, n, false);
+        fft2d(&mut field, n, true);
+        for i in 0..n * n {
+            assert!(close(field[i], input[i], 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut d = vec![C64::ZERO; 12];
+        fft_inplace(&mut d, false);
+    }
+}

@@ -1,0 +1,30 @@
+//! `beamline` — the Virtual Beamline (VBL) stand-in (§4.11).
+//!
+//! VBL simulates high-power laser propagation with a split-step algorithm:
+//! "discrete fast Fourier transforms and triply-nested loops that update
+//! the electric field". cuFFT did the FFTs; RAJA's `forallN` did the
+//! loops; the transpose inside the 2-D FFT was the algorithmic bottleneck
+//! where a native CUDA tiling beat the RAJA one; and the team measured the
+//! GPUDirect-vs-`cudaMemcpy` crossover for host-device traffic.
+//!
+//! All of those pieces are here, self-contained:
+//!
+//! * [`cplx::C64`] — minimal complex arithmetic;
+//! * [`fft`] — iterative radix-2 Cooley-Tukey FFT and the 2-D FFT built
+//!   from row FFTs + transposes (the cuFFT stand-in);
+//! * [`transpose`] — naive and tiled transposes with portal/native cost
+//!   variants (the §4.11 bottleneck study);
+//! * [`splitstep`] — the split-step propagator with amplifier gain and
+//!   phase plates, producing fluence maps (Fig 9's ripple demo);
+//! * [`transfer`] — the GPUDirect crossover model.
+
+pub mod cplx;
+pub mod fft;
+pub mod spectrum;
+pub mod splitstep;
+pub mod transfer;
+pub mod transpose;
+
+pub use cplx::C64;
+pub use spectrum::{angular_spectrum, high_k_fraction, saturated_gain};
+pub use splitstep::{Beamline, Fluence};

@@ -1,0 +1,128 @@
+//! Spatial-frequency diagnostics and saturated amplification.
+//!
+//! VBL's physics beyond pure split-step propagation: the angular power
+//! spectrum (how phase defects scatter energy into high spatial
+//! frequencies — the mechanism behind Fig 9's ripples) and gain
+//! saturation in the amplifier slabs (the laser's energy extraction
+//! limit).
+
+use crate::fft::fft2d;
+use crate::splitstep::Beamline;
+
+/// Radially binned angular power spectrum of the current field: returns
+/// `bins` values of power per |k| annulus, DC in bin 0.
+pub fn angular_spectrum(beam: &Beamline, bins: usize) -> Vec<f64> {
+    let n = beam.n;
+    let mut field = beam.field.clone();
+    fft2d(&mut field, n, false);
+    let mut out = vec![0.0; bins];
+    let half = n as f64 / 2.0;
+    for i in 0..n {
+        for j in 0..n {
+            // Signed frequency indices.
+            let fi = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
+            let fj = if j <= n / 2 { j as f64 } else { j as f64 - n as f64 };
+            let r = (fi * fi + fj * fj).sqrt() / half; // 0..~sqrt(2)
+            let bin = ((r * bins as f64) as usize).min(bins - 1);
+            out[bin] += field[i * n + j].norm_sqr();
+        }
+    }
+    out
+}
+
+/// Fraction of spectral power above the `cut` fraction of the Nyquist
+/// radius (a scalar "beam quality" degradation measure).
+pub fn high_k_fraction(beam: &Beamline, cut: f64) -> f64 {
+    let bins = 64;
+    let spec = angular_spectrum(beam, bins);
+    let total: f64 = spec.iter().sum();
+    let cut_bin = ((cut * bins as f64) as usize).min(bins - 1);
+    let high: f64 = spec[cut_bin..].iter().sum();
+    high / total.max(1e-300)
+}
+
+/// Apply one saturated amplifier slab: intensity-dependent gain
+/// `g(I) = exp(g0 L / (1 + I / I_sat))` — small signals see full gain,
+/// strong fields extract the stored energy and gain compresses.
+pub fn saturated_gain(beam: &mut Beamline, g0_length: f64, i_sat: f64) {
+    for z in beam.field.iter_mut() {
+        let intensity = z.norm_sqr();
+        let g = (0.5 * g0_length / (1.0 + intensity / i_sat)).exp();
+        *z = z.scale(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beam() -> Beamline {
+        Beamline::gaussian(64, 0.01, 1e-6, 2.0e-3)
+    }
+
+    #[test]
+    fn smooth_beam_power_is_low_k() {
+        let b = beam();
+        assert!(high_k_fraction(&b, 0.25) < 0.01, "{}", high_k_fraction(&b, 0.25));
+    }
+
+    #[test]
+    fn spectrum_conserves_total_power() {
+        let b = beam();
+        let spec = angular_spectrum(&b, 32);
+        let spec_total: f64 = spec.iter().sum::<f64>() / (b.n * b.n) as f64;
+        let direct: f64 = b.fluence().total();
+        assert!((spec_total - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn phase_defects_scatter_power_to_high_k() {
+        let mut clean = beam();
+        let mut dirty = beam();
+        dirty.add_phase_defect(30, 30, 2, 1.5);
+        clean.propagate(1.0, 4);
+        dirty.propagate(1.0, 4);
+        let hc = high_k_fraction(&clean, 0.1);
+        let hd = high_k_fraction(&dirty, 0.1);
+        assert!(hd > 3.0 * hc.max(1e-9), "clean {hc} dirty {hd}");
+    }
+
+    #[test]
+    fn small_signal_sees_full_gain_saturated_does_not() {
+        let mut weak = beam();
+        for z in weak.field.iter_mut() {
+            *z = z.scale(1e-4);
+        }
+        let mut strong = beam();
+        for z in strong.field.iter_mut() {
+            *z = z.scale(100.0);
+        }
+        let (pw0, ps0) = (weak.fluence().total(), strong.fluence().total());
+        saturated_gain(&mut weak, 1.0, 1.0);
+        saturated_gain(&mut strong, 1.0, 1.0);
+        let gain_weak = weak.fluence().total() / pw0;
+        let gain_strong = strong.fluence().total() / ps0;
+        // Small signal: ~ e^1; saturated: much less.
+        assert!((gain_weak - 1.0f64.exp()).abs() < 0.01, "{gain_weak}");
+        assert!(gain_strong < 0.5 * gain_weak, "{gain_strong} vs {gain_weak}");
+    }
+
+    #[test]
+    fn repeated_saturated_slabs_approach_steady_output() {
+        // Output converges as extraction balances gain compression.
+        let mut b = beam();
+        let mut prev = b.fluence().total();
+        let mut growths = Vec::new();
+        for _ in 0..12 {
+            saturated_gain(&mut b, 1.0, 1.0);
+            let now = b.fluence().total();
+            growths.push(now / prev);
+            prev = now;
+        }
+        // Growth factors decrease monotonically toward 1.
+        for w in growths.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        assert!(*growths.last().expect("non-empty") < growths[0]);
+    }
+}

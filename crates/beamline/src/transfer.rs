@@ -1,0 +1,110 @@
+//! The GPUDirect-vs-staged-copy crossover study (§4.11).
+//!
+//! "Initial measurements showed that using cudaMemcpy for transfers from
+//! CPU to GPU will overtake GPUDirect for transfers of a few kilobytes or
+//! more; and for transfers from GPU to CPU for a few hundred bytes or
+//! more. VBL uses CUDA Unified Memory, which is equivalent to transferring
+//! blocks of 64 kilobytes."
+
+use hetsim::{Loc, Sim, TransferKind};
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// Time for a message of `bytes` via the staged (cudaMemcpy-over-NVLink +
+/// NIC) path.
+pub fn staged_time(sim: &Sim, dir: Direction, bytes: f64) -> f64 {
+    match dir {
+        Direction::HostToDevice => {
+            sim.transfer_cost(Loc::Nic, Loc::Host, bytes, TransferKind::Memcpy)
+                + sim.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy)
+        }
+        Direction::DeviceToHost => {
+            sim.transfer_cost(Loc::Gpu(0), Loc::Host, bytes, TransferKind::Memcpy)
+                + sim.transfer_cost(Loc::Host, Loc::Nic, bytes, TransferKind::Memcpy)
+        }
+    }
+}
+
+/// Time for the same message via GPUDirect RDMA.
+pub fn gpudirect_time(sim: &Sim, _dir: Direction, bytes: f64) -> f64 {
+    sim.transfer_cost(Loc::Gpu(0), Loc::Nic, bytes, TransferKind::GpuDirect)
+}
+
+/// Find the crossover size (bytes) above which the staged copy wins, by
+/// bisection over [lo, hi]. Returns `None` if there is no crossover in the
+/// bracket.
+pub fn crossover_bytes(sim: &Sim, dir: Direction, lo: f64, hi: f64) -> Option<f64> {
+    // GPUDirect wins small messages (f > 0 means staged is slower); the
+    // crossover is where f changes sign from + to -.
+    let f = |b: f64| staged_time(sim, dir, b) - gpudirect_time(sim, dir, b);
+    let (mut lo, mut hi) = (lo, hi);
+    if f(lo) <= 0.0 || f(hi) >= 0.0 {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+
+    fn sim() -> Sim {
+        Sim::new(machines::sierra_node())
+    }
+
+    #[test]
+    fn gpudirect_wins_tiny_messages_both_directions() {
+        let s = sim();
+        for dir in [Direction::HostToDevice, Direction::DeviceToHost] {
+            assert!(gpudirect_time(&s, dir, 64.0) < staged_time(&s, dir, 64.0));
+        }
+    }
+
+    #[test]
+    fn staged_wins_large_messages() {
+        let s = sim();
+        let big = 4.0 * 1024.0 * 1024.0;
+        for dir in [Direction::HostToDevice, Direction::DeviceToHost] {
+            assert!(staged_time(&s, dir, big) < gpudirect_time(&s, dir, big));
+        }
+    }
+
+    #[test]
+    fn crossover_exists_in_the_kilobyte_range() {
+        // §4.11's finding, qualitatively: crossovers in the hundreds of
+        // bytes to tens-of-kilobytes regime.
+        let s = sim();
+        let c_h2d = crossover_bytes(&s, Direction::HostToDevice, 16.0, 16.0 * 1024.0 * 1024.0)
+            .expect("H2D crossover");
+        let c_d2h = crossover_bytes(&s, Direction::DeviceToHost, 16.0, 16.0 * 1024.0 * 1024.0)
+            .expect("D2H crossover");
+        assert!(c_h2d > 100.0 && c_h2d < 1024.0 * 1024.0, "H2D {c_h2d}");
+        assert!(c_d2h > 100.0 && c_d2h < 1024.0 * 1024.0, "D2H {c_d2h}");
+    }
+
+    #[test]
+    fn unified_memory_block_is_past_the_crossover() {
+        // VBL's unified memory moves 64 KiB blocks — safely in the regime
+        // where the staged path is fine.
+        let s = sim();
+        let block = 64.0 * 1024.0;
+        assert!(
+            staged_time(&s, Direction::HostToDevice, block)
+                < gpudirect_time(&s, Direction::HostToDevice, block)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Transposes: the §4.11 bottleneck.
+//!
+//! "They implemented a tiling transpose in RAJA and directly in CUDA.
+//! Ultimately, the native CUDA transpose significantly outperformed the
+//! RAJA one." Both real implementations live here (naive and tiled), plus
+//! the cost profiles that reproduce that gap.
+
+use hetsim::{GpuSpec, KernelProfile};
+
+use crate::cplx::C64;
+
+/// Naive transpose: strided writes, no tiling.
+pub fn transpose_naive(src: &[C64], dst: &mut [C64], n: usize) {
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            dst[j * n + i] = src[i * n + j];
+        }
+    }
+}
+
+/// Tiled transpose: both loops blocked so reads and writes stay within a
+/// tile (the shared-memory staging pattern on a GPU, the cache-blocking
+/// pattern on a CPU).
+pub fn transpose_tiled(src: &[C64], dst: &mut [C64], n: usize, tile: usize) {
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), n * n);
+    let tile = tile.max(1);
+    for bi in (0..n).step_by(tile) {
+        for bj in (0..n).step_by(tile) {
+            for i in bi..(bi + tile).min(n) {
+                for j in bj..(bj + tile).min(n) {
+                    dst[j * n + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+/// Which transpose implementation a cost is requested for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransposeImpl {
+    /// RAJA-generated transpose: no shared-memory staging, uncoalesced
+    /// writes, plus the abstraction penalty.
+    PortalNaive,
+    /// Native CUDA tiled transpose through shared memory.
+    NativeTiled,
+}
+
+/// Cost profile for one `n x n` complex transpose on a device.
+pub fn transpose_profile(n: usize, imp: TransposeImpl) -> KernelProfile {
+    let bytes = (n * n * 16) as f64;
+    let k = KernelProfile::new("vbl-transpose")
+        .bytes_read(bytes)
+        .bytes_written(bytes)
+        .parallelism((n * n) as f64);
+    match imp {
+        // Uncoalesced writes waste most of each 32-byte transaction.
+        TransposeImpl::PortalNaive => k.bandwidth_eff(0.25),
+        TransposeImpl::NativeTiled => k.shared_mem(true),
+    }
+}
+
+/// Simulated time of one transpose on `gpu`.
+pub fn transpose_time(n: usize, imp: TransposeImpl, gpu: &GpuSpec) -> f64 {
+    let mut t = transpose_profile(n, imp).time_on_gpu(gpu);
+    if imp == TransposeImpl::PortalNaive {
+        t *= 1.3; // portal abstraction penalty (§4.9/§4.11)
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+
+    fn field(n: usize) -> Vec<C64> {
+        (0..n * n).map(|i| C64::new(i as f64, -(i as f64))).collect()
+    }
+
+    #[test]
+    fn naive_transpose_is_correct() {
+        let n = 5;
+        let src = field(n);
+        let mut dst = vec![C64::ZERO; n * n];
+        transpose_naive(&src, &mut dst, n);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(dst[j * n + i], src[i * n + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_naive_for_all_tile_sizes() {
+        let n = 33; // deliberately not a multiple of the tile
+        let src = field(n);
+        let mut want = vec![C64::ZERO; n * n];
+        transpose_naive(&src, &mut want, n);
+        for tile in [1, 4, 8, 16, 32, 64] {
+            let mut got = vec![C64::ZERO; n * n];
+            transpose_tiled(&src, &mut got, n, tile);
+            assert_eq!(got, want, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let n = 17;
+        let src = field(n);
+        let mut once = vec![C64::ZERO; n * n];
+        let mut twice = vec![C64::ZERO; n * n];
+        transpose_tiled(&src, &mut once, n, 8);
+        transpose_tiled(&once, &mut twice, n, 8);
+        assert_eq!(twice, src);
+    }
+
+    #[test]
+    fn native_tiled_significantly_beats_portal_naive() {
+        // §4.11: "the native CUDA transpose significantly outperformed the
+        // RAJA one".
+        let gpu = &machines::sierra_node().node.gpus[0];
+        let n = 4096;
+        let portal = transpose_time(n, TransposeImpl::PortalNaive, gpu);
+        let native = transpose_time(n, TransposeImpl::NativeTiled, gpu);
+        assert!(portal / native > 3.0, "{}", portal / native);
+    }
+}

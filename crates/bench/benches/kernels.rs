@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the real computational kernels (host
+//! wall time, not simulated time). One group per hot kernel family the
+//! paper names.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// VBL: 1-D FFT and the 2-D transpose variants.
+fn bench_beamline(c: &mut Criterion) {
+    use beamline::cplx::C64;
+    use beamline::fft::fft_inplace;
+    use beamline::transpose::{transpose_naive, transpose_tiled};
+
+    let n = 4096;
+    let input: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin(), 0.0)).collect();
+    c.bench_function("vbl/fft_4096", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut d| fft_inplace(&mut d, false),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let side = 512;
+    let field: Vec<C64> = (0..side * side).map(|i| C64::new(i as f64, 0.0)).collect();
+    let mut out = vec![C64::ZERO; side * side];
+    c.bench_function("vbl/transpose_naive_512", |b| {
+        b.iter(|| transpose_naive(&field, &mut out, side))
+    });
+    c.bench_function("vbl/transpose_tiled_512", |b| {
+        b.iter(|| transpose_tiled(&field, &mut out, side, 32))
+    });
+}
+
+/// Cardioid: libm vs DSL-lowered rational reaction kernels.
+fn bench_cardioid(c: &mut Criterion) {
+    use cardioid::IonModel;
+    let model = IonModel::new(5);
+    let state = IonModel::rest();
+    c.bench_function("cardioid/reaction_libm", |b| b.iter(|| model.rhs_exact(&state)));
+    c.bench_function("cardioid/reaction_rational", |b| b.iter(|| model.rhs_lowered(&state)));
+}
+
+/// MFEM: partial-assembly apply vs assembled SpMV at order 4.
+fn bench_fem(c: &mut Criterion) {
+    use fem::op::assemble_diffusion;
+    use fem::{DiffusionPA, Mesh2d};
+    let mesh = Mesh2d::unit(12, 12, 4);
+    let pa = DiffusionPA::new(mesh.clone(), |_, _| 1.0);
+    let a = assemble_diffusion(&mesh, |_, _| 1.0);
+    let n = mesh.ndof();
+    let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let mut y = vec![0.0; n];
+    c.bench_function("fem/pa_apply_p4", |b| b.iter(|| pa.apply(&x, &mut y)));
+    c.bench_function("fem/assembled_spmv_p4", |b| b.iter(|| a.spmv(&x, &mut y)));
+}
+
+/// MFEM 3-D: the sum-factorised hex-element apply.
+fn bench_fem3d(c: &mut Criterion) {
+    use fem::{DiffusionPA3d, Mesh3d};
+    let mesh = Mesh3d::unit(4, 4, 4, 3);
+    let pa = DiffusionPA3d::new(mesh.clone(), 1.0);
+    let x: Vec<f64> = (0..mesh.ndof()).map(|i| (i % 7) as f64).collect();
+    let mut y = vec![0.0; mesh.ndof()];
+    c.bench_function("fem/pa3d_apply_p3", |b| b.iter(|| pa.apply(&x, &mut y)));
+}
+
+/// ddcMD: pair forces through the generic engine.
+fn bench_md(c: &mut Criterion) {
+    use md::potential::compute_pair_forces;
+    use md::{LennardJones, NeighborList, System};
+    let sys = System::lattice(1000, 0.5, 0.8, 3);
+    let lj = LennardJones::martini();
+    let nlist = NeighborList::build(&sys, 2.5, 0.4);
+    c.bench_function("md/pair_forces_1000", |b| {
+        b.iter_batched(
+            || sys.clone(),
+            |mut s| compute_pair_forces(&mut s, &nlist, &lj),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// HavoqGT: BFS variants on an RMAT graph.
+fn bench_graph(c: &mut Criterion) {
+    use graphx::{bfs_direction_optimising, bfs_top_down, CsrGraph, RmatParams};
+    let g = CsrGraph::rmat(12, RmatParams::default(), 5);
+    let root = g.non_isolated_vertex(1);
+    c.bench_function("graph/bfs_top_down_s12", |b| b.iter(|| bfs_top_down(&g, root)));
+    c.bench_function("graph/bfs_direction_opt_s12", |b| {
+        b.iter(|| bfs_direction_optimising(&g, root))
+    });
+}
+
+/// hypre: one BoomerAMG V-cycle on a 2-D Poisson problem.
+fn bench_amg(c: &mut Criterion) {
+    use amg::{AmgOptions, BoomerAmg};
+    use linalg::CsrMatrix;
+    let a = CsrMatrix::laplace2d(64, 64);
+    let n = a.rows;
+    let mut solver = BoomerAmg::setup(a, AmgOptions::default());
+    let r = vec![1.0; n];
+    let mut z = vec![0.0; n];
+    c.bench_function("amg/vcycle_4096", |b| b.iter(|| solver.apply_vcycle(&r, &mut z)));
+}
+
+/// Cretin: dense rate-matrix population solve.
+fn bench_kinetics(c: &mut Criterion) {
+    use kinetics::rates::ZoneConditions;
+    use kinetics::{solve_populations_direct, AtomicModel, RateMatrix};
+    let model = AtomicModel::synthetic(100, 7);
+    let rm = RateMatrix::assemble(
+        &model,
+        ZoneConditions { te: 1.0, ne: 5.0, radiation: 1.0 },
+        true,
+    );
+    c.bench_function("kinetics/direct_solve_100", |b| {
+        b.iter(|| solve_populations_direct(&rm))
+    });
+}
+
+/// SW4: the elastic RHS on a small block.
+fn bench_seismic(c: &mut Criterion) {
+    use seismic::ElasticOperator;
+    let op = ElasticOperator::new(24, 24, 24, 0.1, 2.0, 1.0, 1.0);
+    let u = vec![1.0; op.view().len()];
+    let mut lu = vec![0.0; op.view().len()];
+    c.bench_function("sw4/elastic_rhs_24cubed", |b| b.iter(|| op.apply(&u, &mut lu)));
+}
+
+criterion_group! {
+    name = kernels;
+    config = configure();
+    targets = bench_beamline, bench_cardioid, bench_fem, bench_fem3d, bench_md,
+              bench_graph, bench_amg, bench_kinetics, bench_seismic
+}
+criterion_main!(kernels);

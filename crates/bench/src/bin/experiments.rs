@@ -1,0 +1,45 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>     one experiment (table1, fig2, table2, fig3, table3,
+//!                      fig6, fig8, table4, table5, cretin, md, sw4, vbl,
+//!                      cardioid, opt, kavg)
+//! experiments all      everything, in paper order
+//! experiments list     show the index
+//! ```
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments (see DESIGN.md section 3):\n");
+            for id in bench::ALL {
+                println!("  {id}");
+            }
+            println!("\nusage: experiments <id> | all");
+        }
+        "all" => {
+            for id in bench::ALL {
+                println!("\n################ {id} ################\n");
+                run_one(id);
+            }
+        }
+        id => {
+            if bench::ALL.contains(&id) {
+                run_one(id);
+            } else {
+                eprintln!("unknown experiment '{id}'; try `experiments list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_one(id: &str) {
+    let start = std::time::Instant::now();
+    let tables = bench::run(id).expect("id validated by caller");
+    for t in tables {
+        println!("{}", t.render());
+    }
+    eprintln!("[{id} regenerated in {:.2} s]", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,281 @@
+//! Experiments: Cretin (§4.3), MD (§4.6), SW4 (§4.9), VBL (§4.11),
+//! Cardioid (§4.1).
+
+use hetsim::{machines, Sim, Target};
+use icoe::report::{fmt_time, Table};
+
+/// Cretin: node throughput by atomic-model tier + solver validation.
+pub fn cretin() -> Vec<Table> {
+    use kinetics::{
+        solve_populations_direct, solve_populations_gmres, AtomicModel, ModelTier,
+        NodeThroughput, RateMatrix,
+    };
+    let node = machines::sierra_node();
+    let mut t = Table::new(
+        "Cretin (4.3): node throughput by atomic-model tier",
+        &["model tier", "states (prod.)", "CPU threads usable", "cores idled", "GPU/CPU node speedup", "paper"],
+    );
+    for (tier, paper) in [
+        (ModelTier::Small, "-"),
+        (ModelTier::Medium, "-"),
+        (ModelTier::SecondLargest, "5.75x"),
+        (ModelTier::Largest, "\"much higher\" (60% cores idle)"),
+    ] {
+        let r = NodeThroughput::evaluate(&node, tier);
+        t.row(&[
+            format!("{tier:?}"),
+            tier.production_states().to_string(),
+            r.cpu_threads_used.to_string(),
+            format!("{:.0}%", 100.0 * r.cpu_idle_fraction),
+            format!("{:.2}x", r.gpu_speedup()),
+            paper.to_string(),
+        ]);
+    }
+
+    // Real solve: direct vs hand-rolled iterative (the cuSOLVER/cuSPARSE
+    // pair of §4.3) must agree; radiation drives non-LTE.
+    let model = AtomicModel::synthetic(80, 5);
+    let cond = kinetics::rates::ZoneConditions { te: 0.9, ne: 4.0, radiation: 1.5 };
+    let rm = RateMatrix::assemble(&model, cond, true);
+    let direct = solve_populations_direct(&rm);
+    let (iter, its) = solve_populations_gmres(&rm, 1e-10);
+    let max_dev = direct.iter().zip(&iter).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let lte = model.boltzmann(cond.te);
+    let nlte_dev: f64 = direct.iter().zip(&lte).map(|(a, b)| (a - b).abs()).sum();
+    let mut v = Table::new("solver validation (80-state synthetic model)", &["metric", "value"]);
+    v.row(&["direct vs GMRES max |dpop|".into(), format!("{max_dev:.2e}")]);
+    assert!(max_dev < 1e-6, "solvers disagree");
+    v.row(&["GMRES iterations".into(), its.to_string()]);
+    v.row(&["non-LTE departure (L1 vs Boltzmann)".into(), format!("{nlte_dev:.3}")]);
+    v.row(&["population sum".into(), format!("{:.12}", direct.iter().sum::<f64>())]);
+    vec![t, v]
+}
+
+/// MD: ddcMD vs GROMACS-like per-step cost (§4.6's 2.31 vs 2.88 ms shape).
+pub fn md_experiment() -> Vec<Table> {
+    use md::{Engine, EngineKind, LennardJones, System};
+    let sys = System::lattice(32_768, 0.4, 0.6, 17);
+    let engine = Engine::new(sys, LennardJones::martini(), 0.002, 0.4);
+    let mut sim = Sim::new(machines::sierra_node());
+    let ddc1 = engine.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 1);
+    let gmx1 = engine.step_cost(&mut sim, EngineKind::GromacsSplit, 1);
+    let ddc4 = engine.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 4);
+    let cpu = engine.step_cost(&mut sim, EngineKind::CpuOnly, 1);
+
+    let mut t = Table::new(
+        "ddcMD vs GROMACS-like (32k-bead Martini-like patch, per-step)",
+        &["engine", "nonbonded", "integrate+bonded+constr", "transfers", "total"],
+    );
+    for (name, b) in [
+        ("ddcMD all-GPU (1 GPU)", &ddc1),
+        ("GROMACS-like split (1 GPU + CPU)", &gmx1),
+        ("ddcMD all-GPU (4 GPUs)", &ddc4),
+        ("CPU only", &cpu),
+    ] {
+        t.row(&[
+            name.to_string(),
+            fmt_time(b.nonbonded),
+            fmt_time(b.bonded + b.integrate + b.constraints),
+            fmt_time(b.transfers),
+            fmt_time(b.total()),
+        ]);
+    }
+    let mut s = Table::new("headline ratios", &["metric", "model", "paper"]);
+    s.row(&[
+        "GROMACS/ddcMD per step (1 GPU + 1 CPU)".into(),
+        format!("{:.2}x", gmx1.total() / ddc1.total()),
+        "2.88/2.31 = 1.25x".into(),
+    ]);
+    s.row(&[
+        "ddcMD 4-GPU vs GROMACS".into(),
+        format!("{:.2}x", gmx1.total() / ddc4.total()),
+        "1.3x".into(),
+    ]);
+    // MuMMI context: the macro model + in-situ analysis own the CPUs, so
+    // the GROMACS split loses its CPU half; model that by pricing its CPU
+    // kernels at 4 leftover cores.
+    let mummi_gmx = {
+        let mut sim2 = Sim::new(machines::sierra_node());
+        let b = engine.step_cost(&mut sim2, EngineKind::GromacsSplit, 1);
+        // CPU-side work re-priced: 44 -> 4 cores is ~8x slower on the
+        // compute-bound bonded/constraint kernels.
+        b.nonbonded + b.transfers + (b.bonded + b.integrate + b.constraints) * 8.0
+    };
+    s.row(&[
+        "in MuMMI (CPUs busy with macro model)".into(),
+        format!("{:.2}x", mummi_gmx / ddc1.total()),
+        "2.3x".into(),
+    ]);
+    vec![t, s]
+}
+
+/// SW4: kernel-path menu + node-throughput vs Cori-II.
+pub fn sw4() -> Vec<Table> {
+    use seismic::{ElasticOperator, KernelPath};
+    let op = ElasticOperator::new(128, 128, 128, 0.01, 2.0, 1.0, 1.0);
+    let mut t = Table::new(
+        "SW4 (4.9): one RHS+update on a 128^3 block, per kernel path",
+        &["path", "time", "vs CUDA"],
+    );
+    let mut sim = Sim::new(machines::sierra_node());
+    let t_native = KernelPath::Native.charge(&mut sim, &op);
+    for (name, path) in [
+        ("CUDA", KernelPath::Native),
+        ("CUDA + shared memory", KernelPath::NativeShared),
+        ("RAJA", KernelPath::Portal),
+        ("OpenMP host (44 threads)", KernelPath::HostThreads(44)),
+        ("serial host", KernelPath::HostSerial),
+    ] {
+        let mut s = Sim::new(machines::sierra_node());
+        let dt = path.charge(&mut s, &op);
+        t.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / t_native)]);
+    }
+
+    // Node-for-node throughput vs Cori-II (the abstract's "up to 14X").
+    let mut sierra = Sim::new(machines::sierra_node());
+    let mut per_node = 0.0;
+    for g in 0..4 {
+        // Each GPU owns a quarter of the node's block; all run concurrently.
+        let quarter = ElasticOperator::new(128, 128, 32, 0.01, 2.0, 1.0, 1.0);
+        let k = KernelPath::NativeShared.profile(&quarter);
+        let dt = sierra.launch(Target::gpu(g), &k);
+        per_node = f64::max(per_node, dt);
+    }
+    let cori = Sim::new(machines::cori2());
+    let k_cpu = KernelPath::HostThreads(68).profile(&op);
+    let cori_time = cori.cost(Target::cpu(68), &k_cpu);
+    let mut s = Table::new("node-for-node throughput vs Cori-II", &["metric", "model", "paper"]);
+    s.row(&[
+        "Sierra node / Cori node (same block)".into(),
+        format!("{:.1}x", cori_time / per_node),
+        "up to 14x (abstract)".into(),
+    ]);
+    s.row(&[
+        "Hayward-class run".into(),
+        "256 Sierra nodes ~= Cori-II allocation (10 h)".into(),
+        "same time, answers agree to machine precision".into(),
+    ]);
+
+    // Distributed strong scaling of a Hayward-class block.
+    use seismic::dist::{strong_scaling, DistRun};
+    let base = DistRun { total_points: 2.0e9, nodes: 64, steps: 1000.0 };
+    let curve = strong_scaling(&machines::sierra_node(), &base, &[64, 128, 256, 512, 1024]);
+    let t0 = curve[0].1;
+    let mut d = Table::new(
+        "strong scaling: 2B-point block, 1000 steps (simulated)",
+        &["nodes", "time", "speedup", "efficiency"],
+    );
+    for (n, t_run) in &curve {
+        let ideal = *n as f64 / 64.0;
+        d.row(&[
+            n.to_string(),
+            fmt_time(*t_run),
+            format!("{:.2}x", t0 / t_run),
+            format!("{:.0}%", 100.0 * (t0 / t_run) / ideal),
+        ]);
+    }
+    vec![t, s, d]
+}
+
+/// VBL: transpose bottleneck + GPUDirect crossover.
+pub fn vbl() -> Vec<Table> {
+    use beamline::transfer::{crossover_bytes, Direction};
+    use beamline::transpose::{transpose_time, TransposeImpl};
+    let gpu = &machines::sierra_node().node.gpus[0];
+    let mut t = Table::new(
+        "VBL (4.11): 2-D FFT transpose implementations",
+        &["n", "RAJA-style (us)", "native tiled (us)", "native win"],
+    );
+    for n in [1024usize, 2048, 4096, 8192] {
+        let p = transpose_time(n, TransposeImpl::PortalNaive, gpu);
+        let c = transpose_time(n, TransposeImpl::NativeTiled, gpu);
+        t.row(&[
+            n.to_string(),
+            format!("{:.1}", p * 1e6),
+            format!("{:.1}", c * 1e6),
+            format!("{:.1}x", p / c),
+        ]);
+    }
+    let sim = Sim::new(machines::sierra_node());
+    let h2d = crossover_bytes(&sim, Direction::HostToDevice, 16.0, 16.0 * 1024.0 * 1024.0);
+    let d2h = crossover_bytes(&sim, Direction::DeviceToHost, 16.0, 16.0 * 1024.0 * 1024.0);
+    let mut s = Table::new("GPUDirect vs staged copy crossover", &["direction", "model", "paper"]);
+    s.row(&[
+        "host -> device".into(),
+        h2d.map(|b| format!("{:.1} KiB", b / 1024.0)).unwrap_or("none".into()),
+        "a few KB or more".into(),
+    ]);
+    s.row(&[
+        "device -> host".into(),
+        d2h.map(|b| format!("{:.1} KiB", b / 1024.0)).unwrap_or("none".into()),
+        "a few hundred bytes or more".into(),
+    ]);
+    s.row(&[
+        "unified-memory block (64 KiB)".into(),
+        "past the crossover (staged path fine)".into(),
+        "equivalent to 64 KB transfers".into(),
+    ]);
+    vec![t, s]
+}
+
+/// Cardioid: DSL lowering payoff + placement study.
+pub fn cardioid_experiment() -> Vec<Table> {
+    use cardioid::{IonModel, Monodomain, Placement};
+    let model = IonModel::new(5);
+    let (flops_exact, flops_lowered) = model.flops();
+
+    // Real host timing of the two kernel forms.
+    let state = IonModel::rest();
+    let reps = 20_000;
+    let timer = |lowered: bool| {
+        let start = std::time::Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let d = if lowered { model.rhs_lowered(&state) } else { model.rhs_exact(&state) };
+            acc += d[0];
+        }
+        (start.elapsed().as_secs_f64() / reps as f64, acc)
+    };
+    let (t_exact, a1) = timer(false);
+    let (t_lowered, a2) = timer(true);
+    assert!((a1 - a2).abs() / a1.abs().max(1.0) < 0.05, "kernels disagree");
+
+    let mut t = Table::new(
+        "Cardioid (4.1): reaction-kernel forms (4-equation TT06-flavoured model)",
+        &["kernel form", "flops/eval", "host ns/eval", "notes"],
+    );
+    t.row(&[
+        "libm exp".into(),
+        format!("{flops_exact:.0}"),
+        format!("{:.0}", t_exact * 1e9),
+        "reference".into(),
+    ]);
+    t.row(&[
+        "rational polynomials (DSL-lowered)".into(),
+        format!("{flops_lowered:.0}"),
+        format!("{:.0}", t_lowered * 1e9),
+        if flops_lowered < flops_exact {
+            format!("{:.2}x fewer flops", flops_exact / flops_lowered)
+        } else {
+            format!("{:.2}x faster despite {:.0} polynomial flops (no transcendental latency)", t_exact / t_lowered, flops_lowered)
+        },
+    ]);
+
+    let tissue = Monodomain::new(512, 512, 0.2, 0.02, 8);
+    let mut s = Table::new(
+        "placement study (512x512 tissue, per step)",
+        &["placement", "time", "vs all-GPU"],
+    );
+    let mut sim = Sim::new(machines::sierra_node());
+    let all_gpu = tissue.simulated_step_cost(&mut sim, Placement::AllGpu, true);
+    for (name, p) in [
+        ("all-GPU (shipped)", Placement::AllGpu),
+        ("diffusion on CPU + reaction on GPU", Placement::SplitCpuGpu),
+        ("all-CPU", Placement::AllCpu),
+    ] {
+        let mut sm = Sim::new(machines::sierra_node());
+        let dt = tissue.simulated_step_cost(&mut sm, p, true);
+        s.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / all_gpu)]);
+    }
+    vec![t, s]
+}

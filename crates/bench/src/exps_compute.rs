@@ -1,0 +1,307 @@
+//! Experiments: Fig 6 (ParaDyn), Fig 8 + Table 4 (math-library
+//! ecosystem), Table 5 (CleverLeaf).
+
+use fem::Mesh2d;
+use hetsim::{machines, KernelProfile, LaunchClass, Machine, Target};
+use icoe::report::Table;
+
+/// Fig 6: ParaDyn kernel — execution time and global load/store counts
+/// for baseline, SLNSP, and SLNSP + dead-store elimination.
+pub fn fig6() -> Vec<Table> {
+    use paradyn::machine::{run, run_baseline};
+    use paradyn::{dead_store_elimination, slnsp_fuse, Program};
+
+    let n = 1_000_000;
+    let prog = Program::paradyn_kernel(n);
+    let inputs: Vec<(usize, Vec<f64>)> = (0..3)
+        .map(|a| (a, (0..n).map(|i| ((i + a) % 13) as f64 * 0.25).collect()))
+        .collect();
+
+    let (out_base, base) = run_baseline(&prog, &inputs);
+    let groups = slnsp_fuse(&prog);
+    let (out_slnsp, slnsp) = run(&prog, &inputs, &groups, &Default::default());
+    let elide = dead_store_elimination(&prog, &groups);
+    let (out_full, full) = run(&prog, &inputs, &groups, &elide);
+    for &a in &prog.live_out {
+        assert_eq!(out_base[a], out_slnsp[a], "SLNSP changed live-out array {a}");
+        assert_eq!(out_base[a], out_full[a], "DSE changed live-out array {a}");
+    }
+
+    let bw = 900e9; // V100 HBM
+    let t0 = base.time(bw);
+    let mut t = Table::new(
+        "Fig 6: ParaDyn kernel — time and global memory ops (1M elements)",
+        &["variant", "time (ms)", "speedup", "loads/elem", "stores/elem"],
+    );
+    for (name, s) in [("baseline", &base), ("SLNSP", &slnsp), ("SLNSP + dead-store elim", &full)] {
+        t.row(&[
+            name.to_string(),
+            format!("{:.3}", s.time(bw) * 1e3),
+            format!("{:.2}x", t0 / s.time(bw)),
+            format!("{:.1}", s.loads as f64 / n as f64),
+            format!("{:.1}", s.stores as f64 / n as f64),
+        ]);
+    }
+    let mut p = Table::new("Fig 6 headline vs paper", &["metric", "model", "paper"]);
+    p.row(&[
+        "SLNSP speedup".into(),
+        format!("{:.2}x", t0 / slnsp.time(bw)),
+        "~2x (matches load reduction)".into(),
+    ]);
+    p.row(&[
+        "+DSE on top".into(),
+        format!("{:.0}%", 100.0 * (slnsp.time(bw) / full.time(bw) - 1.0)),
+        "+20%".into(),
+    ]);
+    vec![t, p]
+}
+
+/// Per-step work counts measured from a small *real* run of the nonlinear
+/// diffusion stack (iteration counts are size-robust with AMG).
+struct StackCounts {
+    newton_per_step: f64,
+    krylov_per_step: f64,
+    rhs_per_step: f64,
+}
+
+fn measure_counts() -> StackCounts {
+    use ode::{BdfIntegrator, BdfOptions, HostVec, NVector};
+    let mesh = Mesh2d::unit(8, 8, 2);
+    let mut diff = fem::DiffusionPA::new(mesh.clone(), |_, _| 0.1);
+    let mass = fem::MassPA::new(mesh.clone());
+    let lumped = mass.lumped();
+    let bdr = diff.boundary().to_vec();
+    let u0 = mesh.project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
+    let ndof = mesh.ndof();
+    let mut bdf = BdfIntegrator::new(HostVec::from_vec(u0), 0.0, BdfOptions::default());
+    let mut scratch = vec![0.0; ndof];
+    let dc = std::cell::RefCell::new(&mut diff);
+    let ok = bdf.integrate_to(
+        0.02,
+        1e-3,
+        |_t, u, dudt| {
+            let mut d = dc.borrow_mut();
+            d.assemble_qdata_from_state(u, 0.1, 1.0);
+            d.apply(u, &mut scratch);
+            for i in 0..u.len() {
+                dudt[i] = -scratch[i] / lumped[i].max(1e-12);
+            }
+            for &b in &bdr {
+                dudt[b] = 0.0;
+            }
+        },
+        |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+    );
+    assert!(ok, "reference integration failed");
+    let steps = bdf.stats.steps.max(1) as f64;
+    StackCounts {
+        newton_per_step: bdf.stats.newton_iters as f64 / steps,
+        krylov_per_step: bdf.stats.krylov_iters as f64 / steps,
+        rhs_per_step: bdf.stats.rhs_evals as f64 / steps,
+    }
+}
+
+/// Analytic cost of one LOR-AMG V-cycle for `n` unknowns on `target`.
+fn amg_cycle_cost(machine: &Machine, target: Target, n: f64) -> f64 {
+    let sim = hetsim::Sim::new(machine.clone());
+    let mut total = 0.0;
+    let mut level_n = n;
+    while level_n > 50.0 {
+        // 3-D LOR matrix: 27-point stencil; AMG coarsens by ~8 per level.
+        let nnz = 27.0 * level_n;
+        // Pre/post smooth + residual: 3 SpMV-shaped passes; 2 transfers.
+        let spmv = KernelProfile::new("amg-spmv")
+            .flops(2.0 * nnz * 3.0)
+            .bytes_read(12.0 * nnz * 3.0)
+            .bytes_written(8.0 * level_n * 3.0)
+            .parallelism(level_n);
+        let xfer = KernelProfile::new("amg-transfer")
+            .flops(4.0 * 4.0 * level_n)
+            .bytes_read(24.0 * 4.0 * level_n)
+            .bytes_written(16.0 * level_n)
+            .parallelism(level_n);
+        total += sim.cost(target, &spmv) + sim.cost(target, &xfer);
+        level_n /= 8.0;
+    }
+    total
+}
+
+/// Phase costs per timestep for `dofs` unknowns at order `p`.
+struct PhaseCosts {
+    formulation: f64,
+    precond: f64,
+    solve: f64,
+}
+
+fn phase_costs(machine: &Machine, target: Target, dofs: f64, p: usize, c: &StackCounts) -> PhaseCosts {
+    let sim = hetsim::Sim::new(machine.clone());
+    let on_gpu = matches!(target, Target::Gpu { .. });
+    // The E-vector gather/scatter of partial assembly is uncoalesced on
+    // the device; CPUs hide it in cache.
+    let gpu_bw_eff = if on_gpu { 0.45 } else { 1.0 };
+    // The paper's runs are 3-D: pick a hex mesh matching the dof count.
+    let nel_side = (((dofs.cbrt() - 1.0) / p as f64).round() as usize).max(1);
+    let mesh = fem::Mesh3d::unit(nel_side, nel_side, nel_side, p);
+    let (br, bw) = fem::dim3::pa3d_bytes(&mesh);
+    let pa = KernelProfile::new(format!("fem3d-pa-p{p}"))
+        .flops(fem::dim3::pa3d_flops(&mesh))
+        .bytes_read(br)
+        .bytes_written(bw)
+        .parallelism(mesh.nelem() as f64 * (p + 1).pow(3) as f64)
+        .bandwidth_eff(gpu_bw_eff);
+    let t_pa = sim.cost(target, &pa);
+    // Formulation: interpolate state to quadrature + evaluate kappa —
+    // about 60 % of one PA apply's contractions plus the qdata write.
+    let qdata = KernelProfile::new("fem-qdata")
+        .flops(fem::dim3::pa3d_flops(&mesh) * 0.6)
+        .bytes_read(8.0 * dofs)
+        .bytes_written(24.0 * mesh.nelem() as f64 * (p + 1).pow(3) as f64)
+        .parallelism(mesh.nelem() as f64 * (p + 1).pow(3) as f64)
+        .bandwidth_eff(gpu_bw_eff);
+    let t_qdata = sim.cost(target, &qdata);
+    // Vector ops per Krylov iteration (~6 axpy/dot of length dofs).
+    let vecops = KernelProfile::new("vec-ops")
+        .flops(2.0 * dofs * 6.0)
+        .bytes_read(8.0 * dofs * 12.0)
+        .bytes_written(8.0 * dofs * 6.0)
+        .parallelism(dofs);
+    // SpMV-heavy AMG also gathers; fold the same inefficiency into its
+    // bandwidth via a time multiplier below.
+    let t_vec = sim.cost(target, &vecops);
+
+    let formulation = c.rhs_per_step * t_qdata;
+    let solve = c.krylov_per_step * (t_pa + t_vec) + c.newton_per_step * t_pa;
+    let amg_ineff = if on_gpu { 1.0 / gpu_bw_eff } else { 1.0 };
+    let precond = c.krylov_per_step * amg_cycle_cost(machine, target, dofs) * amg_ineff;
+    PhaseCosts { formulation, precond, solve }
+}
+
+/// Fig 8: timing breakdown of the 1M-dof nonlinear diffusion problem,
+/// one P8 thread vs one P100 (the EA-generation comparison in the paper).
+pub fn fig8() -> Vec<Table> {
+    let counts = measure_counts();
+    let ea = machines::ea_minsky();
+    let cpu = phase_costs(&ea, Target::cpu(1), 1.0e6, 2, &counts);
+    let gpu = phase_costs(&ea, Target::gpu(0), 1.0e6, 2, &counts);
+    let mut t = Table::new(
+        "Fig 8: nonlinear diffusion, 1M dofs — per-timestep phase breakdown",
+        &["phase", "P8 (1 thread)", "P100", "speedup"],
+    );
+    for (name, c, g) in [
+        ("formulation", cpu.formulation, gpu.formulation),
+        ("preconditioner", cpu.precond, gpu.precond),
+        ("linear solve", cpu.solve, gpu.solve),
+    ] {
+        t.row(&[
+            name.to_string(),
+            icoe::report::fmt_time(c),
+            icoe::report::fmt_time(g),
+            format!("{:.1}x", c / g),
+        ]);
+    }
+    let tot_c = cpu.formulation + cpu.precond + cpu.solve;
+    let tot_g = gpu.formulation + gpu.precond + gpu.solve;
+    t.row(&[
+        "total".into(),
+        icoe::report::fmt_time(tot_c),
+        icoe::report::fmt_time(tot_g),
+        format!("{:.1}x", tot_c / tot_g),
+    ]);
+    let mut info = Table::new("measured per-step counts (from the real 8x8 p=2 run)", &["metric", "value"]);
+    info.row(&["Newton iters/step".into(), format!("{:.1}", counts.newton_per_step)]);
+    info.row(&["Krylov iters/step".into(), format!("{:.1}", counts.krylov_per_step)]);
+    info.row(&["RHS evals/step".into(), format!("{:.1}", counts.rhs_per_step)]);
+    vec![t, info]
+}
+
+/// Table 4: GPU speedup (P9 serial vs V100) across size and order.
+pub fn table4() -> Vec<Table> {
+    let counts = measure_counts();
+    let m = machines::sierra_node();
+    let paper: [[f64; 3]; 4] = [
+        [2.88, 2.78, 4.97],
+        [6.67, 8.00, 12.47],
+        [10.59, 13.71, 19.00],
+        [12.32, 14.36, 20.80],
+    ];
+    let sizes = [20.8e3, 82.6e3, 329.0e3, 1.313e6];
+    let mut t = Table::new(
+        "Table 4: GPU speedup (MFEM + hypre + SUNDIALS stack, 20 timesteps)",
+        &["Unknowns", "p=2", "(paper)", "p=4", "(paper)", "p=8", "(paper)"],
+    );
+    for (si, &dofs) in sizes.iter().enumerate() {
+        let mut cells = vec![format!("{:.1}k", dofs / 1e3)];
+        for (pi, &p) in [2usize, 4, 8].iter().enumerate() {
+            let cpu = phase_costs(&m, Target::cpu(1), dofs, p, &counts);
+            let gpu = phase_costs(&m, Target::gpu(0), dofs, p, &counts);
+            let tot = |c: &PhaseCosts| c.formulation + c.precond + c.solve;
+            cells.push(format!("{:.2}", tot(&cpu) / tot(&gpu)));
+            cells.push(format!("{:.2}", paper[si][pi]));
+        }
+        t.row(&cells);
+    }
+    vec![t]
+}
+
+/// Table 5: CleverLeaf on SAMRAI — full node and single-pair speedups.
+pub fn table5() -> Vec<Table> {
+    use amr::cost::{run_cost, NodeMapping};
+    let m = machines::sierra_node();
+    let cells = 8.0e6;
+    let steps = 100;
+    let full_cpu = run_cost(&m, NodeMapping::FullNodeCpu, cells, steps, true);
+    let full_gpu = run_cost(&m, NodeMapping::FullNodeGpu, cells, steps, true);
+    let one_cpu = run_cost(&m, NodeMapping::SingleSocketCpu, cells, steps, true);
+    let one_gpu = run_cost(&m, NodeMapping::SingleGpu, cells, steps, true);
+    let mut t = Table::new(
+        "Table 5: CleverLeaf mini-app using SAMRAI (simulated, 8M cells x 100 steps)",
+        &["", "Full Node (model)", "Full Node (paper)", "P9 vs V100 (model)", "P9 vs V100 (paper)"],
+    );
+    t.row(&[
+        "CPU time (s)".into(),
+        format!("{full_cpu:.2}"),
+        "127.5".into(),
+        format!("{one_cpu:.2}"),
+        "74.0".into(),
+    ]);
+    t.row(&[
+        "GPU time (s)".into(),
+        format!("{full_gpu:.2}"),
+        "17.86".into(),
+        format!("{one_gpu:.2}"),
+        "5.0".into(),
+    ]);
+    t.row(&[
+        "Speedup".into(),
+        format!("{:.1}x", full_cpu / full_gpu),
+        "7x".into(),
+        format!("{:.1}x", one_cpu / one_gpu),
+        "15x".into(),
+    ]);
+
+    // Real AMR correctness companion: blast problem conserves and refines.
+    use amr::Hierarchy;
+    use amr::euler::{EulerState, RHO};
+    let mut h = Hierarchy::new(48, 1.0 / 48.0, 2.0);
+    h.coarse.init(|x, y| {
+        let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+        if r2 < 0.01 {
+            EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+        } else {
+            EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+        }
+    });
+    let m0 = h.total(RHO);
+    h.run(10, 3);
+    let mut c = Table::new("AMR blast sanity (real hydro)", &["metric", "value"]);
+    c.row(&["fine-level coverage".into(), format!("{:.1}%", 100.0 * h.fine_coverage())]);
+    c.row(&["regrids".into(), h.regrids().to_string()]);
+    c.row(&["mass drift".into(), format!("{:.2e}", (h.total(RHO) - m0).abs() / m0)]);
+    c.row(&["min density".into(), format!("{:.3}", h.coarse.min_density())]);
+    vec![t, c]
+}
+
+const _: () = {
+    // keep LaunchClass import used even if profiles change
+    fn _f(_: LaunchClass) {}
+};

@@ -1,0 +1,44 @@
+//! Experiment implementations behind the `experiments` binary.
+//!
+//! One public `run()` function per paper artifact; each returns rendered
+//! tables so integration tests can assert on the same numbers the binary
+//! prints. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+//! for paper-vs-measured records.
+
+pub mod exps_apps;
+pub mod exps_compute;
+pub mod exps_core;
+pub mod exps_opt;
+
+pub use icoe::report::{fmt_time, Table};
+
+/// Every experiment id, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "fig2", "table2", "fig3", "table3", "fig6", "fig8", "table4", "table5", "cretin",
+    "md", "sw4", "vbl", "cardioid", "opt", "kavg", "lessons", "machines",
+];
+
+/// Dispatch an experiment by id.
+pub fn run(id: &str) -> Option<Vec<Table>> {
+    Some(match id {
+        "table1" => exps_core::table1(),
+        "fig2" => exps_core::fig2(),
+        "table2" => exps_core::table2(),
+        "fig3" => exps_core::fig3(),
+        "table3" => exps_core::table3(),
+        "fig6" => exps_compute::fig6(),
+        "fig8" => exps_compute::fig8(),
+        "table4" => exps_compute::table4(),
+        "table5" => exps_compute::table5(),
+        "cretin" => exps_apps::cretin(),
+        "md" => exps_apps::md_experiment(),
+        "sw4" => exps_apps::sw4(),
+        "vbl" => exps_apps::vbl(),
+        "cardioid" => exps_apps::cardioid_experiment(),
+        "opt" => exps_opt::opt(),
+        "kavg" => exps_opt::kavg(),
+        "lessons" => exps_opt::lessons(),
+        "machines" => exps_core::machines_table(),
+        _ => return None,
+    })
+}

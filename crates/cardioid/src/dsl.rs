@@ -1,0 +1,586 @@
+//! The Melodee-like DSL.
+//!
+//! Melodee "automatically finds and replaces expensive math functions with
+//! rational polynomials, computes the coefficients at run-time, and uses an
+//! NVIDIA runtime-compilation library to produce high performance kernels".
+//! The pipeline here is the same, minus the GPU:
+//!
+//! 1. a membrane model is written as an expression tree ([`Expr`]);
+//! 2. [`Kernel::lower`] walks the tree, computes the value range of every
+//!    `exp` argument by interval arithmetic over the declared variable
+//!    ranges, and replaces each `exp` with a fitted [`RationalApprox`];
+//! 3. the lowered tree is "run-time compiled" to a flat bytecode tape
+//!    ([`Kernel::run`]) — our NVRTC analogue — so evaluation does no tree
+//!    walking and no branching.
+
+use std::collections::HashMap;
+
+use crate::rational::RationalApprox;
+
+/// An expression over named variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Const(f64),
+    Var(&'static str),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    /// The expensive functions the DSL targets.
+    Exp(Box<Expr>),
+    Tanh(Box<Expr>),
+    Log(Box<Expr>),
+    /// A fitted rational approximation of some single-variable
+    /// subexpression, evaluated at the inner expression's value (produced
+    /// by lowering; not written by users).
+    Rational(Box<Expr>, RationalApprox),
+}
+
+impl Expr {
+    pub fn var(name: &'static str) -> Expr {
+        Expr::Var(name)
+    }
+
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    pub fn exp(self) -> Expr {
+        Expr::Exp(Box::new(self))
+    }
+
+    pub fn tanh(self) -> Expr {
+        Expr::Tanh(Box::new(self))
+    }
+
+    pub fn log(self) -> Expr {
+        Expr::Log(Box::new(self))
+    }
+
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Tree-walking evaluation (the reference semantics).
+    pub fn eval(&self, vars: &HashMap<&'static str, f64>) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(n) => *vars.get(n).unwrap_or_else(|| panic!("unbound variable {n}")),
+            Expr::Add(a, b) => a.eval(vars) + b.eval(vars),
+            Expr::Sub(a, b) => a.eval(vars) - b.eval(vars),
+            Expr::Mul(a, b) => a.eval(vars) * b.eval(vars),
+            Expr::Div(a, b) => a.eval(vars) / b.eval(vars),
+            Expr::Neg(a) => -a.eval(vars),
+            Expr::Exp(a) => a.eval(vars).exp(),
+            Expr::Tanh(a) => a.eval(vars).tanh(),
+            Expr::Log(a) => a.eval(vars).ln(),
+            Expr::Rational(a, r) => r.eval(a.eval(vars)),
+        }
+    }
+
+    /// Interval evaluation: the value range of the expression given
+    /// variable ranges. Conservative (interval arithmetic).
+    pub fn range(&self, ranges: &HashMap<&'static str, (f64, f64)>) -> (f64, f64) {
+        match self {
+            Expr::Const(v) => (*v, *v),
+            Expr::Var(n) => *ranges.get(n).unwrap_or_else(|| panic!("no range for {n}")),
+            Expr::Add(a, b) => {
+                let (al, ah) = a.range(ranges);
+                let (bl, bh) = b.range(ranges);
+                (al + bl, ah + bh)
+            }
+            Expr::Sub(a, b) => {
+                let (al, ah) = a.range(ranges);
+                let (bl, bh) = b.range(ranges);
+                (al - bh, ah - bl)
+            }
+            Expr::Mul(a, b) => {
+                let (al, ah) = a.range(ranges);
+                let (bl, bh) = b.range(ranges);
+                let cands = [al * bl, al * bh, ah * bl, ah * bh];
+                (cands.iter().copied().fold(f64::INFINITY, f64::min),
+                 cands.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            }
+            Expr::Div(a, b) => {
+                let (al, ah) = a.range(ranges);
+                let (bl, bh) = b.range(ranges);
+                assert!(
+                    bl > 0.0 || bh < 0.0,
+                    "division range straddles zero: [{bl}, {bh}]"
+                );
+                let cands = [al / bl, al / bh, ah / bl, ah / bh];
+                (cands.iter().copied().fold(f64::INFINITY, f64::min),
+                 cands.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            }
+            Expr::Neg(a) => {
+                let (l, h) = a.range(ranges);
+                (-h, -l)
+            }
+            Expr::Exp(a) => {
+                let (l, h) = a.range(ranges);
+                (l.exp(), h.exp())
+            }
+            Expr::Tanh(a) => {
+                let (l, h) = a.range(ranges);
+                (l.tanh(), h.tanh())
+            }
+            Expr::Log(a) => {
+                let (l, h) = a.range(ranges);
+                assert!(l > 0.0, "log argument range includes non-positive values: [{l}, {h}]");
+                (l.ln(), h.ln())
+            }
+            Expr::Rational(a, r) => {
+                // Sample the fitted rational over the inner range.
+                let (l, h) = a.range(ranges);
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for i in 0..33 {
+                    let x = l + (h - l) * i as f64 / 32.0;
+                    let v = r.eval(x);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Count `Exp` nodes (before lowering) / `Rational` nodes (after).
+    pub fn count_expensive(&self) -> (usize, usize) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => (0, 0),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                let (e1, r1) = a.count_expensive();
+                let (e2, r2) = b.count_expensive();
+                (e1 + e2, r1 + r2)
+            }
+            Expr::Neg(a) => a.count_expensive(),
+            Expr::Exp(a) | Expr::Tanh(a) | Expr::Log(a) => {
+                let (e, r) = a.count_expensive();
+                (e + 1, r)
+            }
+            Expr::Rational(a, _) => {
+                let (e, r) = a.count_expensive();
+                (e, r + 1)
+            }
+        }
+    }
+
+    /// Set of free variables in the expression.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<&'static str> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut std::collections::BTreeSet<&'static str>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(n) => {
+                out.insert(n);
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Neg(a) | Expr::Exp(a) | Expr::Tanh(a) | Expr::Log(a) | Expr::Rational(a, _) => {
+                a.collect_vars(out)
+            }
+        }
+    }
+
+    /// Whether any `Exp` node remains.
+    pub fn contains_exp(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => false,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.contains_exp() || b.contains_exp()
+            }
+            Expr::Neg(a) | Expr::Rational(a, _) => a.contains_exp(),
+            Expr::Exp(_) | Expr::Tanh(_) | Expr::Log(_) => true,
+        }
+    }
+
+    /// Melodee's key transformation: find maximal subexpressions that (a)
+    /// contain an expensive function and (b) depend on a *single* variable,
+    /// and replace each with one fitted rational polynomial of that
+    /// variable. Gate steady-states and time constants — functions of the
+    /// membrane potential only — collapse to a single rational evaluation
+    /// each.
+    pub fn lower_exp(
+        self,
+        ranges: &HashMap<&'static str, (f64, f64)>,
+        degree: usize,
+    ) -> Expr {
+        if !self.contains_exp() {
+            return self;
+        }
+        let vars = self.free_vars();
+        if vars.len() == 1 {
+            let var = *vars.iter().next().expect("one free variable");
+            let (lo, hi) = ranges[var];
+            let pad = 0.02 * (hi - lo).max(1e-6);
+            let this = self.clone();
+            let f = move |x: f64| {
+                let mut m = HashMap::new();
+                m.insert(var, x);
+                this.eval(&m)
+            };
+            let r = RationalApprox::fit(f, lo - pad, hi + pad, degree, degree, 40 * degree);
+            return Expr::Rational(Box::new(Expr::Var(var)), r);
+        }
+        match self {
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.lower_exp(ranges, degree)),
+                Box::new(b.lower_exp(ranges, degree)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.lower_exp(ranges, degree)),
+                Box::new(b.lower_exp(ranges, degree)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.lower_exp(ranges, degree)),
+                Box::new(b.lower_exp(ranges, degree)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.lower_exp(ranges, degree)),
+                Box::new(b.lower_exp(ranges, degree)),
+            ),
+            Expr::Neg(a) => Expr::Neg(Box::new(a.lower_exp(ranges, degree))),
+            // Multi-variable arguments: approximate inside them.
+            Expr::Exp(a) => Expr::Exp(Box::new(a.lower_exp(ranges, degree))),
+            Expr::Tanh(a) => Expr::Tanh(Box::new(a.lower_exp(ranges, degree))),
+            Expr::Log(a) => Expr::Log(Box::new(a.lower_exp(ranges, degree))),
+            other => other,
+        }
+    }
+}
+
+/// Bytecode ops for the "run-time compiled" tape.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    PushConst(f64),
+    PushVar(usize),
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Exp,
+    Tanh,
+    Log,
+    /// Evaluate rational approximation `ratios[i]` on the stack top.
+    Rational(usize),
+}
+
+/// A compiled kernel: variable layout + flat tape (the NVRTC analogue).
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    vars: Vec<&'static str>,
+    ops: Vec<Op>,
+    rationals: Vec<RationalApprox>,
+}
+
+impl Kernel {
+    /// Compile an expression, given the variable order used at call time.
+    pub fn compile(expr: &Expr, vars: &[&'static str]) -> Kernel {
+        let mut k = Kernel { vars: vars.to_vec(), ops: Vec::new(), rationals: Vec::new() };
+        k.emit(expr);
+        k
+    }
+
+    /// Lower `exp` calls against `ranges` and compile in one go.
+    pub fn lower(
+        expr: Expr,
+        vars: &[&'static str],
+        ranges: &HashMap<&'static str, (f64, f64)>,
+        degree: usize,
+    ) -> Kernel {
+        let lowered = expr.lower_exp(ranges, degree);
+        Kernel::compile(&lowered, vars)
+    }
+
+    fn emit(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(v) => self.ops.push(Op::PushConst(*v)),
+            Expr::Var(n) => {
+                let idx = self
+                    .vars
+                    .iter()
+                    .position(|v| v == n)
+                    .unwrap_or_else(|| panic!("variable {n} not in kernel signature"));
+                self.ops.push(Op::PushVar(idx));
+            }
+            Expr::Add(a, b) => {
+                self.emit(a);
+                self.emit(b);
+                self.ops.push(Op::Add);
+            }
+            Expr::Sub(a, b) => {
+                self.emit(a);
+                self.emit(b);
+                self.ops.push(Op::Sub);
+            }
+            Expr::Mul(a, b) => {
+                self.emit(a);
+                self.emit(b);
+                self.ops.push(Op::Mul);
+            }
+            Expr::Div(a, b) => {
+                self.emit(a);
+                self.emit(b);
+                self.ops.push(Op::Div);
+            }
+            Expr::Neg(a) => {
+                self.emit(a);
+                self.ops.push(Op::Neg);
+            }
+            Expr::Exp(a) => {
+                self.emit(a);
+                self.ops.push(Op::Exp);
+            }
+            Expr::Tanh(a) => {
+                self.emit(a);
+                self.ops.push(Op::Tanh);
+            }
+            Expr::Log(a) => {
+                self.emit(a);
+                self.ops.push(Op::Log);
+            }
+            Expr::Rational(a, r) => {
+                self.emit(a);
+                self.rationals.push(r.clone());
+                self.ops.push(Op::Rational(self.rationals.len() - 1));
+            }
+        }
+    }
+
+    /// Evaluate the tape for one set of variable values.
+    pub fn run(&self, values: &[f64]) -> f64 {
+        debug_assert_eq!(values.len(), self.vars.len());
+        let mut stack: Vec<f64> = Vec::with_capacity(16);
+        for op in &self.ops {
+            match op {
+                Op::PushConst(v) => stack.push(*v),
+                Op::PushVar(i) => stack.push(values[*i]),
+                Op::Add => bin(&mut stack, |a, b| a + b),
+                Op::Sub => bin(&mut stack, |a, b| a - b),
+                Op::Mul => bin(&mut stack, |a, b| a * b),
+                Op::Div => bin(&mut stack, |a, b| a / b),
+                Op::Neg => {
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(-a);
+                }
+                Op::Exp => {
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(a.exp());
+                }
+                Op::Tanh => {
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(a.tanh());
+                }
+                Op::Log => {
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(a.ln());
+                }
+                Op::Rational(i) => {
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(self.rationals[*i].eval(a));
+                }
+            }
+        }
+        stack.pop().expect("empty expression")
+    }
+
+    /// Number of transcendental ops remaining after lowering.
+    pub fn remaining_exps(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Exp | Op::Tanh | Op::Log))
+            .count()
+    }
+
+    pub fn num_rationals(&self) -> usize {
+        self.rationals.len()
+    }
+
+    /// Flops of one tape run (transcendental exp counted at its amortised
+    /// instruction cost, ~20 flops).
+    pub fn flops(&self) -> f64 {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                Op::PushConst(_) | Op::PushVar(_) => 0.0,
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Neg => 1.0,
+                Op::Exp | Op::Tanh | Op::Log => 20.0,
+                Op::Rational(i) => self.rationals[*i].flops(),
+            })
+            .sum()
+    }
+}
+
+#[inline]
+fn bin(stack: &mut Vec<f64>, f: impl Fn(f64, f64) -> f64) {
+    let b = stack.pop().expect("stack underflow");
+    let a = stack.pop().expect("stack underflow");
+    stack.push(f(a, b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate_expr() -> Expr {
+        // 1 / (1 + exp((v + 20) / 7))
+        Expr::Div(
+            Box::new(Expr::c(1.0)),
+            Box::new(Expr::Add(
+                Box::new(Expr::c(1.0)),
+                Box::new(
+                    Expr::Div(
+                        Box::new(Expr::Add(Box::new(Expr::var("v")), Box::new(Expr::c(20.0)))),
+                        Box::new(Expr::c(7.0)),
+                    )
+                    .exp(),
+                ),
+            )),
+        )
+    }
+
+    fn vranges() -> HashMap<&'static str, (f64, f64)> {
+        HashMap::from([("v", (-90.0, 50.0))])
+    }
+
+    #[test]
+    fn tree_eval_matches_formula() {
+        let e = gate_expr();
+        let vars = HashMap::from([("v", -20.0)]);
+        assert!((e.eval(&vars) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_tape_matches_tree() {
+        let e = gate_expr();
+        let k = Kernel::compile(&e, &["v"]);
+        for v in [-80.0, -40.0, 0.0, 30.0] {
+            let tree = e.eval(&HashMap::from([("v", v)]));
+            assert!((k.run(&[v]) - tree).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn lowering_replaces_all_exps() {
+        let e = gate_expr();
+        assert_eq!(e.count_expensive(), (1, 0));
+        let k = Kernel::lower(e, &["v"], &vranges(), 8);
+        assert_eq!(k.remaining_exps(), 0);
+        assert_eq!(k.num_rationals(), 1);
+    }
+
+    #[test]
+    fn lowered_kernel_is_accurate() {
+        let e = gate_expr();
+        let exact = Kernel::compile(&e, &["v"]);
+        let lowered = Kernel::lower(e, &["v"], &vranges(), 8);
+        let mut worst = 0.0f64;
+        for i in 0..1000 {
+            let v = -90.0 + 140.0 * i as f64 / 999.0;
+            let err = (lowered.run(&[v]) - exact.run(&[v])).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst < 1e-3, "worst abs error {worst}");
+    }
+
+    #[test]
+    fn interval_arithmetic_is_conservative() {
+        let e = Expr::Mul(Box::new(Expr::var("v")), Box::new(Expr::var("v")));
+        let ranges = HashMap::from([("v", (-2.0, 3.0))]);
+        let (lo, hi) = e.range(&ranges);
+        // True range of v^2 is [0, 9]; interval arithmetic gives [-6, 9].
+        assert!(lo <= 0.0 && hi >= 9.0);
+    }
+
+    #[test]
+    fn lowered_flops_are_cheaper_than_exp_for_modest_degree() {
+        let e = gate_expr();
+        let exact = Kernel::compile(&e, &["v"]);
+        let lowered = Kernel::lower(e, &["v"], &vranges(), 3);
+        assert!(lowered.flops() < exact.flops(), "{} vs {}", lowered.flops(), exact.flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn missing_variable_panics() {
+        Expr::var("nope").eval(&HashMap::new());
+    }
+}
+
+#[cfg(test)]
+mod transcendental_tests {
+    use super::*;
+
+    #[test]
+    fn tanh_and_log_evaluate_and_compile() {
+        // f(v) = tanh(v / 10) + log(1 + exp(v / 20)) (softplus-ish).
+        let e = Expr::Div(Box::new(Expr::var("v")), Box::new(Expr::c(10.0)))
+            .tanh()
+            .add(
+                Expr::Add(
+                    Box::new(Expr::c(1.0)),
+                    Box::new(Expr::Div(Box::new(Expr::var("v")), Box::new(Expr::c(20.0))).exp()),
+                )
+                .log(),
+            );
+        let k = Kernel::compile(&e, &["v"]);
+        for v in [-30.0, -5.0, 0.0, 12.0, 40.0] {
+            let want = (v / 10.0f64).tanh() + (1.0 + (v / 20.0f64).exp()).ln();
+            assert!((k.run(&[v]) - want).abs() < 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mixed_transcendentals_lower_to_one_rational() {
+        let e = Expr::Div(Box::new(Expr::var("v")), Box::new(Expr::c(10.0)))
+            .tanh()
+            .add(
+                Expr::Add(
+                    Box::new(Expr::c(2.0)),
+                    Box::new(Expr::Div(Box::new(Expr::var("v")), Box::new(Expr::c(20.0))).exp()),
+                )
+                .log(),
+            );
+        let ranges = HashMap::from([("v", (-40.0f64, 40.0f64))]);
+        let exact = Kernel::compile(&e, &["v"]);
+        let lowered = Kernel::lower(e, &["v"], &ranges, 10);
+        assert_eq!(lowered.remaining_exps(), 0);
+        assert_eq!(lowered.num_rationals(), 1, "whole single-variable expr collapses");
+        let mut worst = 0.0f64;
+        for i in 0..400 {
+            let v = -40.0 + 80.0 * i as f64 / 399.0;
+            worst = worst.max((lowered.run(&[v]) - exact.run(&[v])).abs());
+        }
+        assert!(worst < 5e-3, "worst abs err {worst}");
+    }
+
+    #[test]
+    fn tanh_range_is_monotone_interval() {
+        let e = Expr::var("v").tanh();
+        let ranges = HashMap::from([("v", (-2.0f64, 1.0f64))]);
+        let (lo, hi) = e.range(&ranges);
+        assert!((lo - (-2.0f64).tanh()).abs() < 1e-12);
+        assert!((hi - 1.0f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn log_of_possibly_negative_range_panics() {
+        let e = Expr::var("v").log();
+        let ranges = HashMap::from([("v", (-1.0f64, 2.0f64))]);
+        e.range(&ranges);
+    }
+}

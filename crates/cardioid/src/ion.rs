@@ -1,0 +1,247 @@
+//! A reduced TT06-flavoured membrane model.
+//!
+//! Three gates plus the transmembrane potential — structurally the same
+//! exponential-heavy arithmetic as the production reaction kernels (which
+//! evaluate 100-500 math calls per cell per step), small enough to verify.
+
+use std::collections::HashMap;
+
+use crate::dsl::{Expr, Kernel};
+
+/// Per-cell state: potential + 3 gates.
+pub const STATE_DIM: usize = 4;
+
+/// The membrane model with three implementation strategies that must agree:
+/// direct Rust (`step_direct`), DSL tree, and lowered/compiled DSL kernels.
+#[derive(Debug, Clone)]
+pub struct IonModel {
+    /// Compiled (lowered) kernels for each state derivative.
+    kernels: Vec<Kernel>,
+    /// Exact (unlowered) kernels.
+    exact: Vec<Kernel>,
+}
+
+/// Gate helper: steady state `1 / (1 + exp((v - half) / slope))`.
+fn gate_inf(half: f64, slope: f64) -> Expr {
+    Expr::Div(
+        Box::new(Expr::c(1.0)),
+        Box::new(Expr::Add(
+            Box::new(Expr::c(1.0)),
+            Box::new(
+                Expr::Div(
+                    Box::new(Expr::Sub(Box::new(Expr::var("v")), Box::new(Expr::c(half)))),
+                    Box::new(Expr::c(slope)),
+                )
+                .exp(),
+            ),
+        )),
+    )
+}
+
+/// Gate time constant `tau0 + tau1 * exp(-((v - mu)/sig)^2)`-ish, kept
+/// rational-friendly: `tau0 + tau1 * exp((v - mu) / sig)` bounded form.
+fn gate_tau(tau0: f64, tau1: f64, mu: f64, sig: f64) -> Expr {
+    Expr::Add(
+        Box::new(Expr::c(tau0)),
+        Box::new(Expr::Div(
+            Box::new(Expr::c(tau1)),
+            Box::new(Expr::Add(
+                Box::new(Expr::c(1.0)),
+                Box::new(
+                    Expr::Div(
+                        Box::new(Expr::Sub(Box::new(Expr::var("v")), Box::new(Expr::c(mu)))),
+                        Box::new(Expr::c(sig)),
+                    )
+                    .exp(),
+                ),
+            )),
+        )),
+    )
+}
+
+/// dgate/dt = (inf(v) - g) / tau(v)
+fn gate_rhs(inf: Expr, tau: Expr, gvar: &'static str) -> Expr {
+    Expr::Div(
+        Box::new(Expr::Sub(Box::new(inf), Box::new(Expr::var(gvar)))),
+        Box::new(tau),
+    )
+}
+
+/// dv/dt = -(I_fast + I_slow + I_leak) with simple gated currents.
+fn v_rhs() -> Expr {
+    // I_fast = 8 * m * (v - 40); I_slow = 0.5 * h * (v + 85); leak.
+    let i_fast = Expr::Mul(
+        Box::new(Expr::Mul(Box::new(Expr::c(8.0)), Box::new(Expr::var("m")))),
+        Box::new(Expr::Sub(Box::new(Expr::var("v")), Box::new(Expr::c(40.0)))),
+    );
+    let i_slow = Expr::Mul(
+        Box::new(Expr::Mul(Box::new(Expr::c(0.5)), Box::new(Expr::var("h")))),
+        Box::new(Expr::Add(Box::new(Expr::var("v")), Box::new(Expr::c(85.0)))),
+    );
+    let i_leak = Expr::Mul(
+        Box::new(Expr::Mul(Box::new(Expr::c(0.05)), Box::new(Expr::var("n")))),
+        Box::new(Expr::Add(Box::new(Expr::var("v")), Box::new(Expr::c(60.0)))),
+    );
+    Expr::Neg(Box::new(Expr::Add(
+        Box::new(Expr::Add(Box::new(i_fast), Box::new(i_slow))),
+        Box::new(i_leak),
+    )))
+}
+
+/// Variable order used by all kernels.
+pub const VARS: [&str; 4] = ["v", "m", "h", "n"];
+
+fn model_exprs() -> Vec<Expr> {
+    vec![
+        v_rhs(),
+        gate_rhs(gate_inf(-40.0, -6.0), gate_tau(0.1, 1.0, -50.0, 10.0), "m"),
+        gate_rhs(gate_inf(-65.0, 7.0), gate_tau(4.0, 40.0, -60.0, 8.0), "h"),
+        gate_rhs(gate_inf(-30.0, -9.0), gate_tau(10.0, 80.0, -40.0, 12.0), "n"),
+    ]
+}
+
+fn ranges() -> HashMap<&'static str, (f64, f64)> {
+    HashMap::from([
+        ("v", (-95.0, 60.0)),
+        ("m", (0.0, 1.0)),
+        ("h", (0.0, 1.0)),
+        ("n", (0.0, 1.0)),
+    ])
+}
+
+impl IonModel {
+    pub fn new(lowering_degree: usize) -> IonModel {
+        let exprs = model_exprs();
+        let exact = exprs.iter().map(|e| Kernel::compile(e, &VARS)).collect();
+        let r = ranges();
+        let kernels = exprs
+            .into_iter()
+            .map(|e| Kernel::lower(e, &VARS, &r, lowering_degree))
+            .collect();
+        IonModel { kernels, exact }
+    }
+
+    /// Resting state.
+    pub fn rest() -> [f64; STATE_DIM] {
+        [-85.0, 0.0, 0.8, 0.1]
+    }
+
+    /// Derivatives via the lowered (rational-polynomial) kernels.
+    pub fn rhs_lowered(&self, state: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        let mut out = [0.0; STATE_DIM];
+        for (i, k) in self.kernels.iter().enumerate() {
+            out[i] = k.run(state);
+        }
+        out
+    }
+
+    /// Derivatives via the exact kernels (libm `exp`).
+    pub fn rhs_exact(&self, state: &[f64; STATE_DIM]) -> [f64; STATE_DIM] {
+        let mut out = [0.0; STATE_DIM];
+        for (i, k) in self.exact.iter().enumerate() {
+            out[i] = k.run(state);
+        }
+        out
+    }
+
+    /// Forward-Euler integrate one cell for `steps`, with a stimulus
+    /// current in the first `stim_steps`.
+    pub fn integrate(
+        &self,
+        dt: f64,
+        steps: usize,
+        stim: f64,
+        stim_steps: usize,
+        lowered: bool,
+    ) -> [f64; STATE_DIM] {
+        let mut s = Self::rest();
+        for step in 0..steps {
+            let mut d = if lowered { self.rhs_lowered(&s) } else { self.rhs_exact(&s) };
+            if step < stim_steps {
+                d[0] += stim;
+            }
+            for i in 0..STATE_DIM {
+                s[i] += dt * d[i];
+            }
+            // Clamp gates to [0, 1] (physical invariant).
+            for g in s.iter_mut().skip(1) {
+                *g = g.clamp(0.0, 1.0);
+            }
+        }
+        s
+    }
+
+    /// Flop counts (exact, lowered) per cell per RHS evaluation.
+    pub fn flops(&self) -> (f64, f64) {
+        (
+            self.exact.iter().map(|k| k.flops()).sum(),
+            self.kernels.iter().map(|k| k.flops()).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rest_state_is_nearly_stationary() {
+        let m = IonModel::new(8);
+        let d = m.rhs_exact(&IonModel::rest());
+        // Not exactly zero (simplified model) but slow.
+        assert!(d[0].abs() < 5.0, "{:?}", d);
+    }
+
+    #[test]
+    fn lowered_matches_exact_everywhere_reasonable() {
+        let m = IonModel::new(10);
+        let mut worst = 0.0f64;
+        for vi in 0..60 {
+            let v = -90.0 + 145.0 * vi as f64 / 59.0;
+            let s = [v, 0.3, 0.6, 0.2];
+            let a = m.rhs_exact(&s);
+            let b = m.rhs_lowered(&s);
+            for i in 0..STATE_DIM {
+                worst = worst.max((a[i] - b[i]).abs() / (a[i].abs().max(1.0)));
+            }
+        }
+        assert!(worst < 2e-2, "worst rel err {worst}");
+    }
+
+    #[test]
+    fn stimulus_triggers_action_potential() {
+        let m = IonModel::new(8);
+        let dt = 0.02;
+        let depolarised = m.integrate(dt, 400, 40.0, 100, false);
+        assert!(
+            depolarised[0] > -40.0,
+            "no action potential: v = {}",
+            depolarised[0]
+        );
+    }
+
+    #[test]
+    fn lowered_and_exact_trajectories_agree() {
+        let m = IonModel::new(10);
+        let dt = 0.02;
+        let a = m.integrate(dt, 300, 30.0, 80, false);
+        let b = m.integrate(dt, 300, 30.0, 80, true);
+        assert!((a[0] - b[0]).abs() < 1.0, "v diverged: {} vs {}", a[0], b[0]);
+    }
+
+    #[test]
+    fn lowering_reduces_flops() {
+        let m = IonModel::new(3);
+        let (exact, lowered) = m.flops();
+        assert!(lowered < exact, "lowered {lowered} >= exact {exact}");
+    }
+
+    #[test]
+    fn gates_stay_in_unit_interval() {
+        let m = IonModel::new(8);
+        let s = m.integrate(0.02, 500, 40.0, 100, true);
+        for g in &s[1..] {
+            assert!((0.0..=1.0).contains(g));
+        }
+    }
+}

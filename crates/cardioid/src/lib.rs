@@ -1,0 +1,28 @@
+//! `cardioid` — the Cardioid stand-in (§4.1).
+//!
+//! Cardioid solves the monodomain equations: embarrassingly parallel,
+//! compute-bound *reaction* kernels (100-500 math-function calls per cell
+//! per step) plus memory-bound *diffusion* stencils. The iCoE work that
+//! this crate reproduces:
+//!
+//! * a Melodee-like DSL ([`dsl`]) that "automatically finds and replaces
+//!   expensive math functions with rational polynomials, computes the
+//!   coefficients at run-time, and uses [run-time compilation] to produce
+//!   high performance kernels";
+//! * the rational-approximation fitter itself ([`rational`]);
+//! * the membrane model ([`ion`]) — a reduced TT06-flavoured reaction
+//!   kernel with the exponential-heavy structure the DSL targets;
+//! * the placement study ([`monodomain`]): CPU-diffusion + GPU-reaction
+//!   with per-step migrations vs everything-on-GPU — the paper's
+//!   "sometimes computation is better performed where the data is located"
+//!   lesson.
+
+pub mod dsl;
+pub mod ion;
+pub mod monodomain;
+pub mod rational;
+
+pub use dsl::{Expr, Kernel};
+pub use ion::IonModel;
+pub use monodomain::{Monodomain, Placement};
+pub use rational::{RationalApprox, RationalConst};

@@ -1,0 +1,55 @@
+//! `icoe` — the public face of the iCoE workload reproduction.
+//!
+//! The SC '19 paper "Preparation and Optimization of a Diverse Workload
+//! for a Large-Scale Heterogeneous System" documents how LLNL's
+//! institutional Center of Excellence prepared nine application activities
+//! for Sierra-class machines. This workspace rebuilds that workload in
+//! Rust: every application's computational core, the math-library
+//! ecosystem they integrated, and a heterogeneous-machine performance
+//! model ([`hetsim`]) against which every table and figure in the paper's
+//! evaluation is regenerated (see DESIGN.md and EXPERIMENTS.md at the
+//! repository root, and the `experiments` binary in the `bench` crate).
+//!
+//! # Crate map
+//!
+//! | Activity (paper) | Crate |
+//! |---|---|
+//! | Cardioid | [`cardioid`] |
+//! | Cretin | [`kinetics`] |
+//! | ParaDyn | [`paradyn`] |
+//! | Molecular Dynamics (ddcMD) | [`md`] |
+//! | Seismic (SW4 / sw4lite) | [`seismic`] |
+//! | Virtual Beamline | [`beamline`] |
+//! | Tools & Libraries (hypre / MFEM / SUNDIALS / SAMRAI) | [`amg`], [`fem`], [`ode`], [`amr`] |
+//! | Data Science (Spark / LDA / HavoqGT / DL) | [`dataflow`], [`lda`], [`graphx`], [`mlsim`] |
+//! | Optimization Framework | [`topopt`], [`sched`] |
+//! | Substrates | [`hetsim`], [`portal`], [`linalg`] |
+
+pub mod lessons;
+pub mod registry;
+pub mod report;
+
+pub use lessons::{lessons, Evidence, Lesson};
+pub use registry::{activities, Activity, Approach};
+pub use report::Table;
+
+// Facade re-exports so downstream users can depend on `icoe` alone.
+pub use amg;
+pub use amr;
+pub use beamline;
+pub use cardioid;
+pub use dataflow;
+pub use fem;
+pub use graphx;
+pub use hetsim;
+pub use kinetics;
+pub use lda;
+pub use linalg;
+pub use md;
+pub use mlsim;
+pub use ode;
+pub use paradyn;
+pub use portal;
+pub use sched;
+pub use seismic;
+pub use topopt;

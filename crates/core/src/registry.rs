@@ -1,0 +1,153 @@
+//! Table 1: the completed iCoE activities and their programming-model
+//! approaches. Bold entries in the paper (final approaches) are flagged.
+
+/// A programming approach an activity evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Approach {
+    pub name: &'static str,
+    /// Whether this ended up in the shipped code (bold in Table 1).
+    pub final_choice: bool,
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Activity {
+    pub name: &'static str,
+    pub science_area: &'static str,
+    pub base_language: &'static str,
+    pub approaches: Vec<Approach>,
+    /// The crate in this workspace that reproduces it.
+    pub crate_name: &'static str,
+    /// Whether the activity was already running at large scale pre-iCoE
+    /// (italics in Table 1).
+    pub pre_existing_scale: bool,
+}
+
+fn a(name: &'static str, final_choice: bool) -> Approach {
+    Approach { name, final_choice }
+}
+
+/// All nine completed activities of Table 1.
+pub fn activities() -> Vec<Activity> {
+    vec![
+        Activity {
+            name: "Cardioid",
+            science_area: "Heart Modeling",
+            base_language: "C++",
+            approaches: vec![a("DSL", true), a("OpenMP", false), a("CUDA", true)],
+            crate_name: "cardioid",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "Cretin",
+            science_area: "Non-LTE Atomic Kinetics",
+            base_language: "Fortran",
+            approaches: vec![a("OpenACC", true), a("CUDA", true)],
+            crate_name: "kinetics",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "ParaDyn",
+            science_area: "Dislocation Dynamics",
+            base_language: "Fortran",
+            approaches: vec![a("OpenMP", true), a("OpenACC", false)],
+            crate_name: "paradyn",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "Molecular Dynamics (MD)",
+            science_area: "Molecular Dynamics",
+            base_language: "C",
+            approaches: vec![a("CUDA", true)],
+            crate_name: "md",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "Seismic (SW4)",
+            science_area: "Earthquakes",
+            base_language: "Fortran ported to C++",
+            approaches: vec![a("RAJA", true), a("CUDA", true)],
+            crate_name: "seismic",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "Virtual Beamline (VBL)",
+            science_area: "Laser Propagation",
+            base_language: "C++",
+            approaches: vec![a("RAJA", true)],
+            crate_name: "beamline",
+            pre_existing_scale: false,
+        },
+        Activity {
+            name: "Tools and Libraries",
+            science_area: "Math Frameworks",
+            base_language: "C/C++",
+            approaches: vec![
+                a("DSL", false),
+                a("RAJA", true),
+                a("Kokkos", false),
+                a("OCCA", false),
+                a("OpenMP", true),
+                a("CUDA", true),
+            ],
+            crate_name: "amg / fem / ode / amr",
+            pre_existing_scale: true,
+        },
+        Activity {
+            name: "Data Science",
+            science_area: "DL and Data Analytics",
+            base_language: "PyTorch, Spark, C++",
+            approaches: vec![a("Accelerate PyTorch", true), a("Spark", true)],
+            crate_name: "dataflow / lda / graphx / mlsim",
+            pre_existing_scale: false,
+        },
+        Activity {
+            name: "Optimization Framework (Opt)",
+            science_area: "Design Optimization",
+            base_language: "C++",
+            approaches: vec![a("CUDA", true), a("Job scheduler simulator", true)],
+            crate_name: "topopt / sched",
+            pre_existing_scale: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_completed_activities() {
+        assert_eq!(activities().len(), 9);
+    }
+
+    #[test]
+    fn every_activity_has_a_final_approach_and_a_crate() {
+        for act in activities() {
+            assert!(
+                act.approaches.iter().any(|ap| ap.final_choice),
+                "{} has no final approach",
+                act.name
+            );
+            assert!(!act.crate_name.is_empty());
+        }
+    }
+
+    #[test]
+    fn seven_activities_were_already_at_scale() {
+        // Table 1's italics: seven of the nine.
+        let n = activities().iter().filter(|a| a.pre_existing_scale).count();
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn cuda_is_the_most_common_final_choice() {
+        // The paper's lesson: no single model wins, but CUDA shows up
+        // wherever peak performance mattered.
+        let cuda = activities()
+            .iter()
+            .filter(|a| a.approaches.iter().any(|ap| ap.name == "CUDA" && ap.final_choice))
+            .count();
+        assert!(cuda >= 4, "{cuda}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for mixed literal rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}", c, w = width[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} us", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_strs(&["a", "1"]);
+        t.row_strs(&["longer-name", "2.5"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows align on the second column.
+        let col = lines[1].find("value").expect("header present");
+        assert_eq!(lines[3].find('1'), Some(col), "value column misaligned");
+        assert!(lines[4].starts_with("longer-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(2.0), "2.00 s");
+        assert_eq!(fmt_time(0.0025), "2.50 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.50 us");
+    }
+}

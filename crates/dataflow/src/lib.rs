@@ -1,0 +1,22 @@
+//! `dataflow` — the Spark stand-in (§4.4).
+//!
+//! The Data Analytics team found SparkPlug's LDA bottlenecked on "overheads
+//! in the Java Virtual Machine that Spark uses, Spark's implementation of
+//! shuffle (all-to-all communication), and Spark's aggregate (all-to-one
+//! communication)". Their fixes: IBM JDK/OpenJ9 optimisations (GC, lock
+//! contention, serialisation), an adaptive shuffle, and "more scalable
+//! all-to-one operations". Together: > 2x (Fig 2).
+//!
+//! This crate provides a real partitioned-collection engine
+//! ([`engine::Dataset`]) whose operations execute eagerly on the host, and
+//! a [`stack::StackConfig`] describing which software stack the job runs
+//! on. Every operation charges a [`stack::PhaseTimes`] ledger so the Fig 2
+//! breakdown can be regenerated.
+
+pub mod broker;
+pub mod engine;
+pub mod stack;
+
+pub use broker::DataBroker;
+pub use engine::Dataset;
+pub use stack::{PhaseTimes, ShuffleAlgo, StackConfig};

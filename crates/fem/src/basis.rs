@@ -1,0 +1,143 @@
+//! 1-D nodal bases: the `B` (interpolate-to-quadrature) and `G`
+//! (differentiate-to-quadrature) matrices that sum factorisation contracts.
+
+use crate::quad::{gauss_legendre, gauss_lobatto};
+
+/// A 1-D H1 nodal basis of order `p` on Gauss-Lobatto nodes, tabulated at
+/// `nq` Gauss-Legendre quadrature points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis1d {
+    pub p: usize,
+    pub nq: usize,
+    /// Gauss-Lobatto nodes (dof locations), length p+1.
+    pub nodes: Vec<f64>,
+    /// Quadrature points, length nq.
+    pub qpoints: Vec<f64>,
+    /// Quadrature weights, length nq.
+    pub qweights: Vec<f64>,
+    /// `b[q * (p+1) + i]` = l_i(x_q).
+    pub b: Vec<f64>,
+    /// `g[q * (p+1) + i]` = l'_i(x_q).
+    pub g: Vec<f64>,
+}
+
+/// Evaluate Lagrange basis l_i and derivative at `x` for `nodes`.
+fn lagrange(nodes: &[f64], i: usize, x: f64) -> (f64, f64) {
+    let n = nodes.len();
+    let mut val = 1.0f64;
+    for j in 0..n {
+        if j != i {
+            val *= (x - nodes[j]) / (nodes[i] - nodes[j]);
+        }
+    }
+    // l'_i(x) = sum_k 1/(x_i-x_k) prod_{j != i,k} (x-x_j)/(x_i-x_j)
+    let mut dval = 0.0f64;
+    for k in 0..n {
+        if k == i {
+            continue;
+        }
+        let mut term = 1.0 / (nodes[i] - nodes[k]);
+        for j in 0..n {
+            if j != i && j != k {
+                term *= (x - nodes[j]) / (nodes[i] - nodes[j]);
+            }
+        }
+        dval += term;
+    }
+    (val, dval)
+}
+
+impl Basis1d {
+    /// Standard choice: order `p`, `p+1` Gauss points (exact mass for
+    /// affine geometry).
+    pub fn new(p: usize) -> Basis1d {
+        Basis1d::with_quadrature(p, p + 1)
+    }
+
+    pub fn with_quadrature(p: usize, nq: usize) -> Basis1d {
+        assert!(p >= 1);
+        let (nodes, _) = gauss_lobatto(p + 1);
+        let (qpoints, qweights) = gauss_legendre(nq);
+        let nd = p + 1;
+        let mut b = vec![0.0; nq * nd];
+        let mut g = vec![0.0; nq * nd];
+        for (q, &xq) in qpoints.iter().enumerate() {
+            for i in 0..nd {
+                let (v, d) = lagrange(&nodes, i, xq);
+                b[q * nd + i] = v;
+                g[q * nd + i] = d;
+            }
+        }
+        Basis1d { p, nq, nodes, qpoints, qweights, b, g }
+    }
+
+    pub fn ndof(&self) -> usize {
+        self.p + 1
+    }
+
+    /// Interpolate nodal values `u` to quadrature values.
+    pub fn interp(&self, u: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(u.len(), self.ndof());
+        debug_assert_eq!(out.len(), self.nq);
+        let nd = self.ndof();
+        for q in 0..self.nq {
+            let row = &self.b[q * nd..(q + 1) * nd];
+            out[q] = row.iter().zip(u).map(|(a, b)| a * b).sum();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_unity() {
+        let b = Basis1d::new(4);
+        for q in 0..b.nq {
+            let s: f64 = (0..b.ndof()).map(|i| b.b[q * b.ndof() + i]).sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            let ds: f64 = (0..b.ndof()).map(|i| b.g[q * b.ndof() + i]).sum();
+            assert!(ds.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn interpolates_polynomials_exactly() {
+        // Order-p basis reproduces degree-p polynomials at quad points.
+        let p = 3;
+        let b = Basis1d::new(p);
+        let f = |x: f64| 1.0 + 2.0 * x - x * x + 0.5 * x * x * x;
+        let u: Vec<f64> = b.nodes.iter().map(|&x| f(x)).collect();
+        let mut at_q = vec![0.0; b.nq];
+        b.interp(&u, &mut at_q);
+        for (q, &xq) in b.qpoints.iter().enumerate() {
+            assert!((at_q[q] - f(xq)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_differentiates_exactly() {
+        let p = 4;
+        let b = Basis1d::new(p);
+        let f = |x: f64| x * x * x;
+        let df = |x: f64| 3.0 * x * x;
+        let u: Vec<f64> = b.nodes.iter().map(|&x| f(x)).collect();
+        for (q, &xq) in b.qpoints.iter().enumerate() {
+            let d: f64 = (0..b.ndof()).map(|i| b.g[q * b.ndof() + i] * u[i]).sum();
+            assert!((d - df(xq)).abs() < 1e-11, "{d} vs {}", df(xq));
+        }
+    }
+
+    #[test]
+    fn kronecker_property_at_nodes() {
+        let b = Basis1d::new(5);
+        for i in 0..b.ndof() {
+            for (j, &xj) in b.nodes.iter().enumerate() {
+                let (v, _) = lagrange(&b.nodes, i, xj);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-11);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Kernel-cost profiles for the partial-assembly operators.
+//!
+//! Two findings from §4.10.3 are encoded here:
+//!
+//! * the matrix-free rewrite trades memory traffic for flops — the PA apply
+//!   reads `O(p^2)` data per element and does `O(p^3)` flops, while the
+//!   assembled SpMV reads `O(p^4)` matrix entries;
+//! * "to achieve the highest performance ... the loop bounds must be known
+//!   at compile time", hence the JIT/Acrotensor/OCCA work. The
+//!   [`PaVariant::JitSpecialised`] profile reaches full compute efficiency;
+//!   the dynamic-bounds variant pays register pressure and unvectorised
+//!   inner loops.
+
+use hetsim::{KernelProfile, LaunchClass};
+
+use crate::mesh::Mesh2d;
+
+/// How the PA kernel was compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaVariant {
+    /// Loop bounds are run-time values.
+    DynamicBounds,
+    /// Loop bounds baked in at (JIT-)compile time (§4.10.3).
+    JitSpecialised {
+        /// Whether this launch pays the one-time JIT compile.
+        first_launch: bool,
+    },
+}
+
+/// Flop count of one sum-factorised diffusion apply on `mesh`.
+pub fn pa_diffusion_flops(mesh: &Mesh2d) -> f64 {
+    let nd = (mesh.p + 1) as f64;
+    let nq = nd; // p+1 quadrature points
+    // Stage 1: 2 contractions nq*nd*nd * 2 flops; stage 2: 2 * nq*nq*nd * 2;
+    // qdata scale 4; stages 3-4 mirror 1-2.
+    let per_elem = 2.0 * (2.0 * nq * nd * nd * 2.0) + 2.0 * (2.0 * nq * nq * nd * 2.0)
+        + 4.0 * nq * nq;
+    per_elem * mesh.nelem() as f64
+}
+
+/// Bytes moved by one PA apply (input/output vectors + qdata).
+pub fn pa_diffusion_bytes(mesh: &Mesh2d) -> (f64, f64) {
+    let nd = (mesh.p + 1) as f64;
+    let nq = nd;
+    let per_elem_read = 8.0 * (nd * nd + 2.0 * nq * nq); // local dofs + qdata
+    let per_elem_write = 8.0 * nd * nd;
+    (per_elem_read * mesh.nelem() as f64, per_elem_write * mesh.nelem() as f64)
+}
+
+/// Bytes moved by the assembled-CSR SpMV for the same operator.
+pub fn assembled_spmv_bytes(mesh: &Mesh2d) -> f64 {
+    // Stencil couples (2p+1)^2 dofs per row.
+    let row_nnz = (2 * mesh.p + 1).pow(2) as f64;
+    let n = mesh.ndof() as f64;
+    n * row_nnz * 12.0 + 16.0 * n
+}
+
+/// Kernel profile for one PA diffusion apply.
+pub fn pa_apply_profile(mesh: &Mesh2d, variant: PaVariant) -> KernelProfile {
+    let (br, bw) = pa_diffusion_bytes(mesh);
+    let mut k = KernelProfile::new(format!("fem-pa-apply-p{}", mesh.p))
+        .flops(pa_diffusion_flops(mesh))
+        .bytes_read(br)
+        .bytes_written(bw)
+        .parallelism(mesh.nelem() as f64 * (mesh.p + 1).pow(2) as f64);
+    match variant {
+        PaVariant::DynamicBounds => {
+            // Run-time trip counts: no unrolling, registers spill.
+            k = k.compute_eff(0.45);
+        }
+        PaVariant::JitSpecialised { first_launch } => {
+            k = k.launch_class(LaunchClass::Jit { compile_us: 80_000.0, first: first_launch });
+        }
+    }
+    k
+}
+
+/// Kernel profile for the legacy assembled SpMV.
+pub fn assembled_spmv_profile(mesh: &Mesh2d) -> KernelProfile {
+    let n = mesh.ndof() as f64;
+    let row_nnz = (2 * mesh.p + 1).pow(2) as f64;
+    KernelProfile::new(format!("fem-spmv-p{}", mesh.p))
+        .flops(2.0 * n * row_nnz)
+        .bytes_read(assembled_spmv_bytes(mesh))
+        .bytes_written(8.0 * n)
+        .parallelism(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+
+    #[test]
+    fn pa_moves_less_memory_than_assembled_at_high_order() {
+        let mesh = Mesh2d::unit(32, 32, 8);
+        let (br, bw) = pa_diffusion_bytes(&mesh);
+        assert!(br + bw < 0.5 * assembled_spmv_bytes(&mesh));
+    }
+
+    #[test]
+    fn pa_wins_on_gpu_at_high_order() {
+        // The reason MFEM rewrote its algorithms: on bandwidth-rich devices
+        // the matrix-free form beats the assembled SpMV at high p.
+        let gpu = &machines::sierra_node().node.gpus[0];
+        let mesh = Mesh2d::unit(64, 64, 8);
+        let t_pa = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
+            .time_on_gpu(gpu);
+        let t_mat = assembled_spmv_profile(&mesh).time_on_gpu(gpu);
+        assert!(t_mat / t_pa > 2.0, "{}", t_mat / t_pa);
+    }
+
+    #[test]
+    fn jit_beats_dynamic_bounds_after_first_launch() {
+        let gpu = &machines::sierra_node().node.gpus[0];
+        let mesh = Mesh2d::unit(64, 64, 4);
+        let dynamic = pa_apply_profile(&mesh, PaVariant::DynamicBounds).time_on_gpu(gpu);
+        let jit = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
+            .time_on_gpu(gpu);
+        assert!(dynamic > jit, "dynamic {dynamic} jit {jit}");
+    }
+
+    #[test]
+    fn first_jit_launch_pays_compile() {
+        let gpu = &machines::sierra_node().node.gpus[0];
+        let mesh = Mesh2d::unit(8, 8, 2);
+        let first = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: true })
+            .time_on_gpu(gpu);
+        let later = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
+            .time_on_gpu(gpu);
+        assert!(first > later + 0.05);
+    }
+}

@@ -1,0 +1,422 @@
+//! 3-D tensor-product elements — the setting the paper's Fig 8 / Table 4
+//! runs actually use. Same architecture as the 2-D path: Cartesian hex
+//! mesh, Gauss-Lobatto nodal basis, sum-factorised partial assembly.
+
+use crate::basis::Basis1d;
+
+/// Cartesian mesh of `nex x ney x nez` hex elements of order `p` on
+/// `[0,1]^3`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh3d {
+    pub nex: usize,
+    pub ney: usize,
+    pub nez: usize,
+    pub p: usize,
+}
+
+impl Mesh3d {
+    pub fn unit(nex: usize, ney: usize, nez: usize, p: usize) -> Mesh3d {
+        assert!(nex >= 1 && ney >= 1 && nez >= 1 && p >= 1);
+        Mesh3d { nex, ney, nez, p }
+    }
+
+    pub fn nelem(&self) -> usize {
+        self.nex * self.ney * self.nez
+    }
+
+    pub fn dof_dims(&self) -> (usize, usize, usize) {
+        (self.nex * self.p + 1, self.ney * self.p + 1, self.nez * self.p + 1)
+    }
+
+    pub fn ndof(&self) -> usize {
+        let (a, b, c) = self.dof_dims();
+        a * b * c
+    }
+
+    pub fn h(&self) -> (f64, f64, f64) {
+        (1.0 / self.nex as f64, 1.0 / self.ney as f64, 1.0 / self.nez as f64)
+    }
+
+    /// Global dof index of local node (i, j, k) of element (ex, ey, ez).
+    #[inline]
+    pub fn dof(&self, e: (usize, usize, usize), l: (usize, usize, usize)) -> usize {
+        let (_, ny, nz) = self.dof_dims();
+        let gi = e.0 * self.p + l.0;
+        let gj = e.1 * self.p + l.1;
+        let gk = e.2 * self.p + l.2;
+        (gi * ny + gj) * nz + gk
+    }
+
+    /// Physical coordinates of a global dof (gi, gj, gk).
+    pub fn dof_coords(&self, basis: &Basis1d, g: (usize, usize, usize)) -> (f64, f64, f64) {
+        let map = |gidx: usize, ne: usize| {
+            let e = (gidx / self.p).min(ne - 1);
+            let l = gidx - e * self.p;
+            let h = 1.0 / ne as f64;
+            e as f64 * h + (basis.nodes[l] + 1.0) * 0.5 * h
+        };
+        (map(g.0, self.nex), map(g.1, self.ney), map(g.2, self.nez))
+    }
+
+    pub fn on_boundary(&self, g: (usize, usize, usize)) -> bool {
+        let (nx, ny, nz) = self.dof_dims();
+        g.0 == 0 || g.1 == 0 || g.2 == 0 || g.0 == nx - 1 || g.1 == ny - 1 || g.2 == nz - 1
+    }
+
+    pub fn boundary_dofs(&self) -> Vec<usize> {
+        let (nx, ny, nz) = self.dof_dims();
+        let mut out = Vec::new();
+        for gi in 0..nx {
+            for gj in 0..ny {
+                for gk in 0..nz {
+                    if self.on_boundary((gi, gj, gk)) {
+                        out.push((gi * ny + gj) * nz + gk);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate `f(x, y, z)` at every dof.
+    pub fn project(&self, basis: &Basis1d, f: impl Fn(f64, f64, f64) -> f64) -> Vec<f64> {
+        let (nx, ny, nz) = self.dof_dims();
+        let mut u = vec![0.0; nx * ny * nz];
+        for gi in 0..nx {
+            for gj in 0..ny {
+                for gk in 0..nz {
+                    let (x, y, z) = self.dof_coords(basis, (gi, gj, gk));
+                    u[(gi * ny + gj) * nz + gk] = f(x, y, z);
+                }
+            }
+        }
+        u
+    }
+}
+
+/// Matrix-free 3-D diffusion operator with constant coefficient.
+#[derive(Debug, Clone)]
+pub struct DiffusionPA3d {
+    pub mesh: Mesh3d,
+    pub basis: Basis1d,
+    /// Per-quad-point geometric factors (d0, d1, d2) — identical per
+    /// element for the Cartesian constant-coefficient case.
+    qd: Vec<(f64, f64, f64)>,
+    bdr: Vec<usize>,
+}
+
+impl DiffusionPA3d {
+    pub fn new(mesh: Mesh3d, kappa: f64) -> DiffusionPA3d {
+        let basis = Basis1d::new(mesh.p);
+        let nq = basis.nq;
+        let (hx, hy, hz) = mesh.h();
+        let detj = hx * hy * hz / 8.0;
+        let (gx, gy, gz) = (2.0 / hx, 2.0 / hy, 2.0 / hz);
+        let mut qd = Vec::with_capacity(nq * nq * nq);
+        for qx in 0..nq {
+            for qy in 0..nq {
+                for qz in 0..nq {
+                    let w = basis.qweights[qx] * basis.qweights[qy] * basis.qweights[qz];
+                    qd.push((
+                        kappa * w * detj * gx * gx,
+                        kappa * w * detj * gy * gy,
+                        kappa * w * detj * gz * gz,
+                    ));
+                }
+            }
+        }
+        let bdr = mesh.boundary_dofs();
+        DiffusionPA3d { mesh, basis, qd, bdr }
+    }
+
+    pub fn ndof(&self) -> usize {
+        self.mesh.ndof()
+    }
+
+    pub fn boundary(&self) -> &[usize] {
+        &self.bdr
+    }
+
+    /// `y = A x` via 3-D sum factorisation; boundary dofs act as identity.
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let nd = self.basis.ndof();
+        let nq = self.basis.nq;
+        assert_eq!(nd, nq, "this kernel assumes nq == p + 1");
+        let b = &self.basis.b;
+        let g = &self.basis.g;
+        y.fill(0.0);
+        let mut xm = x.to_vec();
+        for &d in &self.bdr {
+            xm[d] = 0.0;
+        }
+        let n3 = nd * nd * nd;
+        let idx3 = |a: usize, bq: usize, c: usize| (a * nd + bq) * nd + c;
+        let mut local = vec![0.0; n3];
+        let mut out = vec![0.0; n3];
+        // Stage tensors (reused per element).
+        let mut a0 = vec![0.0; n3];
+        let mut a1 = vec![0.0; n3];
+        let mut b00 = vec![0.0; n3];
+        let mut b10 = vec![0.0; n3];
+        let mut b11 = vec![0.0; n3];
+        let mut ux = vec![0.0; n3];
+        let mut uy = vec![0.0; n3];
+        let mut uz = vec![0.0; n3];
+        for ex in 0..self.mesh.nex {
+            for ey in 0..self.mesh.ney {
+                for ez in 0..self.mesh.nez {
+                    let e = (ex, ey, ez);
+                    for i in 0..nd {
+                        for j in 0..nd {
+                            for k in 0..nd {
+                                local[idx3(i, j, k)] = xm[self.mesh.dof(e, (i, j, k))];
+                            }
+                        }
+                    }
+                    // Stage 1: contract i -> qx.
+                    for qx in 0..nq {
+                        for j in 0..nd {
+                            for k in 0..nd {
+                                let (mut sg, mut sb) = (0.0, 0.0);
+                                for i in 0..nd {
+                                    let u = local[idx3(i, j, k)];
+                                    sg += g[qx * nd + i] * u;
+                                    sb += b[qx * nd + i] * u;
+                                }
+                                a0[idx3(qx, j, k)] = sg;
+                                a1[idx3(qx, j, k)] = sb;
+                            }
+                        }
+                    }
+                    // Stage 2: contract j -> qy.
+                    for qx in 0..nq {
+                        for qy in 0..nq {
+                            for k in 0..nd {
+                                let (mut s00, mut s10, mut s11) = (0.0, 0.0, 0.0);
+                                for j in 0..nd {
+                                    s00 += b[qy * nd + j] * a0[idx3(qx, j, k)];
+                                    s10 += g[qy * nd + j] * a1[idx3(qx, j, k)];
+                                    s11 += b[qy * nd + j] * a1[idx3(qx, j, k)];
+                                }
+                                b00[idx3(qx, qy, k)] = s00;
+                                b10[idx3(qx, qy, k)] = s10;
+                                b11[idx3(qx, qy, k)] = s11;
+                            }
+                        }
+                    }
+                    // Stage 3: contract k -> qz; scale by qdata.
+                    for qx in 0..nq {
+                        for qy in 0..nq {
+                            for qz in 0..nq {
+                                let (mut gxv, mut gyv, mut gzv) = (0.0, 0.0, 0.0);
+                                for k in 0..nd {
+                                    gxv += b[qz * nd + k] * b00[idx3(qx, qy, k)];
+                                    gyv += b[qz * nd + k] * b10[idx3(qx, qy, k)];
+                                    gzv += g[qz * nd + k] * b11[idx3(qx, qy, k)];
+                                }
+                                let (d0, d1, d2) = self.qd[idx3(qx, qy, qz)];
+                                ux[idx3(qx, qy, qz)] = d0 * gxv;
+                                uy[idx3(qx, qy, qz)] = d1 * gyv;
+                                uz[idx3(qx, qy, qz)] = d2 * gzv;
+                            }
+                        }
+                    }
+                    // Transpose stage 3: qz -> k.
+                    for qx in 0..nq {
+                        for qy in 0..nq {
+                            for k in 0..nd {
+                                let (mut s00, mut s10, mut s11) = (0.0, 0.0, 0.0);
+                                for qz in 0..nq {
+                                    s00 += b[qz * nd + k] * ux[idx3(qx, qy, qz)];
+                                    s10 += b[qz * nd + k] * uy[idx3(qx, qy, qz)];
+                                    s11 += g[qz * nd + k] * uz[idx3(qx, qy, qz)];
+                                }
+                                b00[idx3(qx, qy, k)] = s00;
+                                b10[idx3(qx, qy, k)] = s10;
+                                b11[idx3(qx, qy, k)] = s11;
+                            }
+                        }
+                    }
+                    // Transpose stage 2: qy -> j.
+                    for qx in 0..nq {
+                        for j in 0..nd {
+                            for k in 0..nd {
+                                let (mut sg, mut sb) = (0.0, 0.0);
+                                for qy in 0..nq {
+                                    sg += b[qy * nd + j] * b00[idx3(qx, qy, k)];
+                                    sb += g[qy * nd + j] * b10[idx3(qx, qy, k)]
+                                        + b[qy * nd + j] * b11[idx3(qx, qy, k)];
+                                }
+                                a0[idx3(qx, j, k)] = sg;
+                                a1[idx3(qx, j, k)] = sb;
+                            }
+                        }
+                    }
+                    // Transpose stage 1: qx -> i, accumulate.
+                    for i in 0..nd {
+                        for j in 0..nd {
+                            for k in 0..nd {
+                                let mut s = 0.0;
+                                for qx in 0..nq {
+                                    s += g[qx * nd + i] * a0[idx3(qx, j, k)]
+                                        + b[qx * nd + i] * a1[idx3(qx, j, k)];
+                                }
+                                out[idx3(i, j, k)] = s;
+                            }
+                        }
+                    }
+                    for i in 0..nd {
+                        for j in 0..nd {
+                            for k in 0..nd {
+                                y[self.mesh.dof(e, (i, j, k))] += out[idx3(i, j, k)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &d in &self.bdr {
+            y[d] = x[d];
+        }
+    }
+}
+
+/// Flops of one 3-D PA apply (for device cost profiles): 6 contraction
+/// stages of `O(nd^4)` per element plus the qdata scaling.
+pub fn pa3d_flops(mesh: &Mesh3d) -> f64 {
+    let nd = (mesh.p + 1) as f64;
+    let per_elem = 6.0 * 2.5 * nd.powi(4) * 2.0 + 6.0 * nd.powi(3);
+    per_elem * mesh.nelem() as f64
+}
+
+/// Bytes moved by one 3-D PA apply.
+pub fn pa3d_bytes(mesh: &Mesh3d) -> (f64, f64) {
+    let nd = (mesh.p + 1) as f64;
+    let per_elem_read = 8.0 * (nd.powi(3) + 3.0 * nd.powi(3)); // dofs + qdata
+    let per_elem_write = 8.0 * nd.powi(3);
+    (per_elem_read * mesh.nelem() as f64, per_elem_write * mesh.nelem() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense assembly by applying PA to unit vectors (tiny meshes only).
+    fn assemble_dense(pa: &DiffusionPA3d) -> Vec<Vec<f64>> {
+        let n = pa.ndof();
+        let mut cols = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let mut y = vec![0.0; n];
+            pa.apply(&e, &mut y);
+            cols.push(y);
+        }
+        cols
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        let pa = DiffusionPA3d::new(Mesh3d::unit(2, 2, 2, 2), 1.0);
+        let a = assemble_dense(&pa);
+        let n = pa.ndof();
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (a[j][i] - a[i][j]).abs() < 1e-10,
+                    "asymmetry at ({i},{j}): {} vs {}",
+                    a[j][i],
+                    a[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn annihilates_linears_in_the_interior() {
+        let mesh = Mesh3d::unit(2, 2, 2, 3);
+        let pa = DiffusionPA3d::new(mesh.clone(), 1.0);
+        let basis = Basis1d::new(mesh.p);
+        let u = mesh.project(&basis, |x, y, z| 1.0 + 2.0 * x - y + 0.5 * z);
+        let mut out = vec![0.0; mesh.ndof()];
+        // Unconstrained action: mask nothing, check interior rows only.
+        let mut pa_free = pa.clone();
+        pa_free.bdr.clear();
+        pa_free.apply(&u, &mut out);
+        let (nx, ny, nz) = mesh.dof_dims();
+        for gi in 1..nx - 1 {
+            for gj in 1..ny - 1 {
+                for gk in 1..nz - 1 {
+                    let v = out[(gi * ny + gj) * nz + gk];
+                    assert!(v.abs() < 1e-9, "interior residual {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solves_manufactured_poisson_3d() {
+        use std::f64::consts::PI;
+        let mesh = Mesh3d::unit(3, 3, 3, 3);
+        let n = mesh.ndof();
+        let pa = DiffusionPA3d::new(mesh.clone(), 1.0);
+        let basis = Basis1d::new(mesh.p);
+        let uex = mesh.project(&basis, |x, y, z| {
+            (PI * x).sin() * (PI * y).sin() * (PI * z).sin()
+        });
+        // -lap u = 3 pi^2 u; build the load with the PA operator itself
+        // applied to the exact solution (consistency test: CG must recover
+        // uex from A uex).
+        let mut bvec = vec![0.0; n];
+        pa.apply(&uex, &mut bvec);
+        let mut x = vec![0.0; n];
+        let mut r = bvec.clone();
+        let mut p = r.clone();
+        let mut ap = vec![0.0; n];
+        let mut rr = linalg::dot(&r, &r);
+        for _ in 0..3000 {
+            pa.apply(&p, &mut ap);
+            let alpha = rr / linalg::dot(&p, &ap).max(1e-300);
+            linalg::axpy(alpha, &p, &mut x);
+            linalg::axpy(-alpha, &ap, &mut r);
+            let rr_new = linalg::dot(&r, &r);
+            if rr_new.sqrt() < 1e-12 {
+                break;
+            }
+            let beta = rr_new / rr;
+            rr = rr_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        let err = x.iter().zip(&uex).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-7, "{err}");
+    }
+
+    #[test]
+    fn dof_sharing_across_elements() {
+        let mesh = Mesh3d::unit(2, 1, 1, 2);
+        // Right face of element (0,0,0) == left face of (1,0,0).
+        for j in 0..=2 {
+            for k in 0..=2 {
+                assert_eq!(
+                    mesh.dof((0, 0, 0), (2, j, k)),
+                    mesh.dof((1, 0, 0), (0, j, k))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flop_count_grows_with_order_per_dof() {
+        // The 3-D sum-factorisation signature: per-dof work ~ (p+1)^4/p^3,
+        // asymptotically O(p). The low-order constants flatten the curve,
+        // so check the asymptotic regime.
+        let per_dof = |p: usize| {
+            let m = Mesh3d::unit(4, 4, 4, p);
+            pa3d_flops(&m) / m.ndof() as f64
+        };
+        assert!(per_dof(8) > per_dof(4), "{} vs {}", per_dof(8), per_dof(4));
+        assert!(per_dof(16) > 1.4 * per_dof(4), "{} vs {}", per_dof(16), per_dof(4));
+    }
+}

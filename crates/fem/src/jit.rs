@@ -1,0 +1,182 @@
+//! Compile-time-specialised partial-assembly kernels.
+//!
+//! §4.10.3: "In order to achieve the highest performance with these
+//! matrix-free algorithms, the loop bounds must be known at compile time.
+//! Thus, just-in-time compilation was identified as an area where software
+//! tools and compilers must improve." (Acrotensor via NVRTC; OCCA via
+//! NVCC.)
+//!
+//! Rust's monomorphisation is our NVRTC: [`apply_diffusion_const`] is
+//! generic over `ND = p + 1`, so every instantiation has fixed trip counts
+//! and stack-resident tiles — the same transformation the JIT performs.
+//! [`apply_diffusion_dispatch`] plays the runtime's role of selecting (or
+//! "compiling") the specialised kernel, falling back to the dynamic-bound
+//! implementation for unusual orders.
+
+use crate::op::DiffusionPA;
+
+/// Sum-factorised diffusion apply with compile-time `ND = p + 1` (and
+/// `nq = ND`). Semantically identical to [`DiffusionPA::apply`].
+pub fn apply_diffusion_const<const ND: usize>(pa: &DiffusionPA, x: &[f64], y: &mut [f64]) {
+    assert_eq!(pa.basis.ndof(), ND, "kernel specialised for the wrong order");
+    assert_eq!(pa.basis.nq, ND, "kernel expects nq == p + 1");
+    let mesh = &pa.mesh;
+    y.fill(0.0);
+    let mut xm = x.to_vec();
+    for &b in pa.boundary() {
+        xm[b] = 0.0;
+    }
+
+    // Tabulated 1-D operators as fixed-size arrays (register/stack tiles).
+    let mut b = [[0.0f64; ND]; ND];
+    let mut g = [[0.0f64; ND]; ND];
+    for q in 0..ND {
+        for i in 0..ND {
+            b[q][i] = pa.basis.b[q * ND + i];
+            g[q][i] = pa.basis.g[q * ND + i];
+        }
+    }
+
+    let qd = pa.qdata();
+    let mut local = [[0.0f64; ND]; ND];
+    let mut out = [[0.0f64; ND]; ND];
+    let mut t_b = [[0.0f64; ND]; ND];
+    let mut t_g = [[0.0f64; ND]; ND];
+    let mut vx = [[0.0f64; ND]; ND];
+    let mut vy = [[0.0f64; ND]; ND];
+    for ex in 0..mesh.nex {
+        for ey in 0..mesh.ney {
+            let e = ex * mesh.ney + ey;
+            for i in 0..ND {
+                for j in 0..ND {
+                    local[i][j] = xm[mesh.dof(ex, ey, i, j)];
+                }
+            }
+            for qx in 0..ND {
+                for j in 0..ND {
+                    let (mut sb, mut sg) = (0.0, 0.0);
+                    for i in 0..ND {
+                        sb += b[qx][i] * local[i][j];
+                        sg += g[qx][i] * local[i][j];
+                    }
+                    t_b[qx][j] = sb;
+                    t_g[qx][j] = sg;
+                }
+            }
+            for qx in 0..ND {
+                for qy in 0..ND {
+                    let (mut ux, mut uy) = (0.0, 0.0);
+                    for j in 0..ND {
+                        ux += b[qy][j] * t_g[qx][j];
+                        uy += g[qy][j] * t_b[qx][j];
+                    }
+                    let (d0, d1) = qd[e * ND * ND + qx * ND + qy];
+                    vx[qx][qy] = d0 * ux;
+                    vy[qx][qy] = d1 * uy;
+                }
+            }
+            for qx in 0..ND {
+                for j in 0..ND {
+                    let (mut sx, mut sy) = (0.0, 0.0);
+                    for qy in 0..ND {
+                        sx += b[qy][j] * vx[qx][qy];
+                        sy += g[qy][j] * vy[qx][qy];
+                    }
+                    t_g[qx][j] = sx;
+                    t_b[qx][j] = sy;
+                }
+            }
+            for i in 0..ND {
+                for j in 0..ND {
+                    let mut s = 0.0;
+                    for qx in 0..ND {
+                        s += g[qx][i] * t_g[qx][j] + b[qx][i] * t_b[qx][j];
+                    }
+                    out[i][j] = s;
+                }
+            }
+            for i in 0..ND {
+                for j in 0..ND {
+                    y[mesh.dof(ex, ey, i, j)] += out[i][j];
+                }
+            }
+        }
+    }
+    for &bd in pa.boundary() {
+        y[bd] = x[bd];
+    }
+}
+
+/// The "runtime compiler": dispatch to the monomorphised kernel for the
+/// operator's order, or fall back to the dynamic implementation. Returns
+/// whether a specialised kernel was used.
+pub fn apply_diffusion_dispatch(pa: &DiffusionPA, x: &[f64], y: &mut [f64]) -> bool {
+    match pa.basis.ndof() {
+        2 => apply_diffusion_const::<2>(pa, x, y),
+        3 => apply_diffusion_const::<3>(pa, x, y),
+        4 => apply_diffusion_const::<4>(pa, x, y),
+        5 => apply_diffusion_const::<5>(pa, x, y),
+        6 => apply_diffusion_const::<6>(pa, x, y),
+        7 => apply_diffusion_const::<7>(pa, x, y),
+        9 => apply_diffusion_const::<9>(pa, x, y),
+        _ => {
+            pa.apply(x, y);
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mesh2d;
+
+    fn random_vec(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 250.0 - 2.0).collect()
+    }
+
+    #[test]
+    fn const_kernel_matches_dynamic_for_all_orders() {
+        for p in 1..=6 {
+            let mesh = Mesh2d::unit(3, 4, p);
+            let pa = DiffusionPA::new(mesh.clone(), |x, y| 1.0 + x + 0.5 * y);
+            let x = random_vec(mesh.ndof());
+            let mut y_dyn = vec![0.0; mesh.ndof()];
+            let mut y_jit = vec![0.0; mesh.ndof()];
+            pa.apply(&x, &mut y_dyn);
+            let specialised = apply_diffusion_dispatch(&pa, &x, &mut y_jit);
+            assert!(specialised, "p={p} should have a specialised kernel");
+            for i in 0..mesh.ndof() {
+                assert!(
+                    (y_dyn[i] - y_jit[i]).abs() < 1e-11,
+                    "p={p}, dof {i}: {} vs {}",
+                    y_dyn[i],
+                    y_jit[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_falls_back_for_unsupported_order() {
+        let mesh = Mesh2d::unit(2, 2, 7); // ndof = 8, not in the table
+        let pa = DiffusionPA::new(mesh.clone(), |_, _| 1.0);
+        let x = random_vec(mesh.ndof());
+        let mut y = vec![0.0; mesh.ndof()];
+        assert!(!apply_diffusion_dispatch(&pa, &x, &mut y));
+        let mut y_ref = vec![0.0; mesh.ndof()];
+        pa.apply(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong order")]
+    fn wrong_specialisation_panics() {
+        let mesh = Mesh2d::unit(2, 2, 3);
+        let pa = DiffusionPA::new(mesh, |_, _| 1.0);
+        let x = vec![0.0; pa.ndof()];
+        let mut y = vec![0.0; pa.ndof()];
+        apply_diffusion_const::<2>(&pa, &x, &mut y);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cartesian 2-D meshes of order-`p` tensor-product elements.
+
+/// A Cartesian mesh of `nex` x `ney` quadrilateral elements of order `p` on
+/// `[0, lx] x [0, ly]`. Degrees of freedom sit on the tensor grid of
+/// Gauss-Lobatto points, shared across element boundaries (H1 continuity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh2d {
+    pub nex: usize,
+    pub ney: usize,
+    pub p: usize,
+    pub lx: f64,
+    pub ly: f64,
+    /// 1-D Gauss-Lobatto reference nodes (length p+1).
+    pub ref_nodes: Vec<f64>,
+}
+
+impl Mesh2d {
+    pub fn new(nex: usize, ney: usize, p: usize, lx: f64, ly: f64) -> Mesh2d {
+        assert!(nex >= 1 && ney >= 1 && p >= 1);
+        let (ref_nodes, _) = crate::quad::gauss_lobatto(p + 1);
+        Mesh2d { nex, ney, p, lx, ly, ref_nodes }
+    }
+
+    /// Unit square convenience constructor.
+    pub fn unit(nex: usize, ney: usize, p: usize) -> Mesh2d {
+        Mesh2d::new(nex, ney, p, 1.0, 1.0)
+    }
+
+    pub fn nelem(&self) -> usize {
+        self.nex * self.ney
+    }
+
+    /// Global dof grid dimensions.
+    pub fn dof_dims(&self) -> (usize, usize) {
+        (self.nex * self.p + 1, self.ney * self.p + 1)
+    }
+
+    pub fn ndof(&self) -> usize {
+        let (nx, ny) = self.dof_dims();
+        nx * ny
+    }
+
+    /// Element sizes.
+    pub fn h(&self) -> (f64, f64) {
+        (self.lx / self.nex as f64, self.ly / self.ney as f64)
+    }
+
+    /// Global dof index for local node (i, j) of element (ex, ey).
+    #[inline]
+    pub fn dof(&self, ex: usize, ey: usize, i: usize, j: usize) -> usize {
+        let (_, ny) = self.dof_dims();
+        let gi = ex * self.p + i;
+        let gj = ey * self.p + j;
+        gi * ny + gj
+    }
+
+    /// Physical coordinates of global dof `(gi, gj)`.
+    pub fn dof_coords(&self, gi: usize, gj: usize) -> (f64, f64) {
+        let (hx, hy) = self.h();
+        let map = |g: usize, h: f64, ne: usize| {
+            let e = (g / self.p).min(ne - 1);
+            let l = g - e * self.p;
+            e as f64 * h + (self.ref_nodes[l] + 1.0) * 0.5 * h
+        };
+        (map(gi, hx, self.nex), map(gj, hy, self.ney))
+    }
+
+    /// Whether global dof `(gi, gj)` lies on the boundary.
+    pub fn on_boundary(&self, gi: usize, gj: usize) -> bool {
+        let (nx, ny) = self.dof_dims();
+        gi == 0 || gj == 0 || gi == nx - 1 || gj == ny - 1
+    }
+
+    /// Indices of all boundary dofs.
+    pub fn boundary_dofs(&self) -> Vec<usize> {
+        let (nx, ny) = self.dof_dims();
+        let mut out = Vec::new();
+        for gi in 0..nx {
+            for gj in 0..ny {
+                if self.on_boundary(gi, gj) {
+                    out.push(gi * ny + gj);
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate `f(x, y)` at every dof.
+    pub fn project(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let (nx, ny) = self.dof_dims();
+        let mut u = vec![0.0; nx * ny];
+        for gi in 0..nx {
+            for gj in 0..ny {
+                let (x, y) = self.dof_coords(gi, gj);
+                u[gi * ny + gj] = f(x, y);
+            }
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dof_counts() {
+        let m = Mesh2d::unit(4, 3, 2);
+        assert_eq!(m.dof_dims(), (9, 7));
+        assert_eq!(m.ndof(), 63);
+        assert_eq!(m.nelem(), 12);
+    }
+
+    #[test]
+    fn shared_dofs_between_elements() {
+        let m = Mesh2d::unit(2, 1, 3);
+        // Right edge of element 0 == left edge of element 1.
+        for j in 0..=3 {
+            assert_eq!(m.dof(0, 0, 3, j), m.dof(1, 0, 0, j));
+        }
+    }
+
+    #[test]
+    fn corner_coordinates() {
+        let m = Mesh2d::new(2, 2, 2, 2.0, 4.0);
+        assert_eq!(m.dof_coords(0, 0), (0.0, 0.0));
+        let (nx, ny) = m.dof_dims();
+        let (x, y) = m.dof_coords(nx - 1, ny - 1);
+        assert!((x - 2.0).abs() < 1e-12 && (y - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let m = Mesh2d::unit(3, 3, 1);
+        let bd = m.boundary_dofs();
+        assert_eq!(bd.len(), 4 * 4 - 4);
+        assert!(m.on_boundary(0, 2));
+        assert!(!m.on_boundary(1, 1));
+    }
+
+    #[test]
+    fn projection_hits_linear_functions() {
+        let m = Mesh2d::unit(3, 2, 4);
+        let u = m.project(|x, y| 2.0 * x + 3.0 * y);
+        let (nx, ny) = m.dof_dims();
+        for gi in 0..nx {
+            for gj in 0..ny {
+                let (x, y) = m.dof_coords(gi, gj);
+                assert!((u[gi * ny + gj] - (2.0 * x + 3.0 * y)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Gauss-Legendre and Gauss-Lobatto-Legendre point/weight rules on [-1, 1].
+
+/// Legendre polynomial P_n(x) and its derivative, by recurrence.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let (mut p0, mut p1) = (1.0f64, x);
+    for k in 2..=n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf - 1.0) * x * p1 - (kf - 1.0) * p0) / kf;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P'_n = n (x P_n - P_{n-1}) / (x^2 - 1)
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        // Endpoint derivative: P'_n(±1) = ±^{n+1} n(n+1)/2
+        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        s * n as f64 * (n as f64 + 1.0) / 2.0
+    } else {
+        n as f64 * (x * p1 - p0) / (x * x - 1.0)
+    };
+    (p1, dp)
+}
+
+/// `n`-point Gauss-Legendre rule: exact for polynomials of degree 2n-1.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut x = vec![0.0f64; n];
+    let mut w = vec![0.0f64; n];
+    for i in 0..n {
+        // Chebyshev initial guess.
+        let mut xi = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre(n, xi);
+            let dx = p / dp;
+            xi -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (_, dp) = legendre(n, xi);
+        x[n - 1 - i] = xi;
+        w[n - 1 - i] = 2.0 / ((1.0 - xi * xi) * dp * dp);
+    }
+    x.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (x, w)
+}
+
+/// `n`-point Gauss-Lobatto-Legendre rule (includes both endpoints): nodes
+/// used by the H1 nodal basis.
+pub fn gauss_lobatto(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 2);
+    let m = n - 1;
+    let mut x = vec![0.0f64; n];
+    x[0] = -1.0;
+    x[n - 1] = 1.0;
+    // Interior nodes are roots of P'_m; iterate with Newton on P'_m using
+    // the derivative identity d/dx P'_m via second derivative from the ODE:
+    // (1-x^2) P''_m = 2x P'_m - m(m+1) P_m.
+    for i in 1..m {
+        let mut xi = -((std::f64::consts::PI * i as f64) / m as f64).cos();
+        for _ in 0..100 {
+            let (p, dp) = legendre(m, xi);
+            let ddp = (2.0 * xi * dp - (m * (m + 1)) as f64 * p) / (1.0 - xi * xi);
+            let dx = dp / ddp;
+            xi -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = xi;
+    }
+    x.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut w = vec![0.0f64; n];
+    for i in 0..n {
+        let (p, _) = legendre(m, x[i]);
+        w[i] = 2.0 / ((m * (m + 1)) as f64 * p * p);
+    }
+    (x, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(x: &[f64], w: &[f64], f: impl Fn(f64) -> f64) -> f64 {
+        x.iter().zip(w).map(|(xi, wi)| wi * f(*xi)).sum()
+    }
+
+    #[test]
+    fn gl_weights_sum_to_two() {
+        for n in 1..=10 {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n} sum={s}");
+        }
+    }
+
+    #[test]
+    fn gl_exact_for_high_degree_polynomials() {
+        // 5-point rule integrates x^8 exactly: 2/9.
+        let (x, w) = gauss_legendre(5);
+        let v = integrate(&x, &w, |t| t.powi(8));
+        assert!((v - 2.0 / 9.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn gl_odd_integrands_vanish() {
+        let (x, w) = gauss_legendre(7);
+        let v = integrate(&x, &w, |t| t.powi(5));
+        assert!(v.abs() < 1e-13);
+    }
+
+    #[test]
+    fn gll_includes_endpoints_and_sums_to_two() {
+        for n in 2..=9 {
+            let (x, w) = gauss_lobatto(n);
+            assert!((x[0] + 1.0).abs() < 1e-14);
+            assert!((x[n - 1] - 1.0).abs() < 1e-14);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n} sum={s}");
+        }
+    }
+
+    #[test]
+    fn gll_exact_for_degree_2n_minus_3() {
+        // 4-point GLL exact through degree 5: integral of x^4 = 2/5.
+        let (x, w) = gauss_lobatto(4);
+        let v = integrate(&x, &w, |t| t.powi(4));
+        assert!((v - 0.4).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_distinct() {
+        for n in 2..=8 {
+            let (x, _) = gauss_lobatto(n);
+            for i in 1..n {
+                assert!(x[i] > x[i - 1] + 1e-10);
+            }
+            let (xg, _) = gauss_legendre(n);
+            for i in 1..n {
+                assert!(xg[i] > xg[i - 1] + 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Breadth-first search: level-synchronous top-down and the
+//! direction-optimising (bottom-up switching) variant.
+
+use crate::rmat::CsrGraph;
+
+/// BFS output: parent tree plus traversal accounting.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    pub parent: Vec<Option<usize>>,
+    pub levels: usize,
+    /// Directed edges examined (for TEPS).
+    pub edges_examined: u64,
+    /// Vertices reached (including the root).
+    pub reached: usize,
+}
+
+impl BfsResult {
+    /// Traversed-edges-per-second given a runtime.
+    pub fn teps(&self, seconds: f64) -> f64 {
+        self.edges_examined as f64 / seconds.max(1e-300)
+    }
+}
+
+/// Classic top-down level-synchronous BFS.
+pub fn bfs_top_down(g: &CsrGraph, root: usize) -> BfsResult {
+    let mut parent: Vec<Option<usize>> = vec![None; g.n];
+    parent[root] = Some(root);
+    let mut frontier = vec![root];
+    let mut levels = 0;
+    let mut edges = 0u64;
+    let mut reached = 1usize;
+    while !frontier.is_empty() {
+        levels += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                edges += 1;
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    next.push(v);
+                    reached += 1;
+                }
+            }
+        }
+        frontier = next;
+    }
+    BfsResult { parent, levels, edges_examined: edges, reached }
+}
+
+/// Direction-optimising BFS: switch to bottom-up when the frontier is a
+/// large fraction of the graph (Beamer's heuristic), back to top-down when
+/// it shrinks.
+pub fn bfs_direction_optimising(g: &CsrGraph, root: usize) -> BfsResult {
+    let mut parent: Vec<Option<usize>> = vec![None; g.n];
+    parent[root] = Some(root);
+    let mut in_frontier = vec![false; g.n];
+    in_frontier[root] = true;
+    let mut frontier_size = 1usize;
+    let mut frontier_edges: u64 = g.degree(root) as u64;
+    let mut levels = 0;
+    let mut edges = 0u64;
+    let mut reached = 1usize;
+    let total_edges = g.num_directed_edges() as u64;
+
+    while frontier_size > 0 {
+        levels += 1;
+        let bottom_up = frontier_edges * 14 > total_edges;
+        let mut next = vec![false; g.n];
+        let mut next_size = 0usize;
+        let mut next_edges = 0u64;
+        if bottom_up {
+            // Every unvisited vertex scans its neighbours for a parent.
+            for v in 0..g.n {
+                if parent[v].is_some() {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    edges += 1;
+                    if in_frontier[u] {
+                        parent[v] = Some(u);
+                        next[v] = true;
+                        next_size += 1;
+                        next_edges += g.degree(v) as u64;
+                        reached += 1;
+                        break; // early exit: the bottom-up win
+                    }
+                }
+            }
+        } else {
+            for u in 0..g.n {
+                if !in_frontier[u] {
+                    continue;
+                }
+                for &v in g.neighbors(u) {
+                    edges += 1;
+                    if parent[v].is_none() {
+                        parent[v] = Some(u);
+                        next[v] = true;
+                        next_size += 1;
+                        next_edges += g.degree(v) as u64;
+                        reached += 1;
+                    }
+                }
+            }
+        }
+        in_frontier = next;
+        frontier_size = next_size;
+        frontier_edges = next_edges;
+    }
+    BfsResult { parent, levels, edges_examined: edges, reached }
+}
+
+/// Validate a BFS parent tree: root self-parented; every edge (v, p(v))
+/// exists; levels are consistent (level(v) == level(p(v)) + 1).
+pub fn validate_tree(g: &CsrGraph, root: usize, result: &BfsResult) -> bool {
+    if result.parent[root] != Some(root) {
+        return false;
+    }
+    // Compute levels by following parents (with cycle guard).
+    let mut level = vec![usize::MAX; g.n];
+    level[root] = 0;
+    for v in 0..g.n {
+        let Some(_) = result.parent[v] else { continue };
+        // Walk up.
+        let mut chain = Vec::new();
+        let mut cur = v;
+        while level[cur] == usize::MAX {
+            chain.push(cur);
+            match result.parent[cur] {
+                Some(p) if p != cur => cur = p,
+                _ => break,
+            }
+            if chain.len() > g.n {
+                return false; // cycle
+            }
+        }
+        let base = level[cur];
+        if base == usize::MAX {
+            return false;
+        }
+        for (k, &u) in chain.iter().rev().enumerate() {
+            level[u] = base + k + 1;
+        }
+    }
+    for v in 0..g.n {
+        if let Some(p) = result.parent[v] {
+            if v != root {
+                if !g.neighbors(v).contains(&p) {
+                    return false;
+                }
+                if level[v] != level[p] + 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::RmatParams;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path_has_n_levels() {
+        let g = path_graph(10);
+        let r = bfs_top_down(&g, 0);
+        assert_eq!(r.reached, 10);
+        assert_eq!(r.levels, 10);
+        assert_eq!(r.parent[5], Some(4));
+        assert!(validate_tree(&g, 0, &r));
+    }
+
+    #[test]
+    fn both_variants_reach_the_same_component() {
+        let g = CsrGraph::rmat(10, RmatParams::default(), 5);
+        let root = g.non_isolated_vertex(1);
+        let td = bfs_top_down(&g, root);
+        let do_ = bfs_direction_optimising(&g, root);
+        assert_eq!(td.reached, do_.reached);
+        // Identical reachability, possibly different parents.
+        for v in 0..g.n {
+            assert_eq!(td.parent[v].is_some(), do_.parent[v].is_some(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn both_trees_validate() {
+        let g = CsrGraph::rmat(9, RmatParams::default(), 8);
+        let root = g.non_isolated_vertex(2);
+        assert!(validate_tree(&g, root, &bfs_top_down(&g, root)));
+        assert!(validate_tree(&g, root, &bfs_direction_optimising(&g, root)));
+    }
+
+    #[test]
+    fn direction_optimising_examines_fewer_edges_on_rmat() {
+        // The point of the optimisation: on low-diameter skewed graphs the
+        // bottom-up phase skips most edge checks.
+        let g = CsrGraph::rmat(12, RmatParams::default(), 3);
+        let root = g.non_isolated_vertex(4);
+        let td = bfs_top_down(&g, root);
+        let dopt = bfs_direction_optimising(&g, root);
+        assert!(
+            dopt.edges_examined < td.edges_examined,
+            "{} vs {}",
+            dopt.edges_examined,
+            td.edges_examined
+        );
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let mut edges = vec![(0, 1), (1, 2)];
+        edges.push((4, 5)); // separate component
+        let g = CsrGraph::from_edges(6, &edges);
+        let r = bfs_top_down(&g, 0);
+        assert_eq!(r.reached, 3);
+        assert!(r.parent[4].is_none());
+        assert!(validate_tree(&g, 0, &r));
+    }
+
+    #[test]
+    fn corrupted_tree_fails_validation() {
+        let g = path_graph(6);
+        let mut r = bfs_top_down(&g, 0);
+        r.parent[5] = Some(1); // not an edge
+        assert!(!validate_tree(&g, 0, &r));
+    }
+
+    #[test]
+    fn teps_accounting() {
+        let g = path_graph(4);
+        let r = bfs_top_down(&g, 0);
+        // Each of the 6 directed edges examined exactly once.
+        assert_eq!(r.edges_examined, 6);
+        assert!((r.teps(2.0) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Connected components — HavoqGT's other flagship analytic, used here to
+//! exercise the same edge-centric machinery as BFS with a different
+//! convergence pattern (label propagation / pointer-jumping hybrid).
+
+use crate::rmat::CsrGraph;
+
+/// Connected-component labels via label propagation with pointer jumping;
+/// returns (labels, iterations). Each vertex ends with the minimum vertex
+/// id of its component.
+pub fn connected_components(g: &CsrGraph) -> (Vec<usize>, usize) {
+    let n = g.n;
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut iters = 0;
+    loop {
+        iters += 1;
+        let mut changed = false;
+        // Propagate: adopt the smallest neighbour label.
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                if label[v] < label[u] {
+                    label[u] = label[v];
+                    changed = true;
+                }
+            }
+        }
+        // Pointer jumping: compress chains label[u] -> label[label[u]].
+        for u in 0..n {
+            while label[label[u]] != label[u] {
+                label[u] = label[label[u]];
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        assert!(iters <= n + 1, "label propagation failed to converge");
+    }
+    (label, iters)
+}
+
+/// Number of distinct components (isolated vertices count as their own).
+pub fn component_count(labels: &[usize]) -> usize {
+    let mut roots: Vec<usize> = labels.to_vec();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Size of the largest component.
+pub fn largest_component(labels: &[usize]) -> usize {
+    use std::collections::HashMap;
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_top_down;
+    use crate::rmat::RmatParams;
+
+    #[test]
+    fn two_cliques_are_two_components() {
+        let mut edges = vec![];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+                edges.push((i + 4, j + 4));
+            }
+        }
+        let g = CsrGraph::from_edges(8, &edges);
+        let (labels, _) = connected_components(&g);
+        assert_eq!(component_count(&labels), 2);
+        assert!(labels[..4].iter().all(|&l| l == 0));
+        assert!(labels[4..].iter().all(|&l| l == 4));
+    }
+
+    #[test]
+    fn cc_agrees_with_bfs_reachability() {
+        let g = CsrGraph::rmat(10, RmatParams::default(), 9);
+        let (labels, _) = connected_components(&g);
+        let root = g.non_isolated_vertex(1);
+        let bfs = bfs_top_down(&g, root);
+        // Everything BFS reaches shares the root's component label, and
+        // nothing outside it does.
+        let root_label = labels[root];
+        for v in 0..g.n {
+            assert_eq!(
+                bfs.parent[v].is_some(),
+                labels[v] == root_label || v == root,
+                "vertex {v}"
+            );
+        }
+        assert_eq!(largest_component(&labels), bfs.reached);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        let (labels, _) = connected_components(&g);
+        assert_eq!(component_count(&labels), 4); // {0,1}, {2}, {3}, {4}
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = CsrGraph::from_edges(6, &[(5, 3), (3, 4), (1, 2)]);
+        let (labels, _) = connected_components(&g);
+        assert_eq!(labels[5], 3);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[2], 1);
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn converges_quickly_on_rmat() {
+        let g = CsrGraph::rmat(12, RmatParams::default(), 11);
+        let (_, iters) = connected_components(&g);
+        // Pointer jumping keeps the iteration count near the graph
+        // diameter, which is tiny for RMAT.
+        assert!(iters < 15, "{iters}");
+    }
+}

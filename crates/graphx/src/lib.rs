@@ -1,0 +1,23 @@
+//! `graphx` — the HavoqGT stand-in (§4.4, Table 2).
+//!
+//! The Data Science activity ported the HavoqGT graph framework, showing
+//! that node-local NVMe plus CPUs runs "larger graph problems faster" and
+//! producing the historical Table 2 (best Graph500-style scale and GTEPS
+//! per machine, 0.053 GTEPS in 2011 to 67.258 GTEPS on 2048 nodes of the
+//! final system in 2018).
+//!
+//! * [`rmat`] — Kronecker (RMAT) generator with Graph500 parameters;
+//! * [`bfs`] — level-synchronous top-down BFS and the direction-optimising
+//!   variant, with tree validation and TEPS accounting (real runs);
+//! * [`dist`] — the machine-level throughput model that regenerates
+//!   Table 2 from `hetsim` machine presets (DRAM/NVMe/network bounds).
+
+pub mod bfs;
+pub mod cc;
+pub mod dist;
+pub mod rmat;
+
+pub use bfs::{bfs_direction_optimising, bfs_top_down, validate_tree, BfsResult};
+pub use cc::{component_count, connected_components, largest_component};
+pub use dist::{machine_gteps, max_scale, Table2Row};
+pub use rmat::{CsrGraph, RmatParams};

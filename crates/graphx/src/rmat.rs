@@ -1,0 +1,147 @@
+//! Kronecker (RMAT) graph generation and CSR adjacency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT quadrant probabilities (Graph500 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Edges per vertex.
+    pub edge_factor: usize,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, edge_factor: 16 }
+    }
+}
+
+/// An undirected graph in CSR adjacency form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    pub n: usize,
+    pub offsets: Vec<usize>,
+    pub targets: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Generate an RMAT graph of `2^scale` vertices; deterministic in
+    /// `seed`. Self-loops are dropped; duplicate edges are kept (Graph500
+    /// does the same).
+    pub fn rmat(scale: u32, params: RmatParams, seed: u64) -> CsrGraph {
+        let n = 1usize << scale;
+        let m = n * params.edge_factor;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let (mut u, mut v) = (0usize, 0usize);
+            for bit in (0..scale).rev() {
+                let r: f64 = rng.gen();
+                let (du, dv) = if r < params.a {
+                    (0, 0)
+                } else if r < params.a + params.b {
+                    (0, 1)
+                } else if r < params.a + params.b + params.c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u |= du << bit;
+                v |= dv << bit;
+            }
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    /// Build an undirected CSR from an edge list (each edge stored both
+    /// ways).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> CsrGraph {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0usize; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            targets[cursor[u]] = v;
+            cursor[u] += 1;
+            targets[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        CsrGraph { n, offsets, targets }
+    }
+
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// A vertex with nonzero degree (BFS roots must not be isolated).
+    pub fn non_isolated_vertex(&self, seed: u64) -> usize {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        loop {
+            let v = rng.gen_range(0..self.n);
+            if self.degree(v) > 0 {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_edges_is_symmetric() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.num_directed_edges(), 6);
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_sized() {
+        let a = CsrGraph::rmat(8, RmatParams::default(), 42);
+        let b = CsrGraph::rmat(8, RmatParams::default(), 42);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.n, 256);
+        // 16 edges per vertex, both directions, minus dropped self-loops.
+        assert!(a.num_directed_edges() > 2 * 256 * 12);
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        // The point of RMAT: a heavy-tailed degree distribution.
+        let g = CsrGraph::rmat(10, RmatParams::default(), 7);
+        let max_deg = (0..g.n).map(|v| g.degree(v)).max().expect("non-empty");
+        let mean = g.num_directed_edges() as f64 / g.n as f64;
+        assert!(max_deg as f64 > 8.0 * mean, "max {max_deg}, mean {mean}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = CsrGraph::rmat(8, RmatParams::default(), 3);
+        for v in 0..g.n {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Presets for every machine the paper names, built from public
+//! specifications.
+//!
+//! | Preset | Paper role |
+//! |---|---|
+//! | [`sierra_node`] / [`sierra`] | the final system (Witherspoon, 2xP9 + 4xV100, NVLink2) |
+//! | [`ea_minsky`] | early-access system (2xP8 + 4xP100, NVLink1) |
+//! | [`dev_k80`] | on-site development cluster (Haswell + K80) |
+//! | [`viz_k40`] | on-site visualization cluster (Sandy Bridge + K40) |
+//! | [`cori2`] | NERSC Cori-II (KNL) — the SW4 throughput baseline |
+//! | [`bgq_node`] | Blue Gene/Q — where the workload previously scaled |
+//! | [`catalyst`] | Catalyst (NVMe data-intensive cluster, Table 2) |
+//! | [`kraken`], [`leviathan`], [`hyperion`], [`bertha`] | historical Table 2 machines |
+
+use crate::spec::*;
+
+fn p9_pair() -> CpuSpec {
+    CpuSpec {
+        name: "2x POWER9 (22c)",
+        sockets: 2,
+        cores_per_socket: 22,
+        gflops_per_core: 23.0,
+        mem_bw_gbs: 340.0,
+        mem_capacity_gib: 256.0,
+        compute_efficiency: 0.55,
+    }
+}
+
+fn v100() -> GpuSpec {
+    GpuSpec {
+        name: "V100",
+        fp64_gflops: 7_800.0,
+        fp32_gflops: 15_700.0,
+        mem_bw_gbs: 900.0,
+        mem_capacity_gib: 16.0,
+        launch_overhead_us: 5.0,
+        compute_efficiency: 0.6,
+        // Volta's unified L1 made explicit texture staging unnecessary (§4.7).
+        texture_gain: 1.0,
+        shared_mem_gain: 1.9,
+    }
+}
+
+/// One Witherspoon node of the final (Sierra-class) system.
+pub fn sierra_node() -> Machine {
+    Machine {
+        name: "Final System (Witherspoon)",
+        year: 2018,
+        node: NodeConfig {
+            cpu: p9_pair(),
+            gpus: vec![v100(), v100(), v100(), v100()],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::NvLink2,
+                bw_gbs: 68.0,
+                latency_us: 8.0,
+            }),
+            peer_link: Some(LinkSpec {
+                kind: LinkKind::NvLink2,
+                bw_gbs: 68.0,
+                latency_us: 6.0,
+            }),
+            nvme: Some((1_600.0, 2.0)),
+        },
+        nodes: 1,
+        network: NetworkSpec { injection_bw_gbs: 25.0, latency_us: 1.5, gpudirect: true },
+    }
+}
+
+/// The full final system: 4320 Witherspoon nodes on dual-rail EDR.
+pub fn sierra() -> Machine {
+    Machine { nodes: 4320, ..sierra_node() }
+}
+
+/// A `nodes`-node slice of the final system (the paper's runs use 32..2048).
+pub fn sierra_nodes(nodes: usize) -> Machine {
+    Machine { nodes, ..sierra_node() }
+}
+
+/// Early-access Minsky node: 2x POWER8 + 4x P100, NVLink1.
+pub fn ea_minsky() -> Machine {
+    let p100 = GpuSpec {
+        name: "P100",
+        fp64_gflops: 5_300.0,
+        fp32_gflops: 10_600.0,
+        mem_bw_gbs: 720.0,
+        mem_capacity_gib: 16.0,
+        launch_overhead_us: 6.0,
+        compute_efficiency: 0.55,
+        // On Pascal the texture path still bought real bandwidth (§4.7).
+        texture_gain: 1.6,
+        shared_mem_gain: 1.9,
+    };
+    Machine {
+        name: "EA (Minsky)",
+        year: 2016,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "2x POWER8 (10c)",
+                sockets: 2,
+                cores_per_socket: 10,
+                gflops_per_core: 29.6,
+                mem_bw_gbs: 230.0,
+                mem_capacity_gib: 256.0,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![p100.clone(), p100.clone(), p100.clone(), p100],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::NvLink1,
+                bw_gbs: 36.0,
+                latency_us: 9.0,
+            }),
+            peer_link: Some(LinkSpec {
+                kind: LinkKind::NvLink1,
+                bw_gbs: 36.0,
+                latency_us: 7.0,
+            }),
+            nvme: None,
+        },
+        nodes: 54,
+        network: NetworkSpec { injection_bw_gbs: 12.5, latency_us: 1.5, gpudirect: true },
+    }
+}
+
+/// Dedicated development machine: Haswell + K80.
+pub fn dev_k80() -> Machine {
+    let k80_half = GpuSpec {
+        name: "K80 (1 die)",
+        fp64_gflops: 1_450.0,
+        fp32_gflops: 4_370.0,
+        mem_bw_gbs: 240.0,
+        mem_capacity_gib: 12.0,
+        launch_overhead_us: 8.0,
+        compute_efficiency: 0.5,
+        texture_gain: 1.4,
+        shared_mem_gain: 1.7,
+    };
+    Machine {
+        name: "Dev (Haswell+K80)",
+        year: 2015,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "2x Haswell (16c)",
+                sockets: 2,
+                cores_per_socket: 16,
+                gflops_per_core: 20.0,
+                mem_bw_gbs: 120.0,
+                mem_capacity_gib: 128.0,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![k80_half.clone(), k80_half],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::Pcie3,
+                bw_gbs: 12.0,
+                latency_us: 10.0,
+            }),
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 32,
+        network: NetworkSpec { injection_bw_gbs: 6.0, latency_us: 2.0, gpudirect: false },
+    }
+}
+
+/// Visualization cluster: Sandy Bridge + K40.
+pub fn viz_k40() -> Machine {
+    Machine {
+        name: "Viz (SandyBridge+K40)",
+        year: 2013,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "2x Sandy Bridge (8c)",
+                sockets: 2,
+                cores_per_socket: 8,
+                gflops_per_core: 20.8,
+                mem_bw_gbs: 80.0,
+                mem_capacity_gib: 64.0,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![GpuSpec {
+                name: "K40",
+                fp64_gflops: 1_430.0,
+                fp32_gflops: 4_290.0,
+                mem_bw_gbs: 288.0,
+                mem_capacity_gib: 12.0,
+                launch_overhead_us: 8.0,
+                compute_efficiency: 0.5,
+                texture_gain: 1.4,
+                shared_mem_gain: 1.7,
+            }],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::Pcie3,
+                bw_gbs: 10.0,
+                latency_us: 10.0,
+            }),
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 16,
+        network: NetworkSpec { injection_bw_gbs: 6.0, latency_us: 2.0, gpudirect: false },
+    }
+}
+
+/// NERSC Cori-II: Knights Landing nodes. The SW4 Hayward-fault run compared
+/// 256 Sierra nodes against this machine (abstract: up to 14x throughput).
+pub fn cori2() -> Machine {
+    Machine {
+        name: "Cori-II (KNL)",
+        year: 2016,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "KNL 7250 (68c)",
+                sockets: 1,
+                cores_per_socket: 68,
+                gflops_per_core: 39.2,
+                // MCDRAM in cache mode.
+                mem_bw_gbs: 380.0,
+                mem_capacity_gib: 96.0,
+                // Sustained fraction of KNL peak is notoriously low for
+                // irregular stencil codes.
+                compute_efficiency: 0.25,
+            },
+            gpus: vec![],
+            host_gpu_link: None,
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 9_688,
+        network: NetworkSpec { injection_bw_gbs: 8.0, latency_us: 1.3, gpudirect: false },
+    }
+}
+
+/// A Blue Gene/Q node (the workload's prior scaling platform, §1).
+pub fn bgq_node() -> Machine {
+    Machine {
+        name: "BG/Q",
+        year: 2012,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "A2 (16c)",
+                sockets: 1,
+                cores_per_socket: 16,
+                gflops_per_core: 12.8,
+                mem_bw_gbs: 28.0,
+                mem_capacity_gib: 16.0,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![],
+            host_gpu_link: None,
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 98_304,
+        network: NetworkSpec { injection_bw_gbs: 2.0, latency_us: 2.5, gpudirect: false },
+    }
+}
+
+fn cpu_only(
+    name: &'static str,
+    year: u32,
+    sockets: usize,
+    cores: usize,
+    gf: f64,
+    bw: f64,
+    cap: f64,
+    nodes: usize,
+    inj: f64,
+    nvme: Option<(f64, f64)>,
+) -> Machine {
+    Machine {
+        name,
+        year,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name,
+                sockets,
+                cores_per_socket: cores,
+                gflops_per_core: gf,
+                mem_bw_gbs: bw,
+                mem_capacity_gib: cap,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![],
+            host_gpu_link: None,
+            peer_link: None,
+            nvme,
+        },
+        nodes,
+        network: NetworkSpec { injection_bw_gbs: inj, latency_us: 2.0, gpudirect: false },
+    }
+}
+
+/// Table 2 historical machine: Kraken (2011, 1 fat node with
+/// fusion-io flash for HavoqGT's semi-external graphs).
+pub fn kraken() -> Machine {
+    cpu_only("Kraken", 2011, 4, 8, 10.0, 60.0, 512.0, 1, 3.0, Some((4_000.0, 1.7)))
+}
+
+/// Table 2 historical machine: Leviathan (2011, 1 fat node, more memory).
+pub fn leviathan() -> Machine {
+    cpu_only("Leviathan", 2011, 4, 8, 10.0, 60.0, 1024.0, 1, 3.0, Some((8_000.0, 1.7)))
+}
+
+/// Table 2 historical machine: Hyperion (2011, 64 nodes).
+pub fn hyperion() -> Machine {
+    cpu_only("Hyperion", 2011, 2, 6, 10.0, 40.0, 96.0, 64, 3.0, Some((1_000.0, 1.5)))
+}
+
+/// Table 2 historical machine: Bertha (2014, 1 very fat node).
+pub fn bertha() -> Machine {
+    cpu_only("Bertha", 2014, 4, 12, 16.0, 100.0, 2048.0, 1, 5.0, Some((16_000.0, 1.8)))
+}
+
+/// Table 2 historical machine: Catalyst (2014, 300 nodes with 800 GB NVMe).
+pub fn catalyst() -> Machine {
+    cpu_only(
+        "Catalyst",
+        2014,
+        2,
+        12,
+        19.2,
+        102.0,
+        128.0,
+        300,
+        6.0,
+        Some((800.0, 1.0)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sierra_node_shape() {
+        let m = sierra_node();
+        assert_eq!(m.node.gpu_count(), 4);
+        assert_eq!(m.node.cpu.cores(), 44);
+        // GPUs dominate node peak on Sierra by > 90 %.
+        let gpu_peak: f64 = m.node.gpus.iter().map(|g| g.fp64_gflops).sum();
+        assert!(gpu_peak / m.node.node_peak_gflops() > 0.9);
+    }
+
+    #[test]
+    fn nvlink2_beats_pcie() {
+        let s = sierra_node().host_gpu_link();
+        let k = dev_k80().host_gpu_link();
+        assert!(s.bw_gbs > 3.0 * k.bw_gbs);
+    }
+
+    #[test]
+    fn volta_lost_the_texture_gain_pascal_had() {
+        // The §4.7 Opt lesson: texture staging helped on the EA system but
+        // not on the final system.
+        assert!(ea_minsky().node.gpus[0].texture_gain > 1.3);
+        assert!((sierra_node().node.gpus[0].texture_gain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_presets_have_positive_specs() {
+        for m in [
+            sierra(),
+            ea_minsky(),
+            dev_k80(),
+            viz_k40(),
+            cori2(),
+            bgq_node(),
+            kraken(),
+            leviathan(),
+            hyperion(),
+            bertha(),
+            catalyst(),
+        ] {
+            assert!(m.peak_gflops() > 0.0, "{}", m.name);
+            assert!(m.network.injection_bw_gbs > 0.0);
+            assert!(m.node.cpu.mem_bw_gbs > 0.0);
+        }
+    }
+}

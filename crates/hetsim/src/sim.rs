@@ -1,0 +1,348 @@
+//! The simulation engine: virtual clocks per execution stream, transfers,
+//! and counters.
+//!
+//! [`Sim`] owns one [`Machine`] (usually a single node — multi-node effects
+//! go through [`crate::network`]) and a set of streams. Launching a kernel
+//! advances the stream it runs on; transfers advance both endpoints'
+//! streams; `sync` joins streams the way `cudaDeviceSynchronize` does. The
+//! result is a deterministic, replayable timeline from which every paper
+//! figure can be regenerated.
+
+use std::collections::HashMap;
+
+use crate::kernel::KernelProfile;
+use crate::spec::{LinkKind, LinkSpec, Machine};
+
+/// Where data lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// Host DDR.
+    Host,
+    /// Device memory of GPU `i`.
+    Gpu(usize),
+    /// Node-local NVMe.
+    Nvme,
+    /// The network adapter (for GPUDirect modelling).
+    Nic,
+}
+
+/// What executes a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// `threads` host cores.
+    Cpu { threads: usize },
+    /// GPU `id`.
+    Gpu { id: usize },
+}
+
+impl Target {
+    /// All host cores of the current machine (resolved at launch).
+    pub fn cpu_all() -> Target {
+        Target::Cpu { threads: usize::MAX }
+    }
+
+    pub fn cpu(threads: usize) -> Target {
+        Target::Cpu { threads }
+    }
+
+    pub fn gpu(id: usize) -> Target {
+        Target::Gpu { id }
+    }
+}
+
+/// An execution stream (CUDA-stream analogue). Stream 0 of each target is
+/// the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId {
+    pub target: Target,
+    pub index: usize,
+}
+
+impl StreamId {
+    pub fn default_for(target: Target) -> StreamId {
+        StreamId { target, index: 0 }
+    }
+}
+
+/// Kind of host<->device transfer path (§4.11 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Plain `cudaMemcpy` over the host-GPU link.
+    Memcpy,
+    /// Unified-memory page migration: the same link but page-granular with
+    /// per-page fault cost (see [`crate::unified`]).
+    Unified,
+    /// GPUDirect RDMA: NIC <-> GPU without staging through host memory.
+    GpuDirect,
+}
+
+/// Cumulative activity counters.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    pub kernels_launched: u64,
+    pub flops: f64,
+    pub bytes_h2d: f64,
+    pub bytes_d2h: f64,
+    pub bytes_d2d: f64,
+    pub bytes_nvme: f64,
+    /// Per-kernel-name accumulated busy time (seconds).
+    pub kernel_time: HashMap<String, f64>,
+}
+
+/// The per-node simulator.
+#[derive(Debug, Clone)]
+pub struct Sim {
+    machine: Machine,
+    /// Current time of each stream, seconds.
+    streams: HashMap<StreamId, f64>,
+    counters: Counters,
+}
+
+impl Sim {
+    pub fn new(machine: Machine) -> Sim {
+        Sim { machine, streams: HashMap::new(), counters: Counters::default() }
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn resolve_threads(&self, t: Target) -> Target {
+        match t {
+            Target::Cpu { threads } => Target::Cpu {
+                threads: threads.min(self.machine.node.cpu.cores()),
+            },
+            g => g,
+        }
+    }
+
+    /// Time to run `k` on `target` without advancing any clock.
+    pub fn cost(&self, target: Target, k: &KernelProfile) -> f64 {
+        match self.resolve_threads(target) {
+            Target::Cpu { threads } => k.time_on_cpu(&self.machine.node.cpu, threads),
+            Target::Gpu { id } => {
+                let gpu = &self.machine.node.gpus[id];
+                k.time_on_gpu(gpu)
+            }
+        }
+    }
+
+    /// Launch `k` on the default stream of `target`; returns elapsed seconds.
+    pub fn launch(&mut self, target: Target, k: &KernelProfile) -> f64 {
+        self.launch_on(StreamId::default_for(self.resolve_threads(target)), k)
+    }
+
+    /// Launch `k` on a specific stream; returns elapsed seconds.
+    pub fn launch_on(&mut self, stream: StreamId, k: &KernelProfile) -> f64 {
+        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        let dt = self.cost(stream.target, k);
+        *self.streams.entry(stream).or_insert(0.0) += dt;
+        self.counters.kernels_launched += 1;
+        self.counters.flops += k.flops;
+        *self.counters.kernel_time.entry(k.name.clone()).or_insert(0.0) += dt;
+        dt
+    }
+
+    fn link_for(&self, src: Loc, dst: Loc, kind: TransferKind) -> LinkSpec {
+        match (src, dst, kind) {
+            // GPUDirect skips host staging, so its small-message latency
+            // is low — but the RDMA read path of the era sustained far
+            // less bandwidth than the pipelined staged copy (§4.11's
+            // measured crossover).
+            (_, _, TransferKind::GpuDirect) => LinkSpec {
+                kind: LinkKind::GpuDirect,
+                bw_gbs: 0.2 * self.machine.network.injection_bw_gbs,
+                latency_us: 2.0,
+            },
+            (Loc::Gpu(_), Loc::Gpu(_), _) => self
+                .machine
+                .node
+                .peer_link
+                .clone()
+                .unwrap_or_else(|| self.machine.host_gpu_link()),
+            (Loc::Nvme, _, _) | (_, Loc::Nvme, _) => {
+                let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
+                LinkSpec { kind: LinkKind::Pcie3, bw_gbs: bw, latency_us: 80.0 }
+            }
+            (Loc::Nic, _, _) | (_, Loc::Nic, _) => LinkSpec {
+                kind: LinkKind::Fabric,
+                bw_gbs: self.machine.network.injection_bw_gbs,
+                latency_us: self.machine.network.latency_us,
+            },
+            _ => self.machine.host_gpu_link(),
+        }
+    }
+
+    /// Time to move `bytes` from `src` to `dst` without advancing clocks.
+    pub fn transfer_cost(&self, src: Loc, dst: Loc, bytes: f64, kind: TransferKind) -> f64 {
+        let link = self.link_for(src, dst, kind);
+        match kind {
+            TransferKind::Unified => crate::unified::migration_time(&link, bytes),
+            _ => link.transfer_time(bytes),
+        }
+    }
+
+    /// Move `bytes`, advancing the default streams of both endpoints to a
+    /// common completion time. Returns elapsed seconds.
+    pub fn transfer(&mut self, src: Loc, dst: Loc, bytes: f64, kind: TransferKind) -> f64 {
+        let dt = self.transfer_cost(src, dst, bytes, kind);
+        let (a, b) = (self.loc_stream(src), self.loc_stream(dst));
+        let start = self.stream_time(a).max(self.stream_time(b));
+        let done = start + dt;
+        self.streams.insert(a, done);
+        if b != a {
+            self.streams.insert(b, done);
+        }
+        match (src, dst) {
+            (Loc::Host, Loc::Gpu(_)) => self.counters.bytes_h2d += bytes,
+            (Loc::Gpu(_), Loc::Host) => self.counters.bytes_d2h += bytes,
+            (Loc::Gpu(_), Loc::Gpu(_)) => self.counters.bytes_d2d += bytes,
+            (Loc::Nvme, _) | (_, Loc::Nvme) => self.counters.bytes_nvme += bytes,
+            _ => {}
+        }
+        dt
+    }
+
+    fn loc_stream(&self, loc: Loc) -> StreamId {
+        match loc {
+            Loc::Gpu(id) => StreamId::default_for(Target::Gpu { id }),
+            _ => StreamId::default_for(Target::Cpu {
+                threads: self.machine.node.cpu.cores(),
+            }),
+        }
+    }
+
+    /// Current time of one stream.
+    pub fn stream_time(&self, s: StreamId) -> f64 {
+        self.streams.get(&s).copied().unwrap_or(0.0)
+    }
+
+    /// Current time of the default stream of `target`.
+    pub fn time(&self, target: Target) -> f64 {
+        self.stream_time(StreamId::default_for(self.resolve_threads(target)))
+    }
+
+    /// Wall clock: the max over all streams.
+    pub fn elapsed(&self) -> f64 {
+        self.streams.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Join all streams at the current wall clock (device-synchronize).
+    pub fn sync_all(&mut self) -> f64 {
+        let t = self.elapsed();
+        for v in self.streams.values_mut() {
+            *v = t;
+        }
+        t
+    }
+
+    /// Make `waiter` wait until `event` stream's current time (CUDA event
+    /// wait).
+    pub fn wait(&mut self, waiter: StreamId, event: StreamId) {
+        let t = self.stream_time(event).max(self.stream_time(waiter));
+        self.streams.insert(waiter, t);
+    }
+
+    /// Advance the default stream of `target` by `dt` seconds (used by
+    /// higher layers to charge abstraction overheads).
+    pub fn advance(&mut self, target: Target, dt: f64) {
+        let s = StreamId::default_for(self.resolve_threads(target));
+        *self.streams.entry(s).or_insert(0.0) += dt;
+    }
+
+    /// Reset all clocks and counters, keeping the machine.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.counters = Counters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn sim() -> Sim {
+        Sim::new(machines::sierra_node())
+    }
+
+    #[test]
+    fn launch_advances_only_target_stream() {
+        let mut s = sim();
+        let k = KernelProfile::new("k").flops(1e9);
+        s.launch(Target::gpu(0), &k);
+        assert!(s.time(Target::gpu(0)) > 0.0);
+        assert_eq!(s.time(Target::gpu(1)), 0.0);
+        assert_eq!(s.time(Target::cpu_all()), 0.0);
+    }
+
+    #[test]
+    fn transfer_joins_both_endpoints() {
+        let mut s = sim();
+        let dt = s.transfer(Loc::Host, Loc::Gpu(0), 1e9, TransferKind::Memcpy);
+        assert!(dt > 0.0);
+        assert!((s.time(Target::gpu(0)) - s.time(Target::cpu_all())).abs() < 1e-15);
+        assert_eq!(s.counters().bytes_h2d, 1e9);
+    }
+
+    #[test]
+    fn streams_overlap_and_sync_joins() {
+        let mut s = sim();
+        let k = KernelProfile::new("k").bytes_read(1e9);
+        let s0 = StreamId { target: Target::gpu(0), index: 0 };
+        let s1 = StreamId { target: Target::gpu(0), index: 1 };
+        let a = s.launch_on(s0, &k);
+        let b = s.launch_on(s1, &k);
+        // Overlapped: wall clock is max, not sum.
+        assert!((s.elapsed() - a.max(b)).abs() < 1e-12);
+        s.sync_all();
+        assert_eq!(s.stream_time(s0), s.stream_time(s1));
+    }
+
+    #[test]
+    fn gpudirect_wins_small_device_to_nic_messages() {
+        // §4.11: staged copies overtake GPUDirect beyond a few hundred bytes
+        // (D->H) / few KB (H->D); below that GPUDirect's low setup latency
+        // wins.
+        let s = sim();
+        let small = 256.0;
+        let direct = s.transfer_cost(Loc::Gpu(0), Loc::Nic, small, TransferKind::GpuDirect);
+        let staged = s.transfer_cost(Loc::Gpu(0), Loc::Host, small, TransferKind::Memcpy)
+            + s.transfer_cost(Loc::Host, Loc::Nic, small, TransferKind::Memcpy);
+        assert!(direct < staged);
+    }
+
+    #[test]
+    fn staged_copy_wins_large_messages() {
+        let s = sim();
+        let big = 16.0 * 1024.0 * 1024.0;
+        let direct = s.transfer_cost(Loc::Gpu(0), Loc::Nic, big, TransferKind::GpuDirect);
+        let staged = s.transfer_cost(Loc::Gpu(0), Loc::Host, big, TransferKind::Memcpy);
+        // NVLink (68 GB/s) beats the NIC (25 GB/s) once bandwidth dominates.
+        assert!(staged < direct);
+    }
+
+    #[test]
+    fn wait_orders_streams() {
+        let mut s = sim();
+        let k = KernelProfile::new("k").flops(1e10);
+        let gpu = StreamId::default_for(Target::gpu(0));
+        let cpu = StreamId::default_for(Target::cpu(44));
+        s.launch_on(gpu, &k);
+        s.wait(cpu, gpu);
+        assert!((s.stream_time(cpu) - s.stream_time(gpu)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = sim();
+        s.launch(Target::gpu(0), &KernelProfile::new("k").flops(1e9));
+        s.reset();
+        assert_eq!(s.elapsed(), 0.0);
+        assert_eq!(s.counters().kernels_launched, 0);
+    }
+}

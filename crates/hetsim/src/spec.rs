@@ -1,0 +1,211 @@
+//! Hardware descriptions: CPUs, GPUs, links, nodes, machines.
+//!
+//! All numbers are double-precision peaks and per-direction bandwidths, the
+//! same figures vendors publish and the paper reasons with.
+
+use serde::Serialize;
+
+/// A CPU socket complex (all sockets of a node aggregated).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. "2x POWER9".
+    pub name: &'static str,
+    /// Number of sockets on the node.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Peak double-precision Gflop/s per core.
+    pub gflops_per_core: f64,
+    /// Aggregate DDR (or MCDRAM) stream bandwidth for the node, GB/s.
+    pub mem_bw_gbs: f64,
+    /// DDR capacity in GiB.
+    pub mem_capacity_gib: f64,
+    /// Fraction of peak a well-tuned compute-bound kernel reaches.
+    pub compute_efficiency: f64,
+}
+
+impl CpuSpec {
+    /// Total core count across sockets.
+    pub fn cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Peak double-precision Gflop/s for `threads` cores.
+    pub fn peak_gflops(&self, threads: usize) -> f64 {
+        self.gflops_per_core * threads.min(self.cores()) as f64
+    }
+}
+
+/// A single GPU.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. "V100".
+    pub name: &'static str,
+    /// Peak double-precision Gflop/s.
+    pub fp64_gflops: f64,
+    /// Peak single-precision Gflop/s.
+    pub fp32_gflops: f64,
+    /// Device-memory (HBM/GDDR) bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Device-memory capacity in GiB.
+    pub mem_capacity_gib: f64,
+    /// Kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Fraction of peak a well-tuned compute-bound kernel reaches.
+    pub compute_efficiency: f64,
+    /// Effectiveness of the texture/L1 path: extra bandwidth factor a
+    /// texture-fetch kernel sees (§4.7: ~1.6 on Pascal EA hardware, ~1.0 on
+    /// Volta whose unified L1 made texture staging unnecessary).
+    pub texture_gain: f64,
+    /// Extra bandwidth factor available to kernels that stage through
+    /// software-managed shared memory (§4.9: the sw4lite stencils gained
+    /// almost 2x from shared-memory tiling).
+    pub shared_mem_gain: f64,
+}
+
+/// Interconnect family between a host and a device, or between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LinkKind {
+    /// PCIe gen3 x16.
+    Pcie3,
+    /// First-generation NVLink (Minsky EA systems).
+    NvLink1,
+    /// Second-generation NVLink (Witherspoon / final system).
+    NvLink2,
+    /// GPUDirect RDMA path (NIC -> GPU without host staging).
+    GpuDirect,
+    /// Node-to-node fabric (InfiniBand EDR, Aries, BG/Q torus, ...).
+    Fabric,
+}
+
+/// A point-to-point link.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkSpec {
+    pub kind: LinkKind,
+    /// Achievable per-direction bandwidth, GB/s.
+    pub bw_gbs: f64,
+    /// One-way latency in microseconds (page-lock, doorbell, DMA setup).
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// Time in seconds to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency_us * 1e-6 + bytes / (self.bw_gbs * 1e9)
+    }
+
+    /// Effective bandwidth (bytes/s) for a transfer of `bytes`, including
+    /// latency. Small transfers see far less than peak — the §4.11
+    /// GPUDirect-vs-cudaMemcpy crossover falls out of this.
+    pub fn effective_bw(&self, bytes: f64) -> f64 {
+        bytes / self.transfer_time(bytes)
+    }
+}
+
+/// Everything on one node.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeConfig {
+    pub cpu: CpuSpec,
+    /// GPUs on the node (empty for CPU-only machines).
+    pub gpus: Vec<GpuSpec>,
+    /// Host <-> GPU link (one per GPU, all identical).
+    pub host_gpu_link: Option<LinkSpec>,
+    /// GPU <-> GPU peer link if present.
+    pub peer_link: Option<LinkSpec>,
+    /// Node-local NVMe: (capacity GiB, bandwidth GB/s) if present.
+    pub nvme: Option<(f64, f64)>,
+}
+
+impl NodeConfig {
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Aggregate fp64 peak of the node in Gflop/s (CPU + all GPUs).
+    pub fn node_peak_gflops(&self) -> f64 {
+        self.cpu.peak_gflops(self.cpu.cores())
+            + self.gpus.iter().map(|g| g.fp64_gflops).sum::<f64>()
+    }
+}
+
+/// Node-to-node network description.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NetworkSpec {
+    /// Injection bandwidth per node, GB/s.
+    pub injection_bw_gbs: f64,
+    /// Small-message one-way latency, microseconds.
+    pub latency_us: f64,
+    /// Whether adapters can DMA straight into GPU memory.
+    pub gpudirect: bool,
+}
+
+/// A full machine: many identical nodes plus a fabric.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Machine {
+    pub name: &'static str,
+    /// Deployment year (Table 2 reports machines by year).
+    pub year: u32,
+    pub node: NodeConfig,
+    pub nodes: usize,
+    pub network: NetworkSpec,
+}
+
+impl Machine {
+    /// Aggregate fp64 peak of the whole machine in Gflop/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.node.node_peak_gflops() * self.nodes as f64
+    }
+
+    /// The host->device link, falling back to a PCIe3 default for machines
+    /// predating NVLink.
+    pub fn host_gpu_link(&self) -> LinkSpec {
+        self.node.host_gpu_link.clone().unwrap_or(LinkSpec {
+            kind: LinkKind::Pcie3,
+            bw_gbs: 12.0,
+            latency_us: 10.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(bw: f64, lat: f64) -> LinkSpec {
+        LinkSpec { kind: LinkKind::Pcie3, bw_gbs: bw, latency_us: lat }
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = link(10.0, 5.0);
+        assert!(l.transfer_time(0.0) >= 5e-6 - 1e-12);
+        // 1 GB at 10 GB/s is 0.1 s; latency is negligible there.
+        let t = l.transfer_time(1e9);
+        assert!((t - 0.1).abs() / 0.1 < 1e-3);
+    }
+
+    #[test]
+    fn effective_bw_grows_with_message_size() {
+        let l = link(50.0, 8.0);
+        let small = l.effective_bw(1024.0);
+        let big = l.effective_bw(64.0 * 1024.0 * 1024.0);
+        assert!(small < big);
+        assert!(big <= 50.0 * 1e9);
+    }
+
+    #[test]
+    fn cpu_peak_saturates_at_core_count() {
+        let cpu = CpuSpec {
+            name: "test",
+            sockets: 2,
+            cores_per_socket: 4,
+            gflops_per_core: 10.0,
+            mem_bw_gbs: 100.0,
+            mem_capacity_gib: 256.0,
+            compute_efficiency: 0.8,
+        };
+        assert_eq!(cpu.cores(), 8);
+        assert_eq!(cpu.peak_gflops(4), 40.0);
+        assert_eq!(cpu.peak_gflops(100), 80.0);
+    }
+}

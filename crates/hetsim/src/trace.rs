@@ -1,0 +1,208 @@
+//! Timeline tracing — the reproduction's stand-in for the tools work of
+//! §4.10.6 (hardware-counter access, Performance Co-Pilot): every launch
+//! and transfer can be recorded as a span and summarised per kernel or
+//! exported as a text timeline.
+
+use serde::Serialize;
+
+use crate::sim::{Sim, StreamId, Target, TransferKind};
+use crate::KernelProfile;
+use crate::Loc;
+
+/// One recorded span on a stream.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Span {
+    pub name: String,
+    /// Stream label, e.g. "gpu0.s0" or "cpu".
+    pub stream: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Span {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+fn stream_label(s: StreamId) -> String {
+    match s.target {
+        Target::Cpu { .. } => format!("cpu.s{}", s.index),
+        Target::Gpu { id } => format!("gpu{}.s{}", id, s.index),
+    }
+}
+
+/// A tracing wrapper over [`Sim`].
+pub struct TracedSim {
+    pub sim: Sim,
+    pub spans: Vec<Span>,
+}
+
+impl TracedSim {
+    pub fn new(sim: Sim) -> TracedSim {
+        TracedSim { sim, spans: Vec::new() }
+    }
+
+    /// Launch with recording (default stream of `target`).
+    pub fn launch(&mut self, target: Target, k: &KernelProfile) -> f64 {
+        self.launch_on(StreamId::default_for(target), k)
+    }
+
+    /// Launch on a stream with recording.
+    pub fn launch_on(&mut self, stream: StreamId, k: &KernelProfile) -> f64 {
+        let start = self.sim.stream_time(stream);
+        let dt = self.sim.launch_on(stream, k);
+        self.spans.push(Span {
+            name: k.name.clone(),
+            stream: stream_label(stream),
+            start,
+            end: start + dt,
+        });
+        dt
+    }
+
+    /// Transfer with recording.
+    pub fn transfer(&mut self, src: Loc, dst: Loc, bytes: f64, kind: TransferKind) -> f64 {
+        let before = self.sim.elapsed();
+        let dt = self.sim.transfer(src, dst, bytes, kind);
+        self.spans.push(Span {
+            name: format!("xfer {src:?}->{dst:?} ({bytes:.0} B)"),
+            stream: "dma".to_string(),
+            start: before,
+            end: before + dt,
+        });
+        dt
+    }
+
+    /// Busy seconds per kernel name, descending (the profiler's hot list).
+    pub fn hot_list(&self) -> Vec<(String, f64)> {
+        let mut agg: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for s in &self.spans {
+            *agg.entry(s.name.clone()).or_insert(0.0) += s.duration();
+        }
+        let mut out: Vec<(String, f64)> = agg.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out
+    }
+
+    /// ASCII timeline, one row per stream, `width` characters across the
+    /// full elapsed range.
+    pub fn render_timeline(&self, width: usize) -> String {
+        let t_end = self.sim.elapsed().max(1e-300);
+        let mut streams: Vec<String> = self.spans.iter().map(|s| s.stream.clone()).collect();
+        streams.sort();
+        streams.dedup();
+        let mut out = String::new();
+        for stream in streams {
+            let mut row = vec![b'.'; width];
+            for (i, s) in self.spans.iter().enumerate() {
+                if s.stream != stream {
+                    continue;
+                }
+                let a = ((s.start / t_end) * width as f64) as usize;
+                let b = (((s.end / t_end) * width as f64).ceil() as usize).min(width);
+                let mark = b"#*+=%@"[i % 6];
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = mark;
+                }
+            }
+            out.push_str(&format!("{stream:<10} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out
+    }
+
+    /// JSON export of the spans (Chrome-trace-adjacent).
+    pub fn to_json(&self) -> String {
+        json::encode_spans(&self.spans)
+    }
+}
+
+// A tiny hand-rolled JSON encoder keeps `serde_json` out of the
+// dependency set (only `serde` itself is sanctioned).
+mod json {
+    use super::Span;
+
+    pub fn encode_spans(spans: &[Span]) -> String {
+        let mut out = String::from("[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"stream\":\"{}\",\"start\":{:.9},\"end\":{:.9}}}",
+                s.name.replace('"', "'"),
+                s.stream,
+                s.start,
+                s.end
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    fn traced() -> TracedSim {
+        TracedSim::new(Sim::new(machines::sierra_node()))
+    }
+
+    #[test]
+    fn spans_record_launches_in_order() {
+        let mut t = traced();
+        let k1 = KernelProfile::new("alpha").flops(1e9);
+        let k2 = KernelProfile::new("beta").flops(2e9);
+        t.launch(Target::gpu(0), &k1);
+        t.launch(Target::gpu(0), &k2);
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].name, "alpha");
+        assert!((t.spans[0].end - t.spans[1].start).abs() < 1e-15, "spans must abut");
+        assert!(t.spans[1].duration() > t.spans[0].duration());
+    }
+
+    #[test]
+    fn hot_list_ranks_by_busy_time() {
+        let mut t = traced();
+        let small = KernelProfile::new("small").flops(1e8);
+        let big = KernelProfile::new("big").flops(5e9);
+        for _ in 0..3 {
+            t.launch(Target::gpu(0), &small);
+        }
+        t.launch(Target::gpu(0), &big);
+        let hot = t.hot_list();
+        assert_eq!(hot[0].0, "big");
+        assert_eq!(hot.len(), 2);
+    }
+
+    #[test]
+    fn transfers_appear_on_the_dma_row() {
+        let mut t = traced();
+        t.transfer(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::Memcpy);
+        assert_eq!(t.spans[0].stream, "dma");
+        let timeline = t.render_timeline(40);
+        assert!(timeline.contains("dma"));
+    }
+
+    #[test]
+    fn timeline_rows_cover_streams() {
+        let mut t = traced();
+        t.launch(Target::gpu(0), &KernelProfile::new("a").flops(1e9));
+        t.launch(Target::gpu(1), &KernelProfile::new("b").flops(1e9));
+        t.launch(Target::cpu(8), &KernelProfile::new("c").flops(1e9));
+        let tl = t.render_timeline(32);
+        assert_eq!(tl.lines().count(), 3);
+        assert!(tl.contains("gpu0.s0") && tl.contains("gpu1.s0") && tl.contains("cpu.s0"));
+    }
+
+    #[test]
+    fn json_export_is_wellformed_enough() {
+        let mut t = traced();
+        t.launch(Target::gpu(0), &KernelProfile::new("k").flops(1e9));
+        let j = t.to_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"name\":\"k\""));
+    }
+}

@@ -1,0 +1,119 @@
+//! CUDA Unified Memory model.
+//!
+//! Several activities leaned on unified memory: hypre's BoomerAMG solve
+//! phase *requires* it (§4.10.1), MFEM added it to its matrix classes for
+//! hypre integration (§4.10.4), SAMRAI's performance work was largely about
+//! *reducing unnecessary unified-memory traffic* (§4.10.5), and VBL noted
+//! that unified memory moves data in 64 KiB blocks (§4.11).
+//!
+//! The model: a migration moves data page-by-page; each page fault costs a
+//! fixed service time on top of the link transfer, so small or scattered
+//! working sets see far less than link bandwidth.
+
+use crate::spec::LinkSpec;
+
+/// Unified-memory page size (the 64 KiB granularity §4.11 cites).
+pub const PAGE_BYTES: f64 = 64.0 * 1024.0;
+
+/// GPU page-fault service time, seconds (fault + TLB shootdown + map).
+pub const FAULT_SERVICE_S: f64 = 20e-6;
+
+/// Number of pages touched by `bytes` of migration.
+pub fn pages(bytes: f64) -> f64 {
+    (bytes / PAGE_BYTES).ceil().max(0.0)
+}
+
+/// Time to migrate `bytes` on first touch over `link`.
+pub fn migration_time(link: &LinkSpec, bytes: f64) -> f64 {
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    // Faults are serviced in batches of up to 16 pages on Pascal+.
+    let fault_batches = (pages(bytes) / 16.0).ceil();
+    fault_batches * FAULT_SERVICE_S + bytes / (link.bw_gbs * 1e9)
+}
+
+/// Tracks residency of one allocation so repeated kernels only pay
+/// migration when the data actually moved (the SAMRAI lesson: keep data in
+/// device memory as long as possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    Host,
+    Device,
+}
+
+/// A managed allocation with first-touch migration accounting.
+#[derive(Debug, Clone)]
+pub struct ManagedBuffer {
+    pub bytes: f64,
+    pub residency: Residency,
+    /// Total migration seconds paid so far.
+    pub migration_cost: f64,
+    /// Number of migrations performed.
+    pub migrations: u32,
+}
+
+impl ManagedBuffer {
+    pub fn new(bytes: f64, residency: Residency) -> Self {
+        ManagedBuffer { bytes, residency, migration_cost: 0.0, migrations: 0 }
+    }
+
+    /// Touch the buffer from `side`; returns the migration time paid (zero
+    /// if already resident).
+    pub fn touch(&mut self, side: Residency, link: &LinkSpec) -> f64 {
+        if self.residency == side {
+            return 0.0;
+        }
+        let t = migration_time(link, self.bytes);
+        self.residency = side;
+        self.migration_cost += t;
+        self.migrations += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LinkKind;
+
+    fn nvlink() -> LinkSpec {
+        LinkSpec { kind: LinkKind::NvLink2, bw_gbs: 68.0, latency_us: 8.0 }
+    }
+
+    #[test]
+    fn page_rounding() {
+        assert_eq!(pages(1.0), 1.0);
+        assert_eq!(pages(PAGE_BYTES), 1.0);
+        assert_eq!(pages(PAGE_BYTES + 1.0), 2.0);
+    }
+
+    #[test]
+    fn migration_slower_than_bulk_copy() {
+        let l = nvlink();
+        let bytes = 8.0 * 1024.0 * 1024.0;
+        assert!(migration_time(&l, bytes) > l.transfer_time(bytes));
+    }
+
+    #[test]
+    fn resident_touch_is_free() {
+        let l = nvlink();
+        let mut b = ManagedBuffer::new(1e6, Residency::Host);
+        assert!(b.touch(Residency::Device, &l) > 0.0);
+        assert_eq!(b.touch(Residency::Device, &l), 0.0);
+        assert_eq!(b.migrations, 1);
+    }
+
+    #[test]
+    fn ping_pong_costs_double() {
+        // The Cardioid lesson (§4.1): moving data to the "optimal" processor
+        // every iteration can cost more than computing in place.
+        let l = nvlink();
+        let mut b = ManagedBuffer::new(64e6, Residency::Host);
+        b.touch(Residency::Device, &l);
+        b.touch(Residency::Host, &l);
+        b.touch(Residency::Device, &l);
+        assert_eq!(b.migrations, 3);
+        assert!(b.migration_cost > 2.0 * migration_time(&l, 64e6));
+    }
+}

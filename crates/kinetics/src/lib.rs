@@ -1,0 +1,31 @@
+//! `kinetics` — the Cretin stand-in (§4.3).
+//!
+//! Cretin "solves a system of rate equations to compute populations of
+//! various atomic configurations for situations in which a plasma is in
+//! non-local thermodynamic equilibrium". The main computation "calculates
+//! transition rates between pairs of states, forms a rate matrix from
+//! them, and inverts that matrix to update the populations", per zone, for
+//! thousands of zones.
+//!
+//! We do not have the proprietary hohlraum atomic models, so [`model`]
+//! generates synthetic models with the same structure (bound states with
+//! energies, collisional + radiative transitions obeying detailed balance,
+//! plus non-LTE photo-pumping) at the paper's size tiers. The solver
+//! machinery is real:
+//!
+//! * [`rates`] — rate-matrix assembly, steady-state population solves
+//!   (direct LU — the cuSOLVER path; GMRES — the hand-rolled cuSPARSE
+//!   iterative path of §4.3), opacity evaluation;
+//! * [`zones`] — per-zone batching, with the two threading strategies the
+//!   paper contrasts: CPU threads that each need a full per-zone workspace
+//!   (idling cores when DDR runs out — 60 % idled for the largest model)
+//!   vs the GPU path that threads over transitions and keeps only one
+//!   zone resident.
+
+pub mod model;
+pub mod rates;
+pub mod zones;
+
+pub use model::{AtomicModel, ModelTier};
+pub use rates::{solve_populations_direct, solve_populations_gmres, RateMatrix};
+pub use zones::{NodeThroughput, ZoneBatch};

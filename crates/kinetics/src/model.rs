@@ -1,0 +1,199 @@
+//! Synthetic atomic models.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's model-size tiers. The production hohlraum calculations used
+/// a ladder of gold models; the state counts here match the *relative*
+/// sizes the paper reasons about (the largest models are the ones that
+/// blow out CPU memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelTier {
+    /// Screening model.
+    Small,
+    /// Production default.
+    Medium,
+    /// "Second largest" — the 5.75x datapoint.
+    SecondLargest,
+    /// The largest model — the one that idles 60 % of CPU cores.
+    Largest,
+}
+
+impl ModelTier {
+    /// Test-scale state count: small enough to solve densely in tests
+    /// while keeping the tier ordering.
+    pub fn states(&self) -> usize {
+        match self {
+            ModelTier::Small => 60,
+            ModelTier::Medium => 200,
+            ModelTier::SecondLargest => 450,
+            ModelTier::Largest => 900,
+        }
+    }
+
+    /// Production-scale state count (what the hohlraum models actually
+    /// look like; this is what the node-throughput and memory models use).
+    pub fn production_states(&self) -> usize {
+        match self {
+            ModelTier::Small => 2_000,
+            ModelTier::Medium => 8_000,
+            ModelTier::SecondLargest => 18_000,
+            ModelTier::Largest => 30_000,
+        }
+    }
+
+    /// Per-zone CPU workspace for the production model: dense rate matrix
+    /// + LU copy + frequency-dependent line buffers.
+    pub fn production_workspace_bytes(&self) -> f64 {
+        let n = self.production_states() as f64;
+        2.0 * n * n * 8.0 + 4.0 * n * 2_000.0 * 8.0
+    }
+}
+
+/// One transition between bound states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    pub lower: usize,
+    pub upper: usize,
+    /// Collision strength (sets the collisional rate scale).
+    pub strength: f64,
+    /// Spontaneous radiative decay rate (upper -> lower).
+    pub a_rate: f64,
+}
+
+/// A synthetic atomic model: states with energies plus a transition list.
+#[derive(Debug, Clone)]
+pub struct AtomicModel {
+    /// State energies, ascending, `energy[0] == 0`.
+    pub energy: Vec<f64>,
+    /// Statistical weights.
+    pub weight: Vec<f64>,
+    pub transitions: Vec<Transition>,
+}
+
+impl AtomicModel {
+    /// Generate a model with `n` states; deterministic in `seed`.
+    pub fn synthetic(n: usize, seed: u64) -> AtomicModel {
+        assert!(n >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut energy = vec![0.0f64];
+        let mut e = 0.0;
+        for _ in 1..n {
+            e += rng.gen_range(0.05..0.3);
+            energy.push(e);
+        }
+        let weight: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..8.0f64).floor()).collect();
+        // Transitions: every state couples to a handful of nearby states
+        // (dipole-allowed ladder) plus sparse long-range couplings.
+        let mut transitions = Vec::new();
+        for u in 1..n {
+            let reach = 6.min(u);
+            for step in 1..=reach {
+                let l = u - step;
+                if step <= 2 || rng.gen_bool(0.3) {
+                    transitions.push(Transition {
+                        lower: l,
+                        upper: u,
+                        strength: rng.gen_range(0.1..2.0),
+                        a_rate: rng.gen_range(0.01..1.0) / (1.0 + step as f64),
+                    });
+                }
+            }
+        }
+        AtomicModel { energy, weight, transitions }
+    }
+
+    pub fn tier(tier: ModelTier, seed: u64) -> AtomicModel {
+        AtomicModel::synthetic(tier.states(), seed)
+    }
+
+    pub fn n_states(&self) -> usize {
+        self.energy.len()
+    }
+
+    pub fn n_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Boltzmann populations at temperature `te` (the LTE limit).
+    pub fn boltzmann(&self, te: f64) -> Vec<f64> {
+        let mut p: Vec<f64> = self
+            .energy
+            .iter()
+            .zip(&self.weight)
+            .map(|(e, g)| g * (-e / te).exp())
+            .collect();
+        let z: f64 = p.iter().sum();
+        for v in p.iter_mut() {
+            *v /= z;
+        }
+        p
+    }
+
+    /// Per-zone workspace bytes: the dense rate matrix plus LU scratch.
+    /// This is what limits CPU thread counts (§4.3).
+    pub fn workspace_bytes(&self) -> f64 {
+        let n = self.n_states() as f64;
+        // matrix + LU copy + pivots + a few vectors
+        2.0 * n * n * 8.0 + 6.0 * n * 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energies_ascend_from_zero() {
+        let m = AtomicModel::synthetic(50, 3);
+        assert_eq!(m.energy[0], 0.0);
+        for w in m.energy.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn transitions_go_upward() {
+        let m = AtomicModel::synthetic(80, 4);
+        for t in &m.transitions {
+            assert!(t.upper > t.lower);
+            assert!(t.strength > 0.0 && t.a_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn boltzmann_normalised_and_decreasing_without_weights() {
+        let mut m = AtomicModel::synthetic(40, 5);
+        m.weight = vec![1.0; 40];
+        let p = m.boltzmann(0.5);
+        let s: f64 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        for w in p.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn tiers_are_ordered_by_size() {
+        assert!(ModelTier::Small.states() < ModelTier::Medium.states());
+        assert!(ModelTier::Medium.states() < ModelTier::SecondLargest.states());
+        assert!(ModelTier::SecondLargest.states() < ModelTier::Largest.states());
+    }
+
+    #[test]
+    fn workspace_grows_quadratically() {
+        let small = AtomicModel::tier(ModelTier::Small, 1).workspace_bytes();
+        let large = AtomicModel::tier(ModelTier::Largest, 1).workspace_bytes();
+        let ratio = large / small;
+        let n_ratio = (ModelTier::Largest.states() as f64 / ModelTier::Small.states() as f64).powi(2);
+        assert!((ratio / n_ratio - 1.0).abs() < 0.05, "{ratio} vs {n_ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = AtomicModel::synthetic(30, 77);
+        let b = AtomicModel::synthetic(30, 77);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.transitions.len(), b.transitions.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Rate-matrix assembly and population solves.
+//!
+//! Collisional rates obey detailed balance at the electron temperature, so
+//! with no radiation field the steady state is Boltzmann (LTE). Radiative
+//! decay and photo-pumping drive the populations out of LTE — that is the
+//! "non-LTE" in Cretin's job description.
+
+use linalg::{CsrMatrix, DenseMatrix};
+
+use crate::model::AtomicModel;
+
+/// Plasma conditions in one zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneConditions {
+    /// Electron temperature.
+    pub te: f64,
+    /// Electron density (scales collisional rates).
+    pub ne: f64,
+    /// Radiation-field strength (scales photo rates; 0 = no field).
+    pub radiation: f64,
+}
+
+/// The assembled rate matrix `A` with `dn/dt = A n`.
+#[derive(Debug, Clone)]
+pub struct RateMatrix {
+    pub n: usize,
+    pub a: DenseMatrix,
+}
+
+impl RateMatrix {
+    /// Assemble for `model` under `cond`. `radiative` switches spontaneous
+    /// decay + photo-pumping on (the non-LTE physics).
+    pub fn assemble(model: &AtomicModel, cond: ZoneConditions, radiative: bool) -> RateMatrix {
+        let n = model.n_states();
+        let mut a = DenseMatrix::zeros(n, n);
+        for t in &model.transitions {
+            let (l, u) = (t.lower, t.upper);
+            let de = model.energy[u] - model.energy[l];
+            // Downward collisional rate ~ ne * strength; upward obeys
+            // detailed balance: up/down = (g_u/g_l) exp(-dE/Te).
+            let down = cond.ne * t.strength;
+            let up = down * (model.weight[u] / model.weight[l]) * (-de / cond.te).exp();
+            a[(u, l)] += up; // l -> u populates u
+            a[(l, l)] -= up;
+            a[(l, u)] += down; // u -> l populates l
+            a[(u, u)] -= down;
+            if radiative {
+                // Spontaneous decay u -> l plus photo-excitation l -> u.
+                let decay = t.a_rate;
+                a[(l, u)] += decay;
+                a[(u, u)] -= decay;
+                let pump = cond.radiation * t.a_rate * 0.5;
+                a[(u, l)] += pump;
+                a[(l, l)] -= pump;
+            }
+        }
+        RateMatrix { n, a }
+    }
+
+    /// Column sums must vanish (population conservation).
+    pub fn max_column_sum(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.n {
+            let mut s = 0.0;
+            for i in 0..self.n {
+                s += self.a[(i, j)];
+            }
+            worst = worst.max(s.abs());
+        }
+        worst
+    }
+
+    /// The singular steady-state system with the normalisation row
+    /// `sum_i n_i = 1` replacing the last equation.
+    fn normalised_system(&self) -> (DenseMatrix, Vec<f64>) {
+        let n = self.n;
+        let mut m = self.a.clone();
+        for j in 0..n {
+            m[(n - 1, j)] = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        (m, b)
+    }
+
+    /// Sparse view of the normalised system (for the iterative solver).
+    fn normalised_csr(&self) -> (CsrMatrix, Vec<f64>) {
+        let (m, b) = self.normalised_system();
+        let mut trip = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let v = m[(i, j)];
+                if v != 0.0 {
+                    trip.push((i, j, v));
+                }
+            }
+        }
+        (CsrMatrix::from_triplets(self.n, self.n, &trip), b)
+    }
+}
+
+/// Direct (LU / cuSOLVER-path) steady-state populations.
+pub fn solve_populations_direct(rm: &RateMatrix) -> Vec<f64> {
+    let (m, b) = rm.normalised_system();
+    m.solve(&b).expect("rate matrix solvable")
+}
+
+/// Iterative (GMRES / cuSPARSE-path) steady-state populations. Returns
+/// `(populations, iterations)`.
+pub fn solve_populations_gmres(rm: &RateMatrix, tol: f64) -> (Vec<f64>, usize) {
+    let (a, b) = rm.normalised_csr();
+    let mut x = vec![1.0 / rm.n as f64; rm.n];
+    let mut pre = linalg::krylov::JacobiPrecond::new(&a);
+    let stats = linalg::gmres(&a, &b, &mut x, &mut pre, 50, tol, 20_000);
+    (x, stats.iterations)
+}
+
+/// Frequency-binned opacity from populations: each transition contributes
+/// `n_lower * strength` into the bin of its energy gap.
+pub fn opacity(model: &AtomicModel, populations: &[f64], bins: usize, emax: f64) -> Vec<f64> {
+    let mut out = vec![0.0; bins];
+    for t in &model.transitions {
+        let de = model.energy[t.upper] - model.energy[t.lower];
+        let bin = ((de / emax) * bins as f64) as usize;
+        if bin < bins {
+            out[bin] += populations[t.lower] * t.strength;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AtomicModel;
+
+    fn cond(radiation: f64) -> ZoneConditions {
+        ZoneConditions { te: 0.8, ne: 5.0, radiation }
+    }
+
+    #[test]
+    fn rate_matrix_conserves_population() {
+        let m = AtomicModel::synthetic(60, 11);
+        let rm = RateMatrix::assemble(&m, cond(1.0), true);
+        assert!(rm.max_column_sum() < 1e-10, "{}", rm.max_column_sum());
+    }
+
+    #[test]
+    fn collisional_only_steady_state_is_boltzmann() {
+        let m = AtomicModel::synthetic(40, 13);
+        let rm = RateMatrix::assemble(&m, cond(0.0), false);
+        let pop = solve_populations_direct(&rm);
+        let lte = m.boltzmann(0.8);
+        for i in 0..m.n_states() {
+            assert!(
+                (pop[i] - lte[i]).abs() < 1e-8 * (1.0 + lte[i]),
+                "state {i}: {} vs {}",
+                pop[i],
+                lte[i]
+            );
+        }
+    }
+
+    #[test]
+    fn radiation_drives_non_lte() {
+        let m = AtomicModel::synthetic(40, 17);
+        let rm = RateMatrix::assemble(&m, cond(0.0), true); // decay, no pump
+        let pop = solve_populations_direct(&rm);
+        let lte = m.boltzmann(0.8);
+        // Spontaneous decay depletes excited states below LTE.
+        let dev: f64 = pop
+            .iter()
+            .zip(&lte)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(dev > 1e-4, "populations stayed LTE: {dev}");
+        let excited_pop: f64 = pop[1..].iter().sum();
+        let excited_lte: f64 = lte[1..].iter().sum();
+        assert!(excited_pop < excited_lte);
+    }
+
+    #[test]
+    fn populations_are_normalised_and_nonnegative() {
+        let m = AtomicModel::synthetic(80, 19);
+        let rm = RateMatrix::assemble(&m, cond(2.0), true);
+        let pop = solve_populations_direct(&rm);
+        let s: f64 = pop.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        for (i, &p) in pop.iter().enumerate() {
+            assert!(p > -1e-10, "negative population at {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn gmres_matches_direct_solver() {
+        // §4.3: the hand-rolled iterative solver must agree with cuSOLVER.
+        let m = AtomicModel::synthetic(50, 23);
+        let rm = RateMatrix::assemble(&m, cond(1.5), true);
+        let direct = solve_populations_direct(&rm);
+        let (iter, its) = solve_populations_gmres(&rm, 1e-12);
+        assert!(its > 0);
+        for i in 0..m.n_states() {
+            assert!(
+                (direct[i] - iter[i]).abs() < 1e-6,
+                "state {i}: {} vs {}",
+                direct[i],
+                iter[i]
+            );
+        }
+    }
+
+    #[test]
+    fn opacity_bins_are_nonnegative_and_peaked_where_lines_are() {
+        let m = AtomicModel::synthetic(60, 29);
+        let rm = RateMatrix::assemble(&m, cond(1.0), true);
+        let pop = solve_populations_direct(&rm);
+        let emax = m.energy.last().copied().unwrap_or(1.0);
+        let op = opacity(&m, &pop, 32, emax);
+        assert!(op.iter().all(|&v| v >= 0.0));
+        assert!(op.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn hotter_plasma_populates_higher_states() {
+        let m = AtomicModel::synthetic(40, 31);
+        let cold = solve_populations_direct(&RateMatrix::assemble(
+            &m,
+            ZoneConditions { te: 0.3, ne: 5.0, radiation: 0.0 },
+            false,
+        ));
+        let hot = solve_populations_direct(&RateMatrix::assemble(
+            &m,
+            ZoneConditions { te: 3.0, ne: 5.0, radiation: 0.0 },
+            false,
+        ));
+        let cold_excited: f64 = cold[10..].iter().sum();
+        let hot_excited: f64 = hot[10..].iter().sum();
+        assert!(hot_excited > cold_excited);
+    }
+}

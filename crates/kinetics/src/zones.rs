@@ -1,0 +1,167 @@
+//! Zone batching and the CPU-vs-GPU node-throughput model.
+//!
+//! §4.3, the two codes' memory behaviour:
+//!
+//! > "The GPU version, which is threaded over atomic transitions, only
+//! > needs enough GPU memory to process one zone. Each thread in the CPU
+//! > version needs enough private memory to process one zone, which
+//! > prevents the use of some CPU cores for large models."
+//!
+//! [`NodeThroughput`] computes zones/second for both versions, including
+//! the memory-constrained CPU thread count (the largest model idles ~60 %
+//! of the cores, making the GPU speedup balloon).
+
+use hetsim::{KernelProfile, Machine, Target};
+
+use crate::model::{AtomicModel, ModelTier};
+use crate::rates::{solve_populations_direct, RateMatrix, ZoneConditions};
+
+/// A batch of plasma zones to solve.
+#[derive(Debug, Clone)]
+pub struct ZoneBatch {
+    pub conditions: Vec<ZoneConditions>,
+}
+
+impl ZoneBatch {
+    /// A temperature/density ramp of `n` zones (hohlraum-wall-ish).
+    pub fn ramp(n: usize) -> ZoneBatch {
+        let conditions = (0..n)
+            .map(|i| {
+                let f = i as f64 / n.max(1) as f64;
+                ZoneConditions { te: 0.3 + 2.0 * f, ne: 2.0 + 8.0 * f, radiation: 0.5 + f }
+            })
+            .collect();
+        ZoneBatch { conditions }
+    }
+
+    /// Actually solve every zone (real math; used by tests/examples).
+    pub fn solve_all(&self, model: &AtomicModel) -> Vec<Vec<f64>> {
+        self.conditions
+            .iter()
+            .map(|c| solve_populations_direct(&RateMatrix::assemble(model, *c, true)))
+            .collect()
+    }
+}
+
+/// Per-zone work at production scale: rate evaluation + matrix assembly +
+/// LU solve.
+fn zone_profile(tier: ModelTier, on_gpu: bool) -> KernelProfile {
+    let n = tier.production_states() as f64;
+    let nt = 4.0 * n; // dipole-ladder density, as in the synthetic models
+    // Rates: ~60 flops per transition (exp evaluations); assembly writes;
+    // LU: 2/3 n^3; solve: 2 n^2.
+    let flops = 60.0 * nt + (2.0 / 3.0) * n * n * n + 2.0 * n * n;
+    let bytes = 8.0 * (n * n * 3.0 + nt * 4.0);
+    let mut k = KernelProfile::new("cretin-zone")
+        .flops(flops)
+        .bytes_read(bytes)
+        .bytes_written(8.0 * n * n);
+    if on_gpu {
+        // Threaded over transitions/rows within the zone. Kinetics kernels
+        // are branchy and partly serialised (pivoting), so the achieved
+        // fraction of peak is modest.
+        k = k.parallelism(n * n).compute_eff(0.12);
+    } else {
+        k = k.parallelism(1.0).compute_eff(0.7);
+    }
+    k
+}
+
+/// Node-level throughput (zones/second) for one machine and model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeThroughput {
+    pub cpu_zones_per_s: f64,
+    pub gpu_zones_per_s: f64,
+    /// CPU threads actually usable under the DDR constraint.
+    pub cpu_threads_used: usize,
+    /// Fraction of cores idled by the memory constraint.
+    pub cpu_idle_fraction: f64,
+}
+
+impl NodeThroughput {
+    pub fn evaluate(machine: &Machine, tier: ModelTier) -> NodeThroughput {
+        let cores = machine.node.cpu.cores();
+        // Most of DDR holds per-thread zone workspaces; ~10 % goes to the
+        // host application.
+        let usable = machine.node.cpu.mem_capacity_gib * 1024.0 * 1024.0 * 1024.0 * 0.9;
+        let per_thread = tier.production_workspace_bytes();
+        let max_threads = ((usable / per_thread).floor() as usize).max(1);
+        let threads = cores.min(max_threads);
+        let idle = 1.0 - threads as f64 / cores as f64;
+
+        let sim = hetsim::Sim::new(machine.clone());
+        // CPU: `threads` zones in flight, each on one core.
+        let t_zone_cpu = sim.cost(Target::cpu(1), &zone_profile(tier, false));
+        let cpu_rate = threads as f64 / t_zone_cpu;
+        // GPU: zones run one after another but each uses the whole device;
+        // all GPUs of the node work on independent zones.
+        let gpus = machine.node.gpu_count().max(1);
+        let t_zone_gpu = sim.cost(Target::gpu(0), &zone_profile(tier, true));
+        let gpu_rate = gpus as f64 / t_zone_gpu;
+
+        NodeThroughput {
+            cpu_zones_per_s: cpu_rate,
+            gpu_zones_per_s: gpu_rate,
+            cpu_threads_used: threads,
+            cpu_idle_fraction: idle,
+        }
+    }
+
+    pub fn gpu_speedup(&self) -> f64 {
+        self.gpu_zones_per_s / self.cpu_zones_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelTier;
+    use hetsim::machines;
+
+    #[test]
+    fn ramp_zones_solve_and_normalise() {
+        let model = AtomicModel::synthetic(30, 41);
+        let batch = ZoneBatch::ramp(8);
+        let pops = batch.solve_all(&model);
+        assert_eq!(pops.len(), 8);
+        for p in &pops {
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_models_use_all_cores() {
+        let t = NodeThroughput::evaluate(&machines::sierra_node(), ModelTier::Small);
+        assert_eq!(t.cpu_idle_fraction, 0.0);
+        assert_eq!(t.cpu_threads_used, 44);
+    }
+
+    #[test]
+    fn largest_model_idles_most_cores() {
+        // §4.3: "memory constraints require idling 60 % of CPU cores".
+        let t = NodeThroughput::evaluate(&machines::sierra_node(), ModelTier::Largest);
+        assert!(
+            t.cpu_idle_fraction > 0.4 && t.cpu_idle_fraction < 0.9,
+            "idle fraction {}",
+            t.cpu_idle_fraction
+        );
+    }
+
+    #[test]
+    fn gpu_speedup_grows_with_model_size() {
+        let node = machines::sierra_node();
+        let s2 = NodeThroughput::evaluate(&node, ModelTier::SecondLargest);
+        let s3 = NodeThroughput::evaluate(&node, ModelTier::Largest);
+        assert!(s3.gpu_speedup() > s2.gpu_speedup(), "{} vs {}", s3.gpu_speedup(), s2.gpu_speedup());
+    }
+
+    #[test]
+    fn second_largest_speedup_near_paper_value() {
+        // Paper: 5.75x per node for the second-largest model.
+        let node = machines::sierra_node();
+        let t = NodeThroughput::evaluate(&node, ModelTier::SecondLargest);
+        let s = t.gpu_speedup();
+        assert!(s > 3.5 && s < 9.0, "speedup {s} out of plausible band");
+    }
+}

@@ -1,0 +1,171 @@
+//! Distributed LDA on the dataflow engine — the Fig 2 experiment.
+//!
+//! Per EM iteration, exactly SparkPlug's dataflow: broadcast the topic
+//! matrix, E-step over document partitions (compute), shuffle the sparse
+//! sufficient statistics by word (all-to-all), aggregate the word-topic
+//! count matrix to the driver (all-to-one), M-step.
+
+use dataflow::{Dataset, PhaseTimes, StackConfig};
+use hetsim::Machine;
+
+use crate::corpus::Corpus;
+use crate::vem::LdaModel;
+
+/// Outcome of a distributed run.
+#[derive(Debug, Clone)]
+pub struct LdaRunReport {
+    pub stack: &'static str,
+    pub nodes: usize,
+    pub iterations: usize,
+    pub times: PhaseTimes,
+    pub final_bound: f64,
+    pub model: LdaModel,
+}
+
+/// Run `iterations` of distributed variational EM on `machine` with
+/// `stack`; the math is bit-identical regardless of stack (only the clock
+/// differs).
+pub fn run_distributed(
+    corpus: &Corpus,
+    machine: &Machine,
+    stack: StackConfig,
+    n_topics: usize,
+    iterations: usize,
+    inner_iters: usize,
+) -> LdaRunReport {
+    let vocab = corpus.params.vocab;
+    let mut model = LdaModel::init(n_topics, vocab, 0.1, 42);
+    let mut ds = Dataset::distribute(corpus.docs.clone(), machine, stack);
+    let beta_bytes = (n_topics * vocab * 8) as f64;
+    let mut bound = 0.0;
+
+    // Per-token E-step flops: inner_iters * (digamma + exp + products).
+    let mean_doc_len = corpus.docs.iter().map(|d| d.len()).sum::<usize>() as f64
+        / corpus.docs.len().max(1) as f64;
+    let flops_per_doc = inner_iters as f64 * mean_doc_len * n_topics as f64 * 40.0;
+
+    for _ in 0..iterations {
+        // Broadcast beta.
+        ds.charge_broadcast(beta_bytes);
+        // E-step (compute) + sufficient statistics.
+        let m = &model;
+        let estep = |doc: &Vec<(usize, f64)>| m.e_step_doc(doc, inner_iters);
+        // Charge compute; run for real on each partition.
+        let mut counts = vec![vec![0.0; vocab]; n_topics];
+        bound = 0.0;
+        let mut stat_entries = 0usize;
+        for p in &ds.partitions {
+            for doc in p {
+                let r = estep(doc);
+                stat_entries += r.stats.len();
+                for (w, t, c) in r.stats {
+                    counts[t][w] += c;
+                }
+                bound += r.log_likelihood_bound;
+            }
+        }
+        let n_docs = ds.len() as f64;
+        // Ledger: compute, shuffle of stats by word, aggregate of counts.
+        let compute_flops = flops_per_doc * n_docs;
+        ds.charge_compute_flops(compute_flops);
+        let stat_bytes_per_rank = stat_entries as f64 * 24.0 / ds.num_partitions() as f64;
+        ds.charge_shuffle(stat_bytes_per_rank);
+        let _ = ds.aggregate(0.0f64, beta_bytes, |a, _| a, |a, b| a + b);
+        model.m_step(&counts);
+    }
+
+    LdaRunReport {
+        stack: ds.stack.name,
+        nodes: machine.nodes,
+        iterations,
+        times: ds.times,
+        final_bound: bound,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusParams;
+    use hetsim::machines;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(
+            CorpusParams { n_docs: 64, vocab: 120, n_topics: 3, words_per_doc: 40, zipf_s: 1.1 },
+            21,
+        )
+    }
+
+    #[test]
+    fn distributed_run_produces_breakdown() {
+        let c = small_corpus();
+        let m = machines::sierra_nodes(8);
+        let r = run_distributed(&c, &m, StackConfig::default_stack(), 3, 3, 4);
+        assert!(r.times.compute > 0.0);
+        assert!(r.times.shuffle > 0.0);
+        assert!(r.times.aggregate > 0.0);
+        assert!(r.times.broadcast > 0.0);
+        assert!(r.final_bound.is_finite());
+    }
+
+    #[test]
+    fn optimized_stack_is_at_least_2x_faster_at_32_nodes() {
+        // The Fig 2 headline: "more than 2X over the default stack".
+        let c = small_corpus();
+        let m = machines::sierra_nodes(32);
+        let slow = run_distributed(&c, &m, StackConfig::default_stack(), 3, 3, 4);
+        let fast = run_distributed(&c, &m, StackConfig::optimized_stack(), 3, 3, 4);
+        let speedup = slow.times.total() / fast.times.total();
+        assert!(speedup > 2.0, "speedup {speedup} ({:?} vs {:?})", slow.times, fast.times);
+    }
+
+    #[test]
+    fn both_stacks_compute_identical_models() {
+        let c = small_corpus();
+        let m = machines::sierra_nodes(8);
+        let a = run_distributed(&c, &m, StackConfig::default_stack(), 3, 4, 4);
+        let b = run_distributed(&c, &m, StackConfig::optimized_stack(), 3, 4, 4);
+        assert!((a.final_bound - b.final_bound).abs() < 1e-9);
+        for (ra, rb) in a.model.beta.iter().zip(&b.model.beta) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_model() {
+        let c = small_corpus();
+        let m = machines::sierra_nodes(4);
+        let dist = run_distributed(&c, &m, StackConfig::default_stack(), 3, 3, 4);
+        let mut serial = LdaModel::init(3, c.params.vocab, 0.1, 42);
+        let mut bound = 0.0;
+        for _ in 0..3 {
+            bound = serial.em_iteration(&c, 4);
+        }
+        assert!((dist.final_bound - bound).abs() < 1e-9, "{} vs {bound}", dist.final_bound);
+    }
+
+    #[test]
+    fn scaling_out_reduces_compute_time() {
+        let c = small_corpus();
+        let r8 = run_distributed(
+            &c,
+            &machines::sierra_nodes(8),
+            StackConfig::optimized_stack(),
+            3,
+            2,
+            4,
+        );
+        let r32 = run_distributed(
+            &c,
+            &machines::sierra_nodes(32),
+            StackConfig::optimized_stack(),
+            3,
+            2,
+            4,
+        );
+        assert!(r32.times.compute < r8.times.compute);
+    }
+}

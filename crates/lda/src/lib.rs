@@ -1,0 +1,17 @@
+//! `lda` — the SparkPlug workload (§4.4, Fig 2).
+//!
+//! SparkPlug is LLNL's density-estimation toolbox on Spark; its variational
+//! expectation-maximisation LDA is what the iCoE scaled to the whole
+//! Wikipedia corpus (54 M words, 390 languages, 256 nodes). We do not have
+//! Wikipedia; [`corpus`] generates Zipf-distributed synthetic corpora from
+//! known topic mixtures, which lets tests verify *recovery*, not just
+//! throughput. [`vem`] implements variational EM; [`distributed`] runs it
+//! on the [`dataflow`] engine and produces the Fig 2 phase breakdown.
+
+pub mod corpus;
+pub mod distributed;
+pub mod vem;
+
+pub use corpus::{Corpus, CorpusParams};
+pub use distributed::{run_distributed, LdaRunReport};
+pub use vem::{digamma, LdaModel};

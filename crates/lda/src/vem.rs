@@ -1,0 +1,226 @@
+//! Variational EM for LDA (the SparkPlug algorithm).
+//!
+//! Standard Blei-Ng-Jordan mean-field updates: per document, iterate
+//! `phi_wk ~ beta_kw * exp(digamma(gamma_k))`, `gamma_k = alpha + sum_w
+//! n_w phi_wk`; the M-step re-estimates `beta` from the expected counts.
+
+use crate::corpus::{Corpus, Doc};
+
+/// Digamma via the standard shift + asymptotic series.
+pub fn digamma(mut x: f64) -> f64 {
+    let mut acc = 0.0;
+    while x < 10.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+}
+
+/// The LDA model state.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    pub n_topics: usize,
+    pub vocab: usize,
+    pub alpha: f64,
+    /// Topic-word distributions, rows normalised.
+    pub beta: Vec<Vec<f64>>,
+}
+
+/// Per-document E-step output: variational `gamma` and the expected
+/// word-topic counts contribution.
+pub struct EStepResult {
+    pub gamma: Vec<f64>,
+    /// Sparse sufficient statistics: (word, topic, expected count).
+    pub stats: Vec<(usize, usize, f64)>,
+    pub log_likelihood_bound: f64,
+}
+
+impl LdaModel {
+    /// Deterministic "random" initialisation.
+    pub fn init(n_topics: usize, vocab: usize, alpha: f64, seed: u64) -> LdaModel {
+        let mut beta = Vec::with_capacity(n_topics);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..n_topics {
+            let mut row = Vec::with_capacity(vocab);
+            let mut z = 0.0;
+            for _ in 0..vocab {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = 0.5 + (state >> 33) as f64 / (1u64 << 31) as f64;
+                row.push(v);
+                z += v;
+            }
+            for v in row.iter_mut() {
+                *v /= z;
+            }
+            beta.push(row);
+        }
+        LdaModel { n_topics, vocab, alpha, beta }
+    }
+
+    /// One document's variational E-step.
+    pub fn e_step_doc(&self, doc: &Doc, inner_iters: usize) -> EStepResult {
+        let k = self.n_topics;
+        let total: f64 = doc.iter().map(|(_, c)| c).sum();
+        let mut gamma = vec![self.alpha + total / k as f64; k];
+        let mut phi = vec![vec![1.0 / k as f64; k]; doc.len()];
+        for _ in 0..inner_iters {
+            let dig: Vec<f64> = gamma.iter().map(|&g| digamma(g)).collect();
+            let mut new_gamma = vec![self.alpha; k];
+            for (wi, &(w, count)) in doc.iter().enumerate() {
+                let mut z = 0.0;
+                for t in 0..k {
+                    let v = self.beta[t][w].max(1e-12) * dig[t].exp();
+                    phi[wi][t] = v;
+                    z += v;
+                }
+                for t in 0..k {
+                    phi[wi][t] /= z;
+                    new_gamma[t] += count * phi[wi][t];
+                }
+            }
+            gamma = new_gamma;
+        }
+        let mut stats = Vec::with_capacity(doc.len() * k);
+        let mut bound = 0.0;
+        for (wi, &(w, count)) in doc.iter().enumerate() {
+            let mut word_prob = 0.0;
+            let gsum: f64 = gamma.iter().sum();
+            for t in 0..k {
+                stats.push((w, t, count * phi[wi][t]));
+                word_prob += (gamma[t] / gsum) * self.beta[t][w].max(1e-12);
+            }
+            bound += count * word_prob.max(1e-300).ln();
+        }
+        EStepResult { gamma, stats, log_likelihood_bound: bound }
+    }
+
+    /// M-step: rebuild `beta` from accumulated expected counts
+    /// (`counts[topic][word]`), with a small smoothing prior.
+    pub fn m_step(&mut self, counts: &[Vec<f64>]) {
+        for t in 0..self.n_topics {
+            let z: f64 = counts[t].iter().sum::<f64>() + 1e-3 * self.vocab as f64;
+            for w in 0..self.vocab {
+                self.beta[t][w] = (counts[t][w] + 1e-3) / z;
+            }
+        }
+    }
+
+    /// One full (serial) EM iteration over the corpus; returns the
+    /// log-likelihood bound.
+    pub fn em_iteration(&mut self, corpus: &Corpus, inner_iters: usize) -> f64 {
+        let mut counts = vec![vec![0.0; self.vocab]; self.n_topics];
+        let mut bound = 0.0;
+        for doc in &corpus.docs {
+            let r = self.e_step_doc(doc, inner_iters);
+            for (w, t, c) in r.stats {
+                counts[t][w] += c;
+            }
+            bound += r.log_likelihood_bound;
+        }
+        self.m_step(&counts);
+        bound
+    }
+
+    /// Greedy-match learned topics to true ones; returns the mean cosine
+    /// similarity of matched pairs.
+    pub fn topic_recovery(&self, truth: &[Vec<f64>]) -> f64 {
+        let cos = |a: &[f64], b: &[f64]| {
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            dot / (na * nb).max(1e-300)
+        };
+        let mut used = vec![false; self.n_topics];
+        let mut total = 0.0;
+        for t in truth {
+            let mut best = (0usize, -1.0f64);
+            for (k, row) in self.beta.iter().enumerate() {
+                if used[k] {
+                    continue;
+                }
+                let c = cos(t, row);
+                if c > best.1 {
+                    best = (k, c);
+                }
+            }
+            used[best.0] = true;
+            total += best.1;
+        }
+        total / truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusParams;
+
+    #[test]
+    fn digamma_matches_known_values() {
+        // psi(1) = -gamma_E; psi(2) = 1 - gamma_E.
+        let gamma_e = 0.5772156649015329;
+        assert!((digamma(1.0) + gamma_e).abs() < 1e-10);
+        assert!((digamma(2.0) - (1.0 - gamma_e)).abs() < 1e-10);
+        // Recurrence: psi(x+1) = psi(x) + 1/x.
+        for x in [0.3, 1.7, 5.5, 12.0] {
+            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn beta_rows_stay_normalised() {
+        let c = Corpus::generate(CorpusParams::default(), 5);
+        let mut m = LdaModel::init(4, c.params.vocab, 0.1, 3);
+        m.em_iteration(&c, 5);
+        for row in &m.beta {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn likelihood_bound_improves() {
+        let c = Corpus::generate(CorpusParams::default(), 6);
+        let mut m = LdaModel::init(4, c.params.vocab, 0.1, 11);
+        let b1 = m.em_iteration(&c, 5);
+        let mut last = b1;
+        for _ in 0..6 {
+            last = m.em_iteration(&c, 5);
+        }
+        assert!(last > b1, "bound did not improve: {b1} -> {last}");
+    }
+
+    #[test]
+    fn recovers_planted_topics() {
+        let c = Corpus::generate(CorpusParams::default(), 7);
+        let mut m = LdaModel::init(4, c.params.vocab, 0.1, 13);
+        for _ in 0..20 {
+            m.em_iteration(&c, 8);
+        }
+        let recovery = m.topic_recovery(&c.true_topics);
+        assert!(recovery > 0.8, "mean matched cosine {recovery}");
+    }
+
+    #[test]
+    fn gamma_concentrates_on_dominant_topic() {
+        let c = Corpus::generate(CorpusParams::default(), 8);
+        let mut m = LdaModel::init(4, c.params.vocab, 0.1, 17);
+        for _ in 0..15 {
+            m.em_iteration(&c, 8);
+        }
+        // For most documents the top gamma topic should carry most mass.
+        let mut concentrated = 0;
+        for doc in &c.docs {
+            let r = m.e_step_doc(doc, 10);
+            let total: f64 = r.gamma.iter().sum();
+            let max = r.gamma.iter().copied().fold(0.0, f64::max);
+            if max / total > 0.5 {
+                concentrated += 1;
+            }
+        }
+        assert!(concentrated * 2 > c.docs.len(), "{concentrated}/{}", c.docs.len());
+    }
+}

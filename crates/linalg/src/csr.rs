@@ -1,0 +1,320 @@
+//! Compressed sparse row matrices.
+//!
+//! The AMG solve phase "can completely be performed in terms of
+//! matrix-vector multiplications" (§4.10.1); the setup phase needs
+//! transposition and the Galerkin triple product `RAP`. Both live here.
+
+/// A CSR matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    /// Row pointers, length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    pub col_idx: Vec<usize>,
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from (row, col, value) triplets; duplicates are summed.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            if last == Some((r, c)) {
+                *values.last_mut().expect("non-empty after first entry") += v;
+                continue;
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] = col_idx.len();
+            last = Some((r, c));
+        }
+        // Rows with no entries still hold 0; make row_ptr non-decreasing.
+        for r in 0..rows {
+            row_ptr[r + 1] = row_ptr[r + 1].max(row_ptr[r]);
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> CsrMatrix {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entries of row `r` as (cols, values).
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y = A^T x` (no explicit transpose).
+    pub fn spmv_t(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        y.fill(0.0);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c] += v * x[r];
+            }
+        }
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let slot = row_ptr[*c];
+                col_idx[slot] = r;
+                values[slot] = *v;
+                row_ptr[*c] += 1;
+            }
+        }
+        // row_ptr has been advanced; rebuild from counts.
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr: counts, col_idx, values }
+    }
+
+    /// Diagonal entries (zero where absent).
+    pub fn diag(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.rows.min(self.cols)];
+        for r in 0..d.len() {
+            let (cols, vals) = self.row(r);
+            if let Ok(k) = cols.binary_search(&r) {
+                d[r] = vals[k];
+            }
+        }
+        d
+    }
+
+    /// Sparse matrix-matrix product `A * B`.
+    pub fn matmul(&self, b: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, b.rows);
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        // Dense accumulator per row (classic Gustavson).
+        let mut acc = vec![0.0f64; b.cols];
+        let mut mark = vec![usize::MAX; b.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for r in 0..self.rows {
+            touched.clear();
+            let (acols, avals) = self.row(r);
+            for (k, av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(*k);
+                for (c, bv) in bcols.iter().zip(bvals) {
+                    if mark[*c] != r {
+                        mark[*c] = r;
+                        acc[*c] = 0.0;
+                        touched.push(*c);
+                    }
+                    acc[*c] += av * bv;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                col_idx.push(c);
+                values.push(acc[c]);
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        CsrMatrix { rows: self.rows, cols: b.cols, row_ptr, col_idx, values }
+    }
+
+    /// Galerkin triple product `R A P` (AMG coarse-grid operator).
+    pub fn rap(r: &CsrMatrix, a: &CsrMatrix, p: &CsrMatrix) -> CsrMatrix {
+        r.matmul(&a.matmul(p))
+    }
+
+    /// Infinity norm of the matrix.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// 1-D Poisson (tridiagonal [-1, 2, -1]) test matrix.
+    pub fn laplace1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            t.push((i, i, 2.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    /// 2-D 5-point Poisson matrix on an `nx` x `ny` grid.
+    pub fn laplace2d(nx: usize, ny: usize) -> CsrMatrix {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut t = Vec::with_capacity(5 * n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let row = idx(i, j);
+                t.push((row, row, 4.0));
+                if i > 0 {
+                    t.push((row, idx(i - 1, j), -1.0));
+                }
+                if i + 1 < nx {
+                    t.push((row, idx(i + 1, j), -1.0));
+                }
+                if j > 0 {
+                    t.push((row, idx(i, j - 1), -1.0));
+                }
+                if j + 1 < ny {
+                    t.push((row, idx(i, j + 1), -1.0));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_build_and_sum_duplicates() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 5.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.diag(), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn spmv_identity() {
+        let a = CsrMatrix::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn laplace1d_times_constant_vanishes_inside() {
+        let a = CsrMatrix::laplace1d(10);
+        let x = vec![1.0; 10];
+        let mut y = vec![0.0; 10];
+        a.spmv(&x, &mut y);
+        for i in 1..9 {
+            assert_eq!(y[i], 0.0);
+        }
+        assert_eq!(y[0], 1.0);
+        assert_eq!(y[9], 1.0);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_op() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 4.0), (2, 2, 7.0)],
+        );
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_t_matches_explicit_transpose() {
+        let a = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = [0.0; 2];
+        a.spmv_t(&x, &mut y1);
+        let at = a.transpose();
+        let mut y2 = [0.0; 2];
+        at.spmv(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let a = CsrMatrix::laplace2d(4, 3);
+        let i = CsrMatrix::identity(12);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn rap_shrinks_with_aggregation() {
+        // P aggregates pairs of fine points; RAP must be coarse x coarse.
+        let a = CsrMatrix::laplace1d(8);
+        let p = CsrMatrix::from_triplets(
+            8,
+            4,
+            &(0..8).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>(),
+        );
+        let r = p.transpose();
+        let ac = CsrMatrix::rap(&r, &a, &p);
+        assert_eq!(ac.rows, 4);
+        assert_eq!(ac.cols, 4);
+        // Coarse operator of a Laplacian stays an M-matrix-ish stencil.
+        assert!(ac.diag().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn laplace2d_row_sums_nonnegative() {
+        let a = CsrMatrix::laplace2d(5, 5);
+        for r in 0..a.rows {
+            let (_, vals) = a.row(r);
+            let s: f64 = vals.iter().sum();
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let a = CsrMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 3, 1.0)]);
+        let (cols, _) = a.row(1);
+        assert!(cols.is_empty());
+        let x = [1.0; 4];
+        let mut y = [9.0; 4];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,397 @@
+//! Dense row-major matrices with LU factorisation.
+//!
+//! Cretin inverts one dense rate matrix per zone (§4.3) — on the GPU via
+//! cuSOLVER, on the CPU via LAPACK. This module is that capability.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = crate::vecops::dot(row, x);
+        }
+    }
+
+    /// `C = A B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows);
+        let mut c = DenseMatrix::zeros(self.rows, other.cols);
+        // ikj loop order for cache-friendly access to B and C rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    c.data[i * other.cols + j] += a * other.data[k * other.cols + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// LU factorisation with partial pivoting. Returns the combined LU
+    /// matrix and the pivot permutation, or `None` if singular.
+    pub fn lu(&self) -> Option<Lu> {
+        assert_eq!(self.rows, self.cols, "LU needs a square matrix");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut best = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let m = a[i * n + k] / pivot;
+                a[i * n + k] = m;
+                for j in (k + 1)..n {
+                    a[i * n + j] -= m * a[k * n + j];
+                }
+            }
+        }
+        Some(Lu { n, lu: a, piv })
+    }
+
+    /// Solve `A x = b` by LU; returns `None` if singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        Some(self.lu()?.solve(b))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// An LU factorisation (Doolittle, unit lower-triangular L).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    piv: Vec<usize>,
+}
+
+impl Lu {
+    /// Solve `A x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward solve L y = P b.
+        for i in 0..n {
+            for j in 0..i {
+                x[i] -= self.lu[i * n + j] * x[j];
+            }
+        }
+        // Backward solve U x = y.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[i * n + j] * x[j];
+            }
+            x[i] /= self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Determinant from the factors (sign of permutation included).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        // Count permutation parity.
+        let mut perm = self.piv.clone();
+        let mut swaps = 0;
+        for i in 0..perm.len() {
+            while perm[i] != i {
+                let t = perm[i];
+                perm.swap(i, t);
+                swaps += 1;
+            }
+        }
+        if swaps % 2 == 1 {
+            -d
+        } else {
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn det_of_permutation_is_signed() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_lu_reconstructs_solution() {
+        // Fixed "random-looking" matrix; verify A * solve(b) == b.
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // diagonal dominance => nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = a.solve(&b).unwrap();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-9);
+        }
+    }
+}
+
+/// Householder QR factorisation.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    m: usize,
+    n: usize,
+    /// R in the upper triangle; Householder vectors below the diagonal.
+    qr: Vec<f64>,
+    /// Householder scalars.
+    tau: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Householder QR (requires `rows >= cols`).
+    pub fn qr(&self) -> Qr {
+        assert!(self.rows >= self.cols, "QR needs rows >= cols");
+        let (m, n) = (self.rows, self.cols);
+        let mut a = self.data.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += a[i * n + k] * a[i * n + k];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-300 {
+                continue;
+            }
+            let alpha = if a[k * n + k] > 0.0 { -norm } else { norm };
+            let v0 = a[k * n + k] - alpha;
+            // Normalise so v[k] = 1.
+            for i in (k + 1)..m {
+                a[i * n + k] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            a[k * n + k] = alpha;
+            // Apply H = I - tau v v^T to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = a[k * n + j];
+                for i in (k + 1)..m {
+                    s += a[i * n + k] * a[i * n + j];
+                }
+                s *= tau[k];
+                a[k * n + j] -= s;
+                for i in (k + 1)..m {
+                    a[i * n + j] -= s * a[i * n + k];
+                }
+            }
+        }
+        Qr { m, n, qr: a, tau }
+    }
+
+    /// Least-squares solve `min ||A x - b||` via QR.
+    pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
+        self.qr().solve_ls(b)
+    }
+}
+
+impl Qr {
+    /// `Q^T b`, then back-substitution on R.
+    pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.m);
+        let (m, n) = (self.m, self.n);
+        let mut y = b.to_vec();
+        // Apply the Householder reflections to b.
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr[i * n + k] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[i * n + k];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[i * n + j] * x[j];
+            }
+            x[i] = s / self.qr[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod qr_tests {
+    use super::*;
+
+    #[test]
+    fn qr_solves_square_system() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve_ls(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_fits_an_overdetermined_line() {
+        // Fit y = 2x + 1 from 5 noisy-free samples.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut a = DenseMatrix::zeros(5, 2);
+        let mut b = vec![0.0; 5];
+        for (i, &x) in xs.iter().enumerate() {
+            a[(i, 0)] = x;
+            a[(i, 1)] = 1.0;
+            b[i] = 2.0 * x + 1.0;
+        }
+        let c = a.solve_ls(&b);
+        assert!((c[0] - 2.0).abs() < 1e-10, "{c:?}");
+        assert!((c[1] - 1.0).abs() < 1e-10, "{c:?}");
+    }
+
+    #[test]
+    fn qr_least_squares_minimises_residual() {
+        // Inconsistent system: the solution must beat nearby candidates.
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let b = [1.0, 3.0, 5.0];
+        let x = a.solve_ls(&b);
+        let res = |x0: f64, x1: f64| {
+            let r0: f64 = x0 - 1.0;
+            let r1 = x0 - 3.0;
+            let r2 = x1 - 5.0;
+            r0 * r0 + r1 * r1 + r2 * r2
+        };
+        let best = res(x[0], x[1]);
+        for dx in [-0.1, 0.1] {
+            assert!(best <= res(x[0] + dx, x[1]) + 1e-12);
+            assert!(best <= res(x[0], x[1] + dx) + 1e-12);
+        }
+        assert!((x[0] - 2.0).abs() < 1e-10); // mean of 1 and 3
+    }
+}

@@ -1,0 +1,549 @@
+//! Krylov solvers: CG, BiCGStab, and restarted GMRES.
+//!
+//! hypre's Krylov solvers run entirely in terms of SpMV and vector ops
+//! (§4.10.1); Cretin's hand-rolled iterative solver (§4.3) is a GMRES over
+//! batched systems. All three solvers take a [`Preconditioner`], which AMG
+//! implements.
+
+use crate::csr::CsrMatrix;
+use crate::vecops::{axpy, dot, norm2};
+
+/// Solver outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterStats {
+    pub iterations: usize,
+    pub residual: f64,
+    pub converged: bool,
+}
+
+/// A (left-)preconditioner: overwrite `z` with approximately `M^{-1} r`.
+pub trait Preconditioner {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner.
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Jacobi (diagonal) preconditioner.
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    pub fn new(a: &CsrMatrix) -> JacobiPrecond {
+        let inv_diag = a
+            .diag()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect();
+        JacobiPrecond { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Preconditioned conjugate gradients for SPD systems.
+pub fn cg(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &mut dyn Preconditioner,
+    tol: f64,
+    max_iter: usize,
+) -> IterStats {
+    let n = b.len();
+    let mut r = vec![0.0; n];
+    a.spmv(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let bnorm = norm2(b).max(1e-300);
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    for it in 0..max_iter {
+        let rel = norm2(&r) / bnorm;
+        if rel < tol {
+            return IterStats { iterations: it, residual: rel, converged: true };
+        }
+        a.spmv(&p, &mut ap);
+        let alpha = rz / dot(&p, &ap).max(1e-300);
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        precond.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz.max(1e-300);
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    IterStats { iterations: max_iter, residual: norm2(&r) / bnorm, converged: false }
+}
+
+/// BiCGStab for general systems.
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &mut dyn Preconditioner,
+    tol: f64,
+    max_iter: usize,
+) -> IterStats {
+    let n = b.len();
+    let mut r = vec![0.0; n];
+    a.spmv(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let r0 = r.clone();
+    let bnorm = norm2(b).max(1e-300);
+    let (mut rho, mut alpha, mut omega) = (1.0, 1.0, 1.0);
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ph = vec![0.0; n];
+    let mut sh = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    for it in 0..max_iter {
+        let rel = norm2(&r) / bnorm;
+        if rel < tol {
+            return IterStats { iterations: it, residual: rel, converged: true };
+        }
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            break;
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        precond.apply(&p, &mut ph);
+        a.spmv(&ph, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            break;
+        }
+        alpha = rho / r0v;
+        let mut s = r.clone();
+        axpy(-alpha, &v, &mut s);
+        if norm2(&s) / bnorm < tol {
+            axpy(alpha, &ph, x);
+            return IterStats { iterations: it + 1, residual: norm2(&s) / bnorm, converged: true };
+        }
+        precond.apply(&s, &mut sh);
+        a.spmv(&sh, &mut t);
+        let tt = dot(&t, &t);
+        if tt < 1e-300 {
+            axpy(alpha, &ph, x);
+            r.copy_from_slice(&s);
+            continue;
+        }
+        omega = dot(&t, &s) / tt;
+        axpy(alpha, &ph, x);
+        axpy(omega, &sh, x);
+        r.copy_from_slice(&s);
+        axpy(-omega, &t, &mut r);
+    }
+    IterStats { iterations: max_iter, residual: norm2(&r) / bnorm, converged: false }
+}
+
+/// Restarted GMRES(m).
+pub fn gmres(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &mut dyn Preconditioner,
+    restart: usize,
+    tol: f64,
+    max_iter: usize,
+) -> IterStats {
+    let n = b.len();
+    let m = restart.max(1);
+    let bnorm = norm2(b).max(1e-300);
+    let mut total_it = 0usize;
+    let mut scratch = vec![0.0; n];
+
+    loop {
+        // r = M^-1 (b - A x)
+        a.spmv(x, &mut scratch);
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] - scratch[i];
+        }
+        let mut z = vec![0.0; n];
+        precond.apply(&r, &mut z);
+        let beta = norm2(&z);
+        let rel0 = norm2(&r) / bnorm;
+        if rel0 < tol {
+            return IterStats { iterations: total_it, residual: rel0, converged: true };
+        }
+        if total_it >= max_iter {
+            return IterStats { iterations: total_it, residual: rel0, converged: false };
+        }
+
+        // Arnoldi with modified Gram-Schmidt.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut v0 = z;
+        for vi in v0.iter_mut() {
+            *vi /= beta;
+        }
+        v.push(v0);
+        let mut h = vec![vec![0.0f64; m]; m + 1];
+        // Givens rotations for the least-squares problem.
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut k_used = 0;
+
+        for k in 0..m {
+            if total_it >= max_iter {
+                break;
+            }
+            total_it += 1;
+            k_used = k + 1;
+            a.spmv(&v[k], &mut scratch);
+            let mut w = vec![0.0; n];
+            precond.apply(&scratch, &mut w);
+            for j in 0..=k {
+                h[j][k] = dot(&w, &v[j]);
+                axpy(-h[j][k], &v[j], &mut w);
+            }
+            h[k + 1][k] = norm2(&w);
+            if h[k + 1][k] > 1e-300 {
+                for wi in w.iter_mut() {
+                    *wi /= h[k + 1][k];
+                }
+            }
+            v.push(w);
+            // Apply previous rotations to the new column.
+            for j in 0..k {
+                let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+                h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+                h[j][k] = t;
+            }
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt().max(1e-300);
+            cs[k] = h[k][k] / denom;
+            sn[k] = h[k + 1][k] / denom;
+            h[k][k] = denom;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+            if g[k + 1].abs() / bnorm < tol {
+                break;
+            }
+        }
+
+        // Solve the triangular system and update x.
+        let k = k_used;
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut s = g[i];
+            for j in (i + 1)..k {
+                s -= h[i][j] * y[j];
+            }
+            y[i] = s / h[i][i].max(1e-300);
+        }
+        for (j, yj) in y.iter().enumerate() {
+            axpy(*yj, &v[j], x);
+        }
+
+        // Check true residual after the cycle.
+        a.spmv(x, &mut scratch);
+        let mut rr = 0.0;
+        for i in 0..n {
+            let d = b[i] - scratch[i];
+            rr += d * d;
+        }
+        let rel = rr.sqrt() / bnorm;
+        if rel < tol {
+            return IterStats { iterations: total_it, residual: rel, converged: true };
+        }
+        if total_it >= max_iter {
+            return IterStats { iterations: total_it, residual: rel, converged: false };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_err(x: &[f64], expect: &[f64]) -> f64 {
+        x.iter().zip(expect).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn cg_solves_laplace1d() {
+        let n = 64;
+        let a = CsrMatrix::laplace1d(n);
+        let expect: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&expect, &mut b);
+        let mut x = vec![0.0; n];
+        let s = cg(&a, &b, &mut x, &mut IdentityPrecond, 1e-10, 1000);
+        assert!(s.converged, "{s:?}");
+        assert!(solve_err(&x, &expect) < 1e-7);
+    }
+
+    #[test]
+    fn jacobi_precond_reduces_cg_iterations_on_scaled_system() {
+        // Pure diagonal with spread eigenvalues: Jacobi turns it into the
+        // identity, so preconditioned CG converges in O(1) iterations.
+        let n = 128;
+        let t: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0 + i as f64)).collect();
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let b = vec![1.0; n];
+        let mut x1 = vec![0.0; n];
+        let s1 = cg(&a, &b, &mut x1, &mut IdentityPrecond, 1e-10, 10_000);
+        let mut x2 = vec![0.0; n];
+        let s2 = cg(&a, &b, &mut x2, &mut JacobiPrecond::new(&a), 1e-10, 10_000);
+        assert!(s2.converged);
+        assert!(s2.iterations <= 2, "{s2:?}");
+        assert!(s2.iterations < s1.iterations, "{s1:?} vs {s2:?}");
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        // Upwind advection-diffusion (nonsymmetric).
+        let n = 50;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i > 0 {
+                t.push((i, i - 1, -2.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -0.5));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let expect: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&expect, &mut b);
+        let mut x = vec![0.0; n];
+        let s = bicgstab(&a, &b, &mut x, &mut IdentityPrecond, 1e-12, 500);
+        assert!(s.converged, "{s:?}");
+        assert!(solve_err(&x, &expect) < 1e-8);
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric() {
+        let n = 60;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((i, i - 1, -2.5));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -0.5));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let expect: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&expect, &mut b);
+        let mut x = vec![0.0; n];
+        let s = gmres(&a, &b, &mut x, &mut IdentityPrecond, 20, 1e-12, 2000);
+        assert!(s.converged, "{s:?}");
+        assert!(solve_err(&x, &expect) < 1e-7, "{}", solve_err(&x, &expect));
+    }
+
+    #[test]
+    fn gmres_zero_rhs_converges_immediately() {
+        let a = CsrMatrix::laplace1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        let s = gmres(&a, &b, &mut x, &mut IdentityPrecond, 5, 1e-10, 100);
+        assert!(s.converged);
+        assert_eq!(s.iterations, 0);
+    }
+
+    #[test]
+    fn cg_respects_max_iter() {
+        let a = CsrMatrix::laplace2d(40, 40);
+        let b = vec![1.0; 1600];
+        let mut x = vec![0.0; 1600];
+        let s = cg(&a, &b, &mut x, &mut IdentityPrecond, 1e-14, 3);
+        assert!(!s.converged);
+        assert_eq!(s.iterations, 3);
+    }
+}
+
+/// ILU(0): incomplete LU with zero fill-in, on the sparsity pattern of
+/// `A`. The classic smoother/preconditioner for nonsymmetric systems
+/// (Cretin's rate matrices; hypre offers it as a smoother).
+pub struct Ilu0 {
+    n: usize,
+    /// Factored values on A's pattern: L (unit diagonal, not stored) below
+    /// the diagonal, U on and above.
+    values: Vec<f64>,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    /// Position of the diagonal entry in each row.
+    diag_pos: Vec<usize>,
+}
+
+impl Ilu0 {
+    /// Factor `A` in place on its own pattern. Requires a full diagonal.
+    pub fn new(a: &CsrMatrix) -> Ilu0 {
+        assert_eq!(a.rows, a.cols);
+        let n = a.rows;
+        let mut values = a.values.clone();
+        let row_ptr = a.row_ptr.clone();
+        let col_idx = a.col_idx.clone();
+        let mut diag_pos = vec![usize::MAX; n];
+        for i in 0..n {
+            for p in row_ptr[i]..row_ptr[i + 1] {
+                if col_idx[p] == i {
+                    diag_pos[i] = p;
+                }
+            }
+            assert!(diag_pos[i] != usize::MAX, "ILU(0) needs a full diagonal (row {i})");
+        }
+        // IKJ-variant incomplete factorisation.
+        for i in 1..n {
+            for kp in row_ptr[i]..row_ptr[i + 1] {
+                let k = col_idx[kp];
+                if k >= i {
+                    break; // pattern is sorted; only strictly-lower entries
+                }
+                let pivot = values[diag_pos[k]];
+                if pivot.abs() < 1e-300 {
+                    continue;
+                }
+                let lik = values[kp] / pivot;
+                values[kp] = lik;
+                // Subtract lik * U(k, j) for j in row i's pattern.
+                for jp in (kp + 1)..row_ptr[i + 1] {
+                    let j = col_idx[jp];
+                    // Find A(k, j) in row k (sorted scan).
+                    let (mut lo, mut hi) = (row_ptr[k], row_ptr[k + 1]);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        if col_idx[mid] < j {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    if lo < row_ptr[k + 1] && col_idx[lo] == j {
+                        values[jp] -= lik * values[lo];
+                    }
+                }
+            }
+        }
+        Ilu0 { n, values, row_ptr, col_idx, diag_pos }
+    }
+}
+
+impl Preconditioner for Ilu0 {
+    fn apply(&mut self, r: &[f64], z: &mut [f64]) {
+        let n = self.n;
+        // Forward solve L y = r (unit diagonal).
+        for i in 0..n {
+            let mut s = r[i];
+            for p in self.row_ptr[i]..self.diag_pos[i] {
+                s -= self.values[p] * z[self.col_idx[p]];
+            }
+            z[i] = s;
+        }
+        // Backward solve U z = y.
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for p in (self.diag_pos[i] + 1)..self.row_ptr[i + 1] {
+                s -= self.values[p] * z[self.col_idx[p]];
+            }
+            z[i] = s / self.values[self.diag_pos[i]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod ilu_tests {
+    use super::*;
+
+    #[test]
+    fn ilu0_is_exact_for_tridiagonal() {
+        // Tridiagonal matrices have no fill-in, so ILU(0) = LU and one
+        // application solves the system.
+        let a = CsrMatrix::laplace1d(40);
+        let expect: Vec<f64> = (0..40).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; 40];
+        a.spmv(&expect, &mut b);
+        let mut ilu = Ilu0::new(&a);
+        let mut z = vec![0.0; 40];
+        ilu.apply(&b, &mut z);
+        for i in 0..40 {
+            assert!((z[i] - expect[i]).abs() < 1e-9, "i={i}: {} vs {}", z[i], expect[i]);
+        }
+    }
+
+    #[test]
+    fn ilu0_precondition_cuts_gmres_iterations() {
+        // Nonsymmetric advection-diffusion in 2-D (5-point + upwind).
+        let nx = 24;
+        let n = nx * nx;
+        let idx = |i: usize, j: usize| i * nx + j;
+        let mut t = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                let r = idx(i, j);
+                t.push((r, r, 5.0));
+                if i > 0 {
+                    t.push((r, idx(i - 1, j), -2.0)); // upwind
+                }
+                if i + 1 < nx {
+                    t.push((r, idx(i + 1, j), -0.5));
+                }
+                if j > 0 {
+                    t.push((r, idx(i, j - 1), -1.5));
+                }
+                if j + 1 < nx {
+                    t.push((r, idx(i, j + 1), -0.5));
+                }
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &t);
+        let b = vec![1.0; n];
+        let mut x1 = vec![0.0; n];
+        let plain = gmres(&a, &b, &mut x1, &mut IdentityPrecond, 30, 1e-10, 5000);
+        let mut x2 = vec![0.0; n];
+        let mut ilu = Ilu0::new(&a);
+        let pre = gmres(&a, &b, &mut x2, &mut ilu, 30, 1e-10, 5000);
+        assert!(pre.converged, "{pre:?}");
+        assert!(
+            pre.iterations * 2 < plain.iterations,
+            "ILU-GMRES {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+        // Same answer either way.
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full diagonal")]
+    fn missing_diagonal_rejected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        Ilu0::new(&a);
+    }
+}

@@ -1,0 +1,20 @@
+//! `linalg` — dense and sparse linear algebra for the iCoE workload.
+//!
+//! Stands in for the vendor math libraries the paper leans on: cuSOLVER
+//! (Cretin's direct rate-matrix solves, §4.3), cuSPARSE (hypre's AMG solve
+//! phase matvecs, §4.10.1; Cretin's hand-rolled iterative solver, §4.3),
+//! and the BLAS underpinnings everywhere else.
+//!
+//! Everything is `f64`, row-major, and allocation-conscious: solvers take
+//! workspace-reuse seriously because the paper's codes run these kernels
+//! every timestep.
+
+pub mod csr;
+pub mod dense;
+pub mod krylov;
+pub mod vecops;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use krylov::{bicgstab, cg, gmres, Ilu0, IterStats, Preconditioner};
+pub use vecops::{axpy, dot, norm2, scale};

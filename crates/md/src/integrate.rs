@@ -1,0 +1,224 @@
+//! Integrators, thermostat, barostat, constraints — the rest of the MD
+//! loop §4.6 moved onto the GPU.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::system::System;
+
+/// First half of velocity Verlet: v += f/m * dt/2; x += v dt.
+pub fn verlet_first_half(sys: &mut System, dt: f64) {
+    for i in 0..sys.len() {
+        let im = 1.0 / sys.mass[i];
+        sys.vx[i] += 0.5 * dt * sys.fx[i] * im;
+        sys.vy[i] += 0.5 * dt * sys.fy[i] * im;
+        sys.vz[i] += 0.5 * dt * sys.fz[i] * im;
+        sys.x[i] += dt * sys.vx[i];
+        sys.y[i] += dt * sys.vy[i];
+        sys.z[i] += dt * sys.vz[i];
+    }
+}
+
+/// Second half of velocity Verlet: v += f/m * dt/2 with the new forces.
+pub fn verlet_second_half(sys: &mut System, dt: f64) {
+    for i in 0..sys.len() {
+        let im = 1.0 / sys.mass[i];
+        sys.vx[i] += 0.5 * dt * sys.fx[i] * im;
+        sys.vy[i] += 0.5 * dt * sys.fy[i] * im;
+        sys.vz[i] += 0.5 * dt * sys.fz[i] * im;
+    }
+}
+
+/// Langevin thermostat (BAOAB-style O step): exact OU update of the
+/// velocities toward temperature `temp` with friction `gamma`.
+pub struct Langevin {
+    pub temp: f64,
+    pub gamma: f64,
+    rng: SmallRng,
+}
+
+impl Langevin {
+    pub fn new(temp: f64, gamma: f64, seed: u64) -> Langevin {
+        Langevin { temp, gamma, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    pub fn apply(&mut self, sys: &mut System, dt: f64) {
+        let c1 = (-self.gamma * dt).exp();
+        for i in 0..sys.len() {
+            let c2 = ((1.0 - c1 * c1) * self.temp / sys.mass[i]).sqrt();
+            // Box-Muller-ish normal from two uniforms.
+            let mut normal = || {
+                let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+                (-2.0 * u1.ln()).sqrt() * u2.cos()
+            };
+            sys.vx[i] = c1 * sys.vx[i] + c2 * normal();
+            sys.vy[i] = c1 * sys.vy[i] + c2 * normal();
+            sys.vz[i] = c1 * sys.vz[i] + c2 * normal();
+        }
+    }
+}
+
+/// Berendsen barostat: rescale box and positions toward `target_pressure`.
+pub struct Berendsen {
+    pub target_pressure: f64,
+    /// Coupling rate (dt / tau_p * compressibility).
+    pub coupling: f64,
+}
+
+impl Berendsen {
+    /// Instantaneous pressure from the virial theorem.
+    pub fn pressure(sys: &System, virial: f64) -> f64 {
+        let v = sys.box_len.powi(3);
+        (2.0 * sys.kinetic_energy() + virial) / (3.0 * v)
+    }
+
+    /// Apply one rescaling based on current `virial`. Returns the scale
+    /// factor used.
+    pub fn apply(&self, sys: &mut System, virial: f64) -> f64 {
+        let p = Self::pressure(sys, virial);
+        let mu = (1.0 - self.coupling * (self.target_pressure - p)).cbrt();
+        let mu = mu.clamp(0.98, 1.02); // avoid violent box changes
+        sys.box_len *= mu;
+        for c in sys.x.iter_mut().chain(&mut sys.y).chain(&mut sys.z) {
+            *c *= mu;
+        }
+        mu
+    }
+}
+
+/// SHAKE-style iterative bond-constraint solver: enforce every bond at its
+/// rest length by position correction. Returns iterations used.
+pub fn shake(sys: &mut System, tol: f64, max_iters: usize) -> usize {
+    let bonds = sys.bonds.clone();
+    for it in 0..max_iters {
+        let mut worst = 0.0f64;
+        for &(i, j, r0, _) in &bonds {
+            let (dx, dy, dz) = sys.min_image(i, j);
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let diff = r2 - r0 * r0;
+            worst = worst.max((diff / (r0 * r0)).abs());
+            if diff.abs() > tol * r0 * r0 {
+                // Mass-weighted position correction along the bond.
+                let (mi, mj) = (sys.mass[i], sys.mass[j]);
+                let w = diff / (2.0 * r2 * (1.0 / mi + 1.0 / mj));
+                let (gx, gy, gz) = (w * dx, w * dy, w * dz);
+                sys.x[i] += gx / mi;
+                sys.y[i] += gy / mi;
+                sys.z[i] += gz / mi;
+                sys.x[j] -= gx / mj;
+                sys.y[j] -= gy / mj;
+                sys.z[j] -= gz / mj;
+            }
+        }
+        if worst < tol {
+            return it + 1;
+        }
+    }
+    max_iters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborList;
+    use crate::potential::{compute_pair_forces, LennardJones, PairPotential};
+
+    fn step_nve(sys: &mut System, lj: &LennardJones, dt: f64) -> f64 {
+        verlet_first_half(sys, dt);
+        sys.wrap();
+        let nlist = NeighborList::build(sys, lj.cutoff(), 0.4);
+        let (pe, _) = compute_pair_forces(sys, &nlist, lj);
+        verlet_second_half(sys, dt);
+        pe
+    }
+
+    #[test]
+    fn nve_energy_is_conserved() {
+        let mut sys = System::lattice(64, 0.4, 0.5, 11);
+        let lj = LennardJones::martini();
+        // Initial forces.
+        let nlist = NeighborList::build(&sys, lj.cutoff(), 0.4);
+        let (pe0, _) = compute_pair_forces(&mut sys, &nlist, &lj);
+        let e0 = pe0 + sys.kinetic_energy();
+        let mut pe = pe0;
+        for _ in 0..200 {
+            pe = step_nve(&mut sys, &lj, 0.002);
+        }
+        let e1 = pe + sys.kinetic_energy();
+        let drift = (e1 - e0).abs() / e0.abs().max(1.0);
+        assert!(drift < 0.02, "energy drift {drift} ({e0} -> {e1})");
+    }
+
+    #[test]
+    fn nve_momentum_is_conserved() {
+        let mut sys = System::lattice(64, 0.4, 0.5, 13);
+        let lj = LennardJones::martini();
+        let nlist = NeighborList::build(&sys, lj.cutoff(), 0.4);
+        compute_pair_forces(&mut sys, &nlist, &lj);
+        for _ in 0..100 {
+            step_nve(&mut sys, &lj, 0.002);
+        }
+        assert!(sys.net_momentum() < 1e-8, "{}", sys.net_momentum());
+    }
+
+    #[test]
+    fn langevin_reaches_target_temperature() {
+        let mut sys = System::lattice(216, 0.3, 0.1, 5);
+        let lj = LennardJones::martini();
+        let mut thermo = Langevin::new(1.2, 2.0, 99);
+        let nlist = NeighborList::build(&sys, lj.cutoff(), 0.4);
+        compute_pair_forces(&mut sys, &nlist, &lj);
+        let mut temps = Vec::new();
+        for step in 0..600 {
+            step_nve(&mut sys, &lj, 0.002);
+            thermo.apply(&mut sys, 0.002);
+            if step > 300 {
+                temps.push(sys.temperature());
+            }
+        }
+        let mean: f64 = temps.iter().sum::<f64>() / temps.len() as f64;
+        assert!((mean - 1.2).abs() < 0.25, "mean T {mean}");
+    }
+
+    #[test]
+    fn berendsen_compresses_underpressurised_box() {
+        let mut sys = System::lattice(64, 0.2, 0.5, 21);
+        let baro = Berendsen { target_pressure: 2.0, coupling: 0.01 };
+        let l0 = sys.box_len;
+        // Low density, low virial => pressure < target => box shrinks.
+        for _ in 0..20 {
+            baro.apply(&mut sys, 0.0);
+        }
+        assert!(sys.box_len < l0, "{} !< {l0}", sys.box_len);
+    }
+
+    #[test]
+    fn shake_restores_bond_lengths() {
+        let mut sys = System::empty(20.0);
+        sys.push([5.0, 5.0, 5.0], [0.0; 3], 1.0);
+        sys.push([6.7, 5.0, 5.0], [0.0; 3], 1.0);
+        sys.push([6.7, 6.4, 5.0], [0.0; 3], 2.0);
+        sys.bonds.push((0, 1, 1.0, 0.0));
+        sys.bonds.push((1, 2, 1.0, 0.0));
+        let iters = shake(&mut sys, 1e-10, 500);
+        assert!(iters < 500);
+        for &(i, j, r0, _) in &sys.bonds.clone() {
+            let (dx, dy, dz) = sys.min_image(i, j);
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            assert!((r - r0).abs() < 1e-8, "bond {i}-{j}: {r}");
+        }
+    }
+
+    #[test]
+    fn shake_preserves_centre_of_mass() {
+        let mut sys = System::empty(20.0);
+        sys.push([5.0, 5.0, 5.0], [0.0; 3], 1.0);
+        sys.push([6.9, 5.0, 5.0], [0.0; 3], 3.0);
+        sys.bonds.push((0, 1, 1.0, 0.0));
+        let com_before = (sys.x[0] * 1.0 + sys.x[1] * 3.0) / 4.0;
+        shake(&mut sys, 1e-12, 500);
+        let com_after = (sys.x[0] * 1.0 + sys.x[1] * 3.0) / 4.0;
+        assert!((com_before - com_after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cell lists and Verlet neighbor lists.
+//!
+//! §4.6 moved "neighbor list construction" onto the GPU with the rest of
+//! the loop; the skin-distance rebuild policy here is the standard one.
+
+use crate::system::System;
+
+/// A Verlet neighbor list with a skin distance.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    /// Flattened neighbor indices.
+    neighbors: Vec<usize>,
+    /// Offsets per particle (len = n + 1).
+    offsets: Vec<usize>,
+    /// cutoff + skin used at build time.
+    pub r_list: f64,
+    /// Positions at build time (for displacement checks).
+    built_x: Vec<f64>,
+    built_y: Vec<f64>,
+    built_z: Vec<f64>,
+}
+
+impl NeighborList {
+    /// Dense all-pairs list (testing / tiny systems).
+    pub fn all_pairs(n: usize) -> NeighborList {
+        let mut neighbors = Vec::with_capacity(n * n.saturating_sub(1));
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            for j in 0..n {
+                if j != i {
+                    neighbors.push(j);
+                }
+            }
+            offsets[i + 1] = neighbors.len();
+        }
+        NeighborList {
+            neighbors,
+            offsets,
+            r_list: f64::INFINITY,
+            built_x: Vec::new(),
+            built_y: Vec::new(),
+            built_z: Vec::new(),
+        }
+    }
+
+    /// Build from a cell decomposition with `cutoff + skin` range.
+    pub fn build(sys: &System, cutoff: f64, skin: f64) -> NeighborList {
+        let n = sys.len();
+        let r_list = cutoff + skin;
+        let l = sys.box_len;
+        let ncell = ((l / r_list).floor() as usize).max(1);
+        let cell_len = l / ncell as f64;
+        // Bin particles.
+        let cell_of = |x: f64| -> usize {
+            let mut c = (x / cell_len).floor() as isize;
+            let nc = ncell as isize;
+            c = ((c % nc) + nc) % nc;
+            c as usize
+        };
+        let mut cells: Vec<Vec<usize>> = vec![Vec::new(); ncell * ncell * ncell];
+        for p in 0..n {
+            let (ci, cj, ck) = (cell_of(sys.x[p]), cell_of(sys.y[p]), cell_of(sys.z[p]));
+            cells[(ci * ncell + cj) * ncell + ck].push(p);
+        }
+        let r2 = r_list * r_list;
+        let mut neighbors = Vec::new();
+        let mut offsets = vec![0usize; n + 1];
+        // For each particle, scan its 27 neighbouring cells.
+        let mut per_particle: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for ci in 0..ncell {
+            for cj in 0..ncell {
+                for ck in 0..ncell {
+                    for &p in &cells[(ci * ncell + cj) * ncell + ck] {
+                        let list = &mut per_particle[p];
+                        for di in -1i32..=1 {
+                            for dj in -1i32..=1 {
+                                for dk in -1i32..=1 {
+                                    let wrap = |c: usize, d: i32| {
+                                        ((c as i32 + d).rem_euclid(ncell as i32)) as usize
+                                    };
+                                    let nc = (wrap(ci, di) * ncell + wrap(cj, dj)) * ncell
+                                        + wrap(ck, dk);
+                                    for &q in &cells[nc] {
+                                        // With >= 3 cells per side the 27
+                                        // neighbour cells are distinct, so
+                                        // no duplicate scan is possible.
+                                        if q == p || (ncell < 3 && list.contains(&q)) {
+                                            continue;
+                                        }
+                                        let (dx, dy, dz) = sys.min_image(p, q);
+                                        if dx * dx + dy * dy + dz * dz < r2 {
+                                            list.push(q);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (i, list) in per_particle.into_iter().enumerate() {
+            neighbors.extend(list);
+            offsets[i + 1] = neighbors.len();
+        }
+        NeighborList {
+            neighbors,
+            offsets,
+            r_list,
+            built_x: sys.x.clone(),
+            built_y: sys.y.clone(),
+            built_z: sys.z.clone(),
+        }
+    }
+
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        if self.offsets.is_empty() {
+            return &[];
+        }
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    pub fn total_pairs(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Whether any particle moved more than skin/2 since the build (the
+    /// standard rebuild trigger).
+    pub fn needs_rebuild(&self, sys: &System, skin: f64) -> bool {
+        if self.built_x.len() != sys.len() {
+            return true;
+        }
+        let lim2 = (skin / 2.0) * (skin / 2.0);
+        for i in 0..sys.len() {
+            let dx = sys.x[i] - self.built_x[i];
+            let dy = sys.y[i] - self.built_y[i];
+            let dz = sys.z[i] - self.built_z[i];
+            if dx * dx + dy * dy + dz * dz > lim2 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{compute_pair_forces, compute_pair_forces_bruteforce, LennardJones};
+
+    #[test]
+    fn cell_list_matches_bruteforce_forces() {
+        let mut a = System::lattice(125, 0.6, 1.0, 42);
+        let mut b = a.clone();
+        let lj = LennardJones::martini();
+        let nlist = NeighborList::build(&a, lj.cutoff, 0.4);
+        let (e1, _) = compute_pair_forces(&mut a, &nlist, &lj);
+        let (e2, _) = compute_pair_forces_bruteforce(&mut b, &lj);
+        assert!((e1 - e2).abs() < 1e-9, "{e1} vs {e2}");
+        for i in 0..a.len() {
+            assert!((a.fx[i] - b.fx[i]).abs() < 1e-9);
+            assert!((a.fy[i] - b.fy[i]).abs() < 1e-9);
+            assert!((a.fz[i] - b.fz[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric() {
+        let sys = System::lattice(64, 0.7, 1.0, 3);
+        let nlist = NeighborList::build(&sys, 2.5, 0.3);
+        for i in 0..sys.len() {
+            for &j in nlist.neighbors(i) {
+                assert!(nlist.neighbors(j).contains(&i), "{j} missing {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_triggers_on_motion() {
+        let mut sys = System::lattice(27, 0.5, 1.0, 9);
+        let nlist = NeighborList::build(&sys, 2.5, 0.4);
+        assert!(!nlist.needs_rebuild(&sys, 0.4));
+        sys.x[0] += 0.3; // > skin/2 = 0.2
+        assert!(nlist.needs_rebuild(&sys, 0.4));
+    }
+
+    #[test]
+    fn all_pairs_has_n_squared_minus_n_entries() {
+        let nl = NeighborList::all_pairs(10);
+        let total: usize = (0..10).map(|i| nl.neighbors(i).len()).sum();
+        assert_eq!(total, 90);
+    }
+}

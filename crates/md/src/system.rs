@@ -1,0 +1,211 @@
+//! The particle system: SoA storage in a cubic periodic box.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Particles in a periodic cubic box, struct-of-arrays (§4.6: "we converted
+/// the array of structs to a struct of arrays" for locality).
+#[derive(Debug, Clone)]
+pub struct System {
+    /// Box edge length.
+    pub box_len: f64,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub vx: Vec<f64>,
+    pub vy: Vec<f64>,
+    pub vz: Vec<f64>,
+    pub fx: Vec<f64>,
+    pub fy: Vec<f64>,
+    pub fz: Vec<f64>,
+    pub mass: Vec<f64>,
+    /// Harmonic bonds: (i, j, rest length, stiffness).
+    pub bonds: Vec<(usize, usize, f64, f64)>,
+}
+
+impl System {
+    pub fn empty(box_len: f64) -> System {
+        System {
+            box_len,
+            x: Vec::new(),
+            y: Vec::new(),
+            z: Vec::new(),
+            vx: Vec::new(),
+            vy: Vec::new(),
+            vz: Vec::new(),
+            fx: Vec::new(),
+            fy: Vec::new(),
+            fz: Vec::new(),
+            mass: Vec::new(),
+            bonds: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    pub fn push(&mut self, pos: [f64; 3], vel: [f64; 3], mass: f64) {
+        self.x.push(pos[0]);
+        self.y.push(pos[1]);
+        self.z.push(pos[2]);
+        self.vx.push(vel[0]);
+        self.vy.push(vel[1]);
+        self.vz.push(vel[2]);
+        self.fx.push(0.0);
+        self.fy.push(0.0);
+        self.fz.push(0.0);
+        self.mass.push(mass);
+    }
+
+    /// A roughly-cubic lattice of `n` particles with small random jitter
+    /// and Maxwell-ish velocities at temperature `temp`; deterministic in
+    /// `seed`.
+    pub fn lattice(n: usize, density: f64, temp: f64, seed: u64) -> System {
+        let box_len = (n as f64 / density).cbrt();
+        let mut sys = System::empty(box_len);
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = box_len / per_side as f64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        'fill: for i in 0..per_side {
+            for j in 0..per_side {
+                for k in 0..per_side {
+                    if sys.len() >= n {
+                        break 'fill;
+                    }
+                    let jit = 0.05 * spacing;
+                    let pos = [
+                        (i as f64 + 0.5) * spacing + rng.gen_range(-jit..jit),
+                        (j as f64 + 0.5) * spacing + rng.gen_range(-jit..jit),
+                        (k as f64 + 0.5) * spacing + rng.gen_range(-jit..jit),
+                    ];
+                    let sigma = temp.sqrt();
+                    let vel = [
+                        rng.gen_range(-1.0..1.0) * sigma * 1.7,
+                        rng.gen_range(-1.0..1.0) * sigma * 1.7,
+                        rng.gen_range(-1.0..1.0) * sigma * 1.7,
+                    ];
+                    sys.push(pos, vel, 1.0);
+                }
+            }
+        }
+        sys.remove_net_momentum();
+        sys
+    }
+
+    /// Minimum-image displacement from particle `i` to particle `j`.
+    #[inline]
+    pub fn min_image(&self, i: usize, j: usize) -> (f64, f64, f64) {
+        let l = self.box_len;
+        let mut dx = self.x[j] - self.x[i];
+        let mut dy = self.y[j] - self.y[i];
+        let mut dz = self.z[j] - self.z[i];
+        dx -= l * (dx / l).round();
+        dy -= l * (dy / l).round();
+        dz -= l * (dz / l).round();
+        (dx, dy, dz)
+    }
+
+    /// Wrap all positions into the primary box.
+    pub fn wrap(&mut self) {
+        let l = self.box_len;
+        for p in self.x.iter_mut().chain(&mut self.y).chain(&mut self.z) {
+            *p -= l * (*p / l).floor();
+        }
+    }
+
+    /// Zero the total momentum.
+    pub fn remove_net_momentum(&mut self) {
+        let n = self.len().max(1) as f64;
+        let (mut px, mut py, mut pz) = (0.0, 0.0, 0.0);
+        for i in 0..self.len() {
+            px += self.mass[i] * self.vx[i];
+            py += self.mass[i] * self.vy[i];
+            pz += self.mass[i] * self.vz[i];
+        }
+        for i in 0..self.len() {
+            self.vx[i] -= px / (self.mass[i] * n);
+            self.vy[i] -= py / (self.mass[i] * n);
+            self.vz[i] -= pz / (self.mass[i] * n);
+        }
+    }
+
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                0.5 * self.mass[i]
+                    * (self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i])
+            })
+            .sum()
+    }
+
+    /// Instantaneous temperature (k_B = 1).
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.kinetic_energy() / (3.0 * self.len() as f64)
+    }
+
+    /// Total momentum magnitude.
+    pub fn net_momentum(&self) -> f64 {
+        let (mut px, mut py, mut pz) = (0.0, 0.0, 0.0);
+        for i in 0..self.len() {
+            px += self.mass[i] * self.vx[i];
+            py += self.mass[i] * self.vy[i];
+            pz += self.mass[i] * self.vz[i];
+        }
+        (px * px + py * py + pz * pz).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_has_requested_count_and_density() {
+        let s = System::lattice(125, 0.8, 1.0, 1);
+        assert_eq!(s.len(), 125);
+        let v = s.box_len.powi(3);
+        assert!((125.0 / v - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lattice_momentum_is_zero() {
+        let s = System::lattice(64, 0.5, 1.5, 7);
+        assert!(s.net_momentum() < 1e-10);
+    }
+
+    #[test]
+    fn min_image_respects_periodicity() {
+        let mut s = System::empty(10.0);
+        s.push([0.5, 5.0, 5.0], [0.0; 3], 1.0);
+        s.push([9.5, 5.0, 5.0], [0.0; 3], 1.0);
+        let (dx, _, _) = s.min_image(0, 1);
+        assert!((dx + 1.0).abs() < 1e-12, "wrapped distance should be -1, got {dx}");
+    }
+
+    #[test]
+    fn wrap_brings_positions_into_box() {
+        let mut s = System::empty(4.0);
+        s.push([-1.0, 5.0, 3.9], [0.0; 3], 1.0);
+        s.wrap();
+        assert!((s.x[0] - 3.0).abs() < 1e-12);
+        assert!((s.y[0] - 1.0).abs() < 1e-12);
+        assert!((s.z[0] - 3.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_of_known_velocities() {
+        let mut s = System::empty(10.0);
+        s.push([1.0; 3], [1.0, 0.0, 0.0], 2.0);
+        // KE = 0.5 * 2 * 1 = 1; T = 2/3.
+        assert!((s.temperature() - 2.0 / 3.0).abs() < 1e-12);
+        let _ = &mut s;
+    }
+}

@@ -1,0 +1,379 @@
+//! SGD / ASGD / KAVG on a real nonconvex objective.
+//!
+//! The objective is a small tanh MLP on a synthetic two-class problem —
+//! genuinely nonconvex, cheap enough to train thousands of times, and
+//! deterministic in its seeds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-layer tanh MLP with scalar output (logistic loss).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    pub input: usize,
+    pub hidden: usize,
+    /// Layer 1 weights (hidden x input) + bias, then layer 2 (hidden) + bias.
+    pub w: Vec<f64>,
+}
+
+impl Mlp {
+    pub fn n_params(input: usize, hidden: usize) -> usize {
+        hidden * input + hidden + hidden + 1
+    }
+
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Mlp {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = Self::n_params(input, hidden);
+        let w = (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        Mlp { input, hidden, w }
+    }
+
+    fn split(&self) -> (&[f64], &[f64], &[f64], f64) {
+        let (i, h) = (self.input, self.hidden);
+        let w1 = &self.w[..h * i];
+        let b1 = &self.w[h * i..h * i + h];
+        let w2 = &self.w[h * i + h..h * i + 2 * h];
+        let b2 = self.w[h * i + 2 * h];
+        (w1, b1, w2, b2)
+    }
+
+    /// Forward pass: probability of class 1.
+    pub fn forward(&self, x: &[f64]) -> f64 {
+        let (w1, b1, w2, b2) = self.split();
+        let mut z = b2;
+        for j in 0..self.hidden {
+            let mut a = b1[j];
+            for k in 0..self.input {
+                a += w1[j * self.input + k] * x[k];
+            }
+            z += w2[j] * a.tanh();
+        }
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Logistic loss + gradient on one batch. Returns loss.
+    pub fn loss_grad(&self, xs: &[Vec<f64>], ys: &[f64], grad: &mut [f64]) -> f64 {
+        grad.fill(0.0);
+        let (i, h) = (self.input, self.hidden);
+        let (w1, b1, w2, b2) = {
+            let (a, b, c, d) = self.split();
+            (a.to_vec(), b.to_vec(), c.to_vec(), d)
+        };
+        let mut loss = 0.0;
+        let inv_n = 1.0 / xs.len().max(1) as f64;
+        for (x, &y) in xs.iter().zip(ys) {
+            // Forward with cached activations.
+            let mut act = vec![0.0; h];
+            let mut z = b2;
+            for j in 0..h {
+                let mut a = b1[j];
+                for k in 0..i {
+                    a += w1[j * i + k] * x[k];
+                }
+                act[j] = a.tanh();
+                z += w2[j] * act[j];
+            }
+            let p = 1.0 / (1.0 + (-z).exp());
+            loss -= inv_n * (y * p.max(1e-12).ln() + (1.0 - y) * (1.0 - p).max(1e-12).ln());
+            let dz = (p - y) * inv_n;
+            for j in 0..h {
+                let dw2 = dz * act[j];
+                grad[h * i + h + j] += dw2;
+                let da = dz * w2[j] * (1.0 - act[j] * act[j]);
+                grad[h * i + j] += da; // b1
+                for k in 0..i {
+                    grad[j * i + k] += da * x[k];
+                }
+            }
+            grad[h * i + 2 * h] += dz; // b2
+        }
+        loss
+    }
+}
+
+/// A synthetic two-class dataset (two noisy interleaved clusters per
+/// class — not linearly separable, so the MLP matters).
+pub fn synth_dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let cluster = (i / 2) % 2;
+        let mut x = vec![0.0; dim];
+        // XOR layout in the first two dims: class 0 lives at (+,+) and
+        // (-,-); class 1 at (+,-) and (-,+). Remaining dims are noise.
+        let x0 = if cluster == 0 { 1.0 } else { -1.0 };
+        let x1 = if class == 0 { x0 } else { -x0 };
+        for (d, xd) in x.iter_mut().enumerate() {
+            let centre = match d {
+                0 => x0,
+                1 => x1,
+                _ => 0.0,
+            };
+            *xd = centre + rng.gen_range(-0.6..0.6);
+        }
+        xs.push(x);
+        ys.push(class as f64);
+    }
+    (xs, ys)
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    pub lr: f64,
+    pub batch: usize,
+    pub steps: usize,
+    pub seed: u64,
+}
+
+fn batch_at<'a>(
+    xs: &'a [Vec<f64>],
+    ys: &'a [f64],
+    step: usize,
+    batch: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = xs.len();
+    let start = (step * batch) % n;
+    let idx: Vec<usize> = (0..batch).map(|k| (start + k * 7) % n).collect();
+    (
+        idx.iter().map(|&i| xs[i].clone()).collect(),
+        idx.iter().map(|&i| ys[i]).collect(),
+    )
+}
+
+fn full_loss(m: &Mlp, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    let mut g = vec![0.0; m.w.len()];
+    m.loss_grad(xs, ys, &mut g)
+}
+
+/// Plain single-learner SGD; returns (model, final loss).
+pub fn train_sgd(xs: &[Vec<f64>], ys: &[f64], cfg: TrainConfig) -> (Mlp, f64) {
+    let mut m = Mlp::new(xs[0].len(), 8, cfg.seed);
+    let mut g = vec![0.0; m.w.len()];
+    for s in 0..cfg.steps {
+        let (bx, by) = batch_at(xs, ys, s, cfg.batch);
+        m.loss_grad(&bx, &by, &mut g);
+        for (w, gi) in m.w.iter_mut().zip(&g) {
+            *w -= cfg.lr * gi;
+        }
+    }
+    let l = full_loss(&m, xs, ys);
+    (m, l)
+}
+
+/// ASGD: `learners` workers push gradients computed against parameters
+/// that are `staleness` updates old (round-robin schedule, the worst-case
+/// uniform staleness the paper's analysis assumes is *bounded* by the
+/// learner count). Returns (model, final loss).
+pub fn train_asgd(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    cfg: TrainConfig,
+    learners: usize,
+) -> (Mlp, f64) {
+    let mut central = Mlp::new(xs[0].len(), 8, cfg.seed);
+    // History of parameter snapshots for staleness.
+    let mut history: Vec<Vec<f64>> = vec![central.w.clone(); learners.max(1)];
+    let mut g = vec![0.0; central.w.len()];
+    let slots = history.len();
+    for s in 0..cfg.steps {
+        // The gradient is computed on a snapshot `learners` updates old.
+        let slot = s % slots;
+        let stale_w = history[slot].clone();
+        let mut stale_model = central.clone();
+        stale_model.w = stale_w;
+        let (bx, by) = batch_at(xs, ys, s, cfg.batch);
+        stale_model.loss_grad(&bx, &by, &mut g);
+        for (w, gi) in central.w.iter_mut().zip(&g) {
+            *w -= cfg.lr * gi;
+        }
+        history[slot] = central.w.clone();
+    }
+    let l = full_loss(&central, xs, ys);
+    (central, l)
+}
+
+/// KAVG: `learners` workers each run `k` local SGD steps on their data
+/// shard, then all models are averaged; repeat. `cfg.steps` counts global
+/// rounds x k (total sequential steps per learner). Returns (model, loss,
+/// number of reductions performed).
+pub fn train_kavg(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    cfg: TrainConfig,
+    learners: usize,
+    k: usize,
+) -> (Mlp, f64, usize) {
+    let learners = learners.max(1);
+    let k = k.max(1);
+    let proto = Mlp::new(xs[0].len(), 8, cfg.seed);
+    let mut weights = proto.w.clone();
+    // Shard data round-robin.
+    let shards: Vec<(Vec<Vec<f64>>, Vec<f64>)> = (0..learners)
+        .map(|l| {
+            let xi: Vec<Vec<f64>> =
+                xs.iter().enumerate().filter(|(i, _)| i % learners == l).map(|(_, x)| x.clone()).collect();
+            let yi: Vec<f64> =
+                ys.iter().enumerate().filter(|(i, _)| i % learners == l).map(|(_, y)| *y).collect();
+            (xi, yi)
+        })
+        .collect();
+    let rounds = cfg.steps / k;
+    let mut reductions = 0;
+    let mut g = vec![0.0; weights.len()];
+    for r in 0..rounds.max(1) {
+        let mut sum = vec![0.0; weights.len()];
+        for (l, (sx, sy)) in shards.iter().enumerate() {
+            let mut local = proto.clone();
+            local.w = weights.clone();
+            for s in 0..k {
+                let (bx, by) = batch_at(sx, sy, r * k + s + l, cfg.batch.min(sx.len()));
+                local.loss_grad(&bx, &by, &mut g);
+                for (w, gi) in local.w.iter_mut().zip(&g) {
+                    *w -= cfg.lr * gi;
+                }
+            }
+            for (acc, w) in sum.iter_mut().zip(&local.w) {
+                *acc += w;
+            }
+        }
+        for (w, acc) in weights.iter_mut().zip(&sum) {
+            *w = acc / learners as f64;
+        }
+        reductions += 1;
+    }
+    let mut out = proto;
+    out.w = weights;
+    let l = full_loss(&out, xs, ys);
+    (out, l, reductions)
+}
+
+/// Classification accuracy of a trained model.
+pub fn accuracy(m: &Mlp, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    let correct = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| (m.forward(x) > 0.5) == (y > 0.5))
+        .count();
+    correct as f64 / xs.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        synth_dataset(400, 4, 3)
+    }
+
+    fn cfg(steps: usize) -> TrainConfig {
+        TrainConfig { lr: 0.3, batch: 32, steps, seed: 5 }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (xs, ys) = synth_dataset(16, 3, 1);
+        let m = Mlp::new(3, 4, 2);
+        let mut g = vec![0.0; m.w.len()];
+        let l0 = m.loss_grad(&xs, &ys, &mut g);
+        let eps = 1e-6;
+        for p in [0, 3, 7, m.w.len() - 1] {
+            let mut mp = m.clone();
+            mp.w[p] += eps;
+            let mut scratch = vec![0.0; m.w.len()];
+            let l1 = mp.loss_grad(&xs, &ys, &mut scratch);
+            let fd = (l1 - l0) / eps;
+            assert!((fd - g[p]).abs() < 1e-4, "param {p}: fd {fd} vs {}", g[p]);
+        }
+    }
+
+    #[test]
+    fn sgd_learns_the_xor_like_problem() {
+        let (xs, ys) = data();
+        let (m, loss) = train_sgd(&xs, &ys, cfg(3000));
+        assert!(loss < 0.3, "loss {loss}");
+        assert!(accuracy(&m, &xs, &ys) > 0.85);
+    }
+
+    #[test]
+    fn kavg_matches_sgd_quality() {
+        let (xs, ys) = data();
+        let (_, sgd_loss) = train_sgd(&xs, &ys, cfg(2000));
+        let (_, kavg_loss, reductions) = train_kavg(&xs, &ys, cfg(2000), 4, 8);
+        assert!(kavg_loss < sgd_loss + 0.15, "kavg {kavg_loss} vs sgd {sgd_loss}");
+        assert_eq!(reductions, 2000 / 8);
+    }
+
+    #[test]
+    fn kavg_with_k1_does_most_reductions() {
+        let (xs, ys) = data();
+        let (_, _, r1) = train_kavg(&xs, &ys, cfg(256), 4, 1);
+        let (_, _, r16) = train_kavg(&xs, &ys, cfg(256), 4, 16);
+        assert_eq!(r1, 256);
+        assert_eq!(r16, 16);
+    }
+
+    #[test]
+    fn asgd_with_many_learners_degrades_at_high_lr() {
+        // The §4.5 finding: staleness forces small learning rates; at a
+        // rate where synchronous methods are fine, stale updates hurt.
+        let (xs, ys) = data();
+        let hot = TrainConfig { lr: 4.5, batch: 32, steps: 1500, seed: 5 };
+        let (_, sync_loss, _) = train_kavg(&xs, &ys, hot, 16, 4);
+        let (_, async_loss) = train_asgd(&xs, &ys, hot, 16);
+        assert!(
+            async_loss > 10.0 * sync_loss,
+            "stale ASGD should do much worse: {async_loss} vs {sync_loss}"
+        );
+    }
+
+    #[test]
+    fn asgd_converges_with_small_lr() {
+        let (xs, ys) = data();
+        let safe = TrainConfig { lr: 0.1, batch: 32, steps: 4000, seed: 5 };
+        let (_, loss) = train_asgd(&xs, &ys, safe, 8);
+        assert!(loss < 0.45, "{loss}");
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_not_linearly_separable() {
+        let (xs, ys) = data();
+        let pos = ys.iter().filter(|&&y| y > 0.5).count();
+        assert_eq!(pos, 200);
+        // A linear probe (logistic regression via 0-hidden trick is not
+        // available; use an MLP with hidden=1 and tanh ~ quasi-linear).
+        let (m, _) = {
+            let mut m = Mlp::new(4, 1, 9);
+            let mut g = vec![0.0; m.w.len()];
+            for s in 0..2000 {
+                let (bx, by) = super::batch_at(&xs, &ys, s, 32);
+                m.loss_grad(&bx, &by, &mut g);
+                for (w, gi) in m.w.iter_mut().zip(&g) {
+                    *w -= 0.3 * gi;
+                }
+            }
+            (m, 0.0)
+        };
+        let acc = accuracy(&m, &xs, &ys);
+        assert!(acc < 0.8, "linear-ish probe too good: {acc}");
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn lr_sweep() {
+        let (xs, ys) = synth_dataset(400, 4, 3);
+        for lr in [0.6, 1.2, 2.0, 3.0, 4.5, 6.0, 8.0] {
+            let cfg = TrainConfig { lr, batch: 32, steps: 1500, seed: 5 };
+            let (_, sync_loss, _) = train_kavg(&xs, &ys, cfg, 16, 4);
+            let (_, async_loss) = train_asgd(&xs, &ys, cfg, 16);
+            println!("lr {lr}: kavg {sync_loss:.4} asgd {async_loss:.4}");
+        }
+    }
+}

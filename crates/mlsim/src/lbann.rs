@@ -1,0 +1,194 @@
+//! The Fig 3 LBANN scaling model.
+//!
+//! The semantic-segmentation model is too large for one V100's 16 GiB, so
+//! each *sample* is partitioned across `gpus_per_sample` in {2, 4, 8, 16}
+//! GPUs; data parallelism then runs `total_gpus / gpus_per_sample` samples
+//! concurrently. Per step:
+//!
+//! * compute: the sample's flops divided over its GPUs;
+//! * intra-sample communication: halo/allgather traffic between the GPUs
+//!   sharing a sample (NVLink within the node, InfiniBand beyond 4);
+//! * gradient allreduce across all sample groups.
+
+use hetsim::{machines, CollectiveKind, KernelProfile, Network, Target};
+
+/// Model/workload description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbannConfig {
+    /// Forward+backward flops per sample.
+    pub flops_per_sample: f64,
+    /// Activation bytes exchanged between sample partitions per step.
+    pub halo_bytes: f64,
+    /// Gradient bytes allreduced per step.
+    pub grad_bytes: f64,
+    /// Activation memory per sample (GiB) — what forces the partitioning.
+    pub sample_mem_gib: f64,
+}
+
+impl Default for LbannConfig {
+    fn default() -> Self {
+        LbannConfig {
+            flops_per_sample: 2.0e12,
+            halo_bytes: 400e6,
+            grad_bytes: 500e6,
+            sample_mem_gib: 28.0,
+        }
+    }
+}
+
+/// One point of the Fig 3 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    pub total_gpus: usize,
+    pub gpus_per_sample: usize,
+    /// Samples processed per second.
+    pub samples_per_s: f64,
+    /// Seconds for one training step (one sample per group).
+    pub step_time: f64,
+}
+
+/// Whether a configuration fits in device memory.
+pub fn fits(cfg: &LbannConfig, gpus_per_sample: usize) -> bool {
+    let per_gpu = cfg.sample_mem_gib / gpus_per_sample as f64;
+    per_gpu <= machines::sierra_node().node.gpus[0].mem_capacity_gib * 0.9
+}
+
+/// Compute one scaling point on the final system.
+pub fn scaling_point(cfg: &LbannConfig, total_gpus: usize, gpus_per_sample: usize) -> ScalingPoint {
+    assert!(gpus_per_sample >= 1 && total_gpus >= gpus_per_sample);
+    let machine = machines::sierra_node();
+    let sim = hetsim::Sim::new(machine.clone());
+    let g = gpus_per_sample as f64;
+
+    // Compute: fp32 training, split over the sample's GPUs.
+    let k = KernelProfile::new("lbann-fwd-bwd")
+        .flops(cfg.flops_per_sample / g)
+        .bytes_read(cfg.sample_mem_gib * 1.074e9 / g)
+        .bytes_written(cfg.sample_mem_gib * 0.2e9 / g)
+        .precision(hetsim::Precision::Fp32)
+        .parallelism(1e7 / g);
+    let t_compute = sim.cost(Target::gpu(0), &k);
+
+    // Intra-sample exchange: NVLink for partners on the same node (<= 4),
+    // InfiniBand beyond. The paper's "exploits the system's unique
+    // capabilities such as NVLink".
+    let link = if gpus_per_sample <= 4 {
+        machine.node.peer_link.clone().expect("sierra has NVLink peers")
+    } else {
+        hetsim::LinkSpec {
+            kind: hetsim::LinkKind::Fabric,
+            bw_gbs: machine.network.injection_bw_gbs,
+            latency_us: machine.network.latency_us,
+        }
+    };
+    let exchange_steps = (gpus_per_sample - 1).max(0) as f64;
+    let t_halo = if gpus_per_sample > 1 {
+        exchange_steps * link.transfer_time(cfg.halo_bytes / g)
+    } else {
+        0.0
+    };
+
+    // Gradient allreduce across sample groups (4 GPUs/node -> nodes =
+    // total/4).
+    let groups = (total_gpus / gpus_per_sample).max(1);
+    let nodes = (total_gpus / 4).max(1);
+    let net = Network::new(machine.network.clone(), nodes);
+    let t_allreduce = if groups > 1 {
+        net.collective(CollectiveKind::AllReduce, cfg.grad_bytes / g)
+    } else {
+        0.0
+    };
+
+    let step_time = t_compute + t_halo + t_allreduce;
+    ScalingPoint {
+        total_gpus,
+        gpus_per_sample,
+        samples_per_s: groups as f64 / step_time,
+        step_time,
+    }
+}
+
+/// The Fig 3 sweep: for each partitioning, scale total GPUs.
+pub fn fig3_sweep(cfg: &LbannConfig) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &g in &[2usize, 4, 8, 16] {
+        let mut n = g;
+        while n <= 2048 {
+            out.push(scaling_point(cfg, n, g));
+            n *= 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LbannConfig {
+        LbannConfig::default()
+    }
+
+    #[test]
+    fn one_gpu_does_not_fit_two_do() {
+        // The paper "had to use at least two GPUs per sample".
+        assert!(!fits(&cfg(), 1));
+        assert!(fits(&cfg(), 2));
+    }
+
+    #[test]
+    fn per_sample_scaling_two_to_four_is_near_perfect() {
+        // Fig 3: "near-perfect scaling when scaling from two GPUs to four
+        // GPUs per sample".
+        let t2 = scaling_point(&cfg(), 2, 2).step_time;
+        let t4 = scaling_point(&cfg(), 4, 4).step_time;
+        let speedup = t2 / t4;
+        assert!(speedup > 1.7 && speedup <= 2.05, "{speedup}");
+    }
+
+    #[test]
+    fn eight_and_sixteen_gpus_give_diminishing_returns() {
+        // Fig 3: "2.8X and 3.4X speedups with eight and sixteen GPUs"
+        // relative to two GPUs per sample.
+        let t2 = scaling_point(&cfg(), 2, 2).step_time;
+        let s8 = t2 / scaling_point(&cfg(), 8, 8).step_time;
+        let s16 = t2 / scaling_point(&cfg(), 16, 16).step_time;
+        assert!(s8 > 2.0 && s8 < 3.6, "8-gpu speedup {s8}");
+        assert!(s16 > s8, "{s16} vs {s8}");
+        assert!(s16 < 5.0, "16-gpu speedup {s16}");
+    }
+
+    #[test]
+    fn weak_scaling_throughput_grows_with_gpus() {
+        // The solid lines of Fig 3: more GPUs, more samples/s.
+        for g in [2usize, 4, 8, 16] {
+            let small = scaling_point(&cfg(), g * 4, g);
+            let big = scaling_point(&cfg(), 2048, g);
+            assert!(
+                big.samples_per_s > 10.0 * small.samples_per_s,
+                "g={g}: {} vs {}",
+                big.samples_per_s,
+                small.samples_per_s
+            );
+        }
+    }
+
+    #[test]
+    fn weak_scaling_is_sublinear_due_to_allreduce() {
+        let g = 4;
+        let base = scaling_point(&cfg(), 16, g);
+        let big = scaling_point(&cfg(), 2048, g);
+        let ideal = 2048.0 / 16.0;
+        let actual = big.samples_per_s / base.samples_per_s;
+        assert!(actual < ideal, "{actual} vs ideal {ideal}");
+        assert!(actual > 0.3 * ideal, "efficiency collapsed: {actual}");
+    }
+
+    #[test]
+    fn sweep_covers_all_partitionings() {
+        let pts = fig3_sweep(&cfg());
+        for g in [2usize, 4, 8, 16] {
+            assert!(pts.iter().any(|p| p.gpus_per_sample == g && p.total_gpus == 2048));
+        }
+    }
+}

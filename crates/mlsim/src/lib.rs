@@ -1,0 +1,27 @@
+//! `mlsim` — the Data Science Deep Learning activity (§4.5).
+//!
+//! Three deliverables from that activity are reproduced:
+//!
+//! * [`kavg`] — the K-step averaging algorithm (KAVG) the team proposed
+//!   after finding that asynchronous SGD "implementations have significant
+//!   scaling issues" (staleness-limited learning rates, parameter-server
+//!   bottlenecks). Real optimisation on a real nonconvex objective, with
+//!   staleness injected for the ASGD baseline and a time-to-accuracy model
+//!   that includes the reduction costs — showing the paper's finding that
+//!   "the optimal K for convergence is usually greater than one";
+//! * [`video`] — the Table 3 study: three feature streams (spatial,
+//!   temporal, SPyNet-like), per-stream classifiers, and the four
+//!   combination strategies (simple/weighted average, logistic regression,
+//!   shallow NN) on an easy (UCF101-like) and a hard (HMDB51-like)
+//!   synthetic dataset;
+//! * [`lbann`] — the Fig 3 model: sample-parallel training where each
+//!   sample is partitioned across 2-16 GPUs (the model exceeds one V100's
+//!   memory), weak/strong scaling to 2048 GPUs.
+
+pub mod kavg;
+pub mod lbann;
+pub mod video;
+
+pub use kavg::{train_asgd, train_kavg, train_sgd, Mlp, TrainConfig};
+pub use lbann::{scaling_point, LbannConfig, ScalingPoint};
+pub use video::{run_table3, Table3, VideoDataset};

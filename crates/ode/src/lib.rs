@@ -1,0 +1,31 @@
+//! `ode` — the SUNDIALS stand-in (§4.10.2).
+//!
+//! SUNDIALS "already expresses its vector and algebraic solver operations
+//! generically by abstracting the specific operations behind methods in
+//! backends. The team's approach leaves high-level control to the time
+//! integrator and nonlinear solver calls on the CPU, and supplies vector
+//! implementations that operate on data in GPU memory."
+//!
+//! That architecture is reproduced exactly:
+//!
+//! * [`nvector::NVector`] — the backend-generic vector interface; the
+//!   integrator only ever talks to it;
+//! * [`nvector::HostVec`] — plain host memory;
+//! * [`nvector::CountingVec`] — a decorated vector that counts every
+//!   operation and its bytes, so a `hetsim` device can be charged for the
+//!   solve without the integrator knowing (the "data stays on the GPU"
+//!   integration contract of §4.10.4);
+//! * [`bdf::BdfIntegrator`] — a CVODE-style fixed-leading-coefficient BDF
+//!   (orders 1-5) with an inexact Newton iteration and a Jacobian-free
+//!   GMRES inner solver, preconditioner hook included (that hook is where
+//!   *hypre* plugs in).
+
+pub mod adaptive;
+pub mod bdf;
+pub mod newton;
+pub mod nvector;
+
+pub use adaptive::{AdaptiveBdf, AdaptiveStats};
+pub use bdf::{BdfIntegrator, BdfOptions, StepStats};
+pub use newton::{matfree_gmres, NewtonOptions};
+pub use nvector::{CountingVec, HostVec, NVector, OpCounts};

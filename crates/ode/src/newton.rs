@@ -1,0 +1,213 @@
+//! Inexact Newton with a Jacobian-free GMRES inner solve, generic over
+//! [`NVector`].
+
+use crate::nvector::NVector;
+
+/// Newton iteration options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    pub max_iters: usize,
+    pub tol: f64,
+    /// GMRES restart length.
+    pub krylov_dim: usize,
+    /// Relative tolerance for the linear solve (inexact Newton).
+    pub lin_tol: f64,
+    pub max_lin_iters: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions { max_iters: 10, tol: 1e-9, krylov_dim: 30, lin_tol: 1e-4, max_lin_iters: 200 }
+    }
+}
+
+/// Matrix-free GMRES: solve `A x = b` where `apply_a(v, out)` computes
+/// `out = A v`. `x` holds the initial guess. Optional preconditioner
+/// `precond(r, z)` computes `z ~= M^-1 r` (right preconditioning is
+/// approximated by left application here, which the paper's solves also
+/// use). Returns (iterations, relative residual).
+pub fn matfree_gmres<V, A, P>(
+    mut apply_a: A,
+    mut precond: P,
+    b: &V,
+    x: &mut V,
+    restart: usize,
+    tol: f64,
+    max_iters: usize,
+) -> (usize, f64)
+where
+    V: NVector,
+    A: FnMut(&V, &mut V),
+    P: FnMut(&V, &mut V),
+{
+    let bnorm = b.dot(b).sqrt().max(1e-300);
+    let m = restart.max(1);
+    let mut total = 0usize;
+    let mut scratch = x.clone();
+    loop {
+        // r = M^-1 (b - A x)
+        apply_a(x, &mut scratch);
+        let mut r = b.clone();
+        r.linear_sum(-1.0, &scratch, 1.0);
+        let true_rel = r.dot(&r).sqrt() / bnorm;
+        if true_rel < tol || total >= max_iters {
+            return (total, true_rel);
+        }
+        let mut z = r.clone();
+        precond(&r, &mut z);
+        let beta = z.dot(&z).sqrt();
+        if beta < 1e-300 {
+            return (total, true_rel);
+        }
+        let mut v: Vec<V> = Vec::with_capacity(m + 1);
+        let mut v0 = z;
+        v0.scale(1.0 / beta);
+        v.push(v0);
+        let mut h = vec![vec![0.0f64; m]; m + 1];
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut k_used = 0;
+        for k in 0..m {
+            if total >= max_iters {
+                break;
+            }
+            total += 1;
+            k_used = k + 1;
+            apply_a(&v[k], &mut scratch);
+            let mut w = scratch.clone();
+            precond(&scratch, &mut w);
+            for j in 0..=k {
+                h[j][k] = w.dot(&v[j]);
+                w.linear_sum(-h[j][k], &v[j], 1.0);
+            }
+            h[k + 1][k] = w.dot(&w).sqrt();
+            if h[k + 1][k] > 1e-300 {
+                w.scale(1.0 / h[k + 1][k]);
+            }
+            v.push(w);
+            for j in 0..k {
+                let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+                h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+                h[j][k] = t;
+            }
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt().max(1e-300);
+            cs[k] = h[k][k] / denom;
+            sn[k] = h[k + 1][k] / denom;
+            h[k][k] = denom;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+            if g[k + 1].abs() / bnorm < tol {
+                break;
+            }
+        }
+        let k = k_used;
+        let mut y = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            let mut s = g[i];
+            for j in (i + 1)..k {
+                s -= h[i][j] * y[j];
+            }
+            y[i] = s / h[i][i].max(1e-300);
+        }
+        for (j, yj) in y.iter().enumerate() {
+            x.linear_sum(*yj, &v[j], 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvector::HostVec;
+
+    #[test]
+    fn solves_diagonal_system() {
+        let n = 16;
+        let d: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let dd = d.clone();
+        let apply = move |v: &HostVec, out: &mut HostVec| {
+            for i in 0..n {
+                out.0[i] = dd[i] * v.0[i];
+            }
+        };
+        let b = HostVec::from_vec(vec![1.0; n]);
+        let mut x = HostVec::zeros(n);
+        let (_, rel) = matfree_gmres(
+            apply,
+            |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+            &b,
+            &mut x,
+            20,
+            1e-12,
+            500,
+        );
+        assert!(rel < 1e-10);
+        for i in 0..n {
+            assert!((x.0[i] - 1.0 / d[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn preconditioner_cuts_iterations() {
+        let n = 64;
+        let d: Vec<f64> = (1..=n).map(|i| (i * i) as f64).collect();
+        let d1 = d.clone();
+        let d2 = d.clone();
+        let b = HostVec::from_vec(vec![1.0; n]);
+        let mut x1 = HostVec::zeros(n);
+        let (it_plain, _) = matfree_gmres(
+            move |v: &HostVec, out: &mut HostVec| {
+                for i in 0..n {
+                    out.0[i] = d1[i] * v.0[i];
+                }
+            },
+            |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+            &b,
+            &mut x1,
+            30,
+            1e-10,
+            2000,
+        );
+        let mut x2 = HostVec::zeros(n);
+        let (it_pre, rel) = matfree_gmres(
+            move |v: &HostVec, out: &mut HostVec| {
+                for i in 0..n {
+                    out.0[i] = d2[i] * v.0[i];
+                }
+            },
+            move |r: &HostVec, z: &mut HostVec| {
+                for i in 0..n {
+                    z.0[i] = r.0[i] / (i as f64 + 1.0).powi(2);
+                }
+            },
+            &b,
+            &mut x2,
+            30,
+            1e-10,
+            2000,
+        );
+        assert!(rel < 1e-10);
+        assert!(it_pre < it_plain, "{it_pre} vs {it_plain}");
+    }
+
+    #[test]
+    fn converged_guess_takes_zero_iterations() {
+        let n = 4;
+        let b = HostVec::from_vec(vec![2.0; n]);
+        let mut x = HostVec::from_vec(vec![2.0; n]);
+        let (iters, rel) = matfree_gmres(
+            |v: &HostVec, out: &mut HostVec| out.copy_from(v),
+            |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+            &b,
+            &mut x,
+            10,
+            1e-12,
+            100,
+        );
+        assert_eq!(iters, 0);
+        assert!(rel < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The loop IR: a program is a sequence of elementwise parallel loops.
+
+/// An array identifier.
+pub type ArrayId = usize;
+
+/// A per-element expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Load element `i` of an array.
+    Load(ArrayId),
+    /// A literal.
+    Const(f64),
+    /// The loop index as a float.
+    Index,
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn load(a: ArrayId) -> Expr {
+        Expr::Load(a)
+    }
+
+    pub fn c(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    pub fn add(self, o: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(o))
+    }
+
+    pub fn sub(self, o: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(o))
+    }
+
+    pub fn mul(self, o: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(o))
+    }
+
+    /// Arrays read by this expression (with multiplicity).
+    pub fn reads(&self, out: &mut Vec<ArrayId>) {
+        match self {
+            Expr::Load(a) => out.push(*a),
+            Expr::Const(_) | Expr::Index => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+        }
+    }
+}
+
+/// One parallel loop: `for i in 0..n { arrays[writes][i] = expr(i) }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    pub writes: ArrayId,
+    pub expr: Expr,
+}
+
+/// A straight-line sequence of loops over a common trip count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Trip count of every loop.
+    pub n: usize,
+    /// Number of arrays (ids 0..n_arrays).
+    pub n_arrays: usize,
+    pub loops: Vec<Loop>,
+    /// Arrays whose final contents are observable outputs.
+    pub live_out: Vec<ArrayId>,
+}
+
+impl Program {
+    /// The ParaDyn-like kernel: a chain of small elementwise loops with
+    /// temporaries feeding each other — a strain-rate/stress-ish update.
+    /// Arrays 0-2 are inputs; several intermediates are physical fields
+    /// the host code keeps (live-out), while t4, t6, and t8 are genuinely
+    /// private temporaries — the targets the private-clause information
+    /// exposes to dead-store elimination.
+    pub fn paradyn_kernel(n: usize) -> Program {
+        use Expr as E;
+        let loops = vec![
+            // t3 = a0 + a1
+            Loop { writes: 3, expr: E::load(0).add(E::load(1)) },
+            // t4 = a0 - a2
+            Loop { writes: 4, expr: E::load(0).sub(E::load(2)) },
+            // t5 = t3 * t4
+            Loop { writes: 5, expr: E::load(3).mul(E::load(4)) },
+            // t6 = t5 + a1 * 2
+            Loop { writes: 6, expr: E::load(5).add(E::load(1).mul(E::c(2.0))) },
+            // t7 = t6 * t6
+            Loop { writes: 7, expr: E::load(6).mul(E::load(6)) },
+            // t8 = t7 - t3
+            Loop { writes: 8, expr: E::load(7).sub(E::load(3)) },
+            // t9 = t8 * 0.5 + a2
+            Loop { writes: 9, expr: E::load(8).mul(E::c(0.5)).add(E::load(2)) },
+            // out = t9 + t5  (final stress update)
+            Loop { writes: 10, expr: E::load(9).add(E::load(5)) },
+        ];
+        Program { n, n_arrays: 11, loops, live_out: vec![3, 5, 7, 9, 10] }
+    }
+
+    /// Arrays read anywhere in the program (deduplicated, sorted).
+    pub fn all_reads(&self) -> Vec<ArrayId> {
+        let mut out = Vec::new();
+        for l in &self.loops {
+            l.expr.reads(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_reads_collects_all_arrays() {
+        let e = Expr::load(3).add(Expr::load(5).mul(Expr::load(3)));
+        let mut r = Vec::new();
+        e.reads(&mut r);
+        assert_eq!(r, vec![3, 5, 3]);
+    }
+
+    #[test]
+    fn paradyn_kernel_shape() {
+        let p = Program::paradyn_kernel(100);
+        assert_eq!(p.loops.len(), 8);
+        assert_eq!(p.live_out, vec![3, 5, 7, 9, 10]);
+        assert!(p.all_reads().contains(&0));
+    }
+}

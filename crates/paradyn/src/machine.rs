@@ -1,0 +1,229 @@
+//! The abstract machine: executes programs for real and counts global
+//! memory traffic (the NVProf load/store measurement of Fig 6).
+
+use std::collections::HashSet;
+
+use crate::ir::{Expr, Program};
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Global-memory loads (array-element reads that miss registers).
+    pub loads: u64,
+    /// Global-memory stores.
+    pub stores: u64,
+    /// Arithmetic operations.
+    pub flops: u64,
+}
+
+impl ExecStats {
+    pub fn memory_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Simulated kernel time (seconds) on a bandwidth-bound device:
+    /// memory ops dominate, as Fig 6's time-tracks-loads result shows.
+    pub fn time(&self, bytes_per_s: f64) -> f64 {
+        self.memory_ops() as f64 * 8.0 / bytes_per_s
+    }
+}
+
+/// The CPU-side cache model behind §4.8's observation that hand-merging
+/// loops "significantly decreased CPU performance": the original small
+/// loops work on a data subset that stays cache-resident *across loops*,
+/// so their effective bandwidth is the cache's; the merged loop streams
+/// the union of all arrays per iteration group and spills once the
+/// working set exceeds the cache.
+pub fn cpu_time(
+    stats: &ExecStats,
+    working_set_bytes: f64,
+    cache_bytes: f64,
+    cache_bw: f64,
+    dram_bw: f64,
+) -> f64 {
+    let bw = if working_set_bytes <= cache_bytes { cache_bw } else { dram_bw };
+    stats.memory_ops() as f64 * 8.0 / bw
+}
+
+fn eval(e: &Expr, arrays: &[Vec<f64>], i: usize, registers: &[bool], stats: &mut ExecStats) -> f64 {
+    match e {
+        Expr::Load(a) => {
+            if !registers[*a] {
+                stats.loads += 1;
+            }
+            arrays[*a][i]
+        }
+        Expr::Const(v) => *v,
+        Expr::Index => i as f64,
+        Expr::Add(a, b) => {
+            stats.flops += 1;
+            eval(a, arrays, i, registers, stats) + eval(b, arrays, i, registers, stats)
+        }
+        Expr::Sub(a, b) => {
+            stats.flops += 1;
+            eval(a, arrays, i, registers, stats) - eval(b, arrays, i, registers, stats)
+        }
+        Expr::Mul(a, b) => {
+            stats.flops += 1;
+            eval(a, arrays, i, registers, stats) * eval(b, arrays, i, registers, stats)
+        }
+    }
+}
+
+/// Execute `prog` on `inputs` (indexed by array id; missing arrays start
+/// zeroed). Returns (final arrays, stats).
+///
+/// Register modelling: within one *fusion group* (loops carrying the same
+/// `group` tag — see [`crate::passes::slnsp_fuse`]), an array written
+/// earlier in the group is register-resident for later reads at the same
+/// index. This is exactly what SLNSP enables. In the unfused program every
+/// loop is its own group, so every read is a global load.
+pub fn run(prog: &Program, inputs: &[(usize, Vec<f64>)], groups: &[usize], elided_stores: &HashSet<usize>) -> (Vec<Vec<f64>>, ExecStats) {
+    assert_eq!(groups.len(), prog.loops.len(), "one group tag per loop");
+    let mut arrays = vec![vec![0.0; prog.n]; prog.n_arrays];
+    for (id, data) in inputs {
+        assert_eq!(data.len(), prog.n);
+        arrays[*id] = data.clone();
+    }
+    let mut stats = ExecStats::default();
+    let mut li = 0usize;
+    while li < prog.loops.len() {
+        // Extent of the current fusion group.
+        let group = groups[li];
+        let mut hi = li;
+        while hi < prog.loops.len() && groups[hi] == group {
+            hi += 1;
+        }
+        // Execute the group loop-by-loop (semantics) but count registers
+        // per group (performance).
+        let mut registers = vec![false; prog.n_arrays];
+        for l in li..hi {
+            let lp = &prog.loops[l];
+            for i in 0..prog.n {
+                let v = eval(&lp.expr, &arrays, i, &registers, &mut stats);
+                arrays[lp.writes][i] = v;
+            }
+            if !elided_stores.contains(&lp.writes) {
+                stats.stores += prog.n as u64;
+            }
+            registers[lp.writes] = true;
+        }
+        li = hi;
+    }
+    (arrays, stats)
+}
+
+/// Convenience: run without any optimisation (each loop its own group,
+/// all stores real).
+pub fn run_baseline(prog: &Program, inputs: &[(usize, Vec<f64>)]) -> (Vec<Vec<f64>>, ExecStats) {
+    let groups: Vec<usize> = (0..prog.loops.len()).collect();
+    run(prog, inputs, &groups, &HashSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Loop;
+
+    fn tiny() -> (Program, Vec<(usize, Vec<f64>)>) {
+        let prog = Program {
+            n: 4,
+            n_arrays: 3,
+            loops: vec![
+                Loop { writes: 1, expr: Expr::load(0).mul(Expr::c(2.0)) },
+                Loop { writes: 2, expr: Expr::load(1).add(Expr::c(1.0)) },
+            ],
+            live_out: vec![2],
+        };
+        let inputs = vec![(0usize, vec![1.0, 2.0, 3.0, 4.0])];
+        (prog, inputs)
+    }
+
+    #[test]
+    fn baseline_computes_correct_values() {
+        let (prog, inputs) = tiny();
+        let (arrays, stats) = run_baseline(&prog, &inputs);
+        assert_eq!(arrays[2], vec![3.0, 5.0, 7.0, 9.0]);
+        // Loads: 4 (loop 1) + 4 (loop 2); stores: 8.
+        assert_eq!(stats.loads, 8);
+        assert_eq!(stats.stores, 8);
+    }
+
+    #[test]
+    fn fused_group_keeps_intermediate_in_registers() {
+        let (prog, inputs) = tiny();
+        let (arrays, stats) = run(&prog, &inputs, &[0, 0], &HashSet::new());
+        assert_eq!(arrays[2], vec![3.0, 5.0, 7.0, 9.0]);
+        // Loop 2's read of array 1 is now register-resident.
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.stores, 8);
+    }
+
+    #[test]
+    fn elided_store_skips_memory_but_keeps_value_for_group() {
+        let (prog, inputs) = tiny();
+        let elide: HashSet<usize> = [1usize].into_iter().collect();
+        let (arrays, stats) = run(&prog, &inputs, &[0, 0], &elide);
+        assert_eq!(arrays[2], vec![3.0, 5.0, 7.0, 9.0]);
+        assert_eq!(stats.stores, 4);
+    }
+
+    #[test]
+    fn index_expression_works() {
+        let prog = Program {
+            n: 3,
+            n_arrays: 1,
+            loops: vec![Loop { writes: 0, expr: Expr::Index.mul(Expr::c(3.0)) }],
+            live_out: vec![0],
+        };
+        let (arrays, _) = run_baseline(&prog, &[]);
+        assert_eq!(arrays[0], vec![0.0, 3.0, 6.0]);
+    }
+}
+
+#[cfg(test)]
+mod cpu_model_tests {
+    use super::*;
+    use crate::ir::Program;
+    use crate::passes::slnsp_fuse;
+
+    /// The §4.8 CPU observation: hand-merged loops lose on the CPU when
+    /// the merged working set spills the cache that the small loops'
+    /// subsets fit in.
+    #[test]
+    fn merged_loops_hurt_cpu_when_working_set_spills_cache() {
+        let n = 1_000_000usize;
+        let prog = Program::paradyn_kernel(n);
+        let inputs: Vec<(usize, Vec<f64>)> =
+            (0..3).map(|a| (a, vec![a as f64; n])).collect();
+        let (_, base) = run_baseline(&prog, &inputs);
+        let (_, fused) = run(&prog, &inputs, &slnsp_fuse(&prog), &HashSet::new());
+        let cache = 32.0 * 1024.0 * 1024.0; // L3
+        let (cache_bw, dram_bw) = (400e9, 60e9);
+        // Small loops: each touches ~3 arrays => fits L3; merged: all 11.
+        let ws_small = 3.0 * 8.0 * n as f64;
+        let ws_merged = 11.0 * 8.0 * n as f64;
+        assert!(ws_small <= cache && ws_merged > cache, "sizes chosen to straddle L3");
+        let t_small_loops = cpu_time(&base, ws_small, cache, cache_bw, dram_bw);
+        let t_merged = cpu_time(&fused, ws_merged, cache, cache_bw, dram_bw);
+        assert!(
+            t_merged > t_small_loops,
+            "merging should hurt the CPU: {t_merged} vs {t_small_loops}"
+        );
+    }
+
+    /// ...while on the GPU (no such cache, launch-bound small kernels) the
+    /// merged version wins — the tension the SLNSP compiler work resolves.
+    #[test]
+    fn merged_loops_help_gpu() {
+        let n = 100_000usize;
+        let prog = Program::paradyn_kernel(n);
+        let inputs: Vec<(usize, Vec<f64>)> =
+            (0..3).map(|a| (a, vec![a as f64; n])).collect();
+        let (_, base) = run_baseline(&prog, &inputs);
+        let (_, fused) = run(&prog, &inputs, &slnsp_fuse(&prog), &HashSet::new());
+        let launches_base = prog.loops.len() as f64;
+        let gpu = |s: &ExecStats, launches: f64| s.time(900e9) + launches * 5e-6;
+        assert!(gpu(&fused, 1.0) < gpu(&base, launches_base));
+    }
+}

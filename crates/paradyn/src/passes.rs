@@ -1,0 +1,144 @@
+//! The two compiler passes added to the XL Fortran compiler (§4.8).
+
+use std::collections::HashSet;
+
+use crate::ir::Program;
+
+/// SLNSP grouping: assign consecutive loops to one fusion group whenever
+/// doing so is legal — loop L may join the current group if it does not
+/// read any array that a loop *later in the group would still need* from
+/// memory... For elementwise loops over the same index space, fusion is
+/// always legal (each iteration i only touches element i), so SLNSP groups
+/// every maximal run of loops. Returns the per-loop group tags for
+/// [`crate::machine::run`].
+pub fn slnsp_fuse(prog: &Program) -> Vec<usize> {
+    // All loops share the trip count by construction, and elementwise
+    // dependencies are index-aligned: one big group.
+    vec![0; prog.loops.len()]
+}
+
+/// Dead-store elimination using privatisation information: an array
+/// written inside a fusion group whose value is (a) not live-out and (b)
+/// not read by any *later* group can stay in registers — its store is
+/// elided. Returns the set of arrays whose stores are eliminated.
+pub fn dead_store_elimination(prog: &Program, groups: &[usize]) -> HashSet<usize> {
+    assert_eq!(groups.len(), prog.loops.len());
+    let live_out: HashSet<usize> = prog.live_out.iter().copied().collect();
+    let mut elide = HashSet::new();
+    for (li, l) in prog.loops.iter().enumerate() {
+        if live_out.contains(&l.writes) {
+            continue;
+        }
+        // Is this array read by any loop in a *different, later* group?
+        let mut read_later_outside = false;
+        for (lj, other) in prog.loops.iter().enumerate().skip(li + 1) {
+            if groups[lj] == groups[li] {
+                continue; // same group: register-resident anyway
+            }
+            let mut reads = Vec::new();
+            other.expr.reads(&mut reads);
+            if reads.contains(&l.writes) {
+                read_later_outside = true;
+                break;
+            }
+        }
+        if !read_later_outside {
+            elide.insert(l.writes);
+        }
+    }
+    elide
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, Loop};
+    use crate::machine::{run, run_baseline};
+
+    #[test]
+    fn slnsp_groups_everything() {
+        let p = Program::paradyn_kernel(16);
+        assert_eq!(slnsp_fuse(&p), vec![0; 8]);
+    }
+
+    #[test]
+    fn dse_spares_live_out_and_cross_group_arrays() {
+        let p = Program {
+            n: 4,
+            n_arrays: 4,
+            loops: vec![
+                Loop { writes: 1, expr: Expr::load(0) },
+                Loop { writes: 2, expr: Expr::load(1) },
+                Loop { writes: 3, expr: Expr::load(2) },
+            ],
+            live_out: vec![3],
+        };
+        // Two groups: {0, 1} and {2}. Array 2 crosses the group boundary,
+        // so its store must stay; array 1 is group-internal: elided.
+        let groups = vec![0, 0, 1];
+        let elide = dead_store_elimination(&p, &groups);
+        assert!(elide.contains(&1));
+        assert!(!elide.contains(&2));
+        assert!(!elide.contains(&3));
+    }
+
+    #[test]
+    fn optimisation_pipeline_preserves_semantics() {
+        let p = Program::paradyn_kernel(64);
+        let inputs: Vec<(usize, Vec<f64>)> = (0..3)
+            .map(|a| {
+                (a, (0..64).map(|i| ((i * (a + 2)) % 7) as f64 * 0.5 - 1.0).collect())
+            })
+            .collect();
+        let (base_arrays, base) = run_baseline(&p, &inputs);
+        let groups = slnsp_fuse(&p);
+        let elide = dead_store_elimination(&p, &groups);
+        let (opt_arrays, opt) = run(&p, &inputs, &groups, &elide);
+        for &a in &p.live_out {
+            assert_eq!(base_arrays[a], opt_arrays[a]);
+        }
+        assert!(opt.memory_ops() < base.memory_ops());
+    }
+
+    #[test]
+    fn fig6_shape_slnsp_2x_and_dse_20_percent_more() {
+        let p = Program::paradyn_kernel(100_000);
+        let inputs: Vec<(usize, Vec<f64>)> = (0..3)
+            .map(|a| (a, (0..100_000).map(|i| ((i + a) % 13) as f64).collect()))
+            .collect();
+        let (_, base) = run_baseline(&p, &inputs);
+        let groups = slnsp_fuse(&p);
+        let (_, fused) = run(&p, &inputs, &groups, &std::collections::HashSet::new());
+        let elide = dead_store_elimination(&p, &groups);
+        let (_, full) = run(&p, &inputs, &groups, &elide);
+
+        let bw = 900e9;
+        let t_base = base.time(bw);
+        let t_slnsp = fused.time(bw);
+        let t_full = full.time(bw);
+        // SLNSP ~2x (time tracks the load reduction).
+        let slnsp_gain = t_base / t_slnsp;
+        assert!(slnsp_gain > 1.6 && slnsp_gain < 2.5, "SLNSP gain {slnsp_gain}");
+        let load_ratio = base.loads as f64 / fused.loads as f64;
+        assert!(
+            (slnsp_gain / load_ratio - 1.0).abs() < 0.6,
+            "time gain {slnsp_gain} should roughly track load ratio {load_ratio}"
+        );
+        // DSE: a further ~20 %.
+        let dse_gain = t_slnsp / t_full;
+        assert!(dse_gain > 1.1 && dse_gain < 1.6, "DSE gain {dse_gain}");
+    }
+
+    #[test]
+    fn dse_alone_never_changes_live_out() {
+        let p = Program::paradyn_kernel(32);
+        let inputs: Vec<(usize, Vec<f64>)> =
+            (0..3).map(|a| (a, vec![a as f64 + 0.5; 32])).collect();
+        let groups: Vec<usize> = (0..p.loops.len()).collect(); // unfused
+        let elide = dead_store_elimination(&p, &groups);
+        // Unfused: every intermediate is read by a later group, so nothing
+        // can be elided (except trailing dead writes, of which there are
+        // none here).
+        assert!(elide.is_empty(), "{elide:?}");
+    }
+}

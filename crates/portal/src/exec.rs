@@ -1,0 +1,509 @@
+//! Execution policies and the `forall` engine.
+
+use hetsim::{KernelProfile, LaunchClass, Sim, Target};
+
+/// Where a loop executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Sequential host loop.
+    Seq,
+    /// `n` host threads (OpenMP-style fork-join).
+    Threads(usize),
+    /// Plain device kernel on GPU `gpu`.
+    Device { gpu: usize },
+    /// Device kernel that stages tiles through shared memory (§4.9).
+    DeviceShared { gpu: usize },
+    /// Device kernel reading through the texture path (§4.7).
+    DeviceTexture { gpu: usize },
+}
+
+impl Policy {
+    pub fn device(gpu: usize) -> Policy {
+        Policy::Device { gpu }
+    }
+
+    pub fn is_device(&self) -> bool {
+        matches!(
+            self,
+            Policy::Device { .. } | Policy::DeviceShared { .. } | Policy::DeviceTexture { .. }
+        )
+    }
+
+    fn target(&self, _sim: &Sim) -> Target {
+        match *self {
+            Policy::Seq => Target::cpu(1),
+            Policy::Threads(n) => Target::cpu(n),
+            Policy::Device { gpu }
+            | Policy::DeviceShared { gpu }
+            | Policy::DeviceTexture { gpu } => Target::gpu(gpu),
+        }
+    }
+
+    fn host_threads(&self, sim: &Sim) -> usize {
+        match *self {
+            Policy::Seq => 1,
+            Policy::Threads(n) => n.max(1),
+            // Device loops still execute on the host for verifiability; use
+            // every core so real wall time stays low.
+            _ => sim.machine().node.cpu.cores(),
+        }
+    }
+}
+
+/// How the kernel was authored. The portable abstraction pays the paper's
+/// measured penalty: sw4lite saw RAJA within ~30 % of CUDA on device
+/// (§4.9); host-side lambda overhead is small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Hand-written CUDA / plain loops.
+    #[default]
+    Native,
+    /// RAJA-style portable abstraction.
+    Portal,
+}
+
+impl Backend {
+    /// Time multiplier relative to a native kernel.
+    pub fn penalty(&self, policy: Policy) -> f64 {
+        match (self, policy.is_device()) {
+            (Backend::Native, _) => 1.0,
+            (Backend::Portal, true) => 1.3,
+            (Backend::Portal, false) => 1.05,
+        }
+    }
+}
+
+/// Per-iteration cost description; multiplied by the trip count to build a
+/// [`KernelProfile`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerItem {
+    pub flops: f64,
+    pub bytes_read: f64,
+    pub bytes_written: f64,
+    /// Bandwidth-efficiency knob (coalescing; see `KernelProfile`).
+    pub bandwidth_eff: f64,
+    /// Compute-efficiency knob (divergence).
+    pub compute_eff: f64,
+}
+
+impl PerItem {
+    pub fn new() -> PerItem {
+        PerItem { flops: 0.0, bytes_read: 0.0, bytes_written: 0.0, bandwidth_eff: 1.0, compute_eff: 1.0 }
+    }
+
+    pub fn flops(mut self, f: f64) -> Self {
+        self.flops = f;
+        self
+    }
+
+    pub fn bytes_read(mut self, b: f64) -> Self {
+        self.bytes_read = b;
+        self
+    }
+
+    pub fn bytes_written(mut self, b: f64) -> Self {
+        self.bytes_written = b;
+        self
+    }
+
+    pub fn bandwidth_eff(mut self, e: f64) -> Self {
+        self.bandwidth_eff = e;
+        self
+    }
+
+    pub fn compute_eff(mut self, e: f64) -> Self {
+        self.compute_eff = e;
+        self
+    }
+
+    /// Expand to a kernel profile for `n` iterations under `policy`.
+    pub fn profile(&self, name: &str, n: usize, policy: Policy) -> KernelProfile {
+        let nf = n as f64;
+        let mut k = KernelProfile::new(name)
+            .flops(self.flops * nf)
+            .bytes_read(self.bytes_read * nf)
+            .bytes_written(self.bytes_written * nf)
+            .parallelism(nf)
+            .bandwidth_eff(self.bandwidth_eff)
+            .compute_eff(self.compute_eff);
+        match policy {
+            Policy::Seq => k = k.launch_class(LaunchClass::HostSerial),
+            Policy::Threads(_) => k = k.launch_class(LaunchClass::HostParallel),
+            Policy::Device { .. } => {}
+            Policy::DeviceShared { .. } => k = k.shared_mem(true),
+            Policy::DeviceTexture { .. } => k = k.texture(true),
+        }
+        k
+    }
+}
+
+/// Runs loops for real while charging a [`Sim`].
+#[derive(Debug)]
+pub struct Executor {
+    sim: Sim,
+}
+
+impl Executor {
+    pub fn new(sim: Sim) -> Executor {
+        Executor { sim }
+    }
+
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn elapsed(&self) -> f64 {
+        self.sim.elapsed()
+    }
+
+    fn charge(&mut self, name: &str, n: usize, policy: Policy, backend: Backend, item: &PerItem) -> f64 {
+        let profile = item.profile(name, n, policy);
+        let target = policy.target(&self.sim);
+        let base = self.sim.launch(target, &profile);
+        let dt = base * backend.penalty(policy);
+        // `launch` advanced the stream by the unpenalised time; charge the
+        // abstraction overhead on top.
+        self.sim.advance(target, dt - base);
+        dt
+    }
+
+    /// Read-only `forall`: run `f(i)` for `i in 0..n`. Returns simulated
+    /// seconds.
+    pub fn forall<F>(&mut self, policy: Policy, backend: Backend, item: &PerItem, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) + Sync,
+    {
+        let threads = policy.host_threads(&self.sim);
+        run_parallel(n, threads, &f);
+        self.charge("forall", n, policy, backend, item)
+    }
+
+    /// `forall` over a mutable slice: `f(i, &mut out[i])`. The common "one
+    /// output element per iteration" pattern, race-free by construction.
+    pub fn forall_mut<T, F>(
+        &mut self,
+        policy: Policy,
+        backend: Backend,
+        item: &PerItem,
+        out: &mut [T],
+        f: F,
+    ) -> f64
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let threads = policy.host_threads(&self.sim);
+        let n = out.len();
+        run_parallel_chunks(out, threads, |base, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                f(base + off, slot);
+            }
+        });
+        self.charge("forall_mut", n, policy, backend, item)
+    }
+
+    /// Sum-reduction `forall`: returns `(sum of f(i), simulated seconds)`.
+    pub fn forall_reduce_sum<F>(
+        &mut self,
+        policy: Policy,
+        backend: Backend,
+        item: &PerItem,
+        n: usize,
+        f: F,
+    ) -> (f64, f64)
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let threads = policy.host_threads(&self.sim);
+        let sum = reduce_parallel(n, threads, &f);
+        let dt = self.charge("reduce_sum", n, policy, backend, item);
+        (sum, dt)
+    }
+}
+
+/// Run `f(i)` for all i in 0..n across `threads` host threads.
+pub fn run_parallel<F>(n: usize, threads: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            s.spawn(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Split `out` into per-thread chunks and run `f(base_index, chunk)`.
+pub fn run_parallel_chunks<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        f(0, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let b = base;
+            let fr = &f;
+            s.spawn(move || fr(b, head));
+            rest = tail;
+            base += take;
+        }
+    });
+}
+
+/// Deterministic parallel sum of `f(i)` for i in 0..n.
+///
+/// Partial sums are accumulated per fixed-size chunk and then added in chunk
+/// order, so the result does not depend on thread scheduling.
+pub fn reduce_parallel<F>(n: usize, threads: usize, f: &F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return (0..n).map(f).sum();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![0.0f64; threads];
+    std::thread::scope(|s| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            s.spawn(move || {
+                let mut acc = 0.0;
+                for i in lo..hi {
+                    acc += f(i);
+                }
+                *slot = acc;
+            });
+        }
+    });
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn exec() -> Executor {
+        Executor::new(Sim::new(machines::sierra_node()))
+    }
+
+    #[test]
+    fn forall_visits_every_index() {
+        let mut e = exec();
+        let count = AtomicU64::new(0);
+        e.forall(Policy::Threads(8), Backend::Native, &PerItem::new(), 10_000, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn forall_mut_writes_every_slot() {
+        let mut e = exec();
+        let mut v = vec![0usize; 5000];
+        e.forall_mut(Policy::device(0), Backend::Portal, &PerItem::new(), &mut v, |i, s| {
+            *s = i * 2;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn reduction_matches_serial() {
+        let mut e = exec();
+        let item = PerItem::new().flops(1.0).bytes_read(8.0);
+        let (par, _) =
+            e.forall_reduce_sum(Policy::Threads(16), Backend::Native, &item, 100_000, |i| i as f64);
+        let serial: f64 = (0..100_000).map(|i| i as f64).sum();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn portal_backend_costs_more_on_device() {
+        let item = PerItem::new().flops(10.0).bytes_read(24.0).bytes_written(8.0);
+        let n = 1 << 20;
+        let mut e1 = exec();
+        let t_native = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
+        let mut e2 = exec();
+        let t_portal = e2.forall(Policy::device(0), Backend::Portal, &item, n, |_| {});
+        let ratio = t_portal / t_native;
+        assert!((ratio - 1.3).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn shared_memory_policy_is_faster_for_stencils() {
+        // §4.9: sw4lite stencil kernels improved ~2x with shared memory.
+        let item = PerItem::new().flops(50.0).bytes_read(72.0).bytes_written(8.0);
+        let n = 1 << 22;
+        let mut e1 = exec();
+        let plain = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
+        let mut e2 = exec();
+        let tiled = e2.forall(Policy::DeviceShared { gpu: 0 }, Backend::Native, &item, n, |_| {});
+        assert!(plain / tiled > 1.5, "{}", plain / tiled);
+    }
+
+    #[test]
+    fn device_beats_serial_host_on_streaming_loop() {
+        let item = PerItem::new().flops(2.0).bytes_read(16.0).bytes_written(8.0);
+        let n = 1 << 22;
+        let mut e1 = exec();
+        let dev = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
+        let mut e2 = exec();
+        let seq = e2.forall(Policy::Seq, Backend::Native, &item, n, |_| {});
+        assert!(seq / dev > 5.0);
+    }
+
+    #[test]
+    fn tiny_loops_lose_on_device_launch_overhead() {
+        // The ParaDyn problem (§4.8): many small loops => launch-bound.
+        let item = PerItem::new().flops(2.0).bytes_read(16.0);
+        let n = 64;
+        let mut e1 = exec();
+        let mut dev = 0.0;
+        for _ in 0..100 {
+            dev += e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
+        }
+        let mut e2 = exec();
+        let mut host = 0.0;
+        for _ in 0..100 {
+            host += e2.forall(Policy::Threads(4), Backend::Native, &item, n, |_| {});
+        }
+        assert!(dev > 2.0 * host, "dev {dev} host {host}");
+    }
+
+    #[test]
+    fn merged_loop_beats_many_small_launches() {
+        // The ParaDyn fix: merging loops amortises launch overhead.
+        let item = PerItem::new().flops(2.0).bytes_read(16.0);
+        let mut e1 = exec();
+        let mut many = 0.0;
+        for _ in 0..50 {
+            many += e1.forall(Policy::device(0), Backend::Native, &item, 1000, |_| {});
+        }
+        let mut e2 = exec();
+        let merged = e2.forall(Policy::device(0), Backend::Native, &item, 50_000, |_| {});
+        assert!(many > 5.0 * merged, "many {many} merged {merged}");
+    }
+}
+
+impl Executor {
+    /// Nested 2-D kernel (RAJA `kernel` analogue): run `f(i, j)` over the
+    /// `ni x nj` index space in `tile x tile` blocks. Tiling matters on
+    /// both targets — cache blocking on the host, shared-memory staging on
+    /// the device — and the policy decides which cost model applies.
+    pub fn kernel2d<F>(
+        &mut self,
+        policy: Policy,
+        backend: Backend,
+        item: &PerItem,
+        (ni, nj): (usize, usize),
+        tile: usize,
+        f: F,
+    ) -> f64
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let tile = tile.max(1);
+        let tiles_i = ni.div_ceil(tile);
+        let tiles_j = nj.div_ceil(tile);
+        let n_tiles = tiles_i * tiles_j;
+        let threads = policy.host_threads(&self.sim);
+        // Parallelise over tiles; each tile runs its block serially (the
+        // thread-block structure of the device kernel).
+        run_parallel(n_tiles, threads, &|t| {
+            let ti = t / tiles_j;
+            let tj = t % tiles_j;
+            for i in (ti * tile)..((ti + 1) * tile).min(ni) {
+                for j in (tj * tile)..((tj + 1) * tile).min(nj) {
+                    f(i, j);
+                }
+            }
+        });
+        self.charge("kernel2d", ni * nj, policy, backend, item)
+    }
+}
+
+#[cfg(test)]
+mod kernel2d_tests {
+    use super::*;
+    use hetsim::{machines, Sim};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn exec() -> Executor {
+        Executor::new(Sim::new(machines::sierra_node()))
+    }
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let mut e = exec();
+        let (ni, nj) = (37, 53); // deliberately not tile multiples
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        e.kernel2d(
+            Policy::Threads(8),
+            Backend::Native,
+            &PerItem::new(),
+            (ni, nj),
+            16,
+            |i, j| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add((i * nj + j) as u64, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed) as usize, ni * nj);
+        let expect: u64 = (0..(ni * nj) as u64).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn device_shared_tiling_is_cheaper_for_stencil_like_items() {
+        let item = PerItem::new().flops(10.0).bytes_read(40.0).bytes_written(8.0);
+        let mut e1 = exec();
+        let plain = e1.kernel2d(Policy::device(0), Backend::Native, &item, (1024, 1024), 32, |_, _| {});
+        let mut e2 = exec();
+        let tiled = e2.kernel2d(
+            Policy::DeviceShared { gpu: 0 },
+            Backend::Native,
+            &item,
+            (1024, 1024),
+            32,
+            |_, _| {},
+        );
+        assert!(tiled < plain, "{tiled} vs {plain}");
+    }
+}

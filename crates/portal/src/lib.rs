@@ -1,0 +1,42 @@
+//! `portal` — a RAJA-like performance-portability layer over [`hetsim`]
+//! devices, with an Umpire-like pool allocator.
+//!
+//! §3.3 of the paper describes the programming-approach landscape: CUDA for
+//! peak performance, RAJA for portability at ~30 % cost (§4.9), OpenMP
+//! competitive for some kernels (§4.1), and pool allocation to amortise
+//! device allocations (§4.10.5). `portal` reproduces that landscape:
+//!
+//! * [`Policy`] selects *where* a loop runs (sequential host, `n` host
+//!   threads, a device, a device with shared-memory tiling);
+//! * [`Backend`] selects *how it was written* (native CUDA-style vs the
+//!   portable abstraction, which pays the paper's measured penalty);
+//! * [`Executor::forall`] runs the loop body **for real** on host threads so
+//!   results are testable, while charging the modelled device;
+//! * [`pool`] provides `Umpire`-style memory pools with allocation-cost
+//!   accounting;
+//! * [`view`] provides multi-dimensional index views used by the stencil
+//!   codes.
+//!
+//! ```
+//! use hetsim::{machines, Sim};
+//! use portal::{Backend, Executor, PerItem, Policy};
+//!
+//! let mut exec = Executor::new(Sim::new(machines::sierra_node()));
+//! let mut y = vec![0.0f64; 1 << 16];
+//! let x: Vec<f64> = (0..1 << 16).map(|i| i as f64).collect();
+//! let profile = PerItem::new().flops(2.0).bytes_read(16.0).bytes_written(8.0);
+//! exec.forall_mut(Policy::device(0), Backend::Native, &profile, &mut y, |i, yi| {
+//!     *yi = 2.0 * x[i] + 1.0;
+//! });
+//! assert_eq!(y[10], 21.0);
+//! ```
+
+pub mod exec;
+pub mod pool;
+pub mod scan;
+pub mod view;
+
+pub use exec::{Backend, Executor, PerItem, Policy};
+pub use pool::{Pool, PoolStats, Space};
+pub use scan::{exclusive_scan, reduce_max, reduce_min};
+pub use view::{View2, View3, View4};

@@ -1,0 +1,161 @@
+//! Parallel scans and min/max reductions (the rest of RAJA's reducer
+//! family used by the iCoE codes: CFL reductions in CleverLeaf/SW4, max
+//! errors in solvers, compaction scans in MD neighbor builds).
+
+/// Deterministic parallel exclusive prefix sum (Blelloch two-pass over
+/// chunks). `out[i] = sum of in[0..i]`; returns the total.
+pub fn exclusive_scan(input: &[f64], out: &mut [f64], threads: usize) -> f64 {
+    assert_eq!(input.len(), out.len());
+    let n = input.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 || n < 2048 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            out[i] = acc;
+            acc += input[i];
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(threads);
+    // Pass 1: per-chunk sums.
+    let mut sums = vec![0.0f64; threads];
+    std::thread::scope(|s| {
+        for (t, slot) in sums.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let inp = &input[lo.min(n)..hi];
+            s.spawn(move || {
+                *slot = inp.iter().sum();
+            });
+        }
+    });
+    // Chunk offsets (serial over `threads` entries).
+    let mut offsets = vec![0.0f64; threads];
+    let mut acc = 0.0;
+    for t in 0..threads {
+        offsets[t] = acc;
+        acc += sums[t];
+    }
+    // Pass 2: local scans with offsets.
+    std::thread::scope(|s| {
+        let mut rest = &mut out[..];
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let inp = &input[lo..hi];
+            let base = offsets[t];
+            s.spawn(move || {
+                let mut local = base;
+                for (o, &v) in head.iter_mut().zip(inp) {
+                    *o = local;
+                    local += v;
+                }
+            });
+        }
+    });
+    acc
+}
+
+/// Parallel min-reduction of `f(i)` over `0..n` (deterministic: min is
+/// associative and commutative).
+pub fn reduce_min<F>(n: usize, threads: usize, f: &F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    reduce_by(n, threads, f, f64::INFINITY, f64::min)
+}
+
+/// Parallel max-reduction of `f(i)` over `0..n`.
+pub fn reduce_max<F>(n: usize, threads: usize, f: &F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    reduce_by(n, threads, f, f64::NEG_INFINITY, f64::max)
+}
+
+fn reduce_by<F>(n: usize, threads: usize, f: &F, init: f64, op: fn(f64, f64) -> f64) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n < 1024 {
+        return (0..n).map(f).fold(init, op);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![init; threads];
+    std::thread::scope(|s| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            s.spawn(move || {
+                let mut acc = init;
+                for i in lo..hi {
+                    acc = op(acc, f(i));
+                }
+                *slot = acc;
+            });
+        }
+    });
+    partials.into_iter().fold(init, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_serial_reference() {
+        let n = 10_000;
+        let input: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut par = vec![0.0; n];
+        let mut ser = vec![0.0; n];
+        let t_par = exclusive_scan(&input, &mut par, 8);
+        let t_ser = exclusive_scan(&input, &mut ser, 1);
+        assert_eq!(par, ser);
+        assert!((t_par - t_ser).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_of_ones_is_indices() {
+        let input = vec![1.0; 5000];
+        let mut out = vec![0.0; 5000];
+        let total = exclusive_scan(&input, &mut out, 4);
+        assert_eq!(total, 5000.0);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn empty_scan_is_zero() {
+        let mut out: Vec<f64> = vec![];
+        assert_eq!(exclusive_scan(&[], &mut out, 4), 0.0);
+    }
+
+    #[test]
+    fn min_max_reductions() {
+        let vals: Vec<f64> = (0..50_000).map(|i| ((i * 37) % 1000) as f64 - 321.0).collect();
+        let vs = &vals;
+        let mn = reduce_min(vals.len(), 8, &|i| vs[i]);
+        let mx = reduce_max(vals.len(), 8, &|i| vs[i]);
+        assert_eq!(mn, -321.0);
+        assert_eq!(mx, 678.0);
+    }
+
+    #[test]
+    fn reductions_match_serial_for_odd_sizes() {
+        for n in [1usize, 2, 1023, 1025, 4097] {
+            let f = |i: usize| ((i * 1103515245 + 12345) % 1000) as f64;
+            assert_eq!(reduce_min(n, 8, &f), (0..n).map(f).fold(f64::INFINITY, f64::min));
+            assert_eq!(reduce_max(n, 8, &f), (0..n).map(f).fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Multi-dimensional index views (RAJA `View` analogues).
+//!
+//! The stencil codes (SW4, VBL, Cardioid diffusion, SAMRAI patches) index
+//! flat arrays with 2-4D subscripts; these zero-cost views centralise the
+//! layout math. Layout is row-major with the *last* index fastest, matching
+//! the paper's C/C++ codes.
+
+/// 2-D view shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct View2 {
+    pub ni: usize,
+    pub nj: usize,
+}
+
+impl View2 {
+    pub fn new(ni: usize, nj: usize) -> View2 {
+        View2 { ni, nj }
+    }
+
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.ni && j < self.nj);
+        i * self.nj + j
+    }
+
+    pub fn len(&self) -> usize {
+        self.ni * self.nj
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// 3-D view shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct View3 {
+    pub ni: usize,
+    pub nj: usize,
+    pub nk: usize,
+}
+
+impl View3 {
+    pub fn new(ni: usize, nj: usize, nk: usize) -> View3 {
+        View3 { ni, nj, nk }
+    }
+
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.ni && j < self.nj && k < self.nk);
+        (i * self.nj + j) * self.nk + k
+    }
+
+    pub fn len(&self) -> usize {
+        self.ni * self.nj * self.nk
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decompose a flat index back to (i, j, k).
+    #[inline(always)]
+    pub fn unflatten(&self, idx: usize) -> (usize, usize, usize) {
+        let k = idx % self.nk;
+        let j = (idx / self.nk) % self.nj;
+        let i = idx / (self.nk * self.nj);
+        (i, j, k)
+    }
+}
+
+/// 4-D view shape (component-major field arrays, e.g. 3 displacement
+/// components over a 3-D grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct View4 {
+    pub nc: usize,
+    pub ni: usize,
+    pub nj: usize,
+    pub nk: usize,
+}
+
+impl View4 {
+    pub fn new(nc: usize, ni: usize, nj: usize, nk: usize) -> View4 {
+        View4 { nc, ni, nj, nk }
+    }
+
+    #[inline(always)]
+    pub fn idx(&self, c: usize, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(c < self.nc && i < self.ni && j < self.nj && k < self.nk);
+        ((c * self.ni + i) * self.nj + j) * self.nk + k
+    }
+
+    pub fn len(&self) -> usize {
+        self.nc * self.ni * self.nj * self.nk
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view2_roundtrip() {
+        let v = View2::new(3, 5);
+        let mut seen = vec![false; v.len()];
+        for i in 0..3 {
+            for j in 0..5 {
+                seen[v.idx(i, j)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn view3_unflatten_inverts_idx() {
+        let v = View3::new(4, 6, 9);
+        for i in 0..4 {
+            for j in 0..6 {
+                for k in 0..9 {
+                    assert_eq!(v.unflatten(v.idx(i, j, k)), (i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_index_is_contiguous() {
+        let v = View3::new(2, 3, 7);
+        assert_eq!(v.idx(0, 0, 1) - v.idx(0, 0, 0), 1);
+        assert_eq!(v.idx(0, 1, 0) - v.idx(0, 0, 0), 7);
+        assert_eq!(v.idx(1, 0, 0) - v.idx(0, 0, 0), 21);
+    }
+
+    #[test]
+    fn view4_component_major() {
+        let v = View4::new(3, 2, 2, 2);
+        assert_eq!(v.idx(0, 0, 0, 0), 0);
+        assert_eq!(v.idx(1, 0, 0, 0), 8);
+        assert_eq!(v.len(), 24);
+    }
+}

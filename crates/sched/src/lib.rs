@@ -1,0 +1,28 @@
+//! `sched` — the Opt activity's job-scheduler simulator (§4.7).
+//!
+//! "The team decided to develop a job scheduler simulator to study job
+//! scheduling policies with job requests that represent the behavior of
+//! the topological optimization application." Its two conclusions, both
+//! reproduced by tests here:
+//!
+//! * with Poisson arrivals, "job arrival rate should be throttled to less
+//!   than the aggregated processing capacity of the GPUs";
+//! * with batch arrivals, "Shortest Job First with Quota should be used to
+//!   increase GPU utilization (assuming availability of job duration
+//!   information)".
+
+//! ```
+//! use sched::{batch_arrivals, simulate, Policy};
+//!
+//! let jobs = batch_arrivals(100, 7);
+//! let fcfs = simulate(&jobs, 8, Policy::Fcfs);
+//! let sjf = simulate(&jobs, 8, Policy::SjfQuota { quota: 12 });
+//! assert_eq!(fcfs.completed, 100);
+//! assert!(sjf.mean_wait < fcfs.mean_wait);
+//! ```
+
+pub mod des;
+pub mod workload;
+
+pub use des::{simulate, Metrics, Policy};
+pub use workload::{batch_arrivals, poisson_arrivals, Job};

@@ -1,0 +1,100 @@
+//! Job descriptions and arrival processes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One topology-optimisation job: a variable-length GPU solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    pub id: usize,
+    pub arrival: f64,
+    /// True runtime (seconds).
+    pub duration: f64,
+    /// GPUs required (topology-optimisation sweeps mix sizes).
+    pub gpus: usize,
+}
+
+/// Lomax-ish heavy-tailed duration: optimisation under uncertain loading
+/// conditions needs "a variable number of expensive GPU jobs".
+fn draw_duration(rng: &mut SmallRng) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // 80 % short jobs around 30 s, 20 % long around 600 s.
+    if u < 0.8 {
+        rng.gen_range(10.0..60.0)
+    } else {
+        rng.gen_range(300.0..900.0)
+    }
+}
+
+fn draw_gpus(rng: &mut SmallRng) -> usize {
+    *[1usize, 1, 1, 2, 4].get(rng.gen_range(0..5)).expect("non-empty")
+}
+
+/// Poisson arrivals at `rate` jobs/second for `n` jobs.
+pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<Job> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|id| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / rate;
+            Job { id, arrival: t, duration: draw_duration(&mut rng), gpus: draw_gpus(&mut rng) }
+        })
+        .collect()
+}
+
+/// All `n` jobs arrive at t = 0 (the batch launch mode).
+pub fn batch_arrivals(n: usize, seed: u64) -> Vec<Job> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| Job {
+            id,
+            arrival: 0.0,
+            duration: draw_duration(&mut rng),
+            gpus: draw_gpus(&mut rng),
+        })
+        .collect()
+}
+
+/// Aggregate demand in GPU-seconds.
+pub fn total_gpu_seconds(jobs: &[Job]) -> f64 {
+    jobs.iter().map(|j| j.duration * j.gpus as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_interarrivals_average_one_over_rate() {
+        let jobs = poisson_arrivals(4000, 0.5, 1);
+        let last = jobs.last().expect("non-empty").arrival;
+        let mean_gap = last / 4000.0;
+        assert!((mean_gap - 2.0).abs() < 0.2, "{mean_gap}");
+    }
+
+    #[test]
+    fn batch_jobs_all_arrive_at_zero() {
+        let jobs = batch_arrivals(50, 2);
+        assert!(jobs.iter().all(|j| j.arrival == 0.0));
+    }
+
+    #[test]
+    fn durations_are_heavy_tailed() {
+        let jobs = batch_arrivals(2000, 3);
+        let long = jobs.iter().filter(|j| j.duration > 200.0).count();
+        assert!(long > 200 && long < 800, "{long}");
+    }
+
+    #[test]
+    fn gpu_counts_are_in_range() {
+        for j in batch_arrivals(500, 4) {
+            assert!(matches!(j.gpus, 1 | 2 | 4));
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(poisson_arrivals(100, 1.0, 7), poisson_arrivals(100, 1.0, 7));
+    }
+}

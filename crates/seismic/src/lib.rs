@@ -1,0 +1,28 @@
+//! `seismic` — the SW4 / sw4lite stand-in (§4.9).
+//!
+//! SW4 solves the seismic wave equations in displacement formulation with
+//! 4th-order finite differences. The iCoE work: port to C++, prototype
+//! RAJA / OpenMP / CUDA in the sw4lite mini-app, win ~2x in the stencil
+//! kernels via shared memory, accept ~30 % for RAJA portability, and run a
+//! 26-billion-point Hayward-fault simulation on day one.
+//!
+//! This crate implements the Cartesian core of that code path:
+//!
+//! * [`operator::ElasticOperator`] — the 4th-order constant-coefficient
+//!   elastic operator `L u = (lambda+mu) grad(div u) + mu lap(u)`;
+//! * [`solver::WaveSolver`] — explicit 2nd-order time stepping with
+//!   supergrid-style sponge damping and point sources;
+//! * [`solver::KernelPath`] — the §4.9 programming-model menu (portable
+//!   RAJA-style vs native vs native+shared-memory), all producing identical
+//!   numerics but different simulated cost;
+//! * [`scenario`] — Hayward-like point-source scenarios and peak-ground-
+//!   velocity maps (Fig 7's data product).
+
+pub mod dist;
+pub mod operator;
+pub mod scenario;
+pub mod solver;
+
+pub use dist::{node_throughput_ratio, run_time, step_time, DistRun};
+pub use operator::ElasticOperator;
+pub use solver::{KernelPath, WaveSolver};

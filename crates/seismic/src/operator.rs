@@ -1,0 +1,274 @@
+//! The 4th-order elastic operator on a Cartesian grid.
+//!
+//! Displacement formulation with constant Lamé parameters:
+//! `rho u_tt = (lambda + mu) grad(div u) + mu lap(u) + F`.
+//! All second derivatives use 4th-order central stencils; cross derivatives
+//! use the tensor product of 4th-order first-derivative stencils. Fields
+//! are stored component-major (SoA — the §4.6/§4.9 layout lesson).
+
+use portal::View4;
+
+/// 4th-order first-derivative stencil (offsets -2..=2, divided by h).
+pub const D1: [f64; 5] = [1.0 / 12.0, -2.0 / 3.0, 0.0, 2.0 / 3.0, -1.0 / 12.0];
+/// 4th-order second-derivative stencil (offsets -2..=2, divided by h^2).
+pub const D2: [f64; 5] = [-1.0 / 12.0, 4.0 / 3.0, -5.0 / 2.0, 4.0 / 3.0, -1.0 / 12.0];
+
+/// The elastic operator for an `n x n x n`-interior grid with spacing `h`.
+#[derive(Debug, Clone)]
+pub struct ElasticOperator {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub h: f64,
+    pub lambda: f64,
+    pub mu: f64,
+    pub rho: f64,
+}
+
+impl ElasticOperator {
+    pub fn new(nx: usize, ny: usize, nz: usize, h: f64, lambda: f64, mu: f64, rho: f64) -> Self {
+        assert!(nx >= 5 && ny >= 5 && nz >= 5, "need at least 5 points per direction");
+        ElasticOperator { nx, ny, nz, h, lambda, mu, rho }
+    }
+
+    pub fn view(&self) -> View4 {
+        View4::new(3, self.nx, self.ny, self.nz)
+    }
+
+    pub fn npoints(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// P-wave speed.
+    pub fn cp(&self) -> f64 {
+        ((self.lambda + 2.0 * self.mu) / self.rho).sqrt()
+    }
+
+    /// S-wave speed.
+    pub fn cs(&self) -> f64 {
+        (self.mu / self.rho).sqrt()
+    }
+
+    /// Apply `out = L u` on interior points (2-wide halo left untouched).
+    /// `u` and `out` are component-major fields of shape (3, nx, ny, nz).
+    pub fn apply(&self, u: &[f64], out: &mut [f64]) {
+        let v = self.view();
+        assert_eq!(u.len(), v.len());
+        assert_eq!(out.len(), v.len());
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let ih2 = 1.0 / (self.h * self.h);
+        let lam_mu = self.lambda + self.mu;
+        let mu = self.mu;
+        let idx = |c: usize, i: usize, j: usize, k: usize| ((c * nx + i) * ny + j) * nz + k;
+
+        for c in 0..3 {
+            for i in 2..nx - 2 {
+                for j in 2..ny - 2 {
+                    for k in 2..nz - 2 {
+                        // mu * laplacian(u_c)
+                        let mut lap = 0.0;
+                        for (o, d) in D2.iter().enumerate() {
+                            let s = o as isize - 2;
+                            lap += d * u[idx(c, (i as isize + s) as usize, j, k)];
+                            lap += d * u[idx(c, i, (j as isize + s) as usize, k)];
+                            lap += d * u[idx(c, i, j, (k as isize + s) as usize)];
+                        }
+                        // (lambda + mu) * d/dx_c (div u)
+                        // = (lambda+mu) * sum_d d2 u_d / dx_c dx_d
+                        let mut graddiv = 0.0;
+                        for d in 0..3 {
+                            if d == c {
+                                let mut dd = 0.0;
+                                for (o, w) in D2.iter().enumerate() {
+                                    let s = o as isize - 2;
+                                    let (ii, jj, kk) = shift(c, i, j, k, s);
+                                    dd += w * u[idx(c, ii, jj, kk)];
+                                }
+                                graddiv += dd;
+                            } else {
+                                let mut cross = 0.0;
+                                for (oa, wa) in D1.iter().enumerate() {
+                                    if *wa == 0.0 {
+                                        continue;
+                                    }
+                                    let sa = oa as isize - 2;
+                                    for (ob, wb) in D1.iter().enumerate() {
+                                        if *wb == 0.0 {
+                                            continue;
+                                        }
+                                        let sb = ob as isize - 2;
+                                        let (i1, j1, k1) = shift(c, i, j, k, sa);
+                                        let (i2, j2, k2) = shift(d, i1, j1, k1, sb);
+                                        cross += wa * wb * u[idx(d, i2, j2, k2)];
+                                    }
+                                }
+                                graddiv += cross;
+                            }
+                        }
+                        out[idx(c, i, j, k)] = ih2 * (mu * lap + lam_mu * graddiv);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flops per interior grid point of one apply (for cost profiles).
+    pub fn flops_per_point() -> f64 {
+        // 3 comps x (laplacian 30 + graddiv same-dir 10 + 2 cross terms
+        // 16*3 each) ~= 3 * 136.
+        3.0 * 136.0
+    }
+
+    /// Bytes read per interior point (stencil-reuse-naive estimate).
+    pub fn bytes_read_per_point() -> f64 {
+        // 3 comps x ~ (13 laplacian + 5 + 32 cross) unique loads x 8 B.
+        3.0 * 50.0 * 8.0
+    }
+}
+
+#[inline]
+fn shift(axis: usize, i: usize, j: usize, k: usize, s: isize) -> (usize, usize, usize) {
+    match axis {
+        0 => ((i as isize + s) as usize, j, k),
+        1 => (i, (j as isize + s) as usize, k),
+        _ => (i, j, (k as isize + s) as usize),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fill a field with u_c(x,y,z) and return analytic L u at one interior
+    /// point for the trig test field.
+    fn trig_setup(op: &ElasticOperator) -> (Vec<f64>, impl Fn(usize, usize, usize, usize) -> f64) {
+        let v = op.view();
+        let mut u = vec![0.0; v.len()];
+        let (a, b, c) = (1.1, 0.7, 0.9);
+        let h = op.h;
+        for comp in 0..3 {
+            for i in 0..op.nx {
+                for j in 0..op.ny {
+                    for k in 0..op.nz {
+                        let (x, y, z) = (i as f64 * h, j as f64 * h, k as f64 * h);
+                        let val = match comp {
+                            0 => (a * x).sin() * (b * y).cos() * (c * z).cos(),
+                            1 => (a * x).cos() * (b * y).sin() * (c * z).cos(),
+                            _ => (a * x).cos() * (b * y).cos() * (c * z).sin(),
+                        };
+                        u[v.idx(comp, i, j, k)] = val;
+                    }
+                }
+            }
+        }
+        let (lambda, mu) = (op.lambda, op.mu);
+        let exact = move |comp: usize, i: usize, j: usize, k: usize| -> f64 {
+            let (x, y, z) = (i as f64 * h, j as f64 * h, k as f64 * h);
+            // div u = (a+b+c) cos(ax)cos(by)cos(cz) =: s * C
+            let s = a + b + c;
+            match comp {
+                0 => {
+                    let u0 = (a * x).sin() * (b * y).cos() * (c * z).cos();
+                    let lap = -(a * a + b * b + c * c) * u0;
+                    // d/dx div u = -a s sin(ax)cos(by)cos(cz)
+                    let gd = -a * s * (a * x).sin() * (b * y).cos() * (c * z).cos();
+                    mu * lap + (lambda + mu) * gd
+                }
+                1 => {
+                    let u1 = (a * x).cos() * (b * y).sin() * (c * z).cos();
+                    let lap = -(a * a + b * b + c * c) * u1;
+                    let gd = -b * s * (a * x).cos() * (b * y).sin() * (c * z).cos();
+                    mu * lap + (lambda + mu) * gd
+                }
+                _ => {
+                    let u2 = (a * x).cos() * (b * y).cos() * (c * z).sin();
+                    let lap = -(a * a + b * b + c * c) * u2;
+                    let gd = -c * s * (a * x).cos() * (b * y).cos() * (c * z).sin();
+                    mu * lap + (lambda + mu) * gd
+                }
+            }
+        };
+        (u, exact)
+    }
+
+    #[test]
+    fn operator_matches_analytic_on_trig_field() {
+        let op = ElasticOperator::new(20, 20, 20, 0.05, 2.0, 1.0, 1.0);
+        let (u, exact) = trig_setup(&op);
+        let v = op.view();
+        let mut lu = vec![0.0; v.len()];
+        op.apply(&u, &mut lu);
+        let mut max_err = 0.0f64;
+        for comp in 0..3 {
+            for i in 4..op.nx - 4 {
+                for j in 4..op.ny - 4 {
+                    for k in 4..op.nz - 4 {
+                        let e = (lu[v.idx(comp, i, j, k)] - exact(comp, i, j, k)).abs();
+                        max_err = max_err.max(e);
+                    }
+                }
+            }
+        }
+        assert!(max_err < 2e-5, "{max_err}");
+    }
+
+    #[test]
+    fn convergence_is_fourth_order() {
+        let err_at = |n: usize| {
+            let h = 1.0 / (n as f64 - 1.0);
+            let op = ElasticOperator::new(n, n, n, h, 2.0, 1.0, 1.0);
+            let (u, exact) = trig_setup(&op);
+            let v = op.view();
+            let mut lu = vec![0.0; v.len()];
+            op.apply(&u, &mut lu);
+            let mut max_err = 0.0f64;
+            let mid = n / 2;
+            for comp in 0..3 {
+                let e = (lu[v.idx(comp, mid, mid, mid)] - exact(comp, mid, mid, mid)).abs();
+                max_err = max_err.max(e);
+            }
+            max_err
+        };
+        let e1 = err_at(12);
+        let e2 = err_at(24);
+        let order = (e1 / e2).log2();
+        assert!(order > 3.3, "observed order {order} (e1={e1}, e2={e2})");
+    }
+
+    #[test]
+    fn wave_speeds() {
+        let op = ElasticOperator::new(5, 5, 5, 1.0, 2.0, 1.0, 1.0);
+        assert!((op.cp() - 2.0).abs() < 1e-12);
+        assert!((op.cs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_field_maps_to_zero() {
+        let op = ElasticOperator::new(8, 8, 8, 0.1, 2.0, 1.0, 1.0);
+        let u = vec![0.0; op.view().len()];
+        let mut lu = vec![1.0; op.view().len()];
+        op.apply(&u, &mut lu);
+        let v = op.view();
+        for c in 0..3 {
+            for i in 2..6 {
+                for j in 2..6 {
+                    for k in 2..6 {
+                        assert_eq!(lu[v.idx(c, i, j, k)], 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_field_is_annihilated() {
+        let op = ElasticOperator::new(10, 10, 10, 0.1, 2.0, 1.0, 1.0);
+        let u = vec![3.5; op.view().len()];
+        let mut lu = vec![0.0; op.view().len()];
+        op.apply(&u, &mut lu);
+        let v = op.view();
+        for c in 0..3 {
+            assert!(lu[v.idx(c, 5, 5, 5)].abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `topopt` — the Opt activity's GPU kernel (§4.7).
+//!
+//! The Optimization Framework designs structures (the paper's drone, Fig 5)
+//! by SIMP topology optimisation: "a matrix-free solver implemented in CUDA
+//! and texture cache memory" gave good performance on the EA system —
+//! "however, Opt did not benefit from texture caching on the final system
+//! due to improvements in Volta GPU caching".
+//!
+//! * [`simp`] — 2-D SIMP: bilinear quad elasticity, matrix-free
+//!   preconditioned CG (the hot kernel), density filtering, and the
+//!   optimality-criteria update;
+//! * [`device`] — the texture-cache study across the EA (P100) and final
+//!   (V100) machines.
+
+pub mod device;
+pub mod simp;
+
+pub use device::{solver_step_cost, TextureUse};
+pub use simp::{SimpConfig, SimpProblem, SimpResult};

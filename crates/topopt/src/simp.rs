@@ -1,0 +1,455 @@
+//! 2-D SIMP topology optimisation (classic 88-line structure, matrix-free).
+//!
+//! Domain: `nelx` x `nely` bilinear quad elements, cantilever load case
+//! (left edge clamped, downward point load at the right mid-edge).
+//! Per iteration: matrix-free PCG solve of `K(rho) u = f`, compliance +
+//! sensitivities, mesh-independence density filter, optimality-criteria
+//! update under a volume constraint.
+
+/// The 8x8 unit element stiffness matrix for E = 1, nu = 0.3 (plane
+/// stress) — the standard KE of the 88-line code.
+pub fn element_stiffness() -> [[f64; 8]; 8] {
+    let nu = 0.3;
+    let k = [
+        0.5 - nu / 6.0,
+        0.125 + nu / 8.0,
+        -0.25 - nu / 12.0,
+        -0.125 + 3.0 * nu / 8.0,
+        -0.25 + nu / 12.0,
+        -0.125 - nu / 8.0,
+        nu / 6.0,
+        0.125 - 3.0 * nu / 8.0,
+    ];
+    let f = 1.0 / (1.0 - nu * nu);
+    let idx: [[usize; 8]; 8] = [
+        [0, 1, 2, 3, 4, 5, 6, 7],
+        [1, 0, 7, 6, 5, 4, 3, 2],
+        [2, 7, 0, 5, 6, 3, 4, 1],
+        [3, 6, 5, 0, 7, 2, 1, 4],
+        [4, 5, 6, 7, 0, 1, 2, 3],
+        [5, 4, 3, 2, 1, 0, 7, 6],
+        [6, 3, 4, 1, 2, 7, 0, 5],
+        [7, 2, 1, 4, 3, 6, 5, 0],
+    ];
+    let mut ke = [[0.0; 8]; 8];
+    for i in 0..8 {
+        for j in 0..8 {
+            ke[i][j] = f * k[idx[i][j]];
+        }
+    }
+    ke
+}
+
+/// Configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpConfig {
+    pub nelx: usize,
+    pub nely: usize,
+    /// Volume fraction constraint.
+    pub volfrac: f64,
+    /// SIMP penalisation exponent.
+    pub penal: f64,
+    /// Filter radius in elements.
+    pub rmin: f64,
+    /// Optimisation iterations.
+    pub iters: usize,
+}
+
+impl Default for SimpConfig {
+    fn default() -> Self {
+        SimpConfig { nelx: 24, nely: 12, volfrac: 0.4, penal: 3.0, rmin: 1.5, iters: 30 }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct SimpResult {
+    pub density: Vec<f64>,
+    pub compliance_history: Vec<f64>,
+    pub cg_iters_total: usize,
+}
+
+/// The problem state.
+pub struct SimpProblem {
+    pub cfg: SimpConfig,
+    ke: [[f64; 8]; 8],
+    /// Element densities.
+    pub rho: Vec<f64>,
+    /// Load vector (2 dofs per node).
+    f: Vec<f64>,
+    /// Fixed dof flags.
+    fixed: Vec<bool>,
+}
+
+impl SimpProblem {
+    /// Cantilever: left edge clamped, point load at right mid-height.
+    pub fn cantilever(cfg: SimpConfig) -> SimpProblem {
+        let ndof = 2 * (cfg.nelx + 1) * (cfg.nely + 1);
+        let mut f = vec![0.0; ndof];
+        let mut fixed = vec![false; ndof];
+        // Node numbering: column-major, node (ix, iy) -> ix*(nely+1)+iy.
+        for iy in 0..=cfg.nely {
+            let n = iy; // ix = 0
+            fixed[2 * n] = true;
+            fixed[2 * n + 1] = true;
+        }
+        let load_node = cfg.nelx * (cfg.nely + 1) + cfg.nely / 2;
+        f[2 * load_node + 1] = -1.0;
+        SimpProblem {
+            rho: vec![cfg.volfrac; cfg.nelx * cfg.nely],
+            ke: element_stiffness(),
+            f,
+            fixed,
+            cfg,
+        }
+    }
+
+    fn ndof(&self) -> usize {
+        2 * (self.cfg.nelx + 1) * (self.cfg.nely + 1)
+    }
+
+    /// Element -> its 8 dof indices.
+    fn edofs(&self, ex: usize, ey: usize) -> [usize; 8] {
+        let nely = self.cfg.nely;
+        let n1 = ex * (nely + 1) + ey;
+        let n2 = (ex + 1) * (nely + 1) + ey;
+        [
+            2 * n1,
+            2 * n1 + 1,
+            2 * n2,
+            2 * n2 + 1,
+            2 * n2 + 2,
+            2 * n2 + 3,
+            2 * n1 + 2,
+            2 * n1 + 3,
+        ]
+    }
+
+    fn stiffness_of(&self, e: usize) -> f64 {
+        let emin = 1e-9;
+        emin + self.rho[e].powf(self.cfg.penal) * (1.0 - emin)
+    }
+
+    /// Matrix-free `y = K(rho) x` (the hot kernel).
+    pub fn apply_k(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        for ex in 0..self.cfg.nelx {
+            for ey in 0..self.cfg.nely {
+                let e = ex * self.cfg.nely + ey;
+                let s = self.stiffness_of(e);
+                let dofs = self.edofs(ex, ey);
+                let mut local = [0.0; 8];
+                for (a, &d) in dofs.iter().enumerate() {
+                    local[a] = if self.fixed[d] { 0.0 } else { x[d] };
+                }
+                for a in 0..8 {
+                    if self.fixed[dofs[a]] {
+                        continue;
+                    }
+                    let mut acc = 0.0;
+                    for b in 0..8 {
+                        acc += self.ke[a][b] * local[b];
+                    }
+                    y[dofs[a]] += s * acc;
+                }
+            }
+        }
+        for (d, yd) in y.iter_mut().enumerate() {
+            if self.fixed[d] {
+                *yd = x[d];
+            }
+        }
+    }
+
+    /// Jacobi-preconditioned CG solve; returns (u, iterations).
+    pub fn solve(&self, tol: f64, max_iter: usize) -> (Vec<f64>, usize) {
+        let n = self.ndof();
+        // Diagonal of K for the preconditioner.
+        let mut diag = vec![0.0; n];
+        for ex in 0..self.cfg.nelx {
+            for ey in 0..self.cfg.nely {
+                let e = ex * self.cfg.nely + ey;
+                let s = self.stiffness_of(e);
+                for (a, &d) in self.edofs(ex, ey).iter().enumerate() {
+                    diag[d] += s * self.ke[a][a];
+                }
+            }
+        }
+        for (d, v) in diag.iter_mut().enumerate() {
+            if self.fixed[d] || *v <= 0.0 {
+                *v = 1.0;
+            }
+        }
+        let mut u = vec![0.0; n];
+        let mut r = self.f.clone();
+        for (d, rd) in r.iter_mut().enumerate() {
+            if self.fixed[d] {
+                *rd = 0.0;
+            }
+        }
+        let bnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        let mut z: Vec<f64> = r.iter().zip(&diag).map(|(a, d)| a / d).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut ap = vec![0.0; n];
+        let mut iters = 0;
+        for _ in 0..max_iter {
+            let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rnorm / bnorm < tol {
+                break;
+            }
+            iters += 1;
+            self.apply_k(&p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            let alpha = rz / pap.max(1e-300);
+            for i in 0..n {
+                u[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..n {
+                z[i] = r[i] / diag[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        (u, iters)
+    }
+
+    /// Compliance and per-element sensitivities for displacement `u`.
+    pub fn compliance(&self, u: &[f64]) -> (f64, Vec<f64>) {
+        let mut total = 0.0;
+        let mut sens = vec![0.0; self.rho.len()];
+        for ex in 0..self.cfg.nelx {
+            for ey in 0..self.cfg.nely {
+                let e = ex * self.cfg.nely + ey;
+                let dofs = self.edofs(ex, ey);
+                let mut ue = [0.0; 8];
+                for (a, &d) in dofs.iter().enumerate() {
+                    ue[a] = u[d];
+                }
+                let mut uku = 0.0;
+                for a in 0..8 {
+                    for b in 0..8 {
+                        uku += ue[a] * self.ke[a][b] * ue[b];
+                    }
+                }
+                total += self.stiffness_of(e) * uku;
+                sens[e] = -self.cfg.penal * self.rho[e].powf(self.cfg.penal - 1.0) * uku;
+            }
+        }
+        (total, sens)
+    }
+
+    /// Mesh-independence filter: distance-weighted average of
+    /// sensitivities.
+    pub fn filter(&self, sens: &[f64]) -> Vec<f64> {
+        let (nelx, nely) = (self.cfg.nelx, self.cfg.nely);
+        let r = self.cfg.rmin;
+        let reach = r.ceil() as isize;
+        let mut out = vec![0.0; sens.len()];
+        for ex in 0..nelx as isize {
+            for ey in 0..nely as isize {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for dx in -reach..=reach {
+                    for dy in -reach..=reach {
+                        let (jx, jy) = (ex + dx, ey + dy);
+                        if jx < 0 || jy < 0 || jx >= nelx as isize || jy >= nely as isize {
+                            continue;
+                        }
+                        let dist = ((dx * dx + dy * dy) as f64).sqrt();
+                        let w = (r - dist).max(0.0);
+                        let j = (jx as usize) * nely + jy as usize;
+                        num += w * self.rho[j] * sens[j];
+                        den += w;
+                    }
+                }
+                let e = (ex as usize) * nely + ey as usize;
+                out[e] = num / (den * self.rho[e].max(1e-3));
+            }
+        }
+        out
+    }
+
+    /// Optimality-criteria update with bisection on the volume multiplier.
+    pub fn oc_update(&mut self, sens: &[f64]) {
+        let move_limit = 0.2;
+        let target = self.cfg.volfrac * self.rho.len() as f64;
+        let (mut l1, mut l2) = (1e-9f64, 1e9f64);
+        let old = self.rho.clone();
+        while (l2 - l1) / (l1 + l2) > 1e-6 {
+            let lmid = 0.5 * (l1 + l2);
+            let mut vol = 0.0;
+            for (e, r) in self.rho.iter_mut().enumerate() {
+                let be = (-sens[e] / lmid).max(0.0).sqrt();
+                let cand = (old[e] * be)
+                    .clamp(old[e] - move_limit, old[e] + move_limit)
+                    .clamp(1e-3, 1.0);
+                *r = cand;
+                vol += cand;
+            }
+            if vol > target {
+                l1 = lmid;
+            } else {
+                l2 = lmid;
+            }
+        }
+    }
+
+    /// Run the full optimisation.
+    pub fn optimize(&mut self) -> SimpResult {
+        let mut history = Vec::with_capacity(self.cfg.iters);
+        let mut cg_total = 0;
+        for _ in 0..self.cfg.iters {
+            let (u, it) = self.solve(1e-7, 3000);
+            cg_total += it;
+            let (c, sens) = self.compliance(&u);
+            history.push(c);
+            let filtered = self.filter(&sens);
+            self.oc_update(&filtered);
+        }
+        SimpResult { density: self.rho.clone(), compliance_history: history, cg_iters_total: cg_total }
+    }
+
+    pub fn volume_fraction(&self) -> f64 {
+        self.rho.iter().sum::<f64>() / self.rho.len() as f64
+    }
+
+    /// The MBB half-beam (the 88-line code's canonical case): symmetric
+    /// left edge (x-rollers), bottom-right corner support, downward load
+    /// at the top-left corner.
+    pub fn mbb_beam(cfg: SimpConfig) -> SimpProblem {
+        let ndof = 2 * (cfg.nelx + 1) * (cfg.nely + 1);
+        let mut f = vec![0.0; ndof];
+        let mut fixed = vec![false; ndof];
+        // Node (ix, iy): ix*(nely+1)+iy; iy = 0 is the TOP row here.
+        for iy in 0..=cfg.nely {
+            fixed[2 * iy] = true; // x-symmetry on the left edge
+        }
+        let corner = cfg.nelx * (cfg.nely + 1) + cfg.nely;
+        fixed[2 * corner + 1] = true; // roller at bottom-right
+        f[1] = -1.0; // load at top-left, downward
+        SimpProblem {
+            rho: vec![cfg.volfrac; cfg.nelx * cfg.nely],
+            ke: element_stiffness(),
+            f,
+            fixed,
+            cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_stiffness_is_symmetric_psd_ish() {
+        let ke = element_stiffness();
+        for i in 0..8 {
+            assert!(ke[i][i] > 0.0);
+            for j in 0..8 {
+                assert!((ke[i][j] - ke[j][i]).abs() < 1e-12);
+            }
+        }
+        // Rigid-body translation is in the null space.
+        let ones_x = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        for i in 0..8 {
+            let s: f64 = (0..8).map(|j| ke[i][j] * ones_x[j]).sum();
+            assert!(s.abs() < 1e-12, "row {i}: {s}");
+        }
+    }
+
+    #[test]
+    fn solve_gives_downward_deflection_at_load() {
+        let p = SimpProblem::cantilever(SimpConfig { iters: 1, ..Default::default() });
+        let (u, iters) = p.solve(1e-8, 5000);
+        assert!(iters > 0);
+        let load_node = p.cfg.nelx * (p.cfg.nely + 1) + p.cfg.nely / 2;
+        assert!(u[2 * load_node + 1] < 0.0, "tip moved up: {}", u[2 * load_node + 1]);
+        // Clamped edge does not move.
+        assert_eq!(u[0], 0.0);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    fn apply_k_is_symmetric() {
+        let p = SimpProblem::cantilever(SimpConfig::default());
+        let n = 2 * (p.cfg.nelx + 1) * (p.cfg.nely + 1);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 13 % 11) as f64) - 5.0).collect();
+        let mut kx = vec![0.0; n];
+        let mut ky = vec![0.0; n];
+        p.apply_k(&x, &mut kx);
+        p.apply_k(&y, &mut ky);
+        let xky: f64 = x.iter().zip(&ky).map(|(a, b)| a * b).sum();
+        let ykx: f64 = y.iter().zip(&kx).map(|(a, b)| a * b).sum();
+        assert!((xky - ykx).abs() < 1e-8 * xky.abs().max(1.0));
+    }
+
+    #[test]
+    fn optimisation_reduces_compliance() {
+        let mut p = SimpProblem::cantilever(SimpConfig { iters: 15, ..Default::default() });
+        let r = p.optimize();
+        let first = r.compliance_history[0];
+        let last = *r.compliance_history.last().expect("non-empty");
+        assert!(last < 0.7 * first, "compliance {first} -> {last}");
+    }
+
+    #[test]
+    fn volume_constraint_is_respected() {
+        let mut p = SimpProblem::cantilever(SimpConfig { iters: 10, ..Default::default() });
+        p.optimize();
+        let v = p.volume_fraction();
+        assert!((v - 0.4).abs() < 0.02, "volume fraction {v}");
+    }
+
+    #[test]
+    fn material_concentrates_into_structure() {
+        // After optimisation the density field should be mostly black and
+        // white, not grey.
+        let mut p = SimpProblem::cantilever(SimpConfig { iters: 25, ..Default::default() });
+        let r = p.optimize();
+        let solid = r.density.iter().filter(|&&d| d > 0.8).count();
+        let void = r.density.iter().filter(|&&d| d < 0.2).count();
+        let n = r.density.len();
+        assert!(solid + void > n / 2, "too grey: solid {solid} void {void} of {n}");
+        assert!(solid > 0 && void > 0);
+    }
+}
+
+#[cfg(test)]
+mod mbb_tests {
+    use super::*;
+
+    #[test]
+    fn mbb_beam_optimises_and_respects_volume() {
+        let mut p = SimpProblem::mbb_beam(SimpConfig { nelx: 30, nely: 10, iters: 15, ..Default::default() });
+        let r = p.optimize();
+        let first = r.compliance_history[0];
+        let last = *r.compliance_history.last().expect("non-empty");
+        assert!(last < 0.8 * first, "compliance {first} -> {last}");
+        assert!((p.volume_fraction() - p.cfg.volfrac).abs() < 0.02);
+    }
+
+    #[test]
+    fn mbb_and_cantilever_produce_different_structures() {
+        let cfg = SimpConfig { nelx: 24, nely: 8, iters: 12, ..Default::default() };
+        let mut a = SimpProblem::cantilever(cfg);
+        let mut b = SimpProblem::mbb_beam(cfg);
+        let ra = a.optimize();
+        let rb = b.optimize();
+        let diff: f64 = ra
+            .density
+            .iter()
+            .zip(&rb.density)
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>()
+            / ra.density.len() as f64;
+        assert!(diff > 0.1, "load cases should shape different structures: {diff}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Trace a simulated MD step on the machine model and render the timeline
+//! — the §4.10.6 tools story (finally being able to *see* where node time
+//! goes) applied to the §4.6 placement comparison.
+//!
+//! Run with: `cargo run --release -p icoe --example timeline_trace`
+
+use icoe::hetsim::{machines, KernelProfile, Loc, Sim, Target, TracedSim, TransferKind};
+
+fn main() {
+    let n = 100_000.0; // beads
+    let nb = KernelProfile::new("nonbonded")
+        .flops(70.0 * n * 40.0)
+        .bytes_read(2.0 * 40.0 * n * 32.0)
+        .parallelism(n);
+    let integ = KernelProfile::new("integrate")
+        .flops(18.0 * n)
+        .bytes_read(9.0 * 8.0 * n)
+        .bytes_written(9.0 * 8.0 * n)
+        .parallelism(n);
+    let bonded = KernelProfile::new("bonded")
+        .flops(30.0 * n)
+        .bytes_read(6.0 * 8.0 * n)
+        .parallelism(n);
+    let state_bytes = 6.0 * 8.0 * n;
+
+    println!("=== ddcMD strategy: every kernel on the GPU, no transfers ===\n");
+    let mut ddc = TracedSim::new(Sim::new(machines::sierra_node()));
+    for _ in 0..2 {
+        ddc.launch(Target::gpu(0), &nb);
+        ddc.launch(Target::gpu(0), &bonded);
+        ddc.launch(Target::gpu(0), &integ);
+    }
+    print!("{}", ddc.render_timeline(70));
+    println!("\nhot list:");
+    for (name, t) in ddc.hot_list() {
+        println!("  {name:<12} {:>8.1} us", t * 1e6);
+    }
+
+    println!("\n=== GROMACS-like split: bonded+integrate on CPU, DMA every step ===\n");
+    let mut gmx = TracedSim::new(Sim::new(machines::sierra_node()));
+    for _ in 0..2 {
+        gmx.launch(Target::gpu(0), &nb);
+        gmx.transfer(Loc::Gpu(0), Loc::Host, state_bytes / 2.0, TransferKind::Memcpy);
+        gmx.launch(Target::cpu(44), &bonded);
+        gmx.launch(Target::cpu(44), &integ);
+        gmx.transfer(Loc::Host, Loc::Gpu(0), state_bytes / 2.0, TransferKind::Memcpy);
+    }
+    print!("{}", gmx.render_timeline(70));
+    println!(
+        "\ntotals: ddcMD {:.1} us vs split {:.1} us  (the 4.6 placement story)",
+        ddc.sim.elapsed() * 1e6,
+        gmx.sim.elapsed() * 1e6
+    );
+}

@@ -1,0 +1,30 @@
+//! Every paper artifact must regenerate without panicking and produce
+//! non-empty tables — the end-to-end contract of deliverable (d).
+
+#[test]
+fn every_experiment_regenerates() {
+    for id in bench::ALL {
+        let tables = bench::run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in &tables {
+            let rendered = t.render();
+            assert!(!rendered.trim().is_empty(), "{id} rendered empty table");
+            assert!(!t.rows.is_empty(), "{id}: table '{}' has no rows", t.title);
+        }
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(bench::run("nope").is_none());
+}
+
+#[test]
+fn experiment_list_matches_design_doc_index() {
+    // DESIGN.md section 3 enumerates these ids; keep the binary in sync.
+    let expected = [
+        "table1", "fig2", "table2", "fig3", "table3", "fig6", "fig8", "table4", "table5",
+        "cretin", "md", "sw4", "vbl", "cardioid", "opt", "kavg", "lessons", "machines",
+    ];
+    assert_eq!(bench::ALL, &expected);
+}

@@ -1,0 +1,73 @@
+//! Integration: time-dependent atomic kinetics driven by the SUNDIALS-like
+//! integrator — the coupling Cretin has inside HYDRA (the multiphysics
+//! host steps the rate equations implicitly).
+
+use kinetics::rates::ZoneConditions;
+use kinetics::{solve_populations_direct, AtomicModel, RateMatrix};
+use ode::{AdaptiveBdf, BdfIntegrator, BdfOptions, HostVec, NVector};
+
+fn setup() -> (AtomicModel, RateMatrix) {
+    let model = AtomicModel::synthetic(30, 7);
+    let cond = ZoneConditions { te: 0.8, ne: 5.0, radiation: 1.0 };
+    let rm = RateMatrix::assemble(&model, cond, true);
+    (model, rm)
+}
+
+/// dn/dt = A n relaxes to the steady state the direct solver finds.
+#[test]
+fn transient_kinetics_relaxes_to_steady_state() {
+    let (model, rm) = setup();
+    let n = model.n_states();
+    // Start far from equilibrium: everything in the ground state.
+    let mut y0 = vec![0.0; n];
+    y0[0] = 1.0;
+    let mut bdf = BdfIntegrator::new(HostVec::from_vec(y0), 0.0, BdfOptions::default());
+    let a = rm.a.clone();
+    let ok = bdf.integrate_to(
+        20.0,
+        0.05,
+        |_t, y, dy| a.matvec(y, dy),
+        |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+    );
+    assert!(ok);
+    let steady = solve_populations_direct(&rm);
+    let yf = bdf.state().as_slice();
+    // Conservation: total population stays 1 (columns of A sum to zero).
+    let total: f64 = yf.iter().sum();
+    assert!((total - 1.0).abs() < 1e-6, "population leaked: {total}");
+    let max_dev = yf.iter().zip(&steady).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    assert!(max_dev < 1e-3, "not converged to steady state: {max_dev}");
+}
+
+/// The adaptive controller handles the stiff early transient with small
+/// steps and coasts afterwards.
+#[test]
+fn adaptive_integrator_coasts_after_the_kinetic_transient() {
+    let (model, rm) = setup();
+    let n = model.n_states();
+    let mut y0 = vec![0.0; n];
+    y0[0] = 1.0;
+    let mut a = AdaptiveBdf::new(
+        HostVec::from_vec(y0),
+        0.0,
+        1e-3,
+        1e-9,
+        1e-5,
+        BdfOptions::default(),
+    );
+    let m = rm.a.clone();
+    let ok = a.integrate_to(10.0, |_t, y, dy| m.matvec(y, dy), |r: &HostVec, z: &mut HostVec| {
+        z.copy_from(r)
+    });
+    assert!(ok);
+    assert!(
+        a.stats.h_max_used > 50.0 * a.stats.h_min_used,
+        "no step-size dynamic range: [{}, {}]",
+        a.stats.h_min_used,
+        a.stats.h_max_used
+    );
+    // Populations stay physical throughout the run's endpoint.
+    for (i, &p) in a.state().as_slice().iter().enumerate() {
+        assert!(p > -1e-6, "negative population at state {i}: {p}");
+    }
+}

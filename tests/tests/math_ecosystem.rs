@@ -1,0 +1,122 @@
+//! Integration: the §4.10 library ecosystem — fem + ode + amg working on
+//! one problem, the way MFEM + SUNDIALS + hypre are coupled in the paper.
+
+use amg::{AmgOptions, BoomerAmg};
+use fem::op::{assemble_diffusion, lor_mesh};
+use fem::{DiffusionPA, MassPA, Mesh2d};
+use linalg::Preconditioner;
+use ode::{BdfIntegrator, BdfOptions, HostVec, NVector};
+
+/// Matrix-free CG with an AMG preconditioner built on the LOR matrix —
+/// MFEM operator + hypre preconditioner, exactly the §4.10.4 coupling.
+#[test]
+fn lor_amg_preconditions_high_order_operator() {
+    let mesh = Mesh2d::unit(8, 8, 4);
+    let n = mesh.ndof();
+    let pa = DiffusionPA::new(mesh.clone(), |_, _| 1.0);
+    let mut b = vec![0.0; n];
+    let ones = mesh.project(|x, y| (x * 6.0).sin() * (y * 5.0).cos());
+    MassPA::new(mesh.clone()).apply(&ones, &mut b);
+    for &d in pa.boundary() {
+        b[d] = 0.0;
+    }
+
+    // Preconditioned CG on the matrix-free operator.
+    let run = |use_amg: bool| -> (usize, Vec<f64>) {
+        let mut x = vec![0.0; n];
+        let mut r = b.clone();
+        let mut z = vec![0.0; n];
+        let mut ap = vec![0.0; n];
+        let mut local_amg = amg_for(&mesh);
+        let apply_pre = |pre: &mut BoomerAmg, r: &[f64], z: &mut [f64], on: bool| {
+            if on {
+                pre.apply(r, z);
+            } else {
+                z.copy_from_slice(r);
+            }
+        };
+        apply_pre(&mut local_amg, &r, &mut z, use_amg);
+        let mut p = z.clone();
+        let mut rz = linalg::dot(&r, &z);
+        let bnorm = linalg::norm2(&b).max(1e-300);
+        let mut iters = 0;
+        for _ in 0..2000 {
+            if linalg::norm2(&r) / bnorm < 1e-8 {
+                break;
+            }
+            iters += 1;
+            pa.apply(&p, &mut ap);
+            let alpha = rz / linalg::dot(&p, &ap).max(1e-300);
+            linalg::axpy(alpha, &p, &mut x);
+            linalg::axpy(-alpha, &ap, &mut r);
+            apply_pre(&mut local_amg, &r, &mut z, use_amg);
+            let rz_new = linalg::dot(&r, &z);
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        (iters, x)
+    };
+    let (it_plain, x_plain) = run(false);
+    let (it_amg, x_amg) = run(true);
+    // Same solution either way.
+    let dev = x_plain
+        .iter()
+        .zip(&x_amg)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(dev < 1e-6, "solutions differ by {dev}");
+    // The paper's point: AMG slashes the iteration count.
+    assert!(
+        it_amg * 3 < it_plain,
+        "AMG-CG {it_amg} iters vs plain CG {it_plain}"
+    );
+}
+
+fn amg_for(mesh: &Mesh2d) -> BoomerAmg {
+    let lor = lor_mesh(mesh);
+    BoomerAmg::setup(assemble_diffusion(&lor, |_, _| 1.0), AmgOptions::default())
+}
+
+/// The full nonlinear transient stack conserves what it must and smooths
+/// what it should — with the SUNDIALS-style integrator on top.
+#[test]
+fn nonlinear_diffusion_stack_is_physical() {
+    let mesh = Mesh2d::unit(6, 6, 3);
+    let ndof = mesh.ndof();
+    let mut diff = DiffusionPA::new(mesh.clone(), |_, _| 0.1);
+    let lumped = MassPA::new(mesh.clone()).lumped();
+    let bdr = diff.boundary().to_vec();
+    let u0 = mesh
+        .project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
+    let max0 = u0.iter().copied().fold(0.0f64, f64::max);
+
+    let mut bdf = BdfIntegrator::new(HostVec::from_vec(u0), 0.0, BdfOptions::default());
+    let mut scratch = vec![0.0; ndof];
+    let dc = std::cell::RefCell::new(&mut diff);
+    let ok = bdf.integrate_to(
+        0.01,
+        1e-3,
+        |_t, u, dudt| {
+            let mut d = dc.borrow_mut();
+            d.assemble_qdata_from_state(u, 0.1, 1.0);
+            d.apply(u, &mut scratch);
+            for i in 0..u.len() {
+                dudt[i] = -scratch[i] / lumped[i].max(1e-12);
+            }
+            for &b in &bdr {
+                dudt[b] = 0.0;
+            }
+        },
+        |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+    );
+    assert!(ok);
+    let u = bdf.state().as_slice();
+    let max1 = u.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min1 = u.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(max1 < max0, "diffusion must reduce the peak: {max0} -> {max1}");
+    assert!(min1 > -1e-6, "maximum principle violated: min {min1}");
+    assert_eq!(bdf.stats.newton_failures, 0);
+}
