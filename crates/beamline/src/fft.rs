@@ -63,7 +63,7 @@ pub fn dft_reference(data: &[C64], inverse: bool) -> Vec<C64> {
 
 /// 2-D FFT of an `n x n` row-major field, implemented the production way:
 /// row FFTs, transpose, row FFTs, transpose (§4.11's transpose bottleneck).
-pub fn fft2d(field: &mut Vec<C64>, n: usize, inverse: bool) {
+pub fn fft2d(field: &mut [C64], n: usize, inverse: bool) {
     assert_eq!(field.len(), n * n);
     for row in field.chunks_mut(n) {
         fft_inplace(row, inverse);

@@ -1,32 +1,78 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>     one experiment (table1, fig2, table2, fig3, table3,
-//!                      fig6, fig8, table4, table5, cretin, md, sw4, vbl,
-//!                      cardioid, opt, kavg)
-//! experiments all      everything, in paper order
-//! experiments list     show the index
+//! experiments list                     show the index (id + paper artifact)
+//! experiments <id> [flags]             one experiment
+//! experiments all  [flags]             everything, in paper order
+//!
+//! flags:
+//!   --json               print the structured JSON document instead of text
+//!   --timeline           print the ASCII span timeline to stderr
+//!   --bench-dir <dir>    also write BENCH_<id>.json into <dir>
+//!                        (or set ICOE_BENCH_DIR)
 //! ```
+//!
+//! Every run happens under a root span `exp:<id>` on an enabled
+//! [`hetsim::obs::Recorder`]; `--json` emits the
+//! `icoe-experiment-v1` document (tables + counters + gauges).
+
+use hetsim::obs::Recorder;
+use icoe::Registry;
+
+struct Opts {
+    json: bool,
+    timeline: bool,
+    bench_dir: Option<std::path::PathBuf>,
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
-    match arg.as_str() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut opts = Opts {
+        json: false,
+        timeline: false,
+        bench_dir: std::env::var_os("ICOE_BENCH_DIR").map(Into::into),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--timeline" => opts.timeline = true,
+            "--bench-dir" => match args.next() {
+                Some(d) => opts.bench_dir = Some(d.into()),
+                None => {
+                    eprintln!("--bench-dir needs a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}'; flags: --json --timeline --bench-dir <dir>");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let reg = bench::registry();
+    match ids.first().map(String::as_str).unwrap_or("list") {
         "list" => {
             println!("available experiments (see DESIGN.md section 3):\n");
-            for id in bench::ALL {
-                println!("  {id}");
+            let width = reg.ids().iter().map(|i| i.len()).max().unwrap_or(0);
+            for e in reg.iter() {
+                println!("  {:width$}  {}", e.id(), e.paper_artifact());
             }
-            println!("\nusage: experiments <id> | all");
+            println!("\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>]");
         }
         "all" => {
-            for id in bench::ALL {
-                println!("\n################ {id} ################\n");
-                run_one(id);
+            for id in reg.ids() {
+                if !opts.json {
+                    println!("\n################ {id} ################\n");
+                }
+                run_one(&reg, id, &opts);
             }
         }
         id => {
-            if bench::ALL.contains(&id) {
-                run_one(id);
+            if reg.get(id).is_some() {
+                run_one(&reg, id, &opts);
             } else {
                 eprintln!("unknown experiment '{id}'; try `experiments list`");
                 std::process::exit(1);
@@ -35,11 +81,29 @@ fn main() {
     }
 }
 
-fn run_one(id: &str) {
+fn run_one(reg: &Registry, id: &str, opts: &Opts) {
     let start = std::time::Instant::now();
-    let tables = bench::run(id).expect("id validated by caller");
-    for t in tables {
-        println!("{}", t.render());
+    let mut rec = Recorder::enabled();
+    let report = reg.run(id, &mut rec).expect("id validated by caller");
+    let elapsed = start.elapsed().as_secs_f64();
+    if opts.json {
+        println!("{}", icoe::exp::document_json(id, &report, &rec, elapsed));
+    } else {
+        print!("{}", report.render_text());
     }
-    eprintln!("[{id} regenerated in {:.2} s]", start.elapsed().as_secs_f64());
+    if opts.timeline {
+        eprint!("{}", rec.render_timeline(100));
+    }
+    if let Some(dir) = &opts.bench_dir {
+        match rec.write_bench_summary(id, dir) {
+            Ok(path) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => {
+                eprintln!("failed to write bench summary for {id}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if !opts.json {
+        eprintln!("[{id} regenerated in {elapsed:.2} s]");
+    }
 }

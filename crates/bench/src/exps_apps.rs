@@ -1,15 +1,17 @@
 //! Experiments: Cretin (§4.3), MD (§4.6), SW4 (§4.9), VBL (§4.11),
 //! Cardioid (§4.1).
 
+use hetsim::obs::{Recorder, SpanKind};
 use hetsim::{machines, Sim, Target};
 use icoe::report::{fmt_time, Table};
 
 /// Cretin: node throughput by atomic-model tier + solver validation.
-pub fn cretin() -> Vec<Table> {
+pub fn cretin(rec: &mut Recorder) -> Vec<Table> {
     use kinetics::{
         solve_populations_direct, solve_populations_gmres, AtomicModel, ModelTier,
         NodeThroughput, RateMatrix,
     };
+    let tiers = rec.begin("throughput-tiers", SpanKind::Phase);
     let node = machines::sierra_node();
     let mut t = Table::new(
         "Cretin (4.3): node throughput by atomic-model tier",
@@ -32,8 +34,10 @@ pub fn cretin() -> Vec<Table> {
         ]);
     }
 
+    rec.end(tiers);
     // Real solve: direct vs hand-rolled iterative (the cuSOLVER/cuSPARSE
     // pair of §4.3) must agree; radiation drives non-LTE.
+    let solve = rec.begin("solver-validation", SpanKind::Phase);
     let model = AtomicModel::synthetic(80, 5);
     let cond = kinetics::rates::ZoneConditions { te: 0.9, ne: 4.0, radiation: 1.5 };
     let rm = RateMatrix::assemble(&model, cond, true);
@@ -48,15 +52,20 @@ pub fn cretin() -> Vec<Table> {
     v.row(&["GMRES iterations".into(), its.to_string()]);
     v.row(&["non-LTE departure (L1 vs Boltzmann)".into(), format!("{nlte_dev:.3}")]);
     v.row(&["population sum".into(), format!("{:.12}", direct.iter().sum::<f64>())]);
+    rec.gauge("cretin.gmres_iters", its as f64);
+    rec.end(solve);
     vec![t, v]
 }
 
 /// MD: ddcMD vs GROMACS-like per-step cost (§4.6's 2.31 vs 2.88 ms shape).
-pub fn md_experiment() -> Vec<Table> {
+pub fn md_experiment(rec: &mut Recorder) -> Vec<Table> {
     use md::{Engine, EngineKind, LennardJones, System};
+    let phase = rec.begin("engine-step-costs", SpanKind::Phase);
     let sys = System::lattice(32_768, 0.4, 0.6, 17);
     let engine = Engine::new(sys, LennardJones::martini(), 0.002, 0.4);
-    let mut sim = Sim::new(machines::sierra_node());
+    // Attach the recorder so every simulated kernel launch and transfer in
+    // the engine's step shows up as a span on the stream timeline.
+    let mut sim = Sim::new(machines::sierra_node()).with_recorder(rec.clone());
     let ddc1 = engine.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 1);
     let gmx1 = engine.step_cost(&mut sim, EngineKind::GromacsSplit, 1);
     let ddc4 = engine.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 4);
@@ -106,18 +115,21 @@ pub fn md_experiment() -> Vec<Table> {
         format!("{:.2}x", mummi_gmx / ddc1.total()),
         "2.3x".into(),
     ]);
+    rec.gauge("md.gmx_over_ddc", gmx1.total() / ddc1.total());
+    rec.end(phase);
     vec![t, s]
 }
 
 /// SW4: kernel-path menu + node-throughput vs Cori-II.
-pub fn sw4() -> Vec<Table> {
+pub fn sw4(rec: &mut Recorder) -> Vec<Table> {
     use seismic::{ElasticOperator, KernelPath};
+    let paths = rec.begin("kernel-path-menu", SpanKind::Phase);
     let op = ElasticOperator::new(128, 128, 128, 0.01, 2.0, 1.0, 1.0);
     let mut t = Table::new(
         "SW4 (4.9): one RHS+update on a 128^3 block, per kernel path",
         &["path", "time", "vs CUDA"],
     );
-    let mut sim = Sim::new(machines::sierra_node());
+    let mut sim = Sim::new(machines::sierra_node()).with_recorder(rec.clone());
     let t_native = KernelPath::Native.charge(&mut sim, &op);
     for (name, path) in [
         ("CUDA", KernelPath::Native),
@@ -131,8 +143,10 @@ pub fn sw4() -> Vec<Table> {
         t.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / t_native)]);
     }
 
+    rec.end(paths);
     // Node-for-node throughput vs Cori-II (the abstract's "up to 14X").
-    let mut sierra = Sim::new(machines::sierra_node());
+    let nodes = rec.begin("node-throughput", SpanKind::Phase);
+    let mut sierra = Sim::new(machines::sierra_node()).with_recorder(rec.clone());
     let mut per_node = 0.0;
     for g in 0..4 {
         // Each GPU owns a quarter of the node's block; all run concurrently.
@@ -156,7 +170,10 @@ pub fn sw4() -> Vec<Table> {
         "same time, answers agree to machine precision".into(),
     ]);
 
+    rec.gauge("sw4.node_vs_cori", cori_time / per_node);
+    rec.end(nodes);
     // Distributed strong scaling of a Hayward-class block.
+    let scaling = rec.begin("strong-scaling", SpanKind::Phase);
     use seismic::dist::{strong_scaling, DistRun};
     let base = DistRun { total_points: 2.0e9, nodes: 64, steps: 1000.0 };
     let curve = strong_scaling(&machines::sierra_node(), &base, &[64, 128, 256, 512, 1024]);
@@ -174,13 +191,15 @@ pub fn sw4() -> Vec<Table> {
             format!("{:.0}%", 100.0 * (t0 / t_run) / ideal),
         ]);
     }
+    rec.end(scaling);
     vec![t, s, d]
 }
 
 /// VBL: transpose bottleneck + GPUDirect crossover.
-pub fn vbl() -> Vec<Table> {
+pub fn vbl(rec: &mut Recorder) -> Vec<Table> {
     use beamline::transfer::{crossover_bytes, Direction};
     use beamline::transpose::{transpose_time, TransposeImpl};
+    let phase = rec.begin("transpose-and-crossover", SpanKind::Phase);
     let gpu = &machines::sierra_node().node.gpus[0];
     let mut t = Table::new(
         "VBL (4.11): 2-D FFT transpose implementations",
@@ -215,12 +234,14 @@ pub fn vbl() -> Vec<Table> {
         "past the crossover (staged path fine)".into(),
         "equivalent to 64 KB transfers".into(),
     ]);
+    rec.end(phase);
     vec![t, s]
 }
 
 /// Cardioid: DSL lowering payoff + placement study.
-pub fn cardioid_experiment() -> Vec<Table> {
+pub fn cardioid_experiment(rec: &mut Recorder) -> Vec<Table> {
     use cardioid::{IonModel, Monodomain, Placement};
+    let timing = rec.begin("host-kernel-timing", SpanKind::Phase);
     let model = IonModel::new(5);
     let (flops_exact, flops_lowered) = model.flops();
 
@@ -261,12 +282,14 @@ pub fn cardioid_experiment() -> Vec<Table> {
         },
     ]);
 
+    rec.end(timing);
     let tissue = Monodomain::new(512, 512, 0.2, 0.02, 8);
     let mut s = Table::new(
         "placement study (512x512 tissue, per step)",
         &["placement", "time", "vs all-GPU"],
     );
-    let mut sim = Sim::new(machines::sierra_node());
+    let placement = rec.begin("placement-study", SpanKind::Phase);
+    let mut sim = Sim::new(machines::sierra_node()).with_recorder(rec.clone());
     let all_gpu = tissue.simulated_step_cost(&mut sim, Placement::AllGpu, true);
     for (name, p) in [
         ("all-GPU (shipped)", Placement::AllGpu),
@@ -277,5 +300,6 @@ pub fn cardioid_experiment() -> Vec<Table> {
         let dt = tissue.simulated_step_cost(&mut sm, p, true);
         s.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / all_gpu)]);
     }
+    rec.end(placement);
     vec![t, s]
 }

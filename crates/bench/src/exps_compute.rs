@@ -2,15 +2,17 @@
 //! ecosystem), Table 5 (CleverLeaf).
 
 use fem::Mesh2d;
+use hetsim::obs::{Recorder, SpanKind};
 use hetsim::{machines, KernelProfile, LaunchClass, Machine, Target};
 use icoe::report::Table;
 
 /// Fig 6: ParaDyn kernel — execution time and global load/store counts
 /// for baseline, SLNSP, and SLNSP + dead-store elimination.
-pub fn fig6() -> Vec<Table> {
+pub fn fig6(rec: &mut Recorder) -> Vec<Table> {
     use paradyn::machine::{run, run_baseline};
     use paradyn::{dead_store_elimination, slnsp_fuse, Program};
 
+    let phase = rec.begin("paradyn-variants", SpanKind::Phase);
     let n = 1_000_000;
     let prog = Program::paradyn_kernel(n);
     let inputs: Vec<(usize, Vec<f64>)> = (0..3)
@@ -53,6 +55,8 @@ pub fn fig6() -> Vec<Table> {
         format!("{:.0}%", 100.0 * (slnsp.time(bw) / full.time(bw) - 1.0)),
         "+20%".into(),
     ]);
+    rec.gauge("fig6.slnsp_speedup", t0 / slnsp.time(bw));
+    rec.end(phase);
     vec![t, p]
 }
 
@@ -178,11 +182,19 @@ fn phase_costs(machine: &Machine, target: Target, dofs: f64, p: usize, c: &Stack
 
 /// Fig 8: timing breakdown of the 1M-dof nonlinear diffusion problem,
 /// one P8 thread vs one P100 (the EA-generation comparison in the paper).
-pub fn fig8() -> Vec<Table> {
+pub fn fig8(rec: &mut Recorder) -> Vec<Table> {
+    let p_meas = rec.begin("measure-counts", SpanKind::Phase);
     let counts = measure_counts();
+    rec.gauge("fig8.newton_per_step", counts.newton_per_step);
+    rec.gauge("fig8.krylov_per_step", counts.krylov_per_step);
+    rec.end(p_meas);
     let ea = machines::ea_minsky();
+    let p_cpu = rec.begin("model-cpu", SpanKind::Phase);
     let cpu = phase_costs(&ea, Target::cpu(1), 1.0e6, 2, &counts);
+    rec.end(p_cpu);
+    let p_gpu = rec.begin("model-gpu", SpanKind::Phase);
     let gpu = phase_costs(&ea, Target::gpu(0), 1.0e6, 2, &counts);
+    rec.end(p_gpu);
     let mut t = Table::new(
         "Fig 8: nonlinear diffusion, 1M dofs — per-timestep phase breakdown",
         &["phase", "P8 (1 thread)", "P100", "speedup"],
@@ -201,6 +213,7 @@ pub fn fig8() -> Vec<Table> {
     }
     let tot_c = cpu.formulation + cpu.precond + cpu.solve;
     let tot_g = gpu.formulation + gpu.precond + gpu.solve;
+    rec.gauge("fig8.total_speedup", tot_c / tot_g);
     t.row(&[
         "total".into(),
         icoe::report::fmt_time(tot_c),
@@ -215,8 +228,11 @@ pub fn fig8() -> Vec<Table> {
 }
 
 /// Table 4: GPU speedup (P9 serial vs V100) across size and order.
-pub fn table4() -> Vec<Table> {
+pub fn table4(rec: &mut Recorder) -> Vec<Table> {
+    let p_meas = rec.begin("measure-counts", SpanKind::Phase);
     let counts = measure_counts();
+    rec.end(p_meas);
+    let sweep = rec.begin("size-order-sweep", SpanKind::Phase);
     let m = machines::sierra_node();
     let paper: [[f64; 3]; 4] = [
         [2.88, 2.78, 4.97],
@@ -240,12 +256,14 @@ pub fn table4() -> Vec<Table> {
         }
         t.row(&cells);
     }
+    rec.end(sweep);
     vec![t]
 }
 
 /// Table 5: CleverLeaf on SAMRAI — full node and single-pair speedups.
-pub fn table5() -> Vec<Table> {
+pub fn table5(rec: &mut Recorder) -> Vec<Table> {
     use amr::cost::{run_cost, NodeMapping};
+    let price = rec.begin("price-mappings", SpanKind::Phase);
     let m = machines::sierra_node();
     let cells = 8.0e6;
     let steps = 100;
@@ -279,9 +297,11 @@ pub fn table5() -> Vec<Table> {
         "15x".into(),
     ]);
 
+    rec.end(price);
     // Real AMR correctness companion: blast problem conserves and refines.
     use amr::Hierarchy;
     use amr::euler::{EulerState, RHO};
+    let blast = rec.begin("amr-blast-sanity", SpanKind::Phase);
     let mut h = Hierarchy::new(48, 1.0 / 48.0, 2.0);
     h.coarse.init(|x, y| {
         let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
@@ -298,6 +318,7 @@ pub fn table5() -> Vec<Table> {
     c.row(&["regrids".into(), h.regrids().to_string()]);
     c.row(&["mass drift".into(), format!("{:.2e}", (h.total(RHO) - m0).abs() / m0)]);
     c.row(&["min density".into(), format!("{:.3}", h.coarse.min_density())]);
+    rec.end(blast);
     vec![t, c]
 }
 

@@ -1,10 +1,12 @@
 //! Experiments: Table 1, Fig 2, Table 2, Fig 3, Table 3.
 
 use hetsim::machines;
+use hetsim::obs::{Recorder, SpanKind};
 use icoe::report::Table;
 
 /// Table 1: completed activities and programming approaches.
-pub fn table1() -> Vec<Table> {
+pub fn table1(rec: &mut Recorder) -> Vec<Table> {
+    let phase = rec.begin("enumerate-activities", SpanKind::Phase);
     let mut t = Table::new(
         "Table 1: Completed iCoE activities (bold = final approach, * here)",
         &["Activity", "Science Area", "Base Language", "Approaches", "Crate"],
@@ -30,21 +32,32 @@ pub fn table1() -> Vec<Table> {
             a.crate_name.to_string(),
         ]);
     }
+    rec.gauge("exp.activities", icoe::activities().len() as f64);
+    rec.end(phase);
     vec![t]
 }
 
 /// Fig 2: default vs optimized SparkPlug LDA stack on 32 nodes.
-pub fn fig2() -> Vec<Table> {
+pub fn fig2(rec: &mut Recorder) -> Vec<Table> {
     use dataflow::StackConfig;
     use lda::{Corpus, CorpusParams};
 
+    let gen = rec.begin("corpus-gen", SpanKind::Phase);
     let corpus = Corpus::generate(
         CorpusParams { n_docs: 1024, vocab: 1500, n_topics: 12, words_per_doc: 200, zipf_s: 1.1 },
         42,
     );
+    rec.end(gen);
     let machine = machines::sierra_nodes(32);
+    let p_slow = rec.begin("default-stack", SpanKind::Phase);
     let slow = lda::run_distributed(&corpus, &machine, StackConfig::default_stack(), 12, 3, 5);
+    rec.end(p_slow);
+    let p_fast = rec.begin("optimized-stack", SpanKind::Phase);
     let fast = lda::run_distributed(&corpus, &machine, StackConfig::optimized_stack(), 12, 3, 5);
+    rec.end(p_fast);
+    rec.gauge("fig2.default_total_ms", slow.times.total() * 1e3);
+    rec.gauge("fig2.optimized_total_ms", fast.times.total() * 1e3);
+    rec.gauge("fig2.speedup", slow.times.total() / fast.times.total());
 
     let mut t = Table::new(
         "Fig 2: SparkPlug LDA aggregate time breakdown, 32 nodes (simulated ms)",
@@ -81,7 +94,7 @@ pub fn fig2() -> Vec<Table> {
 }
 
 /// Table 2: historical best graph scale and GTEPS.
-pub fn table2() -> Vec<Table> {
+pub fn table2(rec: &mut Recorder) -> Vec<Table> {
     let paper = [0.053, 0.053, 0.601, 0.054, 4.175, 67.258];
     let paper_scale = [34, 36, 36, 37, 40, 42];
     let mut t = Table::new(
@@ -102,6 +115,7 @@ pub fn table2() -> Vec<Table> {
 
     // A real BFS run validates the kernel the model prices.
     use graphx::{bfs_direction_optimising, bfs_top_down, validate_tree, CsrGraph, RmatParams};
+    let bfs_phase = rec.begin("host-bfs-validation", SpanKind::Phase);
     let scale = 15;
     let g = CsrGraph::rmat(scale, RmatParams::default(), 7);
     let root = g.non_isolated_vertex(3);
@@ -131,12 +145,15 @@ pub fn table2() -> Vec<Table> {
         format!("{:.1}", dopt.teps(t_do) / 1e6),
         dopt.reached.to_string(),
     ]);
+    rec.incr("bfs.edges_examined", (td.edges_examined + dopt.edges_examined) as f64);
+    rec.end(bfs_phase);
     vec![t, v]
 }
 
 /// Fig 3: LBANN scaling on up to 2048 GPUs.
-pub fn fig3() -> Vec<Table> {
+pub fn fig3(rec: &mut Recorder) -> Vec<Table> {
     use mlsim::lbann::{fig3_sweep, scaling_point, LbannConfig};
+    let phase = rec.begin("lbann-sweep", SpanKind::Phase);
     let cfg = LbannConfig::default();
     let mut t = Table::new(
         "Fig 3: LBANN weak scaling (samples/s) by GPUs-per-sample",
@@ -163,12 +180,14 @@ pub fn fig3() -> Vec<Table> {
         let sp = t2 / scaling_point(&cfg, g, g).step_time;
         s.row(&[g.to_string(), format!("{sp:.2}"), paper.to_string()]);
     }
+    rec.end(phase);
     vec![t, s]
 }
 
 /// Table 3: three-stream video validation accuracies.
-pub fn table3() -> Vec<Table> {
+pub fn table3(rec: &mut Recorder) -> Vec<Table> {
     use mlsim::video::{hmdb_like, run_table3, ucf_like};
+    let phase = rec.begin("train-ensembles", SpanKind::Phase);
     let easy = run_table3(&ucf_like(11), 7);
     let hard = run_table3(&hmdb_like(12), 7);
     let paper_ucf = [85.06, 84.70, 88.32, 92.78, 93.47, 92.60, 93.18];
@@ -195,13 +214,15 @@ pub fn table3() -> Vec<Table> {
             format!("{:.2}", paper_hmdb[i]),
         ]);
     }
+    rec.end(phase);
     vec![t]
 }
 
 /// The §2.1 hardware inventory: every machine preset with its headline
 /// numbers (these are the calibration inputs for every other experiment).
-pub fn machines_table() -> Vec<Table> {
+pub fn machines_table(rec: &mut Recorder) -> Vec<Table> {
     use hetsim::machines as m;
+    let phase = rec.begin("inventory", SpanKind::Phase);
     let mut t = Table::new(
         "Hardware (2.1): machine presets used across the experiments",
         &["machine", "year", "nodes", "CPU", "GPUs", "node fp64 peak", "host-GPU link", "injection"],
@@ -241,5 +262,7 @@ pub fn machines_table() -> Vec<Table> {
             format!("{} GB/s", mac.network.injection_bw_gbs),
         ]);
     }
+    rec.gauge("machines.presets", t.rows.len() as f64);
+    rec.end(phase);
     vec![t]
 }

@@ -1,14 +1,16 @@
 //! Experiments: Opt (§4.7 scheduler + texture study) and KAVG (§4.5).
 
 use hetsim::machines;
+use hetsim::obs::{Recorder, SpanKind};
 use icoe::report::Table;
 
 /// Opt: scheduling-policy study + texture-cache hindsight + a real SIMP run.
-pub fn opt() -> Vec<Table> {
+pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     use sched::{batch_arrivals, poisson_arrivals, simulate, Policy};
     const GPUS: usize = 16;
 
     // Batch mode: the policy comparison.
+    let sched_phase = rec.begin("scheduler-study", SpanKind::Phase);
     let batch = batch_arrivals(400, 3);
     let mut t = Table::new(
         "Opt (4.7): batch of 400 jobs on 16 GPUs, by policy",
@@ -45,7 +47,9 @@ pub fn opt() -> Vec<Table> {
         ]);
     }
 
+    rec.end(sched_phase);
     // Texture-cache hindsight (EA vs final system).
+    let tex_phase = rec.begin("texture-hindsight", SpanKind::Phase);
     use topopt::{solver_step_cost, SimpConfig, TextureUse};
     let big = SimpConfig { nelx: 1024, nely: 512, ..Default::default() };
     let mut x = Table::new(
@@ -68,10 +72,13 @@ pub fn opt() -> Vec<Table> {
         ]);
     }
 
+    rec.end(tex_phase);
     // A real SIMP run (the drone-design kernel, scaled down).
     use topopt::SimpProblem;
+    let simp_phase = rec.begin("simp-run", SpanKind::Phase);
     let mut prob = SimpProblem::cantilever(SimpConfig { nelx: 32, nely: 16, iters: 20, ..Default::default() });
     let r = prob.optimize();
+    rec.incr("simp.cg_iters", r.cg_iters_total as f64);
     let mut d = Table::new("real SIMP cantilever run (32x16, 20 iterations)", &["metric", "value"]);
     d.row(&["initial compliance".into(), format!("{:.3}", r.compliance_history[0])]);
     d.row(&[
@@ -80,22 +87,26 @@ pub fn opt() -> Vec<Table> {
     ]);
     d.row(&["volume fraction".into(), format!("{:.3}", prob.volume_fraction())]);
     d.row(&["total CG iterations".into(), r.cg_iters_total.to_string()]);
+    rec.end(simp_phase);
     vec![t, a, x, d]
 }
 
 /// KAVG: time-to-quality as a function of K and learner count.
-pub fn kavg() -> Vec<Table> {
+pub fn kavg(rec: &mut Recorder) -> Vec<Table> {
     use hetsim::{CollectiveKind, Network};
     use mlsim::kavg::{accuracy, synth_dataset, train_asgd, train_kavg, TrainConfig};
 
+    let sweep = rec.begin("k-sweep", SpanKind::Phase);
     let (xs, ys) = synth_dataset(400, 4, 3);
     let learners = 16usize;
     let total_steps = 1024usize;
     let cfg = |steps: usize| TrainConfig { lr: 0.3, batch: 32, steps, seed: 5 };
 
     // Communication model: one allreduce of the model per round over 16
-    // 4-GPU nodes; one local step costs ~2 ms of GPU time.
-    let net = Network::new(machines::sierra_node().network.clone(), learners / 4);
+    // 4-GPU nodes; one local step costs ~2 ms of GPU time. The recorder
+    // sees the collective volume through the network's own metrics.
+    let net = Network::new(machines::sierra_node().network.clone(), learners / 4)
+        .with_recorder(rec.clone());
     let t_reduce = net.collective(CollectiveKind::AllReduce, 8.0 * 60.0) + 200e-6;
     let t_step = 2e-3;
 
@@ -135,12 +146,15 @@ pub fn kavg() -> Vec<Table> {
         format!("{asgd_loss:.3} vs {kavg_loss:.3}"),
         "staleness forces small lr (ASGD scales poorly)".into(),
     ]);
+    rec.gauge("kavg.best_k", best.0 as f64);
+    rec.end(sweep);
     vec![t, s]
 }
 
 /// The paper's lessons learned, each validated against the models where
 /// it makes a quantitative claim (see `icoe::lessons`).
-pub fn lessons() -> Vec<Table> {
+pub fn lessons(rec: &mut Recorder) -> Vec<Table> {
+    let phase = rec.begin("validate-lessons", SpanKind::Phase);
     let mut t = Table::new(
         "Lessons learned (sections 1-5), validated against this reproduction",
         &["lesson", "paper section", "verdict"],
@@ -153,5 +167,6 @@ pub fn lessons() -> Vec<Table> {
         };
         t.row(&[l.quote.chars().take(88).collect::<String>(), l.section.to_string(), verdict.to_string()]);
     }
+    rec.end(phase);
     vec![t]
 }

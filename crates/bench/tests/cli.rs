@@ -1,0 +1,73 @@
+//! End-to-end tests of the `experiments` binary: structured JSON output
+//! and the `BENCH_<id>.json` summary sink (ISSUE acceptance criteria).
+
+use std::process::Command;
+
+use hetsim::obs::json;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+/// Cheap ids that exercise three different exps modules.
+const JSON_IDS: &[&str] = &["table1", "machines", "fig8"];
+
+#[test]
+fn json_flag_emits_a_parsable_experiment_document() {
+    for id in JSON_IDS {
+        let out = bin().args([id, "--json"]).output().expect("binary runs");
+        assert!(out.status.success(), "{id} exited nonzero: {out:?}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        let doc = json::parse(stdout.trim()).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+        assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some(*id));
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("icoe-experiment-v1")
+        );
+        let tables = doc.get("tables").and_then(json::Value::as_array).expect("tables");
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        let span_count = doc.get("span_count").and_then(json::Value::as_f64).expect("span_count");
+        assert!(span_count >= 1.0, "{id} ran without a root span");
+    }
+}
+
+#[test]
+fn fig8_bench_dir_writes_a_valid_summary() {
+    let dir = std::env::temp_dir().join(format!("icoe-bench-cli-{}", std::process::id()));
+    let out = bin()
+        .args(["fig8", "--json", "--bench-dir"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "fig8 exited nonzero: {out:?}");
+    let path = dir.join("BENCH_fig8.json");
+    let text = std::fs::read_to_string(&path).expect("summary file written");
+    let doc = json::parse(&text).expect("summary parses");
+    assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some("fig8"));
+    assert_eq!(doc.get("schema").and_then(json::Value::as_str), Some("icoe-bench-v1"));
+    assert!(doc.get("wall_s").and_then(json::Value::as_f64).expect("wall_s") > 0.0);
+    let gauges = doc.get("gauges").expect("gauges");
+    assert!(
+        gauges.get("fig8.total_speedup").and_then(json::Value::as_f64).expect("speedup gauge")
+            > 1.0,
+        "GPU should beat one P8 thread"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_enumerates_the_registry_with_artifacts() {
+    let out = bin().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for id in bench::ALL {
+        assert!(stdout.contains(id), "list missing id {id}");
+    }
+    assert!(stdout.contains("Fig. 8"), "list missing paper artifact column");
+}
+
+#[test]
+fn unknown_id_exits_nonzero() {
+    let out = bin().arg("nope").output().expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,250 @@
+//! The unified experiment API: one trait, one registry, one report shape.
+//!
+//! Every paper artifact (`table1`, `fig8`, …) implements [`Experiment`]:
+//! an id, the paper artifact it regenerates, and a `run` that takes an
+//! observability [`Recorder`] and returns a [`Report`] of tables. The
+//! `bench` crate registers its artifacts into a [`Registry`]; the
+//! `experiments` binary (and any test) then drives them uniformly —
+//! every run happens under a root span named `exp:<id>`, and reports can
+//! be rendered as text or structured JSON.
+
+use hetsim::obs::{json, Recorder, SpanKind};
+
+use crate::report::Table;
+
+/// What one experiment run produced.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    pub fn new(tables: Vec<Table>) -> Report {
+        Report { tables }
+    }
+
+    /// Render every table as aligned plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The tables as a JSON array (hand-rolled; the workspace serde is a
+    /// no-op shim).
+    pub fn tables_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"title\":{},\"headers\":[", json::escape(&t.title)));
+            for (j, h) in t.headers.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::escape(h));
+            }
+            out.push_str("],\"rows\":[");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, cell) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json::escape(cell));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// One paper artifact behind the `experiments` harness.
+pub trait Experiment: Send + Sync {
+    /// Stable id used on the command line (`experiments <id>`).
+    fn id(&self) -> &'static str;
+
+    /// Which paper artifact this regenerates ("Fig. 8", "Table 4", …).
+    fn paper_artifact(&self) -> &'static str;
+
+    /// Regenerate the artifact, recording spans/metrics into `rec`.
+    fn run(&self, rec: &mut Recorder) -> Report;
+}
+
+/// An [`Experiment`] built from plain function pointers — how `bench`
+/// registers its artifacts without a struct per experiment.
+pub struct FnExperiment {
+    pub id: &'static str,
+    pub paper_artifact: &'static str,
+    pub f: fn(&mut Recorder) -> Report,
+}
+
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        self.paper_artifact
+    }
+
+    fn run(&self, rec: &mut Recorder) -> Report {
+        (self.f)(rec)
+    }
+}
+
+/// Ordered collection of experiments (registration order = paper order).
+#[derive(Default)]
+pub struct Registry {
+    items: Vec<Box<dyn Experiment>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry { items: Vec::new() }
+    }
+
+    /// Register an experiment. Panics on a duplicate id — ids are CLI
+    /// surface and must stay unique.
+    pub fn register(&mut self, e: impl Experiment + 'static) {
+        assert!(
+            self.get(e.id()).is_none(),
+            "duplicate experiment id '{}'",
+            e.id()
+        );
+        self.items.push(Box::new(e));
+    }
+
+    /// Every id, in registration order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.items.iter().map(|e| e.id()).collect()
+    }
+
+    pub fn get(&self, id: &str) -> Option<&dyn Experiment> {
+        self.items.iter().find(|e| e.id() == id).map(|b| b.as_ref())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.items.iter().map(|b| b.as_ref())
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Run one experiment under a root span named `exp:<id>`.
+    pub fn run(&self, id: &str, rec: &mut Recorder) -> Option<Report> {
+        let e = self.get(id)?;
+        let root = rec.begin(format!("exp:{id}"), SpanKind::Experiment);
+        let report = e.run(rec);
+        rec.end(root);
+        Some(report)
+    }
+}
+
+/// The structured-output document for one run: tables plus the recorder's
+/// metrics, as one JSON object. This is what `experiments <id> --json`
+/// prints.
+pub fn document_json(id: &str, report: &Report, rec: &Recorder, elapsed_s: f64) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"experiment\":{},", json::escape(id)));
+    out.push_str("\"schema\":\"icoe-experiment-v1\",");
+    out.push_str(&format!("\"elapsed_s\":{},", json::num(elapsed_s)));
+    out.push_str(&format!("\"tables\":{},", report.tables_json()));
+    out.push_str("\"counters\":{");
+    for (i, (k, v)) in rec.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in rec.gauges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+    }
+    out.push_str(&format!("}},\"span_count\":{}}}", rec.spans().len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(FnExperiment {
+            id: "toy",
+            paper_artifact: "Fig. 0",
+            f: |rec| {
+                rec.incr("flops", 42.0);
+                let mut t = Table::new("toy", &["a", "b"]);
+                t.row_strs(&["1", "2"]);
+                Report::new(vec![t])
+            },
+        });
+        r
+    }
+
+    #[test]
+    fn registry_runs_under_a_root_span() {
+        let reg = toy_registry();
+        let mut rec = Recorder::enabled();
+        let report = reg.run("toy", &mut rec).expect("registered");
+        assert_eq!(report.tables.len(), 1);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "exp:toy");
+        assert_eq!(spans[0].kind, SpanKind::Experiment);
+        assert!(spans[0].end.is_finite(), "root span closed");
+        assert_eq!(rec.counter("flops"), 42.0);
+    }
+
+    #[test]
+    fn unknown_id_is_none_and_ids_are_ordered() {
+        let reg = toy_registry();
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.ids(), vec!["toy"]);
+        assert_eq!(reg.get("toy").map(|e| e.paper_artifact()), Some("Fig. 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment id")]
+    fn duplicate_ids_panic() {
+        let mut reg = toy_registry();
+        reg.register(FnExperiment { id: "toy", paper_artifact: "x", f: |_| Report::default() });
+    }
+
+    #[test]
+    fn document_json_parses_and_carries_tables_and_metrics() {
+        let reg = toy_registry();
+        let mut rec = Recorder::enabled();
+        let report = reg.run("toy", &mut rec).expect("registered");
+        let doc = document_json("toy", &report, &rec, 0.25);
+        let v = json::parse(&doc).expect("document parses");
+        assert_eq!(v.get("experiment").and_then(json::Value::as_str), Some("toy"));
+        assert_eq!(v.get("elapsed_s").and_then(json::Value::as_f64), Some(0.25));
+        let tables = v.get("tables").and_then(json::Value::as_array).expect("tables");
+        assert_eq!(tables[0].get("title").and_then(json::Value::as_str), Some("toy"));
+        let rows = tables[0].get("rows").and_then(json::Value::as_array).expect("rows");
+        assert_eq!(rows[0].as_array().expect("row")[1].as_str(), Some("2"));
+        let counters = v.get("counters").expect("counters");
+        assert_eq!(counters.get("flops").and_then(json::Value::as_f64), Some(42.0));
+    }
+}

@@ -25,10 +25,12 @@
 //! | Optimization Framework | [`topopt`], [`sched`] |
 //! | Substrates | [`hetsim`], [`portal`], [`linalg`] |
 
+pub mod exp;
 pub mod lessons;
 pub mod registry;
 pub mod report;
 
+pub use exp::{Experiment, FnExperiment, Registry, Report};
 pub use lessons::{lessons, Evidence, Lesson};
 pub use registry::{activities, Activity, Approach};
 pub use report::Table;

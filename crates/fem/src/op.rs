@@ -52,7 +52,7 @@ impl DiffusionPA {
         let basis = Basis1d::new(mesh.p);
         let bdr = mesh.boundary_dofs();
         let mut op = DiffusionPA { mesh, basis, qd: Vec::new(), bdr };
-        op.assemble_qdata(|x, y| kappa(x, y));
+        op.assemble_qdata(kappa);
         op
     }
 
@@ -221,6 +221,23 @@ impl DiffusionPA {
     pub fn qdata(&self) -> &[(f64, f64)] {
         &self.qd
     }
+
+    /// [`apply`](Self::apply) with observability: the apply becomes a
+    /// `Kernel` span on the recorder, and the modelled flop/byte traffic
+    /// of one PA apply lands in `fem.*` counters. Free with a no-op
+    /// recorder.
+    pub fn apply_traced(&self, rec: &hetsim::obs::Recorder, x: &[f64], y: &mut [f64]) {
+        let span =
+            rec.begin(format!("fem-pa-apply-p{}", self.mesh.p), hetsim::obs::SpanKind::Kernel);
+        self.apply(x, y);
+        if rec.is_enabled() {
+            rec.incr("fem.pa_applies", 1.0);
+            rec.incr("fem.flops", crate::device::pa_diffusion_flops(&self.mesh));
+            let (br, bw) = crate::device::pa_diffusion_bytes(&self.mesh);
+            rec.incr("fem.bytes", br + bw);
+        }
+        rec.end(span);
+    }
 }
 
 impl MassPA {
@@ -374,6 +391,25 @@ pub fn lor_mesh(mesh: &Mesh2d) -> Mesh2d {
 mod tests {
     use super::*;
     use linalg::{cg, krylov::IdentityPrecond};
+
+    #[test]
+    fn traced_apply_matches_plain_apply_and_records() {
+        let mesh = Mesh2d::unit(4, 4, 2);
+        let pa = DiffusionPA::new(mesh, |_, _| 1.0);
+        let n = pa.ndof();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_plain = vec![0.0; n];
+        let mut y_traced = vec![0.0; n];
+        pa.apply(&x, &mut y_plain);
+        let rec = hetsim::obs::Recorder::enabled();
+        pa.apply_traced(&rec, &x, &mut y_traced);
+        assert_eq!(y_plain, y_traced, "tracing must not change the numerics");
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, hetsim::obs::SpanKind::Kernel);
+        assert_eq!(rec.counter("fem.pa_applies"), 1.0);
+        assert!(rec.counter("fem.flops") > 0.0);
+    }
 
     #[test]
     fn pa_matches_full_assembly() {

@@ -40,6 +40,79 @@ pub enum Precision {
     Fp32,
 }
 
+/// The shared cost-builder core: the five roofline terms that both
+/// [`KernelProfile`] (absolute, whole-kernel) and `portal::PerItem`
+/// (per-iteration, scaled by trip count) are built from. Keeping one
+/// builder here means the two APIs cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostTerms {
+    pub flops: f64,
+    pub bytes_read: f64,
+    pub bytes_written: f64,
+    /// Multiplier (0, 1] on achievable compute throughput.
+    pub compute_eff: f64,
+    /// Multiplier (0, 1] on achievable memory bandwidth.
+    pub bandwidth_eff: f64,
+}
+
+impl Default for CostTerms {
+    fn default() -> CostTerms {
+        CostTerms::new()
+    }
+}
+
+impl CostTerms {
+    pub fn new() -> CostTerms {
+        CostTerms {
+            flops: 0.0,
+            bytes_read: 0.0,
+            bytes_written: 0.0,
+            compute_eff: 1.0,
+            bandwidth_eff: 1.0,
+        }
+    }
+
+    pub fn flops(mut self, f: f64) -> Self {
+        self.flops = f;
+        self
+    }
+
+    pub fn bytes_read(mut self, b: f64) -> Self {
+        self.bytes_read = b;
+        self
+    }
+
+    pub fn bytes_written(mut self, b: f64) -> Self {
+        self.bytes_written = b;
+        self
+    }
+
+    pub fn compute_eff(mut self, e: f64) -> Self {
+        self.compute_eff = e;
+        self
+    }
+
+    pub fn bandwidth_eff(mut self, e: f64) -> Self {
+        self.bandwidth_eff = e;
+        self
+    }
+
+    /// Scale the extensive terms (flops, bytes) by `n` work items; the
+    /// efficiency knobs are intensive and stay put.
+    pub fn scaled(&self, n: f64) -> CostTerms {
+        CostTerms {
+            flops: self.flops * n,
+            bytes_read: self.bytes_read * n,
+            bytes_written: self.bytes_written * n,
+            ..*self
+        }
+    }
+
+    pub fn bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
 /// A roofline description of one kernel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelProfile {
@@ -83,6 +156,27 @@ impl KernelProfile {
             uses_texture: false,
             launch: LaunchClass::Device,
             precision: Precision::Fp64,
+        }
+    }
+
+    /// Build from the shared cost core (see [`CostTerms`]).
+    pub fn from_terms(name: impl Into<String>, t: CostTerms) -> KernelProfile {
+        KernelProfile::new(name)
+            .flops(t.flops)
+            .bytes_read(t.bytes_read)
+            .bytes_written(t.bytes_written)
+            .compute_eff(t.compute_eff)
+            .bandwidth_eff(t.bandwidth_eff)
+    }
+
+    /// Extract the shared cost core (inverse of [`KernelProfile::from_terms`]).
+    pub fn terms(&self) -> CostTerms {
+        CostTerms {
+            flops: self.flops,
+            bytes_read: self.bytes_read,
+            bytes_written: self.bytes_written,
+            compute_eff: self.compute_eff,
+            bandwidth_eff: self.bandwidth_eff,
         }
     }
 
@@ -221,6 +315,28 @@ mod tests {
 
     fn p9() -> CpuSpec {
         machines::sierra_node().node.cpu.clone()
+    }
+
+    #[test]
+    fn cost_terms_round_trip_and_scale() {
+        let t = CostTerms::new().flops(3.0).bytes_read(16.0).bytes_written(8.0).bandwidth_eff(0.5);
+        let k = KernelProfile::from_terms("k", t);
+        assert_eq!(k.terms(), t);
+        let s = t.scaled(10.0);
+        assert_eq!(s.flops, 30.0);
+        assert_eq!(s.bytes(), 240.0);
+        assert_eq!(s.bandwidth_eff, 0.5, "intensive knobs must not scale");
+        // Cost equivalence: a profile built from scaled terms matches the
+        // hand-built equivalent.
+        let g = machines::sierra_node().node.gpus[0].clone();
+        let a = KernelProfile::from_terms("a", s).time_on_gpu(&g);
+        let b = KernelProfile::new("b")
+            .flops(30.0)
+            .bytes_read(160.0)
+            .bytes_written(80.0)
+            .bandwidth_eff(0.5)
+            .time_on_gpu(&g);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -42,16 +42,20 @@
 pub mod kernel;
 pub mod machines;
 pub mod network;
+pub mod obs;
 pub mod sim;
 pub mod spec;
 pub mod trace;
 pub mod unified;
 
-pub use kernel::{KernelProfile, LaunchClass, Precision};
-pub use network::{CollectiveKind, Network};
+pub use kernel::{CostTerms, KernelProfile, LaunchClass, Precision};
+pub use network::{CollectiveKind, NetCounters, Network};
+pub use obs::{Recorder, SpanKind, SpanRecord};
 pub use sim::{Loc, Sim, StreamId, Target, TransferKind};
 pub use spec::{CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NodeConfig};
-pub use trace::{Span, TracedSim};
+pub use trace::Span;
+#[allow(deprecated)]
+pub use trace::TracedSim;
 
 /// One gibibyte, in bytes.
 pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;

@@ -6,8 +6,11 @@
 //! of collectives over a fat-tree fabric. Costs use the standard
 //! latency-bandwidth (Hockney) model with ring/tree algorithm shapes.
 
+use std::sync::Mutex;
+
 use serde::Serialize;
 
+use crate::obs::Recorder;
 use crate::spec::NetworkSpec;
 
 /// Collective operations used by the workloads.
@@ -27,16 +30,112 @@ pub enum CollectiveKind {
     Gather,
 }
 
+impl CollectiveKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduce => "allreduce",
+            CollectiveKind::AllToAll => "alltoall",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::TreeReduce => "treereduce",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Gather => "gather",
+        }
+    }
+}
+
+/// Cumulative activity counters for one [`Network`] (mirrors
+/// [`crate::sim::Counters`] so every layer exposes the same
+/// `counters()` / `reset()` shape).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetCounters {
+    /// Collective operations issued.
+    pub collectives: u64,
+    /// Point-to-point messages issued.
+    pub p2p_msgs: u64,
+    /// Total bytes injected across all ranks (collective volume).
+    pub bytes: f64,
+    /// Simulated seconds spent in network operations (serialised view).
+    pub seconds: f64,
+}
+
 /// A network of `ranks` endpoints over `spec`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Serialize)]
 pub struct Network {
     pub spec: NetworkSpec,
     pub ranks: usize,
+    /// Interior-mutable so the (logically read-only) cost queries
+    /// [`Network::collective`] / [`Network::p2p`] can count traffic.
+    counters: Mutex<NetCounters>,
+    recorder: Recorder,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Network {
+        Network {
+            spec: self.spec.clone(),
+            ranks: self.ranks,
+            counters: Mutex::new(self.counters()),
+            recorder: self.recorder.clone(),
+        }
+    }
+}
+
+/// Identity is the topology (spec + ranks); activity counters are
+/// diagnostics and do not participate in equality.
+impl PartialEq for Network {
+    fn eq(&self, other: &Network) -> bool {
+        self.spec == other.spec && self.ranks == other.ranks
+    }
 }
 
 impl Network {
     pub fn new(spec: NetworkSpec, ranks: usize) -> Network {
-        Network { spec, ranks: ranks.max(1) }
+        Network {
+            spec,
+            ranks: ranks.max(1),
+            counters: Mutex::new(NetCounters::default()),
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attach an observability recorder (builder form).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Network {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attach an observability recorder in place.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn counters(&self) -> NetCounters {
+        *self.counters.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Clear the activity counters, keeping the topology and recorder.
+    pub fn reset(&self) {
+        *self.counters.lock().unwrap_or_else(|e| e.into_inner()) = NetCounters::default();
+    }
+
+    fn note(&self, kind: &str, msgs: u64, volume: f64, seconds: f64) {
+        {
+            let mut c = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            if kind == "p2p" {
+                c.p2p_msgs += msgs;
+            } else {
+                c.collectives += msgs;
+            }
+            c.bytes += volume;
+            c.seconds += seconds;
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.incr("net.ops", msgs as f64);
+            self.recorder.incr("net.bytes", volume);
+            self.recorder.incr("net.seconds", seconds);
+            self.recorder.incr(&format!("net.{kind}"), msgs as f64);
+        }
     }
 
     fn alpha(&self) -> f64 {
@@ -49,11 +148,26 @@ impl Network {
 
     /// Point-to-point message time.
     pub fn p2p(&self, bytes: f64) -> f64 {
-        self.alpha() + bytes * self.beta()
+        let t = self.alpha() + bytes * self.beta();
+        self.note("p2p", 1, bytes, t);
+        t
     }
 
     /// Time for one collective; `bytes` is the per-rank payload.
     pub fn collective(&self, kind: CollectiveKind, bytes: f64) -> f64 {
+        let n = self.ranks as f64;
+        if self.ranks == 1 {
+            self.note(kind.as_str(), 1, 0.0, 0.0);
+            return 0.0;
+        }
+        let t = self.collective_cost(kind, bytes);
+        // Collective volume: every rank injects its payload.
+        self.note(kind.as_str(), 1, bytes * n, t);
+        t
+    }
+
+    /// Pure cost query (no counter side effects).
+    pub fn collective_cost(&self, kind: CollectiveKind, bytes: f64) -> f64 {
         let n = self.ranks as f64;
         if self.ranks == 1 {
             return 0.0;
@@ -79,7 +193,7 @@ impl Network {
     /// Effective aggregate bandwidth of the allreduce (bytes reduced/s),
     /// useful for scaling-efficiency plots.
     pub fn allreduce_bw(&self, bytes: f64) -> f64 {
-        let t = self.collective(CollectiveKind::AllReduce, bytes);
+        let t = self.collective_cost(CollectiveKind::AllReduce, bytes);
         if t == 0.0 {
             f64::INFINITY
         } else {
@@ -103,6 +217,41 @@ mod tests {
     fn single_rank_collectives_are_free() {
         let n = net(1);
         assert_eq!(n.collective(CollectiveKind::AllReduce, 1e9), 0.0);
+    }
+
+    #[test]
+    fn counters_track_volume_and_reset() {
+        let n = net(8);
+        n.collective(CollectiveKind::AllReduce, 1e6);
+        n.p2p(500.0);
+        let c = n.counters();
+        assert_eq!(c.collectives, 1);
+        assert_eq!(c.p2p_msgs, 1);
+        assert!((c.bytes - (8.0 * 1e6 + 500.0)).abs() < 1e-6, "{}", c.bytes);
+        assert!(c.seconds > 0.0);
+        n.reset();
+        assert_eq!(n.counters(), NetCounters::default());
+    }
+
+    #[test]
+    fn recorder_sees_collective_volume() {
+        use crate::obs::Recorder;
+        let rec = Recorder::enabled();
+        let n = net(4).with_recorder(rec.clone());
+        n.collective(CollectiveKind::TreeReduce, 1000.0);
+        n.collective(CollectiveKind::TreeReduce, 1000.0);
+        assert_eq!(rec.counter("net.ops"), 2.0);
+        assert_eq!(rec.counter("net.treereduce"), 2.0);
+        assert_eq!(rec.counter("net.bytes"), 8000.0);
+    }
+
+    #[test]
+    fn equality_ignores_activity() {
+        let a = net(8);
+        let b = net(8);
+        a.p2p(100.0);
+        assert_eq!(a, b);
+        assert_eq!(a.clone().counters(), a.counters());
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! Structured tracing + metrics — the observability layer.
+//!
+//! The paper's §4.10.6 tools story (hardware-counter access, Performance
+//! Co-Pilot, "finally being able to *see* where node time goes") is
+//! reproduced here as a first-class subsystem rather than the ad-hoc span
+//! list of [`crate::trace`]:
+//!
+//! * **hierarchical spans** — experiment → phase → kernel/transfer, each
+//!   with a parent id, a track (stream label, `dma`, `wall`) and a start /
+//!   end timestamp (simulated seconds for device work, wall seconds for
+//!   harness scopes);
+//! * **a metrics registry** — monotonic counters (flops, bytes moved,
+//!   launches, collective volume) and gauges (pool hit-rate, bytes live);
+//! * **pluggable sinks** — a human ASCII timeline
+//!   ([`Recorder::render_timeline`]), JSON-lines ([`Recorder::to_jsonl`]),
+//!   and a `BENCH_<exp>.json` summary writer
+//!   ([`Recorder::write_bench_summary`]).
+//!
+//! Everything hangs off a [`Recorder`] handle. A recorder is either
+//! **enabled** (an `Arc<Mutex<_>>` of shared state — clones observe the
+//! same stream, so it can be threaded through `Sim`, `Executor`, `Pool`
+//! and worker threads alike) or a **no-op** ([`Recorder::noop`]): a bare
+//! `None` whose every method is an inlined early-return, so instrumented
+//! hot paths cost one branch when observability is off.
+//!
+//! ```
+//! use hetsim::obs::{Recorder, SpanKind};
+//!
+//! let rec = Recorder::enabled();
+//! let root = rec.begin("experiment", SpanKind::Experiment);
+//! rec.record_span("axpy", SpanKind::Kernel, "gpu0.s0", 0.0, 1e-3);
+//! rec.incr("flops", 2.0e9);
+//! rec.end(root);
+//! assert_eq!(rec.spans().len(), 2);
+//! assert_eq!(rec.counter("flops"), 2.0e9);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod json;
+
+/// What a span measures; drives rendering and summary grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A whole `experiments <id>` run (wall clock).
+    Experiment,
+    /// A named phase inside an experiment or solver (either clock).
+    Phase,
+    /// One kernel launch (simulated seconds).
+    Kernel,
+    /// One host<->device / NVMe / NIC transfer (simulated seconds).
+    Transfer,
+    /// A network collective (simulated seconds).
+    Collective,
+    /// Anything else.
+    Other,
+}
+
+impl SpanKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanKind::Experiment => "experiment",
+            SpanKind::Phase => "phase",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Collective => "collective",
+            SpanKind::Other => "other",
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique (per recorder) id, in begin order.
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    pub name: String,
+    pub kind: SpanKind,
+    /// Row the span renders on: a stream label (`gpu0.s0`), `dma`, `net`,
+    /// or `wall` for harness scopes.
+    pub track: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl SpanRecord {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Handle returned by [`Recorder::begin`]; close it with [`Recorder::end`].
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span stays open (and keeps parenting children) until end() is called"]
+pub struct OpenSpan {
+    id: Option<u64>,
+}
+
+#[derive(Debug)]
+struct ObsState {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    /// Stack of open span ids (the innermost is the current parent).
+    open: Vec<u64>,
+    next_id: u64,
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl ObsState {
+    fn new() -> ObsState {
+        ObsState {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            next_id: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+
+    fn wall(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// The cheap-clone observability handle.
+///
+/// All methods take `&self`; an enabled recorder synchronises internally so
+/// it can be shared across the worker threads of a `portal` `forall`.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<ObsState>>>,
+}
+
+impl Recorder {
+    /// A disabled recorder: every method is a no-op costing one branch.
+    #[inline]
+    pub fn noop() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder with empty state.
+    pub fn enabled() -> Recorder {
+        Recorder { inner: Some(Arc::new(Mutex::new(ObsState::new()))) }
+    }
+
+    /// Whether anything will actually be recorded. Hot paths should guard
+    /// any string formatting behind this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut ObsState) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let mut g = inner.lock().unwrap_or_else(|e| e.into_inner());
+        Some(f(&mut g))
+    }
+
+    // ------------------------------------------------------------- spans
+
+    /// Open a wall-clock span; it parents every span recorded until
+    /// [`Recorder::end`]. Returns a no-op handle on a disabled recorder.
+    pub fn begin(&self, name: impl Into<String>, kind: SpanKind) -> OpenSpan {
+        let id = self.with(|s| {
+            let id = s.next_id;
+            s.next_id += 1;
+            let start = s.wall();
+            let parent = s.open.last().copied();
+            s.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                kind,
+                track: "wall".to_string(),
+                start,
+                end: f64::NAN,
+            });
+            s.open.push(id);
+            id
+        });
+        OpenSpan { id }
+    }
+
+    /// Close a span opened with [`Recorder::begin`], stamping its wall end
+    /// time. Closing out of order also closes any children left open.
+    pub fn end(&self, span: OpenSpan) {
+        let Some(id) = span.id else { return };
+        self.with(|s| {
+            let now = s.wall();
+            while let Some(top) = s.open.pop() {
+                if let Some(rec) = s.spans.iter_mut().find(|r| r.id == top) {
+                    if rec.end.is_nan() {
+                        rec.end = now;
+                    }
+                }
+                if top == id {
+                    break;
+                }
+            }
+        });
+    }
+
+    /// Record a closed span with explicit timestamps (the hot-path form:
+    /// `Sim` knows a kernel's start and duration on the simulated clock).
+    /// The currently open span, if any, becomes its parent.
+    pub fn record_span(
+        &self,
+        name: impl Into<String>,
+        kind: SpanKind,
+        track: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        self.with(|s| {
+            let id = s.next_id;
+            s.next_id += 1;
+            let parent = s.open.last().copied();
+            s.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                kind,
+                track: track.into(),
+                start,
+                end,
+            });
+        });
+    }
+
+    /// Snapshot of all recorded spans (open spans have `end = NaN`).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.with(|s| s.spans.clone()).unwrap_or_default()
+    }
+
+    // ----------------------------------------------------------- metrics
+
+    /// Add `delta` to counter `name` (creating it at 0).
+    #[inline]
+    pub fn incr(&self, name: &str, delta: f64) {
+        self.with(|s| match s.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                s.counters.insert(name.to_string(), delta);
+            }
+        });
+    }
+
+    /// Set gauge `name` to its latest value.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.with(|s| {
+            s.gauges.insert(name.to_string(), value);
+        });
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.with(|s| s.counters.get(name).copied().unwrap_or(0.0)).unwrap_or(0.0)
+    }
+
+    /// Latest value of a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.with(|s| s.gauges.get(name).copied()).flatten()
+    }
+
+    /// Snapshot of every counter.
+    pub fn counters(&self) -> BTreeMap<String, f64> {
+        self.with(|s| s.counters.clone()).unwrap_or_default()
+    }
+
+    /// Snapshot of every gauge.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.with(|s| s.gauges.clone()).unwrap_or_default()
+    }
+
+    /// Clear spans and metrics, keeping the recorder enabled.
+    pub fn reset(&self) {
+        self.with(|s| *s = ObsState::new());
+    }
+
+    // ------------------------------------------------------------- sinks
+
+    /// Busy seconds per kernel-span name, descending (the profiler's hot
+    /// list).
+    pub fn hot_list(&self) -> Vec<(String, f64)> {
+        let mut agg: BTreeMap<String, f64> = BTreeMap::new();
+        for s in self.spans() {
+            if s.kind == SpanKind::Kernel && s.end.is_finite() {
+                *agg.entry(s.name).or_insert(0.0) += s.end - s.start;
+            }
+        }
+        let mut out: Vec<(String, f64)> = agg.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// ASCII timeline: one row per track, `width` characters across the
+    /// largest finite end time. Wall-clock scopes render on their own
+    /// `wall` row, so mixed clocks stay legible.
+    pub fn render_timeline(&self, width: usize) -> String {
+        let spans = self.spans();
+        let t_end = spans
+            .iter()
+            .filter(|s| s.end.is_finite())
+            .fold(0.0f64, |m, s| m.max(s.end))
+            .max(1e-300);
+        let mut tracks: Vec<String> = spans.iter().map(|s| s.track.clone()).collect();
+        tracks.sort();
+        tracks.dedup();
+        let mut out = String::new();
+        for track in tracks {
+            let mut row = vec![b'.'; width];
+            for (i, s) in spans.iter().enumerate() {
+                if s.track != track || !s.end.is_finite() {
+                    continue;
+                }
+                let a = ((s.start / t_end) * width as f64) as usize;
+                let b = (((s.end / t_end) * width as f64).ceil() as usize).min(width);
+                let mark = b"#*+=%@"[i % 6];
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = mark;
+                }
+            }
+            out.push_str(&format!("{track:<10} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out
+    }
+
+    /// JSON-lines sink: one object per span, then one per counter and
+    /// gauge. Parses back with [`json::parse`] line by line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            let parent = match s.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"kind\":{},\"track\":{},\"start\":{},\"end\":{}}}\n",
+                s.id,
+                parent,
+                json::escape(&s.name),
+                json::escape(s.kind.as_str()),
+                json::escape(&s.track),
+                json::num(s.start),
+                json::num(s.end),
+            ));
+        }
+        for (k, v) in self.counters() {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                json::escape(&k),
+                json::num(v)
+            ));
+        }
+        for (k, v) in self.gauges() {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json::escape(&k),
+                json::num(v)
+            ));
+        }
+        out
+    }
+
+    /// One-document JSON summary for `BENCH_<experiment>.json`.
+    pub fn summary_json(&self, experiment: &str) -> String {
+        let spans = self.spans();
+        let busy: f64 = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Kernel && s.end.is_finite())
+            .map(SpanRecord::duration)
+            .sum();
+        let wall = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Experiment && s.end.is_finite())
+            .map(SpanRecord::duration)
+            .fold(0.0f64, f64::max);
+        let mut out = String::from("{");
+        out.push_str(&format!("\"experiment\":{},", json::escape(experiment)));
+        out.push_str("\"schema\":\"icoe-bench-v1\",");
+        out.push_str(&format!("\"wall_s\":{},", json::num(wall)));
+        out.push_str(&format!("\"span_count\":{},", spans.len()));
+        out.push_str(&format!("\"kernel_busy_s\":{},", json::num(busy)));
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
+        }
+        out.push_str("},\"hot\":[");
+        for (i, (name, secs)) in self.hot_list().iter().take(10).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", json::escape(name), json::num(*secs)));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write `BENCH_<experiment>.json` into `dir`; returns the path.
+    pub fn write_bench_summary(
+        &self,
+        experiment: &str,
+        dir: &std::path::Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{experiment}.json"));
+        std::fs::write(&path, self.summary_json(experiment))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_records_nothing() {
+        let r = Recorder::noop();
+        let s = r.begin("root", SpanKind::Experiment);
+        r.record_span("k", SpanKind::Kernel, "gpu0.s0", 0.0, 1.0);
+        r.incr("flops", 1e9);
+        r.gauge("g", 2.0);
+        r.end(s);
+        assert!(!r.is_enabled());
+        assert!(r.spans().is_empty());
+        assert_eq!(r.counter("flops"), 0.0);
+        assert_eq!(r.gauge_value("g"), None);
+    }
+
+    #[test]
+    fn spans_nest_under_the_open_scope() {
+        let r = Recorder::enabled();
+        let root = r.begin("exp", SpanKind::Experiment);
+        let phase = r.begin("phase-a", SpanKind::Phase);
+        r.record_span("k1", SpanKind::Kernel, "gpu0.s0", 0.0, 1.0);
+        r.end(phase);
+        r.record_span("k2", SpanKind::Kernel, "gpu0.s0", 1.0, 2.0);
+        r.end(root);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 4);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).expect("span");
+        assert_eq!(by_name("exp").parent, None);
+        assert_eq!(by_name("phase-a").parent, Some(by_name("exp").id));
+        assert_eq!(by_name("k1").parent, Some(by_name("phase-a").id));
+        assert_eq!(by_name("k2").parent, Some(by_name("exp").id));
+        // Every scope got a finite end stamp, and children close before
+        // parents on the wall clock.
+        assert!(spans.iter().all(|s| s.end.is_finite()));
+        assert!(by_name("phase-a").end <= by_name("exp").end);
+    }
+
+    #[test]
+    fn ending_a_parent_closes_forgotten_children() {
+        let r = Recorder::enabled();
+        let root = r.begin("root", SpanKind::Experiment);
+        let _leaked = r.begin("child", SpanKind::Phase);
+        r.end(root); // child never explicitly ended
+        assert!(r.spans().iter().all(|s| s.end.is_finite()));
+    }
+
+    #[test]
+    fn span_ids_are_ordered_by_begin_time() {
+        let r = Recorder::enabled();
+        for i in 0..5 {
+            r.record_span(format!("k{i}"), SpanKind::Kernel, "t", i as f64, i as f64 + 0.5);
+        }
+        let spans = r.spans();
+        assert!(spans.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Recorder::enabled();
+        r.incr("flops", 1.0);
+        r.incr("flops", 2.5);
+        r.gauge("hit_rate", 0.3);
+        r.gauge("hit_rate", 0.9);
+        assert_eq!(r.counter("flops"), 3.5);
+        assert_eq!(r.gauge_value("hit_rate"), Some(0.9));
+        r.reset();
+        assert_eq!(r.counter("flops"), 0.0);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let r = Recorder::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let rc = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        rc.incr("hits", 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hits"), 8000.0);
+    }
+
+    #[test]
+    fn hot_list_ranks_kernel_spans_only() {
+        let r = Recorder::enabled();
+        r.record_span("big", SpanKind::Kernel, "gpu0.s0", 0.0, 5.0);
+        r.record_span("small", SpanKind::Kernel, "gpu0.s0", 5.0, 6.0);
+        r.record_span("xfer", SpanKind::Transfer, "dma", 0.0, 9.0);
+        let hot = r.hot_list();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].0, "big");
+    }
+
+    #[test]
+    fn timeline_renders_one_row_per_track() {
+        let r = Recorder::enabled();
+        r.record_span("a", SpanKind::Kernel, "gpu0.s0", 0.0, 1.0);
+        r.record_span("b", SpanKind::Kernel, "cpu.s0", 0.5, 2.0);
+        r.record_span("x", SpanKind::Transfer, "dma", 0.0, 0.25);
+        let tl = r.render_timeline(40);
+        assert_eq!(tl.lines().count(), 3);
+        assert!(tl.contains("gpu0.s0") && tl.contains("cpu.s0") && tl.contains("dma"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let r = Recorder::enabled();
+        let root = r.begin("exp \"quoted\"", SpanKind::Experiment);
+        r.record_span("k", SpanKind::Kernel, "gpu0.s0", 0.125, 0.5);
+        r.end(root);
+        r.incr("flops", 1e9);
+        r.gauge("hit_rate", 0.75);
+        let jsonl = r.to_jsonl();
+        let mut spans = 0;
+        let mut saw_counter = false;
+        let mut saw_gauge = false;
+        for line in jsonl.lines() {
+            let v = json::parse(line).expect("line parses");
+            match v.get("type").and_then(json::Value::as_str) {
+                Some("span") => {
+                    spans += 1;
+                    if v.get("name").and_then(json::Value::as_str) == Some("k") {
+                        assert_eq!(v.get("start").and_then(json::Value::as_f64), Some(0.125));
+                        assert_eq!(v.get("end").and_then(json::Value::as_f64), Some(0.5));
+                        assert_eq!(v.get("kind").and_then(json::Value::as_str), Some("kernel"));
+                    }
+                    if v.get("name").and_then(json::Value::as_str) == Some("exp \"quoted\"") {
+                        assert!(v.get("parent").expect("key").is_null());
+                    }
+                }
+                Some("counter") => {
+                    saw_counter = true;
+                    assert_eq!(v.get("name").and_then(json::Value::as_str), Some("flops"));
+                    assert_eq!(v.get("value").and_then(json::Value::as_f64), Some(1e9));
+                }
+                Some("gauge") => {
+                    saw_gauge = true;
+                    assert_eq!(v.get("value").and_then(json::Value::as_f64), Some(0.75));
+                }
+                other => panic!("unexpected record type {other:?}"),
+            }
+        }
+        assert_eq!(spans, 2);
+        assert!(saw_counter && saw_gauge);
+    }
+
+    #[test]
+    fn bench_summary_is_valid_json_with_expected_fields() {
+        let r = Recorder::enabled();
+        let root = r.begin("fig8", SpanKind::Experiment);
+        r.record_span("spmv", SpanKind::Kernel, "gpu0.s0", 0.0, 0.5);
+        r.incr("flops", 4.0e9);
+        r.end(root);
+        let doc = json::parse(&r.summary_json("fig8")).expect("summary parses");
+        assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some("fig8"));
+        assert_eq!(doc.get("span_count").and_then(json::Value::as_f64), Some(2.0));
+        assert_eq!(doc.get("kernel_busy_s").and_then(json::Value::as_f64), Some(0.5));
+        let counters = doc.get("counters").expect("counters");
+        assert_eq!(counters.get("flops").and_then(json::Value::as_f64), Some(4.0e9));
+        let hot = doc.get("hot").and_then(json::Value::as_array).expect("hot");
+        assert_eq!(hot.len(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! A tiny hand-rolled JSON encoder + parser.
+//!
+//! The workspace's `serde` is an offline no-op shim (no `serde_json`
+//! exists here at all), so the observability sinks encode by hand and the
+//! tests that validate those sinks parse with this module. It supports
+//! the full JSON value grammar minus exotic number forms; good enough to
+//! round-trip everything [`crate::obs`] emits.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key order preserved (insertion order of the document).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Encode a string as a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encode an `f64` as a JSON number. JSON has no NaN/Infinity, so those
+/// encode as `null` (and parse back as [`Value::Null`]).
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        // Normalise -0.0 (e.g. sums over empty span sets) to a plain zero.
+        "0.0".to_string()
+    } else if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Parse one JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" -2.5e3 ").unwrap(), Value::Num(-2500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".to_string()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":"x"}],"c":{"d":null}}"#).unwrap();
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[1].as_f64(), Some(2.0));
+        assert_eq!(arr[2].get("b").and_then(Value::as_str), Some("x"));
+        assert!(v.get("c").unwrap().get("d").unwrap().is_null());
+    }
+
+    #[test]
+    fn escape_round_trips_awkward_strings() {
+        for s in ["plain", "with \"quotes\"", "tab\tnewline\n", "unicode ✓ Ω", "back\\slash"] {
+            let parsed = parse(&escape(s)).unwrap();
+            assert_eq!(parsed.as_str(), Some(s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn num_round_trips_and_maps_nonfinite_to_null() {
+        for x in [0.0, 1.5, -2.25e-8, 1e300, 0.1] {
+            assert_eq!(parse(&num(x)).unwrap().as_f64(), Some(x));
+        }
+        assert!(parse(&num(f64::NAN)).unwrap().is_null());
+        assert!(parse(&num(f64::INFINITY)).unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use crate::kernel::KernelProfile;
+use crate::obs::{Recorder, SpanKind};
 use crate::spec::{LinkKind, LinkSpec, Machine};
 
 /// Where data lives.
@@ -62,6 +63,33 @@ impl StreamId {
     pub fn default_for(target: Target) -> StreamId {
         StreamId { target, index: 0 }
     }
+
+    /// Human-readable track label, e.g. `gpu0.s1` or `cpu.s0`.
+    pub fn label(&self) -> String {
+        match self.target {
+            Target::Cpu { .. } => format!("cpu.s{}", self.index),
+            Target::Gpu { id } => format!("gpu{}.s{}", id, self.index),
+        }
+    }
+}
+
+/// A target's default stream — lets [`Sim::launch_on`] (and the stream-based
+/// APIs of higher layers) accept a bare [`Target`].
+impl From<Target> for StreamId {
+    fn from(target: Target) -> StreamId {
+        StreamId::default_for(target)
+    }
+}
+
+/// Where a target's local memory lives: GPUs own their device memory, CPU
+/// targets resolve to host DDR. Lets transfer APIs accept a [`Target`].
+impl From<Target> for Loc {
+    fn from(target: Target) -> Loc {
+        match target {
+            Target::Cpu { .. } => Loc::Host,
+            Target::Gpu { id } => Loc::Gpu(id),
+        }
+    }
 }
 
 /// Kind of host<->device transfer path (§4.11 compares these).
@@ -96,11 +124,35 @@ pub struct Sim {
     /// Current time of each stream, seconds.
     streams: HashMap<StreamId, f64>,
     counters: Counters,
+    /// Observability sink; [`Recorder::noop`] by default, so the hot paths
+    /// pay one branch when tracing is off.
+    recorder: Recorder,
 }
 
 impl Sim {
     pub fn new(machine: Machine) -> Sim {
-        Sim { machine, streams: HashMap::new(), counters: Counters::default() }
+        Sim {
+            machine,
+            streams: HashMap::new(),
+            counters: Counters::default(),
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attach an observability recorder (builder form).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Sim {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attach an observability recorder in place.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (a no-op handle unless one was set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     pub fn machine(&self) -> &Machine {
@@ -132,18 +184,28 @@ impl Sim {
     }
 
     /// Launch `k` on the default stream of `target`; returns elapsed seconds.
-    pub fn launch(&mut self, target: Target, k: &KernelProfile) -> f64 {
-        self.launch_on(StreamId::default_for(self.resolve_threads(target)), k)
+    pub fn launch(&mut self, target: impl Into<Target>, k: &KernelProfile) -> f64 {
+        self.launch_on(StreamId::default_for(self.resolve_threads(target.into())), k)
     }
 
-    /// Launch `k` on a specific stream; returns elapsed seconds.
-    pub fn launch_on(&mut self, stream: StreamId, k: &KernelProfile) -> f64 {
+    /// Launch `k` on a specific stream (or the default stream of a bare
+    /// [`Target`]); returns elapsed seconds.
+    pub fn launch_on(&mut self, stream: impl Into<StreamId>, k: &KernelProfile) -> f64 {
+        let stream = stream.into();
         let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
         let dt = self.cost(stream.target, k);
-        *self.streams.entry(stream).or_insert(0.0) += dt;
+        let slot = self.streams.entry(stream).or_insert(0.0);
+        let start = *slot;
+        *slot += dt;
         self.counters.kernels_launched += 1;
         self.counters.flops += k.flops;
         *self.counters.kernel_time.entry(k.name.clone()).or_insert(0.0) += dt;
+        if self.recorder.is_enabled() {
+            self.recorder.record_span(&k.name, SpanKind::Kernel, stream.label(), start, start + dt);
+            self.recorder.incr("launches", 1.0);
+            self.recorder.incr("flops", k.flops);
+            self.recorder.incr("kernel.bytes", k.bytes());
+        }
         dt
     }
 
@@ -197,12 +259,35 @@ impl Sim {
         if b != a {
             self.streams.insert(b, done);
         }
-        match (src, dst) {
-            (Loc::Host, Loc::Gpu(_)) => self.counters.bytes_h2d += bytes,
-            (Loc::Gpu(_), Loc::Host) => self.counters.bytes_d2h += bytes,
-            (Loc::Gpu(_), Loc::Gpu(_)) => self.counters.bytes_d2d += bytes,
-            (Loc::Nvme, _) | (_, Loc::Nvme) => self.counters.bytes_nvme += bytes,
-            _ => {}
+        let metric = match (src, dst) {
+            (Loc::Host, Loc::Gpu(_)) => {
+                self.counters.bytes_h2d += bytes;
+                "bytes_h2d"
+            }
+            (Loc::Gpu(_), Loc::Host) => {
+                self.counters.bytes_d2h += bytes;
+                "bytes_d2h"
+            }
+            (Loc::Gpu(_), Loc::Gpu(_)) => {
+                self.counters.bytes_d2d += bytes;
+                "bytes_d2d"
+            }
+            (Loc::Nvme, _) | (_, Loc::Nvme) => {
+                self.counters.bytes_nvme += bytes;
+                "bytes_nvme"
+            }
+            _ => "bytes_other",
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.record_span(
+                format!("xfer {src:?}->{dst:?} ({bytes:.0} B)"),
+                SpanKind::Transfer,
+                "dma",
+                start,
+                done,
+            );
+            self.recorder.incr("transfers", 1.0);
+            self.recorder.incr(metric, bytes);
         }
         dt
     }
@@ -335,6 +420,40 @@ mod tests {
         s.launch_on(gpu, &k);
         s.wait(cpu, gpu);
         assert!((s.stream_time(cpu) - s.stream_time(gpu)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recorder_sees_launches_and_transfers() {
+        use crate::obs::{Recorder, SpanKind};
+        let rec = Recorder::enabled();
+        let mut s = sim().with_recorder(rec.clone());
+        let k = KernelProfile::new("axpy").flops(2e9).bytes_read(1e9);
+        let dt = s.launch(Target::gpu(0), &k);
+        s.transfer(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::Memcpy);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "axpy");
+        assert_eq!(spans[0].kind, SpanKind::Kernel);
+        assert_eq!(spans[0].track, "gpu0.s0");
+        assert!((spans[0].end - spans[0].start - dt).abs() < 1e-15);
+        assert_eq!(spans[1].kind, SpanKind::Transfer);
+        assert_eq!(rec.counter("launches"), 1.0);
+        assert_eq!(rec.counter("flops"), 2e9);
+        assert_eq!(rec.counter("bytes_h2d"), 1e6);
+    }
+
+    #[test]
+    fn target_converts_to_stream_and_loc() {
+        let mut s = sim();
+        let k = KernelProfile::new("k").flops(1e9);
+        // `launch_on` accepts a bare Target via Into<StreamId>.
+        s.launch_on(Target::gpu(1), &k);
+        assert!(s.time(Target::gpu(1)) > 0.0);
+        assert_eq!(StreamId::from(Target::gpu(2)).index, 0);
+        assert_eq!(Loc::from(Target::gpu(3)), Loc::Gpu(3));
+        assert_eq!(Loc::from(Target::cpu(4)), Loc::Host);
+        assert_eq!(StreamId::default_for(Target::gpu(0)).label(), "gpu0.s0");
+        assert_eq!(StreamId { target: Target::cpu(8), index: 2 }.label(), "cpu.s2");
     }
 
     #[test]

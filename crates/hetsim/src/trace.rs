@@ -2,6 +2,11 @@
 //! §4.10.6 (hardware-counter access, Performance Co-Pilot): every launch
 //! and transfer can be recorded as a span and summarised per kernel or
 //! exported as a text timeline.
+//!
+//! **Superseded by [`crate::obs`]**: attach a [`crate::obs::Recorder`] to a
+//! [`Sim`] with [`Sim::set_recorder`] and every launch/transfer is recorded
+//! automatically, with hierarchical parents and a metrics registry on top.
+//! [`TracedSim`] is kept as a deprecated shim for one release.
 
 use serde::Serialize;
 
@@ -25,19 +30,18 @@ impl Span {
     }
 }
 
-fn stream_label(s: StreamId) -> String {
-    match s.target {
-        Target::Cpu { .. } => format!("cpu.s{}", s.index),
-        Target::Gpu { id } => format!("gpu{}.s{}", id, s.index),
-    }
-}
-
 /// A tracing wrapper over [`Sim`].
+#[deprecated(
+    since = "0.1.0",
+    note = "attach an `obs::Recorder` via `Sim::set_recorder` instead; it records the same \
+            spans plus hierarchy and metrics"
+)]
 pub struct TracedSim {
     pub sim: Sim,
     pub spans: Vec<Span>,
 }
 
+#[allow(deprecated)]
 impl TracedSim {
     pub fn new(sim: Sim) -> TracedSim {
         TracedSim { sim, spans: Vec::new() }
@@ -54,7 +58,7 @@ impl TracedSim {
         let dt = self.sim.launch_on(stream, k);
         self.spans.push(Span {
             name: k.name.clone(),
-            stream: stream_label(stream),
+            stream: stream.label(),
             start,
             end: start + dt,
         });
@@ -142,6 +146,7 @@ mod json {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::machines;

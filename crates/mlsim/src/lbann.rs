@@ -81,7 +81,7 @@ pub fn scaling_point(cfg: &LbannConfig, total_gpus: usize, gpus_per_sample: usiz
             latency_us: machine.network.latency_us,
         }
     };
-    let exchange_steps = (gpus_per_sample - 1).max(0) as f64;
+    let exchange_steps = (gpus_per_sample - 1) as f64;
     let t_halo = if gpus_per_sample > 1 {
         exchange_steps * link.transfer_time(cfg.halo_bytes / g)
     } else {

@@ -31,7 +31,7 @@ impl VideoDataset {
     /// is unreliable on a *different* subset of classes.
     pub fn generate(name: &'static str, n: usize, noise: f64, seed: u64) -> VideoDataset {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut streams = vec![Vec::with_capacity(n); 3];
+        let mut streams: Vec<Vec<Vec<f64>>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
         let mut labels = Vec::with_capacity(n);
         // Pseudo-random but deterministic class signatures, distinct per
         // (class, dim, stream).

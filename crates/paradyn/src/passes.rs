@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn dse_alone_never_changes_live_out() {
         let p = Program::paradyn_kernel(32);
-        let inputs: Vec<(usize, Vec<f64>)> =
+        let _inputs: Vec<(usize, Vec<f64>)> =
             (0..3).map(|a| (a, vec![a as f64 + 0.5; 32])).collect();
         let groups: Vec<usize> = (0..p.loops.len()).collect(); // unfused
         let elide = dead_store_elimination(&p, &groups);

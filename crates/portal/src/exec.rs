@@ -1,6 +1,7 @@
 //! Execution policies and the `forall` engine.
 
-use hetsim::{KernelProfile, LaunchClass, Sim, Target};
+use hetsim::obs::Recorder;
+use hetsim::{CostTerms, KernelProfile, LaunchClass, Sim, Target};
 
 /// Where a loop executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,57 +76,60 @@ impl Backend {
 
 /// Per-iteration cost description; multiplied by the trip count to build a
 /// [`KernelProfile`].
+///
+/// This is a thin wrapper over [`hetsim::CostTerms`] — the *same* builder
+/// core `KernelProfile` is made from — so the two cost APIs cannot drift.
+/// `PerItem` derefs to its terms, so field reads (`item.flops`) keep
+/// working.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PerItem {
-    pub flops: f64,
-    pub bytes_read: f64,
-    pub bytes_written: f64,
-    /// Bandwidth-efficiency knob (coalescing; see `KernelProfile`).
-    pub bandwidth_eff: f64,
-    /// Compute-efficiency knob (divergence).
-    pub compute_eff: f64,
+    pub terms: CostTerms,
+}
+
+impl std::ops::Deref for PerItem {
+    type Target = CostTerms;
+
+    fn deref(&self) -> &CostTerms {
+        &self.terms
+    }
+}
+
+impl From<CostTerms> for PerItem {
+    fn from(terms: CostTerms) -> PerItem {
+        PerItem { terms }
+    }
 }
 
 impl PerItem {
     pub fn new() -> PerItem {
-        PerItem { flops: 0.0, bytes_read: 0.0, bytes_written: 0.0, bandwidth_eff: 1.0, compute_eff: 1.0 }
+        PerItem { terms: CostTerms::new() }
     }
 
-    pub fn flops(mut self, f: f64) -> Self {
-        self.flops = f;
-        self
+    pub fn flops(self, f: f64) -> Self {
+        PerItem { terms: self.terms.flops(f) }
     }
 
-    pub fn bytes_read(mut self, b: f64) -> Self {
-        self.bytes_read = b;
-        self
+    pub fn bytes_read(self, b: f64) -> Self {
+        PerItem { terms: self.terms.bytes_read(b) }
     }
 
-    pub fn bytes_written(mut self, b: f64) -> Self {
-        self.bytes_written = b;
-        self
+    pub fn bytes_written(self, b: f64) -> Self {
+        PerItem { terms: self.terms.bytes_written(b) }
     }
 
-    pub fn bandwidth_eff(mut self, e: f64) -> Self {
-        self.bandwidth_eff = e;
-        self
+    pub fn bandwidth_eff(self, e: f64) -> Self {
+        PerItem { terms: self.terms.bandwidth_eff(e) }
     }
 
-    pub fn compute_eff(mut self, e: f64) -> Self {
-        self.compute_eff = e;
-        self
+    pub fn compute_eff(self, e: f64) -> Self {
+        PerItem { terms: self.terms.compute_eff(e) }
     }
 
-    /// Expand to a kernel profile for `n` iterations under `policy`.
+    /// Expand to a kernel profile for `n` iterations under `policy` — a
+    /// thin scaling wrapper over [`KernelProfile::from_terms`].
     pub fn profile(&self, name: &str, n: usize, policy: Policy) -> KernelProfile {
         let nf = n as f64;
-        let mut k = KernelProfile::new(name)
-            .flops(self.flops * nf)
-            .bytes_read(self.bytes_read * nf)
-            .bytes_written(self.bytes_written * nf)
-            .parallelism(nf)
-            .bandwidth_eff(self.bandwidth_eff)
-            .compute_eff(self.compute_eff);
+        let mut k = KernelProfile::from_terms(name, self.terms.scaled(nf)).parallelism(nf);
         match policy {
             Policy::Seq => k = k.launch_class(LaunchClass::HostSerial),
             Policy::Threads(_) => k = k.launch_class(LaunchClass::HostParallel),
@@ -135,6 +139,7 @@ impl PerItem {
         }
         k
     }
+
 }
 
 /// Runs loops for real while charging a [`Sim`].
@@ -156,6 +161,28 @@ impl Executor {
         &mut self.sim
     }
 
+    /// Attach an observability recorder to the underlying [`Sim`].
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.sim.set_recorder(recorder);
+    }
+
+    /// The underlying sim's recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        self.sim.recorder()
+    }
+
+    /// Cumulative activity counters of the underlying [`Sim`]
+    /// (the same `counters()` shape `Sim` and `Network` expose).
+    pub fn counters(&self) -> &hetsim::sim::Counters {
+        self.sim.counters()
+    }
+
+    /// Reset the underlying sim's clocks and counters, keeping the machine
+    /// and recorder.
+    pub fn reset(&mut self) {
+        self.sim.reset();
+    }
+
     /// Simulated seconds elapsed so far.
     pub fn elapsed(&self) -> f64 {
         self.sim.elapsed()
@@ -169,6 +196,12 @@ impl Executor {
         // `launch` advanced the stream by the unpenalised time; charge the
         // abstraction overhead on top.
         self.sim.advance(target, dt - base);
+        let rec = self.sim.recorder();
+        if rec.is_enabled() {
+            rec.incr("portal.launches", 1.0);
+            rec.incr("portal.items", n as f64);
+            rec.incr("portal.overhead_s", dt - base);
+        }
         dt
     }
 
@@ -351,6 +384,53 @@ mod tests {
             e.forall_reduce_sum(Policy::Threads(16), Backend::Native, &item, 100_000, |i| i as f64);
         let serial: f64 = (0..100_000).map(|i| i as f64).sum();
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn metrics_aggregate_across_forall_worker_threads() {
+        // The multi-threaded story: worker threads share the recorder's
+        // state through cheap clones, and the engine's own metrics land in
+        // the same registry.
+        let mut e = exec();
+        let rec = Recorder::enabled();
+        e.set_recorder(rec.clone());
+        let n = 10_000;
+        let rc = rec.clone();
+        e.forall(
+            Policy::Threads(8),
+            Backend::Native,
+            &PerItem::new().flops(1.0),
+            n,
+            move |_| rc.incr("app.items_seen", 1.0),
+        );
+        assert_eq!(rec.counter("app.items_seen"), n as f64);
+        assert_eq!(rec.counter("portal.launches"), 1.0);
+        assert_eq!(rec.counter("portal.items"), n as f64);
+        assert_eq!(rec.counter("launches"), 1.0, "sim-level launch counted once");
+        assert_eq!(rec.spans().len(), 1, "one kernel span for the whole forall");
+    }
+
+    #[test]
+    fn executor_reset_and_counters_mirror_sim() {
+        let mut e = exec();
+        e.forall(Policy::device(0), Backend::Native, &PerItem::new().flops(4.0), 5000, |_| {});
+        assert_eq!(e.counters().kernels_launched, 1);
+        assert!(e.elapsed() > 0.0);
+        e.reset();
+        assert_eq!(e.counters().kernels_launched, 0);
+        assert_eq!(e.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn per_item_is_a_thin_wrapper_over_cost_terms() {
+        let item = PerItem::from(CostTerms::new().flops(3.0).bytes_read(8.0));
+        // Deref keeps field reads working.
+        assert_eq!(item.flops, 3.0);
+        let k = item.profile("k", 100, Policy::device(0));
+        assert_eq!(k.flops, 300.0);
+        assert_eq!(k.bytes_read, 800.0);
+        assert_eq!(k.parallelism, 100.0);
+        assert_eq!(k.terms(), item.terms.scaled(100.0));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use hetsim::obs::Recorder;
 use parking_lot::Mutex;
 
 /// Memory space an allocation lives in.
@@ -55,6 +56,7 @@ pub struct PoolStats {
 pub struct Pool {
     space: Space,
     inner: Mutex<PoolInner>,
+    recorder: Recorder,
 }
 
 #[derive(Debug, Default)]
@@ -78,7 +80,19 @@ pub struct Block {
 
 impl Pool {
     pub fn new(space: Space) -> Pool {
-        Pool { space, inner: Mutex::new(PoolInner::default()) }
+        Pool { space, inner: Mutex::new(PoolInner::default()), recorder: Recorder::noop() }
+    }
+
+    /// Attach an observability recorder (builder form): allocation traffic
+    /// and the hit-rate gauge are published under `pool.*`.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Pool {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attach an observability recorder in place.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     pub fn space(&self) -> Space {
@@ -90,20 +104,32 @@ impl Pool {
         let class = size_class(bytes);
         let mut g = self.inner.lock();
         g.stats.allocs += 1;
-        let cost = match g.free.get_mut(&class) {
+        let (cost, hit) = match g.free.get_mut(&class) {
             Some(n) if *n > 0 => {
                 *n -= 1;
                 g.stats.pool_hits += 1;
-                self.space.pooled_alloc_cost()
+                (self.space.pooled_alloc_cost(), true)
             }
             _ => {
                 g.stats.raw_allocs += 1;
-                self.space.raw_alloc_cost()
+                (self.space.raw_alloc_cost(), false)
             }
         };
         g.stats.alloc_seconds += cost;
         g.stats.bytes_live += class;
         g.stats.bytes_high_water = g.stats.bytes_high_water.max(g.stats.bytes_live);
+        if self.recorder.is_enabled() {
+            self.recorder.incr("pool.allocs", 1.0);
+            if hit {
+                self.recorder.incr("pool.hits", 1.0);
+            } else {
+                self.recorder.incr("pool.raw_allocs", 1.0);
+            }
+            self.recorder.incr("pool.alloc_seconds", cost);
+            self.recorder
+                .gauge("pool.hit_rate", g.stats.pool_hits as f64 / g.stats.allocs as f64);
+            self.recorder.gauge("pool.bytes_live", g.stats.bytes_live as f64);
+        }
         (Block { class, space: self.space }, cost)
     }
 
@@ -175,6 +201,20 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.bytes_high_water, 2 << 20);
         assert_eq!(s.bytes_live, 0);
+    }
+
+    #[test]
+    fn recorder_publishes_traffic_and_hit_rate() {
+        let rec = Recorder::enabled();
+        let p = Pool::new(Space::Device).with_recorder(rec.clone());
+        let (a, _) = p.alloc(4096);
+        p.free(a);
+        p.alloc(4096);
+        assert_eq!(rec.counter("pool.allocs"), 2.0);
+        assert_eq!(rec.counter("pool.hits"), 1.0);
+        assert_eq!(rec.counter("pool.raw_allocs"), 1.0);
+        assert_eq!(rec.gauge_value("pool.hit_rate"), Some(0.5));
+        assert!(rec.counter("pool.alloc_seconds") > 0.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn draw_duration(rng: &mut SmallRng) -> f64 {
 }
 
 fn draw_gpus(rng: &mut SmallRng) -> usize {
-    *[1usize, 1, 1, 2, 4].get(rng.gen_range(0..5)).expect("non-empty")
+    *[1usize, 1, 1, 2, 4].get(rng.gen_range(0usize..5)).expect("non-empty")
 }
 
 /// Poisson arrivals at `rate` jobs/second for `n` jobs.

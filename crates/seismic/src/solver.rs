@@ -215,6 +215,20 @@ impl WaveSolver {
             self.step();
         }
     }
+
+    /// [`run`](Self::run), instrumented: the whole sweep is one `Phase`
+    /// span, per-step traffic lands in `sw4.*` counters, and the energy
+    /// proxy is published as a gauge (free with a no-op recorder).
+    pub fn run_traced(&mut self, rec: &hetsim::obs::Recorder, steps: usize) {
+        let span = rec.begin("sw4:leapfrog", hetsim::obs::SpanKind::Phase);
+        self.run(steps);
+        if rec.is_enabled() {
+            rec.incr("sw4.steps", steps as f64);
+            rec.incr("sw4.point_updates", steps as f64 * self.u.len() as f64);
+            rec.gauge("sw4.energy", self.energy());
+        }
+        rec.end(span);
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +346,19 @@ mod tests {
         assert!(shared_gain > 1.5 && shared_gain < 2.1, "{shared_gain}");
         let raja_penalty = t_portal / t_native;
         assert!(raja_penalty > 1.2 && raja_penalty < 1.4, "{raja_penalty}");
+    }
+
+    #[test]
+    fn traced_run_publishes_phase_span_and_counters() {
+        let rec = hetsim::obs::Recorder::enabled();
+        let mut s = solver_with_source();
+        s.run_traced(&rec, 10);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "sw4:leapfrog");
+        assert_eq!(spans[0].kind, hetsim::obs::SpanKind::Phase);
+        assert_eq!(rec.counter("sw4.steps"), 10.0);
+        assert!(rec.gauge_value("sw4.energy").is_some());
     }
 
     #[test]

@@ -2,9 +2,14 @@
 //! — the §4.10.6 tools story (finally being able to *see* where node time
 //! goes) applied to the §4.6 placement comparison.
 //!
+//! Uses the `hetsim::obs` layer: attach an enabled [`Recorder`] to a
+//! [`Sim`] and every launch/transfer becomes a span; the recorder renders
+//! the per-stream timeline and the kernel hot list.
+//!
 //! Run with: `cargo run --release -p icoe --example timeline_trace`
 
-use icoe::hetsim::{machines, KernelProfile, Loc, Sim, Target, TracedSim, TransferKind};
+use icoe::hetsim::obs::Recorder;
+use icoe::hetsim::{machines, KernelProfile, Loc, Sim, Target, TransferKind};
 
 fn main() {
     let n = 100_000.0; // beads
@@ -24,20 +29,22 @@ fn main() {
     let state_bytes = 6.0 * 8.0 * n;
 
     println!("=== ddcMD strategy: every kernel on the GPU, no transfers ===\n");
-    let mut ddc = TracedSim::new(Sim::new(machines::sierra_node()));
+    let ddc_rec = Recorder::enabled();
+    let mut ddc = Sim::new(machines::sierra_node()).with_recorder(ddc_rec.clone());
     for _ in 0..2 {
         ddc.launch(Target::gpu(0), &nb);
         ddc.launch(Target::gpu(0), &bonded);
         ddc.launch(Target::gpu(0), &integ);
     }
-    print!("{}", ddc.render_timeline(70));
+    print!("{}", ddc_rec.render_timeline(70));
     println!("\nhot list:");
-    for (name, t) in ddc.hot_list() {
+    for (name, t) in ddc_rec.hot_list() {
         println!("  {name:<12} {:>8.1} us", t * 1e6);
     }
 
     println!("\n=== GROMACS-like split: bonded+integrate on CPU, DMA every step ===\n");
-    let mut gmx = TracedSim::new(Sim::new(machines::sierra_node()));
+    let gmx_rec = Recorder::enabled();
+    let mut gmx = Sim::new(machines::sierra_node()).with_recorder(gmx_rec.clone());
     for _ in 0..2 {
         gmx.launch(Target::gpu(0), &nb);
         gmx.transfer(Loc::Gpu(0), Loc::Host, state_bytes / 2.0, TransferKind::Memcpy);
@@ -45,10 +52,16 @@ fn main() {
         gmx.launch(Target::cpu(44), &integ);
         gmx.transfer(Loc::Host, Loc::Gpu(0), state_bytes / 2.0, TransferKind::Memcpy);
     }
-    print!("{}", gmx.render_timeline(70));
+    print!("{}", gmx_rec.render_timeline(70));
     println!(
-        "\ntotals: ddcMD {:.1} us vs split {:.1} us  (the 4.6 placement story)",
-        ddc.sim.elapsed() * 1e6,
-        gmx.sim.elapsed() * 1e6
+        "\nmetrics: ddcMD launches {:.0}, flops {:.2e}; split moved {:.0} KiB over DMA",
+        ddc_rec.counter("launches"),
+        ddc_rec.counter("flops"),
+        (gmx_rec.counter("bytes_h2d") + gmx_rec.counter("bytes_d2h")) / 1024.0
+    );
+    println!(
+        "totals: ddcMD {:.1} us vs split {:.1} us  (the 4.6 placement story)",
+        ddc.elapsed() * 1e6,
+        gmx.elapsed() * 1e6
     );
 }

@@ -1,0 +1,30 @@
+# Development tasks. Run `just` for the default check pipeline.
+# The workspace builds fully offline: external deps are vendored shims.
+
+default: ci
+
+# Everything CI runs, in order.
+ci: build test clippy
+
+build:
+    cargo build --workspace --release --offline
+
+test:
+    cargo test --workspace --offline -q
+
+# Pervasive seed-style lints are allowed wholesale; everything else is denied.
+clippy:
+    cargo clippy --workspace --all-targets --offline -- -D warnings \
+        -A clippy::needless_range_loop \
+        -A clippy::too_many_arguments \
+        -A clippy::should_implement_trait
+
+fmt:
+    cargo fmt --all --check
+
+# Regenerate every paper artifact, writing BENCH_<id>.json files to out/.
+experiments:
+    ICOE_BENCH_DIR=out cargo run --release --offline -p bench --bin experiments -- all
+
+bench:
+    cargo bench --workspace --offline

@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides enough of the criterion 0.5 API for this workspace's benches
+//! to compile and produce useful numbers without crates.io access:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a warm-up phase sizes the batch so one
+//! sample lasts roughly `measurement_time / sample_size`, then
+//! `sample_size` samples are timed and min / median / mean are reported.
+//! No plots, no statistics beyond that — this is a smoke-and-regression
+//! harness, not a statistics engine.
+//!
+//! Passing `--quick` (or setting `ICOE_BENCH_QUICK=1`) caps every
+//! benchmark at one short sample, which keeps `cargo bench` usable as a
+//! compile-and-run smoke test in CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should amortise setup cost. The shim treats all
+/// variants identically (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+            || std::env::var_os("ICOE_BENCH_QUICK").is_some();
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark and print a `name  time/iter` line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, warm_up, measurement) = if self.quick {
+            (2, Duration::from_millis(5), Duration::from_millis(10))
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+        let mut b = Bencher {
+            mode: Mode::Calibrate { deadline: Instant::now() + warm_up, iters_done: 0 },
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up / calibration pass.
+        f(&mut b);
+        let per_iter = match b.mode {
+            Mode::Calibrate { iters_done, .. } if iters_done > 0 => {
+                warm_up.as_secs_f64() / iters_done as f64
+            }
+            _ => 1e-6,
+        };
+        let per_sample = measurement.as_secs_f64() / sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        b.mode = Mode::Measure { samples_left: sample_size };
+        b.iters_per_sample = iters;
+        b.samples.clear();
+        f(&mut b);
+        report(name, iters, &mut b.samples);
+        self
+    }
+
+    /// Compatibility no-op (upstream finalises plots here).
+    pub fn final_summary(&mut self) {}
+}
+
+enum Mode {
+    /// Run as many iterations as fit before `deadline`.
+    Calibrate { deadline: Instant, iters_done: u64 },
+    /// Take `samples_left` timed samples of `iters_per_sample` iterations.
+    Measure { samples_left: usize },
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    /// Seconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Calibrate { deadline, ref mut iters_done } => loop {
+                black_box(routine());
+                *iters_done += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+            Mode::Measure { samples_left } => {
+                for _ in 0..samples_left {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    let dt = start.elapsed().as_secs_f64();
+                    self.samples.push(dt / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Calibrate { deadline, ref mut iters_done } => loop {
+                let input = setup();
+                black_box(routine(input));
+                *iters_done += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            },
+            Mode::Measure { samples_left } => {
+                for _ in 0..samples_left {
+                    let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    let dt = start.elapsed().as_secs_f64();
+                    self.samples.push(dt / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Like `iter_batched` but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size)
+    }
+}
+
+fn report(name: &str, iters: u64, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} <no samples>");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<40} min {:>10}  median {:>10}  mean {:>10}  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len(),
+        iters
+    );
+}
+
+fn fmt_ns(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.quick = true;
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn batched_runs_setup_per_input() {
+        let mut c = Criterion { quick: true, ..Criterion::default() };
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert!(fmt_ns(5e-9).contains("ns"));
+        assert!(fmt_ns(5e-6).contains("us"));
+        assert!(fmt_ns(5e-3).contains("ms"));
+        assert!(fmt_ns(5.0).contains(" s"));
+    }
+}

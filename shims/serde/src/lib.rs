@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! (all JSON emitted in this repository is hand-rolled — see
+//! `hetsim::obs::json`), so this shim provides the two marker traits and
+//! re-exports no-op derive macros. Nothing in-tree calls serialization
+//! methods; if a future change needs real serialization, extend
+//! `hetsim::obs::json` instead of this crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type opted into serialization via derive.
+pub trait Serialize {}
+
+/// Marker: the type opted into deserialization via derive.
+pub trait Deserialize<'de> {}
+
+// Blanket impls keep any `T: Serialize` style bound satisfiable.
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// `serde::de` stub namespace (kept so `use serde::de::...` paths can be
+/// introduced later without touching this shim's layout).
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+/// `serde::ser` stub namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing; the marker-trait
+//! blanket impls live in the `serde` shim crate. `#[serde(...)]` helper
+//! attributes are accepted (and ignored) so annotated types keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

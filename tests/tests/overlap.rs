@@ -45,7 +45,7 @@ fn overlap_hides_the_halo_exchange() {
 
 #[test]
 fn overlap_gain_is_bounded_by_the_shorter_phase() {
-    let mut sim = Sim::new(machines::sierra_node());
+    let sim = Sim::new(machines::sierra_node());
     let t_k = sim.cost(Target::gpu(0), &interior_kernel());
     let t_x = sim.transfer_cost(Loc::Host, Loc::Gpu(0), HALO_BYTES, TransferKind::Memcpy);
     let seq = sequential();
