@@ -12,6 +12,7 @@ pub mod exps_apps;
 pub mod exps_compute;
 pub mod exps_core;
 pub mod exps_opt;
+pub mod exps_pipeline;
 
 use hetsim::obs::Recorder;
 use icoe::{FnExperiment, Registry, Report};
@@ -21,7 +22,7 @@ pub use icoe::report::{fmt_time, Table};
 /// Every experiment id, in paper order (mirrors [`registry()`]).
 pub const ALL: &[&str] = &[
     "table1", "fig2", "table2", "fig3", "table3", "fig6", "fig8", "table4", "table5", "cretin",
-    "md", "sw4", "vbl", "cardioid", "opt", "kavg", "lessons", "machines",
+    "md", "sw4", "vbl", "cardioid", "opt", "kavg", "pipeline-overlap", "lessons", "machines",
 ];
 
 /// Build the full experiment registry, in paper order.
@@ -54,6 +55,7 @@ pub fn registry() -> Registry {
         ("cardioid", "§4.1 (Cardioid DSL + placement)", exps_apps::cardioid_experiment),
         ("opt", "§4.7 (scheduler + texture + SIMP)", exps_opt::opt),
         ("kavg", "§4.5 (KAVG time-to-quality)", exps_opt::kavg),
+        ("pipeline-overlap", "§4 (streams: serial vs pipelined crossover)", exps_pipeline::pipeline_overlap),
         ("lessons", "§1–5 (lessons learned, validated)", exps_opt::lessons),
         ("machines", "§2.1 (hardware inventory)", exps_core::machines_table),
     );

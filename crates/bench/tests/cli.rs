@@ -9,8 +9,8 @@ fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_experiments"))
 }
 
-/// Cheap ids that exercise three different exps modules.
-const JSON_IDS: &[&str] = &["table1", "machines", "fig8"];
+/// Cheap ids that exercise four different exps modules.
+const JSON_IDS: &[&str] = &["table1", "machines", "fig8", "pipeline-overlap"];
 
 #[test]
 fn json_flag_emits_a_parsable_experiment_document() {
@@ -53,6 +53,19 @@ fn fig8_bench_dir_writes_a_valid_summary() {
         "GPU should beat one P8 thread"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipeline_overlap_timeline_shows_copy_engine_tracks() {
+    let out = bin()
+        .args(["pipeline-overlap", "--timeline"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "pipeline-overlap exited nonzero: {out:?}");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    for track in ["gpu0.h2d", "gpu0.d2h", "gpu0.s0"] {
+        assert!(stderr.contains(track), "timeline missing track {track}:\n{stderr}");
+    }
 }
 
 #[test]

@@ -16,8 +16,10 @@
 //!   per-launch overhead ([`kernel`]),
 //! * host ↔ device transfers over PCIe / NVLink, including the
 //!   GPUDirect-vs-staged-copy crossover of §4.11 ([`sim`], [`spec::LinkSpec`]),
-//! * CUDA-style streams and events so communication/computation overlap can
-//!   be expressed ([`sim::Sim`]),
+//! * CUDA-style streams, per-direction copy engines, and events
+//!   ([`sim::Sim::transfer_async`], [`sim::Engine`], [`sim::Event`]) so
+//!   communication/computation overlap can be expressed and *measured*
+//!   ([`sim::Sim`]),
 //! * unified-memory page migration ([`unified`]),
 //! * multi-node interconnects and the collectives (allreduce, alltoall,
 //!   gather) behind the Spark/LDA, LBANN, and Graph500 results ([`network`]),
@@ -51,7 +53,7 @@ pub mod unified;
 pub use kernel::{CostTerms, KernelProfile, LaunchClass, Precision};
 pub use network::{CollectiveKind, NetCounters, Network};
 pub use obs::{Recorder, SpanKind, SpanRecord};
-pub use sim::{Loc, Sim, StreamId, Target, TransferKind};
+pub use sim::{Engine, Event, Loc, Sim, StreamId, Target, TransferKind};
 pub use spec::{CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NodeConfig};
 pub use trace::Span;
 #[allow(deprecated)]

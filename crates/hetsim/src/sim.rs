@@ -1,12 +1,25 @@
-//! The simulation engine: virtual clocks per execution stream, transfers,
-//! and counters.
+//! The simulation engine: virtual clocks per execution stream and per
+//! copy engine, transfers, events, and counters.
 //!
 //! [`Sim`] owns one [`Machine`] (usually a single node — multi-node effects
-//! go through [`crate::network`]) and a set of streams. Launching a kernel
-//! advances the stream it runs on; transfers advance both endpoints'
-//! streams; `sync` joins streams the way `cudaDeviceSynchronize` does. The
-//! result is a deterministic, replayable timeline from which every paper
-//! figure can be regenerated.
+//! go through [`crate::network`]) plus two families of clocks:
+//!
+//! * **execution streams** ([`StreamId`]) — CUDA-stream analogues that
+//!   kernels advance;
+//! * **copy engines** ([`Engine`]) — the per-direction DMA engines
+//!   (`gpu0.h2d`, `gpu0.d2h`, `host.dma`) that transfers occupy. Copies
+//!   sharing one engine serialise at full link bandwidth, which is exactly
+//!   how hardware DMA contention behaves to first order.
+//!
+//! Launching a kernel advances the stream it runs on; a synchronous
+//! [`Sim::transfer`] joins both endpoints' default streams (the blocking
+//! `cudaMemcpy` shape); an asynchronous [`Sim::transfer_async`] only
+//! occupies its issuing stream and the copy engine, returning an [`Event`]
+//! so dependency chains are explicit (`cudaMemcpyAsync` + events). `sync`
+//! joins every stream *and* engine the way `cudaDeviceSynchronize` does.
+//! The result is a deterministic, replayable timeline from which every
+//! paper figure — including the §4 compute/transfer-overlap lessons — can
+//! be regenerated.
 
 use std::collections::HashMap;
 
@@ -92,6 +105,65 @@ impl From<Target> for Loc {
     }
 }
 
+/// One DMA engine: the hardware track a copy occupies. V100-class GPUs
+/// expose one copy engine per direction, so H2D and D2H proceed
+/// concurrently with each other and with compute, while two copies in the
+/// *same* direction serialise — the first-order contention model behind
+/// every §4 overlap lesson.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Host-to-device engine of GPU `i` (also serves Nvme/Nic -> GPU).
+    H2d(usize),
+    /// Device-to-host engine of GPU `i` (also serves peer and local device
+    /// copies, and GPU -> Nvme/Nic).
+    D2h(usize),
+    /// Host-side DMA for routes not touching a GPU (host<->host,
+    /// host<->NVMe, host<->NIC).
+    HostDma,
+}
+
+impl Engine {
+    /// Which engine a `src -> dst` copy occupies.
+    pub fn for_route(src: Loc, dst: Loc) -> Engine {
+        match (src, dst) {
+            // The source device's engine pushes peer, local, and outbound
+            // copies; anything landing on a GPU from elsewhere rides the
+            // destination's H2D engine.
+            (Loc::Gpu(i), _) => Engine::D2h(i),
+            (_, Loc::Gpu(i)) => Engine::H2d(i),
+            _ => Engine::HostDma,
+        }
+    }
+
+    /// Timeline track label, e.g. `gpu0.h2d`, `gpu1.d2h`, `host.dma`.
+    pub fn label(&self) -> String {
+        match self {
+            Engine::H2d(i) => format!("gpu{i}.h2d"),
+            Engine::D2h(i) => format!("gpu{i}.d2h"),
+            Engine::HostDma => "host.dma".to_string(),
+        }
+    }
+}
+
+/// A completion handle on the simulated clock (CUDA-event analogue).
+///
+/// Returned by [`Sim::transfer_async`] and [`Sim::record`]; consumed by
+/// [`Sim::wait_event`]. Events are plain timestamps, so they stay valid
+/// across clones of the [`Sim`] and compose with ordinary comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Event {
+    /// Simulated second at which the recorded work completes.
+    pub time: f64,
+}
+
+impl Event {
+    /// An event that is already complete at `time` (mainly for tests and
+    /// for seeding dependency chains).
+    pub fn at(time: f64) -> Event {
+        Event { time }
+    }
+}
+
 /// Kind of host<->device transfer path (§4.11 compares these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferKind {
@@ -123,6 +195,9 @@ pub struct Sim {
     machine: Machine,
     /// Current time of each stream, seconds.
     streams: HashMap<StreamId, f64>,
+    /// Busy-until time of each copy engine, seconds. Copies sharing an
+    /// engine queue FIFO behind this clock.
+    engines: HashMap<Engine, f64>,
     counters: Counters,
     /// Observability sink; [`Recorder::noop`] by default, so the hot paths
     /// pay one branch when tracing is off.
@@ -134,6 +209,7 @@ impl Sim {
         Sim {
             machine,
             streams: HashMap::new(),
+            engines: HashMap::new(),
             counters: Counters::default(),
             recorder: Recorder::noop(),
         }
@@ -209,28 +285,79 @@ impl Sim {
         dt
     }
 
-    fn link_for(&self, src: Loc, dst: Loc, kind: TransferKind) -> LinkSpec {
-        match (src, dst, kind) {
-            // GPUDirect skips host staging, so its small-message latency
-            // is low — but the RDMA read path of the era sustained far
-            // less bandwidth than the pipelined staged copy (§4.11's
-            // measured crossover).
-            (_, _, TransferKind::GpuDirect) => LinkSpec {
-                kind: LinkKind::GpuDirect,
-                bw_gbs: 0.2 * self.machine.network.injection_bw_gbs,
-                latency_us: 2.0,
+    /// The "link" a same-location copy uses: the local memory system. A
+    /// copy reads *and* writes the same memory, so the achievable copy
+    /// bandwidth is half the stream bandwidth (the classic
+    /// `cudaMemcpyDeviceToDevice` figure); latency is one call / launch.
+    fn local_link(&self, loc: Loc) -> LinkSpec {
+        match loc {
+            Loc::Host => LinkSpec {
+                kind: LinkKind::Local,
+                bw_gbs: 0.5 * self.machine.node.cpu.mem_bw_gbs,
+                latency_us: 0.5,
             },
-            (Loc::Gpu(_), Loc::Gpu(_), _) => self
+            Loc::Gpu(i) => {
+                let gpu = &self.machine.node.gpus[i];
+                LinkSpec {
+                    kind: LinkKind::Local,
+                    bw_gbs: 0.5 * gpu.mem_bw_gbs,
+                    latency_us: gpu.launch_overhead_us,
+                }
+            }
+            Loc::Nvme => {
+                let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
+                LinkSpec { kind: LinkKind::Local, bw_gbs: 0.5 * bw, latency_us: 80.0 }
+            }
+            // A NIC has no memory of its own worth modelling; treat a
+            // NIC-local move as a fabric bounce.
+            Loc::Nic => LinkSpec {
+                kind: LinkKind::Fabric,
+                bw_gbs: self.machine.network.injection_bw_gbs,
+                latency_us: self.machine.network.latency_us,
+            },
+        }
+    }
+
+    fn link_for(&self, src: Loc, dst: Loc, kind: TransferKind) -> LinkSpec {
+        if kind == TransferKind::GpuDirect {
+            // GPUDirect is an RDMA path between a NIC and device memory;
+            // Host->Host GpuDirect (and friends) is a modelling bug.
+            let gpu_nic = matches!((src, dst), (Loc::Gpu(_), Loc::Nic) | (Loc::Nic, Loc::Gpu(_)));
+            debug_assert!(
+                gpu_nic,
+                "GpuDirect only routes Gpu<->Nic pairs, got {src:?} -> {dst:?}"
+            );
+            if gpu_nic {
+                // GPUDirect skips host staging, so its small-message
+                // latency is low — but the RDMA read path of the era
+                // sustained far less bandwidth than the pipelined staged
+                // copy (§4.11's measured crossover).
+                return LinkSpec {
+                    kind: LinkKind::GpuDirect,
+                    bw_gbs: 0.2 * self.machine.network.injection_bw_gbs,
+                    latency_us: 2.0,
+                };
+            }
+            // Release builds: fall through to the staged route.
+        }
+        // Same-location "transfers" (Host->Host, Gpu(i)->Gpu(i)) never
+        // touch an interconnect: cost them at local memory bandwidth
+        // rather than the host<->GPU fallthrough link.
+        if src == dst {
+            return self.local_link(src);
+        }
+        match (src, dst) {
+            (Loc::Gpu(_), Loc::Gpu(_)) => self
                 .machine
                 .node
                 .peer_link
                 .clone()
                 .unwrap_or_else(|| self.machine.host_gpu_link()),
-            (Loc::Nvme, _, _) | (_, Loc::Nvme, _) => {
+            (Loc::Nvme, _) | (_, Loc::Nvme) => {
                 let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
                 LinkSpec { kind: LinkKind::Pcie3, bw_gbs: bw, latency_us: 80.0 }
             }
-            (Loc::Nic, _, _) | (_, Loc::Nic, _) => LinkSpec {
+            (Loc::Nic, _) | (_, Loc::Nic) => LinkSpec {
                 kind: LinkKind::Fabric,
                 bw_gbs: self.machine.network.injection_bw_gbs,
                 latency_us: self.machine.network.latency_us,
@@ -248,17 +375,72 @@ impl Sim {
         }
     }
 
-    /// Move `bytes`, advancing the default streams of both endpoints to a
-    /// common completion time. Returns elapsed seconds.
+    /// Move `bytes`, advancing the default streams of both endpoints (and
+    /// the copy engine on the route) to a common completion time — the
+    /// blocking `cudaMemcpy` shape. Returns elapsed seconds.
     pub fn transfer(&mut self, src: Loc, dst: Loc, bytes: f64, kind: TransferKind) -> f64 {
         let dt = self.transfer_cost(src, dst, bytes, kind);
+        let engine = Engine::for_route(src, dst);
         let (a, b) = (self.loc_stream(src), self.loc_stream(dst));
-        let start = self.stream_time(a).max(self.stream_time(b));
+        let start = self
+            .stream_time(a)
+            .max(self.stream_time(b))
+            .max(self.engine_time(engine));
         let done = start + dt;
         self.streams.insert(a, done);
         if b != a {
             self.streams.insert(b, done);
         }
+        self.engines.insert(engine, done);
+        self.account_transfer(src, dst, bytes, engine, start, done);
+        dt
+    }
+
+    /// Queue a copy of `bytes` on `stream` without stalling any other
+    /// stream — the `cudaMemcpyAsync` shape behind every §4 overlap lesson.
+    ///
+    /// Semantics (all on the simulated clock):
+    ///
+    /// * the copy starts once both the issuing `stream` has reached it
+    ///   (stream order) *and* the copy engine on the route is free —
+    ///   copies sharing one engine/link serialise at full bandwidth;
+    /// * the engine and the issuing stream advance to the completion time
+    ///   (later work queued on `stream` waits, exactly like CUDA stream
+    ///   ordering), but the *other* endpoint's streams are untouched;
+    /// * the returned [`Event`] marks completion; make dependents call
+    ///   [`Sim::wait_event`] on it.
+    pub fn transfer_async(
+        &mut self,
+        src: Loc,
+        dst: Loc,
+        bytes: f64,
+        kind: TransferKind,
+        stream: impl Into<StreamId>,
+    ) -> Event {
+        let stream = stream.into();
+        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        let dt = self.transfer_cost(src, dst, bytes, kind);
+        let engine = Engine::for_route(src, dst);
+        let start = self.stream_time(stream).max(self.engine_time(engine));
+        let done = start + dt;
+        self.streams.insert(stream, done);
+        self.engines.insert(engine, done);
+        self.account_transfer(src, dst, bytes, engine, start, done);
+        Event { time: done }
+    }
+
+    /// Shared counter + span bookkeeping for both transfer shapes. Spans
+    /// land on the engine's track (`gpu0.h2d`, `gpu0.d2h`, `host.dma`), so
+    /// `--timeline` shows copies overlapping kernels on distinct rows.
+    fn account_transfer(
+        &mut self,
+        src: Loc,
+        dst: Loc,
+        bytes: f64,
+        engine: Engine,
+        start: f64,
+        done: f64,
+    ) {
         let metric = match (src, dst) {
             (Loc::Host, Loc::Gpu(_)) => {
                 self.counters.bytes_h2d += bytes;
@@ -282,14 +464,13 @@ impl Sim {
             self.recorder.record_span(
                 format!("xfer {src:?}->{dst:?} ({bytes:.0} B)"),
                 SpanKind::Transfer,
-                "dma",
+                engine.label(),
                 start,
                 done,
             );
             self.recorder.incr("transfers", 1.0);
             self.recorder.incr(metric, bytes);
         }
-        dt
     }
 
     fn loc_stream(&self, loc: Loc) -> StreamId {
@@ -306,42 +487,81 @@ impl Sim {
         self.streams.get(&s).copied().unwrap_or(0.0)
     }
 
+    /// Busy-until time of one copy engine.
+    pub fn engine_time(&self, e: Engine) -> f64 {
+        self.engines.get(&e).copied().unwrap_or(0.0)
+    }
+
     /// Current time of the default stream of `target`.
     pub fn time(&self, target: Target) -> f64 {
         self.stream_time(StreamId::default_for(self.resolve_threads(target)))
     }
 
-    /// Wall clock: the max over all streams.
+    /// Wall clock: the max over all streams and copy engines.
     pub fn elapsed(&self) -> f64 {
-        self.streams.values().copied().fold(0.0, f64::max)
+        self.streams
+            .values()
+            .chain(self.engines.values())
+            .copied()
+            .fold(0.0, f64::max)
     }
 
-    /// Join all streams at the current wall clock (device-synchronize).
+    /// Join all streams *and* copy-engine tracks at the current wall clock
+    /// (device-synchronize: in-flight async copies complete too).
     pub fn sync_all(&mut self) -> f64 {
         let t = self.elapsed();
         for v in self.streams.values_mut() {
+            *v = t;
+        }
+        for v in self.engines.values_mut() {
             *v = t;
         }
         t
     }
 
     /// Make `waiter` wait until `event` stream's current time (CUDA event
-    /// wait).
+    /// wait on another stream's head).
     pub fn wait(&mut self, waiter: StreamId, event: StreamId) {
         let t = self.stream_time(event).max(self.stream_time(waiter));
+        self.streams.insert(waiter, t);
+    }
+
+    /// Record an [`Event`] at `stream`'s current head (CUDA
+    /// `cudaEventRecord`): it completes when everything queued on `stream`
+    /// so far has.
+    pub fn record(&self, stream: impl Into<StreamId>) -> Event {
+        let stream = stream.into();
+        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        Event { time: self.stream_time(stream) }
+    }
+
+    /// Make `waiter` wait until `event` completes (CUDA
+    /// `cudaStreamWaitEvent`): its clock advances to the event time if it
+    /// is behind, and is untouched otherwise.
+    pub fn wait_event(&mut self, waiter: impl Into<StreamId>, event: Event) {
+        let waiter = waiter.into();
+        let waiter = StreamId { target: self.resolve_threads(waiter.target), ..waiter };
+        let t = self.stream_time(waiter).max(event.time);
         self.streams.insert(waiter, t);
     }
 
     /// Advance the default stream of `target` by `dt` seconds (used by
     /// higher layers to charge abstraction overheads).
     pub fn advance(&mut self, target: Target, dt: f64) {
-        let s = StreamId::default_for(self.resolve_threads(target));
-        *self.streams.entry(s).or_insert(0.0) += dt;
+        self.advance_stream(StreamId::default_for(target), dt);
+    }
+
+    /// Advance one specific stream by `dt` seconds.
+    pub fn advance_stream(&mut self, stream: impl Into<StreamId>, dt: f64) {
+        let stream = stream.into();
+        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        *self.streams.entry(stream).or_insert(0.0) += dt;
     }
 
     /// Reset all clocks and counters, keeping the machine.
     pub fn reset(&mut self) {
         self.streams.clear();
+        self.engines.clear();
         self.counters = Counters::default();
     }
 }
@@ -460,8 +680,195 @@ mod tests {
     fn reset_clears_state() {
         let mut s = sim();
         s.launch(Target::gpu(0), &KernelProfile::new("k").flops(1e9));
+        s.transfer_async(
+            Loc::Host,
+            Loc::Gpu(0),
+            1e6,
+            TransferKind::Memcpy,
+            Target::cpu_all(),
+        );
         s.reset();
         assert_eq!(s.elapsed(), 0.0);
+        assert_eq!(s.engine_time(Engine::H2d(0)), 0.0);
         assert_eq!(s.counters().kernels_launched, 0);
+    }
+
+    // ------------------------------------------------- copy-engine model
+
+    #[test]
+    fn async_transfer_does_not_stall_other_streams() {
+        let mut s = sim();
+        let copy_q = StreamId { target: Target::cpu_all(), index: 1 };
+        let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), 1e9, TransferKind::Memcpy, copy_q);
+        assert!(ev.time > 0.0);
+        // Neither default stream moved; only the issuing queue + engine.
+        assert_eq!(s.time(Target::gpu(0)), 0.0);
+        assert_eq!(s.time(Target::cpu_all()), 0.0);
+        assert_eq!(s.stream_time(StreamId { target: Target::cpu(44), index: 1 }), ev.time);
+        assert_eq!(s.engine_time(Engine::H2d(0)), ev.time);
+        assert_eq!(s.counters().bytes_h2d, 1e9);
+    }
+
+    #[test]
+    fn async_copy_overlaps_compute_on_the_default_stream() {
+        let bytes = 64.0 * 1024.0 * 1024.0;
+        let k = KernelProfile::new("k").flops(1e10).parallelism(1e7);
+        // Serial: copy joins both default streams, then the kernel runs.
+        let mut serial = sim();
+        serial.transfer(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        serial.launch(Target::gpu(0), &k);
+        // Overlapped: the copy rides the H2D engine while the kernel runs.
+        let mut ovl = sim();
+        let copy_q = StreamId { target: Target::gpu(0), index: 1 };
+        let ev = ovl.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, copy_q);
+        ovl.launch(Target::gpu(0), &k);
+        ovl.wait_event(StreamId::default_for(Target::gpu(0)), ev);
+        assert!(
+            ovl.elapsed() < serial.elapsed(),
+            "overlap {} >= serial {}",
+            ovl.elapsed(),
+            serial.elapsed()
+        );
+        // The gain is bounded by the shorter phase.
+        let t_x = ovl.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        let t_k = ovl.cost(Target::gpu(0), &k);
+        assert!(serial.elapsed() - ovl.elapsed() <= t_x.min(t_k) + 1e-12);
+    }
+
+    #[test]
+    fn same_direction_copies_serialize_on_one_engine() {
+        let mut s = sim();
+        let bytes = 1e8;
+        let q1 = StreamId { target: Target::gpu(0), index: 1 };
+        let q2 = StreamId { target: Target::gpu(0), index: 2 };
+        let dt = s.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        let e1 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q1);
+        let e2 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q2);
+        // Distinct issuing streams, same engine: FIFO at full bandwidth.
+        assert!((e1.time - dt).abs() < 1e-12);
+        assert!((e2.time - 2.0 * dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_directions_ride_separate_engines() {
+        let mut s = sim();
+        let bytes = 1e8;
+        let up = StreamId { target: Target::gpu(0), index: 1 };
+        let down = StreamId { target: Target::gpu(0), index: 2 };
+        let e1 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, up);
+        let e2 = s.transfer_async(Loc::Gpu(0), Loc::Host, bytes, TransferKind::Memcpy, down);
+        // Full-duplex NVLink: both complete in one copy time.
+        assert!((e1.time - e2.time).abs() < 1e-12);
+        assert_eq!(s.counters().bytes_h2d, bytes);
+        assert_eq!(s.counters().bytes_d2h, bytes);
+    }
+
+    #[test]
+    fn sync_transfers_contend_with_async_copies_for_the_engine() {
+        let mut s = sim();
+        let bytes = 1e9;
+        let q = StreamId { target: Target::gpu(0), index: 1 };
+        let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q);
+        // A blocking memcpy on the same engine queues behind the async one.
+        let dt = s.transfer(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        assert!((s.time(Target::gpu(0)) - (ev.time + dt)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_and_wait_event_order_streams() {
+        let mut s = sim();
+        let k = KernelProfile::new("k").flops(1e10);
+        let compute = StreamId { target: Target::gpu(0), index: 1 };
+        s.launch_on(compute, &k);
+        let ev = s.record(compute);
+        assert_eq!(ev.time, s.stream_time(compute));
+        let other = StreamId { target: Target::gpu(0), index: 2 };
+        s.wait_event(other, ev);
+        assert_eq!(s.stream_time(other), ev.time);
+        // Waiting on an already-past event is a no-op.
+        s.wait_event(other, Event::at(0.0));
+        assert_eq!(s.stream_time(other), ev.time);
+    }
+
+    #[test]
+    fn sync_all_joins_copy_engines_too() {
+        let mut s = sim();
+        let q = StreamId { target: Target::gpu(0), index: 1 };
+        let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), 2e9, TransferKind::Memcpy, q);
+        let t = s.sync_all();
+        assert!((t - ev.time).abs() < 1e-15);
+        assert_eq!(s.engine_time(Engine::H2d(0)), t);
+        assert_eq!(s.stream_time(q), t, "sync joins the issuing queue too");
+    }
+
+    #[test]
+    fn engine_labels_and_routes() {
+        assert_eq!(Engine::for_route(Loc::Host, Loc::Gpu(2)), Engine::H2d(2));
+        assert_eq!(Engine::for_route(Loc::Gpu(1), Loc::Host), Engine::D2h(1));
+        assert_eq!(Engine::for_route(Loc::Gpu(0), Loc::Gpu(3)), Engine::D2h(0));
+        assert_eq!(Engine::for_route(Loc::Nic, Loc::Gpu(0)), Engine::H2d(0));
+        assert_eq!(Engine::for_route(Loc::Host, Loc::Nvme), Engine::HostDma);
+        assert_eq!(Engine::H2d(0).label(), "gpu0.h2d");
+        assert_eq!(Engine::D2h(1).label(), "gpu1.d2h");
+        assert_eq!(Engine::HostDma.label(), "host.dma");
+    }
+
+    #[test]
+    fn async_spans_land_on_engine_tracks() {
+        use crate::obs::Recorder;
+        let rec = Recorder::enabled();
+        let mut s = sim().with_recorder(rec.clone());
+        let q = StreamId { target: Target::gpu(0), index: 1 };
+        s.transfer_async(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::Memcpy, q);
+        s.transfer_async(Loc::Gpu(0), Loc::Host, 1e6, TransferKind::Memcpy, q);
+        let spans = rec.spans();
+        assert_eq!(spans[0].track, "gpu0.h2d");
+        assert_eq!(spans[1].track, "gpu0.d2h");
+        assert_eq!(rec.counter("transfers"), 2.0);
+    }
+
+    // ------------------------------------- same-location / GpuDirect fixes
+
+    #[test]
+    fn same_location_copies_cost_memory_bandwidth_not_the_link() {
+        let s = sim();
+        let bytes = 1e9;
+        // Host->Host runs at half DDR stream bandwidth (read + write)...
+        let h2h = s.transfer_cost(Loc::Host, Loc::Host, bytes, TransferKind::Memcpy);
+        let ddr_copy = bytes / (0.5 * s.machine().node.cpu.mem_bw_gbs * 1e9);
+        assert!((h2h - ddr_copy).abs() / ddr_copy < 0.01, "h2h {h2h} vs {ddr_copy}");
+        // ...which beats a bounce over the 68 GB/s NVLink.
+        let link = s.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        assert!(h2h < link);
+        // Gpu(i)->Gpu(i) runs at half HBM bandwidth, far above the peer link.
+        let d2d_local = s.transfer_cost(Loc::Gpu(0), Loc::Gpu(0), bytes, TransferKind::Memcpy);
+        let d2d_peer = s.transfer_cost(Loc::Gpu(0), Loc::Gpu(1), bytes, TransferKind::Memcpy);
+        let hbm_copy = bytes / (0.5 * 900.0 * 1e9);
+        assert!((d2d_local - hbm_copy).abs() / hbm_copy < 0.01);
+        assert!(d2d_local < d2d_peer, "local {d2d_local} vs peer {d2d_peer}");
+    }
+
+    #[test]
+    fn same_location_copy_occupies_a_single_engine() {
+        let mut s = sim();
+        let dt = s.transfer(Loc::Gpu(0), Loc::Gpu(0), 1e9, TransferKind::Memcpy);
+        assert!((s.engine_time(Engine::D2h(0)) - dt).abs() < 1e-15);
+        assert_eq!(s.engine_time(Engine::H2d(0)), 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "GpuDirect only routes Gpu<->Nic")]
+    fn gpudirect_between_host_and_host_is_rejected() {
+        let s = sim();
+        s.transfer_cost(Loc::Host, Loc::Host, 1e6, TransferKind::GpuDirect);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "GpuDirect only routes Gpu<->Nic")]
+    fn gpudirect_between_host_and_gpu_is_rejected() {
+        let s = sim();
+        s.transfer_cost(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::GpuDirect);
     }
 }

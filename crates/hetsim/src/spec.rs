@@ -66,6 +66,10 @@ pub struct GpuSpec {
 /// Interconnect family between a host and a device, or between nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum LinkKind {
+    /// A copy within one memory system (host DDR -> host DDR, or a
+    /// device-local `cudaMemcpyDeviceToDevice`): no interconnect at all,
+    /// just the local memory bus paying a read and a write.
+    Local,
     /// PCIe gen3 x16.
     Pcie3,
     /// First-generation NVLink (Minsky EA systems).

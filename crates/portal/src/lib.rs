@@ -36,7 +36,7 @@ pub mod pool;
 pub mod scan;
 pub mod view;
 
-pub use exec::{Backend, Executor, PerItem, Policy};
+pub use exec::{Backend, Executor, PerItem, Policy, Staging, PIPELINE_BUFFERS};
 pub use pool::{Pool, PoolStats, Space};
 pub use scan::{exclusive_scan, reduce_max, reduce_min};
 pub use view::{View2, View3, View4};

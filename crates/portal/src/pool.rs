@@ -45,10 +45,25 @@ pub struct PoolStats {
     pub allocs: u64,
     pub pool_hits: u64,
     pub raw_allocs: u64,
+    /// Bytes in blocks currently handed out to callers.
     pub bytes_live: u64,
+    /// Bytes parked on the free lists, still owned by the pool. A freed
+    /// device block is *not* returned to the driver — Umpire keeps it —
+    /// so it still occupies device memory.
+    pub bytes_cached: u64,
+    /// Peak pool footprint: the maximum of `bytes_live + bytes_cached`
+    /// ever observed. This is what capacity planning must budget for,
+    /// not the live watermark alone.
     pub bytes_high_water: u64,
     /// Simulated seconds spent in allocation calls.
     pub alloc_seconds: f64,
+}
+
+impl PoolStats {
+    /// Total bytes the pool currently owns (live + cached).
+    pub fn footprint(&self) -> u64 {
+        self.bytes_live + self.bytes_cached
+    }
 }
 
 /// A size-class pool for one memory space.
@@ -63,6 +78,11 @@ pub struct Pool {
 struct PoolInner {
     /// Free blocks by rounded size class.
     free: BTreeMap<u64, u64>,
+    /// Outstanding (handed-out) blocks by size class. [`Block`] is `Copy`,
+    /// so nothing stops a caller freeing the same handle twice; this count
+    /// is how the pool catches it instead of silently inflating the free
+    /// list.
+    outstanding: BTreeMap<u64, u64>,
     stats: PoolStats,
 }
 
@@ -108,6 +128,7 @@ impl Pool {
             Some(n) if *n > 0 => {
                 *n -= 1;
                 g.stats.pool_hits += 1;
+                g.stats.bytes_cached -= class;
                 (self.space.pooled_alloc_cost(), true)
             }
             _ => {
@@ -115,9 +136,10 @@ impl Pool {
                 (self.space.raw_alloc_cost(), false)
             }
         };
+        *g.outstanding.entry(class).or_insert(0) += 1;
         g.stats.alloc_seconds += cost;
         g.stats.bytes_live += class;
-        g.stats.bytes_high_water = g.stats.bytes_high_water.max(g.stats.bytes_live);
+        g.stats.bytes_high_water = g.stats.bytes_high_water.max(g.stats.footprint());
         if self.recorder.is_enabled() {
             self.recorder.incr("pool.allocs", 1.0);
             if hit {
@@ -129,16 +151,38 @@ impl Pool {
             self.recorder
                 .gauge("pool.hit_rate", g.stats.pool_hits as f64 / g.stats.allocs as f64);
             self.recorder.gauge("pool.bytes_live", g.stats.bytes_live as f64);
+            self.recorder.gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
         }
         (Block { class, space: self.space }, cost)
     }
 
-    /// Return a block to the pool (it stays cached for reuse).
+    /// Return a block to the pool (it stays cached for reuse, and keeps
+    /// counting against [`PoolStats::footprint`] via `bytes_cached`).
+    ///
+    /// # Panics
+    ///
+    /// [`Block`] is `Copy`, so the type system cannot stop a handle being
+    /// freed twice. Before this check, a double free silently inflated
+    /// the free list (one real block, two cached entries) and made
+    /// `bytes_live` drift low. The pool now tracks outstanding blocks per
+    /// size class and panics on a free with none outstanding.
     pub fn free(&self, block: Block) {
         assert_eq!(block.space, self.space, "block returned to wrong pool");
         let mut g = self.inner.lock();
+        match g.outstanding.get_mut(&block.class) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => panic!(
+                "double free: no outstanding {}-byte block in the {:?} pool",
+                block.class, self.space
+            ),
+        }
         *g.free.entry(block.class).or_insert(0) += 1;
-        g.stats.bytes_live = g.stats.bytes_live.saturating_sub(block.class);
+        g.stats.bytes_live -= block.class;
+        g.stats.bytes_cached += block.class;
+        if self.recorder.is_enabled() {
+            self.recorder.gauge("pool.bytes_live", g.stats.bytes_live as f64);
+            self.recorder.gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
+        }
     }
 
     pub fn stats(&self) -> PoolStats {
@@ -201,6 +245,69 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.bytes_high_water, 2 << 20);
         assert_eq!(s.bytes_live, 0);
+        // Freed blocks stay pool-owned: the footprint has not shrunk.
+        assert_eq!(s.bytes_cached, 2 << 20);
+        assert_eq!(s.footprint(), 2 << 20);
+    }
+
+    #[test]
+    fn high_water_includes_pool_held_bytes() {
+        // Regression: a cached block still occupies device memory. Alloc
+        // 1 MiB, free it (pool keeps it), then alloc 2 MiB of a different
+        // class: the real footprint peaks at 3 MiB, not the 2 MiB the old
+        // live-only watermark reported.
+        let p = Pool::new(Space::Device);
+        let (a, _) = p.alloc(1 << 20);
+        p.free(a);
+        let _ = p.alloc(2 << 20);
+        let s = p.stats();
+        assert_eq!(s.bytes_live, 2 << 20);
+        assert_eq!(s.bytes_cached, 1 << 20);
+        assert_eq!(s.bytes_high_water, 3 << 20, "watermark must budget cached blocks");
+    }
+
+    #[test]
+    fn cached_bytes_move_between_free_list_and_live() {
+        let p = Pool::new(Space::Device);
+        let (a, _) = p.alloc(4096);
+        assert_eq!(p.stats().bytes_cached, 0);
+        p.free(a);
+        assert_eq!(p.stats().bytes_cached, 4096);
+        assert_eq!(p.stats().bytes_live, 0);
+        let (_b, _) = p.alloc(4096); // pool hit: cached -> live
+        let s = p.stats();
+        assert_eq!(s.bytes_cached, 0);
+        assert_eq!(s.bytes_live, 4096);
+        assert_eq!(s.bytes_high_water, 4096, "recycling must not grow the watermark");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_of_a_copied_handle_panics() {
+        // Regression: `Block` is `Copy`; freeing the same handle twice used
+        // to silently add a phantom block to the free list.
+        let p = Pool::new(Space::Device);
+        let (b, _) = p.alloc(1024);
+        p.free(b);
+        p.free(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn freeing_a_never_allocated_class_panics() {
+        let p = Pool::new(Space::Host);
+        let (_b, _) = p.alloc(300); // class 512
+        p.free(Block { class: 1 << 16, space: Space::Host });
+    }
+
+    #[test]
+    fn recorder_sees_cached_bytes_gauge() {
+        let rec = Recorder::enabled();
+        let p = Pool::new(Space::Device).with_recorder(rec.clone());
+        let (a, _) = p.alloc(8192);
+        p.free(a);
+        assert_eq!(rec.gauge_value("pool.bytes_cached"), Some(8192.0));
+        assert_eq!(rec.gauge_value("pool.bytes_live"), Some(0.0));
     }
 
     #[test]

@@ -1,67 +1,74 @@
-//! Trace a simulated MD step on the machine model and render the timeline
-//! — the §4.10.6 tools story (finally being able to *see* where node time
-//! goes) applied to the §4.6 placement comparison.
+//! Trace the §4 streams-and-overlap lesson on the machine model and render
+//! the timeline — the §4.10.6 tools story (finally being able to *see*
+//! where node time goes) applied to copy/compute pipelining.
 //!
 //! Uses the `hetsim::obs` layer: attach an enabled [`Recorder`] to a
-//! [`Sim`] and every launch/transfer becomes a span; the recorder renders
-//! the per-stream timeline and the kernel hot list.
+//! [`Sim`] and every launch/transfer becomes a span. Kernels land on their
+//! stream's track (`gpu0.s0`), async copies on the DMA engine's track
+//! (`gpu0.h2d` / `gpu0.d2h`), so the serial staircase and the pipelined
+//! overlap are visible side by side.
 //!
 //! Run with: `cargo run --release -p icoe --example timeline_trace`
 
 use icoe::hetsim::obs::Recorder;
-use icoe::hetsim::{machines, KernelProfile, Loc, Sim, Target, TransferKind};
+use icoe::hetsim::{machines, KernelProfile, Loc, Sim, StreamId, Target, TransferKind};
+
+/// One chunk of a streamed stencil sweep: ~balanced copy and compute on
+/// sierra (8 B/item over 68 GB/s NVLink2 vs 550 flop/item on a V100).
+fn chunk_kernel(items: f64) -> KernelProfile {
+    KernelProfile::new("sweep")
+        .flops(550.0 * items)
+        .bytes_read(8.0 * items)
+        .bytes_written(8.0 * items)
+        .parallelism(items)
+}
 
 fn main() {
-    let n = 100_000.0; // beads
-    let nb = KernelProfile::new("nonbonded")
-        .flops(70.0 * n * 40.0)
-        .bytes_read(2.0 * 40.0 * n * 32.0)
-        .parallelism(n);
-    let integ = KernelProfile::new("integrate")
-        .flops(18.0 * n)
-        .bytes_read(9.0 * 8.0 * n)
-        .bytes_written(9.0 * 8.0 * n)
-        .parallelism(n);
-    let bonded = KernelProfile::new("bonded")
-        .flops(30.0 * n)
-        .bytes_read(6.0 * 8.0 * n)
-        .parallelism(n);
-    let state_bytes = 6.0 * 8.0 * n;
+    let n = 4_000_000.0; // items
+    let bytes = 8.0 * n; // staged each way
 
-    println!("=== ddcMD strategy: every kernel on the GPU, no transfers ===\n");
-    let ddc_rec = Recorder::enabled();
-    let mut ddc = Sim::new(machines::sierra_node()).with_recorder(ddc_rec.clone());
-    for _ in 0..2 {
-        ddc.launch(Target::gpu(0), &nb);
-        ddc.launch(Target::gpu(0), &bonded);
-        ddc.launch(Target::gpu(0), &integ);
+    println!("=== serial staging: upload, kernel, download — each blocking ===\n");
+    let ser_rec = Recorder::enabled();
+    let mut ser = Sim::new(machines::sierra_node()).with_recorder(ser_rec.clone());
+    ser.transfer(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
+    ser.launch(Target::gpu(0), &chunk_kernel(n));
+    ser.transfer(Loc::Gpu(0), Loc::Host, bytes, TransferKind::Memcpy);
+    print!("{}", ser_rec.render_timeline(70));
+
+    println!("\n=== pipelined: 4 chunks on streams, copies overlap compute ===\n");
+    let pipe_rec = Recorder::enabled();
+    let mut pipe = Sim::new(machines::sierra_node()).with_recorder(pipe_rec.clone());
+    let compute = StreamId::default_for(Target::gpu(0));
+    let h2d_q = StreamId { target: Target::gpu(0), index: 1 };
+    let d2h_q = StreamId { target: Target::gpu(0), index: 2 };
+    let chunks = 4;
+    let per = n / chunks as f64;
+    let mut last = icoe::hetsim::Event::at(0.0);
+    for _ in 0..chunks {
+        // Upload chunk c on the H2D engine while chunk c-1 computes.
+        let up = pipe.transfer_async(Loc::Host, Loc::Gpu(0), 8.0 * per, TransferKind::Memcpy, h2d_q);
+        pipe.wait_event(compute, up);
+        pipe.launch_on(compute, &chunk_kernel(per));
+        let done = pipe.record(compute);
+        pipe.wait_event(d2h_q, done);
+        last = pipe.transfer_async(Loc::Gpu(0), Loc::Host, 8.0 * per, TransferKind::Memcpy, d2h_q);
     }
-    print!("{}", ddc_rec.render_timeline(70));
-    println!("\nhot list:");
-    for (name, t) in ddc_rec.hot_list() {
+    print!("{}", pipe_rec.render_timeline(70));
+
+    println!("\nhot list (pipelined):");
+    for (name, t) in pipe_rec.hot_list() {
         println!("  {name:<12} {:>8.1} us", t * 1e6);
     }
-
-    println!("\n=== GROMACS-like split: bonded+integrate on CPU, DMA every step ===\n");
-    let gmx_rec = Recorder::enabled();
-    let mut gmx = Sim::new(machines::sierra_node()).with_recorder(gmx_rec.clone());
-    for _ in 0..2 {
-        gmx.launch(Target::gpu(0), &nb);
-        gmx.transfer(Loc::Gpu(0), Loc::Host, state_bytes / 2.0, TransferKind::Memcpy);
-        gmx.launch(Target::cpu(44), &bonded);
-        gmx.launch(Target::cpu(44), &integ);
-        gmx.transfer(Loc::Host, Loc::Gpu(0), state_bytes / 2.0, TransferKind::Memcpy);
-    }
-    print!("{}", gmx_rec.render_timeline(70));
     println!(
-        "\nmetrics: ddcMD launches {:.0}, flops {:.2e}; split moved {:.0} KiB over DMA",
-        ddc_rec.counter("launches"),
-        ddc_rec.counter("flops"),
-        (gmx_rec.counter("bytes_h2d") + gmx_rec.counter("bytes_d2h")) / 1024.0
+        "\nmetrics: moved {:.0} KiB each way; pipelined issued {} copies x {} engines",
+        bytes / 1024.0,
+        2 * chunks,
+        2
     );
     println!(
-        "totals: ddcMD {:.1} us vs split {:.1} us  (the 4.6 placement story)",
-        ddc.elapsed() * 1e6,
-        gmx.elapsed() * 1e6
+        "totals: serial {:.1} us vs pipelined {:.1} us  ({:.2}x from overlap alone)",
+        ser.elapsed() * 1e6,
+        last.time * 1e6,
+        ser.elapsed() / last.time
     );
 }
