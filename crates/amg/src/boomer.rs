@@ -26,7 +26,13 @@ pub struct AmgOptions {
 
 impl Default for AmgOptions {
     fn default() -> Self {
-        AmgOptions { theta: 0.25, coarse_size: 40, max_levels: 25, jacobi_weight: 2.0 / 3.0, sweeps: 1 }
+        AmgOptions {
+            theta: 0.25,
+            coarse_size: 40,
+            max_levels: 25,
+            jacobi_weight: 2.0 / 3.0,
+            sweeps: 1,
+        }
     }
 }
 
@@ -145,14 +151,23 @@ fn interpolation(a: &CsrMatrix, strong: &[Vec<usize>], is_c: &[bool]) -> CsrMatr
             // Isolated F-point: inject nothing (rare for M-matrices).
             continue;
         }
-        let sum_all: f64 = cols.iter().zip(vals).filter(|(c, _)| **c != i).map(|(_, v)| *v).sum();
+        let sum_all: f64 = cols
+            .iter()
+            .zip(vals)
+            .filter(|(c, _)| **c != i)
+            .map(|(_, v)| *v)
+            .sum();
         let sum_c: f64 = cols
             .iter()
             .zip(vals)
             .filter(|(c, _)| strong_c.contains(c))
             .map(|(_, v)| *v)
             .sum();
-        let alpha = if sum_c.abs() > 1e-300 { sum_all / sum_c } else { 1.0 };
+        let alpha = if sum_c.abs() > 1e-300 {
+            sum_all / sum_c
+        } else {
+            1.0
+        };
         for (c, v) in cols.iter().zip(vals) {
             if strong_c.contains(c) {
                 let w = -alpha * v / diag;
@@ -219,7 +234,11 @@ impl BoomerAmg {
             b: vec![0.0; n],
             tmp: vec![0.0; n],
         });
-        BoomerAmg { levels, coarse_lu, opts }
+        BoomerAmg {
+            levels,
+            coarse_lu,
+            opts,
+        }
     }
 
     pub fn num_levels(&self) -> usize {
@@ -273,7 +292,10 @@ impl BoomerAmg {
             let (fine, coarse) = self.levels.split_at_mut(lvl + 1);
             let fine = &mut fine[lvl];
             let coarse = &mut coarse[0];
-            fine.r.as_ref().expect("non-coarsest has R").spmv(&fine.tmp, &mut coarse.b);
+            fine.r
+                .as_ref()
+                .expect("non-coarsest has R")
+                .spmv(&fine.tmp, &mut coarse.b);
             coarse.x.fill(0.0);
         }
         self.vcycle(lvl + 1);
@@ -281,7 +303,10 @@ impl BoomerAmg {
             let (fine, coarse) = self.levels.split_at_mut(lvl + 1);
             let fine = &mut fine[lvl];
             let coarse = &coarse[0];
-            fine.p.as_ref().expect("non-coarsest has P").spmv(&coarse.x, &mut fine.tmp);
+            fine.p
+                .as_ref()
+                .expect("non-coarsest has P")
+                .spmv(&coarse.x, &mut fine.tmp);
             for i in 0..fine.x.len() {
                 fine.x[i] += fine.tmp[i];
             }
@@ -298,7 +323,13 @@ impl BoomerAmg {
     }
 
     /// Solve `A x = b` by stationary V-cycle iteration.
-    pub fn solve(&mut self, b: &[f64], x: &mut [f64], tol: f64, max_cycles: usize) -> linalg::IterStats {
+    pub fn solve(
+        &mut self,
+        b: &[f64],
+        x: &mut [f64],
+        tol: f64,
+        max_cycles: usize,
+    ) -> linalg::IterStats {
         let n = b.len();
         let mut r = vec![0.0; n];
         let mut z = vec![0.0; n];
@@ -311,7 +342,11 @@ impl BoomerAmg {
             }
             let rel = linalg::norm2(&r) / bnorm;
             if rel < tol {
-                return linalg::IterStats { iterations: it, residual: rel, converged: true };
+                return linalg::IterStats {
+                    iterations: it,
+                    residual: rel,
+                    converged: true,
+                };
             }
             self.apply_vcycle(&r, &mut z);
             for i in 0..n {
@@ -323,14 +358,20 @@ impl BoomerAmg {
             r[i] = b[i] - r[i];
         }
         let rel = linalg::norm2(&r) / bnorm;
-        linalg::IterStats { iterations: max_cycles, residual: rel, converged: rel < tol }
+        linalg::IterStats {
+            iterations: max_cycles,
+            residual: rel,
+            converged: rel < tol,
+        }
     }
 
     /// Asymptotic per-cycle residual-reduction factor, measured over
     /// `cycles` V-cycles on a zero-RHS problem with random-ish start.
     pub fn convergence_factor(&mut self, cycles: usize) -> f64 {
         let n = self.levels[0].a.rows;
-        let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
         let mut r = vec![0.0; n];
         let mut z = vec![0.0; n];
         let mut prev = {
@@ -432,7 +473,11 @@ mod tests {
         let mut x = vec![0.0; n];
         let s = amg.solve(&b, &mut x, 1e-8, 100);
         assert!(s.converged, "{s:?}");
-        let err = x.iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-5, "{err}");
     }
 
@@ -442,7 +487,14 @@ mod tests {
         let n = a.rows;
         let b = vec![1.0; n];
         let mut x1 = vec![0.0; n];
-        let plain = cg(&a, &b, &mut x1, &mut linalg::krylov::IdentityPrecond, 1e-8, 10_000);
+        let plain = cg(
+            &a,
+            &b,
+            &mut x1,
+            &mut linalg::krylov::IdentityPrecond,
+            1e-8,
+            10_000,
+        );
         let mut amg = BoomerAmg::setup(a, AmgOptions::default());
         let mut x2 = vec![0.0; n];
         let fine = {

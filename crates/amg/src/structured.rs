@@ -68,7 +68,11 @@ pub struct StructGrid {
 
 impl StructGrid {
     pub fn zeros(nx: usize, ny: usize) -> StructGrid {
-        StructGrid { nx, ny, data: vec![0.0; nx * ny] }
+        StructGrid {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
     }
 
     pub fn view(&self) -> View2 {
@@ -103,7 +107,11 @@ impl StructSolver {
             cy = (cy - 1) / 2 + 1;
             sizes.push((cx, cy));
         }
-        StructSolver { sizes, policy, backend }
+        StructSolver {
+            sizes,
+            policy,
+            backend,
+        }
     }
 
     pub fn levels(&self) -> usize {
@@ -111,7 +119,10 @@ impl StructSolver {
     }
 
     fn smooth_cost() -> PerItem {
-        PerItem::new().flops(6.0).bytes_read(48.0).bytes_written(8.0)
+        PerItem::new()
+            .flops(6.0)
+            .bytes_read(48.0)
+            .bytes_written(8.0)
     }
 
     /// One red-black Gauss-Seidel sweep on level data (h^2-scaled RHS).
@@ -129,15 +140,22 @@ impl StructSolver {
         for colour in 0..2usize {
             let snapshot = u.to_vec();
             let b = BoxLoop::new(nx, ny);
-            t += b.run_interior(exec, policy, backend, &Self::smooth_cost(), u, |i, j, slot| {
-                if (i + j) % 2 == colour {
-                    let s = snapshot[(i - 1) * ny + j]
-                        + snapshot[(i + 1) * ny + j]
-                        + snapshot[i * ny + j - 1]
-                        + snapshot[i * ny + j + 1];
-                    *slot = 0.25 * (s + h2 * f[i * ny + j]);
-                }
-            });
+            t += b.run_interior(
+                exec,
+                policy,
+                backend,
+                &Self::smooth_cost(),
+                u,
+                |i, j, slot| {
+                    if (i + j) % 2 == colour {
+                        let s = snapshot[(i - 1) * ny + j]
+                            + snapshot[(i + 1) * ny + j]
+                            + snapshot[i * ny + j - 1]
+                            + snapshot[i * ny + j + 1];
+                        *slot = 0.25 * (s + h2 * f[i * ny + j]);
+                    }
+                },
+            );
         }
         t
     }
@@ -155,7 +173,10 @@ impl StructSolver {
     ) -> f64 {
         let b = BoxLoop::new(nx, ny);
         r.fill(0.0);
-        let item = PerItem::new().flops(7.0).bytes_read(48.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(7.0)
+            .bytes_read(48.0)
+            .bytes_written(8.0);
         b.run_interior(exec, policy, backend, &item, r, |i, j, slot| {
             let lap = 4.0 * u[i * ny + j]
                 - u[(i - 1) * ny + j]
@@ -274,8 +295,17 @@ impl StructSolver {
         for c in 0..max_cycles {
             sim_t += self.vcycle(exec, 0, &mut u, &mut f);
             let ffc = f[0].clone();
-            sim_t +=
-                Self::residual(exec, self.policy, self.backend, &u[0], &ffc, &mut r, nx, ny, h2);
+            sim_t += Self::residual(
+                exec,
+                self.policy,
+                self.backend,
+                &u[0],
+                &ffc,
+                &mut r,
+                nx,
+                ny,
+                h2,
+            );
             res = r.iter().map(|v| v * v).sum::<f64>().sqrt();
             cycles = c + 1;
             if res < tol {

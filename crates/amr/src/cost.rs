@@ -66,9 +66,7 @@ pub fn run_cost(
     let sim = hetsim::Sim::new(machine.clone());
     let (target, per_unit) = match mapping {
         NodeMapping::FullNodeCpu => (Target::cpu_all(), 1.0),
-        NodeMapping::SingleSocketCpu => {
-            (Target::cpu(machine.node.cpu.cores_per_socket), 1.0)
-        }
+        NodeMapping::SingleSocketCpu => (Target::cpu(machine.node.cpu.cores_per_socket), 1.0),
         NodeMapping::FullNodeGpu => (Target::gpu(0), machine.node.gpu_count() as f64),
         NodeMapping::SingleGpu => (Target::gpu(0), 1.0),
     };
@@ -131,7 +129,10 @@ mod tests {
         let gpu = run_cost(&m, NodeMapping::FullNodeGpu, CELLS, STEPS, true);
         let speedup = cpu / gpu;
         // Paper: ~7x full node.
-        assert!(speedup > 4.0 && speedup < 12.0, "full-node speedup {speedup}");
+        assert!(
+            speedup > 4.0 && speedup < 12.0,
+            "full-node speedup {speedup}"
+        );
     }
 
     #[test]

@@ -53,29 +53,23 @@ pub struct EulerPatch {
 
 fn flux_x(q: &[f64; NCOMP]) -> [f64; NCOMP] {
     let s = EulerState::from_conserved(q);
-    [
-        q[MX],
-        q[MX] * s.u + s.p,
-        q[MY] * s.u,
-        (q[EN] + s.p) * s.u,
-    ]
+    [q[MX], q[MX] * s.u + s.p, q[MY] * s.u, (q[EN] + s.p) * s.u]
 }
 
 fn flux_y(q: &[f64; NCOMP]) -> [f64; NCOMP] {
     let s = EulerState::from_conserved(q);
-    [
-        q[MY],
-        q[MX] * s.v,
-        q[MY] * s.v + s.p,
-        (q[EN] + s.p) * s.v,
-    ]
+    [q[MY], q[MX] * s.v, q[MY] * s.v + s.p, (q[EN] + s.p) * s.v]
 }
 
 /// Rusanov numerical flux between left and right states along `axis`.
 fn rusanov(ql: &[f64; NCOMP], qr: &[f64; NCOMP], axis: usize) -> [f64; NCOMP] {
     let sl = EulerState::from_conserved(ql);
     let sr = EulerState::from_conserved(qr);
-    let (vl, vr) = if axis == 0 { (sl.u, sr.u) } else { (sl.v, sr.v) };
+    let (vl, vr) = if axis == 0 {
+        (sl.u, sr.u)
+    } else {
+        (sl.v, sr.v)
+    };
     let smax = (vl.abs() + sl.sound_speed()).max(vr.abs() + sr.sound_speed());
     let (fl, fr) = if axis == 0 {
         (flux_x(ql), flux_x(qr))
@@ -91,7 +85,10 @@ fn rusanov(ql: &[f64; NCOMP], qr: &[f64; NCOMP], axis: usize) -> [f64; NCOMP] {
 
 impl EulerPatch {
     pub fn new(region: BoxRegion, h: f64) -> EulerPatch {
-        EulerPatch { patch: Patch::new(region, 1, NCOMP), h }
+        EulerPatch {
+            patch: Patch::new(region, 1, NCOMP),
+            h,
+        }
     }
 
     /// Initialise every cell from `f(x, y)` (cell centres, global coords).
@@ -169,10 +166,26 @@ impl EulerPatch {
         let nx = self.patch.region.nx();
         let ny = self.patch.region.ny();
         let c = self.patch.get(RHO, i, j);
-        let e = if i + 1 < nx { self.patch.get(RHO, i + 1, j) } else { c };
-        let w = if i > 0 { self.patch.get(RHO, i - 1, j) } else { c };
-        let n = if j + 1 < ny { self.patch.get(RHO, i, j + 1) } else { c };
-        let s = if j > 0 { self.patch.get(RHO, i, j - 1) } else { c };
+        let e = if i + 1 < nx {
+            self.patch.get(RHO, i + 1, j)
+        } else {
+            c
+        };
+        let w = if i > 0 {
+            self.patch.get(RHO, i - 1, j)
+        } else {
+            c
+        };
+        let n = if j + 1 < ny {
+            self.patch.get(RHO, i, j + 1)
+        } else {
+            c
+        };
+        let s = if j > 0 {
+            self.patch.get(RHO, i, j - 1)
+        } else {
+            c
+        };
         (((e - w) / 2.0).powi(2) + ((n - s) / 2.0).powi(2)).sqrt() / self.h
     }
 
@@ -194,9 +207,19 @@ impl EulerPatch {
 /// The Sod shock-tube initial condition (membrane at `x = 0.5`).
 pub fn sod(x: f64, _y: f64) -> EulerState {
     if x < 0.5 {
-        EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+        EulerState {
+            rho: 1.0,
+            u: 0.0,
+            v: 0.0,
+            p: 1.0,
+        }
     } else {
-        EulerState { rho: 0.125, u: 0.0, v: 0.0, p: 0.1 }
+        EulerState {
+            rho: 0.125,
+            u: 0.0,
+            v: 0.0,
+            p: 0.1,
+        }
     }
 }
 
@@ -221,7 +244,12 @@ mod tests {
 
     #[test]
     fn primitive_conserved_roundtrip() {
-        let s = EulerState { rho: 0.7, u: 1.2, v: -0.3, p: 2.5 };
+        let s = EulerState {
+            rho: 0.7,
+            u: 1.2,
+            v: -0.3,
+            p: 2.5,
+        };
         let back = EulerState::from_conserved(&s.conserved());
         assert!((back.rho - s.rho).abs() < 1e-12);
         assert!((back.u - s.u).abs() < 1e-12);
@@ -231,7 +259,12 @@ mod tests {
     #[test]
     fn uniform_state_is_stationary() {
         let mut p = EulerPatch::new(BoxRegion::new((0, 0), (8, 8)), 0.1);
-        p.init(|_, _| EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 });
+        p.init(|_, _| EulerState {
+            rho: 1.0,
+            u: 0.0,
+            v: 0.0,
+            p: 1.0,
+        });
         let before = p.patch.data.clone();
         p.step(0.01);
         // Interior must be untouched (ghost cells legitimately change as

@@ -61,12 +61,20 @@ impl Patch {
     pub fn new(region: BoxRegion, ghost: usize, ncomp: usize) -> Patch {
         let nx = region.nx() + 2 * ghost;
         let ny = region.ny() + 2 * ghost;
-        Patch { region, ghost, ncomp, data: vec![0.0; ncomp * nx * ny] }
+        Patch {
+            region,
+            ghost,
+            ncomp,
+            data: vec![0.0; ncomp * nx * ny],
+        }
     }
 
     /// Padded dimensions.
     pub fn padded(&self) -> (usize, usize) {
-        (self.region.nx() + 2 * self.ghost, self.region.ny() + 2 * self.ghost)
+        (
+            self.region.nx() + 2 * self.ghost,
+            self.region.ny() + 2 * self.ghost,
+        )
     }
 
     /// Flat index for component `c` at *local interior* coordinates

@@ -178,7 +178,11 @@ impl Hierarchy {
     /// fine) — the work metric for the Table 5 cost model.
     pub fn cell_updates_per_step(&self) -> usize {
         let coarse = self.coarse.patch.region.cells();
-        let fine: usize = self.fine.iter().map(|f| f.patch.region.cells() * self.ratio).sum();
+        let fine: usize = self
+            .fine
+            .iter()
+            .map(|f| f.patch.region.cells() * self.ratio)
+            .sum();
         coarse + fine
     }
 }
@@ -193,9 +197,19 @@ mod tests {
         h.coarse.init(|x, y| {
             let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
             if r2 < 0.01 {
-                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+                EulerState {
+                    rho: 2.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 10.0,
+                }
             } else {
-                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+                EulerState {
+                    rho: 1.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 1.0,
+                }
             }
         });
         h
@@ -214,7 +228,12 @@ mod tests {
     #[test]
     fn smooth_flow_produces_no_fine_level() {
         let mut h = Hierarchy::new(32, 1.0 / 32.0, 2.0);
-        h.coarse.init(|_, _| EulerState { rho: 1.0, u: 0.1, v: 0.0, p: 1.0 });
+        h.coarse.init(|_, _| EulerState {
+            rho: 1.0,
+            u: 0.1,
+            v: 0.0,
+            p: 1.0,
+        });
         h.regrid();
         assert!(h.fine.is_empty());
         assert_eq!(h.fine_coverage(), 0.0);
@@ -289,9 +308,19 @@ mod multipatch_tests {
             let b1 = (x - 0.2) * (x - 0.2) + (y - 0.2) * (y - 0.2) < 0.004;
             let b2 = (x - 0.8) * (x - 0.8) + (y - 0.8) * (y - 0.8) < 0.004;
             if b1 || b2 {
-                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+                EulerState {
+                    rho: 2.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 10.0,
+                }
             } else {
-                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+                EulerState {
+                    rho: 1.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 1.0,
+                }
             }
         });
         h.regrid();
@@ -314,9 +343,19 @@ mod multipatch_tests {
             let b1 = (x - 0.45) * (x - 0.45) + (y - 0.5) * (y - 0.5) < 0.004;
             let b2 = (x - 0.55) * (x - 0.55) + (y - 0.5) * (y - 0.5) < 0.004;
             if b1 || b2 {
-                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+                EulerState {
+                    rho: 2.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 10.0,
+                }
             } else {
-                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+                EulerState {
+                    rho: 1.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 1.0,
+                }
             }
         });
         h.regrid();
@@ -332,9 +371,19 @@ mod multipatch_tests {
             let b1 = (x - 0.25) * (x - 0.25) + (y - 0.25) * (y - 0.25) < 0.004;
             let b2 = (x - 0.75) * (x - 0.75) + (y - 0.75) * (y - 0.75) < 0.004;
             if b1 || b2 {
-                EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+                EulerState {
+                    rho: 2.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 10.0,
+                }
             } else {
-                EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+                EulerState {
+                    rho: 1.0,
+                    u: 0.0,
+                    v: 0.0,
+                    p: 1.0,
+                }
             }
         });
         let m0 = h.total(crate::euler::RHO);

@@ -20,11 +20,17 @@ impl C64 {
 
     /// `exp(i theta)`.
     pub fn cis(theta: f64) -> C64 {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     pub fn conj(self) -> C64 {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     pub fn norm_sqr(self) -> f64 {
@@ -36,14 +42,20 @@ impl C64 {
     }
 
     pub fn scale(self, s: f64) -> C64 {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for C64 {
     type Output = C64;
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -57,7 +69,10 @@ impl AddAssign for C64 {
 impl Sub for C64 {
     type Output = C64;
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -80,7 +95,10 @@ impl MulAssign for C64 {
 impl Neg for C64 {
     type Output = C64;
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

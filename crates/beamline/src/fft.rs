@@ -7,7 +7,10 @@ use crate::transpose::transpose_tiled;
 /// conjugate transform *and* the 1/n normalisation.
 pub fn fft_inplace(data: &mut [C64], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -106,7 +109,9 @@ mod tests {
     #[test]
     fn roundtrip_is_identity() {
         let n = 64;
-        let input: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let input: Vec<C64> = (0..n)
+            .map(|i| C64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let mut data = input.clone();
         fft_inplace(&mut data, false);
         fft_inplace(&mut data, true);

@@ -20,8 +20,16 @@ pub fn angular_spectrum(beam: &Beamline, bins: usize) -> Vec<f64> {
     for i in 0..n {
         for j in 0..n {
             // Signed frequency indices.
-            let fi = if i <= n / 2 { i as f64 } else { i as f64 - n as f64 };
-            let fj = if j <= n / 2 { j as f64 } else { j as f64 - n as f64 };
+            let fi = if i <= n / 2 {
+                i as f64
+            } else {
+                i as f64 - n as f64
+            };
+            let fj = if j <= n / 2 {
+                j as f64
+            } else {
+                j as f64 - n as f64
+            };
             let r = (fi * fi + fj * fj).sqrt() / half; // 0..~sqrt(2)
             let bin = ((r * bins as f64) as usize).min(bins - 1);
             out[bin] += field[i * n + j].norm_sqr();
@@ -63,7 +71,11 @@ mod tests {
     #[test]
     fn smooth_beam_power_is_low_k() {
         let b = beam();
-        assert!(high_k_fraction(&b, 0.25) < 0.01, "{}", high_k_fraction(&b, 0.25));
+        assert!(
+            high_k_fraction(&b, 0.25) < 0.01,
+            "{}",
+            high_k_fraction(&b, 0.25)
+        );
     }
 
     #[test]
@@ -104,7 +116,10 @@ mod tests {
         let gain_strong = strong.fluence().total() / ps0;
         // Small signal: ~ e^1; saturated: much less.
         assert!((gain_weak - 1.0f64.exp()).abs() < 0.01, "{gain_weak}");
-        assert!(gain_strong < 0.5 * gain_weak, "{gain_strong} vs {gain_weak}");
+        assert!(
+            gain_strong < 0.5 * gain_weak,
+            "{gain_strong} vs {gain_weak}"
+        );
     }
 
     #[test]

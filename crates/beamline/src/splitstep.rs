@@ -32,8 +32,12 @@ impl Fluence {
     /// [`Fluence::ripple_vs`] to isolate defect-induced structure.
     pub fn ripple_contrast(&self) -> f64 {
         let peak = self.peak();
-        let core: Vec<f64> =
-            self.data.iter().copied().filter(|&v| v > 0.1 * peak).collect();
+        let core: Vec<f64> = self
+            .data
+            .iter()
+            .copied()
+            .filter(|&v| v > 0.1 * peak)
+            .collect();
         if core.is_empty() {
             return 0.0;
         }
@@ -92,7 +96,14 @@ impl Beamline {
                 field[i * n + j] = C64::new((-r2 / (w0 * w0)).exp(), 0.0);
             }
         }
-        Beamline { n, width, k0, field, kerr: 0.0, gain_per_m: 0.0 }
+        Beamline {
+            n,
+            width,
+            k0,
+            field,
+            kerr: 0.0,
+            gain_per_m: 0.0,
+        }
     }
 
     /// Apply a circular phase defect of radius `r` (grid cells) and depth
@@ -112,7 +123,11 @@ impl Beamline {
     /// Spatial frequency of FFT bin `k` for grid size `n`, extent `width`.
     fn kfreq(&self, k: usize) -> f64 {
         let n = self.n;
-        let idx = if k <= n / 2 { k as f64 } else { k as f64 - n as f64 };
+        let idx = if k <= n / 2 {
+            k as f64
+        } else {
+            k as f64 - n as f64
+        };
         std::f64::consts::TAU * idx / self.width
     }
 
@@ -155,7 +170,10 @@ impl Beamline {
     }
 
     pub fn fluence(&self) -> Fluence {
-        Fluence { n: self.n, data: self.field.iter().map(|z| z.norm_sqr()).collect() }
+        Fluence {
+            n: self.n,
+            data: self.field.iter().map(|z| z.norm_sqr()).collect(),
+        }
     }
 
     /// Beam second-moment width along x.

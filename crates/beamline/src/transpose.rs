@@ -77,7 +77,9 @@ mod tests {
     use hetsim::machines;
 
     fn field(n: usize) -> Vec<C64> {
-        (0..n * n).map(|i| C64::new(i as f64, -(i as f64))).collect()
+        (0..n * n)
+            .map(|i| C64::new(i as f64, -(i as f64)))
+            .collect()
     }
 
     #[test]

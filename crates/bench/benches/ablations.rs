@@ -19,9 +19,12 @@ fn ablation_paradyn(c: &mut Criterion) {
     use paradyn::{dead_store_elimination, slnsp_fuse, Program};
     let n = 100_000;
     let prog = Program::paradyn_kernel(n);
-    let inputs: Vec<(usize, Vec<f64>)> =
-        (0..3).map(|a| (a, (0..n).map(|i| ((i + a) % 13) as f64).collect())).collect();
-    c.bench_function("paradyn/baseline", |b| b.iter(|| run_baseline(&prog, &inputs)));
+    let inputs: Vec<(usize, Vec<f64>)> = (0..3)
+        .map(|a| (a, (0..n).map(|i| ((i + a) % 13) as f64).collect()))
+        .collect();
+    c.bench_function("paradyn/baseline", |b| {
+        b.iter(|| run_baseline(&prog, &inputs))
+    });
     let groups = slnsp_fuse(&prog);
     let elide = dead_store_elimination(&prog, &groups);
     c.bench_function("paradyn/slnsp_dse", |b| {
@@ -55,10 +58,18 @@ fn ablation_forall(c: &mut Criterion) {
     let small = 512usize;
     let large = 1 << 20;
     c.bench_function("forall/serial_small", |b| {
-        b.iter(|| run_parallel(small, 1, &|i| { std::hint::black_box(i); }))
+        b.iter(|| {
+            run_parallel(small, 1, &|i| {
+                std::hint::black_box(i);
+            })
+        })
     });
     c.bench_function("forall/threads8_small", |b| {
-        b.iter(|| run_parallel(small, 8, &|i| { std::hint::black_box(i); }))
+        b.iter(|| {
+            run_parallel(small, 8, &|i| {
+                std::hint::black_box(i);
+            })
+        })
     });
     c.bench_function("forall/reduce_serial_1m", |b| {
         b.iter(|| reduce_parallel(large, 1, &|i| i as f64))

@@ -44,8 +44,12 @@ fn bench_cardioid(c: &mut Criterion) {
     use cardioid::IonModel;
     let model = IonModel::new(5);
     let state = IonModel::rest();
-    c.bench_function("cardioid/reaction_libm", |b| b.iter(|| model.rhs_exact(&state)));
-    c.bench_function("cardioid/reaction_rational", |b| b.iter(|| model.rhs_lowered(&state)));
+    c.bench_function("cardioid/reaction_libm", |b| {
+        b.iter(|| model.rhs_exact(&state))
+    });
+    c.bench_function("cardioid/reaction_rational", |b| {
+        b.iter(|| model.rhs_lowered(&state))
+    });
 }
 
 /// MFEM: partial-assembly apply vs assembled SpMV at order 4.
@@ -93,7 +97,9 @@ fn bench_graph(c: &mut Criterion) {
     use graphx::{bfs_direction_optimising, bfs_top_down, CsrGraph, RmatParams};
     let g = CsrGraph::rmat(12, RmatParams::default(), 5);
     let root = g.non_isolated_vertex(1);
-    c.bench_function("graph/bfs_top_down_s12", |b| b.iter(|| bfs_top_down(&g, root)));
+    c.bench_function("graph/bfs_top_down_s12", |b| {
+        b.iter(|| bfs_top_down(&g, root))
+    });
     c.bench_function("graph/bfs_direction_opt_s12", |b| {
         b.iter(|| bfs_direction_optimising(&g, root))
     });
@@ -108,7 +114,9 @@ fn bench_amg(c: &mut Criterion) {
     let mut solver = BoomerAmg::setup(a, AmgOptions::default());
     let r = vec![1.0; n];
     let mut z = vec![0.0; n];
-    c.bench_function("amg/vcycle_4096", |b| b.iter(|| solver.apply_vcycle(&r, &mut z)));
+    c.bench_function("amg/vcycle_4096", |b| {
+        b.iter(|| solver.apply_vcycle(&r, &mut z))
+    });
 }
 
 /// Cretin: dense rate-matrix population solve.
@@ -118,7 +126,11 @@ fn bench_kinetics(c: &mut Criterion) {
     let model = AtomicModel::synthetic(100, 7);
     let rm = RateMatrix::assemble(
         &model,
-        ZoneConditions { te: 1.0, ne: 5.0, radiation: 1.0 },
+        ZoneConditions {
+            te: 1.0,
+            ne: 5.0,
+            radiation: 1.0,
+        },
         true,
     );
     c.bench_function("kinetics/direct_solve_100", |b| {
@@ -132,7 +144,9 @@ fn bench_seismic(c: &mut Criterion) {
     let op = ElasticOperator::new(24, 24, 24, 0.1, 2.0, 1.0, 1.0);
     let u = vec![1.0; op.view().len()];
     let mut lu = vec![0.0; op.view().len()];
-    c.bench_function("sw4/elastic_rhs_24cubed", |b| b.iter(|| op.apply(&u, &mut lu)));
+    c.bench_function("sw4/elastic_rhs_24cubed", |b| {
+        b.iter(|| op.apply(&u, &mut lu))
+    });
 }
 
 criterion_group! {

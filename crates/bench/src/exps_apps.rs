@@ -8,14 +8,21 @@ use icoe::report::{fmt_time, Table};
 /// Cretin: node throughput by atomic-model tier + solver validation.
 pub fn cretin(rec: &mut Recorder) -> Vec<Table> {
     use kinetics::{
-        solve_populations_direct, solve_populations_gmres, AtomicModel, ModelTier,
-        NodeThroughput, RateMatrix,
+        solve_populations_direct, solve_populations_gmres, AtomicModel, ModelTier, NodeThroughput,
+        RateMatrix,
     };
     let tiers = rec.begin("throughput-tiers", SpanKind::Phase);
     let node = machines::sierra_node();
     let mut t = Table::new(
         "Cretin (4.3): node throughput by atomic-model tier",
-        &["model tier", "states (prod.)", "CPU threads usable", "cores idled", "GPU/CPU node speedup", "paper"],
+        &[
+            "model tier",
+            "states (prod.)",
+            "CPU threads usable",
+            "cores idled",
+            "GPU/CPU node speedup",
+            "paper",
+        ],
     );
     for (tier, paper) in [
         (ModelTier::Small, "-"),
@@ -39,19 +46,39 @@ pub fn cretin(rec: &mut Recorder) -> Vec<Table> {
     // pair of §4.3) must agree; radiation drives non-LTE.
     let solve = rec.begin("solver-validation", SpanKind::Phase);
     let model = AtomicModel::synthetic(80, 5);
-    let cond = kinetics::rates::ZoneConditions { te: 0.9, ne: 4.0, radiation: 1.5 };
+    let cond = kinetics::rates::ZoneConditions {
+        te: 0.9,
+        ne: 4.0,
+        radiation: 1.5,
+    };
     let rm = RateMatrix::assemble(&model, cond, true);
     let direct = solve_populations_direct(&rm);
     let (iter, its) = solve_populations_gmres(&rm, 1e-10);
-    let max_dev = direct.iter().zip(&iter).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let max_dev = direct
+        .iter()
+        .zip(&iter)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     let lte = model.boltzmann(cond.te);
     let nlte_dev: f64 = direct.iter().zip(&lte).map(|(a, b)| (a - b).abs()).sum();
-    let mut v = Table::new("solver validation (80-state synthetic model)", &["metric", "value"]);
-    v.row(&["direct vs GMRES max |dpop|".into(), format!("{max_dev:.2e}")]);
+    let mut v = Table::new(
+        "solver validation (80-state synthetic model)",
+        &["metric", "value"],
+    );
+    v.row(&[
+        "direct vs GMRES max |dpop|".into(),
+        format!("{max_dev:.2e}"),
+    ]);
     assert!(max_dev < 1e-6, "solvers disagree");
     v.row(&["GMRES iterations".into(), its.to_string()]);
-    v.row(&["non-LTE departure (L1 vs Boltzmann)".into(), format!("{nlte_dev:.3}")]);
-    v.row(&["population sum".into(), format!("{:.12}", direct.iter().sum::<f64>())]);
+    v.row(&[
+        "non-LTE departure (L1 vs Boltzmann)".into(),
+        format!("{nlte_dev:.3}"),
+    ]);
+    v.row(&[
+        "population sum".into(),
+        format!("{:.12}", direct.iter().sum::<f64>()),
+    ]);
     rec.gauge("cretin.gmres_iters", its as f64);
     rec.end(solve);
     vec![t, v]
@@ -73,7 +100,13 @@ pub fn md_experiment(rec: &mut Recorder) -> Vec<Table> {
 
     let mut t = Table::new(
         "ddcMD vs GROMACS-like (32k-bead Martini-like patch, per-step)",
-        &["engine", "nonbonded", "integrate+bonded+constr", "transfers", "total"],
+        &[
+            "engine",
+            "nonbonded",
+            "integrate+bonded+constr",
+            "transfers",
+            "total",
+        ],
     );
     for (name, b) in [
         ("ddcMD all-GPU (1 GPU)", &ddc1),
@@ -140,7 +173,11 @@ pub fn sw4(rec: &mut Recorder) -> Vec<Table> {
     ] {
         let mut s = Sim::new(machines::sierra_node());
         let dt = path.charge(&mut s, &op);
-        t.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / t_native)]);
+        t.row(&[
+            name.to_string(),
+            fmt_time(dt),
+            format!("{:.2}x", dt / t_native),
+        ]);
     }
 
     rec.end(paths);
@@ -158,7 +195,10 @@ pub fn sw4(rec: &mut Recorder) -> Vec<Table> {
     let cori = Sim::new(machines::cori2());
     let k_cpu = KernelPath::HostThreads(68).profile(&op);
     let cori_time = cori.cost(Target::cpu(68), &k_cpu);
-    let mut s = Table::new("node-for-node throughput vs Cori-II", &["metric", "model", "paper"]);
+    let mut s = Table::new(
+        "node-for-node throughput vs Cori-II",
+        &["metric", "model", "paper"],
+    );
     s.row(&[
         "Sierra node / Cori node (same block)".into(),
         format!("{:.1}x", cori_time / per_node),
@@ -175,7 +215,11 @@ pub fn sw4(rec: &mut Recorder) -> Vec<Table> {
     // Distributed strong scaling of a Hayward-class block.
     let scaling = rec.begin("strong-scaling", SpanKind::Phase);
     use seismic::dist::{strong_scaling, DistRun};
-    let base = DistRun { total_points: 2.0e9, nodes: 64, steps: 1000.0 };
+    let base = DistRun {
+        total_points: 2.0e9,
+        nodes: 64,
+        steps: 1000.0,
+    };
     let curve = strong_scaling(&machines::sierra_node(), &base, &[64, 128, 256, 512, 1024]);
     let t0 = curve[0].1;
     let mut d = Table::new(
@@ -218,15 +262,20 @@ pub fn vbl(rec: &mut Recorder) -> Vec<Table> {
     let sim = Sim::new(machines::sierra_node());
     let h2d = crossover_bytes(&sim, Direction::HostToDevice, 16.0, 16.0 * 1024.0 * 1024.0);
     let d2h = crossover_bytes(&sim, Direction::DeviceToHost, 16.0, 16.0 * 1024.0 * 1024.0);
-    let mut s = Table::new("GPUDirect vs staged copy crossover", &["direction", "model", "paper"]);
+    let mut s = Table::new(
+        "GPUDirect vs staged copy crossover",
+        &["direction", "model", "paper"],
+    );
     s.row(&[
         "host -> device".into(),
-        h2d.map(|b| format!("{:.1} KiB", b / 1024.0)).unwrap_or("none".into()),
+        h2d.map(|b| format!("{:.1} KiB", b / 1024.0))
+            .unwrap_or("none".into()),
         "a few KB or more".into(),
     ]);
     s.row(&[
         "device -> host".into(),
-        d2h.map(|b| format!("{:.1} KiB", b / 1024.0)).unwrap_or("none".into()),
+        d2h.map(|b| format!("{:.1} KiB", b / 1024.0))
+            .unwrap_or("none".into()),
         "a few hundred bytes or more".into(),
     ]);
     s.row(&[
@@ -252,14 +301,21 @@ pub fn cardioid_experiment(rec: &mut Recorder) -> Vec<Table> {
         let start = std::time::Instant::now();
         let mut acc = 0.0;
         for _ in 0..reps {
-            let d = if lowered { model.rhs_lowered(&state) } else { model.rhs_exact(&state) };
+            let d = if lowered {
+                model.rhs_lowered(&state)
+            } else {
+                model.rhs_exact(&state)
+            };
             acc += d[0];
         }
         (start.elapsed().as_secs_f64() / reps as f64, acc)
     };
     let (t_exact, a1) = timer(false);
     let (t_lowered, a2) = timer(true);
-    assert!((a1 - a2).abs() / a1.abs().max(1.0) < 0.05, "kernels disagree");
+    assert!(
+        (a1 - a2).abs() / a1.abs().max(1.0) < 0.05,
+        "kernels disagree"
+    );
 
     let mut t = Table::new(
         "Cardioid (4.1): reaction-kernel forms (4-equation TT06-flavoured model)",
@@ -278,7 +334,11 @@ pub fn cardioid_experiment(rec: &mut Recorder) -> Vec<Table> {
         if flops_lowered < flops_exact {
             format!("{:.2}x fewer flops", flops_exact / flops_lowered)
         } else {
-            format!("{:.2}x faster despite {:.0} polynomial flops (no transcendental latency)", t_exact / t_lowered, flops_lowered)
+            format!(
+                "{:.2}x faster despite {:.0} polynomial flops (no transcendental latency)",
+                t_exact / t_lowered,
+                flops_lowered
+            )
         },
     ]);
 
@@ -298,7 +358,11 @@ pub fn cardioid_experiment(rec: &mut Recorder) -> Vec<Table> {
     ] {
         let mut sm = Sim::new(machines::sierra_node());
         let dt = tissue.simulated_step_cost(&mut sm, p, true);
-        s.row(&[name.to_string(), fmt_time(dt), format!("{:.2}x", dt / all_gpu)]);
+        s.row(&[
+            name.to_string(),
+            fmt_time(dt),
+            format!("{:.2}x", dt / all_gpu),
+        ]);
     }
     rec.end(placement);
     vec![t, s]

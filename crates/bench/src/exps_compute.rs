@@ -25,7 +25,10 @@ pub fn fig6(rec: &mut Recorder) -> Vec<Table> {
     let elide = dead_store_elimination(&prog, &groups);
     let (out_full, full) = run(&prog, &inputs, &groups, &elide);
     for &a in &prog.live_out {
-        assert_eq!(out_base[a], out_slnsp[a], "SLNSP changed live-out array {a}");
+        assert_eq!(
+            out_base[a], out_slnsp[a],
+            "SLNSP changed live-out array {a}"
+        );
         assert_eq!(out_base[a], out_full[a], "DSE changed live-out array {a}");
     }
 
@@ -33,9 +36,19 @@ pub fn fig6(rec: &mut Recorder) -> Vec<Table> {
     let t0 = base.time(bw);
     let mut t = Table::new(
         "Fig 6: ParaDyn kernel — time and global memory ops (1M elements)",
-        &["variant", "time (ms)", "speedup", "loads/elem", "stores/elem"],
+        &[
+            "variant",
+            "time (ms)",
+            "speedup",
+            "loads/elem",
+            "stores/elem",
+        ],
     );
-    for (name, s) in [("baseline", &base), ("SLNSP", &slnsp), ("SLNSP + dead-store elim", &full)] {
+    for (name, s) in [
+        ("baseline", &base),
+        ("SLNSP", &slnsp),
+        ("SLNSP + dead-store elim", &full),
+    ] {
         t.row(&[
             name.to_string(),
             format!("{:.3}", s.time(bw) * 1e3),
@@ -75,7 +88,8 @@ fn measure_counts() -> StackCounts {
     let mass = fem::MassPA::new(mesh.clone());
     let lumped = mass.lumped();
     let bdr = diff.boundary().to_vec();
-    let u0 = mesh.project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
+    let u0 =
+        mesh.project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
     let ndof = mesh.ndof();
     let mut bdf = BdfIntegrator::new(HostVec::from_vec(u0), 0.0, BdfOptions::default());
     let mut scratch = vec![0.0; ndof];
@@ -137,7 +151,13 @@ struct PhaseCosts {
     solve: f64,
 }
 
-fn phase_costs(machine: &Machine, target: Target, dofs: f64, p: usize, c: &StackCounts) -> PhaseCosts {
+fn phase_costs(
+    machine: &Machine,
+    target: Target,
+    dofs: f64,
+    p: usize,
+    c: &StackCounts,
+) -> PhaseCosts {
     let sim = hetsim::Sim::new(machine.clone());
     let on_gpu = matches!(target, Target::Gpu { .. });
     // The E-vector gather/scatter of partial assembly is uncoalesced on
@@ -177,7 +197,11 @@ fn phase_costs(machine: &Machine, target: Target, dofs: f64, p: usize, c: &Stack
     let solve = c.krylov_per_step * (t_pa + t_vec) + c.newton_per_step * t_pa;
     let amg_ineff = if on_gpu { 1.0 / gpu_bw_eff } else { 1.0 };
     let precond = c.krylov_per_step * amg_cycle_cost(machine, target, dofs) * amg_ineff;
-    PhaseCosts { formulation, precond, solve }
+    PhaseCosts {
+        formulation,
+        precond,
+        solve,
+    }
 }
 
 /// Fig 8: timing breakdown of the 1M-dof nonlinear diffusion problem,
@@ -220,10 +244,22 @@ pub fn fig8(rec: &mut Recorder) -> Vec<Table> {
         icoe::report::fmt_time(tot_g),
         format!("{:.1}x", tot_c / tot_g),
     ]);
-    let mut info = Table::new("measured per-step counts (from the real 8x8 p=2 run)", &["metric", "value"]);
-    info.row(&["Newton iters/step".into(), format!("{:.1}", counts.newton_per_step)]);
-    info.row(&["Krylov iters/step".into(), format!("{:.1}", counts.krylov_per_step)]);
-    info.row(&["RHS evals/step".into(), format!("{:.1}", counts.rhs_per_step)]);
+    let mut info = Table::new(
+        "measured per-step counts (from the real 8x8 p=2 run)",
+        &["metric", "value"],
+    );
+    info.row(&[
+        "Newton iters/step".into(),
+        format!("{:.1}", counts.newton_per_step),
+    ]);
+    info.row(&[
+        "Krylov iters/step".into(),
+        format!("{:.1}", counts.krylov_per_step),
+    ]);
+    info.row(&[
+        "RHS evals/step".into(),
+        format!("{:.1}", counts.rhs_per_step),
+    ]);
     vec![t, info]
 }
 
@@ -243,7 +279,9 @@ pub fn table4(rec: &mut Recorder) -> Vec<Table> {
     let sizes = [20.8e3, 82.6e3, 329.0e3, 1.313e6];
     let mut t = Table::new(
         "Table 4: GPU speedup (MFEM + hypre + SUNDIALS stack, 20 timesteps)",
-        &["Unknowns", "p=2", "(paper)", "p=4", "(paper)", "p=8", "(paper)"],
+        &[
+            "Unknowns", "p=2", "(paper)", "p=4", "(paper)", "p=8", "(paper)",
+        ],
     );
     for (si, &dofs) in sizes.iter().enumerate() {
         let mut cells = vec![format!("{:.1}k", dofs / 1e3)];
@@ -273,7 +311,13 @@ pub fn table5(rec: &mut Recorder) -> Vec<Table> {
     let one_gpu = run_cost(&m, NodeMapping::SingleGpu, cells, steps, true);
     let mut t = Table::new(
         "Table 5: CleverLeaf mini-app using SAMRAI (simulated, 8M cells x 100 steps)",
-        &["", "Full Node (model)", "Full Node (paper)", "P9 vs V100 (model)", "P9 vs V100 (paper)"],
+        &[
+            "",
+            "Full Node (model)",
+            "Full Node (paper)",
+            "P9 vs V100 (model)",
+            "P9 vs V100 (paper)",
+        ],
     );
     t.row(&[
         "CPU time (s)".into(),
@@ -299,25 +343,44 @@ pub fn table5(rec: &mut Recorder) -> Vec<Table> {
 
     rec.end(price);
     // Real AMR correctness companion: blast problem conserves and refines.
-    use amr::Hierarchy;
     use amr::euler::{EulerState, RHO};
+    use amr::Hierarchy;
     let blast = rec.begin("amr-blast-sanity", SpanKind::Phase);
     let mut h = Hierarchy::new(48, 1.0 / 48.0, 2.0);
     h.coarse.init(|x, y| {
         let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
         if r2 < 0.01 {
-            EulerState { rho: 2.0, u: 0.0, v: 0.0, p: 10.0 }
+            EulerState {
+                rho: 2.0,
+                u: 0.0,
+                v: 0.0,
+                p: 10.0,
+            }
         } else {
-            EulerState { rho: 1.0, u: 0.0, v: 0.0, p: 1.0 }
+            EulerState {
+                rho: 1.0,
+                u: 0.0,
+                v: 0.0,
+                p: 1.0,
+            }
         }
     });
     let m0 = h.total(RHO);
     h.run(10, 3);
     let mut c = Table::new("AMR blast sanity (real hydro)", &["metric", "value"]);
-    c.row(&["fine-level coverage".into(), format!("{:.1}%", 100.0 * h.fine_coverage())]);
+    c.row(&[
+        "fine-level coverage".into(),
+        format!("{:.1}%", 100.0 * h.fine_coverage()),
+    ]);
     c.row(&["regrids".into(), h.regrids().to_string()]);
-    c.row(&["mass drift".into(), format!("{:.2e}", (h.total(RHO) - m0).abs() / m0)]);
-    c.row(&["min density".into(), format!("{:.3}", h.coarse.min_density())]);
+    c.row(&[
+        "mass drift".into(),
+        format!("{:.2e}", (h.total(RHO) - m0).abs() / m0),
+    ]);
+    c.row(&[
+        "min density".into(),
+        format!("{:.3}", h.coarse.min_density()),
+    ]);
     rec.end(blast);
     vec![t, c]
 }

@@ -9,7 +9,13 @@ pub fn table1(rec: &mut Recorder) -> Vec<Table> {
     let phase = rec.begin("enumerate-activities", SpanKind::Phase);
     let mut t = Table::new(
         "Table 1: Completed iCoE activities (bold = final approach, * here)",
-        &["Activity", "Science Area", "Base Language", "Approaches", "Crate"],
+        &[
+            "Activity",
+            "Science Area",
+            "Base Language",
+            "Approaches",
+            "Crate",
+        ],
     );
     for a in icoe::activities() {
         let approaches = a
@@ -44,7 +50,13 @@ pub fn fig2(rec: &mut Recorder) -> Vec<Table> {
 
     let gen = rec.begin("corpus-gen", SpanKind::Phase);
     let corpus = Corpus::generate(
-        CorpusParams { n_docs: 1024, vocab: 1500, n_topics: 12, words_per_doc: 200, zipf_s: 1.1 },
+        CorpusParams {
+            n_docs: 1024,
+            vocab: 1500,
+            n_topics: 12,
+            words_per_doc: 200,
+            zipf_s: 1.1,
+        },
         42,
     );
     rec.end(gen);
@@ -61,7 +73,14 @@ pub fn fig2(rec: &mut Recorder) -> Vec<Table> {
 
     let mut t = Table::new(
         "Fig 2: SparkPlug LDA aggregate time breakdown, 32 nodes (simulated ms)",
-        &["stack", "compute", "shuffle", "aggregate", "broadcast", "total"],
+        &[
+            "stack",
+            "compute",
+            "shuffle",
+            "aggregate",
+            "broadcast",
+            "total",
+        ],
     );
     for r in [&slow, &fast] {
         t.row(&[
@@ -99,7 +118,15 @@ pub fn table2(rec: &mut Recorder) -> Vec<Table> {
     let paper_scale = [34, 36, 36, 37, 40, 42];
     let mut t = Table::new(
         "Table 2: historically best graph scale and performance",
-        &["Machine", "Year", "Nodes", "Scale", "GTEPS (model)", "GTEPS (paper)", "semi-external"],
+        &[
+            "Machine",
+            "Year",
+            "Nodes",
+            "Scale",
+            "GTEPS (model)",
+            "GTEPS (paper)",
+            "semi-external",
+        ],
     );
     for (i, row) in graphx::dist::table2().iter().enumerate() {
         t.row(&[
@@ -128,8 +155,17 @@ pub fn table2(rec: &mut Recorder) -> Vec<Table> {
     assert!(validate_tree(&g, root, &td));
     assert!(validate_tree(&g, root, &dopt));
     let mut v = Table::new(
-        format!("Host validation run: RMAT scale {scale} ({} directed edges)", g.num_directed_edges()),
-        &["variant", "edges examined", "wall time", "host MTEPS", "reached"],
+        format!(
+            "Host validation run: RMAT scale {scale} ({} directed edges)",
+            g.num_directed_edges()
+        ),
+        &[
+            "variant",
+            "edges examined",
+            "wall time",
+            "host MTEPS",
+            "reached",
+        ],
     );
     v.row(&[
         "top-down".into(),
@@ -145,7 +181,10 @@ pub fn table2(rec: &mut Recorder) -> Vec<Table> {
         format!("{:.1}", dopt.teps(t_do) / 1e6),
         dopt.reached.to_string(),
     ]);
-    rec.incr("bfs.edges_examined", (td.edges_examined + dopt.edges_examined) as f64);
+    rec.incr(
+        "bfs.edges_examined",
+        (td.edges_examined + dopt.edges_examined) as f64,
+    );
     rec.end(bfs_phase);
     vec![t, v]
 }
@@ -194,15 +233,29 @@ pub fn table3(rec: &mut Recorder) -> Vec<Table> {
     let paper_hmdb = [61.44, 56.34, 58.69, 75.16, 77.45, 81.24, 80.33];
     let mut t = Table::new(
         "Table 3: validation accuracies (%) — synthetic UCF/HMDB analogues",
-        &["Approach", "UCF-like", "paper UCF101", "HMDB-like", "paper HMDB51"],
+        &[
+            "Approach",
+            "UCF-like",
+            "paper UCF101",
+            "HMDB-like",
+            "paper HMDB51",
+        ],
     );
     let rows: [(&str, f64, f64); 7] = [
         ("Spatial Stream", easy.single[0], hard.single[0]),
         ("Temporal Stream", easy.single[1], hard.single[1]),
         ("SPyNet Stream", easy.single[2], hard.single[2]),
         ("Simple Average", easy.simple_average, hard.simple_average),
-        ("Weighted Average", easy.weighted_average, hard.weighted_average),
-        ("Logistic Regression", easy.logistic_regression, hard.logistic_regression),
+        (
+            "Weighted Average",
+            easy.weighted_average,
+            hard.weighted_average,
+        ),
+        (
+            "Logistic Regression",
+            easy.logistic_regression,
+            hard.logistic_regression,
+        ),
         ("Shallow NN", easy.shallow_nn, hard.shallow_nn),
     ];
     for (i, (name, e, h)) in rows.iter().enumerate() {
@@ -225,7 +278,16 @@ pub fn machines_table(rec: &mut Recorder) -> Vec<Table> {
     let phase = rec.begin("inventory", SpanKind::Phase);
     let mut t = Table::new(
         "Hardware (2.1): machine presets used across the experiments",
-        &["machine", "year", "nodes", "CPU", "GPUs", "node fp64 peak", "host-GPU link", "injection"],
+        &[
+            "machine",
+            "year",
+            "nodes",
+            "CPU",
+            "GPUs",
+            "node fp64 peak",
+            "host-GPU link",
+            "injection",
+        ],
     );
     for mac in [
         m::viz_k40(),

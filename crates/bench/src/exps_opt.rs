@@ -14,7 +14,13 @@ pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     let batch = batch_arrivals(400, 3);
     let mut t = Table::new(
         "Opt (4.7): batch of 400 jobs on 16 GPUs, by policy",
-        &["policy", "makespan (s)", "mean wait (s)", "max wait (s)", "utilization"],
+        &[
+            "policy",
+            "makespan (s)",
+            "mean wait (s)",
+            "max wait (s)",
+            "utilization",
+        ],
     );
     for (name, p) in [
         ("FCFS", Policy::Fcfs),
@@ -34,11 +40,20 @@ pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     // Arrival-rate throttling.
     let mut a = Table::new(
         "arrival-rate study (Poisson, 600 jobs, FCFS)",
-        &["arrival rate (jobs/s)", "mean wait (s)", "utilization", "verdict"],
+        &[
+            "arrival rate (jobs/s)",
+            "mean wait (s)",
+            "utilization",
+            "verdict",
+        ],
     );
     for rate in [0.02, 0.04, 0.06, 0.09, 0.12] {
         let m = simulate(&poisson_arrivals(600, rate, 7), GPUS, Policy::Fcfs);
-        let verdict = if m.mean_wait < 60.0 { "stable" } else { "queue grows: throttle!" };
+        let verdict = if m.mean_wait < 60.0 {
+            "stable"
+        } else {
+            "queue grows: throttle!"
+        };
         a.row(&[
             format!("{rate}"),
             format!("{:.0}", m.mean_wait),
@@ -51,10 +66,20 @@ pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     // Texture-cache hindsight (EA vs final system).
     let tex_phase = rec.begin("texture-hindsight", SpanKind::Phase);
     use topopt::{solver_step_cost, SimpConfig, TextureUse};
-    let big = SimpConfig { nelx: 1024, nely: 512, ..Default::default() };
+    let big = SimpConfig {
+        nelx: 1024,
+        nely: 512,
+        ..Default::default()
+    };
     let mut x = Table::new(
         "matrix-free K*x kernel: texture cache across machines (us)",
-        &["machine", "CUDA", "CUDA+texture", "RAJA (no texture)", "texture verdict"],
+        &[
+            "machine",
+            "CUDA",
+            "CUDA+texture",
+            "RAJA (no texture)",
+            "texture verdict",
+        ],
     );
     for (m, verdict) in [
         (machines::ea_minsky(), "needed (kept team on CUDA)"),
@@ -76,16 +101,33 @@ pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     // A real SIMP run (the drone-design kernel, scaled down).
     use topopt::SimpProblem;
     let simp_phase = rec.begin("simp-run", SpanKind::Phase);
-    let mut prob = SimpProblem::cantilever(SimpConfig { nelx: 32, nely: 16, iters: 20, ..Default::default() });
+    let mut prob = SimpProblem::cantilever(SimpConfig {
+        nelx: 32,
+        nely: 16,
+        iters: 20,
+        ..Default::default()
+    });
     let r = prob.optimize();
     rec.incr("simp.cg_iters", r.cg_iters_total as f64);
-    let mut d = Table::new("real SIMP cantilever run (32x16, 20 iterations)", &["metric", "value"]);
-    d.row(&["initial compliance".into(), format!("{:.3}", r.compliance_history[0])]);
+    let mut d = Table::new(
+        "real SIMP cantilever run (32x16, 20 iterations)",
+        &["metric", "value"],
+    );
+    d.row(&[
+        "initial compliance".into(),
+        format!("{:.3}", r.compliance_history[0]),
+    ]);
     d.row(&[
         "final compliance".into(),
-        format!("{:.3}", r.compliance_history.last().copied().unwrap_or(f64::NAN)),
+        format!(
+            "{:.3}",
+            r.compliance_history.last().copied().unwrap_or(f64::NAN)
+        ),
     ]);
-    d.row(&["volume fraction".into(), format!("{:.3}", prob.volume_fraction())]);
+    d.row(&[
+        "volume fraction".into(),
+        format!("{:.3}", prob.volume_fraction()),
+    ]);
     d.row(&["total CG iterations".into(), r.cg_iters_total.to_string()]);
     rec.end(simp_phase);
     vec![t, a, x, d]
@@ -100,7 +142,12 @@ pub fn kavg(rec: &mut Recorder) -> Vec<Table> {
     let (xs, ys) = synth_dataset(400, 4, 3);
     let learners = 16usize;
     let total_steps = 1024usize;
-    let cfg = |steps: usize| TrainConfig { lr: 0.3, batch: 32, steps, seed: 5 };
+    let cfg = |steps: usize| TrainConfig {
+        lr: 0.3,
+        batch: 32,
+        steps,
+        seed: 5,
+    };
 
     // Communication model: one allreduce of the model per round over 16
     // 4-GPU nodes; one local step costs ~2 ms of GPU time. The recorder
@@ -112,7 +159,14 @@ pub fn kavg(rec: &mut Recorder) -> Vec<Table> {
 
     let mut t = Table::new(
         "KAVG (4.5): K sweep, 16 learners, 1024 local steps each",
-        &["K", "final loss", "accuracy", "reductions", "sim. wall time (s)", "note"],
+        &[
+            "K",
+            "final loss",
+            "accuracy",
+            "reductions",
+            "sim. wall time (s)",
+            "note",
+        ],
     );
     let mut best = (0usize, f64::INFINITY);
     for k in [1usize, 2, 4, 8, 16, 32] {
@@ -138,7 +192,12 @@ pub fn kavg(rec: &mut Recorder) -> Vec<Table> {
         best.0.to_string(),
         "\"usually greater than one\"".into(),
     ]);
-    let hot = TrainConfig { lr: 4.5, batch: 32, steps: 1024, seed: 5 };
+    let hot = TrainConfig {
+        lr: 4.5,
+        batch: 32,
+        steps: 1024,
+        seed: 5,
+    };
     let (_, kavg_loss, _) = train_kavg(&xs, &ys, hot, learners, 4);
     let (_, asgd_loss) = train_asgd(&xs, &ys, hot, learners);
     s.row(&[
@@ -165,7 +224,11 @@ pub fn lessons(rec: &mut Recorder) -> Vec<Table> {
             Some(false) => "FAILS (!)",
             None => "organisational (recorded)",
         };
-        t.row(&[l.quote.chars().take(88).collect::<String>(), l.section.to_string(), verdict.to_string()]);
+        t.row(&[
+            l.quote.chars().take(88).collect::<String>(),
+            l.section.to_string(),
+            verdict.to_string(),
+        ]);
     }
     rec.end(phase);
     vec![t]

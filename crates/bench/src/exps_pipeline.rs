@@ -21,7 +21,10 @@ use portal::{Backend, Executor, PerItem, Staging};
 /// rate (7.8 Tflop/s x 0.6) is ~0.118 ns/item of kernel. With the three
 /// pipeline tracks matched, overlap has the most to win.
 fn workload() -> (PerItem, Staging) {
-    let item = PerItem::new().flops(550.0).bytes_read(8.0).bytes_written(8.0);
+    let item = PerItem::new()
+        .flops(550.0)
+        .bytes_read(8.0)
+        .bytes_written(8.0);
     (item, Staging::new(8.0, 8.0))
 }
 
@@ -42,7 +45,12 @@ pub fn pipeline_overlap(rec: &mut Recorder) -> Vec<Table> {
         "pipeline-overlap: serial staging vs chunked streams (sierra, 4M items, copy ~ compute)",
         &["chunks", "time (ms)", "speedup vs serial", "verdict"],
     );
-    t.row(&["serial".into(), format!("{:.3}", serial * 1e3), "1.00x".into(), "baseline (blocking cudaMemcpy)".into()]);
+    t.row(&[
+        "serial".into(),
+        format!("{:.3}", serial * 1e3),
+        "1.00x".into(),
+        "baseline (blocking cudaMemcpy)".into(),
+    ]);
 
     let mut best = (1usize, serial);
     for chunks in [1usize, 2, 4, 8, 16, 32, 64, 256, 4096] {
@@ -135,7 +143,11 @@ mod tests {
         let tables = pipeline_overlap(&mut Recorder::noop());
         for row in &tables[1].rows {
             let ratio: f64 = row[3].parse().unwrap();
-            assert!((0.8..=1.25).contains(&ratio), "chunks {} ratio {ratio}", row[0]);
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "chunks {} ratio {ratio}",
+                row[0]
+            );
         }
     }
 }

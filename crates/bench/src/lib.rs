@@ -21,8 +21,25 @@ pub use icoe::report::{fmt_time, Table};
 
 /// Every experiment id, in paper order (mirrors [`registry()`]).
 pub const ALL: &[&str] = &[
-    "table1", "fig2", "table2", "fig3", "table3", "fig6", "fig8", "table4", "table5", "cretin",
-    "md", "sw4", "vbl", "cardioid", "opt", "kavg", "pipeline-overlap", "lessons", "machines",
+    "table1",
+    "fig2",
+    "table2",
+    "fig3",
+    "table3",
+    "fig6",
+    "fig8",
+    "table4",
+    "table5",
+    "cretin",
+    "md",
+    "sw4",
+    "vbl",
+    "cardioid",
+    "opt",
+    "kavg",
+    "pipeline-overlap",
+    "lessons",
+    "machines",
 ];
 
 /// Build the full experiment registry, in paper order.
@@ -39,25 +56,65 @@ pub fn registry() -> Registry {
     let mut r = Registry::new();
     reg!(
         r,
-        ("table1", "Table 1 (completed activities)", exps_core::table1),
+        (
+            "table1",
+            "Table 1 (completed activities)",
+            exps_core::table1
+        ),
         ("fig2", "Fig. 2 (SparkPlug LDA stacks)", exps_core::fig2),
         ("table2", "Table 2 (graph scale / GTEPS)", exps_core::table2),
         ("fig3", "Fig. 3 (LBANN scaling)", exps_core::fig3),
         ("table3", "Table 3 (video accuracies)", exps_core::table3),
         ("fig6", "Fig. 6 (ParaDyn SLNSP)", exps_compute::fig6),
-        ("fig8", "Fig. 8 (nonlinear diffusion breakdown)", exps_compute::fig8),
-        ("table4", "Table 4 (GPU speedup by size/order)", exps_compute::table4),
-        ("table5", "Table 5 (CleverLeaf / SAMRAI)", exps_compute::table5),
-        ("cretin", "§4.3 (Cretin throughput + solvers)", exps_apps::cretin),
-        ("md", "§4.6 (ddcMD vs GROMACS-like)", exps_apps::md_experiment),
+        (
+            "fig8",
+            "Fig. 8 (nonlinear diffusion breakdown)",
+            exps_compute::fig8
+        ),
+        (
+            "table4",
+            "Table 4 (GPU speedup by size/order)",
+            exps_compute::table4
+        ),
+        (
+            "table5",
+            "Table 5 (CleverLeaf / SAMRAI)",
+            exps_compute::table5
+        ),
+        (
+            "cretin",
+            "§4.3 (Cretin throughput + solvers)",
+            exps_apps::cretin
+        ),
+        (
+            "md",
+            "§4.6 (ddcMD vs GROMACS-like)",
+            exps_apps::md_experiment
+        ),
         ("sw4", "§4.9 (SW4 kernel paths + scaling)", exps_apps::sw4),
         ("vbl", "§4.11 (VBL transpose + GPUDirect)", exps_apps::vbl),
-        ("cardioid", "§4.1 (Cardioid DSL + placement)", exps_apps::cardioid_experiment),
+        (
+            "cardioid",
+            "§4.1 (Cardioid DSL + placement)",
+            exps_apps::cardioid_experiment
+        ),
         ("opt", "§4.7 (scheduler + texture + SIMP)", exps_opt::opt),
         ("kavg", "§4.5 (KAVG time-to-quality)", exps_opt::kavg),
-        ("pipeline-overlap", "§4 (streams: serial vs pipelined crossover)", exps_pipeline::pipeline_overlap),
-        ("lessons", "§1–5 (lessons learned, validated)", exps_opt::lessons),
-        ("machines", "§2.1 (hardware inventory)", exps_core::machines_table),
+        (
+            "pipeline-overlap",
+            "§4 (streams: serial vs pipelined crossover)",
+            exps_pipeline::pipeline_overlap
+        ),
+        (
+            "lessons",
+            "§1–5 (lessons learned, validated)",
+            exps_opt::lessons
+        ),
+        (
+            "machines",
+            "§2.1 (hardware inventory)",
+            exps_core::machines_table
+        ),
     );
     debug_assert_eq!(r.ids(), ALL, "ALL must mirror the registry order");
     r

@@ -19,14 +19,23 @@ fn json_flag_emits_a_parsable_experiment_document() {
         assert!(out.status.success(), "{id} exited nonzero: {out:?}");
         let stdout = String::from_utf8(out.stdout).expect("utf8");
         let doc = json::parse(stdout.trim()).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
-        assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some(*id));
+        assert_eq!(
+            doc.get("experiment").and_then(json::Value::as_str),
+            Some(*id)
+        );
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
             Some("icoe-experiment-v1")
         );
-        let tables = doc.get("tables").and_then(json::Value::as_array).expect("tables");
+        let tables = doc
+            .get("tables")
+            .and_then(json::Value::as_array)
+            .expect("tables");
         assert!(!tables.is_empty(), "{id} produced no tables");
-        let span_count = doc.get("span_count").and_then(json::Value::as_f64).expect("span_count");
+        let span_count = doc
+            .get("span_count")
+            .and_then(json::Value::as_f64)
+            .expect("span_count");
         assert!(span_count >= 1.0, "{id} ran without a root span");
     }
 }
@@ -43,12 +52,26 @@ fn fig8_bench_dir_writes_a_valid_summary() {
     let path = dir.join("BENCH_fig8.json");
     let text = std::fs::read_to_string(&path).expect("summary file written");
     let doc = json::parse(&text).expect("summary parses");
-    assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some("fig8"));
-    assert_eq!(doc.get("schema").and_then(json::Value::as_str), Some("icoe-bench-v1"));
-    assert!(doc.get("wall_s").and_then(json::Value::as_f64).expect("wall_s") > 0.0);
+    assert_eq!(
+        doc.get("experiment").and_then(json::Value::as_str),
+        Some("fig8")
+    );
+    assert_eq!(
+        doc.get("schema").and_then(json::Value::as_str),
+        Some("icoe-bench-v1")
+    );
+    assert!(
+        doc.get("wall_s")
+            .and_then(json::Value::as_f64)
+            .expect("wall_s")
+            > 0.0
+    );
     let gauges = doc.get("gauges").expect("gauges");
     assert!(
-        gauges.get("fig8.total_speedup").and_then(json::Value::as_f64).expect("speedup gauge")
+        gauges
+            .get("fig8.total_speedup")
+            .and_then(json::Value::as_f64)
+            .expect("speedup gauge")
             > 1.0,
         "GPU should beat one P8 thread"
     );
@@ -61,10 +84,16 @@ fn pipeline_overlap_timeline_shows_copy_engine_tracks() {
         .args(["pipeline-overlap", "--timeline"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "pipeline-overlap exited nonzero: {out:?}");
+    assert!(
+        out.status.success(),
+        "pipeline-overlap exited nonzero: {out:?}"
+    );
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     for track in ["gpu0.h2d", "gpu0.d2h", "gpu0.s0"] {
-        assert!(stderr.contains(track), "timeline missing track {track}:\n{stderr}");
+        assert!(
+            stderr.contains(track),
+            "timeline missing track {track}:\n{stderr}"
+        );
     }
 }
 
@@ -76,7 +105,10 @@ fn list_enumerates_the_registry_with_artifacts() {
     for id in bench::ALL {
         assert!(stdout.contains(id), "list missing id {id}");
     }
-    assert!(stdout.contains("Fig. 8"), "list missing paper artifact column");
+    assert!(
+        stdout.contains("Fig. 8"),
+        "list missing paper artifact column"
+    );
 }
 
 #[test]

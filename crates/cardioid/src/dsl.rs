@@ -70,7 +70,9 @@ impl Expr {
     pub fn eval(&self, vars: &HashMap<&'static str, f64>) -> f64 {
         match self {
             Expr::Const(v) => *v,
-            Expr::Var(n) => *vars.get(n).unwrap_or_else(|| panic!("unbound variable {n}")),
+            Expr::Var(n) => *vars
+                .get(n)
+                .unwrap_or_else(|| panic!("unbound variable {n}")),
             Expr::Add(a, b) => a.eval(vars) + b.eval(vars),
             Expr::Sub(a, b) => a.eval(vars) - b.eval(vars),
             Expr::Mul(a, b) => a.eval(vars) * b.eval(vars),
@@ -103,8 +105,10 @@ impl Expr {
                 let (al, ah) = a.range(ranges);
                 let (bl, bh) = b.range(ranges);
                 let cands = [al * bl, al * bh, ah * bl, ah * bh];
-                (cands.iter().copied().fold(f64::INFINITY, f64::min),
-                 cands.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                (
+                    cands.iter().copied().fold(f64::INFINITY, f64::min),
+                    cands.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
             }
             Expr::Div(a, b) => {
                 let (al, ah) = a.range(ranges);
@@ -114,8 +118,10 @@ impl Expr {
                     "division range straddles zero: [{bl}, {bh}]"
                 );
                 let cands = [al / bl, al / bh, ah / bl, ah / bh];
-                (cands.iter().copied().fold(f64::INFINITY, f64::min),
-                 cands.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                (
+                    cands.iter().copied().fold(f64::INFINITY, f64::min),
+                    cands.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                )
             }
             Expr::Neg(a) => {
                 let (l, h) = a.range(ranges);
@@ -131,7 +137,10 @@ impl Expr {
             }
             Expr::Log(a) => {
                 let (l, h) = a.range(ranges);
-                assert!(l > 0.0, "log argument range includes non-positive values: [{l}, {h}]");
+                assert!(
+                    l > 0.0,
+                    "log argument range includes non-positive values: [{l}, {h}]"
+                );
                 (l.ln(), h.ln())
             }
             Expr::Rational(a, r) => {
@@ -212,11 +221,7 @@ impl Expr {
     /// variable. Gate steady-states and time constants — functions of the
     /// membrane potential only — collapse to a single rational evaluation
     /// each.
-    pub fn lower_exp(
-        self,
-        ranges: &HashMap<&'static str, (f64, f64)>,
-        degree: usize,
-    ) -> Expr {
+    pub fn lower_exp(self, ranges: &HashMap<&'static str, (f64, f64)>, degree: usize) -> Expr {
         if !self.contains_exp() {
             return self;
         }
@@ -289,7 +294,11 @@ pub struct Kernel {
 impl Kernel {
     /// Compile an expression, given the variable order used at call time.
     pub fn compile(expr: &Expr, vars: &[&'static str]) -> Kernel {
-        let mut k = Kernel { vars: vars.to_vec(), ops: Vec::new(), rationals: Vec::new() };
+        let mut k = Kernel {
+            vars: vars.to_vec(),
+            ops: Vec::new(),
+            rationals: Vec::new(),
+        };
         k.emit(expr);
         k
     }
@@ -510,7 +519,12 @@ mod tests {
         let e = gate_expr();
         let exact = Kernel::compile(&e, &["v"]);
         let lowered = Kernel::lower(e, &["v"], &vranges(), 3);
-        assert!(lowered.flops() < exact.flops(), "{} vs {}", lowered.flops(), exact.flops());
+        assert!(
+            lowered.flops() < exact.flops(),
+            "{} vs {}",
+            lowered.flops(),
+            exact.flops()
+        );
     }
 
     #[test]
@@ -558,7 +572,11 @@ mod transcendental_tests {
         let exact = Kernel::compile(&e, &["v"]);
         let lowered = Kernel::lower(e, &["v"], &ranges, 10);
         assert_eq!(lowered.remaining_exps(), 0);
-        assert_eq!(lowered.num_rationals(), 1, "whole single-variable expr collapses");
+        assert_eq!(
+            lowered.num_rationals(),
+            1,
+            "whole single-variable expr collapses"
+        );
         let mut worst = 0.0f64;
         for i in 0..400 {
             let v = -40.0 + 80.0 * i as f64 / 399.0;

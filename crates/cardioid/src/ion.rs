@@ -96,7 +96,11 @@ fn model_exprs() -> Vec<Expr> {
         v_rhs(),
         gate_rhs(gate_inf(-40.0, -6.0), gate_tau(0.1, 1.0, -50.0, 10.0), "m"),
         gate_rhs(gate_inf(-65.0, 7.0), gate_tau(4.0, 40.0, -60.0, 8.0), "h"),
-        gate_rhs(gate_inf(-30.0, -9.0), gate_tau(10.0, 80.0, -40.0, 12.0), "n"),
+        gate_rhs(
+            gate_inf(-30.0, -9.0),
+            gate_tau(10.0, 80.0, -40.0, 12.0),
+            "n",
+        ),
     ]
 }
 
@@ -156,7 +160,11 @@ impl IonModel {
     ) -> [f64; STATE_DIM] {
         let mut s = Self::rest();
         for step in 0..steps {
-            let mut d = if lowered { self.rhs_lowered(&s) } else { self.rhs_exact(&s) };
+            let mut d = if lowered {
+                self.rhs_lowered(&s)
+            } else {
+                self.rhs_exact(&s)
+            };
             if step < stim_steps {
                 d[0] += stim;
             }
@@ -226,7 +234,12 @@ mod tests {
         let dt = 0.02;
         let a = m.integrate(dt, 300, 30.0, 80, false);
         let b = m.integrate(dt, 300, 30.0, 80, true);
-        assert!((a[0] - b[0]).abs() < 1.0, "v diverged: {} vs {}", a[0], b[0]);
+        assert!(
+            (a[0] - b[0]).abs() < 1.0,
+            "v diverged: {} vs {}",
+            a[0],
+            b[0]
+        );
     }
 
     #[test]

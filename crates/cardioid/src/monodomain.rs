@@ -39,7 +39,14 @@ impl Monodomain {
         assert!(alpha < 0.25, "explicit diffusion needs alpha < 0.25");
         let model = IonModel::new(lowering_degree);
         let state = vec![IonModel::rest(); nx * ny];
-        Monodomain { nx, ny, alpha, model, state, dt }
+        Monodomain {
+            nx,
+            ny,
+            alpha,
+            model,
+            state,
+            dt,
+        }
     }
 
     /// Apply a stimulus to a disc of cells.
@@ -58,7 +65,11 @@ impl Monodomain {
     pub fn step(&mut self, lowered: bool) {
         // Reaction.
         for s in self.state.iter_mut() {
-            let d = if lowered { self.model.rhs_lowered(s) } else { self.model.rhs_exact(s) };
+            let d = if lowered {
+                self.model.rhs_lowered(s)
+            } else {
+                self.model.rhs_exact(s)
+            };
             for k in 0..STATE_DIM {
                 s[k] += self.dt * d[k];
             }
@@ -73,7 +84,11 @@ impl Monodomain {
             for j in 0..ny {
                 let c = v_old[i * ny + j];
                 let up = if i > 0 { v_old[(i - 1) * ny + j] } else { c };
-                let dn = if i + 1 < nx { v_old[(i + 1) * ny + j] } else { c };
+                let dn = if i + 1 < nx {
+                    v_old[(i + 1) * ny + j]
+                } else {
+                    c
+                };
                 let lf = if j > 0 { v_old[i * ny + j - 1] } else { c };
                 let rt = if j + 1 < ny { v_old[i * ny + j + 1] } else { c };
                 self.state[i * ny + j][0] = c + self.alpha * (up + dn + lf + rt - 4.0 * c);
@@ -110,8 +125,7 @@ impl Monodomain {
                 sim.launch(Target::gpu(0), &reaction) + sim.launch(Target::gpu(0), &diffusion)
             }
             Placement::AllCpu => {
-                sim.launch(Target::cpu_all(), &reaction)
-                    + sim.launch(Target::cpu_all(), &diffusion)
+                sim.launch(Target::cpu_all(), &reaction) + sim.launch(Target::cpu_all(), &diffusion)
             }
             Placement::SplitCpuGpu => {
                 // Reaction on GPU; V migrates to host, diffuses, migrates
@@ -216,7 +230,11 @@ mod diag {
                 let edge = &m.state[12 * 24 + 16];
                 println!(
                     "step {s}: frac {:.3} centre v {:.1} m {:.2} h {:.2} edge v {:.1}",
-                    m.activated_fraction(-40.0), st[0], st[1], st[2], edge[0]
+                    m.activated_fraction(-40.0),
+                    st[0],
+                    st[1],
+                    st[2],
+                    edge[0]
                 );
             }
         }

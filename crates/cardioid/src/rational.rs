@@ -56,7 +56,11 @@ impl RationalApprox {
             .map(|i| (((2 * i + 1) as f64) * std::f64::consts::PI / (2.0 * ns as f64)).cos())
             .collect();
         let fxs: Vec<f64> = ts.iter().map(|&t| f(centre + scale * t)).collect();
-        let fmax = fxs.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-300);
+        let fmax = fxs
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
         // Sanathanan-Koerner iteration: weighted rows
         // w * (p(t) - f(x) (q(t) - 1)) = w * f(x), with w refined by the
         // previous denominator so the *true* rational residual is minimised.
@@ -96,7 +100,14 @@ impl RationalApprox {
             best = Some((p, q));
         }
         let (p, q) = best.expect("at least one SK iteration succeeded");
-        RationalApprox { p, q, lo, hi, centre, scale }
+        RationalApprox {
+            p,
+            q,
+            lo,
+            hi,
+            centre,
+            scale,
+        }
     }
 
     /// Evaluate the approximation.
@@ -244,7 +255,12 @@ impl<const M: usize, const K: usize> RationalConst<M, K> {
         let mut q = [0.0; K];
         p.copy_from_slice(&r.p);
         q.copy_from_slice(&r.q);
-        RationalConst { p, q, centre: r.centre, scale: r.scale }
+        RationalConst {
+            p,
+            q,
+            centre: r.centre,
+            scale: r.scale,
+        }
     }
 
     /// Evaluate (fully unrollable Horner chains).

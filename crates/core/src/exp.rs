@@ -41,7 +41,10 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{{\"title\":{},\"headers\":[", json::escape(&t.title)));
+            out.push_str(&format!(
+                "{{\"title\":{},\"headers\":[",
+                json::escape(&t.title)
+            ));
             for (j, h) in t.headers.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
@@ -228,7 +231,11 @@ mod tests {
     #[should_panic(expected = "duplicate experiment id")]
     fn duplicate_ids_panic() {
         let mut reg = toy_registry();
-        reg.register(FnExperiment { id: "toy", paper_artifact: "x", f: |_| Report::default() });
+        reg.register(FnExperiment {
+            id: "toy",
+            paper_artifact: "x",
+            f: |_| Report::default(),
+        });
     }
 
     #[test]
@@ -238,13 +245,28 @@ mod tests {
         let report = reg.run("toy", &mut rec).expect("registered");
         let doc = document_json("toy", &report, &rec, 0.25);
         let v = json::parse(&doc).expect("document parses");
-        assert_eq!(v.get("experiment").and_then(json::Value::as_str), Some("toy"));
+        assert_eq!(
+            v.get("experiment").and_then(json::Value::as_str),
+            Some("toy")
+        );
         assert_eq!(v.get("elapsed_s").and_then(json::Value::as_f64), Some(0.25));
-        let tables = v.get("tables").and_then(json::Value::as_array).expect("tables");
-        assert_eq!(tables[0].get("title").and_then(json::Value::as_str), Some("toy"));
-        let rows = tables[0].get("rows").and_then(json::Value::as_array).expect("rows");
+        let tables = v
+            .get("tables")
+            .and_then(json::Value::as_array)
+            .expect("tables");
+        assert_eq!(
+            tables[0].get("title").and_then(json::Value::as_str),
+            Some("toy")
+        );
+        let rows = tables[0]
+            .get("rows")
+            .and_then(json::Value::as_array)
+            .expect("rows");
         assert_eq!(rows[0].as_array().expect("row")[1].as_str(), Some("2"));
         let counters = v.get("counters").expect("counters");
-        assert_eq!(counters.get("flops").and_then(json::Value::as_f64), Some(42.0));
+        assert_eq!(
+            counters.get("flops").and_then(json::Value::as_f64),
+            Some(42.0)
+        );
     }
 }

@@ -41,11 +41,21 @@ fn checked(
     quote: &'static str,
     f: impl Fn() -> bool + 'static,
 ) -> Lesson {
-    Lesson { id, section, quote, evidence: Evidence::Checked(Box::new(f)) }
+    Lesson {
+        id,
+        section,
+        quote,
+        evidence: Evidence::Checked(Box::new(f)),
+    }
 }
 
 fn narrative(id: &'static str, section: &'static str, quote: &'static str) -> Lesson {
-    Lesson { id, section, quote, evidence: Evidence::Narrative }
+    Lesson {
+        id,
+        section,
+        quote,
+        evidence: Evidence::Narrative,
+    }
 }
 
 /// All lessons, in paper order.
@@ -245,7 +255,11 @@ mod tests {
     fn every_checked_lesson_holds() {
         for lesson in lessons() {
             if let Some(ok) = lesson.check() {
-                assert!(ok, "lesson '{}' ({}) failed its check", lesson.id, lesson.section);
+                assert!(
+                    ok,
+                    "lesson '{}' ({}) failed its check",
+                    lesson.id, lesson.section
+                );
             }
         }
     }
@@ -253,7 +267,10 @@ mod tests {
     #[test]
     fn lesson_mix_includes_both_kinds() {
         let all = lessons();
-        let checked = all.iter().filter(|l| matches!(l.evidence, Evidence::Checked(_))).count();
+        let checked = all
+            .iter()
+            .filter(|l| matches!(l.evidence, Evidence::Checked(_)))
+            .count();
         let narrative = all.len() - checked;
         assert!(checked >= 10, "{checked}");
         assert!(narrative >= 3, "{narrative}");

@@ -146,7 +146,11 @@ mod tests {
         // wherever peak performance mattered.
         let cuda = activities()
             .iter()
-            .filter(|a| a.approaches.iter().any(|ap| ap.name == "CUDA" && ap.final_choice))
+            .filter(|a| {
+                a.approaches
+                    .iter()
+                    .any(|ap| ap.name == "CUDA" && ap.final_choice)
+            })
             .count();
         assert!(cuda >= 4, "{cuda}");
     }

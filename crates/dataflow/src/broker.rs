@@ -58,16 +58,22 @@ impl DataBroker {
         let v = self.version_counter;
         self.sim_time += self.net.p2p(value.len() as f64);
         let shard = shard_of(key, self.shards.len());
-        self.shards[shard]
-            .insert((namespace.to_string(), key.to_string()), Entry { bytes: value, version: v });
+        self.shards[shard].insert(
+            (namespace.to_string(), key.to_string()),
+            Entry {
+                bytes: value,
+                version: v,
+            },
+        );
         v
     }
 
     /// Read a value (charges the wire for its size).
     pub fn get(&mut self, namespace: &str, key: &str) -> Option<Vec<u8>> {
         let shard = shard_of(key, self.shards.len());
-        let entry =
-            self.shards[shard].get(&(namespace.to_string(), key.to_string()))?.clone();
+        let entry = self.shards[shard]
+            .get(&(namespace.to_string(), key.to_string()))?
+            .clone();
         self.sim_time += self.net.p2p(entry.bytes.len() as f64);
         Some(entry.bytes)
     }
@@ -81,8 +87,9 @@ impl DataBroker {
         have_version: u64,
     ) -> Option<(Vec<u8>, u64)> {
         let shard = shard_of(key, self.shards.len());
-        let entry =
-            self.shards[shard].get(&(namespace.to_string(), key.to_string()))?.clone();
+        let entry = self.shards[shard]
+            .get(&(namespace.to_string(), key.to_string()))?
+            .clone();
         if entry.version <= have_version {
             self.sim_time += self.net.p2p(16.0); // version probe only
             return None;

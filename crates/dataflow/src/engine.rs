@@ -111,7 +111,9 @@ impl<T> Dataset<T> {
 
     /// Charge one broadcast of `bytes` from the driver to all ranks.
     pub fn charge_broadcast(&mut self, bytes: f64) {
-        self.times.broadcast += self.net.collective(hetsim::CollectiveKind::Broadcast, bytes)
+        self.times.broadcast += self
+            .net
+            .collective(hetsim::CollectiveKind::Broadcast, bytes)
             + bytes * self.stack.serde_s_per_byte;
     }
 
@@ -164,11 +166,7 @@ where
 {
     /// Spark's `reduceByKey`: shuffle by key hash, then merge values per
     /// key within each partition. `bytes_per_elem` prices the shuffle.
-    pub fn reduce_by_key(
-        self,
-        bytes_per_elem: f64,
-        merge: impl Fn(V, V) -> V,
-    ) -> Dataset<(K, V)> {
+    pub fn reduce_by_key(self, bytes_per_elem: f64, merge: impl Fn(V, V) -> V) -> Dataset<(K, V)> {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::Hasher;
         let hash = |k: &K| {
@@ -260,7 +258,9 @@ mod tests {
     fn optimized_stack_runs_the_same_pipeline_faster() {
         let run = |stack: StackConfig| {
             let d = ds(10_000, stack);
-            let mut d = d.map(500.0, |x| x + 1).shuffle_by_key(64.0, |&x| x as usize);
+            let mut d = d
+                .map(500.0, |x| x + 1)
+                .shuffle_by_key(64.0, |&x| x as usize);
             d.charge_broadcast(1e6);
             let _ = d.aggregate(0u64, 1e6, |a, &x| a + x, |a, b| a + b);
             d.times
@@ -286,8 +286,7 @@ mod reduce_by_key_tests {
         let m = machines::sierra_nodes(4);
         let d = Dataset::distribute(words, &m, StackConfig::optimized_stack());
         let counted = d.reduce_by_key(16.0, |a, b| a + b);
-        let mut all: Vec<(String, u64)> =
-            counted.partitions.iter().flatten().cloned().collect();
+        let mut all: Vec<(String, u64)> = counted.partitions.iter().flatten().cloned().collect();
         all.sort();
         assert_eq!(
             all,

@@ -106,7 +106,11 @@ mod tests {
 
     fn net(ranks: usize) -> Network {
         Network::new(
-            NetworkSpec { injection_bw_gbs: 25.0, latency_us: 1.5, gpudirect: false },
+            NetworkSpec {
+                injection_bw_gbs: 25.0,
+                latency_us: 1.5,
+                gpudirect: false,
+            },
             ranks,
         )
     }
@@ -137,14 +141,18 @@ mod tests {
     #[test]
     fn jvm_overhead_ordering() {
         assert!(
-            StackConfig::default_stack().jvm_overhead
-                > StackConfig::optimized_stack().jvm_overhead
+            StackConfig::default_stack().jvm_overhead > StackConfig::optimized_stack().jvm_overhead
         );
     }
 
     #[test]
     fn phase_total_sums_components() {
-        let p = PhaseTimes { compute: 1.0, shuffle: 2.0, aggregate: 3.0, broadcast: 0.5 };
+        let p = PhaseTimes {
+            compute: 1.0,
+            shuffle: 2.0,
+            aggregate: 3.0,
+            broadcast: 0.5,
+        };
         assert_eq!(p.total(), 6.5);
     }
 }

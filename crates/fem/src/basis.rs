@@ -68,7 +68,15 @@ impl Basis1d {
                 g[q * nd + i] = d;
             }
         }
-        Basis1d { p, nq, nodes, qpoints, qweights, b, g }
+        Basis1d {
+            p,
+            nq,
+            nodes,
+            qpoints,
+            qweights,
+            b,
+            g,
+        }
     }
 
     pub fn ndof(&self) -> usize {

@@ -31,10 +31,10 @@ pub enum PaVariant {
 pub fn pa_diffusion_flops(mesh: &Mesh2d) -> f64 {
     let nd = (mesh.p + 1) as f64;
     let nq = nd; // p+1 quadrature points
-    // Stage 1: 2 contractions nq*nd*nd * 2 flops; stage 2: 2 * nq*nq*nd * 2;
-    // qdata scale 4; stages 3-4 mirror 1-2.
-    let per_elem = 2.0 * (2.0 * nq * nd * nd * 2.0) + 2.0 * (2.0 * nq * nq * nd * 2.0)
-        + 4.0 * nq * nq;
+                 // Stage 1: 2 contractions nq*nd*nd * 2 flops; stage 2: 2 * nq*nq*nd * 2;
+                 // qdata scale 4; stages 3-4 mirror 1-2.
+    let per_elem =
+        2.0 * (2.0 * nq * nd * nd * 2.0) + 2.0 * (2.0 * nq * nq * nd * 2.0) + 4.0 * nq * nq;
     per_elem * mesh.nelem() as f64
 }
 
@@ -44,7 +44,10 @@ pub fn pa_diffusion_bytes(mesh: &Mesh2d) -> (f64, f64) {
     let nq = nd;
     let per_elem_read = 8.0 * (nd * nd + 2.0 * nq * nq); // local dofs + qdata
     let per_elem_write = 8.0 * nd * nd;
-    (per_elem_read * mesh.nelem() as f64, per_elem_write * mesh.nelem() as f64)
+    (
+        per_elem_read * mesh.nelem() as f64,
+        per_elem_write * mesh.nelem() as f64,
+    )
 }
 
 /// Bytes moved by the assembled-CSR SpMV for the same operator.
@@ -69,7 +72,10 @@ pub fn pa_apply_profile(mesh: &Mesh2d, variant: PaVariant) -> KernelProfile {
             k = k.compute_eff(0.45);
         }
         PaVariant::JitSpecialised { first_launch } => {
-            k = k.launch_class(LaunchClass::Jit { compile_us: 80_000.0, first: first_launch });
+            k = k.launch_class(LaunchClass::Jit {
+                compile_us: 80_000.0,
+                first: first_launch,
+            });
         }
     }
     k
@@ -104,8 +110,13 @@ mod tests {
         // the matrix-free form beats the assembled SpMV at high p.
         let gpu = &machines::sierra_node().node.gpus[0];
         let mesh = Mesh2d::unit(64, 64, 8);
-        let t_pa = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
-            .time_on_gpu(gpu);
+        let t_pa = pa_apply_profile(
+            &mesh,
+            PaVariant::JitSpecialised {
+                first_launch: false,
+            },
+        )
+        .time_on_gpu(gpu);
         let t_mat = assembled_spmv_profile(&mesh).time_on_gpu(gpu);
         assert!(t_mat / t_pa > 2.0, "{}", t_mat / t_pa);
     }
@@ -115,8 +126,13 @@ mod tests {
         let gpu = &machines::sierra_node().node.gpus[0];
         let mesh = Mesh2d::unit(64, 64, 4);
         let dynamic = pa_apply_profile(&mesh, PaVariant::DynamicBounds).time_on_gpu(gpu);
-        let jit = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
-            .time_on_gpu(gpu);
+        let jit = pa_apply_profile(
+            &mesh,
+            PaVariant::JitSpecialised {
+                first_launch: false,
+            },
+        )
+        .time_on_gpu(gpu);
         assert!(dynamic > jit, "dynamic {dynamic} jit {jit}");
     }
 
@@ -126,8 +142,13 @@ mod tests {
         let mesh = Mesh2d::unit(8, 8, 2);
         let first = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: true })
             .time_on_gpu(gpu);
-        let later = pa_apply_profile(&mesh, PaVariant::JitSpecialised { first_launch: false })
-            .time_on_gpu(gpu);
+        let later = pa_apply_profile(
+            &mesh,
+            PaVariant::JitSpecialised {
+                first_launch: false,
+            },
+        )
+        .time_on_gpu(gpu);
         assert!(first > later + 0.05);
     }
 }

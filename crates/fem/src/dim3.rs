@@ -25,7 +25,11 @@ impl Mesh3d {
     }
 
     pub fn dof_dims(&self) -> (usize, usize, usize) {
-        (self.nex * self.p + 1, self.ney * self.p + 1, self.nez * self.p + 1)
+        (
+            self.nex * self.p + 1,
+            self.ney * self.p + 1,
+            self.nez * self.p + 1,
+        )
     }
 
     pub fn ndof(&self) -> usize {
@@ -34,7 +38,11 @@ impl Mesh3d {
     }
 
     pub fn h(&self) -> (f64, f64, f64) {
-        (1.0 / self.nex as f64, 1.0 / self.ney as f64, 1.0 / self.nez as f64)
+        (
+            1.0 / self.nex as f64,
+            1.0 / self.ney as f64,
+            1.0 / self.nez as f64,
+        )
     }
 
     /// Global dof index of local node (i, j, k) of element (ex, ey, ez).
@@ -126,7 +134,12 @@ impl DiffusionPA3d {
             }
         }
         let bdr = mesh.boundary_dofs();
-        DiffusionPA3d { mesh, basis, qd, bdr }
+        DiffusionPA3d {
+            mesh,
+            basis,
+            qd,
+            bdr,
+        }
     }
 
     pub fn ndof(&self) -> usize {
@@ -294,7 +307,10 @@ pub fn pa3d_bytes(mesh: &Mesh3d) -> (f64, f64) {
     let nd = (mesh.p + 1) as f64;
     let per_elem_read = 8.0 * (nd.powi(3) + 3.0 * nd.powi(3)); // dofs + qdata
     let per_elem_write = 8.0 * nd.powi(3);
-    (per_elem_read * mesh.nelem() as f64, per_elem_write * mesh.nelem() as f64)
+    (
+        per_elem_read * mesh.nelem() as f64,
+        per_elem_write * mesh.nelem() as f64,
+    )
 }
 
 #[cfg(test)]
@@ -389,7 +405,11 @@ mod tests {
                 p[i] = r[i] + beta * p[i];
             }
         }
-        let err = x.iter().zip(&uex).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let err = x
+            .iter()
+            .zip(&uex)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-7, "{err}");
     }
 
@@ -417,6 +437,11 @@ mod tests {
             pa3d_flops(&m) / m.ndof() as f64
         };
         assert!(per_dof(8) > per_dof(4), "{} vs {}", per_dof(8), per_dof(4));
-        assert!(per_dof(16) > 1.4 * per_dof(4), "{} vs {}", per_dof(16), per_dof(4));
+        assert!(
+            per_dof(16) > 1.4 * per_dof(4),
+            "{} vs {}",
+            per_dof(16),
+            per_dof(4)
+        );
     }
 }

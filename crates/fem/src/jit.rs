@@ -18,7 +18,11 @@ use crate::op::DiffusionPA;
 /// Sum-factorised diffusion apply with compile-time `ND = p + 1` (and
 /// `nq = ND`). Semantically identical to [`DiffusionPA::apply`].
 pub fn apply_diffusion_const<const ND: usize>(pa: &DiffusionPA, x: &[f64], y: &mut [f64]) {
-    assert_eq!(pa.basis.ndof(), ND, "kernel specialised for the wrong order");
+    assert_eq!(
+        pa.basis.ndof(),
+        ND,
+        "kernel specialised for the wrong order"
+    );
     assert_eq!(pa.basis.nq, ND, "kernel expects nq == p + 1");
     let mesh = &pa.mesh;
     y.fill(0.0);
@@ -133,7 +137,9 @@ mod tests {
     use crate::Mesh2d;
 
     fn random_vec(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 250.0 - 2.0).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 250.0 - 2.0)
+            .collect()
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod quad;
 
 pub use basis::Basis1d;
 pub use dim3::{DiffusionPA3d, Mesh3d};
-pub use mesh::Mesh2d;
 pub use jit::{apply_diffusion_const, apply_diffusion_dispatch};
+pub use mesh::Mesh2d;
 pub use op::{assemble_diffusion, DiffusionPA, MassPA};

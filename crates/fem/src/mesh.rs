@@ -18,7 +18,14 @@ impl Mesh2d {
     pub fn new(nex: usize, ney: usize, p: usize, lx: f64, ly: f64) -> Mesh2d {
         assert!(nex >= 1 && ney >= 1 && p >= 1);
         let (ref_nodes, _) = crate::quad::gauss_lobatto(p + 1);
-        Mesh2d { nex, ney, p, lx, ly, ref_nodes }
+        Mesh2d {
+            nex,
+            ney,
+            p,
+            lx,
+            ly,
+            ref_nodes,
+        }
     }
 
     /// Unit square convenience constructor.

@@ -51,7 +51,12 @@ impl DiffusionPA {
     pub fn new(mesh: Mesh2d, kappa: impl Fn(f64, f64) -> f64) -> DiffusionPA {
         let basis = Basis1d::new(mesh.p);
         let bdr = mesh.boundary_dofs();
-        let mut op = DiffusionPA { mesh, basis, qd: Vec::new(), bdr };
+        let mut op = DiffusionPA {
+            mesh,
+            basis,
+            qd: Vec::new(),
+            bdr,
+        };
         op.assemble_qdata(kappa);
         op
     }
@@ -75,7 +80,8 @@ impl DiffusionPA {
                         let y = ey as f64 * hy + (self.basis.qpoints[qy] + 1.0) * 0.5 * hy;
                         let w = self.basis.qweights[qx] * self.basis.qweights[qy];
                         let k = kappa(x, y);
-                        self.qd.push((k * w * detj * gx * gx, k * w * detj * gy * gy));
+                        self.qd
+                            .push((k * w * detj * gx * gx, k * w * detj * gy * gy));
                     }
                 }
             }
@@ -115,7 +121,8 @@ impl DiffusionPA {
                         }
                         let k = k0 + k1 * uq * uq;
                         let w = self.basis.qweights[qx] * self.basis.qweights[qy];
-                        self.qd.push((k * w * detj * gx * gx, k * w * detj * gy * gy));
+                        self.qd
+                            .push((k * w * detj * gx * gx, k * w * detj * gy * gy));
                     }
                 }
             }
@@ -202,7 +209,8 @@ impl DiffusionPA {
                     for j in 0..nd {
                         let mut s = 0.0;
                         for qx in 0..nq {
-                            s += g[qx * nd + i] * t_g[qx * nd + j] + b[qx * nd + i] * t_b[qx * nd + j];
+                            s += g[qx * nd + i] * t_g[qx * nd + j]
+                                + b[qx * nd + i] * t_b[qx * nd + j];
                         }
                         out[i * nd + j] = s;
                     }
@@ -227,8 +235,10 @@ impl DiffusionPA {
     /// of one PA apply lands in `fem.*` counters. Free with a no-op
     /// recorder.
     pub fn apply_traced(&self, rec: &hetsim::obs::Recorder, x: &[f64], y: &mut [f64]) {
-        let span =
-            rec.begin(format!("fem-pa-apply-p{}", self.mesh.p), hetsim::obs::SpanKind::Kernel);
+        let span = rec.begin(
+            format!("fem-pa-apply-p{}", self.mesh.p),
+            hetsim::obs::SpanKind::Kernel,
+        );
         self.apply(x, y);
         if rec.is_enabled() {
             rec.incr("fem.pa_applies", 1.0);
@@ -352,12 +362,12 @@ pub fn assemble_diffusion(mesh: &Mesh2d, kappa: impl Fn(f64, f64) -> f64) -> Csr
                             let mut v = 0.0;
                             for qx in 0..nq {
                                 for qy in 0..nq {
-                                    let x = ex as f64 * hx
-                                        + (basis.qpoints[qx] + 1.0) * 0.5 * hx;
-                                    let y = ey as f64 * hy
-                                        + (basis.qpoints[qy] + 1.0) * 0.5 * hy;
-                                    let w =
-                                        basis.qweights[qx] * basis.qweights[qy] * detj * kappa(x, y);
+                                    let x = ex as f64 * hx + (basis.qpoints[qx] + 1.0) * 0.5 * hx;
+                                    let y = ey as f64 * hy + (basis.qpoints[qy] + 1.0) * 0.5 * hy;
+                                    let w = basis.qweights[qx]
+                                        * basis.qweights[qy]
+                                        * detj
+                                        * kappa(x, y);
                                     let da = basis.g[qx * nd + a_i] * basis.b[qy * nd + a_j];
                                     let db = basis.g[qx * nd + b_i] * basis.b[qy * nd + b_j];
                                     let ea = basis.b[qx * nd + a_i] * basis.g[qy * nd + a_j];
@@ -424,7 +434,12 @@ mod tests {
             pa.apply(&x, &mut y1);
             a.spmv(&x, &mut y2);
             for i in 0..n {
-                assert!((y1[i] - y2[i]).abs() < 1e-9, "p={p} i={i}: {} vs {}", y1[i], y2[i]);
+                assert!(
+                    (y1[i] - y2[i]).abs() < 1e-9,
+                    "p={p} i={i}: {} vs {}",
+                    y1[i],
+                    y2[i]
+                );
             }
         }
     }
@@ -499,7 +514,11 @@ mod tests {
                 p[i] = r[i] + beta * p[i];
             }
         }
-        let max_err = x.iter().zip(&uex).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let max_err = x
+            .iter()
+            .zip(&uex)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         assert!(max_err < 2e-4, "{max_err}");
     }
 
@@ -591,7 +610,10 @@ mod convergence_tests {
                 pvec[i] = r[i] + beta * pvec[i];
             }
         }
-        x.iter().zip(&uex).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        x.iter()
+            .zip(&uex)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -15,7 +15,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
     // P'_n = n (x P_n - P_{n-1}) / (x^2 - 1)
     let dp = if (x * x - 1.0).abs() < 1e-14 {
         // Endpoint derivative: P'_n(±1) = ±^{n+1} n(n+1)/2
-        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        let s = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 + 1)
+        };
         s * n as f64 * (n as f64 + 1.0) / 2.0
     } else {
         n as f64 * (x * p1 - p0) / (x * x - 1.0)

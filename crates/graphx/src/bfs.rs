@@ -44,7 +44,12 @@ pub fn bfs_top_down(g: &CsrGraph, root: usize) -> BfsResult {
         }
         frontier = next;
     }
-    BfsResult { parent, levels, edges_examined: edges, reached }
+    BfsResult {
+        parent,
+        levels,
+        edges_examined: edges,
+        reached,
+    }
 }
 
 /// Direction-optimising BFS: switch to bottom-up when the frontier is a
@@ -107,7 +112,12 @@ pub fn bfs_direction_optimising(g: &CsrGraph, root: usize) -> BfsResult {
         frontier_size = next_size;
         frontier_edges = next_edges;
     }
-    BfsResult { parent, levels, edges_examined: edges, reached }
+    BfsResult {
+        parent,
+        levels,
+        edges_examined: edges,
+        reached,
+    }
 }
 
 /// Validate a BFS parent tree: root self-parented; every edge (v, p(v))
@@ -186,7 +196,11 @@ mod tests {
         assert_eq!(td.reached, do_.reached);
         // Identical reachability, possibly different parents.
         for v in 0..g.n {
-            assert_eq!(td.parent[v].is_some(), do_.parent[v].is_some(), "vertex {v}");
+            assert_eq!(
+                td.parent[v].is_some(),
+                do_.parent[v].is_some(),
+                "vertex {v}"
+            );
         }
     }
 

@@ -44,7 +44,11 @@ pub struct Table2Row {
 /// Largest Graph500 scale that fits on the machine (DRAM + NVMe).
 pub fn max_scale(machine: &Machine) -> u32 {
     let per_node = machine.node.cpu.mem_capacity_gib * 1024.0 * 1024.0 * 1024.0
-        + machine.node.nvme.map(|(cap_gib, _)| cap_gib * 1024.0 * 1024.0 * 1024.0).unwrap_or(0.0);
+        + machine
+            .node
+            .nvme
+            .map(|(cap_gib, _)| cap_gib * 1024.0 * 1024.0 * 1024.0)
+            .unwrap_or(0.0);
     let total = per_node * machine.nodes as f64;
     (total / BYTES_PER_VERTEX_STORED).log2().floor() as u32
 }
@@ -129,7 +133,10 @@ mod tests {
         assert!(catalyst.semi_external, "{catalyst:?}");
         assert!(fin.semi_external, "{fin:?}");
         // Paper: 4.175 and 67.258.
-        assert!(catalyst.gteps > 1.0 && catalyst.gteps < 12.0, "{catalyst:?}");
+        assert!(
+            catalyst.gteps > 1.0 && catalyst.gteps < 12.0,
+            "{catalyst:?}"
+        );
         assert!(fin.gteps > 25.0 && fin.gteps < 150.0, "{fin:?}");
     }
 

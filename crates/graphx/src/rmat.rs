@@ -15,7 +15,12 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, edge_factor: 16 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            edge_factor: 16,
+        }
     }
 }
 
@@ -79,7 +84,11 @@ impl CsrGraph {
             targets[cursor[v]] = u;
             cursor[v] += 1;
         }
-        CsrGraph { n, offsets, targets }
+        CsrGraph {
+            n,
+            offsets,
+            targets,
+        }
     }
 
     pub fn num_directed_edges(&self) -> usize {

@@ -275,8 +275,9 @@ impl KernelProfile {
         // A single core cannot saturate node DDR bandwidth (~6 streaming
         // cores can saturate a socket), and threads pinned to one socket
         // only reach that socket's NUMA-local share.
-        let sockets_used =
-            (threads as f64 / cpu.cores_per_socket as f64).ceil().min(cpu.sockets as f64);
+        let sockets_used = (threads as f64 / cpu.cores_per_socket as f64)
+            .ceil()
+            .min(cpu.sockets as f64);
         let socket_share = sockets_used / cpu.sockets as f64;
         let bw_frac = (threads as f64 / 6.0).min(1.0) * socket_share;
         let memory = self.bytes() / (cpu.mem_bw_gbs * 1e9 * bw_frac * self.bandwidth_eff);
@@ -319,7 +320,11 @@ mod tests {
 
     #[test]
     fn cost_terms_round_trip_and_scale() {
-        let t = CostTerms::new().flops(3.0).bytes_read(16.0).bytes_written(8.0).bandwidth_eff(0.5);
+        let t = CostTerms::new()
+            .flops(3.0)
+            .bytes_read(16.0)
+            .bytes_written(8.0)
+            .bandwidth_eff(0.5);
         let k = KernelProfile::from_terms("k", t);
         assert_eq!(k.terms(), t);
         let s = t.scaled(10.0);
@@ -386,10 +391,14 @@ mod tests {
     #[test]
     fn jit_pays_compile_once() {
         let g = v100();
-        let first = KernelProfile::new("jit")
-            .launch_class(LaunchClass::Jit { compile_us: 50_000.0, first: true });
-        let later = KernelProfile::new("jit")
-            .launch_class(LaunchClass::Jit { compile_us: 50_000.0, first: false });
+        let first = KernelProfile::new("jit").launch_class(LaunchClass::Jit {
+            compile_us: 50_000.0,
+            first: true,
+        });
+        let later = KernelProfile::new("jit").launch_class(LaunchClass::Jit {
+            compile_us: 50_000.0,
+            first: false,
+        });
         assert!(first.time_on_gpu(&g) > 0.05);
         assert!(later.time_on_gpu(&g) < 1e-4);
     }
@@ -403,7 +412,9 @@ mod tests {
 
     #[test]
     fn gpu_beats_cpu_on_streaming_kernel() {
-        let k = KernelProfile::new("stream").bytes_read(8e9).bytes_written(8e9);
+        let k = KernelProfile::new("stream")
+            .bytes_read(8e9)
+            .bytes_written(8e9);
         let m = machines::sierra_node();
         let tg = k.time_on_gpu(&m.node.gpus[0]);
         let tc = k.time_on_cpu(&m.node.cpu, m.node.cpu.cores());

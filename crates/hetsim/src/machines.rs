@@ -62,18 +62,28 @@ pub fn sierra_node() -> Machine {
             nvme: Some((1_600.0, 2.0)),
         },
         nodes: 1,
-        network: NetworkSpec { injection_bw_gbs: 25.0, latency_us: 1.5, gpudirect: true },
+        network: NetworkSpec {
+            injection_bw_gbs: 25.0,
+            latency_us: 1.5,
+            gpudirect: true,
+        },
     }
 }
 
 /// The full final system: 4320 Witherspoon nodes on dual-rail EDR.
 pub fn sierra() -> Machine {
-    Machine { nodes: 4320, ..sierra_node() }
+    Machine {
+        nodes: 4320,
+        ..sierra_node()
+    }
 }
 
 /// A `nodes`-node slice of the final system (the paper's runs use 32..2048).
 pub fn sierra_nodes(nodes: usize) -> Machine {
-    Machine { nodes, ..sierra_node() }
+    Machine {
+        nodes,
+        ..sierra_node()
+    }
 }
 
 /// Early-access Minsky node: 2x POWER8 + 4x P100, NVLink1.
@@ -117,7 +127,11 @@ pub fn ea_minsky() -> Machine {
             nvme: None,
         },
         nodes: 54,
-        network: NetworkSpec { injection_bw_gbs: 12.5, latency_us: 1.5, gpudirect: true },
+        network: NetworkSpec {
+            injection_bw_gbs: 12.5,
+            latency_us: 1.5,
+            gpudirect: true,
+        },
     }
 }
 
@@ -157,7 +171,11 @@ pub fn dev_k80() -> Machine {
             nvme: None,
         },
         nodes: 32,
-        network: NetworkSpec { injection_bw_gbs: 6.0, latency_us: 2.0, gpudirect: false },
+        network: NetworkSpec {
+            injection_bw_gbs: 6.0,
+            latency_us: 2.0,
+            gpudirect: false,
+        },
     }
 }
 
@@ -196,7 +214,11 @@ pub fn viz_k40() -> Machine {
             nvme: None,
         },
         nodes: 16,
-        network: NetworkSpec { injection_bw_gbs: 6.0, latency_us: 2.0, gpudirect: false },
+        network: NetworkSpec {
+            injection_bw_gbs: 6.0,
+            latency_us: 2.0,
+            gpudirect: false,
+        },
     }
 }
 
@@ -225,7 +247,11 @@ pub fn cori2() -> Machine {
             nvme: None,
         },
         nodes: 9_688,
-        network: NetworkSpec { injection_bw_gbs: 8.0, latency_us: 1.3, gpudirect: false },
+        network: NetworkSpec {
+            injection_bw_gbs: 8.0,
+            latency_us: 1.3,
+            gpudirect: false,
+        },
     }
 }
 
@@ -250,7 +276,11 @@ pub fn bgq_node() -> Machine {
             nvme: None,
         },
         nodes: 98_304,
-        network: NetworkSpec { injection_bw_gbs: 2.0, latency_us: 2.5, gpudirect: false },
+        network: NetworkSpec {
+            injection_bw_gbs: 2.0,
+            latency_us: 2.5,
+            gpudirect: false,
+        },
     }
 }
 
@@ -285,29 +315,77 @@ fn cpu_only(
             nvme,
         },
         nodes,
-        network: NetworkSpec { injection_bw_gbs: inj, latency_us: 2.0, gpudirect: false },
+        network: NetworkSpec {
+            injection_bw_gbs: inj,
+            latency_us: 2.0,
+            gpudirect: false,
+        },
     }
 }
 
 /// Table 2 historical machine: Kraken (2011, 1 fat node with
 /// fusion-io flash for HavoqGT's semi-external graphs).
 pub fn kraken() -> Machine {
-    cpu_only("Kraken", 2011, 4, 8, 10.0, 60.0, 512.0, 1, 3.0, Some((4_000.0, 1.7)))
+    cpu_only(
+        "Kraken",
+        2011,
+        4,
+        8,
+        10.0,
+        60.0,
+        512.0,
+        1,
+        3.0,
+        Some((4_000.0, 1.7)),
+    )
 }
 
 /// Table 2 historical machine: Leviathan (2011, 1 fat node, more memory).
 pub fn leviathan() -> Machine {
-    cpu_only("Leviathan", 2011, 4, 8, 10.0, 60.0, 1024.0, 1, 3.0, Some((8_000.0, 1.7)))
+    cpu_only(
+        "Leviathan",
+        2011,
+        4,
+        8,
+        10.0,
+        60.0,
+        1024.0,
+        1,
+        3.0,
+        Some((8_000.0, 1.7)),
+    )
 }
 
 /// Table 2 historical machine: Hyperion (2011, 64 nodes).
 pub fn hyperion() -> Machine {
-    cpu_only("Hyperion", 2011, 2, 6, 10.0, 40.0, 96.0, 64, 3.0, Some((1_000.0, 1.5)))
+    cpu_only(
+        "Hyperion",
+        2011,
+        2,
+        6,
+        10.0,
+        40.0,
+        96.0,
+        64,
+        3.0,
+        Some((1_000.0, 1.5)),
+    )
 }
 
 /// Table 2 historical machine: Bertha (2014, 1 very fat node).
 pub fn bertha() -> Machine {
-    cpu_only("Bertha", 2014, 4, 12, 16.0, 100.0, 2048.0, 1, 5.0, Some((16_000.0, 1.8)))
+    cpu_only(
+        "Bertha",
+        2014,
+        4,
+        12,
+        16.0,
+        100.0,
+        2048.0,
+        1,
+        5.0,
+        Some((16_000.0, 1.8)),
+    )
 }
 
 /// Table 2 historical machine: Catalyst (2014, 300 nodes with 800 GB NVMe).

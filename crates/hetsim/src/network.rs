@@ -176,9 +176,7 @@ impl Network {
         let logn = n.log2().ceil();
         match kind {
             // Ring allreduce: 2(n-1) steps, each moving bytes/n.
-            CollectiveKind::AllReduce => {
-                2.0 * (n - 1.0) * (alpha + (bytes / n) * beta)
-            }
+            CollectiveKind::AllReduce => 2.0 * (n - 1.0) * (alpha + (bytes / n) * beta),
             // Pairwise exchange: n-1 steps of bytes/n each.
             CollectiveKind::AllToAll => (n - 1.0) * (alpha + (bytes / n) * beta),
             // Flat reduce to root: root receives from every rank.
@@ -208,7 +206,11 @@ mod tests {
 
     fn net(ranks: usize) -> Network {
         Network::new(
-            NetworkSpec { injection_bw_gbs: 25.0, latency_us: 1.5, gpudirect: true },
+            NetworkSpec {
+                injection_bw_gbs: 25.0,
+                latency_us: 1.5,
+                gpudirect: true,
+            },
             ranks,
         )
     }

@@ -146,7 +146,9 @@ impl Recorder {
 
     /// An enabled recorder with empty state.
     pub fn enabled() -> Recorder {
-        Recorder { inner: Some(Arc::new(Mutex::new(ObsState::new()))) }
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(ObsState::new()))),
+        }
     }
 
     /// Whether anything will actually be recorded. Hot paths should guard
@@ -262,7 +264,8 @@ impl Recorder {
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> f64 {
-        self.with(|s| s.counters.get(name).copied().unwrap_or(0.0)).unwrap_or(0.0)
+        self.with(|s| s.counters.get(name).copied().unwrap_or(0.0))
+            .unwrap_or(0.0)
     }
 
     /// Latest value of a gauge.
@@ -328,7 +331,10 @@ impl Recorder {
                     *c = mark;
                 }
             }
-            out.push_str(&format!("{track:<10} |{}|\n", String::from_utf8_lossy(&row)));
+            out.push_str(&format!(
+                "{track:<10} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
         }
         out
     }
@@ -480,7 +486,13 @@ mod tests {
     fn span_ids_are_ordered_by_begin_time() {
         let r = Recorder::enabled();
         for i in 0..5 {
-            r.record_span(format!("k{i}"), SpanKind::Kernel, "t", i as f64, i as f64 + 0.5);
+            r.record_span(
+                format!("k{i}"),
+                SpanKind::Kernel,
+                "t",
+                i as f64,
+                i as f64 + 0.5,
+            );
         }
         let spans = r.spans();
         assert!(spans.windows(2).all(|w| w[0].id < w[1].id));
@@ -588,11 +600,23 @@ mod tests {
         r.incr("flops", 4.0e9);
         r.end(root);
         let doc = json::parse(&r.summary_json("fig8")).expect("summary parses");
-        assert_eq!(doc.get("experiment").and_then(json::Value::as_str), Some("fig8"));
-        assert_eq!(doc.get("span_count").and_then(json::Value::as_f64), Some(2.0));
-        assert_eq!(doc.get("kernel_busy_s").and_then(json::Value::as_f64), Some(0.5));
+        assert_eq!(
+            doc.get("experiment").and_then(json::Value::as_str),
+            Some("fig8")
+        );
+        assert_eq!(
+            doc.get("span_count").and_then(json::Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            doc.get("kernel_busy_s").and_then(json::Value::as_f64),
+            Some(0.5)
+        );
         let counters = doc.get("counters").expect("counters");
-        assert_eq!(counters.get("flops").and_then(json::Value::as_f64), Some(4.0e9));
+        assert_eq!(
+            counters.get("flops").and_then(json::Value::as_f64),
+            Some(4.0e9)
+        );
         let hot = doc.get("hot").and_then(json::Value::as_array).expect("hot");
         assert_eq!(hot.len(), 1);
     }

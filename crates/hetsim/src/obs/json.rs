@@ -146,13 +146,13 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    s.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number '{s}': {e}"))
+    s.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number '{s}': {e}"))
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -177,9 +177,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -275,7 +273,13 @@ mod tests {
 
     #[test]
     fn escape_round_trips_awkward_strings() {
-        for s in ["plain", "with \"quotes\"", "tab\tnewline\n", "unicode ✓ Ω", "back\\slash"] {
+        for s in [
+            "plain",
+            "with \"quotes\"",
+            "tab\tnewline\n",
+            "unicode ✓ Ω",
+            "back\\slash",
+        ] {
             let parsed = parse(&escape(s)).unwrap();
             assert_eq!(parsed.as_str(), Some(s), "{s:?}");
         }

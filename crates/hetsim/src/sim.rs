@@ -52,7 +52,9 @@ pub enum Target {
 impl Target {
     /// All host cores of the current machine (resolved at launch).
     pub fn cpu_all() -> Target {
-        Target::Cpu { threads: usize::MAX }
+        Target::Cpu {
+            threads: usize::MAX,
+        }
     }
 
     pub fn cpu(threads: usize) -> Target {
@@ -261,23 +263,34 @@ impl Sim {
 
     /// Launch `k` on the default stream of `target`; returns elapsed seconds.
     pub fn launch(&mut self, target: impl Into<Target>, k: &KernelProfile) -> f64 {
-        self.launch_on(StreamId::default_for(self.resolve_threads(target.into())), k)
+        self.launch_on(
+            StreamId::default_for(self.resolve_threads(target.into())),
+            k,
+        )
     }
 
     /// Launch `k` on a specific stream (or the default stream of a bare
     /// [`Target`]); returns elapsed seconds.
     pub fn launch_on(&mut self, stream: impl Into<StreamId>, k: &KernelProfile) -> f64 {
         let stream = stream.into();
-        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        let stream = StreamId {
+            target: self.resolve_threads(stream.target),
+            ..stream
+        };
         let dt = self.cost(stream.target, k);
         let slot = self.streams.entry(stream).or_insert(0.0);
         let start = *slot;
         *slot += dt;
         self.counters.kernels_launched += 1;
         self.counters.flops += k.flops;
-        *self.counters.kernel_time.entry(k.name.clone()).or_insert(0.0) += dt;
+        *self
+            .counters
+            .kernel_time
+            .entry(k.name.clone())
+            .or_insert(0.0) += dt;
         if self.recorder.is_enabled() {
-            self.recorder.record_span(&k.name, SpanKind::Kernel, stream.label(), start, start + dt);
+            self.recorder
+                .record_span(&k.name, SpanKind::Kernel, stream.label(), start, start + dt);
             self.recorder.incr("launches", 1.0);
             self.recorder.incr("flops", k.flops);
             self.recorder.incr("kernel.bytes", k.bytes());
@@ -306,7 +319,11 @@ impl Sim {
             }
             Loc::Nvme => {
                 let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
-                LinkSpec { kind: LinkKind::Local, bw_gbs: 0.5 * bw, latency_us: 80.0 }
+                LinkSpec {
+                    kind: LinkKind::Local,
+                    bw_gbs: 0.5 * bw,
+                    latency_us: 80.0,
+                }
             }
             // A NIC has no memory of its own worth modelling; treat a
             // NIC-local move as a fabric bounce.
@@ -322,7 +339,10 @@ impl Sim {
         if kind == TransferKind::GpuDirect {
             // GPUDirect is an RDMA path between a NIC and device memory;
             // Host->Host GpuDirect (and friends) is a modelling bug.
-            let gpu_nic = matches!((src, dst), (Loc::Gpu(_), Loc::Nic) | (Loc::Nic, Loc::Gpu(_)));
+            let gpu_nic = matches!(
+                (src, dst),
+                (Loc::Gpu(_), Loc::Nic) | (Loc::Nic, Loc::Gpu(_))
+            );
             debug_assert!(
                 gpu_nic,
                 "GpuDirect only routes Gpu<->Nic pairs, got {src:?} -> {dst:?}"
@@ -355,7 +375,11 @@ impl Sim {
                 .unwrap_or_else(|| self.machine.host_gpu_link()),
             (Loc::Nvme, _) | (_, Loc::Nvme) => {
                 let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
-                LinkSpec { kind: LinkKind::Pcie3, bw_gbs: bw, latency_us: 80.0 }
+                LinkSpec {
+                    kind: LinkKind::Pcie3,
+                    bw_gbs: bw,
+                    latency_us: 80.0,
+                }
             }
             (Loc::Nic, _) | (_, Loc::Nic) => LinkSpec {
                 kind: LinkKind::Fabric,
@@ -418,7 +442,10 @@ impl Sim {
         stream: impl Into<StreamId>,
     ) -> Event {
         let stream = stream.into();
-        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        let stream = StreamId {
+            target: self.resolve_threads(stream.target),
+            ..stream
+        };
         let dt = self.transfer_cost(src, dst, bytes, kind);
         let engine = Engine::for_route(src, dst);
         let start = self.stream_time(stream).max(self.engine_time(engine));
@@ -531,8 +558,13 @@ impl Sim {
     /// so far has.
     pub fn record(&self, stream: impl Into<StreamId>) -> Event {
         let stream = stream.into();
-        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
-        Event { time: self.stream_time(stream) }
+        let stream = StreamId {
+            target: self.resolve_threads(stream.target),
+            ..stream
+        };
+        Event {
+            time: self.stream_time(stream),
+        }
     }
 
     /// Make `waiter` wait until `event` completes (CUDA
@@ -540,7 +572,10 @@ impl Sim {
     /// is behind, and is untouched otherwise.
     pub fn wait_event(&mut self, waiter: impl Into<StreamId>, event: Event) {
         let waiter = waiter.into();
-        let waiter = StreamId { target: self.resolve_threads(waiter.target), ..waiter };
+        let waiter = StreamId {
+            target: self.resolve_threads(waiter.target),
+            ..waiter
+        };
         let t = self.stream_time(waiter).max(event.time);
         self.streams.insert(waiter, t);
     }
@@ -554,7 +589,10 @@ impl Sim {
     /// Advance one specific stream by `dt` seconds.
     pub fn advance_stream(&mut self, stream: impl Into<StreamId>, dt: f64) {
         let stream = stream.into();
-        let stream = StreamId { target: self.resolve_threads(stream.target), ..stream };
+        let stream = StreamId {
+            target: self.resolve_threads(stream.target),
+            ..stream
+        };
         *self.streams.entry(stream).or_insert(0.0) += dt;
     }
 
@@ -598,8 +636,14 @@ mod tests {
     fn streams_overlap_and_sync_joins() {
         let mut s = sim();
         let k = KernelProfile::new("k").bytes_read(1e9);
-        let s0 = StreamId { target: Target::gpu(0), index: 0 };
-        let s1 = StreamId { target: Target::gpu(0), index: 1 };
+        let s0 = StreamId {
+            target: Target::gpu(0),
+            index: 0,
+        };
+        let s1 = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         let a = s.launch_on(s0, &k);
         let b = s.launch_on(s1, &k);
         // Overlapped: wall clock is max, not sum.
@@ -673,7 +717,14 @@ mod tests {
         assert_eq!(Loc::from(Target::gpu(3)), Loc::Gpu(3));
         assert_eq!(Loc::from(Target::cpu(4)), Loc::Host);
         assert_eq!(StreamId::default_for(Target::gpu(0)).label(), "gpu0.s0");
-        assert_eq!(StreamId { target: Target::cpu(8), index: 2 }.label(), "cpu.s2");
+        assert_eq!(
+            StreamId {
+                target: Target::cpu(8),
+                index: 2
+            }
+            .label(),
+            "cpu.s2"
+        );
     }
 
     #[test]
@@ -698,13 +749,22 @@ mod tests {
     #[test]
     fn async_transfer_does_not_stall_other_streams() {
         let mut s = sim();
-        let copy_q = StreamId { target: Target::cpu_all(), index: 1 };
+        let copy_q = StreamId {
+            target: Target::cpu_all(),
+            index: 1,
+        };
         let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), 1e9, TransferKind::Memcpy, copy_q);
         assert!(ev.time > 0.0);
         // Neither default stream moved; only the issuing queue + engine.
         assert_eq!(s.time(Target::gpu(0)), 0.0);
         assert_eq!(s.time(Target::cpu_all()), 0.0);
-        assert_eq!(s.stream_time(StreamId { target: Target::cpu(44), index: 1 }), ev.time);
+        assert_eq!(
+            s.stream_time(StreamId {
+                target: Target::cpu(44),
+                index: 1
+            }),
+            ev.time
+        );
         assert_eq!(s.engine_time(Engine::H2d(0)), ev.time);
         assert_eq!(s.counters().bytes_h2d, 1e9);
     }
@@ -719,7 +779,10 @@ mod tests {
         serial.launch(Target::gpu(0), &k);
         // Overlapped: the copy rides the H2D engine while the kernel runs.
         let mut ovl = sim();
-        let copy_q = StreamId { target: Target::gpu(0), index: 1 };
+        let copy_q = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         let ev = ovl.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, copy_q);
         ovl.launch(Target::gpu(0), &k);
         ovl.wait_event(StreamId::default_for(Target::gpu(0)), ev);
@@ -739,8 +802,14 @@ mod tests {
     fn same_direction_copies_serialize_on_one_engine() {
         let mut s = sim();
         let bytes = 1e8;
-        let q1 = StreamId { target: Target::gpu(0), index: 1 };
-        let q2 = StreamId { target: Target::gpu(0), index: 2 };
+        let q1 = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
+        let q2 = StreamId {
+            target: Target::gpu(0),
+            index: 2,
+        };
         let dt = s.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
         let e1 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q1);
         let e2 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q2);
@@ -753,8 +822,14 @@ mod tests {
     fn opposite_directions_ride_separate_engines() {
         let mut s = sim();
         let bytes = 1e8;
-        let up = StreamId { target: Target::gpu(0), index: 1 };
-        let down = StreamId { target: Target::gpu(0), index: 2 };
+        let up = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
+        let down = StreamId {
+            target: Target::gpu(0),
+            index: 2,
+        };
         let e1 = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, up);
         let e2 = s.transfer_async(Loc::Gpu(0), Loc::Host, bytes, TransferKind::Memcpy, down);
         // Full-duplex NVLink: both complete in one copy time.
@@ -767,7 +842,10 @@ mod tests {
     fn sync_transfers_contend_with_async_copies_for_the_engine() {
         let mut s = sim();
         let bytes = 1e9;
-        let q = StreamId { target: Target::gpu(0), index: 1 };
+        let q = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy, q);
         // A blocking memcpy on the same engine queues behind the async one.
         let dt = s.transfer(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
@@ -778,11 +856,17 @@ mod tests {
     fn record_and_wait_event_order_streams() {
         let mut s = sim();
         let k = KernelProfile::new("k").flops(1e10);
-        let compute = StreamId { target: Target::gpu(0), index: 1 };
+        let compute = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         s.launch_on(compute, &k);
         let ev = s.record(compute);
         assert_eq!(ev.time, s.stream_time(compute));
-        let other = StreamId { target: Target::gpu(0), index: 2 };
+        let other = StreamId {
+            target: Target::gpu(0),
+            index: 2,
+        };
         s.wait_event(other, ev);
         assert_eq!(s.stream_time(other), ev.time);
         // Waiting on an already-past event is a no-op.
@@ -793,7 +877,10 @@ mod tests {
     #[test]
     fn sync_all_joins_copy_engines_too() {
         let mut s = sim();
-        let q = StreamId { target: Target::gpu(0), index: 1 };
+        let q = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), 2e9, TransferKind::Memcpy, q);
         let t = s.sync_all();
         assert!((t - ev.time).abs() < 1e-15);
@@ -818,7 +905,10 @@ mod tests {
         use crate::obs::Recorder;
         let rec = Recorder::enabled();
         let mut s = sim().with_recorder(rec.clone());
-        let q = StreamId { target: Target::gpu(0), index: 1 };
+        let q = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
         s.transfer_async(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::Memcpy, q);
         s.transfer_async(Loc::Gpu(0), Loc::Host, 1e6, TransferKind::Memcpy, q);
         let spans = rec.spans();
@@ -836,7 +926,10 @@ mod tests {
         // Host->Host runs at half DDR stream bandwidth (read + write)...
         let h2h = s.transfer_cost(Loc::Host, Loc::Host, bytes, TransferKind::Memcpy);
         let ddr_copy = bytes / (0.5 * s.machine().node.cpu.mem_bw_gbs * 1e9);
-        assert!((h2h - ddr_copy).abs() / ddr_copy < 0.01, "h2h {h2h} vs {ddr_copy}");
+        assert!(
+            (h2h - ddr_copy).abs() / ddr_copy < 0.01,
+            "h2h {h2h} vs {ddr_copy}"
+        );
         // ...which beats a bounce over the 68 GB/s NVLink.
         let link = s.transfer_cost(Loc::Host, Loc::Gpu(0), bytes, TransferKind::Memcpy);
         assert!(h2h < link);

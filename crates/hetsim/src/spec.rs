@@ -176,7 +176,11 @@ mod tests {
     use super::*;
 
     fn link(bw: f64, lat: f64) -> LinkSpec {
-        LinkSpec { kind: LinkKind::Pcie3, bw_gbs: bw, latency_us: lat }
+        LinkSpec {
+            kind: LinkKind::Pcie3,
+            bw_gbs: bw,
+            latency_us: lat,
+        }
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub struct TracedSim {
 #[allow(deprecated)]
 impl TracedSim {
     pub fn new(sim: Sim) -> TracedSim {
-        TracedSim { sim, spans: Vec::new() }
+        TracedSim {
+            sim,
+            spans: Vec::new(),
+        }
     }
 
     /// Launch with recording (default stream of `target`).
@@ -110,7 +113,10 @@ impl TracedSim {
                     *c = mark;
                 }
             }
-            out.push_str(&format!("{stream:<10} |{}|\n", String::from_utf8_lossy(&row)));
+            out.push_str(&format!(
+                "{stream:<10} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
         }
         out
     }
@@ -164,7 +170,10 @@ mod tests {
         t.launch(Target::gpu(0), &k2);
         assert_eq!(t.spans.len(), 2);
         assert_eq!(t.spans[0].name, "alpha");
-        assert!((t.spans[0].end - t.spans[1].start).abs() < 1e-15, "spans must abut");
+        assert!(
+            (t.spans[0].end - t.spans[1].start).abs() < 1e-15,
+            "spans must abut"
+        );
         assert!(t.spans[1].duration() > t.spans[0].duration());
     }
 

@@ -55,7 +55,12 @@ pub struct ManagedBuffer {
 
 impl ManagedBuffer {
     pub fn new(bytes: f64, residency: Residency) -> Self {
-        ManagedBuffer { bytes, residency, migration_cost: 0.0, migrations: 0 }
+        ManagedBuffer {
+            bytes,
+            residency,
+            migration_cost: 0.0,
+            migrations: 0,
+        }
     }
 
     /// Touch the buffer from `side`; returns the migration time paid (zero
@@ -78,7 +83,11 @@ mod tests {
     use crate::spec::LinkKind;
 
     fn nvlink() -> LinkSpec {
-        LinkSpec { kind: LinkKind::NvLink2, bw_gbs: 68.0, latency_us: 8.0 }
+        LinkSpec {
+            kind: LinkKind::NvLink2,
+            bw_gbs: 68.0,
+            latency_us: 8.0,
+        }
     }
 
     #[test]

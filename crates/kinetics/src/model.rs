@@ -100,7 +100,11 @@ impl AtomicModel {
                 }
             }
         }
-        AtomicModel { energy, weight, transitions }
+        AtomicModel {
+            energy,
+            weight,
+            transitions,
+        }
     }
 
     pub fn tier(tier: ModelTier, seed: u64) -> AtomicModel {
@@ -185,7 +189,8 @@ mod tests {
         let small = AtomicModel::tier(ModelTier::Small, 1).workspace_bytes();
         let large = AtomicModel::tier(ModelTier::Largest, 1).workspace_bytes();
         let ratio = large / small;
-        let n_ratio = (ModelTier::Largest.states() as f64 / ModelTier::Small.states() as f64).powi(2);
+        let n_ratio =
+            (ModelTier::Largest.states() as f64 / ModelTier::Small.states() as f64).powi(2);
         assert!((ratio / n_ratio - 1.0).abs() < 0.05, "{ratio} vs {n_ratio}");
     }
 

@@ -135,7 +135,11 @@ mod tests {
     use crate::model::AtomicModel;
 
     fn cond(radiation: f64) -> ZoneConditions {
-        ZoneConditions { te: 0.8, ne: 5.0, radiation }
+        ZoneConditions {
+            te: 0.8,
+            ne: 5.0,
+            radiation,
+        }
     }
 
     #[test]
@@ -168,11 +172,7 @@ mod tests {
         let pop = solve_populations_direct(&rm);
         let lte = m.boltzmann(0.8);
         // Spontaneous decay depletes excited states below LTE.
-        let dev: f64 = pop
-            .iter()
-            .zip(&lte)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let dev: f64 = pop.iter().zip(&lte).map(|(a, b)| (a - b).abs()).sum();
         assert!(dev > 1e-4, "populations stayed LTE: {dev}");
         let excited_pop: f64 = pop[1..].iter().sum();
         let excited_lte: f64 = lte[1..].iter().sum();
@@ -225,12 +225,20 @@ mod tests {
         let m = AtomicModel::synthetic(40, 31);
         let cold = solve_populations_direct(&RateMatrix::assemble(
             &m,
-            ZoneConditions { te: 0.3, ne: 5.0, radiation: 0.0 },
+            ZoneConditions {
+                te: 0.3,
+                ne: 5.0,
+                radiation: 0.0,
+            },
             false,
         ));
         let hot = solve_populations_direct(&RateMatrix::assemble(
             &m,
-            ZoneConditions { te: 3.0, ne: 5.0, radiation: 0.0 },
+            ZoneConditions {
+                te: 3.0,
+                ne: 5.0,
+                radiation: 0.0,
+            },
             false,
         ));
         let cold_excited: f64 = cold[10..].iter().sum();

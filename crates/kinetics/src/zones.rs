@@ -28,7 +28,11 @@ impl ZoneBatch {
         let conditions = (0..n)
             .map(|i| {
                 let f = i as f64 / n.max(1) as f64;
-                ZoneConditions { te: 0.3 + 2.0 * f, ne: 2.0 + 8.0 * f, radiation: 0.5 + f }
+                ZoneConditions {
+                    te: 0.3 + 2.0 * f,
+                    ne: 2.0 + 8.0 * f,
+                    radiation: 0.5 + f,
+                }
             })
             .collect();
         ZoneBatch { conditions }
@@ -48,8 +52,8 @@ impl ZoneBatch {
 fn zone_profile(tier: ModelTier, on_gpu: bool) -> KernelProfile {
     let n = tier.production_states() as f64;
     let nt = 4.0 * n; // dipole-ladder density, as in the synthetic models
-    // Rates: ~60 flops per transition (exp evaluations); assembly writes;
-    // LU: 2/3 n^3; solve: 2 n^2.
+                      // Rates: ~60 flops per transition (exp evaluations); assembly writes;
+                      // LU: 2/3 n^3; solve: 2 n^2.
     let flops = 60.0 * nt + (2.0 / 3.0) * n * n * n + 2.0 * n * n;
     let bytes = 8.0 * (n * n * 3.0 + nt * 4.0);
     let mut k = KernelProfile::new("cretin-zone")
@@ -153,7 +157,12 @@ mod tests {
         let node = machines::sierra_node();
         let s2 = NodeThroughput::evaluate(&node, ModelTier::SecondLargest);
         let s3 = NodeThroughput::evaluate(&node, ModelTier::Largest);
-        assert!(s3.gpu_speedup() > s2.gpu_speedup(), "{} vs {}", s3.gpu_speedup(), s2.gpu_speedup());
+        assert!(
+            s3.gpu_speedup() > s2.gpu_speedup(),
+            "{} vs {}",
+            s3.gpu_speedup(),
+            s2.gpu_speedup()
+        );
     }
 
     #[test]

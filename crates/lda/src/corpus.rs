@@ -16,7 +16,13 @@ pub struct CorpusParams {
 
 impl Default for CorpusParams {
     fn default() -> Self {
-        CorpusParams { n_docs: 200, vocab: 400, n_topics: 4, words_per_doc: 80, zipf_s: 1.1 }
+        CorpusParams {
+            n_docs: 200,
+            vocab: 400,
+            n_topics: 4,
+            words_per_doc: 80,
+            zipf_s: 1.1,
+        }
     }
 }
 
@@ -89,12 +95,20 @@ impl Corpus {
             docs.push(doc);
             true_theta.push(theta);
         }
-        Corpus { docs, params, true_topics, true_theta }
+        Corpus {
+            docs,
+            params,
+            true_topics,
+            true_theta,
+        }
     }
 
     /// Total token count.
     pub fn tokens(&self) -> f64 {
-        self.docs.iter().flat_map(|d| d.iter().map(|(_, c)| c)).sum()
+        self.docs
+            .iter()
+            .flat_map(|d| d.iter().map(|(_, c)| c))
+            .sum()
     }
 }
 

@@ -40,8 +40,8 @@ pub fn run_distributed(
     let mut bound = 0.0;
 
     // Per-token E-step flops: inner_iters * (digamma + exp + products).
-    let mean_doc_len = corpus.docs.iter().map(|d| d.len()).sum::<usize>() as f64
-        / corpus.docs.len().max(1) as f64;
+    let mean_doc_len =
+        corpus.docs.iter().map(|d| d.len()).sum::<usize>() as f64 / corpus.docs.len().max(1) as f64;
     let flops_per_doc = inner_iters as f64 * mean_doc_len * n_topics as f64 * 40.0;
 
     for _ in 0..iterations {
@@ -92,7 +92,13 @@ mod tests {
 
     fn small_corpus() -> Corpus {
         Corpus::generate(
-            CorpusParams { n_docs: 64, vocab: 120, n_topics: 3, words_per_doc: 40, zipf_s: 1.1 },
+            CorpusParams {
+                n_docs: 64,
+                vocab: 120,
+                n_topics: 3,
+                words_per_doc: 40,
+                zipf_s: 1.1,
+            },
             21,
         )
     }
@@ -117,7 +123,12 @@ mod tests {
         let slow = run_distributed(&c, &m, StackConfig::default_stack(), 3, 3, 4);
         let fast = run_distributed(&c, &m, StackConfig::optimized_stack(), 3, 3, 4);
         let speedup = slow.times.total() / fast.times.total();
-        assert!(speedup > 2.0, "speedup {speedup} ({:?} vs {:?})", slow.times, fast.times);
+        assert!(
+            speedup > 2.0,
+            "speedup {speedup} ({:?} vs {:?})",
+            slow.times,
+            fast.times
+        );
     }
 
     #[test]
@@ -144,7 +155,11 @@ mod tests {
         for _ in 0..3 {
             bound = serial.em_iteration(&c, 4);
         }
-        assert!((dist.final_bound - bound).abs() < 1e-9, "{} vs {bound}", dist.final_bound);
+        assert!(
+            (dist.final_bound - bound).abs() < 1e-9,
+            "{} vs {bound}",
+            dist.final_bound
+        );
     }
 
     #[test]

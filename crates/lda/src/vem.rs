@@ -15,8 +15,7 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    acc + x.ln() - 0.5 * inv
-        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+    acc + x.ln() - 0.5 * inv - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
 }
 
 /// The LDA model state.
@@ -47,7 +46,9 @@ impl LdaModel {
             let mut row = Vec::with_capacity(vocab);
             let mut z = 0.0;
             for _ in 0..vocab {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = 0.5 + (state >> 33) as f64 / (1u64 << 31) as f64;
                 row.push(v);
                 z += v;
@@ -57,7 +58,12 @@ impl LdaModel {
             }
             beta.push(row);
         }
-        LdaModel { n_topics, vocab, alpha, beta }
+        LdaModel {
+            n_topics,
+            vocab,
+            alpha,
+            beta,
+        }
     }
 
     /// One document's variational E-step.
@@ -94,7 +100,11 @@ impl LdaModel {
             }
             bound += count * word_prob.max(1e-300).ln();
         }
-        EStepResult { gamma, stats, log_likelihood_bound: bound }
+        EStepResult {
+            gamma,
+            stats,
+            log_likelihood_bound: bound,
+        }
     }
 
     /// M-step: rebuild `beta` from accumulated expected counts
@@ -221,6 +231,10 @@ mod tests {
                 concentrated += 1;
             }
         }
-        assert!(concentrated * 2 > c.docs.len(), "{concentrated}/{}", c.docs.len());
+        assert!(
+            concentrated * 2 > c.docs.len(),
+            "{concentrated}/{}",
+            c.docs.len()
+        );
     }
 }

@@ -40,7 +40,13 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] = row_ptr[r + 1].max(row_ptr[r]);
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Identity matrix.
@@ -114,7 +120,13 @@ impl CsrMatrix {
             }
         }
         // row_ptr has been advanced; rebuild from counts.
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr: counts, col_idx, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: counts,
+            col_idx,
+            values,
+        }
     }
 
     /// Diagonal entries (zero where absent).
@@ -160,7 +172,13 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = col_idx.len();
         }
-        CsrMatrix { rows: self.rows, cols: b.cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: b.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Galerkin triple product `R A P` (AMG coarse-grid operator).
@@ -252,11 +270,8 @@ mod tests {
 
     #[test]
     fn transpose_twice_is_identity_op() {
-        let a = CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 4.0), (2, 2, 7.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (0, 3, -1.0), (1, 0, 4.0), (2, 2, 7.0)]);
         assert_eq!(a.transpose().transpose(), a);
     }
 
@@ -284,11 +299,8 @@ mod tests {
     fn rap_shrinks_with_aggregation() {
         // P aggregates pairs of fine points; RAP must be coarse x coarse.
         let a = CsrMatrix::laplace1d(8);
-        let p = CsrMatrix::from_triplets(
-            8,
-            4,
-            &(0..8).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>(),
-        );
+        let p =
+            CsrMatrix::from_triplets(8, 4, &(0..8).map(|i| (i, i / 2, 1.0)).collect::<Vec<_>>());
         let r = p.transpose();
         let ac = CsrMatrix::rap(&r, &a, &p);
         assert_eq!(ac.rows, 4);

@@ -78,7 +78,11 @@ pub fn cg(
     for it in 0..max_iter {
         let rel = norm2(&r) / bnorm;
         if rel < tol {
-            return IterStats { iterations: it, residual: rel, converged: true };
+            return IterStats {
+                iterations: it,
+                residual: rel,
+                converged: true,
+            };
         }
         a.spmv(&p, &mut ap);
         let alpha = rz / dot(&p, &ap).max(1e-300);
@@ -92,7 +96,11 @@ pub fn cg(
             p[i] = z[i] + beta * p[i];
         }
     }
-    IterStats { iterations: max_iter, residual: norm2(&r) / bnorm, converged: false }
+    IterStats {
+        iterations: max_iter,
+        residual: norm2(&r) / bnorm,
+        converged: false,
+    }
 }
 
 /// BiCGStab for general systems.
@@ -121,7 +129,11 @@ pub fn bicgstab(
     for it in 0..max_iter {
         let rel = norm2(&r) / bnorm;
         if rel < tol {
-            return IterStats { iterations: it, residual: rel, converged: true };
+            return IterStats {
+                iterations: it,
+                residual: rel,
+                converged: true,
+            };
         }
         let rho_new = dot(&r0, &r);
         if rho_new.abs() < 1e-300 {
@@ -143,7 +155,11 @@ pub fn bicgstab(
         axpy(-alpha, &v, &mut s);
         if norm2(&s) / bnorm < tol {
             axpy(alpha, &ph, x);
-            return IterStats { iterations: it + 1, residual: norm2(&s) / bnorm, converged: true };
+            return IterStats {
+                iterations: it + 1,
+                residual: norm2(&s) / bnorm,
+                converged: true,
+            };
         }
         precond.apply(&s, &mut sh);
         a.spmv(&sh, &mut t);
@@ -159,7 +175,11 @@ pub fn bicgstab(
         r.copy_from_slice(&s);
         axpy(-omega, &t, &mut r);
     }
-    IterStats { iterations: max_iter, residual: norm2(&r) / bnorm, converged: false }
+    IterStats {
+        iterations: max_iter,
+        residual: norm2(&r) / bnorm,
+        converged: false,
+    }
 }
 
 /// Restarted GMRES(m).
@@ -190,10 +210,18 @@ pub fn gmres(
         let beta = norm2(&z);
         let rel0 = norm2(&r) / bnorm;
         if rel0 < tol {
-            return IterStats { iterations: total_it, residual: rel0, converged: true };
+            return IterStats {
+                iterations: total_it,
+                residual: rel0,
+                converged: true,
+            };
         }
         if total_it >= max_iter {
-            return IterStats { iterations: total_it, residual: rel0, converged: false };
+            return IterStats {
+                iterations: total_it,
+                residual: rel0,
+                converged: false,
+            };
         }
 
         // Arnoldi with modified Gram-Schmidt.
@@ -237,7 +265,9 @@ pub fn gmres(
                 h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
                 h[j][k] = t;
             }
-            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt().max(1e-300);
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k])
+                .sqrt()
+                .max(1e-300);
             cs[k] = h[k][k] / denom;
             sn[k] = h[k + 1][k] / denom;
             h[k][k] = denom;
@@ -272,10 +302,18 @@ pub fn gmres(
         }
         let rel = rr.sqrt() / bnorm;
         if rel < tol {
-            return IterStats { iterations: total_it, residual: rel, converged: true };
+            return IterStats {
+                iterations: total_it,
+                residual: rel,
+                converged: true,
+            };
         }
         if total_it >= max_iter {
-            return IterStats { iterations: total_it, residual: rel, converged: false };
+            return IterStats {
+                iterations: total_it,
+                residual: rel,
+                converged: false,
+            };
         }
     }
 }
@@ -285,7 +323,10 @@ mod tests {
     use super::*;
 
     fn solve_err(x: &[f64], expect: &[f64]) -> f64 {
-        x.iter().zip(expect).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        x.iter()
+            .zip(expect)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -415,7 +456,10 @@ impl Ilu0 {
                     diag_pos[i] = p;
                 }
             }
-            assert!(diag_pos[i] != usize::MAX, "ILU(0) needs a full diagonal (row {i})");
+            assert!(
+                diag_pos[i] != usize::MAX,
+                "ILU(0) needs a full diagonal (row {i})"
+            );
         }
         // IKJ-variant incomplete factorisation.
         for i in 1..n {
@@ -449,7 +493,13 @@ impl Ilu0 {
                 }
             }
         }
-        Ilu0 { n, values, row_ptr, col_idx, diag_pos }
+        Ilu0 {
+            n,
+            values,
+            row_ptr,
+            col_idx,
+            diag_pos,
+        }
     }
 }
 
@@ -491,7 +541,12 @@ mod ilu_tests {
         let mut z = vec![0.0; 40];
         ilu.apply(&b, &mut z);
         for i in 0..40 {
-            assert!((z[i] - expect[i]).abs() < 1e-9, "i={i}: {} vs {}", z[i], expect[i]);
+            assert!(
+                (z[i] - expect[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                z[i],
+                expect[i]
+            );
         }
     }
 

@@ -159,8 +159,18 @@ impl<P: PairPotential> Engine<P> {
                 let g = Target::gpu(0);
                 let c = Target::cpu_all();
                 b.nonbonded = sim.launch(g, &nb.clone().precision(Precision::Fp32));
-                b.transfers += sim.transfer(Loc::Host, Loc::Gpu(0), state_bytes / 2.0, TransferKind::Memcpy);
-                b.transfers += sim.transfer(Loc::Gpu(0), Loc::Host, state_bytes / 2.0, TransferKind::Memcpy);
+                b.transfers += sim.transfer(
+                    Loc::Host,
+                    Loc::Gpu(0),
+                    state_bytes / 2.0,
+                    TransferKind::Memcpy,
+                );
+                b.transfers += sim.transfer(
+                    Loc::Gpu(0),
+                    Loc::Host,
+                    state_bytes / 2.0,
+                    TransferKind::Memcpy,
+                );
                 b.bonded = sim.launch(c, &bonded);
                 b.integrate = sim.launch(c, &integ);
                 b.constraints = sim.launch(c, &constr);
@@ -235,7 +245,10 @@ mod tests {
         for &(i, j, r0, _) in &e.sys.bonds.clone() {
             let (dx, dy, dz) = e.sys.min_image(i, j);
             let r = (dx * dx + dy * dy + dz * dz).sqrt();
-            assert!((r - r0).abs() < 1e-4, "bond {i}-{j} drifted to {r} (rest {r0})");
+            assert!(
+                (r - r0).abs() < 1e-4,
+                "bond {i}-{j} drifted to {r} (rest {r0})"
+            );
         }
     }
 
@@ -247,7 +260,12 @@ mod tests {
         let mut sim = Sim::new(machines::sierra_node());
         let ddc = e.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 1);
         let gmx = e.step_cost(&mut sim, EngineKind::GromacsSplit, 1);
-        assert!(ddc.total() < gmx.total(), "{} vs {}", ddc.total(), gmx.total());
+        assert!(
+            ddc.total() < gmx.total(),
+            "{} vs {}",
+            ddc.total(),
+            gmx.total()
+        );
         assert!(gmx.transfers > 0.0);
         assert_eq!(ddc.transfers, 0.0);
     }
@@ -258,7 +276,12 @@ mod tests {
         let mut sim = Sim::new(machines::sierra_node());
         let one = e.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 1);
         let four = e.step_cost(&mut sim, EngineKind::DdcMdAllGpu, 4);
-        assert!(four.nonbonded < 0.7 * one.nonbonded, "{} vs {}", four.nonbonded, one.nonbonded);
+        assert!(
+            four.nonbonded < 0.7 * one.nonbonded,
+            "{} vs {}",
+            four.nonbonded,
+            one.nonbonded
+        );
     }
 
     #[test]

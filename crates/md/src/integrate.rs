@@ -39,7 +39,11 @@ pub struct Langevin {
 
 impl Langevin {
     pub fn new(temp: f64, gamma: f64, seed: u64) -> Langevin {
-        Langevin { temp, gamma, rng: SmallRng::seed_from_u64(seed) }
+        Langevin {
+            temp,
+            gamma,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     pub fn apply(&mut self, sys: &mut System, dt: f64) {
@@ -184,7 +188,10 @@ mod tests {
     #[test]
     fn berendsen_compresses_underpressurised_box() {
         let mut sys = System::lattice(64, 0.2, 0.5, 21);
-        let baro = Berendsen { target_pressure: 2.0, coupling: 0.01 };
+        let baro = Berendsen {
+            target_pressure: 2.0,
+            coupling: 0.01,
+        };
         let l0 = sys.box_len;
         // Low density, low virial => pressure < target => box shrinks.
         for _ in 0..20 {

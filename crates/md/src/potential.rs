@@ -35,7 +35,12 @@ impl LennardJones {
     pub fn new(epsilon: f64, sigma: f64, cutoff: f64) -> LennardJones {
         let sr6 = (sigma / cutoff).powi(6);
         let shift = 4.0 * epsilon * (sr6 * sr6 - sr6);
-        LennardJones { epsilon, sigma, cutoff, shift }
+        LennardJones {
+            epsilon,
+            sigma,
+            cutoff,
+            shift,
+        }
     }
 
     /// Martini-style CG defaults.
@@ -224,7 +229,12 @@ mod tests {
         let dudr = (e2 - e1) / (2.0 * h);
         // Trait convention: f_over_r = (dU/dr) / r.
         let (_, f_over_r) = lj.eval(r * r);
-        assert!((f_over_r * r - dudr).abs() < 1e-5, "{} vs {}", f_over_r * r, dudr);
+        assert!(
+            (f_over_r * r - dudr).abs() < 1e-5,
+            "{} vs {}",
+            f_over_r * r,
+            dudr
+        );
     }
 
     #[test]

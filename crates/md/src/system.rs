@@ -187,7 +187,10 @@ mod tests {
         s.push([0.5, 5.0, 5.0], [0.0; 3], 1.0);
         s.push([9.5, 5.0, 5.0], [0.0; 3], 1.0);
         let (dx, _, _) = s.min_image(0, 1);
-        assert!((dx + 1.0).abs() < 1e-12, "wrapped distance should be -1, got {dx}");
+        assert!(
+            (dx + 1.0).abs() < 1e-12,
+            "wrapped distance should be -1, got {dx}"
+        );
     }
 
     #[test]

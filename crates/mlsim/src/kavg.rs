@@ -167,12 +167,7 @@ pub fn train_sgd(xs: &[Vec<f64>], ys: &[f64], cfg: TrainConfig) -> (Mlp, f64) {
 /// that are `staleness` updates old (round-robin schedule, the worst-case
 /// uniform staleness the paper's analysis assumes is *bounded* by the
 /// learner count). Returns (model, final loss).
-pub fn train_asgd(
-    xs: &[Vec<f64>],
-    ys: &[f64],
-    cfg: TrainConfig,
-    learners: usize,
-) -> (Mlp, f64) {
+pub fn train_asgd(xs: &[Vec<f64>], ys: &[f64], cfg: TrainConfig, learners: usize) -> (Mlp, f64) {
     let mut central = Mlp::new(xs[0].len(), 8, cfg.seed);
     // History of parameter snapshots for staleness.
     let mut history: Vec<Vec<f64>> = vec![central.w.clone(); learners.max(1)];
@@ -213,10 +208,18 @@ pub fn train_kavg(
     // Shard data round-robin.
     let shards: Vec<(Vec<Vec<f64>>, Vec<f64>)> = (0..learners)
         .map(|l| {
-            let xi: Vec<Vec<f64>> =
-                xs.iter().enumerate().filter(|(i, _)| i % learners == l).map(|(_, x)| x.clone()).collect();
-            let yi: Vec<f64> =
-                ys.iter().enumerate().filter(|(i, _)| i % learners == l).map(|(_, y)| *y).collect();
+            let xi: Vec<Vec<f64>> = xs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % learners == l)
+                .map(|(_, x)| x.clone())
+                .collect();
+            let yi: Vec<f64> = ys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % learners == l)
+                .map(|(_, y)| *y)
+                .collect();
             (xi, yi)
         })
         .collect();
@@ -269,7 +272,12 @@ mod tests {
     }
 
     fn cfg(steps: usize) -> TrainConfig {
-        TrainConfig { lr: 0.3, batch: 32, steps, seed: 5 }
+        TrainConfig {
+            lr: 0.3,
+            batch: 32,
+            steps,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -302,7 +310,10 @@ mod tests {
         let (xs, ys) = data();
         let (_, sgd_loss) = train_sgd(&xs, &ys, cfg(2000));
         let (_, kavg_loss, reductions) = train_kavg(&xs, &ys, cfg(2000), 4, 8);
-        assert!(kavg_loss < sgd_loss + 0.15, "kavg {kavg_loss} vs sgd {sgd_loss}");
+        assert!(
+            kavg_loss < sgd_loss + 0.15,
+            "kavg {kavg_loss} vs sgd {sgd_loss}"
+        );
         assert_eq!(reductions, 2000 / 8);
     }
 
@@ -320,7 +331,12 @@ mod tests {
         // The §4.5 finding: staleness forces small learning rates; at a
         // rate where synchronous methods are fine, stale updates hurt.
         let (xs, ys) = data();
-        let hot = TrainConfig { lr: 4.5, batch: 32, steps: 1500, seed: 5 };
+        let hot = TrainConfig {
+            lr: 4.5,
+            batch: 32,
+            steps: 1500,
+            seed: 5,
+        };
         let (_, sync_loss, _) = train_kavg(&xs, &ys, hot, 16, 4);
         let (_, async_loss) = train_asgd(&xs, &ys, hot, 16);
         // Derivation of the 3.0x bound: with 16 learners an ASGD update is
@@ -343,7 +359,12 @@ mod tests {
     #[test]
     fn asgd_converges_with_small_lr() {
         let (xs, ys) = data();
-        let safe = TrainConfig { lr: 0.1, batch: 32, steps: 4000, seed: 5 };
+        let safe = TrainConfig {
+            lr: 0.1,
+            batch: 32,
+            steps: 4000,
+            seed: 5,
+        };
         let (_, loss) = train_asgd(&xs, &ys, safe, 8);
         assert!(loss < 0.45, "{loss}");
     }
@@ -381,7 +402,12 @@ mod diag {
     fn lr_sweep() {
         let (xs, ys) = synth_dataset(400, 4, 3);
         for lr in [0.6, 1.2, 2.0, 3.0, 4.5, 6.0, 8.0] {
-            let cfg = TrainConfig { lr, batch: 32, steps: 1500, seed: 5 };
+            let cfg = TrainConfig {
+                lr,
+                batch: 32,
+                steps: 1500,
+                seed: 5,
+            };
             let (_, sync_loss, _) = train_kavg(&xs, &ys, cfg, 16, 4);
             let (_, async_loss) = train_asgd(&xs, &ys, cfg, 16);
             println!("lr {lr}: kavg {sync_loss:.4} asgd {async_loss:.4}");

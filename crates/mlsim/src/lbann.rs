@@ -73,7 +73,11 @@ pub fn scaling_point(cfg: &LbannConfig, total_gpus: usize, gpus_per_sample: usiz
     // InfiniBand beyond. The paper's "exploits the system's unique
     // capabilities such as NVLink".
     let link = if gpus_per_sample <= 4 {
-        machine.node.peer_link.clone().expect("sierra has NVLink peers")
+        machine
+            .node
+            .peer_link
+            .clone()
+            .expect("sierra has NVLink peers")
     } else {
         hetsim::LinkSpec {
             kind: hetsim::LinkKind::Fabric,
@@ -188,7 +192,9 @@ mod tests {
     fn sweep_covers_all_partitionings() {
         let pts = fig3_sweep(&cfg());
         for g in [2usize, 4, 8, 16] {
-            assert!(pts.iter().any(|p| p.gpus_per_sample == g && p.total_gpus == 2048));
+            assert!(pts
+                .iter()
+                .any(|p| p.gpus_per_sample == g && p.total_gpus == 2048));
         }
     }
 }

@@ -36,8 +36,7 @@ impl VideoDataset {
         // Pseudo-random but deterministic class signatures, distinct per
         // (class, dim, stream).
         let centre = |class: usize, d: usize, s: usize| -> f64 {
-            let h = ((class * 31 + d * 7 + s * 131) as u64)
-                .wrapping_mul(0x9E3779B97F4A7C15);
+            let h = ((class * 31 + d * 7 + s * 131) as u64).wrapping_mul(0x9E3779B97F4A7C15);
             ((h >> 33) % 5) as f64 - 2.0
         };
         for i in 0..n {
@@ -53,7 +52,11 @@ impl VideoDataset {
                 stream.push(feat);
             }
         }
-        VideoDataset { streams, labels, name }
+        VideoDataset {
+            streams,
+            labels,
+            name,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -76,7 +79,11 @@ pub struct Softmax {
 
 impl Softmax {
     pub fn new(input: usize, classes: usize) -> Softmax {
-        Softmax { input, classes, w: vec![0.0; classes * input + classes] }
+        Softmax {
+            input,
+            classes,
+            w: vec![0.0; classes * input + classes],
+        }
     }
 
     pub fn probs(&self, x: &[f64]) -> Vec<f64> {
@@ -154,9 +161,14 @@ impl Table3 {
     }
 
     pub fn best_ensemble(&self) -> f64 {
-        [self.simple_average, self.weighted_average, self.logistic_regression, self.shallow_nn]
-            .into_iter()
-            .fold(0.0, f64::max)
+        [
+            self.simple_average,
+            self.weighted_average,
+            self.logistic_regression,
+            self.shallow_nn,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 }
 
@@ -171,7 +183,10 @@ pub fn run_table3(data: &VideoDataset, seed: u64) -> Table3 {
     // Train per-stream softmax classifiers.
     let mut models = Vec::new();
     for s in 0..3 {
-        let xs: Vec<Vec<f64>> = train_idx.iter().map(|&i| data.streams[s][i].clone()).collect();
+        let xs: Vec<Vec<f64>> = train_idx
+            .iter()
+            .map(|&i| data.streams[s][i].clone())
+            .collect();
         let ys: Vec<usize> = train_idx.iter().map(|&i| data.labels[i]).collect();
         let mut m = Softmax::new(DIM, CLASSES);
         m.train(&xs, &ys, 0.5, 300);
@@ -179,7 +194,10 @@ pub fn run_table3(data: &VideoDataset, seed: u64) -> Table3 {
     }
     let val_probs = |s: usize, i: usize| models[s].probs(&data.streams[s][i]);
     let acc_of = |pred: &dyn Fn(usize) -> usize| -> f64 {
-        let correct = val_idx.iter().filter(|&&i| pred(i) == data.labels[i]).count();
+        let correct = val_idx
+            .iter()
+            .filter(|&&i| pred(i) == data.labels[i])
+            .count();
         correct as f64 / val_idx.len().max(1) as f64
     };
 
@@ -204,14 +222,15 @@ pub fn run_table3(data: &VideoDataset, seed: u64) -> Table3 {
     // Weighted average: weights from training-set accuracy.
     let train_acc: Vec<f64> = (0..3)
         .map(|s| {
-            let xs: Vec<Vec<f64>> =
-                train_idx.iter().map(|&i| data.streams[s][i].clone()).collect();
+            let xs: Vec<Vec<f64>> = train_idx
+                .iter()
+                .map(|&i| data.streams[s][i].clone())
+                .collect();
             let ys: Vec<usize> = train_idx.iter().map(|&i| data.labels[i]).collect();
             models[s].accuracy(&xs, &ys)
         })
         .collect();
-    let weighted_average =
-        acc_of(&|i| avg_pred(i, [train_acc[0], train_acc[1], train_acc[2]]));
+    let weighted_average = acc_of(&|i| avg_pred(i, [train_acc[0], train_acc[1], train_acc[2]]));
 
     // Stacked features: concatenated per-stream probabilities on train.
     let stack = |i: usize| -> Vec<f64> {
@@ -232,7 +251,9 @@ pub fn run_table3(data: &VideoDataset, seed: u64) -> Table3 {
     // Shallow NN combiner: random tanh features + softmax readout.
     let mut rng = SmallRng::seed_from_u64(seed);
     let hidden = 24;
-    let proj: Vec<f64> = (0..hidden * 3 * CLASSES).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let proj: Vec<f64> = (0..hidden * 3 * CLASSES)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     let hidden_feat = |f: &[f64]| -> Vec<f64> {
         (0..hidden)
             .map(|h| {
@@ -335,11 +356,12 @@ mod tests {
     #[test]
     fn accuracies_are_probabilities() {
         let t = run_table3(&ucf_like(3), 5);
-        for v in t
-            .single
-            .iter()
-            .chain([&t.simple_average, &t.weighted_average, &t.logistic_regression, &t.shallow_nn])
-        {
+        for v in t.single.iter().chain([
+            &t.simple_average,
+            &t.weighted_average,
+            &t.logistic_regression,
+            &t.shallow_nn,
+        ]) {
             assert!((0.0..=1.0).contains(v));
         }
     }

@@ -42,7 +42,10 @@ impl<V: NVector> AdaptiveBdf<V> {
             h: h0,
             h_min: h0 * 1e-6,
             h_max: h0 * 1e6,
-            stats: AdaptiveStats { h_min_used: f64::INFINITY, ..Default::default() },
+            stats: AdaptiveStats {
+                h_min_used: f64::INFINITY,
+                ..Default::default()
+            },
             prev: None,
             prev2: None,
         }
@@ -128,7 +131,11 @@ impl<V: NVector> AdaptiveBdf<V> {
                 self.stats.h_max_used = self.stats.h_max_used.max(h);
                 self.prev2 = self.prev.take();
                 self.prev = Some(y_n);
-                let growth = if err > 1e-12 { 0.9 * err.powf(-1.0 / 3.0) } else { 2.0 };
+                let growth = if err > 1e-12 {
+                    0.9 * err.powf(-1.0 / 3.0)
+                } else {
+                    2.0
+                };
                 self.h = (self.h * growth.clamp(0.3, 2.0)).clamp(self.h_min, self.h_max);
                 return true;
             }

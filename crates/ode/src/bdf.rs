@@ -15,9 +15,18 @@ fn bdf_coeffs(order: usize) -> (Vec<f64>, f64) {
         1 => (vec![1.0], 1.0),
         2 => (vec![4.0 / 3.0, -1.0 / 3.0], 2.0 / 3.0),
         3 => (vec![18.0 / 11.0, -9.0 / 11.0, 2.0 / 11.0], 6.0 / 11.0),
-        4 => (vec![48.0 / 25.0, -36.0 / 25.0, 16.0 / 25.0, -3.0 / 25.0], 12.0 / 25.0),
+        4 => (
+            vec![48.0 / 25.0, -36.0 / 25.0, 16.0 / 25.0, -3.0 / 25.0],
+            12.0 / 25.0,
+        ),
         5 => (
-            vec![300.0 / 137.0, -300.0 / 137.0, 200.0 / 137.0, -75.0 / 137.0, 12.0 / 137.0],
+            vec![
+                300.0 / 137.0,
+                -300.0 / 137.0,
+                200.0 / 137.0,
+                -75.0 / 137.0,
+                12.0 / 137.0,
+            ],
             60.0 / 137.0,
         ),
         _ => panic!("BDF order must be 1..=5, got {order}"),
@@ -33,7 +42,10 @@ pub struct BdfOptions {
 
 impl Default for BdfOptions {
     fn default() -> Self {
-        BdfOptions { order: 2, newton: NewtonOptions::default() }
+        BdfOptions {
+            order: 2,
+            newton: NewtonOptions::default(),
+        }
     }
 }
 
@@ -63,7 +75,13 @@ pub struct BdfIntegrator<V: NVector> {
 
 impl<V: NVector> BdfIntegrator<V> {
     pub fn new(y0: V, t0: f64, opts: BdfOptions) -> Self {
-        BdfIntegrator { opts, history: vec![y0], t: t0, last_h: None, stats: StepStats::default() }
+        BdfIntegrator {
+            opts,
+            history: vec![y0],
+            t: t0,
+            last_h: None,
+            stats: StepStats::default(),
+        }
     }
 
     pub fn time(&self) -> f64 {
@@ -217,7 +235,10 @@ mod tests {
         let mut bdf = BdfIntegrator::new(
             HostVec::from_vec(vec![1.0]),
             0.0,
-            BdfOptions { order: 2, ..Default::default() },
+            BdfOptions {
+                order: 2,
+                ..Default::default()
+            },
         );
         let ok = bdf.integrate_to(1.0, 1e-3, |_t, y, dy| dy[0] = -y[0], ident_precond);
         assert!(ok);
@@ -233,7 +254,11 @@ mod tests {
                 0.0,
                 BdfOptions {
                     order: 2,
-                    newton: NewtonOptions { tol: 1e-13, lin_tol: 1e-10, ..Default::default() },
+                    newton: NewtonOptions {
+                        tol: 1e-13,
+                        lin_tol: 1e-10,
+                        ..Default::default()
+                    },
                 },
             );
             bdf.integrate_to(1.0, h, |_t, y, dy| dy[0] = -y[0], ident_precond);
@@ -269,7 +294,10 @@ mod tests {
         let mut bdf = BdfIntegrator::new(
             HostVec::from_vec(vec![1.0, 0.0]),
             0.0,
-            BdfOptions { order: 3, ..Default::default() },
+            BdfOptions {
+                order: 3,
+                ..Default::default()
+            },
         );
         let ok = bdf.integrate_to(
             std::f64::consts::PI,

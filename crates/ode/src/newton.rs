@@ -17,7 +17,13 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        NewtonOptions { max_iters: 10, tol: 1e-9, krylov_dim: 30, lin_tol: 1e-4, max_lin_iters: 200 }
+        NewtonOptions {
+            max_iters: 10,
+            tol: 1e-9,
+            krylov_dim: 30,
+            lin_tol: 1e-4,
+            max_lin_iters: 200,
+        }
     }
 }
 
@@ -92,7 +98,9 @@ where
                 h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
                 h[j][k] = t;
             }
-            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]).sqrt().max(1e-300);
+            let denom = (h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k])
+                .sqrt()
+                .max(1e-300);
             cs[k] = h[k][k] / denom;
             sn[k] = h[k + 1][k] / denom;
             h[k][k] = denom;

@@ -113,7 +113,10 @@ pub struct CountingVec {
 
 impl CountingVec {
     pub fn zeros(n: usize, counts: Rc<RefCell<OpCounts>>) -> CountingVec {
-        CountingVec { data: vec![0.0; n], counts }
+        CountingVec {
+            data: vec![0.0; n],
+            counts,
+        }
     }
 
     pub fn from_vec(v: Vec<f64>, counts: Rc<RefCell<OpCounts>>) -> CountingVec {

@@ -81,23 +81,52 @@ impl Program {
         use Expr as E;
         let loops = vec![
             // t3 = a0 + a1
-            Loop { writes: 3, expr: E::load(0).add(E::load(1)) },
+            Loop {
+                writes: 3,
+                expr: E::load(0).add(E::load(1)),
+            },
             // t4 = a0 - a2
-            Loop { writes: 4, expr: E::load(0).sub(E::load(2)) },
+            Loop {
+                writes: 4,
+                expr: E::load(0).sub(E::load(2)),
+            },
             // t5 = t3 * t4
-            Loop { writes: 5, expr: E::load(3).mul(E::load(4)) },
+            Loop {
+                writes: 5,
+                expr: E::load(3).mul(E::load(4)),
+            },
             // t6 = t5 + a1 * 2
-            Loop { writes: 6, expr: E::load(5).add(E::load(1).mul(E::c(2.0))) },
+            Loop {
+                writes: 6,
+                expr: E::load(5).add(E::load(1).mul(E::c(2.0))),
+            },
             // t7 = t6 * t6
-            Loop { writes: 7, expr: E::load(6).mul(E::load(6)) },
+            Loop {
+                writes: 7,
+                expr: E::load(6).mul(E::load(6)),
+            },
             // t8 = t7 - t3
-            Loop { writes: 8, expr: E::load(7).sub(E::load(3)) },
+            Loop {
+                writes: 8,
+                expr: E::load(7).sub(E::load(3)),
+            },
             // t9 = t8 * 0.5 + a2
-            Loop { writes: 9, expr: E::load(8).mul(E::c(0.5)).add(E::load(2)) },
+            Loop {
+                writes: 9,
+                expr: E::load(8).mul(E::c(0.5)).add(E::load(2)),
+            },
             // out = t9 + t5  (final stress update)
-            Loop { writes: 10, expr: E::load(9).add(E::load(5)) },
+            Loop {
+                writes: 10,
+                expr: E::load(9).add(E::load(5)),
+            },
         ];
-        Program { n, n_arrays: 11, loops, live_out: vec![3, 5, 7, 9, 10] }
+        Program {
+            n,
+            n_arrays: 11,
+            loops,
+            live_out: vec![3, 5, 7, 9, 10],
+        }
     }
 
     /// Arrays read anywhere in the program (deduplicated, sorted).

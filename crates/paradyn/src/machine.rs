@@ -41,7 +41,11 @@ pub fn cpu_time(
     cache_bw: f64,
     dram_bw: f64,
 ) -> f64 {
-    let bw = if working_set_bytes <= cache_bytes { cache_bw } else { dram_bw };
+    let bw = if working_set_bytes <= cache_bytes {
+        cache_bw
+    } else {
+        dram_bw
+    };
     stats.memory_ops() as f64 * 8.0 / bw
 }
 
@@ -78,7 +82,12 @@ fn eval(e: &Expr, arrays: &[Vec<f64>], i: usize, registers: &[bool], stats: &mut
 /// earlier in the group is register-resident for later reads at the same
 /// index. This is exactly what SLNSP enables. In the unfused program every
 /// loop is its own group, so every read is a global load.
-pub fn run(prog: &Program, inputs: &[(usize, Vec<f64>)], groups: &[usize], elided_stores: &HashSet<usize>) -> (Vec<Vec<f64>>, ExecStats) {
+pub fn run(
+    prog: &Program,
+    inputs: &[(usize, Vec<f64>)],
+    groups: &[usize],
+    elided_stores: &HashSet<usize>,
+) -> (Vec<Vec<f64>>, ExecStats) {
     assert_eq!(groups.len(), prog.loops.len(), "one group tag per loop");
     let mut arrays = vec![vec![0.0; prog.n]; prog.n_arrays];
     for (id, data) in inputs {
@@ -130,8 +139,14 @@ mod tests {
             n: 4,
             n_arrays: 3,
             loops: vec![
-                Loop { writes: 1, expr: Expr::load(0).mul(Expr::c(2.0)) },
-                Loop { writes: 2, expr: Expr::load(1).add(Expr::c(1.0)) },
+                Loop {
+                    writes: 1,
+                    expr: Expr::load(0).mul(Expr::c(2.0)),
+                },
+                Loop {
+                    writes: 2,
+                    expr: Expr::load(1).add(Expr::c(1.0)),
+                },
             ],
             live_out: vec![2],
         };
@@ -173,7 +188,10 @@ mod tests {
         let prog = Program {
             n: 3,
             n_arrays: 1,
-            loops: vec![Loop { writes: 0, expr: Expr::Index.mul(Expr::c(3.0)) }],
+            loops: vec![Loop {
+                writes: 0,
+                expr: Expr::Index.mul(Expr::c(3.0)),
+            }],
             live_out: vec![0],
         };
         let (arrays, _) = run_baseline(&prog, &[]);
@@ -194,8 +212,7 @@ mod cpu_model_tests {
     fn merged_loops_hurt_cpu_when_working_set_spills_cache() {
         let n = 1_000_000usize;
         let prog = Program::paradyn_kernel(n);
-        let inputs: Vec<(usize, Vec<f64>)> =
-            (0..3).map(|a| (a, vec![a as f64; n])).collect();
+        let inputs: Vec<(usize, Vec<f64>)> = (0..3).map(|a| (a, vec![a as f64; n])).collect();
         let (_, base) = run_baseline(&prog, &inputs);
         let (_, fused) = run(&prog, &inputs, &slnsp_fuse(&prog), &HashSet::new());
         let cache = 32.0 * 1024.0 * 1024.0; // L3
@@ -203,7 +220,10 @@ mod cpu_model_tests {
         // Small loops: each touches ~3 arrays => fits L3; merged: all 11.
         let ws_small = 3.0 * 8.0 * n as f64;
         let ws_merged = 11.0 * 8.0 * n as f64;
-        assert!(ws_small <= cache && ws_merged > cache, "sizes chosen to straddle L3");
+        assert!(
+            ws_small <= cache && ws_merged > cache,
+            "sizes chosen to straddle L3"
+        );
         let t_small_loops = cpu_time(&base, ws_small, cache, cache_bw, dram_bw);
         let t_merged = cpu_time(&fused, ws_merged, cache, cache_bw, dram_bw);
         assert!(
@@ -218,8 +238,7 @@ mod cpu_model_tests {
     fn merged_loops_help_gpu() {
         let n = 100_000usize;
         let prog = Program::paradyn_kernel(n);
-        let inputs: Vec<(usize, Vec<f64>)> =
-            (0..3).map(|a| (a, vec![a as f64; n])).collect();
+        let inputs: Vec<(usize, Vec<f64>)> = (0..3).map(|a| (a, vec![a as f64; n])).collect();
         let (_, base) = run_baseline(&prog, &inputs);
         let (_, fused) = run(&prog, &inputs, &slnsp_fuse(&prog), &HashSet::new());
         let launches_base = prog.loops.len() as f64;

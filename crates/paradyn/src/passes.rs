@@ -67,9 +67,18 @@ mod tests {
             n: 4,
             n_arrays: 4,
             loops: vec![
-                Loop { writes: 1, expr: Expr::load(0) },
-                Loop { writes: 2, expr: Expr::load(1) },
-                Loop { writes: 3, expr: Expr::load(2) },
+                Loop {
+                    writes: 1,
+                    expr: Expr::load(0),
+                },
+                Loop {
+                    writes: 2,
+                    expr: Expr::load(1),
+                },
+                Loop {
+                    writes: 3,
+                    expr: Expr::load(2),
+                },
             ],
             live_out: vec![3],
         };
@@ -87,7 +96,12 @@ mod tests {
         let p = Program::paradyn_kernel(64);
         let inputs: Vec<(usize, Vec<f64>)> = (0..3)
             .map(|a| {
-                (a, (0..64).map(|i| ((i * (a + 2)) % 7) as f64 * 0.5 - 1.0).collect())
+                (
+                    a,
+                    (0..64)
+                        .map(|i| ((i * (a + 2)) % 7) as f64 * 0.5 - 1.0)
+                        .collect(),
+                )
             })
             .collect();
         let (base_arrays, base) = run_baseline(&p, &inputs);
@@ -118,7 +132,10 @@ mod tests {
         let t_full = full.time(bw);
         // SLNSP ~2x (time tracks the load reduction).
         let slnsp_gain = t_base / t_slnsp;
-        assert!(slnsp_gain > 1.6 && slnsp_gain < 2.5, "SLNSP gain {slnsp_gain}");
+        assert!(
+            slnsp_gain > 1.6 && slnsp_gain < 2.5,
+            "SLNSP gain {slnsp_gain}"
+        );
         let load_ratio = base.loads as f64 / fused.loads as f64;
         assert!(
             (slnsp_gain / load_ratio - 1.0).abs() < 0.6,

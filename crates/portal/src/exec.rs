@@ -102,27 +102,39 @@ impl From<CostTerms> for PerItem {
 
 impl PerItem {
     pub fn new() -> PerItem {
-        PerItem { terms: CostTerms::new() }
+        PerItem {
+            terms: CostTerms::new(),
+        }
     }
 
     pub fn flops(self, f: f64) -> Self {
-        PerItem { terms: self.terms.flops(f) }
+        PerItem {
+            terms: self.terms.flops(f),
+        }
     }
 
     pub fn bytes_read(self, b: f64) -> Self {
-        PerItem { terms: self.terms.bytes_read(b) }
+        PerItem {
+            terms: self.terms.bytes_read(b),
+        }
     }
 
     pub fn bytes_written(self, b: f64) -> Self {
-        PerItem { terms: self.terms.bytes_written(b) }
+        PerItem {
+            terms: self.terms.bytes_written(b),
+        }
     }
 
     pub fn bandwidth_eff(self, e: f64) -> Self {
-        PerItem { terms: self.terms.bandwidth_eff(e) }
+        PerItem {
+            terms: self.terms.bandwidth_eff(e),
+        }
     }
 
     pub fn compute_eff(self, e: f64) -> Self {
-        PerItem { terms: self.terms.compute_eff(e) }
+        PerItem {
+            terms: self.terms.compute_eff(e),
+        }
     }
 
     /// Expand to a kernel profile for `n` iterations under `policy` — a
@@ -139,7 +151,6 @@ impl PerItem {
         }
         k
     }
-
 }
 
 /// Runs loops for real while charging a [`Sim`].
@@ -188,7 +199,14 @@ impl Executor {
         self.sim.elapsed()
     }
 
-    fn charge(&mut self, name: &str, n: usize, policy: Policy, backend: Backend, item: &PerItem) -> f64 {
+    fn charge(
+        &mut self,
+        name: &str,
+        n: usize,
+        policy: Policy,
+        backend: Backend,
+        item: &PerItem,
+    ) -> f64 {
         let profile = item.profile(name, n, policy);
         let target = policy.target(&self.sim);
         let base = self.sim.launch(target, &profile);
@@ -207,7 +225,14 @@ impl Executor {
 
     /// Read-only `forall`: run `f(i)` for `i in 0..n`. Returns simulated
     /// seconds.
-    pub fn forall<F>(&mut self, policy: Policy, backend: Backend, item: &PerItem, n: usize, f: F) -> f64
+    pub fn forall<F>(
+        &mut self,
+        policy: Policy,
+        backend: Backend,
+        item: &PerItem,
+        n: usize,
+        f: F,
+    ) -> f64
     where
         F: Fn(usize) + Sync,
     {
@@ -360,9 +385,15 @@ mod tests {
     fn forall_visits_every_index() {
         let mut e = exec();
         let count = AtomicU64::new(0);
-        e.forall(Policy::Threads(8), Backend::Native, &PerItem::new(), 10_000, |_| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
+        e.forall(
+            Policy::Threads(8),
+            Backend::Native,
+            &PerItem::new(),
+            10_000,
+            |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         assert_eq!(count.load(Ordering::Relaxed), 10_000);
     }
 
@@ -370,9 +401,15 @@ mod tests {
     fn forall_mut_writes_every_slot() {
         let mut e = exec();
         let mut v = vec![0usize; 5000];
-        e.forall_mut(Policy::device(0), Backend::Portal, &PerItem::new(), &mut v, |i, s| {
-            *s = i * 2;
-        });
+        e.forall_mut(
+            Policy::device(0),
+            Backend::Portal,
+            &PerItem::new(),
+            &mut v,
+            |i, s| {
+                *s = i * 2;
+            },
+        );
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
     }
 
@@ -381,7 +418,9 @@ mod tests {
         let mut e = exec();
         let item = PerItem::new().flops(1.0).bytes_read(8.0);
         let (par, _) =
-            e.forall_reduce_sum(Policy::Threads(16), Backend::Native, &item, 100_000, |i| i as f64);
+            e.forall_reduce_sum(Policy::Threads(16), Backend::Native, &item, 100_000, |i| {
+                i as f64
+            });
         let serial: f64 = (0..100_000).map(|i| i as f64).sum();
         assert_eq!(par, serial);
     }
@@ -406,14 +445,24 @@ mod tests {
         assert_eq!(rec.counter("app.items_seen"), n as f64);
         assert_eq!(rec.counter("portal.launches"), 1.0);
         assert_eq!(rec.counter("portal.items"), n as f64);
-        assert_eq!(rec.counter("launches"), 1.0, "sim-level launch counted once");
+        assert_eq!(
+            rec.counter("launches"),
+            1.0,
+            "sim-level launch counted once"
+        );
         assert_eq!(rec.spans().len(), 1, "one kernel span for the whole forall");
     }
 
     #[test]
     fn executor_reset_and_counters_mirror_sim() {
         let mut e = exec();
-        e.forall(Policy::device(0), Backend::Native, &PerItem::new().flops(4.0), 5000, |_| {});
+        e.forall(
+            Policy::device(0),
+            Backend::Native,
+            &PerItem::new().flops(4.0),
+            5000,
+            |_| {},
+        );
         assert_eq!(e.counters().kernels_launched, 1);
         assert!(e.elapsed() > 0.0);
         e.reset();
@@ -435,7 +484,10 @@ mod tests {
 
     #[test]
     fn portal_backend_costs_more_on_device() {
-        let item = PerItem::new().flops(10.0).bytes_read(24.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(10.0)
+            .bytes_read(24.0)
+            .bytes_written(8.0);
         let n = 1 << 20;
         let mut e1 = exec();
         let t_native = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
@@ -448,18 +500,30 @@ mod tests {
     #[test]
     fn shared_memory_policy_is_faster_for_stencils() {
         // §4.9: sw4lite stencil kernels improved ~2x with shared memory.
-        let item = PerItem::new().flops(50.0).bytes_read(72.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(50.0)
+            .bytes_read(72.0)
+            .bytes_written(8.0);
         let n = 1 << 22;
         let mut e1 = exec();
         let plain = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
         let mut e2 = exec();
-        let tiled = e2.forall(Policy::DeviceShared { gpu: 0 }, Backend::Native, &item, n, |_| {});
+        let tiled = e2.forall(
+            Policy::DeviceShared { gpu: 0 },
+            Backend::Native,
+            &item,
+            n,
+            |_| {},
+        );
         assert!(plain / tiled > 1.5, "{}", plain / tiled);
     }
 
     #[test]
     fn device_beats_serial_host_on_streaming_loop() {
-        let item = PerItem::new().flops(2.0).bytes_read(16.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(2.0)
+            .bytes_read(16.0)
+            .bytes_written(8.0);
         let n = 1 << 22;
         let mut e1 = exec();
         let dev = e1.forall(Policy::device(0), Backend::Native, &item, n, |_| {});
@@ -516,7 +580,10 @@ pub struct Staging {
 
 impl Staging {
     pub fn new(h2d_per_item: f64, d2h_per_item: f64) -> Staging {
-        Staging { h2d_per_item, d2h_per_item }
+        Staging {
+            h2d_per_item,
+            d2h_per_item,
+        }
     }
 }
 
@@ -609,8 +676,14 @@ impl Executor {
         let penalty = backend.penalty(Policy::Device { gpu });
 
         let compute = StreamId::default_for(Target::gpu(gpu));
-        let h2d_q = StreamId { target: Target::gpu(gpu), index: 1 };
-        let d2h_q = StreamId { target: Target::gpu(gpu), index: 2 };
+        let h2d_q = StreamId {
+            target: Target::gpu(gpu),
+            index: 1,
+        };
+        let d2h_q = StreamId {
+            target: Target::gpu(gpu),
+            index: 2,
+        };
 
         // The pipeline's own start: nothing can begin before the upload
         // queue and engine are free.
@@ -737,7 +810,10 @@ mod pipeline_tests {
     /// ~0.118 ns/item too. The three pipeline tracks are then balanced and
     /// the textbook `3T -> T(1 + 2/C)` shape appears.
     fn balanced() -> (PerItem, Staging) {
-        let item = PerItem::new().flops(550.0).bytes_read(8.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(550.0)
+            .bytes_read(8.0)
+            .bytes_written(8.0);
         (item, Staging::new(8.0, 8.0))
     }
 
@@ -775,7 +851,10 @@ mod pipeline_tests {
         let serial = exec().forall_staged(0, Backend::Native, &item, stage, &mut v, |_, _| {});
         let piped = exec().forall_pipelined(0, Backend::Native, &item, stage, &mut v, 4, |_, _| {});
         let speedup = serial / piped;
-        assert!(speedup >= 1.3, "speedup {speedup} (serial {serial}, piped {piped})");
+        assert!(
+            speedup >= 1.3,
+            "speedup {speedup} (serial {serial}, piped {piped})"
+        );
     }
 
     #[test]
@@ -783,7 +862,9 @@ mod pipeline_tests {
         let (item, stage) = balanced();
         let n = 1 << 22;
         let mut v = vec![0u8; n];
-        let mut t = |chunks| exec().forall_pipelined(0, Backend::Native, &item, stage, &mut v, chunks, |_, _| {});
+        let mut t = |chunks| {
+            exec().forall_pipelined(0, Backend::Native, &item, stage, &mut v, chunks, |_, _| {})
+        };
         let t1 = t(1);
         let t4 = t(4);
         let t16 = t(16);
@@ -811,9 +892,9 @@ mod pipeline_tests {
         assert_eq!(d2h.len(), 6);
         assert_eq!(kern.len(), 6);
         // Overlap: some upload must be in flight while some kernel runs.
-        let overlapping = h2d.iter().any(|u| {
-            kern.iter().any(|k| u.start < k.end && k.start < u.end)
-        });
+        let overlapping = h2d
+            .iter()
+            .any(|u| kern.iter().any(|k| u.start < k.end && k.start < u.end));
         assert!(overlapping, "no h2d span overlaps any kernel span");
         assert_eq!(rec.counter("portal.pipelines"), 1.0);
         assert_eq!(rec.counter("portal.pipeline.chunks"), 6.0);
@@ -823,10 +904,15 @@ mod pipeline_tests {
     fn empty_and_single_chunk_edge_cases() {
         let (item, stage) = balanced();
         let mut empty: Vec<u8> = vec![];
-        assert_eq!(exec().forall_pipelined(0, Backend::Native, &item, stage, &mut empty, 4, |_, _| {}), 0.0);
+        assert_eq!(
+            exec().forall_pipelined(0, Backend::Native, &item, stage, &mut empty, 4, |_, _| {}),
+            0.0
+        );
         // chunks = 0 clamps to 1 and still works.
         let mut one = vec![0u8; 10];
-        let dt = exec().forall_pipelined(0, Backend::Native, &item, stage, &mut one, 0, |i, s| *s = i as u8);
+        let dt = exec().forall_pipelined(0, Backend::Native, &item, stage, &mut one, 0, |i, s| {
+            *s = i as u8
+        });
         assert!(dt > 0.0);
         assert_eq!(one[9], 9);
     }
@@ -879,9 +965,19 @@ mod kernel2d_tests {
 
     #[test]
     fn device_shared_tiling_is_cheaper_for_stencil_like_items() {
-        let item = PerItem::new().flops(10.0).bytes_read(40.0).bytes_written(8.0);
+        let item = PerItem::new()
+            .flops(10.0)
+            .bytes_read(40.0)
+            .bytes_written(8.0);
         let mut e1 = exec();
-        let plain = e1.kernel2d(Policy::device(0), Backend::Native, &item, (1024, 1024), 32, |_, _| {});
+        let plain = e1.kernel2d(
+            Policy::device(0),
+            Backend::Native,
+            &item,
+            (1024, 1024),
+            32,
+            |_, _| {},
+        );
         let mut e2 = exec();
         let tiled = e2.kernel2d(
             Policy::DeviceShared { gpu: 0 },

@@ -100,7 +100,11 @@ pub struct Block {
 
 impl Pool {
     pub fn new(space: Space) -> Pool {
-        Pool { space, inner: Mutex::new(PoolInner::default()), recorder: Recorder::noop() }
+        Pool {
+            space,
+            inner: Mutex::new(PoolInner::default()),
+            recorder: Recorder::noop(),
+        }
     }
 
     /// Attach an observability recorder (builder form): allocation traffic
@@ -148,12 +152,22 @@ impl Pool {
                 self.recorder.incr("pool.raw_allocs", 1.0);
             }
             self.recorder.incr("pool.alloc_seconds", cost);
+            self.recorder.gauge(
+                "pool.hit_rate",
+                g.stats.pool_hits as f64 / g.stats.allocs as f64,
+            );
             self.recorder
-                .gauge("pool.hit_rate", g.stats.pool_hits as f64 / g.stats.allocs as f64);
-            self.recorder.gauge("pool.bytes_live", g.stats.bytes_live as f64);
-            self.recorder.gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
+                .gauge("pool.bytes_live", g.stats.bytes_live as f64);
+            self.recorder
+                .gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
         }
-        (Block { class, space: self.space }, cost)
+        (
+            Block {
+                class,
+                space: self.space,
+            },
+            cost,
+        )
     }
 
     /// Return a block to the pool (it stays cached for reuse, and keeps
@@ -180,8 +194,10 @@ impl Pool {
         g.stats.bytes_live -= block.class;
         g.stats.bytes_cached += block.class;
         if self.recorder.is_enabled() {
-            self.recorder.gauge("pool.bytes_live", g.stats.bytes_live as f64);
-            self.recorder.gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
+            self.recorder
+                .gauge("pool.bytes_live", g.stats.bytes_live as f64);
+            self.recorder
+                .gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
         }
     }
 
@@ -263,7 +279,11 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.bytes_live, 2 << 20);
         assert_eq!(s.bytes_cached, 1 << 20);
-        assert_eq!(s.bytes_high_water, 3 << 20, "watermark must budget cached blocks");
+        assert_eq!(
+            s.bytes_high_water,
+            3 << 20,
+            "watermark must budget cached blocks"
+        );
     }
 
     #[test]
@@ -278,7 +298,10 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.bytes_cached, 0);
         assert_eq!(s.bytes_live, 4096);
-        assert_eq!(s.bytes_high_water, 4096, "recycling must not grow the watermark");
+        assert_eq!(
+            s.bytes_high_water, 4096,
+            "recycling must not grow the watermark"
+        );
     }
 
     #[test]
@@ -297,7 +320,10 @@ mod tests {
     fn freeing_a_never_allocated_class_panics() {
         let p = Pool::new(Space::Host);
         let (_b, _) = p.alloc(300); // class 512
-        p.free(Block { class: 1 << 16, space: Space::Host });
+        p.free(Block {
+            class: 1 << 16,
+            space: Space::Host,
+        });
     }
 
     #[test]

@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn min_max_reductions() {
-        let vals: Vec<f64> = (0..50_000).map(|i| ((i * 37) % 1000) as f64 - 321.0).collect();
+        let vals: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 37) % 1000) as f64 - 321.0)
+            .collect();
         let vs = &vals;
         let mn = reduce_min(vals.len(), 8, &|i| vs[i]);
         let mx = reduce_max(vals.len(), 8, &|i| vs[i]);
@@ -154,8 +156,14 @@ mod tests {
     fn reductions_match_serial_for_odd_sizes() {
         for n in [1usize, 2, 1023, 1025, 4097] {
             let f = |i: usize| ((i * 1103515245 + 12345) % 1000) as f64;
-            assert_eq!(reduce_min(n, 8, &f), (0..n).map(f).fold(f64::INFINITY, f64::min));
-            assert_eq!(reduce_max(n, 8, &f), (0..n).map(f).fold(f64::NEG_INFINITY, f64::max));
+            assert_eq!(
+                reduce_min(n, 8, &f),
+                (0..n).map(f).fold(f64::INFINITY, f64::min)
+            );
+            assert_eq!(
+                reduce_max(n, 8, &f),
+                (0..n).map(f).fold(f64::NEG_INFINITY, f64::max)
+            );
         }
     }
 }

@@ -37,7 +37,10 @@ struct Queued {
 /// Simulate `jobs` on a pool of `gpus` identical GPUs under `policy`.
 pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
     assert!(gpus >= 1);
-    assert!(jobs.iter().all(|j| j.gpus <= gpus), "job larger than the pool");
+    assert!(
+        jobs.iter().all(|j| j.gpus <= gpus),
+        "job larger than the pool"
+    );
     let mut arrivals: Vec<Job> = jobs.to_vec();
     arrivals.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
     let mut queue: Vec<Queued> = Vec::new();
@@ -66,7 +69,10 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
         }
         // Advance to the next event: arrival or completion.
         let t_arr = arrivals.get(next_arrival).map(|j| j.arrival);
-        let t_done = running.iter().map(|(f, _)| *f).fold(f64::INFINITY, f64::min);
+        let t_done = running
+            .iter()
+            .map(|(f, _)| *f)
+            .fold(f64::INFINITY, f64::min);
         let t_next = match t_arr {
             Some(a) => a.min(t_done),
             None => t_done,
@@ -86,14 +92,15 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
         });
         // Process arrivals at t.
         while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= t + 1e-12 {
-            queue.push(Queued { job: arrivals[next_arrival], bypassed: 0 });
+            queue.push(Queued {
+                job: arrivals[next_arrival],
+                bypassed: 0,
+            });
             next_arrival += 1;
         }
     }
 
-    let makespan = t.max(
-        running.iter().map(|(f, _)| *f).fold(t, f64::max),
-    );
+    let makespan = t.max(running.iter().map(|(f, _)| *f).fold(t, f64::max));
     let mean_wait = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
     let max_wait = waits.iter().copied().fold(0.0, f64::max);
     Metrics {
@@ -131,7 +138,12 @@ fn select(
                 .iter()
                 .enumerate()
                 .filter(|(_, q)| q.job.gpus <= free)
-                .min_by(|a, b| a.1.job.duration.partial_cmp(&b.1.job.duration).expect("finite"))
+                .min_by(|a, b| {
+                    a.1.job
+                        .duration
+                        .partial_cmp(&b.1.job.duration)
+                        .expect("finite")
+                })
                 .map(|(i, _)| i)?;
             Some(queue.remove(idx))
         }
@@ -160,8 +172,7 @@ fn select(
             // in the capacity left over once the head starts.
             let idx = queue.iter().enumerate().skip(1).position(|(_, q)| {
                 q.job.gpus <= free
-                    && (now + q.job.duration <= shadow + 1e-12
-                        || q.job.gpus <= extra_at_shadow)
+                    && (now + q.job.duration <= shadow + 1e-12 || q.job.gpus <= extra_at_shadow)
             })?;
             Some(queue.remove(idx + 1))
         }
@@ -177,7 +188,12 @@ fn select(
                 .iter()
                 .enumerate()
                 .filter(|(_, q)| q.job.gpus <= free)
-                .min_by(|a, b| a.1.job.duration.partial_cmp(&b.1.job.duration).expect("finite"))
+                .min_by(|a, b| {
+                    a.1.job
+                        .duration
+                        .partial_cmp(&b.1.job.duration)
+                        .expect("finite")
+                })
                 .map(|(i, _)| i)?;
             let chosen = queue.remove(idx);
             for q in queue.iter_mut().take(idx) {
@@ -211,7 +227,11 @@ mod tests {
         let lower = total_gpu_seconds(&jobs) / GPUS as f64;
         for policy in [Policy::Fcfs, Policy::Sjf] {
             let m = simulate(&jobs, GPUS, policy);
-            assert!(m.makespan >= lower - 1e-9, "{policy:?}: {} < {lower}", m.makespan);
+            assert!(
+                m.makespan >= lower - 1e-9,
+                "{policy:?}: {} < {lower}",
+                m.makespan
+            );
         }
     }
 
@@ -220,7 +240,12 @@ mod tests {
         let jobs = batch_arrivals(300, 3);
         let fcfs = simulate(&jobs, GPUS, Policy::Fcfs);
         let sjf = simulate(&jobs, GPUS, Policy::Sjf);
-        assert!(sjf.mean_wait < 0.7 * fcfs.mean_wait, "{} vs {}", sjf.mean_wait, fcfs.mean_wait);
+        assert!(
+            sjf.mean_wait < 0.7 * fcfs.mean_wait,
+            "{} vs {}",
+            sjf.mean_wait,
+            fcfs.mean_wait
+        );
     }
 
     #[test]
@@ -230,7 +255,12 @@ mod tests {
         let jobs = batch_arrivals(300, 3);
         let fcfs = simulate(&jobs, GPUS, Policy::Fcfs);
         let sjf = simulate(&jobs, GPUS, Policy::SjfQuota { quota: 16 });
-        assert!(sjf.utilization > fcfs.utilization, "{} vs {}", sjf.utilization, fcfs.utilization);
+        assert!(
+            sjf.utilization > fcfs.utilization,
+            "{} vs {}",
+            sjf.utilization,
+            fcfs.utilization
+        );
     }
 
     #[test]
@@ -270,14 +300,24 @@ mod tests {
         let under = simulate(&poisson_arrivals(horizon_jobs, 0.03, 7), GPUS, Policy::Fcfs);
         // Overloaded queue: waits comparable to the whole horizon; stable
         // queue: waits near zero.
-        assert!(over.mean_wait > 10.0 * under.mean_wait.max(1.0), "{} vs {}", over.mean_wait, under.mean_wait);
+        assert!(
+            over.mean_wait > 10.0 * under.mean_wait.max(1.0),
+            "{} vs {}",
+            over.mean_wait,
+            under.mean_wait
+        );
         assert!(under.utilization < 0.85);
     }
 
     #[test]
     #[should_panic(expected = "larger than the pool")]
     fn oversized_job_rejected() {
-        let jobs = vec![Job { id: 0, arrival: 0.0, duration: 1.0, gpus: 32 }];
+        let jobs = vec![Job {
+            id: 0,
+            arrival: 0.0,
+            duration: 1.0,
+            gpus: 32,
+        }];
         simulate(&jobs, GPUS, Policy::Fcfs);
     }
 }
@@ -310,7 +350,12 @@ mod backfill_tests {
     const GPUS: usize = 8;
 
     fn job(id: usize, arrival: f64, duration: f64, gpus: usize) -> Job {
-        Job { id, arrival, duration, gpus }
+        Job {
+            id,
+            arrival,
+            duration,
+            gpus,
+        }
     }
 
     #[test]
@@ -324,7 +369,12 @@ mod backfill_tests {
         ];
         let fcfs = simulate(&jobs, GPUS, Policy::Fcfs);
         let easy = simulate(&jobs, GPUS, Policy::EasyBackfill);
-        assert!(easy.mean_wait < fcfs.mean_wait, "{} vs {}", easy.mean_wait, fcfs.mean_wait);
+        assert!(
+            easy.mean_wait < fcfs.mean_wait,
+            "{} vs {}",
+            easy.mean_wait,
+            fcfs.mean_wait
+        );
         assert!(easy.utilization >= fcfs.utilization - 1e-12);
     }
 
@@ -335,8 +385,8 @@ mod backfill_tests {
         // to strict FCFS.
         let jobs = vec![
             job(0, 0.0, 100.0, 6),
-            job(1, 1.0, 50.0, 4),   // head reservation at t=100
-            job(2, 2.0, 500.0, 2),  // would delay head: 2 free now, but head needs them? no: head needs 4 at t=100, extra = 8-6(freed)+2... check via waits
+            job(1, 1.0, 50.0, 4),  // head reservation at t=100
+            job(2, 2.0, 500.0, 2), // would delay head: 2 free now, but head needs them? no: head needs 4 at t=100, extra = 8-6(freed)+2... check via waits
         ];
         let fcfs = simulate(&jobs, GPUS, Policy::Fcfs);
         let easy = simulate(&jobs, GPUS, Policy::EasyBackfill);
@@ -355,7 +405,12 @@ mod backfill_tests {
         let fcfs = simulate(&jobs, 16, Policy::Fcfs);
         let easy = simulate(&jobs, 16, Policy::EasyBackfill);
         assert_eq!(easy.completed, 300);
-        assert!(easy.utilization >= fcfs.utilization, "{} vs {}", easy.utilization, fcfs.utilization);
+        assert!(
+            easy.utilization >= fcfs.utilization,
+            "{} vs {}",
+            easy.utilization,
+            fcfs.utilization
+        );
         assert!(easy.makespan <= fcfs.makespan + 1e-6);
     }
 

@@ -27,7 +27,9 @@ fn draw_duration(rng: &mut SmallRng) -> f64 {
 }
 
 fn draw_gpus(rng: &mut SmallRng) -> usize {
-    *[1usize, 1, 1, 2, 4].get(rng.gen_range(0usize..5)).expect("non-empty")
+    *[1usize, 1, 1, 2, 4]
+        .get(rng.gen_range(0usize..5))
+        .expect("non-empty")
 }
 
 /// Poisson arrivals at `rate` jobs/second for `n` jobs.
@@ -38,7 +40,12 @@ pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<Job> {
         .map(|id| {
             let u: f64 = rng.gen_range(1e-12..1.0);
             t += -u.ln() / rate;
-            Job { id, arrival: t, duration: draw_duration(&mut rng), gpus: draw_gpus(&mut rng) }
+            Job {
+                id,
+                arrival: t,
+                duration: draw_duration(&mut rng),
+                gpus: draw_gpus(&mut rng),
+            }
         })
         .collect()
 }

@@ -26,7 +26,11 @@ pub struct DistRun {
 impl DistRun {
     /// The §4.9 verification run: 26 billion points, 256 nodes, 5 Hz.
     pub fn hayward_verification() -> DistRun {
-        DistRun { total_points: 26.0e9, nodes: 256, steps: 40_000.0 }
+        DistRun {
+            total_points: 26.0e9,
+            nodes: 256,
+            steps: 40_000.0,
+        }
     }
 
     /// Points per node.
@@ -83,7 +87,11 @@ pub fn run_time(machine: &Machine, run: &DistRun, path: KernelPath) -> f64 {
 }
 
 /// Strong-scaling curve: same problem, growing node counts.
-pub fn strong_scaling(machine: &Machine, base: &DistRun, node_counts: &[usize]) -> Vec<(usize, f64)> {
+pub fn strong_scaling(
+    machine: &Machine,
+    base: &DistRun,
+    node_counts: &[usize],
+) -> Vec<(usize, f64)> {
     node_counts
         .iter()
         .map(|&n| {
@@ -96,9 +104,21 @@ pub fn strong_scaling(machine: &Machine, base: &DistRun, node_counts: &[usize]) 
 /// The throughput comparison of the abstract: points-steps/second per
 /// node-hour, Sierra vs Cori-II.
 pub fn node_throughput_ratio() -> f64 {
-    let run = DistRun { total_points: 1.0e9, nodes: 8, steps: 1.0 };
-    let sierra = step_time(&hetsim::machines::sierra_node(), &run, KernelPath::NativeShared);
-    let cori = step_time(&hetsim::machines::cori2(), &run, KernelPath::HostThreads(68));
+    let run = DistRun {
+        total_points: 1.0e9,
+        nodes: 8,
+        steps: 1.0,
+    };
+    let sierra = step_time(
+        &hetsim::machines::sierra_node(),
+        &run,
+        KernelPath::NativeShared,
+    );
+    let cori = step_time(
+        &hetsim::machines::cori2(),
+        &run,
+        KernelPath::HostThreads(68),
+    );
     cori / sierra
 }
 
@@ -137,7 +157,11 @@ mod tests {
 
     #[test]
     fn strong_scaling_is_monotone_but_sublinear() {
-        let base = DistRun { total_points: 4.0e9, nodes: 16, steps: 100.0 };
+        let base = DistRun {
+            total_points: 4.0e9,
+            nodes: 16,
+            steps: 100.0,
+        };
         let curve = strong_scaling(&machines::sierra_node(), &base, &[16, 64, 256, 1024]);
         for w in curve.windows(2) {
             assert!(w[1].1 < w[0].1, "more nodes must not be slower: {curve:?}");
@@ -153,12 +177,20 @@ mod tests {
         // Fixed points/node: step time should barely change with nodes.
         let t64 = step_time(
             &machines::sierra_node(),
-            &DistRun { total_points: 64.0 * 1e8, nodes: 64, steps: 1.0 },
+            &DistRun {
+                total_points: 64.0 * 1e8,
+                nodes: 64,
+                steps: 1.0,
+            },
             KernelPath::NativeShared,
         );
         let t1024 = step_time(
             &machines::sierra_node(),
-            &DistRun { total_points: 1024.0 * 1e8, nodes: 1024, steps: 1.0 },
+            &DistRun {
+                total_points: 1024.0 * 1e8,
+                nodes: 1024,
+                steps: 1.0,
+            },
             KernelPath::NativeShared,
         );
         assert!((t1024 / t64 - 1.0).abs() < 0.15, "{t64} vs {t1024}");
@@ -166,8 +198,16 @@ mod tests {
 
     #[test]
     fn halo_shrinks_relative_to_volume_with_block_size() {
-        let small = DistRun { total_points: 1e7 * 8.0, nodes: 8, steps: 1.0 };
-        let big = DistRun { total_points: 1e9 * 8.0, nodes: 8, steps: 1.0 };
+        let small = DistRun {
+            total_points: 1e7 * 8.0,
+            nodes: 8,
+            steps: 1.0,
+        };
+        let big = DistRun {
+            total_points: 1e9 * 8.0,
+            nodes: 8,
+            steps: 1.0,
+        };
         let ratio_small = small.halo_bytes_per_node() / (small.points_per_node() * 8.0);
         let ratio_big = big.halo_bytes_per_node() / (big.points_per_node() * 8.0);
         assert!(ratio_big < ratio_small);

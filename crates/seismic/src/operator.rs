@@ -27,8 +27,19 @@ pub struct ElasticOperator {
 
 impl ElasticOperator {
     pub fn new(nx: usize, ny: usize, nz: usize, h: f64, lambda: f64, mu: f64, rho: f64) -> Self {
-        assert!(nx >= 5 && ny >= 5 && nz >= 5, "need at least 5 points per direction");
-        ElasticOperator { nx, ny, nz, h, lambda, mu, rho }
+        assert!(
+            nx >= 5 && ny >= 5 && nz >= 5,
+            "need at least 5 points per direction"
+        );
+        ElasticOperator {
+            nx,
+            ny,
+            nz,
+            h,
+            lambda,
+            mu,
+            rho,
+        }
     }
 
     pub fn view(&self) -> View4 {

@@ -25,7 +25,12 @@ pub struct RuptureScenario {
 
 impl Default for RuptureScenario {
     fn default() -> Self {
-        RuptureScenario { n: 32, h: 0.5, segments: 6, rupture_fraction: 0.8 }
+        RuptureScenario {
+            n: 32,
+            h: 0.5,
+            segments: 6,
+            rupture_fraction: 0.8,
+        }
     }
 }
 
@@ -80,7 +85,8 @@ pub fn render_ascii(map: &[f64], nx: usize, ny: usize) -> Vec<String> {
                     // Square-root scaling: shaking spans orders of
                     // magnitude, linear scale would show only the peak.
                     let v = (map[i * ny + j] / max).sqrt();
-                    let idx = ((v * (scale.len() - 1) as f64).round() as usize).min(scale.len() - 1);
+                    let idx =
+                        ((v * (scale.len() - 1) as f64).round() as usize).min(scale.len() - 1);
                     scale[idx]
                 })
                 .collect::<String>()
@@ -94,7 +100,11 @@ mod tests {
 
     #[test]
     fn scenario_produces_shaking() {
-        let sc = RuptureScenario { n: 24, segments: 4, ..Default::default() };
+        let sc = RuptureScenario {
+            n: 24,
+            segments: 4,
+            ..Default::default()
+        };
         let solver = sc.build();
         let t_end = 20.0 * solver.dt;
         let map = sc.shake_map(t_end);
@@ -104,7 +114,11 @@ mod tests {
 
     #[test]
     fn shaking_strongest_near_fault_trace() {
-        let sc = RuptureScenario { n: 24, segments: 4, ..Default::default() };
+        let sc = RuptureScenario {
+            n: 24,
+            segments: 4,
+            ..Default::default()
+        };
         let solver = sc.build();
         let map = sc.shake_map(40.0 * solver.dt);
         let n = 24;

@@ -57,7 +57,10 @@ impl KernelPath {
             Backend::Native => 1.0,
         };
         let t = sim.launch(target, &profile) * penalty + sim.launch(target, &update);
-        sim.advance(target, t - sim.cost(target, &profile) - sim.cost(target, &update));
+        sim.advance(
+            target,
+            t - sim.cost(target, &profile) - sim.cost(target, &update),
+        );
         t
     }
 }
@@ -181,7 +184,10 @@ impl WaveSolver {
                 for i in 0..nx {
                     for j in 0..ny {
                         for k in 0..nz {
-                            let d = i.min(nx - 1 - i).min(j.min(ny - 1 - j)).min(k.min(nz - 1 - k));
+                            let d = i
+                                .min(nx - 1 - i)
+                                .min(j.min(ny - 1 - j))
+                                .min(k.min(nz - 1 - k));
                             if d < w {
                                 let taper = 1.0 - 0.08 * ((w - d) as f64 / w as f64).powi(2);
                                 self.u_prev[v.idx(c, i, j, k)] *= taper;
@@ -296,7 +302,11 @@ mod tests {
         let t = steps as f64 * dt;
         let cp = s.op.cp();
         // Front within [0.5, 1.3] x cp * t (discrete front is fuzzy).
-        assert!(dist > 0.4 * cp * t && dist < 1.4 * cp * t, "dist {dist}, cp*t {}", cp * t);
+        assert!(
+            dist > 0.4 * cp * t && dist < 1.4 * cp * t,
+            "dist {dist}, cp*t {}",
+            cp * t
+        );
     }
 
     #[test]
@@ -307,7 +317,10 @@ mod tests {
         s.run(80);
         let e100 = s.energy();
         assert!(e100.is_finite());
-        assert!(e100 < 100.0 * e20.max(1e-30), "instability: {e20} -> {e100}");
+        assert!(
+            e100 < 100.0 * e20.max(1e-30),
+            "instability: {e20} -> {e100}"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ mod tests {
     use hetsim::machines;
 
     fn big() -> SimpConfig {
-        SimpConfig { nelx: 1024, nely: 512, ..Default::default() }
+        SimpConfig {
+            nelx: 1024,
+            nely: 512,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -82,7 +86,10 @@ mod tests {
         let cuda_tex_volta = solver_step_cost(&volta, &big(), TextureUse::On, false);
         let raja_volta = solver_step_cost(&volta, &big(), TextureUse::Off, true);
         let gap_volta = raja_volta / cuda_tex_volta;
-        assert!(gap_ea > gap_volta, "EA gap {gap_ea} vs Volta gap {gap_volta}");
+        assert!(
+            gap_ea > gap_volta,
+            "EA gap {gap_ea} vs Volta gap {gap_volta}"
+        );
         assert!(gap_volta < 1.4, "{gap_volta}");
     }
 }

@@ -57,7 +57,14 @@ pub struct SimpConfig {
 
 impl Default for SimpConfig {
     fn default() -> Self {
-        SimpConfig { nelx: 24, nely: 12, volfrac: 0.4, penal: 3.0, rmin: 1.5, iters: 30 }
+        SimpConfig {
+            nelx: 24,
+            nely: 12,
+            volfrac: 0.4,
+            penal: 3.0,
+            rmin: 1.5,
+            iters: 30,
+        }
     }
 }
 
@@ -312,7 +319,11 @@ impl SimpProblem {
             let filtered = self.filter(&sens);
             self.oc_update(&filtered);
         }
-        SimpResult { density: self.rho.clone(), compliance_history: history, cg_iters_total: cg_total }
+        SimpResult {
+            density: self.rho.clone(),
+            compliance_history: history,
+            cg_iters_total: cg_total,
+        }
     }
 
     pub fn volume_fraction(&self) -> f64 {
@@ -366,11 +377,18 @@ mod tests {
 
     #[test]
     fn solve_gives_downward_deflection_at_load() {
-        let p = SimpProblem::cantilever(SimpConfig { iters: 1, ..Default::default() });
+        let p = SimpProblem::cantilever(SimpConfig {
+            iters: 1,
+            ..Default::default()
+        });
         let (u, iters) = p.solve(1e-8, 5000);
         assert!(iters > 0);
         let load_node = p.cfg.nelx * (p.cfg.nely + 1) + p.cfg.nely / 2;
-        assert!(u[2 * load_node + 1] < 0.0, "tip moved up: {}", u[2 * load_node + 1]);
+        assert!(
+            u[2 * load_node + 1] < 0.0,
+            "tip moved up: {}",
+            u[2 * load_node + 1]
+        );
         // Clamped edge does not move.
         assert_eq!(u[0], 0.0);
         assert_eq!(u[1], 0.0);
@@ -393,7 +411,10 @@ mod tests {
 
     #[test]
     fn optimisation_reduces_compliance() {
-        let mut p = SimpProblem::cantilever(SimpConfig { iters: 15, ..Default::default() });
+        let mut p = SimpProblem::cantilever(SimpConfig {
+            iters: 15,
+            ..Default::default()
+        });
         let r = p.optimize();
         let first = r.compliance_history[0];
         let last = *r.compliance_history.last().expect("non-empty");
@@ -402,7 +423,10 @@ mod tests {
 
     #[test]
     fn volume_constraint_is_respected() {
-        let mut p = SimpProblem::cantilever(SimpConfig { iters: 10, ..Default::default() });
+        let mut p = SimpProblem::cantilever(SimpConfig {
+            iters: 10,
+            ..Default::default()
+        });
         p.optimize();
         let v = p.volume_fraction();
         assert!((v - 0.4).abs() < 0.02, "volume fraction {v}");
@@ -412,12 +436,18 @@ mod tests {
     fn material_concentrates_into_structure() {
         // After optimisation the density field should be mostly black and
         // white, not grey.
-        let mut p = SimpProblem::cantilever(SimpConfig { iters: 25, ..Default::default() });
+        let mut p = SimpProblem::cantilever(SimpConfig {
+            iters: 25,
+            ..Default::default()
+        });
         let r = p.optimize();
         let solid = r.density.iter().filter(|&&d| d > 0.8).count();
         let void = r.density.iter().filter(|&&d| d < 0.2).count();
         let n = r.density.len();
-        assert!(solid + void > n / 2, "too grey: solid {solid} void {void} of {n}");
+        assert!(
+            solid + void > n / 2,
+            "too grey: solid {solid} void {void} of {n}"
+        );
         assert!(solid > 0 && void > 0);
     }
 }
@@ -428,7 +458,12 @@ mod mbb_tests {
 
     #[test]
     fn mbb_beam_optimises_and_respects_volume() {
-        let mut p = SimpProblem::mbb_beam(SimpConfig { nelx: 30, nely: 10, iters: 15, ..Default::default() });
+        let mut p = SimpProblem::mbb_beam(SimpConfig {
+            nelx: 30,
+            nely: 10,
+            iters: 15,
+            ..Default::default()
+        });
         let r = p.optimize();
         let first = r.compliance_history[0];
         let last = *r.compliance_history.last().expect("non-empty");
@@ -438,7 +473,12 @@ mod mbb_tests {
 
     #[test]
     fn mbb_and_cantilever_produce_different_structures() {
-        let cfg = SimpConfig { nelx: 24, nely: 8, iters: 12, ..Default::default() };
+        let cfg = SimpConfig {
+            nelx: 24,
+            nely: 8,
+            iters: 12,
+            ..Default::default()
+        };
         let mut a = SimpProblem::cantilever(cfg);
         let mut b = SimpProblem::mbb_beam(cfg);
         let ra = a.optimize();
@@ -450,6 +490,9 @@ mod mbb_tests {
             .map(|(x, y)| (x - y).abs())
             .sum::<f64>()
             / ra.density.len() as f64;
-        assert!(diff > 0.1, "load cases should shape different structures: {diff}");
+        assert!(
+            diff > 0.1,
+            "load cases should shape different structures: {diff}"
+        );
     }
 }

@@ -37,5 +37,8 @@ fn main() {
     render(&dirty.fluence().data, n);
 
     let ripple = dirty.fluence().ripple_vs(&clean.fluence());
-    println!("\nrms relative fluence deviation vs clean beam: {:.1} %", 100.0 * ripple);
+    println!(
+        "\nrms relative fluence deviation vs clean beam: {:.1} %",
+        100.0 * ripple
+    );
 }

@@ -33,9 +33,8 @@ fn main() {
     );
 
     // Initial condition: a hot Gaussian blob.
-    let u0 = mesh.project(|x, y| {
-        (-(x - 0.5) * (x - 0.5) * 40.0 - (y - 0.5) * (y - 0.5) * 40.0).exp()
-    });
+    let u0 =
+        mesh.project(|x, y| (-(x - 0.5) * (x - 0.5) * 40.0 - (y - 0.5) * (y - 0.5) * 40.0).exp());
     let total0: f64 = u0.iter().zip(&lumped).map(|(u, m)| u * m).sum();
 
     // CVODE-style BDF2 on M u' = -K(u) u.
@@ -53,14 +52,20 @@ fn main() {
             dudt[b] = 0.0;
         }
     };
-    let ok = bdf.integrate_to(0.02, 2e-3, rhs, |r: &HostVec, z: &mut HostVec| z.copy_from(r));
+    let ok = bdf.integrate_to(0.02, 2e-3, rhs, |r: &HostVec, z: &mut HostVec| {
+        z.copy_from(r)
+    });
     assert!(ok, "BDF failed to converge");
 
     let u = bdf.state().as_slice();
     let total1: f64 = u.iter().zip(&lumped).map(|(a, m)| a * m).sum();
     let peak0 = 1.0;
     let peak1 = u.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    println!("\nintegrated to t = {:.3} in {} steps", bdf.time(), bdf.stats.steps);
+    println!(
+        "\nintegrated to t = {:.3} in {} steps",
+        bdf.time(),
+        bdf.stats.steps
+    );
     println!("  rhs evaluations: {}", bdf.stats.rhs_evals);
     println!("  Newton iterations: {}", bdf.stats.newton_iters);
     println!("  Krylov iterations: {}", bdf.stats.krylov_iters);

@@ -18,7 +18,10 @@ fn main() {
     let grid = 8usize;
     let field: Vec<f64> = (0..grid * grid)
         .map(|i| {
-            let (x, y) = ((i / grid) as f64 / grid as f64, (i % grid) as f64 / grid as f64);
+            let (x, y) = (
+                (i / grid) as f64 / grid as f64,
+                (i % grid) as f64 / grid as f64,
+            );
             ((6.3 * x).sin() * (6.3 * y).cos()).abs()
         })
         .collect();
@@ -27,7 +30,11 @@ fn main() {
     let mut ranked: Vec<(usize, f64)> = field.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let selected: Vec<usize> = ranked.iter().take(12).map(|(i, _)| *i).collect();
-    println!("macro model selected {} of {} patches for ddcMD", selected.len(), grid * grid);
+    println!(
+        "macro model selected {} of {} patches for ddcMD",
+        selected.len(),
+        grid * grid
+    );
 
     // 3. Run the micro simulations (small but real MD).
     let mut energies = Vec::new();

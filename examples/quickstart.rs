@@ -11,19 +11,35 @@ use icoe::portal::{Backend, Executor, PerItem, Policy};
 
 fn main() {
     let machine = machines::sierra_node();
-    println!("machine: {} ({} GPUs, {} CPU cores)\n", machine.name, machine.node.gpu_count(), machine.node.cpu.cores());
+    println!(
+        "machine: {} ({} GPUs, {} CPU cores)\n",
+        machine.name,
+        machine.node.gpu_count(),
+        machine.node.cpu.cores()
+    );
 
     // One 2-D 5-point stencil sweep: real math over a 1024x1024 grid.
     let n = 1024usize;
     let input: Vec<f64> = (0..n * n).map(|i| (i % 17) as f64).collect();
-    let item = PerItem::new().flops(6.0).bytes_read(5.0 * 8.0).bytes_written(8.0);
+    let item = PerItem::new()
+        .flops(6.0)
+        .bytes_read(5.0 * 8.0)
+        .bytes_written(8.0);
 
     let cases = [
         ("serial CPU", Policy::Seq, Backend::Native),
-        ("OpenMP-style (44 threads)", Policy::Threads(44), Backend::Native),
+        (
+            "OpenMP-style (44 threads)",
+            Policy::Threads(44),
+            Backend::Native,
+        ),
         ("RAJA-style on V100", Policy::device(0), Backend::Portal),
         ("CUDA on V100", Policy::device(0), Backend::Native),
-        ("CUDA + shared memory", Policy::DeviceShared { gpu: 0 }, Backend::Native),
+        (
+            "CUDA + shared memory",
+            Policy::DeviceShared { gpu: 0 },
+            Backend::Native,
+        ),
     ];
 
     let mut reference: Option<Vec<f64>> = None;
@@ -52,7 +68,11 @@ fn main() {
             }
             Some(r) => assert_eq!(r, &out, "policy {name} changed the numerics!"),
         }
-        println!("{name:<28} {:>10.1} us   ({:>5.1}x vs serial)", t * 1e6, serial_time / t);
+        println!(
+            "{name:<28} {:>10.1} us   ({:>5.1}x vs serial)",
+            t * 1e6,
+            serial_time / t
+        );
     }
 
     println!("\nSame kernels, same answers, different clocks — that is the");

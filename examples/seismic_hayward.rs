@@ -6,7 +6,11 @@
 use icoe::seismic::scenario::{render_ascii, RuptureScenario};
 
 fn main() {
-    let scenario = RuptureScenario { n: 48, segments: 8, ..Default::default() };
+    let scenario = RuptureScenario {
+        n: 48,
+        segments: 8,
+        ..Default::default()
+    };
     let solver = scenario.build();
     println!(
         "rupture: {} segments along strike, cp = {:.2}, cs = {:.2}, dt = {:.4}",

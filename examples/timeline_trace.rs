@@ -39,19 +39,37 @@ fn main() {
     let pipe_rec = Recorder::enabled();
     let mut pipe = Sim::new(machines::sierra_node()).with_recorder(pipe_rec.clone());
     let compute = StreamId::default_for(Target::gpu(0));
-    let h2d_q = StreamId { target: Target::gpu(0), index: 1 };
-    let d2h_q = StreamId { target: Target::gpu(0), index: 2 };
+    let h2d_q = StreamId {
+        target: Target::gpu(0),
+        index: 1,
+    };
+    let d2h_q = StreamId {
+        target: Target::gpu(0),
+        index: 2,
+    };
     let chunks = 4;
     let per = n / chunks as f64;
     let mut last = icoe::hetsim::Event::at(0.0);
     for _ in 0..chunks {
         // Upload chunk c on the H2D engine while chunk c-1 computes.
-        let up = pipe.transfer_async(Loc::Host, Loc::Gpu(0), 8.0 * per, TransferKind::Memcpy, h2d_q);
+        let up = pipe.transfer_async(
+            Loc::Host,
+            Loc::Gpu(0),
+            8.0 * per,
+            TransferKind::Memcpy,
+            h2d_q,
+        );
         pipe.wait_event(compute, up);
         pipe.launch_on(compute, &chunk_kernel(per));
         let done = pipe.record(compute);
         pipe.wait_event(d2h_q, done);
-        last = pipe.transfer_async(Loc::Gpu(0), Loc::Host, 8.0 * per, TransferKind::Memcpy, d2h_q);
+        last = pipe.transfer_async(
+            Loc::Gpu(0),
+            Loc::Host,
+            8.0 * per,
+            TransferKind::Memcpy,
+            d2h_q,
+        );
     }
     print!("{}", pipe_rec.render_timeline(70));
 

@@ -78,7 +78,10 @@ impl Criterion {
             (self.sample_size, self.warm_up_time, self.measurement_time)
         };
         let mut b = Bencher {
-            mode: Mode::Calibrate { deadline: Instant::now() + warm_up, iters_done: 0 },
+            mode: Mode::Calibrate {
+                deadline: Instant::now() + warm_up,
+                iters_done: 0,
+            },
             iters_per_sample: 1,
             samples: Vec::new(),
         };
@@ -92,7 +95,9 @@ impl Criterion {
         };
         let per_sample = measurement.as_secs_f64() / sample_size as f64;
         let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
-        b.mode = Mode::Measure { samples_left: sample_size };
+        b.mode = Mode::Measure {
+            samples_left: sample_size,
+        };
         b.iters_per_sample = iters;
         b.samples.clear();
         f(&mut b);
@@ -126,7 +131,10 @@ impl Bencher {
         R: FnMut() -> O,
     {
         match self.mode {
-            Mode::Calibrate { deadline, ref mut iters_done } => loop {
+            Mode::Calibrate {
+                deadline,
+                ref mut iters_done,
+            } => loop {
                 black_box(routine());
                 *iters_done += 1;
                 if Instant::now() >= deadline {
@@ -153,7 +161,10 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         match self.mode {
-            Mode::Calibrate { deadline, ref mut iters_done } => loop {
+            Mode::Calibrate {
+                deadline,
+                ref mut iters_done,
+            } => loop {
                 let input = setup();
                 black_box(routine(input));
                 *iters_done += 1;
@@ -260,7 +271,10 @@ mod tests {
 
     #[test]
     fn batched_runs_setup_per_input() {
-        let mut c = Criterion { quick: true, ..Criterion::default() };
+        let mut c = Criterion {
+            quick: true,
+            ..Criterion::default()
+        };
         c.bench_function("shim/batched", |b| {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
         });

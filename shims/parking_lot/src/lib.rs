@@ -18,7 +18,9 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     pub fn new(value: T) -> Mutex<T> {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -55,7 +57,9 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     pub fn new(value: T) -> RwLock<T> {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {

@@ -28,13 +28,19 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     pub fn with_cases(cases: usize) -> ProptestConfig {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
     }
 }
 
@@ -104,8 +110,13 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(*l != *r, "assertion failed: {} != {} (both {:?})",
-            stringify!($left), stringify!($right), l);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
     }};
 }
 

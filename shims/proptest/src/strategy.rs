@@ -18,7 +18,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        TestRng { inner: SmallRng::seed_from_u64(h) }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
     }
 }
 
@@ -76,11 +78,11 @@ macro_rules! tuple_strategy {
 }
 
 tuple_strategy!(
-    (A/0),
-    (A/0, B/1),
-    (A/0, B/1, C/2),
-    (A/0, B/1, C/2, D/3),
-    (A/0, B/1, C/2, D/3, E/4),
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
 );
 
 /// Collection strategies (`prop::collection`).
@@ -105,19 +107,28 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
     /// `prop::collection::vec(element_strategy, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     #[derive(Debug, Clone)]

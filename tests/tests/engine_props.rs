@@ -11,7 +11,10 @@ fn probes() -> (Vec<StreamId>, Vec<Engine>) {
     let mut streams = Vec::new();
     for g in 0..2 {
         for index in 0..3 {
-            streams.push(StreamId { target: Target::gpu(g), index });
+            streams.push(StreamId {
+                target: Target::gpu(g),
+                index,
+            });
         }
     }
     streams.push(StreamId::default_for(Target::cpu_all()));

@@ -23,8 +23,24 @@ fn unknown_experiment_is_rejected() {
 fn experiment_list_matches_design_doc_index() {
     // DESIGN.md section 3 enumerates these ids; keep the binary in sync.
     let expected = [
-        "table1", "fig2", "table2", "fig3", "table3", "fig6", "fig8", "table4", "table5",
-        "cretin", "md", "sw4", "vbl", "cardioid", "opt", "kavg", "pipeline-overlap", "lessons",
+        "table1",
+        "fig2",
+        "table2",
+        "fig3",
+        "table3",
+        "fig6",
+        "fig8",
+        "table4",
+        "table5",
+        "cretin",
+        "md",
+        "sw4",
+        "vbl",
+        "cardioid",
+        "opt",
+        "kavg",
+        "pipeline-overlap",
+        "lessons",
         "machines",
     ];
     assert_eq!(bench::ALL, &expected);

@@ -8,7 +8,11 @@ use ode::{AdaptiveBdf, BdfIntegrator, BdfOptions, HostVec, NVector};
 
 fn setup() -> (AtomicModel, RateMatrix) {
     let model = AtomicModel::synthetic(30, 7);
-    let cond = ZoneConditions { te: 0.8, ne: 5.0, radiation: 1.0 };
+    let cond = ZoneConditions {
+        te: 0.8,
+        ne: 5.0,
+        radiation: 1.0,
+    };
     let rm = RateMatrix::assemble(&model, cond, true);
     (model, rm)
 }
@@ -35,7 +39,11 @@ fn transient_kinetics_relaxes_to_steady_state() {
     // Conservation: total population stays 1 (columns of A sum to zero).
     let total: f64 = yf.iter().sum();
     assert!((total - 1.0).abs() < 1e-6, "population leaked: {total}");
-    let max_dev = yf.iter().zip(&steady).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+    let max_dev = yf
+        .iter()
+        .zip(&steady)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
     assert!(max_dev < 1e-3, "not converged to steady state: {max_dev}");
 }
 
@@ -56,9 +64,11 @@ fn adaptive_integrator_coasts_after_the_kinetic_transient() {
         BdfOptions::default(),
     );
     let m = rm.a.clone();
-    let ok = a.integrate_to(10.0, |_t, y, dy| m.matvec(y, dy), |r: &HostVec, z: &mut HostVec| {
-        z.copy_from(r)
-    });
+    let ok = a.integrate_to(
+        10.0,
+        |_t, y, dy| m.matvec(y, dy),
+        |r: &HostVec, z: &mut HostVec| z.copy_from(r),
+    );
     assert!(ok);
     assert!(
         a.stats.h_max_used > 50.0 * a.stats.h_min_used,

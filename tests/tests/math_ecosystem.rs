@@ -89,8 +89,8 @@ fn nonlinear_diffusion_stack_is_physical() {
     let mut diff = DiffusionPA::new(mesh.clone(), |_, _| 0.1);
     let lumped = MassPA::new(mesh.clone()).lumped();
     let bdr = diff.boundary().to_vec();
-    let u0 = mesh
-        .project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
+    let u0 =
+        mesh.project(|x, y| (-(x - 0.5) * (x - 0.5) * 30.0 - (y - 0.5) * (y - 0.5) * 30.0).exp());
     let max0 = u0.iter().copied().fold(0.0f64, f64::max);
 
     let mut bdf = BdfIntegrator::new(HostVec::from_vec(u0), 0.0, BdfOptions::default());
@@ -116,7 +116,10 @@ fn nonlinear_diffusion_stack_is_physical() {
     let u = bdf.state().as_slice();
     let max1 = u.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min1 = u.iter().copied().fold(f64::INFINITY, f64::min);
-    assert!(max1 < max0, "diffusion must reduce the peak: {max0} -> {max1}");
+    assert!(
+        max1 < max0,
+        "diffusion must reduce the peak: {max0} -> {max1}"
+    );
     assert!(min1 > -1e-6, "maximum principle violated: min {min1}");
     assert_eq!(bdf.stats.newton_failures, 0);
 }

@@ -5,7 +5,10 @@
 use hetsim::{machines, KernelProfile, Loc, Sim, StreamId, Target, TransferKind};
 
 fn interior_kernel() -> KernelProfile {
-    KernelProfile::new("sw4-interior").flops(5e9).bytes_read(2e9).parallelism(1e7)
+    KernelProfile::new("sw4-interior")
+        .flops(5e9)
+        .bytes_read(2e9)
+        .parallelism(1e7)
 }
 
 const HALO_BYTES: f64 = 64.0 * 1024.0 * 1024.0;
@@ -22,13 +25,18 @@ fn sequential() -> f64 {
 /// halo crosses the link; the (small) boundary kernel then waits for both.
 fn overlapped() -> f64 {
     let mut sim = Sim::new(machines::sierra_node());
-    let compute_stream = StreamId { target: Target::gpu(0), index: 1 };
+    let compute_stream = StreamId {
+        target: Target::gpu(0),
+        index: 1,
+    };
     sim.launch_on(compute_stream, &interior_kernel());
     sim.transfer(Loc::Host, Loc::Gpu(0), HALO_BYTES, TransferKind::Memcpy);
     // Boundary kernel depends on both the halo and the interior sweep.
     let default = StreamId::default_for(Target::gpu(0));
     sim.wait(default, compute_stream);
-    let boundary = KernelProfile::new("sw4-boundary").flops(5e7).bytes_read(HALO_BYTES);
+    let boundary = KernelProfile::new("sw4-boundary")
+        .flops(5e7)
+        .bytes_read(HALO_BYTES);
     sim.launch(Target::gpu(0), &boundary);
     sim.elapsed()
 }
@@ -52,6 +60,13 @@ fn overlap_gain_is_bounded_by_the_shorter_phase() {
     let ovl = overlapped();
     let saved = seq - ovl;
     // You can never hide more than min(compute, transfer).
-    assert!(saved <= t_k.min(t_x) + 1e-9, "saved {saved} > min phase {}", t_k.min(t_x));
-    assert!(saved > 0.25 * t_k.min(t_x), "overlap too weak: saved {saved}");
+    assert!(
+        saved <= t_k.min(t_x) + 1e-9,
+        "saved {saved} > min phase {}",
+        t_k.min(t_x)
+    );
+    assert!(
+        saved > 0.25 * t_k.min(t_x),
+        "overlap too weak: saved {saved}"
+    );
 }

@@ -28,7 +28,12 @@ fn mummi_couples_md_and_scheduler() {
 
     // Their scheduling on 4 GPUs.
     let jobs: Vec<Job> = (0..24)
-        .map(|id| Job { id, arrival: 0.0, duration: 30.0 + (id % 5) as f64 * 80.0, gpus: 1 })
+        .map(|id| Job {
+            id,
+            arrival: 0.0,
+            duration: 30.0 + (id % 5) as f64 * 80.0,
+            gpus: 1,
+        })
         .collect();
     let m = simulate(&jobs, 4, Policy::SjfQuota { quota: 8 });
     assert_eq!(m.completed, 24);
