@@ -1,0 +1,255 @@
+//! Experiment: um-oversubscription — the §4.10.1 memory-capacity cliff.
+//!
+//! hypre's BoomerAMG *requires* unified memory on Sierra because the
+//! coarse-grid hierarchy overflows the V100's 16 GiB (§4.10.1); SAMRAI's
+//! optimisation work was mostly about avoiding unnecessary UM traffic
+//! (§4.10.5); and VBL documented the 64 KiB page-migration granularity
+//! (§4.11). This experiment sweeps a working set from well under to well
+//! over device capacity under [`OomPolicy::UnifiedSpill`] and reproduces
+//! the oversubscription thrash cliff: steady-state passes are free while
+//! the set fits, then jump to full 2x-working-set link traffic the moment
+//! it does not, because a sequential sweep is LRU's worst case — every
+//! region is evicted just before it is needed again.
+//!
+//! # Thrash model
+//!
+//! With `n` regions of `B` bytes each, device capacity `C`, and
+//! `t(B) = migration_time(link, B)`:
+//!
+//! * `W = n B <= C`: the cold pass faults each region in once
+//!   (`n t(B)`); steady-state passes are resident and cost ~0.
+//! * `W > C`: only `C/B` regions fit. Touching region `i` evicts the
+//!   least-recently-used resident region — exactly the one the sweep
+//!   needs next — so *every* steady-state touch misses, paying one
+//!   eviction plus one fault-in: `2 n t(B)` per pass.
+//!
+//! The acceptance bar (1.5x working set at least 3x slower than the
+//! 1.0x run) falls out directly: 1.0x costs one cold pass
+//! (`16 t(B)` on sierra), 1.5x costs a cold pass with eviction tail plus
+//! thrashing steady passes (`32 t(B) + P * 48 t(B)`), an 8x ratio at
+//! `P = 2`.
+
+use hetsim::obs::{Recorder, SpanKind};
+use hetsim::{machines, Loc, OomPolicy, Sim, TransferKind, GIB};
+use icoe::report::Table;
+
+/// Region size: 1 GiB, a typical coarse-grid level in the BoomerAMG
+/// hierarchy.
+const CHUNK: f64 = GIB;
+
+/// Steady-state passes after the cold pass.
+const PASSES: usize = 2;
+
+/// One oversubscription run: allocate `ratio x capacity` of 1 GiB managed
+/// regions on gpu0, fault them in (cold pass), then sweep them `PASSES`
+/// more times. Returns (cold-pass seconds, per-steady-pass seconds,
+/// total seconds, regions).
+fn run_unified(ratio: f64, rec: Option<&Recorder>) -> (f64, f64, f64, usize) {
+    let mut sim = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::UnifiedSpill);
+    if let Some(rec) = rec {
+        sim.set_recorder(rec.clone());
+    }
+    let cap = sim.mem().capacity(Loc::Gpu(0));
+    let n = ((ratio * cap) / CHUNK).round().max(1.0) as usize;
+    let ids: Vec<_> = (0..n)
+        .map(|_| {
+            sim.alloc(Loc::Gpu(0), CHUNK)
+                .expect("UnifiedSpill allocation is bounded by host DDR, not HBM")
+        })
+        .collect();
+    let t0 = sim.elapsed();
+    for id in &ids {
+        sim.touch_mem(*id).expect("fault-in cannot OOM under spill");
+    }
+    let cold = sim.elapsed() - t0;
+    let t1 = sim.elapsed();
+    for _ in 0..PASSES {
+        for id in &ids {
+            sim.touch_mem(*id).expect("steady touch cannot OOM");
+        }
+    }
+    let steady = (sim.elapsed() - t1) / PASSES as f64;
+    (cold, steady, sim.elapsed(), n)
+}
+
+/// um-oversubscription: sweep the working-set ratio, check the thrash
+/// model, demonstrate `Fail` and `NvmeSpill` on the same overflow, and
+/// capture a timeline where UM migrations occupy the copy engines.
+pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
+    let sweep = rec.begin("ratio-sweep", SpanKind::Phase);
+    let mut t = Table::new(
+        "um-oversubscription: working set vs 16 GiB V100 under UnifiedSpill (sierra, 1 GiB regions)",
+        &[
+            "ratio",
+            "regions",
+            "cold pass (ms)",
+            "steady pass (ms)",
+            "total vs 1.0x",
+            "verdict",
+        ],
+    );
+    let (_, _, base_total, _) = run_unified(1.0, None);
+    let mut cliff_ratio = 0.0;
+    for &ratio in &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
+        let (cold, steady, total, n) = run_unified(ratio, None);
+        let rel = total / base_total;
+        if (ratio - 1.5).abs() < 1e-9 {
+            cliff_ratio = rel;
+        }
+        let verdict = if ratio <= 1.0 {
+            "fits: steady passes resident, ~free"
+        } else {
+            "thrash: LRU evicts the next region needed"
+        };
+        t.row(&[
+            format!("{ratio:.2}x"),
+            n.to_string(),
+            format!("{:.3}", cold * 1e3),
+            format!("{:.3}", steady * 1e3),
+            format!("{rel:.2}x"),
+            verdict.to_string(),
+        ]);
+    }
+    rec.end(sweep);
+    rec.gauge("um.cliff_ratio_1_5x", cliff_ratio);
+
+    // Thrash-model check: steady-pass time over capacity must match the
+    // 2 n t(B) prediction (every touch pays eviction + fault-in).
+    let model = rec.begin("thrash-model-check", SpanKind::Phase);
+    let mut m = Table::new(
+        "thrash model check: steady pass vs 2 n t(B) (over capacity every touch misses twice)",
+        &["ratio", "predicted (ms)", "measured (ms)", "ratio"],
+    );
+    let probe = Sim::new(machines::sierra_node());
+    let t_b = probe.transfer_cost(Loc::Host, Loc::Gpu(0), CHUNK, TransferKind::Unified);
+    let mut worst = 1.0f64;
+    for &ratio in &[1.25, 1.5, 2.0] {
+        let (_, steady, _, n) = run_unified(ratio, None);
+        let predicted = 2.0 * n as f64 * t_b;
+        let q = steady / predicted;
+        worst = worst.max(q.max(1.0 / q));
+        m.row(&[
+            format!("{ratio:.2}x"),
+            format!("{:.3}", predicted * 1e3),
+            format!("{:.3}", steady * 1e3),
+            format!("{q:.3}"),
+        ]);
+    }
+    rec.end(model);
+    rec.gauge("um.model_worst_ratio", worst);
+
+    // Policy comparison on the same 1.5x overflow: Fail refuses instead of
+    // silently fitting; NvmeSpill survives but stages over the 2 GB/s SSD.
+    let pol = rec.begin("policy-comparison", SpanKind::Phase);
+    let mut p = Table::new(
+        "OomPolicy on a 24 GiB working set (1.5x HBM)",
+        &["policy", "outcome"],
+    );
+    let mut fail = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::Fail);
+    let mut err = None;
+    for _ in 0..24 {
+        if let Err(e) = fail.alloc(Loc::Gpu(0), CHUNK) {
+            err = Some(e);
+            break;
+        }
+    }
+    let err = err.expect("24 GiB of cudaMalloc must overflow a 16 GiB V100");
+    p.row(&["fail".into(), format!("Err({err})")]);
+    p.row(&[
+        "unified-spill".into(),
+        format!("runs, {cliff_ratio:.1}x slower than in-capacity (thrash over NVLink)"),
+    ]);
+    let mut nv = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::NvmeSpill);
+    let nv_ids: Vec<_> = (0..24)
+        .map(|_| {
+            nv.alloc(Loc::Gpu(0), CHUNK)
+                .expect("NVMe absorbs the spill")
+        })
+        .collect();
+    let t0 = nv.elapsed();
+    for id in &nv_ids {
+        nv.touch_mem(*id).expect("NVMe staging cannot OOM here");
+    }
+    p.row(&[
+        "nvme-spill".into(),
+        format!(
+            "runs, sweep stages over NVMe in {:.0} ms (2 GB/s, not 68 GB/s NVLink)",
+            (nv.elapsed() - t0) * 1e3
+        ),
+    ]);
+    rec.end(pol);
+
+    // Timeline capture: re-run the 1.25x thrash under the caller's
+    // recorder so `--timeline` shows UM migrations occupying
+    // gpu0.h2d / gpu0.d2h next to ordinary memcpys, and the
+    // `mem.gpu0.bytes` / `mem.gpu0.high_water` gauges are published.
+    let shape = rec.begin("timeline-capture", SpanKind::Phase);
+    run_unified(1.25, Some(rec));
+    rec.end(shape);
+    rec.gauge("um.base_total_ms", base_total * 1e3);
+
+    vec![t, m, p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::OomError;
+
+    #[test]
+    fn cliff_clears_the_acceptance_bar() {
+        // ISSUE 3 acceptance: at 1.5x device capacity under UnifiedSpill the
+        // modelled time is >= 3x the in-capacity run.
+        let mut rec = Recorder::enabled();
+        let tables = um_oversubscription(&mut rec);
+        assert_eq!(tables.len(), 3);
+        let cliff = rec.gauge_value("um.cliff_ratio_1_5x").unwrap();
+        assert!(cliff >= 3.0, "1.5x run only {cliff}x slower than 1.0x");
+    }
+
+    #[test]
+    fn in_capacity_steady_passes_are_free() {
+        let (cold, steady, _, n) = run_unified(0.75, None);
+        assert_eq!(n, 12);
+        assert!(cold > 0.0, "cold pass must fault the set in");
+        assert!(
+            steady < 1e-12,
+            "resident working set must sweep for free, got {steady}"
+        );
+    }
+
+    #[test]
+    fn thrash_model_matches_within_20_percent() {
+        let mut rec = Recorder::enabled();
+        um_oversubscription(&mut rec);
+        let worst = rec.gauge_value("um.model_worst_ratio").unwrap();
+        assert!(
+            worst <= 1.2,
+            "steady pass strayed {worst}x from the 2 n t(B) model"
+        );
+    }
+
+    #[test]
+    fn fail_policy_refuses_the_same_run() {
+        // ISSUE 3 acceptance: under Fail the 1.5x run returns Err(OomError)
+        // rather than silently succeeding.
+        let mut sim = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::Fail);
+        let outcome: Result<Vec<_>, OomError> =
+            (0..24).map(|_| sim.alloc(Loc::Gpu(0), CHUNK)).collect();
+        let err = outcome.expect_err("24 GiB must not fit a 16 GiB V100");
+        assert_eq!(err.loc, Loc::Gpu(0));
+        assert_eq!(err.policy, OomPolicy::Fail);
+    }
+
+    #[test]
+    fn timeline_capture_puts_um_migrations_on_the_copy_engines() {
+        // ISSUE 3 acceptance: UM migrations appear as engine-track spans.
+        let mut rec = Recorder::enabled();
+        um_oversubscription(&mut rec);
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.track == "gpu0.h2d"), "fault-ins");
+        assert!(spans.iter().any(|s| s.track == "gpu0.d2h"), "evictions");
+        assert!(rec.gauge_value("mem.gpu0.bytes").is_some());
+        assert!(rec.gauge_value("mem.gpu0.high_water").is_some());
+    }
+}

@@ -11,6 +11,7 @@
 pub mod exps_apps;
 pub mod exps_compute;
 pub mod exps_core;
+pub mod exps_mem;
 pub mod exps_opt;
 pub mod exps_pipeline;
 
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "opt",
     "kavg",
     "pipeline-overlap",
+    "um-oversubscription",
     "lessons",
     "machines",
 ];
@@ -104,6 +106,11 @@ pub fn registry() -> Registry {
             "pipeline-overlap",
             "§4 (streams: serial vs pipelined crossover)",
             exps_pipeline::pipeline_overlap
+        ),
+        (
+            "um-oversubscription",
+            "§4.10.1 (UM oversubscription thrash cliff)",
+            exps_mem::um_oversubscription
         ),
         (
             "lessons",

@@ -98,6 +98,43 @@ fn pipeline_overlap_timeline_shows_copy_engine_tracks() {
 }
 
 #[test]
+fn um_oversubscription_timeline_shows_um_migrations_on_copy_engines() {
+    // ISSUE 3 acceptance: UM migrations appear as engine-track spans on
+    // `--timeline` output, and the memory gauges ride into the summary.
+    let dir = std::env::temp_dir().join(format!("icoe-bench-um-{}", std::process::id()));
+    let out = bin()
+        .args(["um-oversubscription", "--json", "--timeline", "--bench-dir"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "um-oversubscription exited nonzero: {out:?}"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    for track in ["gpu0.h2d", "gpu0.d2h"] {
+        assert!(
+            stderr.contains(track),
+            "timeline missing track {track}:\n{stderr}"
+        );
+    }
+    let text = std::fs::read_to_string(dir.join("BENCH_um-oversubscription.json"))
+        .expect("summary file written");
+    let doc = json::parse(&text).expect("summary parses");
+    let gauges = doc.get("gauges").expect("gauges");
+    let cliff = gauges
+        .get("um.cliff_ratio_1_5x")
+        .and_then(json::Value::as_f64)
+        .expect("cliff gauge");
+    assert!(cliff >= 3.0, "1.5x oversubscription cliff only {cliff}x");
+    assert!(
+        gauges.get("mem.gpu0.high_water").is_some(),
+        "mem gauges missing from summary"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn list_enumerates_the_registry_with_artifacts() {
     let out = bin().arg("list").output().expect("binary runs");
     assert!(out.status.success());

@@ -43,6 +43,7 @@
 
 pub mod kernel;
 pub mod machines;
+pub mod mem;
 pub mod network;
 pub mod obs;
 pub mod sim;
@@ -51,9 +52,10 @@ pub mod trace;
 pub mod unified;
 
 pub use kernel::{CostTerms, KernelProfile, LaunchClass, Precision};
+pub use mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
 pub use network::{CollectiveKind, NetCounters, Network};
 pub use obs::{Recorder, SpanKind, SpanRecord};
-pub use sim::{Engine, Event, Loc, Sim, StreamId, Target, TransferKind};
+pub use sim::{Engine, Event, Loc, Sim, StreamId, Target, TransferKind, PHANTOM_NVME_BW_GBS};
 pub use spec::{CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NodeConfig};
 pub use trace::Span;
 #[allow(deprecated)]

@@ -24,8 +24,10 @@
 use std::collections::HashMap;
 
 use crate::kernel::KernelProfile;
+use crate::mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
 use crate::obs::{Recorder, SpanKind};
 use crate::spec::{LinkKind, LinkSpec, Machine};
+use crate::unified::{ManagedBuffer, Residency};
 
 /// Where data lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +40,18 @@ pub enum Loc {
     Nvme,
     /// The network adapter (for GPUDirect modelling).
     Nic,
+}
+
+impl Loc {
+    /// Metric/gauge label, e.g. `host`, `gpu0`, `nvme`, `nic`.
+    pub fn label(&self) -> String {
+        match self {
+            Loc::Host => "host".to_string(),
+            Loc::Gpu(i) => format!("gpu{i}"),
+            Loc::Nvme => "nvme".to_string(),
+            Loc::Nic => "nic".to_string(),
+        }
+    }
 }
 
 /// What executes a kernel.
@@ -178,6 +192,13 @@ pub enum TransferKind {
     GpuDirect,
 }
 
+/// Stand-in NVMe bandwidth (GB/s) used in **release builds only** when a
+/// transfer touches [`Loc::Nvme`] on a machine whose `node.nvme` is `None`.
+/// Debug builds `debug_assert!` instead — see [`Sim::transfer_cost`]. The
+/// figure is deliberately pessimal (a slow SATA-class device) so a phantom
+/// route can never flatter a result.
+pub const PHANTOM_NVME_BW_GBS: f64 = 0.5;
+
 /// Cumulative activity counters.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
@@ -204,16 +225,21 @@ pub struct Sim {
     /// Observability sink; [`Recorder::noop`] by default, so the hot paths
     /// pay one branch when tracing is off.
     recorder: Recorder,
+    /// Per-location memory-capacity accounting (capacities from the
+    /// machine's specs; [`OomPolicy::Fail`] by default).
+    mem: MemTracker,
 }
 
 impl Sim {
     pub fn new(machine: Machine) -> Sim {
+        let mem = MemTracker::for_machine(&machine, OomPolicy::default());
         Sim {
             machine,
             streams: HashMap::new(),
             engines: HashMap::new(),
             counters: Counters::default(),
             recorder: Recorder::noop(),
+            mem,
         }
     }
 
@@ -221,6 +247,22 @@ impl Sim {
     pub fn with_recorder(mut self, recorder: Recorder) -> Sim {
         self.recorder = recorder;
         self
+    }
+
+    /// Choose the out-of-memory policy (builder form).
+    pub fn with_oom_policy(mut self, policy: OomPolicy) -> Sim {
+        self.mem.set_policy(policy);
+        self
+    }
+
+    /// Choose the out-of-memory policy in place.
+    pub fn set_oom_policy(&mut self, policy: OomPolicy) {
+        self.mem.set_policy(policy);
+    }
+
+    /// The memory-capacity tracker (in-use / high-water per [`Loc`]).
+    pub fn mem(&self) -> &MemTracker {
+        &self.mem
     }
 
     /// Attach an observability recorder in place.
@@ -250,6 +292,16 @@ impl Sim {
         }
     }
 
+    /// Canonical stream key: `Target::cpu_all()` (`threads: usize::MAX`)
+    /// resolves to the machine's core count, so every API addresses the
+    /// same clock entry regardless of how the caller spelled the target.
+    fn resolve_stream(&self, s: StreamId) -> StreamId {
+        StreamId {
+            target: self.resolve_threads(s.target),
+            ..s
+        }
+    }
+
     /// Time to run `k` on `target` without advancing any clock.
     pub fn cost(&self, target: Target, k: &KernelProfile) -> f64 {
         match self.resolve_threads(target) {
@@ -272,11 +324,7 @@ impl Sim {
     /// Launch `k` on a specific stream (or the default stream of a bare
     /// [`Target`]); returns elapsed seconds.
     pub fn launch_on(&mut self, stream: impl Into<StreamId>, k: &KernelProfile) -> f64 {
-        let stream = stream.into();
-        let stream = StreamId {
-            target: self.resolve_threads(stream.target),
-            ..stream
-        };
+        let stream = self.resolve_stream(stream.into());
         let dt = self.cost(stream.target, k);
         let slot = self.streams.entry(stream).or_insert(0.0);
         let start = *slot;
@@ -298,6 +346,32 @@ impl Sim {
         dt
     }
 
+    /// Bandwidth of the node-local NVMe, GB/s.
+    ///
+    /// Transfers touching [`Loc::Nvme`] on machines with `node.nvme =
+    /// None` used to route silently over a phantom 0.5 GB/s link
+    /// (`unwrap_or((0.0, 0.5))`). That is a modelling bug, so — mirroring
+    /// the GpuDirect guard — debug builds now `debug_assert!`; release
+    /// builds fall back to the documented
+    /// [`PHANTOM_NVME_BW_GBS`] stand-in so long-running
+    /// sweeps degrade instead of aborting. Capacity-aware callers should
+    /// use the [`Sim::alloc`] path, where a missing NVMe is a proper
+    /// [`OomError`].
+    fn nvme_bw(&self) -> f64 {
+        match self.machine.node.nvme {
+            Some((_, bw)) => bw,
+            None => {
+                debug_assert!(
+                    false,
+                    "transfer touches Loc::Nvme but machine '{}' has no NVMe (node.nvme = None); \
+                     release builds fall back to the {PHANTOM_NVME_BW_GBS} GB/s stand-in link",
+                    self.machine.name
+                );
+                PHANTOM_NVME_BW_GBS
+            }
+        }
+    }
+
     /// The "link" a same-location copy uses: the local memory system. A
     /// copy reads *and* writes the same memory, so the achievable copy
     /// bandwidth is half the stream bandwidth (the classic
@@ -317,14 +391,11 @@ impl Sim {
                     latency_us: gpu.launch_overhead_us,
                 }
             }
-            Loc::Nvme => {
-                let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
-                LinkSpec {
-                    kind: LinkKind::Local,
-                    bw_gbs: 0.5 * bw,
-                    latency_us: 80.0,
-                }
-            }
+            Loc::Nvme => LinkSpec {
+                kind: LinkKind::Local,
+                bw_gbs: 0.5 * self.nvme_bw(),
+                latency_us: 80.0,
+            },
             // A NIC has no memory of its own worth modelling; treat a
             // NIC-local move as a fabric bounce.
             Loc::Nic => LinkSpec {
@@ -373,14 +444,11 @@ impl Sim {
                 .peer_link
                 .clone()
                 .unwrap_or_else(|| self.machine.host_gpu_link()),
-            (Loc::Nvme, _) | (_, Loc::Nvme) => {
-                let (_, bw) = self.machine.node.nvme.unwrap_or((0.0, 0.5));
-                LinkSpec {
-                    kind: LinkKind::Pcie3,
-                    bw_gbs: bw,
-                    latency_us: 80.0,
-                }
-            }
+            (Loc::Nvme, _) | (_, Loc::Nvme) => LinkSpec {
+                kind: LinkKind::Pcie3,
+                bw_gbs: self.nvme_bw(),
+                latency_us: 80.0,
+            },
             (Loc::Nic, _) | (_, Loc::Nic) => LinkSpec {
                 kind: LinkKind::Fabric,
                 bw_gbs: self.machine.network.injection_bw_gbs,
@@ -441,11 +509,7 @@ impl Sim {
         kind: TransferKind,
         stream: impl Into<StreamId>,
     ) -> Event {
-        let stream = stream.into();
-        let stream = StreamId {
-            target: self.resolve_threads(stream.target),
-            ..stream
-        };
+        let stream = self.resolve_stream(stream.into());
         let dt = self.transfer_cost(src, dst, bytes, kind);
         let engine = Engine::for_route(src, dst);
         let start = self.stream_time(stream).max(self.engine_time(engine));
@@ -548,7 +612,13 @@ impl Sim {
 
     /// Make `waiter` wait until `event` stream's current time (CUDA event
     /// wait on another stream's head).
+    ///
+    /// Both sides resolve their thread counts first (bugfix: a
+    /// `Target::cpu_all()` key previously never matched the resolved key
+    /// `launch` writes, so the wait was silently a no-op).
     pub fn wait(&mut self, waiter: StreamId, event: StreamId) {
+        let waiter = self.resolve_stream(waiter);
+        let event = self.resolve_stream(event);
         let t = self.stream_time(event).max(self.stream_time(waiter));
         self.streams.insert(waiter, t);
     }
@@ -557,11 +627,7 @@ impl Sim {
     /// `cudaEventRecord`): it completes when everything queued on `stream`
     /// so far has.
     pub fn record(&self, stream: impl Into<StreamId>) -> Event {
-        let stream = stream.into();
-        let stream = StreamId {
-            target: self.resolve_threads(stream.target),
-            ..stream
-        };
+        let stream = self.resolve_stream(stream.into());
         Event {
             time: self.stream_time(stream),
         }
@@ -571,11 +637,7 @@ impl Sim {
     /// `cudaStreamWaitEvent`): its clock advances to the event time if it
     /// is behind, and is untouched otherwise.
     pub fn wait_event(&mut self, waiter: impl Into<StreamId>, event: Event) {
-        let waiter = waiter.into();
-        let waiter = StreamId {
-            target: self.resolve_threads(waiter.target),
-            ..waiter
-        };
+        let waiter = self.resolve_stream(waiter.into());
         let t = self.stream_time(waiter).max(event.time);
         self.streams.insert(waiter, t);
     }
@@ -588,19 +650,103 @@ impl Sim {
 
     /// Advance one specific stream by `dt` seconds.
     pub fn advance_stream(&mut self, stream: impl Into<StreamId>, dt: f64) {
-        let stream = stream.into();
-        let stream = StreamId {
-            target: self.resolve_threads(stream.target),
-            ..stream
-        };
+        let stream = self.resolve_stream(stream.into());
         *self.streams.entry(stream).or_insert(0.0) += dt;
     }
 
-    /// Reset all clocks and counters, keeping the machine.
+    /// Reset all clocks, counters and memory accounting, keeping the
+    /// machine, recorder and OOM policy.
     pub fn reset(&mut self) {
         self.streams.clear();
         self.engines.clear();
         self.counters = Counters::default();
+        self.mem = MemTracker::for_machine(&self.machine, self.mem.policy());
+    }
+
+    // --------------------------------------------- memory-capacity model
+
+    /// Allocate `bytes` at `loc` under the current [`OomPolicy`],
+    /// enforcing the machine's capacity specs (see [`crate::mem`]).
+    ///
+    /// Any migrations the decision implies (NVMe staging of LRU victims)
+    /// are charged as blocking transfers: they occupy the copy engines on
+    /// the route, contend with async copies, and appear as `Transfer`
+    /// spans on the engine timeline tracks. Publishes `mem.<loc>.bytes`
+    /// and `mem.<loc>.high_water` gauges when a recorder is attached.
+    pub fn alloc(&mut self, loc: Loc, bytes: f64) -> Result<MemId, OomError> {
+        let (id, moves) = self.mem.alloc(loc, bytes)?;
+        self.charge_migrations(&moves);
+        self.publish_mem();
+        Ok(id)
+    }
+
+    /// Touch allocation `id` from its home location, faulting spilled
+    /// bytes back in (page-granular LRU eviction per the policy). Returns
+    /// the simulated seconds of migration traffic charged — zero when the
+    /// data was already resident (the SAMRAI lesson: keep data on the
+    /// device as long as possible).
+    pub fn touch_mem(&mut self, id: MemId) -> Result<f64, OomError> {
+        let moves = self.mem.touch(id)?;
+        let dt = self.charge_migrations(&moves);
+        if dt > 0.0 {
+            self.publish_mem();
+        }
+        Ok(dt)
+    }
+
+    /// Free allocation `id`, releasing its bytes at both its home and
+    /// spill locations. Panics on double free (mirroring `portal::Pool`).
+    pub fn free(&mut self, id: MemId) {
+        self.mem.free(id);
+        self.publish_mem();
+    }
+
+    /// Charge a planned migration list as blocking transfers; returns the
+    /// summed transfer seconds.
+    fn charge_migrations(&mut self, moves: &[Migration]) -> f64 {
+        moves
+            .iter()
+            .map(|m| self.transfer(m.src, m.dst, m.bytes, m.kind))
+            .sum()
+    }
+
+    /// Publish `mem.<loc>.bytes` / `mem.<loc>.high_water` gauges for every
+    /// tracked location.
+    fn publish_mem(&self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for loc in self.mem.locs() {
+            let label = loc.label();
+            self.recorder
+                .gauge(&format!("mem.{label}.bytes"), self.mem.in_use(loc));
+            self.recorder
+                .gauge(&format!("mem.{label}.high_water"), self.mem.high_water(loc));
+        }
+    }
+
+    /// Touch a [`ManagedBuffer`] from `side` **through the simulator**: a
+    /// migration occupies the right copy engine (H2D for host→device,
+    /// D2H for device→host), joins both endpoints' default streams like
+    /// any blocking UM fault storm, and emits a `Transfer` span — so UM
+    /// traffic is visible on timelines and contends with async copies.
+    /// Returns the migration seconds paid (zero if already resident).
+    ///
+    /// Prefer this over the raw cost-only [`ManagedBuffer::touch`], which
+    /// advances no clock and records no span.
+    pub fn touch_managed(&mut self, buf: &mut ManagedBuffer, side: Residency, gpu: usize) -> f64 {
+        if buf.residency == side {
+            return 0.0;
+        }
+        let (src, dst) = match side {
+            Residency::Device => (Loc::Host, Loc::Gpu(gpu)),
+            Residency::Host => (Loc::Gpu(gpu), Loc::Host),
+        };
+        let dt = self.transfer(src, dst, buf.bytes, TransferKind::Unified);
+        buf.residency = side;
+        buf.migration_cost += dt;
+        buf.migrations += 1;
+        dt
     }
 }
 
@@ -963,5 +1109,167 @@ mod tests {
     fn gpudirect_between_host_and_gpu_is_rejected() {
         let s = sim();
         s.transfer_cost(Loc::Host, Loc::Gpu(0), 1e6, TransferKind::GpuDirect);
+    }
+
+    // ------------------------------------------------ clock/route bugfixes
+
+    #[test]
+    fn wait_resolves_cpu_all_stream_keys() {
+        // Regression: `wait` did not resolve_threads either side, so a
+        // `Target::cpu_all()` waiter (threads = usize::MAX) wrote a stream
+        // key that `launch`/`time` (which resolve to the core count) never
+        // read — the wait was silently a no-op.
+        let mut s = sim();
+        let k = KernelProfile::new("k").flops(1e10);
+        let gpu = StreamId::default_for(Target::gpu(0));
+        s.launch_on(gpu, &k);
+        let waiter = StreamId::default_for(Target::cpu_all());
+        s.wait(waiter, gpu);
+        assert!(s.time(Target::cpu_all()) > 0.0, "wait was a no-op");
+        assert!((s.time(Target::cpu_all()) - s.stream_time(gpu)).abs() < 1e-15);
+        // And the event side resolves too: waiting *on* a cpu_all stream
+        // that was advanced through the resolved key still observes it.
+        let mut s = sim();
+        s.launch(Target::cpu_all(), &k);
+        let gpu_q = StreamId::default_for(Target::gpu(1));
+        s.wait(gpu_q, StreamId::default_for(Target::cpu_all()));
+        assert!((s.stream_time(gpu_q) - s.time(Target::cpu_all())).abs() < 1e-15);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "has no NVMe")]
+    fn nvme_transfer_without_nvme_is_rejected() {
+        // Regression: machines with `node.nvme = None` silently routed
+        // NVMe transfers over a phantom 0.5 GB/s link.
+        let s = Sim::new(machines::ea_minsky());
+        s.transfer_cost(Loc::Host, Loc::Nvme, 1e9, TransferKind::Memcpy);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "has no NVMe")]
+    fn nvme_local_copy_without_nvme_is_rejected() {
+        let s = Sim::new(machines::ea_minsky());
+        s.transfer_cost(Loc::Nvme, Loc::Nvme, 1e9, TransferKind::Memcpy);
+    }
+
+    #[test]
+    fn nvme_transfer_uses_the_declared_bandwidth() {
+        // sierra declares (1600 GiB, 2.0 GB/s): 1 GB takes ~0.5 s.
+        let s = sim();
+        let dt = s.transfer_cost(Loc::Host, Loc::Nvme, 1e9, TransferKind::Memcpy);
+        assert!((dt - 0.5).abs() / 0.5 < 0.01, "dt {dt}");
+    }
+
+    // ------------------------------------------- Sim-integrated UM touches
+
+    #[test]
+    fn touch_managed_occupies_the_engine_and_emits_a_span() {
+        use crate::obs::Recorder;
+        use crate::unified::{ManagedBuffer, Residency};
+        let rec = Recorder::enabled();
+        let mut s = sim().with_recorder(rec.clone());
+        let mut buf = ManagedBuffer::new(64e6, Residency::Host);
+        let dt = s.touch_managed(&mut buf, Residency::Device, 0);
+        assert!(dt > 0.0);
+        assert_eq!(buf.residency, Residency::Device);
+        assert_eq!(buf.migrations, 1);
+        // The migration occupied the H2D engine and advanced both default
+        // streams (a blocking fault storm).
+        assert!((s.engine_time(Engine::H2d(0)) - dt).abs() < 1e-15);
+        assert!((s.time(Target::gpu(0)) - dt).abs() < 1e-15);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::Transfer);
+        assert_eq!(spans[0].track, "gpu0.h2d");
+        // Resident touches stay free and invisible.
+        assert_eq!(s.touch_managed(&mut buf, Residency::Device, 0), 0.0);
+        assert_eq!(rec.spans().len(), 1);
+        // Migrating back rides the D2H engine.
+        s.touch_managed(&mut buf, Residency::Host, 0);
+        assert_eq!(rec.spans()[1].track, "gpu0.d2h");
+    }
+
+    #[test]
+    fn touch_managed_contends_with_async_copies() {
+        use crate::unified::{ManagedBuffer, Residency};
+        let mut s = sim();
+        let q = StreamId {
+            target: Target::gpu(0),
+            index: 1,
+        };
+        let ev = s.transfer_async(Loc::Host, Loc::Gpu(0), 1e9, TransferKind::Memcpy, q);
+        let mut buf = ManagedBuffer::new(64e6, Residency::Host);
+        let dt = s.touch_managed(&mut buf, Residency::Device, 0);
+        // The UM migration queued FIFO behind the async copy on gpu0.h2d.
+        assert!((s.engine_time(Engine::H2d(0)) - (ev.time + dt)).abs() < 1e-12);
+        // The raw cost-only path agrees on the migration duration.
+        let link = s.machine().host_gpu_link();
+        let mut raw = ManagedBuffer::new(64e6, Residency::Host);
+        let raw_dt = raw.touch(Residency::Device, &link);
+        assert!((dt - raw_dt).abs() < 1e-15);
+    }
+
+    // ------------------------------------------- memory-capacity accounting
+
+    #[test]
+    fn fail_policy_alloc_errors_instead_of_silently_fitting() {
+        use crate::GIB;
+        let mut s = sim(); // OomPolicy::Fail by default
+        let a = s.alloc(Loc::Gpu(0), 12.0 * GIB).expect("fits");
+        let err = s.alloc(Loc::Gpu(0), 12.0 * GIB).unwrap_err();
+        assert_eq!(err.loc, Loc::Gpu(0));
+        assert_eq!(s.mem().in_use(Loc::Gpu(0)), 12.0 * GIB);
+        s.free(a);
+        assert_eq!(s.mem().in_use(Loc::Gpu(0)), 0.0);
+        assert_eq!(s.mem().high_water(Loc::Gpu(0)), 12.0 * GIB);
+        // A failed alloc never advanced any clock.
+        assert_eq!(s.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn unified_spill_faults_ride_the_copy_engines_and_publish_gauges() {
+        use crate::mem::OomPolicy;
+        use crate::obs::Recorder;
+        use crate::GIB;
+        let rec = Recorder::enabled();
+        let mut s = sim()
+            .with_recorder(rec.clone())
+            .with_oom_policy(OomPolicy::UnifiedSpill);
+        let a = s.alloc(Loc::Gpu(0), 10.0 * GIB).unwrap();
+        let b = s.alloc(Loc::Gpu(0), 10.0 * GIB).unwrap();
+        let t_a = s.touch_mem(a).unwrap();
+        assert!(t_a > 0.0, "first touch faults 10 GiB in");
+        let t_b = s.touch_mem(b).unwrap();
+        assert!(t_b > t_a, "b pays its fault-in plus a's eviction");
+        // Eviction traffic occupied gpu0.d2h; faults occupied gpu0.h2d.
+        assert!(s.engine_time(Engine::H2d(0)) > 0.0);
+        assert!(s.engine_time(Engine::D2h(0)) > 0.0);
+        let spans = rec.spans();
+        assert!(spans.iter().any(|sp| sp.track == "gpu0.h2d"));
+        assert!(spans.iter().any(|sp| sp.track == "gpu0.d2h"));
+        // Gauges track residency and the (monotone) high water.
+        let bytes = rec.gauge_value("mem.gpu0.bytes").unwrap();
+        assert!(bytes <= 16.0 * GIB + 1.0, "resident {bytes}");
+        let hw = rec.gauge_value("mem.gpu0.high_water").unwrap();
+        assert!(hw <= 16.0 * GIB + 1.0 && hw > 0.0);
+        // Resident re-touch is free: no new spans, no clock motion.
+        let before = s.elapsed();
+        assert_eq!(s.touch_mem(b).unwrap(), 0.0);
+        assert_eq!(s.elapsed(), before);
+    }
+
+    #[test]
+    fn nvme_spill_stages_over_the_nvme_link() {
+        use crate::mem::OomPolicy;
+        use crate::GIB;
+        let mut s = sim().with_oom_policy(OomPolicy::NvmeSpill);
+        let _a = s.alloc(Loc::Gpu(0), 12.0 * GIB).unwrap();
+        let _b = s.alloc(Loc::Gpu(0), 12.0 * GIB).unwrap();
+        // 8 GiB staged out to NVMe at alloc time, counted and charged.
+        assert!(s.counters().bytes_nvme >= 8.0 * GIB);
+        assert!(s.elapsed() > 0.0);
+        assert!(s.mem().in_use(Loc::Gpu(0)) <= 16.0 * GIB + 1.0);
     }
 }

@@ -65,6 +65,15 @@ impl ManagedBuffer {
 
     /// Touch the buffer from `side`; returns the migration time paid (zero
     /// if already resident).
+    ///
+    /// **Cost-only path.** This advances *no* simulator clock, occupies no
+    /// copy engine, and emits no span — UM traffic modelled this way is
+    /// invisible on timelines and never contends with async copies. Prefer
+    /// [`crate::Sim::touch_managed`], which charges the migration to the
+    /// right DMA engine (H2D or D2H) and records a `Transfer` span, so page
+    /// migrations show up next to `memcpy`s exactly as they do in a real
+    /// `nvprof` trace. Keep this method only for standalone what-if cost
+    /// arithmetic that is deliberately outside a `Sim`.
     pub fn touch(&mut self, side: Residency, link: &LinkSpec) -> f64 {
         if self.residency == side {
             return 0.0;

@@ -199,6 +199,23 @@ impl Executor {
         self.sim.elapsed()
     }
 
+    /// A device [`Pool`](crate::Pool) bounded by GPU `gpu`'s memory
+    /// capacity from the underlying machine spec, sharing this executor's
+    /// recorder. With the bound in place, over-subscribed allocations trim
+    /// the pool's cache and then degrade to host memory instead of
+    /// pretending the device is infinite (the §4.10.1 shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range for the machine.
+    pub fn device_pool(&self, gpu: usize) -> crate::Pool {
+        let spec = &self.sim.machine().node.gpus[gpu];
+        let cap = (spec.mem_capacity_gib * hetsim::GIB) as u64;
+        crate::Pool::new(crate::Space::Device)
+            .with_capacity(cap)
+            .with_recorder(self.sim.recorder().clone())
+    }
+
     fn charge(
         &mut self,
         name: &str,
@@ -815,6 +832,25 @@ mod pipeline_tests {
             .bytes_read(8.0)
             .bytes_written(8.0);
         (item, Staging::new(8.0, 8.0))
+    }
+
+    #[test]
+    fn device_pool_is_bounded_by_the_machine_spec() {
+        let e = exec();
+        let pool = e.device_pool(0);
+        let hbm = e.sim().machine().node.gpus[0].mem_capacity_gib * hetsim::GIB;
+        assert_eq!(pool.capacity(), Some(hbm as u64));
+        // Filling the device past its HBM capacity degrades to host
+        // instead of silently fitting.
+        let chunk = 1u64 << 30;
+        let mut spills = 0;
+        for _ in 0..20 {
+            let (b, _) = pool.alloc(chunk);
+            if b.spilled {
+                spills += 1;
+            }
+        }
+        assert_eq!(spills, 4, "16 GiB HBM fits 16 of 20 x 1 GiB blocks");
     }
 
     #[test]

@@ -55,6 +55,19 @@ pub struct PoolStats {
     /// ever observed. This is what capacity planning must budget for,
     /// not the live watermark alone.
     pub bytes_high_water: u64,
+    /// Cached blocks released back to the driver to make room under a
+    /// capacity bound (the Umpire "coalesce/release" path).
+    pub trims: u64,
+    /// Bytes released by those trims.
+    pub bytes_trimmed: u64,
+    /// Allocations that could not fit under the capacity bound even after
+    /// trimming and fell back to host memory (graceful degradation, the
+    /// §4.10.1 shape: run slower rather than abort).
+    pub host_spills: u64,
+    /// Bytes currently handed out as host-spilled blocks. These do *not*
+    /// count against [`PoolStats::footprint`], which tracks the pool's own
+    /// space.
+    pub bytes_spilled: u64,
     /// Simulated seconds spent in allocation calls.
     pub alloc_seconds: f64,
 }
@@ -70,6 +83,9 @@ impl PoolStats {
 #[derive(Debug)]
 pub struct Pool {
     space: Space,
+    /// Optional bound on [`PoolStats::footprint`] (live + cached bytes).
+    /// `None` preserves the historical unbounded behaviour.
+    capacity: Option<u64>,
     inner: Mutex<PoolInner>,
     recorder: Recorder,
 }
@@ -83,6 +99,9 @@ struct PoolInner {
     /// is how the pool catches it instead of silently inflating the free
     /// list.
     outstanding: BTreeMap<u64, u64>,
+    /// Outstanding host-spilled blocks by size class, tracked separately so
+    /// the double-free check still works for them.
+    outstanding_spilled: BTreeMap<u64, u64>,
     stats: PoolStats,
 }
 
@@ -96,15 +115,35 @@ fn size_class(bytes: u64) -> u64 {
 pub struct Block {
     pub class: u64,
     pub space: Space,
+    /// True when the capacity bound forced this block to host memory
+    /// instead of the pool's own space. Kernels touching it pay link
+    /// bandwidth instead of HBM bandwidth — slower, but the run survives.
+    pub spilled: bool,
 }
 
 impl Pool {
     pub fn new(space: Space) -> Pool {
         Pool {
             space,
+            capacity: None,
             inner: Mutex::new(PoolInner::default()),
             recorder: Recorder::noop(),
         }
+    }
+
+    /// Bound the pool's footprint (live + cached) to `bytes` (builder
+    /// form). When an allocation would exceed the bound the pool first
+    /// trims cached blocks back to the driver; if the *live* bytes alone
+    /// still do not fit, the block spills to host memory and is marked
+    /// [`Block::spilled`] — graceful degradation instead of an abort.
+    pub fn with_capacity(mut self, bytes: u64) -> Pool {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// The configured footprint bound, if any.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
     }
 
     /// Attach an observability recorder (builder form): allocation traffic
@@ -124,50 +163,118 @@ impl Pool {
     }
 
     /// Allocate `bytes`; returns the handle and the simulated cost paid.
+    ///
+    /// Under a capacity bound ([`Pool::with_capacity`]) a fresh allocation
+    /// that would push the footprint over the limit first trims cached
+    /// blocks (releasing them to the driver, as Umpire's `release()` does);
+    /// if live bytes alone still exceed the bound, the block is handed out
+    /// from *host* memory instead and marked [`Block::spilled`].
     pub fn alloc(&self, bytes: u64) -> (Block, f64) {
         let class = size_class(bytes);
         let mut g = self.inner.lock();
         g.stats.allocs += 1;
-        let (cost, hit) = match g.free.get_mut(&class) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
-                g.stats.pool_hits += 1;
-                g.stats.bytes_cached -= class;
-                (self.space.pooled_alloc_cost(), true)
+
+        // Pool hit: cached -> live, footprint unchanged, never violates the
+        // capacity bound.
+        let hit = matches!(g.free.get(&class), Some(n) if *n > 0);
+        if hit {
+            *g.free.get_mut(&class).unwrap() -= 1;
+            g.stats.pool_hits += 1;
+            g.stats.bytes_cached -= class;
+            let cost = self.space.pooled_alloc_cost();
+            *g.outstanding.entry(class).or_insert(0) += 1;
+            g.stats.alloc_seconds += cost;
+            g.stats.bytes_live += class;
+            g.stats.bytes_high_water = g.stats.bytes_high_water.max(g.stats.footprint());
+            self.publish(&g, cost, true, false);
+            return (
+                Block {
+                    class,
+                    space: self.space,
+                    spilled: false,
+                },
+                cost,
+            );
+        }
+
+        // Fresh block: grows the footprint; enforce the bound.
+        if let Some(cap) = self.capacity {
+            // Step 1 — trim cached blocks back to the driver until the new
+            // block fits (largest classes first: fewest releases).
+            while g.stats.footprint() + class > cap && g.stats.bytes_cached > 0 {
+                let victim = *g
+                    .free
+                    .iter()
+                    .rev()
+                    .find(|(_, n)| **n > 0)
+                    .map(|(c, _)| c)
+                    .expect("bytes_cached > 0 implies a non-empty free list");
+                *g.free.get_mut(&victim).unwrap() -= 1;
+                g.stats.bytes_cached -= victim;
+                g.stats.trims += 1;
+                g.stats.bytes_trimmed += victim;
             }
-            _ => {
-                g.stats.raw_allocs += 1;
-                (self.space.raw_alloc_cost(), false)
+            // Step 2 — still does not fit: spill the block to host.
+            if g.stats.bytes_live + class > cap {
+                let cost = Space::Host.raw_alloc_cost();
+                g.stats.host_spills += 1;
+                g.stats.bytes_spilled += class;
+                *g.outstanding_spilled.entry(class).or_insert(0) += 1;
+                g.stats.alloc_seconds += cost;
+                self.publish(&g, cost, false, true);
+                return (
+                    Block {
+                        class,
+                        space: self.space,
+                        spilled: true,
+                    },
+                    cost,
+                );
             }
-        };
+        }
+
+        g.stats.raw_allocs += 1;
+        let cost = self.space.raw_alloc_cost();
         *g.outstanding.entry(class).or_insert(0) += 1;
         g.stats.alloc_seconds += cost;
         g.stats.bytes_live += class;
         g.stats.bytes_high_water = g.stats.bytes_high_water.max(g.stats.footprint());
-        if self.recorder.is_enabled() {
-            self.recorder.incr("pool.allocs", 1.0);
-            if hit {
-                self.recorder.incr("pool.hits", 1.0);
-            } else {
-                self.recorder.incr("pool.raw_allocs", 1.0);
-            }
-            self.recorder.incr("pool.alloc_seconds", cost);
-            self.recorder.gauge(
-                "pool.hit_rate",
-                g.stats.pool_hits as f64 / g.stats.allocs as f64,
-            );
-            self.recorder
-                .gauge("pool.bytes_live", g.stats.bytes_live as f64);
-            self.recorder
-                .gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
-        }
+        self.publish(&g, cost, false, false);
         (
             Block {
                 class,
                 space: self.space,
+                spilled: false,
             },
             cost,
         )
+    }
+
+    /// Publish the per-allocation metrics (no-op when the recorder is the
+    /// default noop handle).
+    fn publish(&self, g: &PoolInner, cost: f64, hit: bool, spilled: bool) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.incr("pool.allocs", 1.0);
+        if hit {
+            self.recorder.incr("pool.hits", 1.0);
+        } else if spilled {
+            self.recorder.incr("pool.host_spills", 1.0);
+        } else {
+            self.recorder.incr("pool.raw_allocs", 1.0);
+        }
+        self.recorder.incr("pool.alloc_seconds", cost);
+        self.recorder.gauge(
+            "pool.hit_rate",
+            g.stats.pool_hits as f64 / g.stats.allocs as f64,
+        );
+        self.recorder
+            .gauge("pool.bytes_live", g.stats.bytes_live as f64);
+        self.recorder
+            .gauge("pool.bytes_cached", g.stats.bytes_cached as f64);
+        self.recorder
+            .gauge("pool.bytes_spilled", g.stats.bytes_spilled as f64);
     }
 
     /// Return a block to the pool (it stays cached for reuse, and keeps
@@ -183,6 +290,23 @@ impl Pool {
     pub fn free(&self, block: Block) {
         assert_eq!(block.space, self.space, "block returned to wrong pool");
         let mut g = self.inner.lock();
+        if block.spilled {
+            // Host-spilled blocks go straight back to the OS; they never
+            // enter the device free list.
+            match g.outstanding_spilled.get_mut(&block.class) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => panic!(
+                    "double free: no outstanding spilled {}-byte block in the {:?} pool",
+                    block.class, self.space
+                ),
+            }
+            g.stats.bytes_spilled -= block.class;
+            if self.recorder.is_enabled() {
+                self.recorder
+                    .gauge("pool.bytes_spilled", g.stats.bytes_spilled as f64);
+            }
+            return;
+        }
         match g.outstanding.get_mut(&block.class) {
             Some(n) if *n > 0 => *n -= 1,
             _ => panic!(
@@ -323,6 +447,7 @@ mod tests {
         p.free(Block {
             class: 1 << 16,
             space: Space::Host,
+            spilled: false,
         });
     }
 
@@ -357,6 +482,92 @@ mod tests {
         let dev = Pool::new(Space::Device);
         let (b, _) = host.alloc(128);
         dev.free(b);
+    }
+
+    #[test]
+    fn capacity_bound_trims_cached_blocks_first() {
+        // 2 MiB bound: a cached 1 MiB block is released to the driver to
+        // make room for a fresh 2 MiB request — no spill needed.
+        let p = Pool::new(Space::Device).with_capacity(2 << 20);
+        let (a, _) = p.alloc(1 << 20);
+        p.free(a);
+        assert_eq!(p.stats().bytes_cached, 1 << 20);
+        let (b, _) = p.alloc(2 << 20);
+        assert!(!b.spilled, "trimming should have made room");
+        let s = p.stats();
+        assert_eq!(s.trims, 1);
+        assert_eq!(s.bytes_trimmed, 1 << 20);
+        assert_eq!(s.bytes_cached, 0);
+        assert_eq!(s.host_spills, 0);
+        assert!(s.footprint() <= 2 << 20);
+    }
+
+    #[test]
+    fn capacity_overflow_spills_to_host() {
+        // 1 MiB bound with 1 MiB live: the second block cannot fit even
+        // after trimming, so it degrades to host memory instead of
+        // aborting (the §4.10.1 shape).
+        let p = Pool::new(Space::Device).with_capacity(1 << 20);
+        let (a, _) = p.alloc(1 << 20);
+        let (b, _) = p.alloc(1 << 20);
+        assert!(!a.spilled);
+        assert!(b.spilled, "over-capacity block must degrade to host");
+        let s = p.stats();
+        assert_eq!(s.host_spills, 1);
+        assert_eq!(s.bytes_spilled, 1 << 20);
+        assert!(s.footprint() <= 1 << 20, "bound must hold");
+        p.free(b);
+        assert_eq!(p.stats().bytes_spilled, 0);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn spilled_block_double_free_panics() {
+        let p = Pool::new(Space::Device).with_capacity(256);
+        let (a, _) = p.alloc(256);
+        let (b, _) = p.alloc(256);
+        assert!(b.spilled);
+        p.free(b);
+        let _keep = a;
+        p.free(b);
+    }
+
+    #[test]
+    fn footprint_never_exceeds_capacity_under_churn() {
+        let cap = 4 << 20;
+        let p = Pool::new(Space::Device).with_capacity(cap);
+        let mut live = Vec::new();
+        for i in 0..64u64 {
+            let (b, _) = p.alloc(((i % 5) + 1) << 19);
+            live.push(b);
+            assert!(p.stats().footprint() <= cap, "bound violated at step {i}");
+            if i % 3 == 0 {
+                if let Some(b) = live.pop() {
+                    p.free(b);
+                }
+            }
+        }
+        assert!(p.stats().bytes_high_water <= cap);
+        for b in live {
+            p.free(b);
+        }
+    }
+
+    #[test]
+    fn recorder_sees_spill_traffic() {
+        let rec = Recorder::enabled();
+        let p = Pool::new(Space::Device)
+            .with_capacity(1 << 20)
+            .with_recorder(rec.clone());
+        let (_a, _) = p.alloc(1 << 20);
+        let (b, _) = p.alloc(1 << 20);
+        assert!(b.spilled);
+        assert_eq!(rec.counter("pool.host_spills"), 1.0);
+        assert_eq!(
+            rec.gauge_value("pool.bytes_spilled"),
+            Some((1 << 20) as f64)
+        );
     }
 
     #[test]

@@ -26,5 +26,9 @@ fmt:
 experiments:
     ICOE_BENCH_DIR=out cargo run --release --offline -p bench --bin experiments -- all
 
+# The §4.10.1 oversubscription cliff, with UM migrations on the copy engines.
+um-smoke:
+    cargo run --release --offline -p bench --bin experiments -- um-oversubscription --json --timeline --bench-dir out
+
 bench:
     cargo bench --workspace --offline

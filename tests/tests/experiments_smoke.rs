@@ -40,6 +40,7 @@ fn experiment_list_matches_design_doc_index() {
         "opt",
         "kavg",
         "pipeline-overlap",
+        "um-oversubscription",
         "lessons",
         "machines",
     ];
