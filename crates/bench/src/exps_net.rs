@@ -1,0 +1,224 @@
+//! Experiment: collective-overlap — flat vs hierarchical vs overlapped
+//! allreduce over nodes × message size, the network-v2 counterpart of the
+//! `pipeline-overlap` streams experiment.
+//!
+//! Every at-scale result in the paper pays a collective per step: LBANN's
+//! gradient allreduce (Fig 3), SparkPlug's shuffle (Fig 2), HavoqGT's
+//! frontier exchange (Table 2). This microbenchmark isolates that cost on
+//! the sierra fabric preset: each "step" is a fixed compute window (an
+//! LBANN-like backprop slice) followed by a `B`-byte allreduce over
+//! `nodes × 4` ranks, executed three ways —
+//!
+//! 1. **flat blocking**: one ring over all ranks, after compute;
+//! 2. **hier blocking**: NVLink ring intra-node + pipelined IB tree
+//!    inter-node, still blocking;
+//! 3. **hier overlapped**: the hierarchical allreduce issued non-blocking
+//!    mid-compute (gradients become available during backprop), only the
+//!    exposed tail counts.
+//!
+//! A second phase demonstrates the congestion and straggler models, and a
+//! timeline capture puts the `nic<r>.inj` injection tracks on `--timeline`.
+
+use hetsim::obs::{Recorder, SpanKind};
+use hetsim::{machines, AllReduceAlgo, CollectiveKind, Event, Network, StragglerSpec};
+use icoe::report::Table;
+
+/// The compute window each step's allreduce can hide under (seconds): a
+/// mid-sized backprop slice, comparable to the 256 MiB allreduce so the
+/// sweep shows both comm-bound and compute-bound corners.
+const COMPUTE_WINDOW_S: f64 = 10e-3;
+/// Fraction of the window elapsed before the first gradient bucket is
+/// ready (same convention as `mlsim::lbann::CommConfig`).
+const OVERLAP_GATE: f64 = 0.5;
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn fabric(nodes: usize) -> Network {
+    let m = machines::sierra_node();
+    Network::for_machine(&m, nodes * m.node.gpu_count())
+}
+
+/// Step time for one (mode, nodes, bytes) cell.
+fn step_time(net: &Network, algo: AllReduceAlgo, overlap: bool, bytes: f64) -> f64 {
+    if overlap {
+        let gate = OVERLAP_GATE * COMPUTE_WINDOW_S;
+        let ev = net.icollective_with(
+            algo,
+            CollectiveKind::AllReduce,
+            bytes,
+            Some(Event::at(gate)),
+        );
+        COMPUTE_WINDOW_S.max(ev.time)
+    } else {
+        COMPUTE_WINDOW_S + net.collective_with(algo, CollectiveKind::AllReduce, bytes)
+    }
+}
+
+/// collective-overlap: the nodes × message-size sweep, a congestion /
+/// straggler demonstration, and a timeline capture of the NIC tracks.
+pub fn collective_overlap(rec: &mut Recorder) -> Vec<Table> {
+    let sweep = rec.begin("modes-sweep", SpanKind::Phase);
+    let mut t = Table::new(
+        "collective-overlap: step time (ms) by allreduce execution (sierra, 4 ranks/node, 10 ms compute window)",
+        &[
+            "nodes",
+            "message",
+            "flat blocking",
+            "hier blocking",
+            "hier overlapped",
+            "speedup (flat/overlapped)",
+        ],
+    );
+    let mut headline = 0.0; // 64 nodes / 256 MiB — the acceptance cell
+    for nodes in [4usize, 16, 64] {
+        for mib in [1.0f64, 16.0, 256.0] {
+            let bytes = mib * MIB;
+            // Fresh networks per cell: each mode starts from idle NICs.
+            let flat = step_time(&fabric(nodes), AllReduceAlgo::Flat, false, bytes);
+            let hier = step_time(&fabric(nodes), AllReduceAlgo::Hierarchical, false, bytes);
+            let over = step_time(&fabric(nodes), AllReduceAlgo::Hierarchical, true, bytes);
+            let speedup = flat / over;
+            if nodes == 64 && mib == 256.0 {
+                headline = speedup;
+            }
+            t.row(&[
+                nodes.to_string(),
+                format!("{mib:.0} MiB"),
+                format!("{:.3}", flat * 1e3),
+                format!("{:.3}", hier * 1e3),
+                format!("{:.3}", over * 1e3),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    rec.end(sweep);
+    rec.gauge("collective.speedup_64n_256m", headline);
+    rec.gauge(
+        "collective.hier_vs_flat_cost_64n_256m",
+        fabric(64).collective_cost_with(
+            AllReduceAlgo::Flat,
+            CollectiveKind::AllReduce,
+            256.0 * MIB,
+        ) / fabric(64).collective_cost_with(
+            AllReduceAlgo::Hierarchical,
+            CollectiveKind::AllReduce,
+            256.0 * MIB,
+        ),
+    );
+
+    // Congestion: the same 64 MiB flow, issued with 0..3 concurrent
+    // background flows in flight — bandwidth splits, latency does not.
+    let phase = rec.begin("congestion-stragglers", SpanKind::Phase);
+    let mut c = Table::new(
+        "shared-link congestion and deterministic stragglers",
+        &["scenario", "value", "note"],
+    );
+    for k in 0..4usize {
+        let net = fabric(2);
+        for bg in 0..k {
+            net.ip2p(2 + bg, 7, 512.0 * MIB, None); // long-lived background flows
+        }
+        // nic0 is idle, so the probe flow starts at t=0 and its completion
+        // time IS its duration.
+        let probe = net.ip2p(0, 1, 64.0 * MIB, None).time;
+        c.row(&[
+            format!("p2p 64 MiB, {k} concurrent flows"),
+            format!("{:.3} ms", probe * 1e3),
+            if k == 0 {
+                "full injection bandwidth".into()
+            } else {
+                format!("bandwidth term paid {}x", k + 1)
+            },
+        ]);
+    }
+    for sev in [1.0f64, 1.5, 2.0] {
+        let st = StragglerSpec::new(4, sev);
+        let net = fabric(16).with_stragglers(st);
+        let base = fabric(16);
+        let slow = net.collective(CollectiveKind::AllReduce, 64.0 * MIB);
+        let fast = base.collective(CollectiveKind::AllReduce, 64.0 * MIB);
+        c.row(&[
+            format!("allreduce 64 MiB, straggler severity {sev:.1}"),
+            format!("{:.3} ms", slow * 1e3),
+            format!("{:.2}x the uniform fabric", slow / fast),
+        ]);
+    }
+    rec.end(phase);
+
+    // Timeline capture: a small (2-node) fabric under the caller's
+    // recorder — overlapped collectives and a congested p2p pair land on
+    // the nic<r>.inj tracks.
+    let shape = rec.begin("timeline-capture", SpanKind::Phase);
+    let m = machines::sierra_node();
+    let net = Network::for_machine(&m, 2 * m.node.gpu_count()).with_recorder(rec.clone());
+    let a = net.ip2p(0, 4, 8.0 * MIB, None);
+    net.ip2p(1, 5, 8.0 * MIB, None); // contends with the first flow
+    net.icollective_with(
+        AllReduceAlgo::Hierarchical,
+        CollectiveKind::AllReduce,
+        32.0 * MIB,
+        Some(a),
+    );
+    net.icollective_with(
+        AllReduceAlgo::Flat,
+        CollectiveKind::AllReduce,
+        32.0 * MIB,
+        None,
+    );
+    rec.end(shape);
+
+    vec![t, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapped_hier_clears_the_acceptance_bar_at_64_nodes() {
+        let mut rec = Recorder::enabled();
+        let tables = collective_overlap(&mut rec);
+        assert_eq!(tables.len(), 2);
+        let speedup = rec.gauge_value("collective.speedup_64n_256m").unwrap();
+        assert!(speedup >= 1.5, "64n/256MiB overlapped speedup {speedup}");
+        // The hierarchy alone (no overlap) already beats flat on cost.
+        let hier = rec
+            .gauge_value("collective.hier_vs_flat_cost_64n_256m")
+            .unwrap();
+        assert!(hier > 1.5, "hier cost advantage {hier}");
+    }
+
+    #[test]
+    fn timeline_capture_emits_nic_injection_tracks() {
+        let mut rec = Recorder::enabled();
+        collective_overlap(&mut rec);
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.track == "nic0.inj"));
+        assert!(spans.iter().any(|s| s.track == "nic7.inj"));
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.track.starts_with("nic") && s.name == "allreduce.hier"),
+            "hierarchical collective span missing"
+        );
+        // And the net.* counters made it into the metrics registry.
+        assert!(rec.counter("net.ops") > 0.0);
+        assert!(rec.counter("net.allreduce") >= 2.0);
+    }
+
+    #[test]
+    fn sweep_table_speedups_grow_with_scale_at_large_messages() {
+        let tables = collective_overlap(&mut Recorder::noop());
+        let sweep = &tables[0];
+        let speedup_of = |nodes: &str| -> f64 {
+            sweep
+                .rows
+                .iter()
+                .find(|r| r[0] == nodes && r[1] == "256 MiB")
+                .map(|r| r[5].trim_end_matches('x').parse().unwrap())
+                .unwrap()
+        };
+        assert!(speedup_of("64") >= speedup_of("4") * 0.9);
+        assert!(speedup_of("64") >= 1.5);
+    }
+}

@@ -12,6 +12,7 @@ pub mod exps_apps;
 pub mod exps_compute;
 pub mod exps_core;
 pub mod exps_mem;
+pub mod exps_net;
 pub mod exps_opt;
 pub mod exps_pipeline;
 
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "kavg",
     "pipeline-overlap",
     "um-oversubscription",
+    "collective-overlap",
     "lessons",
     "machines",
 ];
@@ -111,6 +113,11 @@ pub fn registry() -> Registry {
             "um-oversubscription",
             "§4.10.1 (UM oversubscription thrash cliff)",
             exps_mem::um_oversubscription
+        ),
+        (
+            "collective-overlap",
+            "§4.5/Fig 3 (collectives: flat vs hierarchical vs overlapped)",
+            exps_net::collective_overlap
         ),
         (
             "lessons",

@@ -135,6 +135,43 @@ fn um_oversubscription_timeline_shows_um_migrations_on_copy_engines() {
 }
 
 #[test]
+fn collective_overlap_timeline_shows_nic_injection_tracks() {
+    // ISSUE 4 acceptance: non-blocking collectives and congested p2p
+    // flows land on per-rank `nic<r>.inj` tracks, and the headline
+    // overlapped-vs-flat speedup gauge rides into the summary.
+    let dir = std::env::temp_dir().join(format!("icoe-bench-net-{}", std::process::id()));
+    let out = bin()
+        .args(["collective-overlap", "--json", "--timeline", "--bench-dir"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "collective-overlap exited nonzero: {out:?}"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    for track in ["nic0.inj", "nic1.inj"] {
+        assert!(
+            stderr.contains(track),
+            "timeline missing track {track}:\n{stderr}"
+        );
+    }
+    let text = std::fs::read_to_string(dir.join("BENCH_collective-overlap.json"))
+        .expect("summary file written");
+    let doc = json::parse(&text).expect("summary parses");
+    let gauges = doc.get("gauges").expect("gauges");
+    let speedup = gauges
+        .get("collective.speedup_64n_256m")
+        .and_then(json::Value::as_f64)
+        .expect("speedup gauge");
+    assert!(
+        speedup >= 1.5,
+        "overlapped hier allreduce only {speedup}x over flat blocking"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn list_enumerates_the_registry_with_artifacts() {
     let out = bin().arg("list").output().expect("binary runs");
     assert!(out.status.success());

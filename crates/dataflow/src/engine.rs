@@ -39,6 +39,14 @@ impl<T> Dataset<T> {
         }
     }
 
+    /// Attach an observability recorder to the dataset's network, so the
+    /// shuffles/aggregates of a run land on `nic<r>.inj` timeline tracks and
+    /// in the `net.*` counters (builder form).
+    pub fn with_recorder(mut self, recorder: hetsim::Recorder) -> Dataset<T> {
+        self.net.set_recorder(recorder);
+        self
+    }
+
     pub fn len(&self) -> usize {
         self.partitions.iter().map(|p| p.len()).sum()
     }

@@ -13,7 +13,10 @@
 //! once against the paper's single-node 2011 rows and held fixed for every
 //! other machine.
 
-use hetsim::Machine;
+use hetsim::{CollectiveKind, Event, Machine, Network};
+
+use crate::bfs::BfsResult;
+use crate::rmat::CsrGraph;
 
 /// Fraction of DRAM stream bandwidth achieved by random edge access.
 pub const DRAM_RANDOM_EFF: f64 = 0.012;
@@ -89,6 +92,101 @@ pub fn machine_gteps(machine: &Machine, scale: u32) -> Table2Row {
     }
 }
 
+/// Cyclic (round-robin) vertex partition over `ranks` owners — HavoqGT's
+/// delegate-free base layout. Vertex `v` lives on rank `v % ranks` at local
+/// index `v / ranks`; [`VertexPartition::to_global`] inverts exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexPartition {
+    pub ranks: usize,
+}
+
+impl VertexPartition {
+    pub fn new(ranks: usize) -> VertexPartition {
+        VertexPartition {
+            ranks: ranks.max(1),
+        }
+    }
+
+    /// Which rank owns global vertex `v`.
+    pub fn owner(&self, v: usize) -> usize {
+        v % self.ranks
+    }
+
+    /// Owner-local index of global vertex `v`.
+    pub fn to_local(&self, v: usize) -> usize {
+        v / self.ranks
+    }
+
+    /// Global id of `(rank, local)` — inverse of `owner` + `to_local`.
+    pub fn to_global(&self, rank: usize, local: usize) -> usize {
+        local * self.ranks + rank
+    }
+}
+
+/// A distributed BFS run: the (real) traversal result plus the modelled
+/// cost of its per-level frontier exchanges.
+#[derive(Debug, Clone)]
+pub struct DistBfs {
+    pub result: BfsResult,
+    /// Cross-rank parent updates, in wire bytes ([`NET_BYTES_PER_EDGE`] each).
+    pub exchanged_bytes: f64,
+    /// Completion time of the last frontier exchange (levels chain on the
+    /// NIC tracks via events, so this is the network-side critical path).
+    pub comm_time: f64,
+}
+
+/// Level-synchronous distributed BFS: the traversal really runs (the parent
+/// tree is exact and [`crate::bfs::validate_tree`]-able), while every
+/// level's frontier exchange is issued as a **non-blocking all-to-all** on
+/// `net`, chained level-to-level through [`Event`]s — the pattern HavoqGT
+/// uses to keep the fabric busy while the next frontier is being scanned.
+pub fn distributed_bfs(g: &CsrGraph, root: usize, net: &Network) -> DistBfs {
+    let part = VertexPartition::new(net.ranks);
+    let mut parent: Vec<Option<usize>> = vec![None; g.n];
+    parent[root] = Some(root);
+    let mut frontier = vec![root];
+    let mut levels = 0usize;
+    let mut edges_examined = 0u64;
+    let mut reached = 1usize;
+    let mut exchanged_bytes = 0.0;
+    let mut gate: Option<Event> = None;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        let mut remote_updates = 0u64;
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                edges_examined += 1;
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    reached += 1;
+                    if part.owner(v) != part.owner(u) {
+                        remote_updates += 1;
+                    }
+                    next.push(v);
+                }
+            }
+        }
+        // Exchange this level's cross-rank updates; the next level's
+        // exchange cannot start before this one completes.
+        let wire = remote_updates as f64 * NET_BYTES_PER_EDGE;
+        let bytes_per_rank = wire / net.ranks as f64;
+        gate = Some(net.icollective(CollectiveKind::AllToAll, bytes_per_rank, gate));
+        exchanged_bytes += wire;
+        levels += 1;
+        frontier = next;
+    }
+    DistBfs {
+        result: BfsResult {
+            parent,
+            levels,
+            edges_examined,
+            reached,
+        },
+        exchanged_bytes,
+        comm_time: gate.map(|e| e.time).unwrap_or(0.0),
+    }
+}
+
 /// Regenerate all six Table 2 rows (paper scales retained).
 pub fn table2() -> Vec<Table2Row> {
     use hetsim::machines::*;
@@ -161,6 +259,76 @@ mod tests {
         // Ballpark the paper's scale column.
         assert!((s_kraken as i32 - 34).abs() <= 2, "{s_kraken}");
         assert!((s_final as i32 - 42).abs() <= 5, "{s_final}");
+    }
+
+    fn fabric(ranks: usize) -> Network {
+        Network::new(
+            hetsim::spec::NetworkSpec {
+                injection_bw_gbs: 25.0,
+                latency_us: 1.5,
+                gpudirect: false,
+            },
+            ranks,
+        )
+    }
+
+    #[test]
+    fn vertex_partition_round_trips() {
+        for ranks in [1usize, 2, 3, 7, 64] {
+            let p = VertexPartition::new(ranks);
+            for v in 0..1000 {
+                let (r, l) = (p.owner(v), p.to_local(v));
+                assert!(r < ranks);
+                assert_eq!(p.to_global(r, l), v, "ranks={ranks} v={v}");
+            }
+            // Locals are dense per rank: the first `ranks` vertices map to
+            // local 0 on distinct owners.
+            for v in 0..ranks {
+                assert_eq!(p.to_local(v), 0);
+            }
+        }
+        // Degenerate input is clamped, not a divide-by-zero.
+        assert_eq!(VertexPartition::new(0).ranks, 1);
+    }
+
+    #[test]
+    fn distributed_bfs_matches_shared_memory_traversal() {
+        use crate::bfs::{bfs_top_down, validate_tree};
+        use crate::rmat::{CsrGraph, RmatParams};
+        let g = CsrGraph::rmat(10, RmatParams::default(), 42);
+        let root = g.non_isolated_vertex(7);
+        let net = fabric(16);
+        let d = distributed_bfs(&g, root, &net);
+        let s = bfs_top_down(&g, root);
+        assert_eq!(
+            d.result.parent, s.parent,
+            "partitioning must not change the tree"
+        );
+        assert_eq!(d.result.levels, s.levels);
+        assert_eq!(d.result.reached, s.reached);
+        assert!(validate_tree(&g, root, &d.result));
+        // One chained exchange per level, riding the NIC tracks.
+        assert_eq!(net.counters().collectives as usize, d.result.levels);
+        assert!(d.comm_time > 0.0);
+        assert!((net.now() - d.comm_time).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_ranks_cut_more_edges() {
+        use crate::rmat::{CsrGraph, RmatParams};
+        let g = CsrGraph::rmat(10, RmatParams::default(), 42);
+        let root = g.non_isolated_vertex(7);
+        let few = distributed_bfs(&g, root, &fabric(2));
+        let many = distributed_bfs(&g, root, &fabric(64));
+        assert!(
+            many.exchanged_bytes >= few.exchanged_bytes,
+            "{} vs {}",
+            many.exchanged_bytes,
+            few.exchanged_bytes
+        );
+        // Single "rank": everything is local, nothing crosses the wire.
+        let solo = distributed_bfs(&g, root, &fabric(1));
+        assert_eq!(solo.exchanged_bytes, 0.0);
     }
 
     #[test]

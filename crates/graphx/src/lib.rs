@@ -19,5 +19,5 @@ pub mod rmat;
 
 pub use bfs::{bfs_direction_optimising, bfs_top_down, validate_tree, BfsResult};
 pub use cc::{component_count, connected_components, largest_component};
-pub use dist::{machine_gteps, max_scale, Table2Row};
+pub use dist::{distributed_bfs, machine_gteps, max_scale, DistBfs, Table2Row, VertexPartition};
 pub use rmat::{CsrGraph, RmatParams};

@@ -53,10 +53,12 @@ pub mod unified;
 
 pub use kernel::{CostTerms, KernelProfile, LaunchClass, Precision};
 pub use mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
-pub use network::{CollectiveKind, NetCounters, Network};
+pub use network::{AllReduceAlgo, CollectiveKind, NetCounters, Network, StragglerSpec};
 pub use obs::{Recorder, SpanKind, SpanRecord};
 pub use sim::{Engine, Event, Loc, Sim, StreamId, Target, TransferKind, PHANTOM_NVME_BW_GBS};
-pub use spec::{CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NodeConfig};
+pub use spec::{
+    CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NetworkSpec, NodeConfig, TopologySpec,
+};
 pub use trace::Span;
 #[allow(deprecated)]
 pub use trace::TracedSim;

@@ -288,6 +288,19 @@ impl Recorder {
         self.with(|s| *s = ObsState::new());
     }
 
+    /// Drop every counter and gauge whose name starts with `prefix`.
+    ///
+    /// Subsystems that own a metric namespace (e.g. `net.*` for
+    /// [`crate::Network`]) call this from their own `reset()` so a reused
+    /// recorder does not leak stale values into the next measurement.
+    /// Spans are untouched — they are a log, not a live registry.
+    pub fn remove_prefixed(&self, prefix: &str) {
+        self.with(|s| {
+            s.counters.retain(|k, _| !k.starts_with(prefix));
+            s.gauges.retain(|k, _| !k.starts_with(prefix));
+        });
+    }
+
     // ------------------------------------------------------------- sinks
 
     /// Busy seconds per kernel-span name, descending (the profiler's hot
@@ -510,6 +523,26 @@ mod tests {
         r.reset();
         assert_eq!(r.counter("flops"), 0.0);
         assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn remove_prefixed_scrubs_one_namespace_only() {
+        let r = Recorder::enabled();
+        r.incr("net.ops", 3.0);
+        r.incr("net.bytes", 1e6);
+        r.gauge("net.allreduce.bw_gbs", 12.0);
+        r.incr("flops", 7.0);
+        r.gauge("mem.gpu0.bytes", 42.0);
+        let span = r.begin("keepme", SpanKind::Phase);
+        r.end(span);
+        r.remove_prefixed("net.");
+        assert_eq!(r.counter("net.ops"), 0.0);
+        assert_eq!(r.counter("net.bytes"), 0.0);
+        assert_eq!(r.gauge_value("net.allreduce.bw_gbs"), None);
+        // Other namespaces and the span log survive.
+        assert_eq!(r.counter("flops"), 7.0);
+        assert_eq!(r.gauge_value("mem.gpu0.bytes"), Some(42.0));
+        assert_eq!(r.spans().len(), 1);
     }
 
     #[test]

@@ -143,6 +143,34 @@ pub struct NetworkSpec {
     pub gpudirect: bool,
 }
 
+/// Intra-node topology as the network layer sees it: how many ranks share a
+/// node, and what link they reach each other over.
+///
+/// The hierarchical collectives in [`crate::Network`] use this to split an
+/// operation into an intra-node phase (NVLink ring among the ranks of one
+/// node) and an inter-node phase (fabric tree among node leaders). Flat
+/// collectives ignore it entirely.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TopologySpec {
+    /// Ranks (GPUs/processes) per node; 1 means "every rank is its own
+    /// node" and the hierarchy degenerates to the flat algorithm's shape.
+    pub ranks_per_node: usize,
+    /// Link connecting ranks inside one node (NVLink peer link, or the
+    /// host memory bus on CPU-only machines).
+    pub intra_link: LinkSpec,
+}
+
+impl TopologySpec {
+    /// A degenerate topology: one rank per node, intra-node traffic rides
+    /// the fabric-equivalent link handed in.
+    pub fn flat(intra_link: LinkSpec) -> TopologySpec {
+        TopologySpec {
+            ranks_per_node: 1,
+            intra_link,
+        }
+    }
+}
+
 /// A full machine: many identical nodes plus a fabric.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Machine {
@@ -168,6 +196,26 @@ impl Machine {
             bw_gbs: 12.0,
             latency_us: 10.0,
         })
+    }
+
+    /// Intra-node topology derived from the node description: one rank per
+    /// GPU (one per node on CPU-only machines), connected by the peer link
+    /// if present, else the host<->GPU link, else host memory.
+    pub fn topology(&self) -> TopologySpec {
+        let intra = self
+            .node
+            .peer_link
+            .clone()
+            .or_else(|| self.node.host_gpu_link.clone())
+            .unwrap_or(LinkSpec {
+                kind: LinkKind::Local,
+                bw_gbs: self.node.cpu.mem_bw_gbs,
+                latency_us: 1.0,
+            });
+        TopologySpec {
+            ranks_per_node: self.node.gpu_count().max(1),
+            intra_link: intra,
+        }
     }
 }
 
@@ -199,6 +247,22 @@ mod tests {
         let big = l.effective_bw(64.0 * 1024.0 * 1024.0);
         assert!(small < big);
         assert!(big <= 50.0 * 1e9);
+    }
+
+    #[test]
+    fn machine_topology_prefers_peer_link_and_counts_gpus() {
+        let m = crate::machines::sierra_node();
+        let topo = m.topology();
+        assert_eq!(topo.ranks_per_node, m.node.gpu_count());
+        assert_eq!(
+            topo.intra_link,
+            m.node.peer_link.clone().expect("sierra has NVLink")
+        );
+        // CPU-only machines degenerate to one rank per node over host memory.
+        let cpu_only = crate::machines::cori2();
+        let t2 = cpu_only.topology();
+        assert_eq!(t2.ranks_per_node, 1);
+        assert!(t2.intra_link.bw_gbs > 0.0);
     }
 
     #[test]

@@ -30,5 +30,10 @@ experiments:
 um-smoke:
     cargo run --release --offline -p bench --bin experiments -- um-oversubscription --json --timeline --bench-dir out
 
+# The collectives sweep: flat vs hierarchical vs overlapped allreduce, with
+# per-rank NIC injection tracks on the timeline.
+net-smoke:
+    cargo run --release --offline -p bench --bin experiments -- collective-overlap --json --timeline --bench-dir out
+
 bench:
     cargo bench --workspace --offline

@@ -41,6 +41,7 @@ fn experiment_list_matches_design_doc_index() {
         "kavg",
         "pipeline-overlap",
         "um-oversubscription",
+        "collective-overlap",
         "lessons",
         "machines",
     ];

@@ -1,0 +1,61 @@
+//! Golden-determinism conformance suite (ISSUE 4 satellite): every
+//! registered experiment, run twice under a fresh enabled recorder, must
+//! produce byte-identical structured JSON documents. This pins down the
+//! whole stack — table cell formatting, counter/gauge names and values,
+//! span bookkeeping — so a seed change or an accidental wall-clock leak
+//! into a table shows up as a one-line diff in CI rather than flaky
+//! artifact files.
+//!
+//! Wall time is the one legitimately nondeterministic input, so the
+//! comparison fixes `elapsed_s = 0.0`; experiments that *measure* host
+//! kernels report those numbers on stderr, never in tables (see
+//! `bench::exps_core::table2` and `bench::exps_apps::cardioid`).
+
+use hetsim::obs::Recorder;
+use icoe::exp::document_json;
+
+/// One experiment's canonical document with wall time zeroed.
+fn doc(id: &str) -> String {
+    let mut rec = Recorder::enabled();
+    let report =
+        bench::run_with_recorder(id, &mut rec).unwrap_or_else(|| panic!("{id} not registered"));
+    document_json(id, &report, &rec, 0.0)
+}
+
+#[test]
+fn every_experiment_document_is_byte_identical_across_runs() {
+    for id in bench::ALL {
+        let a = doc(id);
+        let b = doc(id);
+        if a != b {
+            // Locate the first divergence so the failure is actionable.
+            let at = a
+                .bytes()
+                .zip(b.bytes())
+                .position(|(x, y)| x != y)
+                .unwrap_or(a.len().min(b.len()));
+            let lo = at.saturating_sub(60);
+            panic!(
+                "{id}: documents diverge at byte {at}:\n run 1: ...{}\n run 2: ...{}",
+                &a[lo..(at + 60).min(a.len())],
+                &b[lo..(at + 60).min(b.len())]
+            );
+        }
+    }
+}
+
+#[test]
+fn documents_carry_tables_and_metrics_for_every_experiment() {
+    for id in bench::ALL {
+        let d = doc(id);
+        assert!(
+            d.contains("\"schema\":\"icoe-experiment-v1\""),
+            "{id} document missing schema tag"
+        );
+        assert!(d.contains("\"tables\":["), "{id} document has no tables");
+        assert!(
+            d.contains("\"exp.activities\"") || d.contains("\"gauges\":{"),
+            "{id} document has no metrics section"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based invariants for the event-driven `hetsim::Network` (v2):
+//! non-blocking calls agree with their blocking forms, the hierarchical
+//! allreduce never loses to the flat ring on NVLink-style fabrics at large
+//! messages, congestion is monotone in the number of concurrent flows, and
+//! a severity-1.0 straggler spec is bit-for-bit the uniform fabric
+//! (ISSUE 4 satellite).
+
+use hetsim::{
+    AllReduceAlgo, CollectiveKind, LinkKind, LinkSpec, Network, NetworkSpec, StragglerSpec,
+    TopologySpec,
+};
+use proptest::prelude::*;
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn spec(bw_gbs: f64, latency_us: f64) -> NetworkSpec {
+    NetworkSpec {
+        injection_bw_gbs: bw_gbs,
+        latency_us,
+        gpudirect: true,
+    }
+}
+
+fn intra(bw_gbs: f64, latency_us: f64) -> LinkSpec {
+    LinkSpec {
+        kind: LinkKind::NvLink2,
+        bw_gbs,
+        latency_us,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A non-blocking collective awaited immediately on a fresh (idle)
+    /// network completes in exactly the blocking collective's time, for
+    /// every kind and both algorithms. The event-driven path is a strict
+    /// generalisation, not a different cost model.
+    #[test]
+    fn iwait_equals_blocking_on_an_idle_network(
+        bw in 1.0f64..100.0,
+        lat in 0.5f64..10.0,
+        ranks in 2usize..256,
+        mib in 1u64..512,
+        algo_pick in 0u8..2,
+    ) {
+        let algo = if algo_pick == 0 {
+            AllReduceAlgo::Flat
+        } else {
+            AllReduceAlgo::Hierarchical
+        };
+        let bytes = mib as f64 * MIB;
+        for &kind in CollectiveKind::ALL {
+            // Fresh networks per kind: icollective advances the NIC fronts.
+            let blocking = Network::new(spec(bw, lat), ranks)
+                .with_topology(TopologySpec {
+                    ranks_per_node: 4,
+                    intra_link: intra(bw * 3.0, lat),
+                })
+                .with_algo(algo);
+            let nonblocking = blocking.clone();
+            let t_block = blocking.collective(kind, bytes);
+            let ev = nonblocking.icollective(kind, bytes, None);
+            prop_assert_eq!(
+                ev.time, t_block,
+                "{kind:?}/{algo:?}: iwait {} != blocking {}", ev.time, t_block
+            );
+        }
+    }
+
+    /// On an NVLink-class topology (intra-node link meaningfully faster
+    /// than the fabric), the hierarchical allreduce never loses to the
+    /// flat ring once there are >= 2 nodes and the message is large enough
+    /// for the bandwidth term to dominate the extra latency of two phases.
+    #[test]
+    fn hierarchical_never_loses_to_flat_at_scale(
+        fabric_bw in 5.0f64..50.0,
+        intra_factor in 1.5f64..4.0,
+        fabric_lat in 0.5f64..5.0,
+        intra_lat in 0.5f64..15.0,
+        ranks_per_node in 1usize..=8,
+        nodes in 2usize..=64,
+        mib in 64u64..=512,
+    ) {
+        let ranks = nodes * ranks_per_node;
+        let bytes = mib as f64 * MIB;
+        let topo = TopologySpec {
+            ranks_per_node,
+            intra_link: intra(fabric_bw * intra_factor, intra_lat),
+        };
+        let net = Network::new(spec(fabric_bw, fabric_lat), ranks).with_topology(topo);
+        let flat = net.collective_cost_with(
+            AllReduceAlgo::Flat, CollectiveKind::AllReduce, bytes);
+        let hier = net.collective_cost_with(
+            AllReduceAlgo::Hierarchical, CollectiveKind::AllReduce, bytes);
+        prop_assert!(
+            hier <= flat,
+            "hier {hier} > flat {flat} at {nodes} nodes x {ranks_per_node} ranks, {mib} MiB"
+        );
+    }
+
+    /// Shared-link congestion is monotone: issuing the same probe flow
+    /// with more concurrent background flows in flight can never make it
+    /// finish sooner, and with zero background flows it pays exactly the
+    /// closed-form p2p cost.
+    #[test]
+    fn congestion_is_monotone_in_concurrent_flows(
+        bw in 1.0f64..100.0,
+        lat in 0.5f64..10.0,
+        mib in 1u64..256,
+        kmax in 1usize..6,
+    ) {
+        let bytes = mib as f64 * MIB;
+        let mut last = 0.0f64;
+        for k in 0..=kmax {
+            let net = Network::new(spec(bw, lat), 16);
+            for bg in 0..k {
+                // Long-lived background flows from distinct source NICs.
+                net.ip2p(2 + bg, 15, 1024.0 * MIB, None);
+            }
+            let probe = net.ip2p(0, 1, bytes, None).time;
+            if k == 0 {
+                prop_assert_eq!(probe, net.p2p(bytes), "idle probe != closed-form p2p");
+            }
+            prop_assert!(
+                probe >= last,
+                "{k} background flows made the probe faster: {probe} < {last}"
+            );
+            last = probe;
+        }
+    }
+
+    /// A straggler spec with severity 1.0 is the uniform fabric,
+    /// bit-for-bit: every per-rank factor is exactly 1.0, so collectives
+    /// and p2p flows reproduce the baseline to the last ulp regardless of
+    /// seed.
+    #[test]
+    fn straggler_severity_one_is_bitwise_identical_to_baseline(
+        bw in 1.0f64..100.0,
+        lat in 0.5f64..10.0,
+        ranks in 2usize..128,
+        mib in 1u64..256,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bytes = mib as f64 * MIB;
+        let base = Network::new(spec(bw, lat), ranks);
+        let slow = Network::new(spec(bw, lat), ranks)
+            .with_stragglers(StragglerSpec::new(seed, 1.0));
+        for &kind in CollectiveKind::ALL {
+            prop_assert_eq!(
+                slow.collective(kind, bytes),
+                base.collective(kind, bytes),
+                "{kind:?} perturbed by a severity-1.0 straggler"
+            );
+        }
+        prop_assert_eq!(
+            slow.ip2p(0, 1, bytes, None).time,
+            base.ip2p(0, 1, bytes, None).time
+        );
+        // Severity > 1.0 with the same seed does perturb at least one rank.
+        let really_slow = Network::new(spec(bw, lat), ranks)
+            .with_stragglers(StragglerSpec::new(seed, 2.0));
+        prop_assert!(
+            really_slow.collective(CollectiveKind::AllReduce, bytes)
+                >= base.collective(CollectiveKind::AllReduce, bytes)
+        );
+    }
+}
