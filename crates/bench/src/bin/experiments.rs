@@ -10,19 +10,33 @@
 //!   --timeline           print the ASCII span timeline to stderr
 //!   --bench-dir <dir>    also write BENCH_<id>.json into <dir>
 //!                        (or set ICOE_BENCH_DIR)
+//!   --jobs <n>           run `all` on an n-worker work-stealing pool
+//!                        (or set ICOE_JOBS; default: available
+//!                        parallelism). Output is emitted in paper order
+//!                        and is byte-identical to --jobs 1.
 //! ```
 //!
 //! Every run happens under a root span `exp:<id>` on an enabled
 //! [`hetsim::obs::Recorder`]; `--json` emits the
 //! `icoe-experiment-v1` document (tables + counters + gauges).
+//!
+//! `all` fans the independent experiments out over `icoe::par`'s
+//! work-stealing scoped-thread pool: each experiment runs on its own
+//! recorder, its stdout/stderr are buffered, and results are emitted
+//! strictly in registration (= paper) order — so parallelism is purely a
+//! wall-clock optimisation, never an output change. A panicking
+//! experiment is reported with its id on stderr (exit 1) while every
+//! other experiment still completes.
 
 use hetsim::obs::Recorder;
+use icoe::par::{ExpOutput, ExpRun};
 use icoe::Registry;
 
 struct Opts {
     json: bool,
     timeline: bool,
     bench_dir: Option<std::path::PathBuf>,
+    jobs: usize,
 }
 
 fn main() {
@@ -31,6 +45,7 @@ fn main() {
         json: false,
         timeline: false,
         bench_dir: std::env::var_os("ICOE_BENCH_DIR").map(Into::into),
+        jobs: icoe::par::default_jobs(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,8 +59,17 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with('-') => {
-                eprintln!("unknown flag '{other}'; flags: --json --timeline --bench-dir <dir>");
+                eprintln!(
+                    "unknown flag '{other}'; flags: --json --timeline --bench-dir <dir> --jobs <n>"
+                );
                 std::process::exit(2);
             }
             other => ids.push(other.to_string()),
@@ -60,16 +84,11 @@ fn main() {
             for e in reg.iter() {
                 println!("  {:width$}  {}", e.id(), e.paper_artifact());
             }
-            println!("\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>]");
+            println!(
+                "\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>] [--jobs <n>]"
+            );
         }
-        "all" => {
-            for id in reg.ids() {
-                if !opts.json {
-                    println!("\n################ {id} ################\n");
-                }
-                run_one(&reg, id, &opts);
-            }
-        }
+        "all" => run_all(&reg, &opts),
         id => {
             if reg.get(id).is_some() {
                 run_one(&reg, id, &opts);
@@ -81,21 +100,73 @@ fn main() {
     }
 }
 
+/// Run every experiment — serially for `--jobs 1`, on the work-stealing
+/// pool otherwise. Either way the emission order (and every byte of it)
+/// is the registry's paper order.
+fn run_all(reg: &Registry, opts: &Opts) {
+    if opts.jobs <= 1 {
+        for id in reg.ids() {
+            if !opts.json {
+                println!("\n################ {id} ################\n");
+            }
+            run_one(reg, id, opts);
+        }
+        return;
+    }
+    let runs: Vec<ExpRun> = reg.run_all_parallel(opts.jobs);
+    let mut failed: Vec<&str> = Vec::new();
+    for run in &runs {
+        match &run.outcome {
+            Ok(out) => {
+                if !opts.json {
+                    println!("\n################ {} ################\n", run.id);
+                }
+                emit(run.id, out, opts);
+            }
+            Err(msg) => {
+                failed.push(run.id);
+                eprintln!("experiment '{}' failed: {msg}", run.id);
+            }
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "{} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_one(reg: &Registry, id: &str, opts: &Opts) {
     let start = std::time::Instant::now();
     let mut rec = Recorder::enabled();
     let report = reg.run(id, &mut rec).expect("id validated by caller");
-    let elapsed = start.elapsed().as_secs_f64();
+    let out = ExpOutput {
+        report,
+        recorder: rec,
+        elapsed_s: start.elapsed().as_secs_f64(),
+    };
+    emit(id, &out, opts);
+}
+
+/// The single sink both the serial and the parallel path go through:
+/// document/text to stdout, timeline + summaries as side channels.
+fn emit(id: &str, out: &ExpOutput, opts: &Opts) {
     if opts.json {
-        println!("{}", icoe::exp::document_json(id, &report, &rec, elapsed));
+        println!(
+            "{}",
+            icoe::exp::document_json(id, &out.report, &out.recorder, out.elapsed_s)
+        );
     } else {
-        print!("{}", report.render_text());
+        print!("{}", out.report.render_text());
     }
     if opts.timeline {
-        eprint!("{}", rec.render_timeline(100));
+        eprint!("{}", out.recorder.render_timeline(100));
     }
     if let Some(dir) = &opts.bench_dir {
-        match rec.write_bench_summary(id, dir) {
+        match out.recorder.write_bench_summary(id, dir) {
             Ok(path) => eprintln!("[wrote {}]", path.display()),
             Err(e) => {
                 eprintln!("failed to write bench summary for {id}: {e}");
@@ -104,6 +175,6 @@ fn run_one(reg: &Registry, id: &str, opts: &Opts) {
         }
     }
     if !opts.json {
-        eprintln!("[{id} regenerated in {elapsed:.2} s]");
+        eprintln!("[{id} regenerated in {:.2} s]", out.elapsed_s);
     }
 }

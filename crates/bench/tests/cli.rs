@@ -190,3 +190,73 @@ fn unknown_id_exits_nonzero() {
     let out = bin().arg("nope").output().expect("binary runs");
     assert!(!out.status.success());
 }
+
+/// Zero out every `"elapsed_s":<number>` field — wall time is the one
+/// legitimately nondeterministic byte sequence in a document stream.
+fn normalize_elapsed(s: &str) -> String {
+    const KEY: &str = "\"elapsed_s\":";
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find(KEY) {
+        let tail = &rest[at + KEY.len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(tail.len());
+        out.push_str(&rest[..at]);
+        out.push_str(KEY);
+        out.push('0');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// ISSUE 5 acceptance: `all --json --jobs 4` emits exactly one document
+/// per registered experiment, in paper order, and — modulo wall time —
+/// byte-identical to the serial `--jobs 1` stream.
+#[test]
+fn all_json_jobs4_is_byte_identical_to_jobs1_in_paper_order() {
+    let run = |jobs: &str| {
+        let out = bin()
+            .args(["all", "--json", "--jobs", jobs])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--jobs {jobs} exited nonzero: {out:?}"
+        );
+        String::from_utf8(out.stdout).expect("utf8")
+    };
+    let par = run("4");
+    let ser = run("1");
+
+    // One document per experiment, in registration (= paper) order.
+    let docs: Vec<&str> = par.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(docs.len(), bench::ALL.len(), "one JSON document per id");
+    for (line, &id) in docs.iter().zip(bench::ALL) {
+        let doc = json::parse(line).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+        assert_eq!(
+            doc.get("experiment").and_then(json::Value::as_str),
+            Some(id),
+            "parallel stream out of paper order"
+        );
+    }
+
+    let (par, ser) = (normalize_elapsed(&par), normalize_elapsed(&ser));
+    assert_eq!(
+        par, ser,
+        "--jobs 4 output differs from --jobs 1 beyond wall time"
+    );
+}
+
+#[test]
+fn bad_jobs_argument_exits_with_usage_error() {
+    for args in [&["all", "--jobs", "0"][..], &["all", "--jobs"][..]] {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--jobs"),
+            "{args:?} should explain the flag"
+        );
+    }
+}

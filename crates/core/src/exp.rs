@@ -182,7 +182,7 @@ pub fn document_json(id: &str, report: &Report, rec: &Recorder, elapsed_s: f64) 
         }
         out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
     }
-    out.push_str(&format!("}},\"span_count\":{}}}", rec.spans().len()));
+    out.push_str(&format!("}},\"span_count\":{}}}", rec.span_count()));
     out
 }
 

@@ -27,11 +27,13 @@
 
 pub mod exp;
 pub mod lessons;
+pub mod par;
 pub mod registry;
 pub mod report;
 
 pub use exp::{Experiment, FnExperiment, Registry, Report};
 pub use lessons::{lessons, Evidence, Lesson};
+pub use par::{default_jobs, ExpOutput, ExpRun};
 pub use registry::{activities, Activity, Approach};
 pub use report::Table;
 

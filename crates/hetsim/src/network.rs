@@ -348,7 +348,19 @@ impl Network {
             self.recorder.incr("net.ops", msgs as f64);
             self.recorder.incr("net.bytes", volume);
             self.recorder.incr("net.seconds", seconds);
-            self.recorder.incr(&format!("net.{kind}"), msgs as f64);
+            // Static metric names for every known kind — no per-op
+            // format allocation on the injection hot path.
+            let metric = match kind {
+                "p2p" => "net.p2p",
+                "allreduce" => "net.allreduce",
+                "alltoall" => "net.alltoall",
+                "reduce" => "net.reduce",
+                "treereduce" => "net.treereduce",
+                "broadcast" => "net.broadcast",
+                "gather" => "net.gather",
+                other => return self.recorder.incr(&format!("net.{other}"), msgs as f64),
+            };
+            self.recorder.incr(metric, msgs as f64);
         }
     }
 

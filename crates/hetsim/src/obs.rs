@@ -23,6 +23,26 @@
 //! `None` whose every method is an inlined early-return, so instrumented
 //! hot paths cost one branch when observability is off.
 //!
+//! ## Hot-path storage: interned symbols, not `String`s
+//!
+//! `Sim::launch_on` records one span and three counters per kernel; a
+//! sweep experiment issues hundreds of thousands of those. Storing a
+//! fresh `String` name + `String` track per span (and `BTreeMap<String,
+//! f64>` metric keys) made allocation the dominant recorder cost. The
+//! state therefore interns every name into a per-recorder symbol table
+//! ([`Sym`], a `u32` index): spans store two `u32`s, counters and gauges
+//! live in plain `Vec<Option<f64>>` slots indexed by symbol, and a name
+//! allocates exactly once — the first time the recorder sees it. Sorted
+//! views (`counters()`, `to_jsonl()`, `summary_json()`, `hot_list()`,
+//! `render_timeline()`) materialise lazily from a cached name-sorted
+//! symbol index, and render **byte-identical** output to the historical
+//! `BTreeMap`-backed implementation (pinned by regression tests).
+//!
+//! Callers that already hold a hot name can pre-intern it once with
+//! [`Recorder::intern`] and use the `*_sym` variants
+//! ([`Recorder::record_span_sym`], [`Recorder::incr_sym`],
+//! [`Recorder::gauge_sym`]) to skip even the hash lookup.
+//!
 //! ```
 //! use hetsim::obs::{Recorder, SpanKind};
 //!
@@ -35,7 +55,7 @@
 //! assert_eq!(rec.counter("flops"), 2.0e9);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -71,7 +91,74 @@ impl SpanKind {
     }
 }
 
-/// One recorded span.
+/// An interned name: a cheap, `Copy` index into one recorder's symbol
+/// table.
+///
+/// Symbols are **per recorder** — a `Sym` obtained from one enabled
+/// recorder is meaningless on another. [`Recorder::intern`] on a disabled
+/// recorder returns the inert [`Sym::NOOP`], which every `*_sym` method
+/// ignores, so hot paths can cache symbols unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The inert symbol handed out by disabled recorders.
+    pub const NOOP: Sym = Sym(u32::MAX);
+
+    /// Raw table index (meaningful only for the recorder that made it).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    fn is_noop(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+/// Per-recorder string interner: name → dense `u32`, alloc-once.
+#[derive(Debug)]
+struct Interner {
+    /// Symbol id → name.
+    names: Vec<String>,
+    /// Name → symbol id (the only per-new-name allocation site).
+    lookup: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn with_capacity(cap: usize) -> Interner {
+        Interner {
+            names: Vec::with_capacity(cap),
+            lookup: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Intern `s`, allocating only on first sight. Returns (id, was_new).
+    fn intern(&mut self, s: &str) -> (u32, bool) {
+        if let Some(&id) = self.lookup.get(s) {
+            return (id, false);
+        }
+        let id = self.names.len() as u32;
+        assert!(id < u32::MAX, "interner overflow");
+        self.names.push(s.to_string());
+        self.lookup.insert(s.to_string(), id);
+        (id, true)
+    }
+
+    #[inline]
+    fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// One recorded span, as seen through [`Recorder::spans`]. Names are
+/// materialised to `String`s at snapshot time; internal storage is
+/// symbol-indexed (see [`Sym`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// Unique (per recorder) id, in begin order.
@@ -93,6 +180,18 @@ impl SpanRecord {
     }
 }
 
+/// Internal span storage: two `u32` symbols instead of two `String`s.
+#[derive(Debug, Clone, Copy)]
+struct RawSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: u32,
+    kind: SpanKind,
+    track: u32,
+    start: f64,
+    end: f64,
+}
+
 /// Handle returned by [`Recorder::begin`]; close it with [`Recorder::end`].
 #[derive(Debug, Clone, Copy)]
 #[must_use = "a span stays open (and keeps parenting children) until end() is called"]
@@ -100,31 +199,142 @@ pub struct OpenSpan {
     id: Option<u64>,
 }
 
+/// Initial capacities: one experiment's worth of spans / metrics without
+/// reallocating ([`Recorder::reset`] keeps the buffers, so a reused
+/// recorder settles at its high-water mark).
+const SPANS_CAP: usize = 1024;
+const OPEN_CAP: usize = 16;
+const SYMS_CAP: usize = 64;
+
 #[derive(Debug)]
 struct ObsState {
     epoch: Instant,
-    spans: Vec<SpanRecord>,
+    interner: Interner,
+    spans: Vec<RawSpan>,
     /// Stack of open span ids (the innermost is the current parent).
     open: Vec<u64>,
     next_id: u64,
-    counters: BTreeMap<String, f64>,
-    gauges: BTreeMap<String, f64>,
+    /// Metric slots indexed by symbol id; `None` = never written.
+    counters: Vec<Option<f64>>,
+    gauges: Vec<Option<f64>>,
+    /// All symbol ids, sorted by name — the lazy materialisation index
+    /// behind every sorted view. Rebuilt only when `sorted_dirty`.
+    sorted_syms: Vec<u32>,
+    sorted_dirty: bool,
+    /// Interned id of the `"wall"` track used by `begin`.
+    wall_sym: u32,
 }
 
 impl ObsState {
     fn new() -> ObsState {
+        let mut interner = Interner::with_capacity(SYMS_CAP);
+        let (wall_sym, _) = interner.intern("wall");
         ObsState {
             epoch: Instant::now(),
-            spans: Vec::new(),
-            open: Vec::new(),
+            interner,
+            spans: Vec::with_capacity(SPANS_CAP),
+            open: Vec::with_capacity(OPEN_CAP),
             next_id: 0,
-            counters: BTreeMap::new(),
-            gauges: BTreeMap::new(),
+            counters: Vec::with_capacity(SYMS_CAP),
+            gauges: Vec::with_capacity(SYMS_CAP),
+            sorted_syms: Vec::with_capacity(SYMS_CAP),
+            sorted_dirty: true,
+            wall_sym,
         }
+    }
+
+    /// Clear all recorded data but keep every buffer (and the symbol
+    /// table) allocated — the reuse path behind [`Recorder::reset`].
+    fn clear(&mut self) {
+        self.epoch = Instant::now();
+        self.spans.clear();
+        self.open.clear();
+        self.next_id = 0;
+        for slot in &mut self.counters {
+            *slot = None;
+        }
+        for slot in &mut self.gauges {
+            *slot = None;
+        }
+        // The interner (and therefore the sorted index) survives: symbol
+        // ids are not observable through the public API, and keeping the
+        // table is exactly the buffer reuse we want on hot reset paths.
     }
 
     fn wall(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    #[inline]
+    fn intern(&mut self, s: &str) -> u32 {
+        let (id, new) = self.interner.intern(s);
+        if new {
+            self.sorted_dirty = true;
+        }
+        id
+    }
+
+    /// The name-sorted symbol index, rebuilt only after new interns.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted_dirty {
+            return;
+        }
+        self.sorted_syms.clear();
+        self.sorted_syms.extend(0..self.interner.len() as u32);
+        let names = &self.interner.names;
+        self.sorted_syms
+            .sort_unstable_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+        self.sorted_dirty = false;
+    }
+
+    #[inline]
+    fn slot(vec: &mut Vec<Option<f64>>, id: u32) -> &mut Option<f64> {
+        let i = id as usize;
+        if vec.len() <= i {
+            vec.resize(i + 1, None);
+        }
+        &mut vec[i]
+    }
+
+    /// Name-sorted `(name, value)` pairs of one metric family — the
+    /// canonical iteration order every sink renders in (identical to the
+    /// historical `BTreeMap<String, f64>` order).
+    fn sorted_metrics<'a>(
+        sorted_syms: &'a [u32],
+        interner: &'a Interner,
+        slots: &'a [Option<f64>],
+    ) -> impl Iterator<Item = (&'a str, f64)> + 'a {
+        sorted_syms.iter().filter_map(move |&id| {
+            let v = slots.get(id as usize).copied().flatten()?;
+            Some((interner.resolve(id), v))
+        })
+    }
+
+    fn push_span(
+        &mut self,
+        name: u32,
+        kind: SpanKind,
+        track: u32,
+        start: f64,
+        end: f64,
+        open: bool,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let parent = self.open.last().copied();
+        self.spans.push(RawSpan {
+            id,
+            parent,
+            name,
+            kind,
+            track,
+            start,
+            end,
+        });
+        if open {
+            self.open.push(id);
+        }
+        id
     }
 }
 
@@ -165,27 +375,35 @@ impl Recorder {
         Some(f(&mut g))
     }
 
+    // ----------------------------------------------------------- symbols
+
+    /// Intern `name` into this recorder's symbol table, for use with the
+    /// `*_sym` hot-path methods. Costs one hash lookup (one allocation the
+    /// first time a name is seen); on a disabled recorder returns the
+    /// inert [`Sym::NOOP`].
+    pub fn intern(&self, name: &str) -> Sym {
+        self.with(|s| Sym(s.intern(name))).unwrap_or(Sym::NOOP)
+    }
+
+    /// The name behind a symbol, if it belongs to this recorder.
+    pub fn resolve(&self, sym: Sym) -> Option<String> {
+        if sym.is_noop() {
+            return None;
+        }
+        self.with(|s| s.interner.names.get(sym.0 as usize).map(|n| n.to_string()))
+            .flatten()
+    }
+
     // ------------------------------------------------------------- spans
 
     /// Open a wall-clock span; it parents every span recorded until
     /// [`Recorder::end`]. Returns a no-op handle on a disabled recorder.
-    pub fn begin(&self, name: impl Into<String>, kind: SpanKind) -> OpenSpan {
+    pub fn begin(&self, name: impl AsRef<str>, kind: SpanKind) -> OpenSpan {
         let id = self.with(|s| {
-            let id = s.next_id;
-            s.next_id += 1;
+            let name = s.intern(name.as_ref());
             let start = s.wall();
-            let parent = s.open.last().copied();
-            s.spans.push(SpanRecord {
-                id,
-                parent,
-                name: name.into(),
-                kind,
-                track: "wall".to_string(),
-                start,
-                end: f64::NAN,
-            });
-            s.open.push(id);
-            id
+            let wall = s.wall_sym;
+            s.push_span(name, kind, wall, start, f64::NAN, true)
         });
         OpenSpan { id }
     }
@@ -212,33 +430,59 @@ impl Recorder {
     /// Record a closed span with explicit timestamps (the hot-path form:
     /// `Sim` knows a kernel's start and duration on the simulated clock).
     /// The currently open span, if any, becomes its parent.
+    ///
+    /// Allocation-free after the first sighting of `name` and `track`.
     pub fn record_span(
         &self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         kind: SpanKind,
-        track: impl Into<String>,
+        track: impl AsRef<str>,
         start: f64,
         end: f64,
     ) {
         self.with(|s| {
-            let id = s.next_id;
-            s.next_id += 1;
-            let parent = s.open.last().copied();
-            s.spans.push(SpanRecord {
-                id,
-                parent,
-                name: name.into(),
-                kind,
-                track: track.into(),
-                start,
-                end,
-            });
+            let name = s.intern(name.as_ref());
+            let track = s.intern(track.as_ref());
+            s.push_span(name, kind, track, start, end, false);
+        });
+    }
+
+    /// [`Recorder::record_span`] with pre-interned symbols: no hashing,
+    /// no allocation — the hottest simulator paths (`Sim::launch_on`)
+    /// use this with symbols cached across calls.
+    pub fn record_span_sym(&self, name: Sym, kind: SpanKind, track: Sym, start: f64, end: f64) {
+        if name.is_noop() || track.is_noop() {
+            return;
+        }
+        self.with(|s| {
+            s.push_span(name.0, kind, track.0, start, end, false);
         });
     }
 
     /// Snapshot of all recorded spans (open spans have `end = NaN`).
+    /// Names materialise to `String`s here; sinks below render straight
+    /// from the interned storage instead of calling this.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.with(|s| s.spans.clone()).unwrap_or_default()
+        self.with(|s| {
+            s.spans
+                .iter()
+                .map(|r| SpanRecord {
+                    id: r.id,
+                    parent: r.parent,
+                    name: s.interner.resolve(r.name).to_string(),
+                    kind: r.kind,
+                    track: s.interner.resolve(r.track).to_string(),
+                    start: r.start,
+                    end: r.end,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+
+    /// Number of recorded spans (no materialisation).
+    pub fn span_count(&self) -> usize {
+        self.with(|s| s.spans.len()).unwrap_or(0)
     }
 
     // ----------------------------------------------------------- metrics
@@ -246,11 +490,22 @@ impl Recorder {
     /// Add `delta` to counter `name` (creating it at 0).
     #[inline]
     pub fn incr(&self, name: &str, delta: f64) {
-        self.with(|s| match s.counters.get_mut(name) {
-            Some(v) => *v += delta,
-            None => {
-                s.counters.insert(name.to_string(), delta);
-            }
+        self.with(|s| {
+            let id = s.intern(name);
+            let slot = ObsState::slot(&mut s.counters, id);
+            *slot = Some(slot.unwrap_or(0.0) + delta);
+        });
+    }
+
+    /// [`Recorder::incr`] with a pre-interned symbol (no hash lookup).
+    #[inline]
+    pub fn incr_sym(&self, name: Sym, delta: f64) {
+        if name.is_noop() {
+            return;
+        }
+        self.with(|s| {
+            let slot = ObsState::slot(&mut s.counters, name.0);
+            *slot = Some(slot.unwrap_or(0.0) + delta);
         });
     }
 
@@ -258,34 +513,71 @@ impl Recorder {
     #[inline]
     pub fn gauge(&self, name: &str, value: f64) {
         self.with(|s| {
-            s.gauges.insert(name.to_string(), value);
+            let id = s.intern(name);
+            *ObsState::slot(&mut s.gauges, id) = Some(value);
+        });
+    }
+
+    /// [`Recorder::gauge`] with a pre-interned symbol (no hash lookup).
+    #[inline]
+    pub fn gauge_sym(&self, name: Sym, value: f64) {
+        if name.is_noop() {
+            return;
+        }
+        self.with(|s| {
+            *ObsState::slot(&mut s.gauges, name.0) = Some(value);
         });
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> f64 {
-        self.with(|s| s.counters.get(name).copied().unwrap_or(0.0))
-            .unwrap_or(0.0)
+        self.with(|s| {
+            s.interner
+                .lookup
+                .get(name)
+                .and_then(|&id| s.counters.get(id as usize).copied().flatten())
+                .unwrap_or(0.0)
+        })
+        .unwrap_or(0.0)
     }
 
     /// Latest value of a gauge.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        self.with(|s| s.gauges.get(name).copied()).flatten()
+        self.with(|s| {
+            s.interner
+                .lookup
+                .get(name)
+                .and_then(|&id| s.gauges.get(id as usize).copied().flatten())
+        })
+        .flatten()
     }
 
-    /// Snapshot of every counter.
+    /// Snapshot of every counter, in name order.
     pub fn counters(&self) -> BTreeMap<String, f64> {
-        self.with(|s| s.counters.clone()).unwrap_or_default()
+        self.metric_map(|s| &s.counters)
     }
 
-    /// Snapshot of every gauge.
+    /// Snapshot of every gauge, in name order.
     pub fn gauges(&self) -> BTreeMap<String, f64> {
-        self.with(|s| s.gauges.clone()).unwrap_or_default()
+        self.metric_map(|s| &s.gauges)
     }
 
-    /// Clear spans and metrics, keeping the recorder enabled.
+    fn metric_map(&self, pick: impl Fn(&ObsState) -> &Vec<Option<f64>>) -> BTreeMap<String, f64> {
+        self.with(|s| {
+            s.ensure_sorted();
+            ObsState::sorted_metrics(&s.sorted_syms, &s.interner, pick(s))
+                .map(|(k, v)| (k.to_string(), v))
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+
+    /// Clear spans and metrics, keeping the recorder enabled — and keeping
+    /// every internal buffer (span vector, metric slots, symbol table)
+    /// allocated, so reset-per-iteration measurement loops do not churn
+    /// the allocator.
     pub fn reset(&self) {
-        self.with(|s| *s = ObsState::new());
+        self.with(|s| s.clear());
     }
 
     /// Drop every counter and gauge whose name starts with `prefix`.
@@ -296,141 +588,191 @@ impl Recorder {
     /// Spans are untouched — they are a log, not a live registry.
     pub fn remove_prefixed(&self, prefix: &str) {
         self.with(|s| {
-            s.counters.retain(|k, _| !k.starts_with(prefix));
-            s.gauges.retain(|k, _| !k.starts_with(prefix));
+            for (i, name) in s.interner.names.iter().enumerate() {
+                if name.starts_with(prefix) {
+                    if let Some(slot) = s.counters.get_mut(i) {
+                        *slot = None;
+                    }
+                    if let Some(slot) = s.gauges.get_mut(i) {
+                        *slot = None;
+                    }
+                }
+            }
         });
     }
 
     // ------------------------------------------------------------- sinks
 
     /// Busy seconds per kernel-span name, descending (the profiler's hot
-    /// list).
+    /// list). Aggregates over interned ids under the lock — one `String`
+    /// per **unique** kernel name in the result, not one per span.
     pub fn hot_list(&self) -> Vec<(String, f64)> {
-        let mut agg: BTreeMap<String, f64> = BTreeMap::new();
-        for s in self.spans() {
-            if s.kind == SpanKind::Kernel && s.end.is_finite() {
-                *agg.entry(s.name).or_insert(0.0) += s.end - s.start;
+        self.with(|s| {
+            // Dense per-symbol accumulation (no hashing, no cloning).
+            let mut busy = vec![0.0f64; s.interner.len()];
+            let mut seen = vec![false; s.interner.len()];
+            for r in &s.spans {
+                if r.kind == SpanKind::Kernel && r.end.is_finite() {
+                    busy[r.name as usize] += r.end - r.start;
+                    seen[r.name as usize] = true;
+                }
             }
-        }
-        let mut out: Vec<(String, f64)> = agg.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        out
+            // Materialise in name order first so the stable value sort
+            // breaks ties exactly like the historical BTreeMap path.
+            s.ensure_sorted();
+            let mut out: Vec<(String, f64)> = s
+                .sorted_syms
+                .iter()
+                .filter(|&&id| seen[id as usize])
+                .map(|&id| (s.interner.resolve(id).to_string(), busy[id as usize]))
+                .collect();
+            out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            out
+        })
+        .unwrap_or_default()
     }
 
     /// ASCII timeline: one row per track, `width` characters across the
     /// largest finite end time. Wall-clock scopes render on their own
-    /// `wall` row, so mixed clocks stay legible.
+    /// `wall` row, so mixed clocks stay legible. Renders from interned
+    /// storage — no per-span `String` clones.
     pub fn render_timeline(&self, width: usize) -> String {
-        let spans = self.spans();
-        let t_end = spans
-            .iter()
-            .filter(|s| s.end.is_finite())
-            .fold(0.0f64, |m, s| m.max(s.end))
-            .max(1e-300);
-        let mut tracks: Vec<String> = spans.iter().map(|s| s.track.clone()).collect();
-        tracks.sort();
-        tracks.dedup();
-        let mut out = String::new();
-        for track in tracks {
-            let mut row = vec![b'.'; width];
-            for (i, s) in spans.iter().enumerate() {
-                if s.track != track || !s.end.is_finite() {
-                    continue;
-                }
-                let a = ((s.start / t_end) * width as f64) as usize;
-                let b = (((s.end / t_end) * width as f64).ceil() as usize).min(width);
-                let mark = b"#*+=%@"[i % 6];
-                for c in row.iter_mut().take(b).skip(a.min(width)) {
-                    *c = mark;
-                }
+        self.with(|s| {
+            let t_end = s
+                .spans
+                .iter()
+                .filter(|r| r.end.is_finite())
+                .fold(0.0f64, |m, r| m.max(r.end))
+                .max(1e-300);
+            // Unique track symbols, in track-name order.
+            s.ensure_sorted();
+            let mut on_track = vec![false; s.interner.len()];
+            for r in &s.spans {
+                on_track[r.track as usize] = true;
             }
-            out.push_str(&format!(
-                "{track:<10} |{}|\n",
-                String::from_utf8_lossy(&row)
-            ));
-        }
-        out
+            let mut out = String::new();
+            for &track in s.sorted_syms.iter().filter(|&&id| on_track[id as usize]) {
+                let mut row = vec![b'.'; width];
+                for (i, r) in s.spans.iter().enumerate() {
+                    if r.track != track || !r.end.is_finite() {
+                        continue;
+                    }
+                    let a = ((r.start / t_end) * width as f64) as usize;
+                    let b = (((r.end / t_end) * width as f64).ceil() as usize).min(width);
+                    let mark = b"#*+=%@"[i % 6];
+                    for c in row.iter_mut().take(b).skip(a.min(width)) {
+                        *c = mark;
+                    }
+                }
+                out.push_str(&format!(
+                    "{:<10} |{}|\n",
+                    s.interner.resolve(track),
+                    String::from_utf8_lossy(&row)
+                ));
+            }
+            out
+        })
+        .unwrap_or_default()
     }
 
     /// JSON-lines sink: one object per span, then one per counter and
     /// gauge. Parses back with [`json::parse`] line by line.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        for s in self.spans() {
-            let parent = match s.parent {
-                Some(p) => p.to_string(),
-                None => "null".to_string(),
-            };
-            out.push_str(&format!(
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"kind\":{},\"track\":{},\"start\":{},\"end\":{}}}\n",
-                s.id,
-                parent,
-                json::escape(&s.name),
-                json::escape(s.kind.as_str()),
-                json::escape(&s.track),
-                json::num(s.start),
-                json::num(s.end),
-            ));
-        }
-        for (k, v) in self.counters() {
-            out.push_str(&format!(
-                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
-                json::escape(&k),
-                json::num(v)
-            ));
-        }
-        for (k, v) in self.gauges() {
-            out.push_str(&format!(
-                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
-                json::escape(&k),
-                json::num(v)
-            ));
-        }
-        out
+        self.with(|s| {
+            let mut out = String::new();
+            for r in &s.spans {
+                let parent = match r.parent {
+                    Some(p) => p.to_string(),
+                    None => "null".to_string(),
+                };
+                out.push_str(&format!(
+                    "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"kind\":{},\"track\":{},\"start\":{},\"end\":{}}}\n",
+                    r.id,
+                    parent,
+                    json::escape(s.interner.resolve(r.name)),
+                    json::escape(r.kind.as_str()),
+                    json::escape(s.interner.resolve(r.track)),
+                    json::num(r.start),
+                    json::num(r.end),
+                ));
+            }
+            s.ensure_sorted();
+            for (k, v) in ObsState::sorted_metrics(&s.sorted_syms, &s.interner, &s.counters) {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                    json::escape(k),
+                    json::num(v)
+                ));
+            }
+            for (k, v) in ObsState::sorted_metrics(&s.sorted_syms, &s.interner, &s.gauges) {
+                out.push_str(&format!(
+                    "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                    json::escape(k),
+                    json::num(v)
+                ));
+            }
+            out
+        })
+        .unwrap_or_default()
     }
 
     /// One-document JSON summary for `BENCH_<experiment>.json`.
     pub fn summary_json(&self, experiment: &str) -> String {
-        let spans = self.spans();
-        let busy: f64 = spans
-            .iter()
-            .filter(|s| s.kind == SpanKind::Kernel && s.end.is_finite())
-            .map(SpanRecord::duration)
-            .sum();
-        let wall = spans
-            .iter()
-            .filter(|s| s.kind == SpanKind::Experiment && s.end.is_finite())
-            .map(SpanRecord::duration)
-            .fold(0.0f64, f64::max);
-        let mut out = String::from("{");
-        out.push_str(&format!("\"experiment\":{},", json::escape(experiment)));
-        out.push_str("\"schema\":\"icoe-bench-v1\",");
-        out.push_str(&format!("\"wall_s\":{},", json::num(wall)));
-        out.push_str(&format!("\"span_count\":{},", spans.len()));
-        out.push_str(&format!("\"kernel_busy_s\":{},", json::num(busy)));
-        out.push_str("\"counters\":{");
-        for (i, (k, v)) in self.counters().iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        let hot = self.hot_list();
+        self.with(|s| {
+            let busy: f64 = s
+                .spans
+                .iter()
+                .filter(|r| r.kind == SpanKind::Kernel && r.end.is_finite())
+                .map(|r| r.end - r.start)
+                .sum();
+            let wall = s
+                .spans
+                .iter()
+                .filter(|r| r.kind == SpanKind::Experiment && r.end.is_finite())
+                .map(|r| r.end - r.start)
+                .fold(0.0f64, f64::max);
+            let mut out = String::from("{");
+            out.push_str(&format!("\"experiment\":{},", json::escape(experiment)));
+            out.push_str("\"schema\":\"icoe-bench-v1\",");
+            out.push_str(&format!("\"wall_s\":{},", json::num(wall)));
+            out.push_str(&format!("\"span_count\":{},", s.spans.len()));
+            out.push_str(&format!("\"kernel_busy_s\":{},", json::num(busy)));
+            out.push_str("\"counters\":{");
+            s.ensure_sorted();
+            for (i, (k, v)) in
+                ObsState::sorted_metrics(&s.sorted_syms, &s.interner, &s.counters).enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json::escape(k), json::num(v)));
             }
-            out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
-        }
-        out.push_str("},\"gauges\":{");
-        for (i, (k, v)) in self.gauges().iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+            out.push_str("},\"gauges\":{");
+            for (i, (k, v)) in
+                ObsState::sorted_metrics(&s.sorted_syms, &s.interner, &s.gauges).enumerate()
+            {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json::escape(k), json::num(v)));
             }
-            out.push_str(&format!("{}:{}", json::escape(k), json::num(*v)));
-        }
-        out.push_str("},\"hot\":[");
-        for (i, (name, secs)) in self.hot_list().iter().take(10).enumerate() {
-            if i > 0 {
-                out.push(',');
+            out.push_str("},\"hot\":[");
+            for (i, (name, secs)) in hot.iter().take(10).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json::escape(name), json::num(*secs)));
             }
-            out.push_str(&format!("[{},{}]", json::escape(name), json::num(*secs)));
-        }
-        out.push_str("]}");
-        out
+            out.push_str("]}");
+            out
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "{{\"experiment\":{},\"schema\":\"icoe-bench-v1\",\"wall_s\":0,\"span_count\":0,\"kernel_busy_s\":0,\"counters\":{{}},\"gauges\":{{}},\"hot\":[]}}",
+                json::escape(experiment)
+            )
+        })
     }
 
     /// Write `BENCH_<experiment>.json` into `dir`; returns the path.
@@ -462,6 +804,14 @@ mod tests {
         assert!(r.spans().is_empty());
         assert_eq!(r.counter("flops"), 0.0);
         assert_eq!(r.gauge_value("g"), None);
+        // The sym API is inert too.
+        let sym = r.intern("anything");
+        assert_eq!(sym, Sym::NOOP);
+        assert_eq!(r.resolve(sym), None);
+        r.incr_sym(sym, 1.0);
+        r.gauge_sym(sym, 1.0);
+        r.record_span_sym(sym, SpanKind::Kernel, sym, 0.0, 1.0);
+        assert!(r.spans().is_empty());
     }
 
     #[test]
@@ -509,6 +859,7 @@ mod tests {
         }
         let spans = r.spans();
         assert!(spans.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(r.span_count(), 5);
     }
 
     #[test]
@@ -523,6 +874,85 @@ mod tests {
         r.reset();
         assert_eq!(r.counter("flops"), 0.0);
         assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn sym_api_matches_string_api() {
+        let r = Recorder::enabled();
+        let flops = r.intern("flops");
+        let k = r.intern("kern");
+        let t = r.intern("gpu0.s0");
+        r.incr_sym(flops, 2.0);
+        r.incr("flops", 1.0);
+        r.record_span_sym(k, SpanKind::Kernel, t, 0.0, 1.0);
+        assert_eq!(r.counter("flops"), 3.0);
+        assert_eq!(r.resolve(flops).as_deref(), Some("flops"));
+        let spans = r.spans();
+        assert_eq!(spans[0].name, "kern");
+        assert_eq!(spans[0].track, "gpu0.s0");
+        // Interning the same name twice returns the same symbol.
+        assert_eq!(r.intern("flops"), flops);
+        let hit = r.intern("hit_rate");
+        r.gauge_sym(hit, 0.5);
+        assert_eq!(r.gauge_value("hit_rate"), Some(0.5));
+    }
+
+    #[test]
+    fn interner_allocates_once_per_unique_name() {
+        let r = Recorder::enabled();
+        for i in 0..1000 {
+            r.record_span(
+                "axpy",
+                SpanKind::Kernel,
+                "gpu0.s0",
+                i as f64,
+                i as f64 + 0.5,
+            );
+            r.incr("launches", 1.0);
+        }
+        let inner = r.inner.as_ref().expect("enabled");
+        let s = inner.lock().unwrap();
+        // 1000 spans, but only 3 interned names ("wall" is pre-interned).
+        assert_eq!(s.spans.len(), 1000);
+        assert_eq!(s.interner.len(), 4, "names: wall, axpy, gpu0.s0, launches");
+    }
+
+    #[test]
+    fn reset_keeps_buffers_and_symbol_table_allocated() {
+        let r = Recorder::enabled();
+        for i in 0..500 {
+            r.record_span(format!("k{}", i % 7), SpanKind::Kernel, "t", 0.0, 1.0);
+            r.incr("flops", 1.0);
+            r.gauge("g", i as f64);
+        }
+        let (span_cap, syms) = {
+            let s = r.inner.as_ref().unwrap().lock().unwrap();
+            (s.spans.capacity(), s.interner.len())
+        };
+        assert!(span_cap >= 500);
+        r.reset();
+        {
+            let s = r.inner.as_ref().unwrap().lock().unwrap();
+            assert_eq!(s.spans.len(), 0, "reset clears the span log");
+            assert_eq!(
+                s.spans.capacity(),
+                span_cap,
+                "reset must reuse the span buffer, not reallocate"
+            );
+            assert_eq!(
+                s.interner.len(),
+                syms,
+                "reset keeps the symbol table (buffer reuse)"
+            );
+            assert!(s.counters.iter().all(|v| v.is_none()));
+            assert!(s.gauges.iter().all(|v| v.is_none()));
+        }
+        // And the recorder still behaves like a fresh one observably.
+        assert_eq!(r.counter("flops"), 0.0);
+        assert_eq!(r.gauge_value("g"), None);
+        assert!(r.spans().is_empty());
+        r.incr("flops", 2.0);
+        assert_eq!(r.counter("flops"), 2.0);
     }
 
     #[test]
@@ -543,6 +973,9 @@ mod tests {
         assert_eq!(r.counter("flops"), 7.0);
         assert_eq!(r.gauge_value("mem.gpu0.bytes"), Some(42.0));
         assert_eq!(r.spans().len(), 1);
+        // Snapshots hide the scrubbed names entirely.
+        assert!(!r.counters().contains_key("net.ops"));
+        assert!(!r.gauges().contains_key("net.allreduce.bw_gbs"));
     }
 
     #[test]
@@ -570,6 +1003,79 @@ mod tests {
         let hot = r.hot_list();
         assert_eq!(hot.len(), 2);
         assert_eq!(hot[0].0, "big");
+    }
+
+    /// The naive reference implementations hot_list / render_timeline had
+    /// before interning: clone every span, aggregate through
+    /// `BTreeMap<String, _>`. The interned fast paths must stay
+    /// byte-identical to these.
+    fn naive_hot_list(spans: &[SpanRecord]) -> Vec<(String, f64)> {
+        let mut agg: BTreeMap<String, f64> = BTreeMap::new();
+        for s in spans {
+            if s.kind == SpanKind::Kernel && s.end.is_finite() {
+                *agg.entry(s.name.clone()).or_insert(0.0) += s.end - s.start;
+            }
+        }
+        let mut out: Vec<(String, f64)> = agg.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    fn naive_timeline(spans: &[SpanRecord], width: usize) -> String {
+        let t_end = spans
+            .iter()
+            .filter(|s| s.end.is_finite())
+            .fold(0.0f64, |m, s| m.max(s.end))
+            .max(1e-300);
+        let mut tracks: Vec<String> = spans.iter().map(|s| s.track.clone()).collect();
+        tracks.sort();
+        tracks.dedup();
+        let mut out = String::new();
+        for track in tracks {
+            let mut row = vec![b'.'; width];
+            for (i, s) in spans.iter().enumerate() {
+                if s.track != track || !s.end.is_finite() {
+                    continue;
+                }
+                let a = ((s.start / t_end) * width as f64) as usize;
+                let b = (((s.end / t_end) * width as f64).ceil() as usize).min(width);
+                let mark = b"#*+=%@"[i % 6];
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = mark;
+                }
+            }
+            out.push_str(&format!(
+                "{track:<10} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn interned_sinks_match_naive_reference_byte_for_byte() {
+        let r = Recorder::enabled();
+        // A messy mix: duplicate names, value ties (to exercise stable
+        // tie-breaking), multiple tracks interned out of name order, an
+        // open (NaN-ended) span, and names needing JSON escapes.
+        r.record_span("zeta", SpanKind::Kernel, "gpu1.s0", 0.0, 2.0);
+        r.record_span("axpy", SpanKind::Kernel, "gpu0.s0", 0.0, 1.0);
+        r.record_span("axpy", SpanKind::Kernel, "gpu0.s0", 1.0, 2.0);
+        r.record_span("beta", SpanKind::Kernel, "cpu.s0", 0.0, 2.0); // ties zeta
+        r.record_span("xfer \"q\"", SpanKind::Transfer, "dma", 0.5, 1.5);
+        let open = r.begin("open-phase", SpanKind::Phase);
+        r.incr("flops", 1e9);
+        r.gauge("hit_rate", 0.75);
+        let spans = r.spans();
+        assert_eq!(r.hot_list(), naive_hot_list(&spans), "hot_list regressed");
+        for width in [1, 7, 40, 100] {
+            assert_eq!(
+                r.render_timeline(width),
+                naive_timeline(&spans, width),
+                "render_timeline({width}) regressed"
+            );
+        }
+        r.end(open);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 
 use crate::kernel::KernelProfile;
 use crate::mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
-use crate::obs::{Recorder, SpanKind};
+use crate::obs::{Recorder, SpanKind, Sym};
 use crate::spec::{LinkKind, LinkSpec, Machine};
 use crate::unified::{ManagedBuffer, Residency};
 
@@ -212,6 +212,28 @@ pub struct Counters {
     pub kernel_time: HashMap<String, f64>,
 }
 
+/// Pre-interned symbols for the recorder names `Sim` touches on every
+/// kernel launch / transfer — rebuilt whenever a recorder is attached,
+/// inert ([`Sym::NOOP`]) when tracing is off.
+#[derive(Debug, Clone, Copy)]
+struct HotSyms {
+    launches: Sym,
+    flops: Sym,
+    kernel_bytes: Sym,
+    transfers: Sym,
+}
+
+impl HotSyms {
+    fn for_recorder(rec: &Recorder) -> HotSyms {
+        HotSyms {
+            launches: rec.intern("launches"),
+            flops: rec.intern("flops"),
+            kernel_bytes: rec.intern("kernel.bytes"),
+            transfers: rec.intern("transfers"),
+        }
+    }
+}
+
 /// The per-node simulator.
 #[derive(Debug, Clone)]
 pub struct Sim {
@@ -225,6 +247,12 @@ pub struct Sim {
     /// Observability sink; [`Recorder::noop`] by default, so the hot paths
     /// pay one branch when tracing is off.
     recorder: Recorder,
+    /// Hot metric names, interned once per attached recorder.
+    hot_syms: HotSyms,
+    /// Interned track labels (`gpu0.s0`, `gpu0.h2d`, …), cached so a
+    /// launch/transfer does not re-format the label `String` per span.
+    stream_track_syms: HashMap<StreamId, Sym>,
+    engine_track_syms: HashMap<Engine, Sym>,
     /// Per-location memory-capacity accounting (capacities from the
     /// machine's specs; [`OomPolicy::Fail`] by default).
     mem: MemTracker,
@@ -233,19 +261,23 @@ pub struct Sim {
 impl Sim {
     pub fn new(machine: Machine) -> Sim {
         let mem = MemTracker::for_machine(&machine, OomPolicy::default());
+        let recorder = Recorder::noop();
         Sim {
             machine,
             streams: HashMap::new(),
             engines: HashMap::new(),
             counters: Counters::default(),
-            recorder: Recorder::noop(),
+            hot_syms: HotSyms::for_recorder(&recorder),
+            stream_track_syms: HashMap::new(),
+            engine_track_syms: HashMap::new(),
+            recorder,
             mem,
         }
     }
 
     /// Attach an observability recorder (builder form).
     pub fn with_recorder(mut self, recorder: Recorder) -> Sim {
-        self.recorder = recorder;
+        self.set_recorder(recorder);
         self
     }
 
@@ -265,9 +297,39 @@ impl Sim {
         &self.mem
     }
 
-    /// Attach an observability recorder in place.
+    /// Attach an observability recorder in place. Re-interns the hot
+    /// metric names and drops cached track symbols — symbols are per
+    /// recorder (see [`Sym`]).
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.hot_syms = HotSyms::for_recorder(&recorder);
+        self.stream_track_syms.clear();
+        self.engine_track_syms.clear();
         self.recorder = recorder;
+    }
+
+    /// Interned track symbol for one stream, formatting the label only on
+    /// first sight.
+    fn stream_track_sym(&mut self, stream: StreamId) -> Sym {
+        match self.stream_track_syms.get(&stream) {
+            Some(&s) => s,
+            None => {
+                let s = self.recorder.intern(&stream.label());
+                self.stream_track_syms.insert(stream, s);
+                s
+            }
+        }
+    }
+
+    /// Interned track symbol for one copy engine.
+    fn engine_track_sym(&mut self, engine: Engine) -> Sym {
+        match self.engine_track_syms.get(&engine) {
+            Some(&s) => s,
+            None => {
+                let s = self.recorder.intern(&engine.label());
+                self.engine_track_syms.insert(engine, s);
+                s
+            }
+        }
     }
 
     /// The attached recorder (a no-op handle unless one was set).
@@ -337,11 +399,16 @@ impl Sim {
             .entry(k.name.clone())
             .or_insert(0.0) += dt;
         if self.recorder.is_enabled() {
+            // Hot path: interned track + metric symbols — no label
+            // formatting, no per-span `String` allocation.
+            let track = self.stream_track_sym(stream);
+            let name = self.recorder.intern(&k.name);
             self.recorder
-                .record_span(&k.name, SpanKind::Kernel, stream.label(), start, start + dt);
-            self.recorder.incr("launches", 1.0);
-            self.recorder.incr("flops", k.flops);
-            self.recorder.incr("kernel.bytes", k.bytes());
+                .record_span_sym(name, SpanKind::Kernel, track, start, start + dt);
+            self.recorder.incr_sym(self.hot_syms.launches, 1.0);
+            self.recorder.incr_sym(self.hot_syms.flops, k.flops);
+            self.recorder
+                .incr_sym(self.hot_syms.kernel_bytes, k.bytes());
         }
         dt
     }
@@ -552,14 +619,13 @@ impl Sim {
             _ => "bytes_other",
         };
         if self.recorder.is_enabled() {
-            self.recorder.record_span(
-                format!("xfer {src:?}->{dst:?} ({bytes:.0} B)"),
-                SpanKind::Transfer,
-                engine.label(),
-                start,
-                done,
-            );
-            self.recorder.incr("transfers", 1.0);
+            let track = self.engine_track_sym(engine);
+            let name = self
+                .recorder
+                .intern(&format!("xfer {src:?}->{dst:?} ({bytes:.0} B)"));
+            self.recorder
+                .record_span_sym(name, SpanKind::Transfer, track, start, done);
+            self.recorder.incr_sym(self.hot_syms.transfers, 1.0);
             self.recorder.incr(metric, bytes);
         }
     }

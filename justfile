@@ -35,5 +35,24 @@ um-smoke:
 net-smoke:
     cargo run --release --offline -p bench --bin experiments -- collective-overlap --json --timeline --bench-dir out
 
+# Parallel-engine conformance: `all --jobs 4` must be byte-identical to
+# `--jobs 1` (modulo the per-document wall-clock field), in paper order.
+par-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo build --release --offline -p bench --bin experiments
+    bin=target/release/experiments
+    time "$bin" all --json --jobs 4 > out_par.json
+    time "$bin" all --json --jobs 1 > out_ser.json
+    sed -E 's/"elapsed_s":[0-9.eE+-]+/"elapsed_s":0/g' out_par.json > out_par.norm
+    sed -E 's/"elapsed_s":[0-9.eE+-]+/"elapsed_s":0/g' out_ser.json > out_ser.norm
+    cmp out_par.norm out_ser.norm
+    echo "parallel output byte-identical to serial"
+    rm -f out_par.json out_ser.json out_par.norm out_ser.norm
+
 bench:
     cargo bench --workspace --offline
+
+# Observability hot-path + parallel-engine benches only (quick mode).
+bench-recorder:
+    ICOE_BENCH_QUICK=1 cargo bench --offline -p bench --bench recorder

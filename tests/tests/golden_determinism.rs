@@ -44,6 +44,31 @@ fn every_experiment_document_is_byte_identical_across_runs() {
     }
 }
 
+/// ISSUE 5 conformance axiom: the work-stealing parallel engine is
+/// observationally equivalent to the serial path. Every experiment runs
+/// on its own recorder and shares no mutable state, so the per-experiment
+/// documents produced by `run_all_parallel(4)` must be **byte-identical**
+/// to the serial `Registry::run` documents, in the same paper order.
+#[test]
+fn parallel_engine_is_byte_identical_to_serial() {
+    let reg = bench::registry();
+    let runs = reg.run_all_parallel(4);
+    assert_eq!(runs.len(), bench::ALL.len());
+    for (run, &id) in runs.iter().zip(bench::ALL) {
+        assert_eq!(run.id, id, "parallel emission order must be paper order");
+        let out = run
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{id} failed in parallel run: {e}"));
+        let par_doc = document_json(id, &out.report, &out.recorder, 0.0);
+        let ser_doc = doc(id);
+        assert_eq!(
+            par_doc, ser_doc,
+            "{id}: parallel document differs from serial"
+        );
+    }
+}
+
 #[test]
 fn documents_carry_tables_and_metrics_for_every_experiment() {
     for id in bench::ALL {

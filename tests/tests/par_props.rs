@@ -1,0 +1,131 @@
+//! Property tests for the work-stealing experiment engine (ISSUE 5
+//! satellite): for any worker count in {1, 2, 4, 8}, every experiment's
+//! structured JSON document is byte-identical to the serial `Registry::run`
+//! baseline and comes back in paper order — plus a panic-isolation check
+//! that one failing experiment never takes the rest of the batch down.
+
+use std::sync::OnceLock;
+
+use hetsim::obs::Recorder;
+use icoe::exp::document_json;
+use icoe::{FnExperiment, Registry, Report, Table};
+use proptest::prelude::*;
+
+/// The serial baseline: one document per experiment via `Registry::run`,
+/// wall time zeroed (the only legitimately nondeterministic field).
+/// Computed once — the registry pass is the expensive part of this suite.
+fn serial_docs() -> &'static Vec<String> {
+    static DOCS: OnceLock<Vec<String>> = OnceLock::new();
+    DOCS.get_or_init(|| {
+        bench::ALL
+            .iter()
+            .map(|id| {
+                let mut rec = Recorder::enabled();
+                let report = bench::run_with_recorder(id, &mut rec)
+                    .unwrap_or_else(|| panic!("{id} not registered"));
+                document_json(id, &report, &rec, 0.0)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For every jobs value the schedule (and hence the worker/steal
+    /// interleaving) differs, but the per-experiment documents must not:
+    /// each one is byte-identical to the jobs=1 serial baseline, in
+    /// registration (= paper) order.
+    #[test]
+    fn any_worker_count_matches_the_serial_documents(jobs_pick in 0usize..4) {
+        let jobs = [1usize, 2, 4, 8][jobs_pick];
+        let runs = bench::registry().run_all_parallel(jobs);
+        prop_assert_eq!(runs.len(), bench::ALL.len());
+        for ((run, &id), baseline) in runs.iter().zip(bench::ALL).zip(serial_docs()) {
+            prop_assert_eq!(run.id, id, "jobs={}: emission order must be paper order", jobs);
+            let out = run
+                .outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{id} failed under jobs={jobs}: {e}"));
+            let doc = document_json(id, &out.report, &out.recorder, 0.0);
+            prop_assert_eq!(
+                &doc, baseline,
+                "{}: jobs={} document differs from serial baseline", id, jobs
+            );
+        }
+    }
+}
+
+const BOOM: &str = "par_props: deliberate test panic";
+
+fn quiet_exp(id: &'static str) -> FnExperiment {
+    FnExperiment {
+        id,
+        paper_artifact: "Test fixture",
+        f: |rec| {
+            rec.incr("work", 1.0);
+            let mut t = Table::new("fixture", &["k", "v"]);
+            t.row_strs(&["work", "1"]);
+            Report::new(vec![t])
+        },
+    }
+}
+
+/// One panicking experiment in the middle of a batch is reported as an
+/// `Err` outcome carrying its panic message, while every other experiment
+/// still completes with a full report + recorder — on both the serial
+/// fallback (jobs=1) and the work-stealing pool (jobs=4).
+#[test]
+fn a_panicking_experiment_never_takes_the_batch_down() {
+    let mut reg = Registry::new();
+    reg.register(quiet_exp("ok_a"));
+    reg.register(FnExperiment {
+        id: "boom",
+        paper_artifact: "Test fixture",
+        f: |_| panic!("{BOOM}"),
+    });
+    reg.register(quiet_exp("ok_b"));
+
+    // Silence only our own deliberate panic; anything else still prints.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        let ours = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains(BOOM));
+        if !ours {
+            eprintln!("{info}");
+        }
+    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        for jobs in [1usize, 4] {
+            let runs = reg.run_all_parallel(jobs);
+            assert_eq!(runs.len(), 3, "jobs={jobs}");
+            assert_eq!(runs[0].id, "ok_a");
+            assert_eq!(runs[1].id, "boom");
+            assert_eq!(runs[2].id, "ok_b");
+            for run in [&runs[0], &runs[2]] {
+                let out = run
+                    .outcome
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("jobs={jobs}: {} failed: {e}", run.id));
+                assert_eq!(out.report.tables.len(), 1, "jobs={jobs}");
+                assert_eq!(out.recorder.counter("work"), 1.0, "jobs={jobs}");
+                assert_eq!(out.recorder.span_count(), 1, "jobs={jobs}: root span only");
+            }
+            let err = runs[1]
+                .outcome
+                .as_ref()
+                .err()
+                .unwrap_or_else(|| panic!("jobs={jobs}: boom should fail"));
+            assert!(
+                err.contains(BOOM),
+                "jobs={jobs}: error should carry the panic message, got {err:?}"
+            );
+        }
+    }));
+    std::panic::set_hook(prev);
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
