@@ -14,6 +14,9 @@
 //!                        (or set ICOE_JOBS; default: available
 //!                        parallelism). Output is emitted in paper order
 //!                        and is byte-identical to --jobs 1.
+//!   --param k=v          typed experiment parameters (repeatable):
+//!                        seed=<u64>, scale=<f64>. Defaults regenerate
+//!                        the golden documents byte-identically.
 //! ```
 //!
 //! Every run happens under a root span `exp:<id>` on an enabled
@@ -30,13 +33,14 @@
 
 use hetsim::obs::Recorder;
 use icoe::par::{ExpOutput, ExpRun};
-use icoe::Registry;
+use icoe::{ExpParams, Registry};
 
 struct Opts {
     json: bool,
     timeline: bool,
     bench_dir: Option<std::path::PathBuf>,
     jobs: usize,
+    params: ExpParams,
 }
 
 fn main() {
@@ -46,6 +50,7 @@ fn main() {
         timeline: false,
         bench_dir: std::env::var_os("ICOE_BENCH_DIR").map(Into::into),
         jobs: icoe::par::default_jobs(),
+        params: ExpParams::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -66,9 +71,21 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--param" => match args.next() {
+                Some(pair) => {
+                    if let Err(e) = opts.params.set_pair(&pair) {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+                None => {
+                    eprintln!("--param needs a key=value argument (seed=<u64>, scale=<f64>)");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with('-') => {
                 eprintln!(
-                    "unknown flag '{other}'; flags: --json --timeline --bench-dir <dir> --jobs <n>"
+                    "unknown flag '{other}'; flags: --json --timeline --bench-dir <dir> --jobs <n> --param k=v"
                 );
                 std::process::exit(2);
             }
@@ -85,7 +102,7 @@ fn main() {
                 println!("  {:width$}  {}", e.id(), e.paper_artifact());
             }
             println!(
-                "\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>] [--jobs <n>]"
+                "\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>] [--jobs <n>] [--param k=v]"
             );
         }
         "all" => run_all(&reg, &opts),
@@ -113,7 +130,8 @@ fn run_all(reg: &Registry, opts: &Opts) {
         }
         return;
     }
-    let runs: Vec<ExpRun> = reg.run_all_parallel(opts.jobs);
+    let ids: Vec<&'static str> = reg.ids();
+    let runs: Vec<ExpRun> = reg.run_ids_parallel_with(&ids, opts.jobs, &opts.params);
     let mut failed: Vec<&str> = Vec::new();
     for run in &runs {
         match &run.outcome {
@@ -142,7 +160,9 @@ fn run_all(reg: &Registry, opts: &Opts) {
 fn run_one(reg: &Registry, id: &str, opts: &Opts) {
     let start = std::time::Instant::now();
     let mut rec = Recorder::enabled();
-    let report = reg.run(id, &mut rec).expect("id validated by caller");
+    let report = reg
+        .run_with_params(id, &mut rec, &opts.params)
+        .expect("id validated by caller");
     let out = ExpOutput {
         report,
         recorder: rec,

@@ -5,6 +5,12 @@ use hetsim::obs::{Recorder, SpanKind};
 use icoe::report::Table;
 
 /// Opt: scheduling-policy study + texture-cache hindsight + a real SIMP run.
+///
+/// Deliberately drives the `#[deprecated]` `Policy` enum adapter rather
+/// than the `SchedPolicy` trait types: this experiment's golden document
+/// is the conformance witness that the adapter path stays byte-identical
+/// to the pre-trait simulator (ISSUE 6 acceptance criterion).
+#[allow(deprecated)]
 pub fn opt(rec: &mut Recorder) -> Vec<Table> {
     use sched::{batch_arrivals, poisson_arrivals, simulate, Policy};
     const GPUS: usize = 16;

@@ -9,6 +9,7 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured records.
 
 pub mod exps_apps;
+pub mod exps_cluster;
 pub mod exps_compute;
 pub mod exps_core;
 pub mod exps_mem;
@@ -42,18 +43,32 @@ pub const ALL: &[&str] = &[
     "pipeline-overlap",
     "um-oversubscription",
     "collective-overlap",
+    "cluster-spike",
+    "cluster-policies",
     "lessons",
     "machines",
 ];
 
 /// Build the full experiment registry, in paper order.
 pub fn registry() -> Registry {
+    // Legacy experiments take no parameters: the `_params` wrapper keeps
+    // them byte-identical under any `--param` (the golden contract).
     macro_rules! reg {
         ($r:ident, $( ($id:literal, $artifact:literal, $path:path) ),+ $(,)?) => {
             $( $r.register(FnExperiment {
                 id: $id,
                 paper_artifact: $artifact,
-                f: |rec| Report::new($path(rec)),
+                f: |rec, _params| Report::new($path(rec)),
+            }); )+
+        };
+    }
+    // Parameterised experiments (the cluster pair) thread params through.
+    macro_rules! reg_p {
+        ($r:ident, $( ($id:literal, $artifact:literal, $path:path) ),+ $(,)?) => {
+            $( $r.register(FnExperiment {
+                id: $id,
+                paper_artifact: $artifact,
+                f: |rec, params| Report::new($path(rec, params)),
             }); )+
         };
     }
@@ -119,6 +134,22 @@ pub fn registry() -> Registry {
             "§4.5/Fig 3 (collectives: flat vs hierarchical vs overlapped)",
             exps_net::collective_overlap
         ),
+    );
+    reg_p!(
+        r,
+        (
+            "cluster-spike",
+            "§4.7 at fleet scale (spike survival by policy)",
+            exps_cluster::cluster_spike
+        ),
+        (
+            "cluster-policies",
+            "§4.7 at fleet scale (policy shoot-out: SLA vs joules)",
+            exps_cluster::cluster_policies
+        ),
+    );
+    reg!(
+        r,
         (
             "lessons",
             "§1–5 (lessons learned, validated)",

@@ -1,0 +1,137 @@
+//! Machine classes: the heterogeneous fleet the cluster layer serves.
+//!
+//! A [`MachineClass`] is one homogeneous slice of the fleet — `count`
+//! identical nodes derived from a [`hetsim::Machine`] preset (GPU or
+//! CPU-only, big or small, x86 / POWER / ARM-like). The class carries the
+//! per-node resource shape the scheduler packs against, a relative
+//! service `speed` used to rescale reference job durations at placement
+//! time, and the [`PowerSpec`] the simulator integrates into joules.
+
+use hetsim::{machines, Machine, PowerSpec};
+
+/// CPU architecture flavour — the coarse machine-class axis the paper's
+/// Table 2 spans (x86 clusters, POWER + GPU systems, and the embedded /
+/// efficiency cores the centre experimented with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    X86,
+    Power,
+    Arm,
+}
+
+/// One homogeneous slice of the fleet.
+#[derive(Debug, Clone)]
+pub struct MachineClass {
+    pub name: &'static str,
+    pub arch: Arch,
+    /// Nodes of this class in the fleet.
+    pub count: usize,
+    pub gpus_per_node: usize,
+    pub cores_per_node: usize,
+    /// Relative service rate versus the reference node (Sierra): a job
+    /// with reference duration `d` runs `d / speed` seconds here. For GPU
+    /// classes this is the per-GPU fp64 ratio, for CPU-only classes the
+    /// per-core ratio — the same resource a job of that shape occupies.
+    pub speed: f64,
+    pub power: PowerSpec,
+    /// Boot latency when a parked (powered-off) node is woken for a job,
+    /// seconds. Charged to the first job's wait.
+    pub wake_s: f64,
+}
+
+impl MachineClass {
+    /// Derive a class from a machine preset: resource shape from the node
+    /// config, speed from published fp64 peaks relative to the reference
+    /// node, power from [`Machine::power`].
+    pub fn from_machine(name: &'static str, arch: Arch, m: &Machine, count: usize) -> MachineClass {
+        let reference = machines::sierra_node();
+        let speed = if m.node.gpu_count() > 0 {
+            m.node.gpus[0].fp64_gflops / reference.node.gpus[0].fp64_gflops
+        } else {
+            m.node.cpu.gflops_per_core / reference.node.cpu.gflops_per_core
+        };
+        MachineClass {
+            name,
+            arch,
+            count,
+            gpus_per_node: m.node.gpu_count(),
+            cores_per_node: m.node.cpu.cores(),
+            speed,
+            power: m.power(),
+            wake_s: 60.0,
+        }
+    }
+
+    /// Aggregate GPUs contributed by this class.
+    pub fn total_gpus(&self) -> usize {
+        self.count * self.gpus_per_node
+    }
+
+    /// Aggregate cores contributed by this class.
+    pub fn total_cores(&self) -> usize {
+        self.count * self.cores_per_node
+    }
+}
+
+/// The default heterogeneous fleet: four machine classes spanning the
+/// GPU/no-GPU, big/small, and x86/POWER/ARM axes.
+///
+/// | class | nodes | GPUs | cores | speed | source preset |
+/// |---|---|---|---|---|---|
+/// | `sierra-gpu` | 12 | 4 | 44 | 1.00 | [`machines::sierra_node`] |
+/// | `ea-k80` | 12 | 2 | 32 | 0.19 | [`machines::dev_k80`] |
+/// | `knl-batch` | 8 | 0 | 68 | 1.70 | [`machines::cori2`] |
+/// | `arm-eff` | 16 | 0 | 32 | 0.55 | (efficiency cores, no preset) |
+///
+/// The ARM class has no Table 2 preset; its numbers describe a
+/// ThunderX2-era efficiency part: slow cores, but an idle floor an order
+/// of magnitude under the big nodes and a near-instant wake.
+pub fn default_fleet() -> Vec<MachineClass> {
+    let arm = MachineClass {
+        name: "arm-eff",
+        arch: Arch::Arm,
+        count: 16,
+        gpus_per_node: 0,
+        cores_per_node: 32,
+        speed: 0.55,
+        power: PowerSpec {
+            off_w: 4.0,
+            idle_w: 24.0,
+            active_w: 110.0,
+            gpu_active_w: 0.0,
+        },
+        wake_s: 15.0,
+    };
+    vec![
+        MachineClass::from_machine("sierra-gpu", Arch::Power, &machines::sierra_node(), 12),
+        MachineClass::from_machine("ea-k80", Arch::X86, &machines::dev_k80(), 12),
+        MachineClass::from_machine("knl-batch", Arch::X86, &machines::cori2(), 8),
+        arm,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fleet_spans_the_class_axes() {
+        let fleet = default_fleet();
+        assert_eq!(fleet.len(), 4);
+        assert!(fleet.iter().any(|c| c.gpus_per_node > 0));
+        assert!(fleet.iter().any(|c| c.gpus_per_node == 0));
+        assert!(fleet.iter().any(|c| c.arch == Arch::Arm));
+        // Sierra is the reference: speed exactly 1.
+        let sierra = &fleet[0];
+        assert_eq!(sierra.speed, 1.0);
+        assert_eq!(sierra.gpus_per_node, 4);
+        // The K80 EA node is far slower per GPU, KNL faster per core.
+        assert!(fleet[1].speed < 0.25, "{}", fleet[1].speed);
+        assert!(fleet[2].speed > 1.5, "{}", fleet[2].speed);
+        // Power states stay ordered for every class.
+        for c in &fleet {
+            assert!(c.power.off_w < c.power.idle_w);
+            assert!(c.power.idle_w < c.power.active_w);
+        }
+    }
+}

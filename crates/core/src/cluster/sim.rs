@@ -1,0 +1,577 @@
+//! The event-driven cluster simulator: a heterogeneous fleet with
+//! per-node power states serving a job stream under any [`SchedPolicy`].
+//!
+//! The simulator owns three event kinds — job arrival, job finish, and
+//! node park — on one binary heap keyed by simulated time. After every
+//! event batch it rebuilds a [`ClusterView`] (queue, running set, and one
+//! [`NodeView`] per node) and calls the policy's `select` repeatedly
+//! until it declines. Placement rescales the job's reference duration by
+//! the node's relative speed; waking a parked node charges the class's
+//! boot latency to the job's wait. Per-node energy is integrated lazily:
+//! each node carries a `power_mark`, advanced (and its joules charged at
+//! the power state in force) whenever the node's state changes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hetsim::obs::{Recorder, SpanKind};
+use sched::{ClusterView, JobInfo, NodeView, QueuedJob, RunningJob, SchedPolicy};
+
+use super::machine::MachineClass;
+use super::stream::ClusterJob;
+
+/// Fleet plus operating policy knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub fleet: Vec<MachineClass>,
+    /// Power governor: a node idle this long is powered off (`None` =
+    /// nodes never park, the classic always-on machine room).
+    pub park_after_s: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// The default fleet with a 2-minute park governor.
+    pub fn default_fleet() -> ClusterConfig {
+        ClusterConfig {
+            fleet: super::machine::default_fleet(),
+            park_after_s: Some(120.0),
+        }
+    }
+}
+
+/// What one simulated serving run produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterMetrics {
+    pub completed: usize,
+    /// Jobs that carried a finite SLA deadline.
+    pub sla_tracked: usize,
+    pub sla_violations: usize,
+    /// `sla_violations / sla_tracked` (0 when nothing is tracked).
+    pub sla_violation_rate: f64,
+    /// Busy GPU-seconds over total GPU-seconds to the makespan.
+    pub utilization: f64,
+    /// Busy core-seconds over total core-seconds to the makespan.
+    pub cpu_utilization: f64,
+    pub mean_wait: f64,
+    pub p50_wait: f64,
+    pub p99_wait: f64,
+    pub makespan: f64,
+    /// Fleet energy to the makespan, joules.
+    pub joules: f64,
+    /// Parked-node wakes (each charged its class's boot latency).
+    pub wakes: usize,
+    /// Idle nodes powered off by the governor.
+    pub parks: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrive(usize),
+    Finish {
+        node: usize,
+        job: usize,
+    },
+    /// Park check scheduled when a node went idle at `idle_stamp`; fires
+    /// only if the node is still in that same idle stretch.
+    Park {
+        node: usize,
+        idle_stamp: f64,
+    },
+}
+
+struct HeapEv {
+    time: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
+    // insertion order (`seq`) breaking time ties deterministically.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeState {
+    class: usize,
+    speed: f64,
+    wake_s: f64,
+    gpus_total: usize,
+    cores_total: usize,
+    gpus_free: usize,
+    cores_free: usize,
+    running: usize,
+    on: bool,
+    idle_since: f64,
+    power_mark: f64,
+    joules: f64,
+}
+
+impl NodeState {
+    fn view(&self, id: usize) -> NodeView {
+        NodeView {
+            id,
+            class: self.class,
+            gpus_free: self.gpus_free,
+            cores_free: self.cores_free,
+            gpus_total: self.gpus_total,
+            cores_total: self.cores_total,
+            speed: self.speed,
+            busy: self.running > 0,
+        }
+    }
+}
+
+/// Serve `jobs` on the configured fleet under `policy`, recording
+/// `cluster.*` gauges/counters and a `cluster`-track span into `rec`.
+///
+/// Panics if some job fits no node of the fleet (it could never run).
+pub fn simulate_cluster(
+    cfg: &ClusterConfig,
+    jobs: &[ClusterJob],
+    policy: &dyn SchedPolicy,
+    rec: &Recorder,
+) -> ClusterMetrics {
+    let fleet = &cfg.fleet;
+    let mut nodes: Vec<NodeState> = Vec::new();
+    for (ci, c) in fleet.iter().enumerate() {
+        for _ in 0..c.count {
+            nodes.push(NodeState {
+                class: ci,
+                speed: c.speed,
+                wake_s: c.wake_s,
+                gpus_total: c.gpus_per_node,
+                cores_total: c.cores_per_node,
+                gpus_free: c.gpus_per_node,
+                cores_free: c.cores_per_node,
+                running: 0,
+                on: true,
+                idle_since: 0.0,
+                power_mark: 0.0,
+                joules: 0.0,
+            });
+        }
+    }
+    let total_gpus: usize = nodes.iter().map(|n| n.gpus_total).sum();
+    let total_cores: usize = nodes.iter().map(|n| n.cores_total).sum();
+    for j in jobs {
+        assert!(
+            nodes
+                .iter()
+                .any(|n| j.gpus <= n.gpus_total && j.cores <= n.cores_total),
+            "job {} ({} GPUs, {} cores) fits no node of the fleet",
+            j.id,
+            j.gpus,
+            j.cores
+        );
+    }
+
+    let mut heap: BinaryHeap<HeapEv> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<HeapEv>, seq: &mut u64, time: f64, ev: Ev| {
+        heap.push(HeapEv {
+            time,
+            seq: *seq,
+            ev,
+        });
+        *seq += 1;
+    };
+    for (i, j) in jobs.iter().enumerate() {
+        push(&mut heap, &mut seq, j.arrival, Ev::Arrive(i));
+    }
+    // The whole fleet starts on and idle: the governor's first sweep.
+    if let Some(d) = cfg.park_after_s {
+        for ni in 0..nodes.len() {
+            push(
+                &mut heap,
+                &mut seq,
+                d,
+                Ev::Park {
+                    node: ni,
+                    idle_stamp: 0.0,
+                },
+            );
+        }
+    }
+
+    let mut queue: Vec<QueuedJob> = Vec::new();
+    let mut running: Vec<(usize, RunningJob)> = Vec::new();
+    let mut waits: Vec<f64> = Vec::with_capacity(jobs.len());
+    let mut completed = 0usize;
+    let mut sla_tracked = 0usize;
+    let mut sla_violations = 0usize;
+    let mut busy_gpu_s = 0.0f64;
+    let mut busy_core_s = 0.0f64;
+    let mut wakes = 0usize;
+    let mut parks = 0usize;
+    let mut makespan = 0.0f64;
+
+    // Charge a node's energy at its current power state up to `now`.
+    let integrate = |n: &mut NodeState, power: &[MachineClass], now: f64| {
+        let frac = if n.cores_total == 0 {
+            0.0
+        } else {
+            (n.cores_total - n.cores_free) as f64 / n.cores_total as f64
+        };
+        let busy_gpus = n.gpus_total - n.gpus_free;
+        let w = power[n.class].power.node_watts(n.on, frac, busy_gpus);
+        n.joules += w * (now - n.power_mark);
+        n.power_mark = now;
+    };
+
+    while let Some(head) = heap.pop() {
+        let now = head.time;
+        makespan = makespan.max(now);
+        let mut batch = vec![head.ev];
+        // Drain simultaneous events so one scheduling pass sees them all.
+        while let Some(nxt) = heap.peek() {
+            if nxt.time > now {
+                break;
+            }
+            batch.push(heap.pop().expect("peeked").ev);
+        }
+        for ev in batch {
+            match ev {
+                Ev::Arrive(i) => {
+                    let j = &jobs[i];
+                    queue.push(QueuedJob {
+                        job: JobInfo {
+                            id: j.id,
+                            arrival: j.arrival,
+                            duration: j.duration,
+                            gpus: j.gpus,
+                            cores: j.cores,
+                            deadline: j.deadline,
+                        },
+                        bypassed: 0,
+                    });
+                }
+                Ev::Finish { node, job } => {
+                    let j = &jobs[job];
+                    let n = &mut nodes[node];
+                    integrate(n, fleet, now);
+                    n.gpus_free += j.gpus;
+                    n.cores_free += j.cores;
+                    n.running -= 1;
+                    if n.running == 0 {
+                        n.idle_since = now;
+                        if let Some(d) = cfg.park_after_s {
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                now + d,
+                                Ev::Park {
+                                    node,
+                                    idle_stamp: now,
+                                },
+                            );
+                        }
+                    }
+                    let pos = running
+                        .iter()
+                        .position(|&(id, _)| id == job)
+                        .expect("finishing job is running");
+                    running.swap_remove(pos);
+                    completed += 1;
+                    if j.deadline.is_finite() {
+                        sla_tracked += 1;
+                        if now > j.deadline + 1e-9 {
+                            sla_violations += 1;
+                        }
+                    }
+                }
+                Ev::Park { node, idle_stamp } => {
+                    let n = &mut nodes[node];
+                    if n.on && n.running == 0 && n.idle_since == idle_stamp {
+                        integrate(n, fleet, now);
+                        n.on = false;
+                        parks += 1;
+                    }
+                }
+            }
+        }
+
+        // Scheduling pass: ask the policy until it declines.
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            let node_views: Vec<NodeView> =
+                nodes.iter().enumerate().map(|(i, n)| n.view(i)).collect();
+            let free_gpus = nodes.iter().map(|n| n.gpus_free).sum();
+            let run_view: Vec<RunningJob> = running.iter().map(|&(_, r)| r).collect();
+            let view = ClusterView {
+                now,
+                queue: &queue,
+                running: &run_view,
+                free_gpus,
+                total_gpus,
+                nodes: &node_views,
+            };
+            let Some(d) = policy.select(&view) else { break };
+            if d.queue_idx >= queue.len() {
+                break; // defensive: a buggy policy must not wedge the sim
+            }
+            let job = queue[d.queue_idx].job;
+            // Respect the policy's pin when valid, else place on the
+            // fastest fitting node (prefer awake ones, then best fit).
+            let target =
+                d.node
+                    .filter(|&ni| ni < node_views.len() && node_views[ni].fits(&job))
+                    .or_else(|| {
+                        node_views
+                            .iter()
+                            .filter(|n| n.fits(&job))
+                            .min_by(|a, b| {
+                                b.speed
+                                    .partial_cmp(&a.speed)
+                                    .expect("finite")
+                                    .then_with(|| {
+                                        (!nodes[a.id].on as usize, a.gpu_leftover(&job), a.id).cmp(
+                                            &(!nodes[b.id].on as usize, b.gpu_leftover(&job), b.id),
+                                        )
+                                    })
+                            })
+                            .map(|n| n.id)
+                    });
+            let Some(ni) = target else { break };
+            policy.on_select(&mut queue, d.queue_idx);
+            queue.remove(d.queue_idx);
+
+            let n = &mut nodes[ni];
+            integrate(n, fleet, now);
+            let start = if n.on {
+                now
+            } else {
+                n.on = true;
+                wakes += 1;
+                now + n.wake_s
+            };
+            n.gpus_free -= job.gpus;
+            n.cores_free -= job.cores;
+            n.running += 1;
+            let runtime = job.duration / n.speed;
+            let finish = start + runtime;
+            waits.push(start - job.arrival);
+            busy_gpu_s += runtime * job.gpus as f64;
+            busy_core_s += runtime * job.cores as f64;
+            running.push((
+                job.id,
+                RunningJob {
+                    finish,
+                    gpus: job.gpus,
+                    cores: job.cores,
+                },
+            ));
+            push(
+                &mut heap,
+                &mut seq,
+                finish,
+                Ev::Finish {
+                    node: ni,
+                    job: job.id,
+                },
+            );
+        }
+        if completed == jobs.len() {
+            // Only governor park checks remain; the serving run is over
+            // and `makespan` is the last job's finish.
+            break;
+        }
+    }
+    assert!(queue.is_empty(), "drained heap with jobs still queued");
+    assert_eq!(completed, jobs.len());
+
+    for n in &mut nodes {
+        integrate(n, fleet, makespan);
+    }
+    let joules: f64 = nodes.iter().map(|n| n.joules).sum();
+    waits.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits[((waits.len() - 1) as f64 * q).round() as usize]
+        }
+    };
+    let span = makespan.max(1e-9);
+    let m = ClusterMetrics {
+        completed,
+        sla_tracked,
+        sla_violations,
+        sla_violation_rate: if sla_tracked == 0 {
+            0.0
+        } else {
+            sla_violations as f64 / sla_tracked as f64
+        },
+        utilization: busy_gpu_s / (total_gpus.max(1) as f64 * span),
+        cpu_utilization: busy_core_s / (total_cores.max(1) as f64 * span),
+        mean_wait: waits.iter().sum::<f64>() / waits.len().max(1) as f64,
+        p50_wait: pct(0.50),
+        p99_wait: pct(0.99),
+        makespan,
+        joules,
+        wakes,
+        parks,
+    };
+
+    rec.record_span(
+        format!("cluster:{}", policy.name()),
+        SpanKind::Phase,
+        "cluster",
+        0.0,
+        makespan,
+    );
+    rec.incr("cluster.jobs_completed", m.completed as f64);
+    rec.incr("cluster.sla_violations", m.sla_violations as f64);
+    rec.incr("cluster.node_wakes", m.wakes as f64);
+    rec.incr("cluster.node_parks", m.parks as f64);
+    rec.gauge("cluster.sla_violation_rate", m.sla_violation_rate);
+    rec.gauge("cluster.utilization", m.utilization);
+    rec.gauge("cluster.cpu_utilization", m.cpu_utilization);
+    rec.gauge("cluster.p50_wait_s", m.p50_wait);
+    rec.gauge("cluster.p99_wait_s", m.p99_wait);
+    rec.gauge("cluster.joules", m.joules);
+    rec.gauge("cluster.makespan_s", m.makespan);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::stream::{job_stream, StreamConfig};
+    use super::*;
+    use sched::{EasyBackfill, Fcfs, GpuBinPack, Sjf, SjfQuota, SlaUrgency};
+
+    fn small_stream() -> Vec<ClusterJob> {
+        job_stream(&StreamConfig::spiky(150, 4.0, 5))
+    }
+
+    #[test]
+    fn every_builtin_policy_completes_the_stream() {
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = small_stream();
+        let policies: Vec<Box<dyn SchedPolicy>> = vec![
+            Box::new(Fcfs),
+            Box::new(Sjf),
+            Box::new(SjfQuota { quota: 8 }),
+            Box::new(EasyBackfill),
+            Box::new(GpuBinPack),
+            Box::new(SlaUrgency),
+        ];
+        for p in &policies {
+            let rec = Recorder::noop();
+            let m = simulate_cluster(&cfg, &jobs, p.as_ref(), &rec);
+            assert_eq!(m.completed, jobs.len(), "{}", p.name());
+            assert!(m.utilization <= 1.0 + 1e-9, "{}", p.name());
+            assert!(m.cpu_utilization <= 1.0 + 1e-9, "{}", p.name());
+            assert!(m.joules > 0.0);
+            assert!(m.makespan >= jobs.last().expect("jobs").arrival);
+            assert!(m.sla_tracked > 0 && m.sla_tracked <= m.completed);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = small_stream();
+        let rec = Recorder::noop();
+        let a = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
+        let b = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parking_saves_energy_on_a_sparse_stream() {
+        let mut cfg = ClusterConfig::default_fleet();
+        let mut calm = StreamConfig::baseline(60, 9);
+        calm.base_rate = 0.01; // long idle gaps between jobs
+        let jobs = job_stream(&calm);
+        let rec = Recorder::noop();
+        cfg.park_after_s = Some(60.0);
+        let parked = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
+        cfg.park_after_s = None;
+        let always_on = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
+        assert!(parked.parks > 0);
+        assert_eq!(always_on.parks, 0);
+        assert_eq!(always_on.wakes, 0);
+        assert!(
+            parked.joules < 0.8 * always_on.joules,
+            "parking should cut energy: {} vs {}",
+            parked.joules,
+            always_on.joules
+        );
+    }
+
+    #[test]
+    fn wakes_charge_boot_latency_to_waits() {
+        // One job arriving long after the governor parked the fleet must
+        // wait out the boot.
+        let cfg = ClusterConfig {
+            fleet: super::super::machine::default_fleet(),
+            park_after_s: Some(10.0),
+        };
+        let jobs = vec![ClusterJob {
+            id: 0,
+            class: super::super::stream::TaskClass::GpuBurst,
+            arrival: 1_000.0,
+            duration: 50.0,
+            gpus: 1,
+            cores: 2,
+            deadline: f64::INFINITY,
+        }];
+        let rec = Recorder::noop();
+        let m = simulate_cluster(&cfg, &jobs, &Fcfs, &rec);
+        assert_eq!(m.wakes, 1);
+        assert!(m.p50_wait >= 59.0, "boot latency charged: {}", m.p50_wait);
+    }
+
+    #[test]
+    fn gauges_and_timeline_track_are_published() {
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = job_stream(&StreamConfig::baseline(80, 2));
+        let rec = Recorder::enabled();
+        simulate_cluster(&cfg, &jobs, &SlaUrgency, &rec);
+        assert!(rec
+            .gauges()
+            .iter()
+            .any(|(k, _)| k.as_str() == "cluster.joules"));
+        assert!(rec
+            .gauges()
+            .iter()
+            .any(|(k, _)| k.as_str() == "cluster.sla_violation_rate"));
+        assert!(rec.counter("cluster.jobs_completed") > 0.0);
+        let tl = rec.render_timeline(60);
+        assert!(tl.contains("cluster"), "timeline track present:\n{tl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fits no node")]
+    fn impossible_jobs_are_rejected_up_front() {
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = vec![ClusterJob {
+            id: 0,
+            class: super::super::stream::TaskClass::GpuSolve,
+            arrival: 0.0,
+            duration: 10.0,
+            gpus: 64,
+            cores: 0,
+            deadline: f64::INFINITY,
+        }];
+        simulate_cluster(&cfg, &jobs, &Fcfs, &Recorder::noop());
+    }
+}

@@ -1,0 +1,274 @@
+//! The stochastic job stream the cluster serves.
+//!
+//! Four task classes cover the workload-diversity axes the paper's
+//! operations sections describe: short GPU bursts with tight SLAs
+//! (interactive inference / viz), long heavy-tailed GPU solves, wide
+//! best-effort CPU batch jobs, and small latency-sensitive interactive
+//! work. Arrivals follow a piecewise-inhomogeneous Poisson process:
+//! a base rate modulated by [`Spike`] windows (`rate_mult > 1` = load
+//! spike, `< 1` = sparse tail).
+//!
+//! Task-class → machine-class affinity is expressed through resource
+//! shape: GPU classes can only land on GPU nodes, and `CpuBatch` demands
+//! more cores than the small classes own, steering it to the big
+//! CPU nodes. Everything is deterministic in `seed`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The four task classes of the stream, in mix-weight order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskClass {
+    /// Short single-GPU burst (inference / interactive viz): tight SLA.
+    GpuBurst,
+    /// Long multi-GPU solve with a Pareto duration tail: loose SLA.
+    GpuSolve,
+    /// Wide CPU-only batch job: best-effort, no SLA.
+    CpuBatch,
+    /// Small CPU-only interactive job: the tightest SLA in the mix.
+    Interactive,
+}
+
+impl TaskClass {
+    pub const ALL: [TaskClass; 4] = [
+        TaskClass::GpuBurst,
+        TaskClass::GpuSolve,
+        TaskClass::CpuBatch,
+        TaskClass::Interactive,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskClass::GpuBurst => "gpu-burst",
+            TaskClass::GpuSolve => "gpu-solve",
+            TaskClass::CpuBatch => "cpu-batch",
+            TaskClass::Interactive => "interactive",
+        }
+    }
+
+    /// Resource demand (GPUs, cores) for one job of this class.
+    fn demand(&self, rng: &mut SmallRng) -> (usize, usize) {
+        match self {
+            TaskClass::GpuBurst => (1, 2),
+            // 2 or 4 GPUs — 4-wide solves only fit the big GPU nodes.
+            TaskClass::GpuSolve => {
+                let g = if rng.gen_bool(0.4) { 4 } else { 2 };
+                (g, 2 * g)
+            }
+            // 24..=64 cores: wider than the small nodes, so batch work is
+            // steered to the big CPU classes (the affinity mechanism).
+            TaskClass::CpuBatch => (0, 24 + 8 * rng.gen_range(0usize..6)),
+            TaskClass::Interactive => (0, 2 + 2 * rng.gen_range(0usize..4)),
+        }
+    }
+
+    /// Reference-node runtime in seconds. `GpuSolve` carries the heavy
+    /// (Pareto, alpha 1.5) tail; the rest are bounded uniform draws.
+    fn duration(&self, rng: &mut SmallRng) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        match self {
+            TaskClass::GpuBurst => 20.0 + 70.0 * u,
+            TaskClass::GpuSolve => {
+                // Pareto(xm = 240 s, alpha = 1.5), capped at 2 h so one
+                // draw cannot dwarf the whole stream.
+                (240.0 * u.powf(-1.0 / 1.5)).min(7_200.0)
+            }
+            TaskClass::CpuBatch => 300.0 + 1_500.0 * u,
+            TaskClass::Interactive => 5.0 + 25.0 * u,
+        }
+    }
+
+    /// SLA deadline slack as (multiplier on duration, flat floor in
+    /// seconds); `None` = best-effort, no deadline.
+    fn sla(&self) -> Option<(f64, f64)> {
+        match self {
+            TaskClass::GpuBurst => Some((4.0, 30.0)),
+            TaskClass::GpuSolve => Some((10.0, 300.0)),
+            TaskClass::CpuBatch => None,
+            TaskClass::Interactive => Some((3.0, 20.0)),
+        }
+    }
+}
+
+/// One job of the stream, demand already drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterJob {
+    pub id: usize,
+    pub class: TaskClass,
+    pub arrival: f64,
+    /// Reference-node runtime, seconds (rescaled by node speed at
+    /// placement).
+    pub duration: f64,
+    pub gpus: usize,
+    pub cores: usize,
+    /// Absolute SLA deadline (`f64::INFINITY` = best-effort).
+    pub deadline: f64,
+}
+
+/// A window where the arrival rate is multiplied: `> 1` models a load
+/// spike, `< 1` a sparse tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    pub start: f64,
+    pub end: f64,
+    pub rate_mult: f64,
+}
+
+/// Everything that parameterises one stream draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Base Poisson arrival rate, jobs/s.
+    pub base_rate: f64,
+    /// Rate-modulation windows (may overlap; multipliers compose).
+    pub spikes: Vec<Spike>,
+    /// Mix weights over [`TaskClass::ALL`] (need not sum to 1).
+    pub mix: [f64; 4],
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Steady Poisson traffic, no modulation.
+    pub fn baseline(jobs: usize, seed: u64) -> StreamConfig {
+        StreamConfig {
+            jobs,
+            base_rate: 0.12,
+            spikes: Vec::new(),
+            mix: [0.45, 0.15, 0.10, 0.30],
+            seed,
+        }
+    }
+
+    /// The spike-survival scenario: a sparse overnight tail followed by a
+    /// morning load spike of `mult` times the base rate.
+    pub fn spiky(jobs: usize, mult: f64, seed: u64) -> StreamConfig {
+        let mut cfg = StreamConfig::baseline(jobs, seed);
+        cfg.spikes = vec![
+            Spike {
+                start: 600.0,
+                end: 1_800.0,
+                rate_mult: 0.25,
+            },
+            Spike {
+                start: 2_400.0,
+                end: 3_600.0,
+                rate_mult: mult,
+            },
+        ];
+        cfg
+    }
+
+    /// Instantaneous rate multiplier at time `t`.
+    fn mult_at(&self, t: f64) -> f64 {
+        self.spikes
+            .iter()
+            .filter(|s| s.start <= t && t < s.end)
+            .map(|s| s.rate_mult)
+            .product()
+    }
+}
+
+/// Draw the full job stream for `cfg`, sorted by arrival, ids `0..jobs`.
+pub fn job_stream(cfg: &StreamConfig) -> Vec<ClusterJob> {
+    assert!(cfg.base_rate > 0.0, "base_rate must be positive");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC1A5_7E0D);
+    let total_w: f64 = cfg.mix.iter().sum();
+    assert!(total_w > 0.0, "mix weights must not all be zero");
+    let mut t = 0.0f64;
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    for id in 0..cfg.jobs {
+        // Inhomogeneous Poisson via per-step rate: the exponential gap is
+        // drawn at the rate in force when the previous job arrived (a
+        // piecewise approximation that keeps one draw per arrival).
+        let rate = cfg.base_rate * cfg.mult_at(t);
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        t += -u.ln() / rate.max(1e-9);
+        // Weighted class draw.
+        let mut pick = rng.gen::<f64>() * total_w;
+        let mut class = TaskClass::Interactive;
+        for (i, c) in TaskClass::ALL.iter().enumerate() {
+            if pick < cfg.mix[i] {
+                class = *c;
+                break;
+            }
+            pick -= cfg.mix[i];
+        }
+        let (gpus, cores) = class.demand(&mut rng);
+        let duration = class.duration(&mut rng);
+        let deadline = match class.sla() {
+            Some((mult, floor)) => t + mult * duration + floor,
+            None => f64::INFINITY,
+        };
+        jobs.push(ClusterJob {
+            id,
+            class,
+            arrival: t,
+            duration,
+            gpus,
+            cores,
+            deadline,
+        });
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sorted() {
+        let cfg = StreamConfig::spiky(400, 4.0, 7);
+        let a = job_stream(&cfg);
+        let b = job_stream(&cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(a.len(), 400);
+    }
+
+    #[test]
+    fn stream_covers_every_class_and_respects_shapes() {
+        let jobs = job_stream(&StreamConfig::baseline(600, 3));
+        for c in TaskClass::ALL {
+            assert!(jobs.iter().any(|j| j.class == c), "missing {:?}", c);
+        }
+        for j in &jobs {
+            assert!(j.duration > 0.0);
+            match j.class {
+                TaskClass::GpuBurst => assert_eq!((j.gpus, j.cores), (1, 2)),
+                TaskClass::GpuSolve => assert!(j.gpus == 2 || j.gpus == 4),
+                TaskClass::CpuBatch => {
+                    assert_eq!(j.gpus, 0);
+                    assert!((24..=64).contains(&j.cores));
+                    assert_eq!(j.deadline, f64::INFINITY, "batch is best-effort");
+                }
+                TaskClass::Interactive => {
+                    assert_eq!(j.gpus, 0);
+                    assert!(j.deadline.is_finite());
+                }
+            }
+            if j.deadline.is_finite() {
+                assert!(
+                    j.deadline > j.arrival + j.duration,
+                    "SLA allows a clean run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spikes_compress_interarrival_gaps() {
+        let calm = job_stream(&StreamConfig::baseline(500, 11));
+        let spiky = job_stream(&StreamConfig::spiky(500, 8.0, 11));
+        // The spiky stream fits the same number of jobs into less time
+        // overall only if the spike outweighs the sparse window; at x8 it
+        // does, decisively.
+        let calm_span = calm.last().expect("jobs").arrival;
+        let spiky_span = spiky.last().expect("jobs").arrival;
+        assert!(
+            spiky_span < calm_span,
+            "x8 spike should compress the stream: {spiky_span} vs {calm_span}"
+        );
+    }
+}

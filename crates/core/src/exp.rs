@@ -72,6 +72,93 @@ impl Report {
     }
 }
 
+/// Typed run parameters for an experiment: the seed and scale knobs the
+/// `experiments` binary exposes as `--param k=v`.
+///
+/// [`ExpParams::default`] is the golden configuration — every
+/// conformance document in `tests/golden/` is generated with it, and
+/// experiments must be byte-identical under it to a call that never
+/// mentions params at all (the provided [`Experiment::run`] guarantees
+/// this by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpParams {
+    seed: u64,
+    scale: f64,
+}
+
+impl Default for ExpParams {
+    fn default() -> ExpParams {
+        ExpParams {
+            seed: 42,
+            scale: 1.0,
+        }
+    }
+}
+
+impl ExpParams {
+    pub fn new() -> ExpParams {
+        ExpParams::default()
+    }
+
+    /// RNG seed for every stochastic draw the experiment makes.
+    pub fn with_seed(mut self, seed: u64) -> ExpParams {
+        self.seed = seed;
+        self
+    }
+
+    /// Problem-size multiplier (> 0): experiments scale their job counts
+    /// / iteration counts by this.
+    pub fn with_scale(mut self, scale: f64) -> ExpParams {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// A baseline count scaled by `scale`, never below 1.
+    pub fn scaled(&self, baseline: usize) -> usize {
+        ((baseline as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Apply one `--param key=value` pair. Unknown keys and unparsable
+    /// values are reported, not panicked, so the CLI can exit cleanly.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "seed" => {
+                self.seed = value
+                    .parse()
+                    .map_err(|_| format!("seed wants a u64, got '{value}'"))?;
+            }
+            "scale" => {
+                let s: f64 = value
+                    .parse()
+                    .map_err(|_| format!("scale wants a number, got '{value}'"))?;
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(format!("scale must be positive and finite, got {s}"));
+                }
+                self.scale = s;
+            }
+            other => return Err(format!("unknown param '{other}' (known: seed, scale)")),
+        }
+        Ok(())
+    }
+
+    /// Parse a CLI `key=value` token.
+    pub fn set_pair(&mut self, pair: &str) -> Result<(), String> {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--param wants key=value, got '{pair}'"))?;
+        self.set(k.trim(), v.trim())
+    }
+}
+
 /// One paper artifact behind the `experiments` harness.
 pub trait Experiment: Send + Sync {
     /// Stable id used on the command line (`experiments <id>`).
@@ -80,16 +167,22 @@ pub trait Experiment: Send + Sync {
     /// Which paper artifact this regenerates ("Fig. 8", "Table 4", …).
     fn paper_artifact(&self) -> &'static str;
 
-    /// Regenerate the artifact, recording spans/metrics into `rec`.
-    fn run(&self, rec: &mut Recorder) -> Report;
+    /// Regenerate the artifact under explicit parameters.
+    fn run_with(&self, rec: &mut Recorder, params: &ExpParams) -> Report;
+
+    /// Regenerate under the golden defaults — the conformance path.
+    fn run(&self, rec: &mut Recorder) -> Report {
+        self.run_with(rec, &ExpParams::default())
+    }
 }
 
 /// An [`Experiment`] built from plain function pointers — how `bench`
-/// registers its artifacts without a struct per experiment.
+/// registers its artifacts without a struct per experiment. Legacy
+/// experiments that take no parameters register with `|rec, _| …`.
 pub struct FnExperiment {
     pub id: &'static str,
     pub paper_artifact: &'static str,
-    pub f: fn(&mut Recorder) -> Report,
+    pub f: fn(&mut Recorder, &ExpParams) -> Report,
 }
 
 impl Experiment for FnExperiment {
@@ -101,8 +194,8 @@ impl Experiment for FnExperiment {
         self.paper_artifact
     }
 
-    fn run(&self, rec: &mut Recorder) -> Report {
-        (self.f)(rec)
+    fn run_with(&self, rec: &mut Recorder, params: &ExpParams) -> Report {
+        (self.f)(rec, params)
     }
 }
 
@@ -149,11 +242,23 @@ impl Registry {
         self.items.is_empty()
     }
 
-    /// Run one experiment under a root span named `exp:<id>`.
+    /// Run one experiment under a root span named `exp:<id>`, with the
+    /// golden default parameters.
     pub fn run(&self, id: &str, rec: &mut Recorder) -> Option<Report> {
+        self.run_with_params(id, rec, &ExpParams::default())
+    }
+
+    /// Run one experiment under a root span named `exp:<id>` with
+    /// explicit parameters (`experiments <id> --param k=v`).
+    pub fn run_with_params(
+        &self,
+        id: &str,
+        rec: &mut Recorder,
+        params: &ExpParams,
+    ) -> Option<Report> {
         let e = self.get(id)?;
         let root = rec.begin(format!("exp:{id}"), SpanKind::Experiment);
-        let report = e.run(rec);
+        let report = e.run_with(rec, params);
         rec.end(root);
         Some(report)
     }
@@ -195,7 +300,7 @@ mod tests {
         r.register(FnExperiment {
             id: "toy",
             paper_artifact: "Fig. 0",
-            f: |rec| {
+            f: |rec, _| {
                 rec.incr("flops", 42.0);
                 let mut t = Table::new("toy", &["a", "b"]);
                 t.row_strs(&["1", "2"]);
@@ -203,6 +308,38 @@ mod tests {
             },
         });
         r
+    }
+
+    #[test]
+    fn params_builder_and_cli_pairs_agree() {
+        let built = ExpParams::new().with_seed(7).with_scale(2.5);
+        let mut cli = ExpParams::default();
+        cli.set_pair("seed=7").expect("seed parses");
+        cli.set_pair("scale = 2.5")
+            .expect("scale parses, spaces ok");
+        assert_eq!(built, cli);
+        assert_eq!(built.scaled(10), 25);
+        assert_eq!(ExpParams::default().scaled(10), 10);
+        assert!(cli.set_pair("nonsense").is_err(), "missing '='");
+        assert!(cli.set_pair("bogus=1").is_err(), "unknown key");
+        assert!(cli.set_pair("scale=-1").is_err(), "negative scale");
+        assert!(cli.set_pair("seed=x").is_err(), "non-numeric seed");
+        assert_eq!(cli, built, "failed sets leave params untouched");
+    }
+
+    #[test]
+    fn default_params_are_the_golden_path() {
+        // `run` (no params) and `run_with` (explicit defaults) must be
+        // the same code path — the conformance documents depend on it.
+        let reg = toy_registry();
+        let mut a = Recorder::enabled();
+        let mut b = Recorder::enabled();
+        let ra = reg.run("toy", &mut a).expect("registered");
+        let rb = reg
+            .run_with_params("toy", &mut b, &ExpParams::default())
+            .expect("registered");
+        assert_eq!(ra.tables_json(), rb.tables_json());
+        assert_eq!(a.counter("flops"), b.counter("flops"));
     }
 
     #[test]
@@ -234,7 +371,7 @@ mod tests {
         reg.register(FnExperiment {
             id: "toy",
             paper_artifact: "x",
-            f: |_| Report::default(),
+            f: |_, _| Report::default(),
         });
     }
 

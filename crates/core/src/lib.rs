@@ -25,13 +25,14 @@
 //! | Optimization Framework | [`topopt`], [`sched`] |
 //! | Substrates | [`hetsim`], [`portal`], [`linalg`] |
 
+pub mod cluster;
 pub mod exp;
 pub mod lessons;
 pub mod par;
 pub mod registry;
 pub mod report;
 
-pub use exp::{Experiment, FnExperiment, Registry, Report};
+pub use exp::{ExpParams, Experiment, FnExperiment, Registry, Report};
 pub use lessons::{lessons, Evidence, Lesson};
 pub use par::{default_jobs, ExpOutput, ExpRun};
 pub use registry::{activities, Activity, Approach};

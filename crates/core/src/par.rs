@@ -29,7 +29,7 @@ use std::sync::Mutex;
 
 use hetsim::obs::Recorder;
 
-use crate::exp::{Registry, Report};
+use crate::exp::{ExpParams, Registry, Report};
 
 /// Tasks-to-workers deal with per-worker deques and back-stealing.
 ///
@@ -160,6 +160,18 @@ impl Registry {
     /// Unknown ids and panicking experiments surface as `Err` outcomes;
     /// they never take the rest of the batch down.
     pub fn run_ids_parallel(&self, ids: &[&'static str], jobs: usize) -> Vec<ExpRun> {
+        self.run_ids_parallel_with(ids, jobs, &ExpParams::default())
+    }
+
+    /// [`Registry::run_ids_parallel`] with explicit [`ExpParams`]
+    /// (the `--param k=v` path of the binary); every experiment of the
+    /// batch sees the same parameters.
+    pub fn run_ids_parallel_with(
+        &self,
+        ids: &[&'static str],
+        jobs: usize,
+        params: &ExpParams,
+    ) -> Vec<ExpRun> {
         run_indexed(ids.len(), jobs, |i| {
             let id = ids[i];
             if self.get(id).is_none() {
@@ -171,7 +183,9 @@ impl Registry {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut rec = Recorder::enabled();
                 let t0 = std::time::Instant::now();
-                let report = self.run(id, &mut rec).expect("id checked above");
+                let report = self
+                    .run_with_params(id, &mut rec, params)
+                    .expect("id checked above");
                 ExpOutput {
                     report,
                     recorder: rec,
@@ -222,7 +236,7 @@ mod tests {
             r.register(FnExperiment {
                 id,
                 paper_artifact: "Fig. 0",
-                f: |rec| {
+                f: |rec, _| {
                     rec.incr("ran", 1.0);
                     let mut t = Table::new("t", &["v"]);
                     t.row_strs(&["1"]);
@@ -321,7 +335,7 @@ mod tests {
         reg.register(FnExperiment {
             id: "boom",
             paper_artifact: "Fig. ∞",
-            f: |_| panic!("deliberate test explosion"),
+            f: |_, _| panic!("deliberate test explosion"),
         });
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the backtrace

@@ -171,6 +171,41 @@ impl TopologySpec {
     }
 }
 
+/// Per-node power-state model (the S/P/C-state shape of datacenter
+/// simulators, collapsed to the three states the cluster layer bills):
+/// a node is **off** (S5-ish residual draw), **idle** (powered, no work),
+/// or **active** (cores busy), and each busy GPU adds its own draw on
+/// top. All figures are watts.
+///
+/// Derived from a [`Machine`]'s published specs by [`Machine::power`]
+/// rather than stored on the node config, so every existing preset gains
+/// energy accounting without a constructor change.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerSpec {
+    /// Residual draw when the node is powered off (PSU + BMC), W.
+    pub off_w: f64,
+    /// Draw when powered on but fully idle (deep C-state cores, idle
+    /// GPUs, fans, DIMM refresh), W.
+    pub idle_w: f64,
+    /// Draw with every CPU core busy and GPUs still idle, W.
+    pub active_w: f64,
+    /// Additional draw per *busy* GPU over its idle floor, W.
+    pub gpu_active_w: f64,
+}
+
+impl PowerSpec {
+    /// Instantaneous node draw: `active_frac` is the busy fraction of
+    /// CPU cores (0.0 = idle, 1.0 = all busy), `busy_gpus` the number of
+    /// GPUs currently running kernels. An off node draws only `off_w`.
+    pub fn node_watts(&self, on: bool, active_frac: f64, busy_gpus: usize) -> f64 {
+        if !on {
+            return self.off_w;
+        }
+        let frac = active_frac.clamp(0.0, 1.0);
+        self.idle_w + (self.active_w - self.idle_w) * frac + self.gpu_active_w * busy_gpus as f64
+    }
+}
+
 /// A full machine: many identical nodes plus a fabric.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Machine {
@@ -196,6 +231,34 @@ impl Machine {
             bw_gbs: 12.0,
             latency_us: 10.0,
         })
+    }
+
+    /// Per-node power-state figures derived from the published specs.
+    ///
+    /// Heuristics (all documented so the numbers are auditable):
+    /// CPU active draw ≈ 2.75 W per core per socket-complex plus a 60 W
+    /// platform floor (2×22-core POWER9 → ~181 W, the right order for a
+    /// 190 W-TDP pair); idle = platform floor + 25 % of the core draw
+    /// (deep C-states); off = 8 W residual. GPU active draw ≈ 38 mW per
+    /// fp64 Gflop/s (V100: 7.8 Tflop/s → ~296 W, its 300 W board power);
+    /// each *idle* GPU is folded into `idle_w` at 10 % of its active
+    /// draw.
+    pub fn power(&self) -> PowerSpec {
+        let cpu_cores_w = 2.75 * self.node.cpu.cores() as f64;
+        let platform_w = 60.0;
+        let gpu_active_w = self
+            .node
+            .gpus
+            .first()
+            .map(|g| 0.038 * g.fp64_gflops)
+            .unwrap_or(0.0);
+        let gpu_idle_w = 0.10 * gpu_active_w * self.node.gpu_count() as f64;
+        PowerSpec {
+            off_w: 8.0,
+            idle_w: platform_w + 0.25 * cpu_cores_w + gpu_idle_w,
+            active_w: platform_w + cpu_cores_w + gpu_idle_w,
+            gpu_active_w,
+        }
     }
 
     /// Intra-node topology derived from the node description: one rank per
@@ -263,6 +326,22 @@ mod tests {
         let t2 = cpu_only.topology();
         assert_eq!(t2.ranks_per_node, 1);
         assert!(t2.intra_link.bw_gbs > 0.0);
+    }
+
+    #[test]
+    fn power_states_are_ordered_and_gpu_draw_dominates_sierra() {
+        let m = crate::machines::sierra_node();
+        let p = m.power();
+        assert!(p.off_w < p.idle_w && p.idle_w < p.active_w);
+        // V100 board power lands near its 300 W spec.
+        assert!((p.gpu_active_w - 296.0).abs() < 10.0, "{}", p.gpu_active_w);
+        // All four GPUs busy dwarf the CPU-active draw.
+        let all_busy = p.node_watts(true, 1.0, 4);
+        assert!(all_busy > 3.0 * p.node_watts(true, 1.0, 0));
+        // Off draws only the residual.
+        assert_eq!(p.node_watts(false, 1.0, 4), p.off_w);
+        // CPU-only machines have no per-GPU draw.
+        assert_eq!(crate::machines::cori2().power().gpu_active_w, 0.0);
     }
 
     #[test]

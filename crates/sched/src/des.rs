@@ -1,8 +1,22 @@
-//! The discrete-event simulator and scheduling policies.
+//! The discrete-event simulator over the pluggable policy trait.
+//!
+//! [`simulate`] runs a job list on a single pool of identical GPUs under
+//! any [`SchedPolicy`] — the four historical policies live in
+//! [`crate::policy`] as concrete types, and the old [`Policy`] enum
+//! survives as a `#[deprecated]` adapter that forwards to them, so
+//! pre-trait call sites compile (and behave) unchanged.
 
+use crate::policy::{ClusterView, JobInfo, QueuedJob, RunningJob, SchedPolicy};
 use crate::workload::Job;
 
-/// Scheduling policy.
+/// Scheduling policy — the original closed enum, kept as a thin adapter.
+///
+/// Each variant forwards to the equivalent [`crate::policy`] type;
+/// metrics are bitwise identical to the pre-trait simulator (pinned by
+/// the conformance proptests in `tests/tests/sched_policy_props.rs`).
+#[deprecated(
+    note = "use the SchedPolicy trait impls in sched::policy (Fcfs, Sjf, SjfQuota, EasyBackfill, GpuBinPack, SlaUrgency)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Strict first-come-first-served: the queue head blocks everyone.
@@ -17,6 +31,33 @@ pub enum Policy {
     EasyBackfill,
 }
 
+#[allow(deprecated)]
+impl SchedPolicy for Policy {
+    fn name(&self) -> &str {
+        match self {
+            Policy::Fcfs => "FCFS",
+            Policy::Sjf => "SJF",
+            Policy::SjfQuota { .. } => "SJF+Quota",
+            Policy::EasyBackfill => "EASY-Backfill",
+        }
+    }
+
+    fn select(&self, view: &ClusterView) -> Option<crate::policy::Decision> {
+        match *self {
+            Policy::Fcfs => crate::policy::Fcfs.select(view),
+            Policy::Sjf => crate::policy::Sjf.select(view),
+            Policy::SjfQuota { quota } => crate::policy::SjfQuota { quota }.select(view),
+            Policy::EasyBackfill => crate::policy::EasyBackfill.select(view),
+        }
+    }
+
+    fn on_select(&self, queue: &mut [QueuedJob], chosen: usize) {
+        if let Policy::SjfQuota { quota } = *self {
+            crate::policy::SjfQuota { quota }.on_select(queue, chosen)
+        }
+    }
+}
+
 /// Simulation output.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
@@ -28,14 +69,11 @@ pub struct Metrics {
     pub completed: usize,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Queued {
-    job: Job,
-    bypassed: usize,
-}
-
 /// Simulate `jobs` on a pool of `gpus` identical GPUs under `policy`.
-pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
+///
+/// Accepts any [`SchedPolicy`] — a concrete policy type, a `&dyn
+/// SchedPolicy`, or (deprecated) a [`Policy`] enum value.
+pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics {
     assert!(gpus >= 1);
     assert!(
         jobs.iter().all(|j| j.gpus <= gpus),
@@ -43,9 +81,8 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
     );
     let mut arrivals: Vec<Job> = jobs.to_vec();
     arrivals.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
-    let mut queue: Vec<Queued> = Vec::new();
-    // Running jobs: (finish time, gpus).
-    let mut running: Vec<(f64, usize)> = Vec::new();
+    let mut queue: Vec<QueuedJob> = Vec::new();
+    let mut running: Vec<RunningJob> = Vec::new();
     let mut free = gpus;
     let mut t = 0.0f64;
     let mut next_arrival = 0usize;
@@ -56,22 +93,31 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
     while waits.len() < n {
         // Launch everything the policy allows right now.
         loop {
-            let pick = select(&mut queue, free, policy, &running, t, gpus);
-            match pick {
-                Some(q) => {
-                    free -= q.job.gpus;
-                    running.push((t + q.job.duration, q.job.gpus));
-                    busy_gpu_seconds += q.job.duration * q.job.gpus as f64;
-                    waits.push(t - q.job.arrival);
-                }
-                None => break,
-            }
+            let view = ClusterView {
+                now: t,
+                queue: &queue,
+                running: &running,
+                free_gpus: free,
+                total_gpus: gpus,
+                nodes: &[],
+            };
+            let Some(d) = policy.select(&view) else { break };
+            policy.on_select(&mut queue, d.queue_idx);
+            let q = queue.remove(d.queue_idx);
+            free -= q.job.gpus;
+            running.push(RunningJob {
+                finish: t + q.job.duration,
+                gpus: q.job.gpus,
+                cores: q.job.cores,
+            });
+            busy_gpu_seconds += q.job.duration * q.job.gpus as f64;
+            waits.push(t - q.job.arrival);
         }
         // Advance to the next event: arrival or completion.
         let t_arr = arrivals.get(next_arrival).map(|j| j.arrival);
         let t_done = running
             .iter()
-            .map(|(f, _)| *f)
+            .map(|r| r.finish)
             .fold(f64::INFINITY, f64::min);
         let t_next = match t_arr {
             Some(a) => a.min(t_done),
@@ -82,9 +128,9 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
         }
         t = t_next;
         // Process completions at t.
-        running.retain(|&(f, g)| {
-            if f <= t + 1e-12 {
-                free += g;
+        running.retain(|r| {
+            if r.finish <= t + 1e-12 {
+                free += r.gpus;
                 false
             } else {
                 true
@@ -92,15 +138,15 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
         });
         // Process arrivals at t.
         while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= t + 1e-12 {
-            queue.push(Queued {
-                job: arrivals[next_arrival],
+            queue.push(QueuedJob {
+                job: JobInfo::from_job(&arrivals[next_arrival]),
                 bypassed: 0,
             });
             next_arrival += 1;
         }
     }
 
-    let makespan = t.max(running.iter().map(|(f, _)| *f).fold(t, f64::max));
+    let makespan = t.max(running.iter().map(|r| r.finish).fold(t, f64::max));
     let mean_wait = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
     let max_wait = waits.iter().copied().fold(0.0, f64::max);
     Metrics {
@@ -112,98 +158,9 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: Policy) -> Metrics {
     }
 }
 
-/// Pick the next job to launch (removing it from the queue), or None.
-fn select(
-    queue: &mut Vec<Queued>,
-    free: usize,
-    policy: Policy,
-    running: &[(f64, usize)],
-    now: f64,
-    _gpus: usize,
-) -> Option<Queued> {
-    if queue.is_empty() {
-        return None;
-    }
-    match policy {
-        Policy::Fcfs => {
-            // Strict: only the head may start.
-            if queue[0].job.gpus <= free {
-                Some(queue.remove(0))
-            } else {
-                None
-            }
-        }
-        Policy::Sjf => {
-            let idx = queue
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| q.job.gpus <= free)
-                .min_by(|a, b| {
-                    a.1.job
-                        .duration
-                        .partial_cmp(&b.1.job.duration)
-                        .expect("finite")
-                })
-                .map(|(i, _)| i)?;
-            Some(queue.remove(idx))
-        }
-        Policy::EasyBackfill => {
-            // Head starts if it fits.
-            if queue[0].job.gpus <= free {
-                return Some(queue.remove(0));
-            }
-            // Shadow time: when will the head job be able to start?
-            let mut finishes: Vec<(f64, usize)> = running.to_vec();
-            finishes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-            let head_need = queue[0].job.gpus;
-            let mut avail = free;
-            let mut shadow = f64::INFINITY;
-            let mut extra_at_shadow = 0usize;
-            for &(f, g) in &finishes {
-                avail += g;
-                if avail >= head_need {
-                    shadow = f;
-                    extra_at_shadow = avail - head_need;
-                    break;
-                }
-            }
-            // Backfill: the first queued job (FCFS order behind the head)
-            // that fits now and either finishes before the shadow or fits
-            // in the capacity left over once the head starts.
-            let idx = queue.iter().enumerate().skip(1).position(|(_, q)| {
-                q.job.gpus <= free
-                    && (now + q.job.duration <= shadow + 1e-12 || q.job.gpus <= extra_at_shadow)
-            })?;
-            Some(queue.remove(idx + 1))
-        }
-        Policy::SjfQuota { quota } => {
-            // Starved jobs first (FIFO among them).
-            if let Some(i) = queue
-                .iter()
-                .position(|q| q.bypassed >= quota && q.job.gpus <= free)
-            {
-                return Some(queue.remove(i));
-            }
-            let idx = queue
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| q.job.gpus <= free)
-                .min_by(|a, b| {
-                    a.1.job
-                        .duration
-                        .partial_cmp(&b.1.job.duration)
-                        .expect("finite")
-                })
-                .map(|(i, _)| i)?;
-            let chosen = queue.remove(idx);
-            for q in queue.iter_mut().take(idx) {
-                q.bypassed += 1;
-            }
-            Some(chosen)
-        }
-    }
-}
-
+// The legacy enum is the deliberate subject under test here: these suites
+// pin the deprecated adapter path to the trait implementations.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +279,7 @@ mod tests {
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod diag {
     use super::*;
@@ -342,6 +300,7 @@ mod diag {
     }
 }
 
+#[allow(deprecated)]
 #[cfg(test)]
 mod backfill_tests {
     use super::*;

@@ -10,6 +10,12 @@
 //! * with batch arrivals, "Shortest Job First with Quota should be used to
 //!   increase GPU utilization (assuming availability of job duration
 //!   information)".
+//!
+//! Scheduling policies are pluggable: implement [`SchedPolicy`] (see
+//! [`policy`]) and hand it to [`simulate`] — or to the cluster-scale
+//! simulator in `icoe::cluster`, which schedules the same trait over a
+//! heterogeneous fleet with power states and SLAs. The historical
+//! [`Policy`] enum still works as a deprecated adapter.
 
 //! ```
 //! use sched::{batch_arrivals, simulate, Policy};
@@ -22,7 +28,14 @@
 //! ```
 
 pub mod des;
+pub mod policy;
 pub mod workload;
 
-pub use des::{simulate, Metrics, Policy};
+#[allow(deprecated)]
+pub use des::Policy;
+pub use des::{simulate, Metrics};
+pub use policy::{
+    ClusterView, Decision, EasyBackfill, Fcfs, GpuBinPack, JobInfo, NodeView, QueuedJob,
+    RunningJob, SchedPolicy, Sjf, SjfQuota, SlaUrgency,
+};
 pub use workload::{batch_arrivals, poisson_arrivals, Job};

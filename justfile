@@ -50,6 +50,12 @@ par-smoke:
     echo "parallel output byte-identical to serial"
     rm -f out_par.json out_ser.json out_par.norm out_ser.norm
 
+# The fleet-serving layer: spike survival + policy shoot-out, with the
+# SLA/joules gauges and the `cluster` timeline track.
+cluster-smoke:
+    cargo run --release --offline -p bench --bin experiments -- cluster-spike --json --timeline --bench-dir out
+    cargo run --release --offline -p bench --bin experiments -- cluster-policies --json --timeline --bench-dir out
+
 bench:
     cargo bench --workspace --offline
 

@@ -42,6 +42,8 @@ fn experiment_list_matches_design_doc_index() {
         "pipeline-overlap",
         "um-oversubscription",
         "collective-overlap",
+        "cluster-spike",
+        "cluster-policies",
         "lessons",
         "machines",
     ];

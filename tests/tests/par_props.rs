@@ -62,7 +62,7 @@ fn quiet_exp(id: &'static str) -> FnExperiment {
     FnExperiment {
         id,
         paper_artifact: "Test fixture",
-        f: |rec| {
+        f: |rec, _params| {
             rec.incr("work", 1.0);
             let mut t = Table::new("fixture", &["k", "v"]);
             t.row_strs(&["work", "1"]);
@@ -82,7 +82,7 @@ fn a_panicking_experiment_never_takes_the_batch_down() {
     reg.register(FnExperiment {
         id: "boom",
         paper_artifact: "Test fixture",
-        f: |_| panic!("{BOOM}"),
+        f: |_, _| panic!("{BOOM}"),
     });
     reg.register(quiet_exp("ok_b"));
 

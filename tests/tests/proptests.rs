@@ -1,6 +1,11 @@
 //! Property-based tests on core data structures and invariants, across
 //! crates.
 
+// The scheduler property below deliberately keeps driving the deprecated
+// `Policy` enum: it doubles as coverage for the legacy adapter over the
+// `SchedPolicy` trait (see `sched_policy_props.rs` for the trait suite).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 proptest! {

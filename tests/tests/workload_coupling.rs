@@ -5,8 +5,10 @@
 use hetsim::{machines, Sim, Target};
 
 /// MuMMI (Fig 4): micro MD simulations scheduled onto the node's GPUs;
-/// physics and scheduling must both hold up.
+/// physics and scheduling must both hold up. (Kept on the deprecated
+/// `Policy` enum on purpose — legacy-adapter coverage.)
 #[test]
+#[allow(deprecated)]
 fn mummi_couples_md_and_scheduler() {
     use md::{Engine, LennardJones, System};
     use sched::{simulate, Job, Policy};
