@@ -1,0 +1,400 @@
+//! Experiment: auto-tune — ROADMAP item 2's hardware-aware optimizer.
+//!
+//! Every other experiment in this registry sweeps its knob by hand and
+//! points at the crossover. This one hands the knobs to `icoe::tune` and
+//! checks that *search over the cost model alone* rediscovers the same
+//! answers: the serial-vs-pipelined chunk optimum, the hierarchical
+//! allreduce win at 64 sierra nodes, the UM oversubscription knee at
+//! device capacity, and the interior CPU/GPU split — none of which the
+//! tuner is told. Exhaustive sweeps are the ground truth (cost-model
+//! evaluations are microseconds each); golden-section and seeded
+//! annealing are judged against them on evaluation count and argmin.
+
+use hetsim::obs::{Recorder, SpanKind};
+use hetsim::AllReduceAlgo;
+use icoe::report::Table;
+use icoe::tune::knobs::{
+    allreduce_algo, AllreduceChoice, GpuSplit, PipelineChunks, TrainStep, UmFootprint,
+};
+use icoe::tune::{knee_1d, sweep_1d, tune, Dim, Strategy, Tunable, TuneResult, Value};
+use icoe::ExpParams;
+
+/// Render a point as `name=value` pairs against its space.
+fn fmt_point(space: &[Dim], point: &[Value]) -> String {
+    space
+        .iter()
+        .zip(point)
+        .map(|(d, v)| format!("{}={}", d.name(), d.format(v)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn result_row(knob: &str, strategy: &str, space: &[Dim], r: &TuneResult) -> Vec<String> {
+    vec![
+        knob.to_string(),
+        strategy.to_string(),
+        fmt_point(space, &r.best),
+        format!("{:.6}", r.cost * 1e3),
+        r.evals.to_string(),
+    ]
+}
+
+/// auto-tune: search the four subsystem knobs plus the joint training-step
+/// space, and emit the tuned-vs-hand-tuned comparison.
+pub fn auto_tune(rec: &mut Recorder, params: &ExpParams) -> Vec<Table> {
+    let mut strategies = Table::new(
+        "auto-tune: strategies vs exhaustive ground truth (sierra cost model)",
+        &["knob", "strategy", "best point", "cost (ms)", "evals"],
+    );
+    let mut evals_total = 0usize;
+
+    // ------------------------------------------------------------------
+    // Knob 1: pipeline chunk count (portal::exec).
+    // ------------------------------------------------------------------
+    let span = rec.begin("tune-pipeline-chunks", SpanKind::Phase);
+    let pipe = PipelineChunks::balanced_sierra();
+    let pipe_space = pipe.space();
+    let serial = pipe.serial_cost();
+    let pipe_ex = tune(&pipe, Strategy::Exhaustive);
+    let pipe_gs = tune(&pipe, Strategy::GoldenSection);
+    evals_total += pipe_ex.evals + pipe_gs.evals;
+    strategies.row(&result_row(
+        "pipeline-chunks",
+        "exhaustive",
+        &pipe_space,
+        &pipe_ex,
+    ));
+    strategies.row(&result_row(
+        "pipeline-chunks",
+        "golden-section",
+        &pipe_space,
+        &pipe_gs,
+    ));
+    rec.end(span);
+    let best_chunks = pipe_ex.best[0].as_int() as f64;
+    rec.gauge("tune.pipeline.best_chunks", best_chunks);
+    rec.gauge("tune.pipeline.speedup_vs_serial", serial / pipe_ex.cost);
+    rec.gauge(
+        "tune.pipeline.golden_matches_exhaustive",
+        (pipe_gs.best == pipe_ex.best) as u8 as f64,
+    );
+
+    // ------------------------------------------------------------------
+    // Knob 2: allreduce algorithm (hetsim::Network), swept across scales
+    // so the table shows *where* the hierarchy starts winning.
+    // ------------------------------------------------------------------
+    let span = rec.begin("tune-allreduce", SpanKind::Phase);
+    let bytes = 256.0 * 1024.0 * 1024.0;
+    let mut allreduce = Table::new(
+        "auto-tune: allreduce algorithm by node count (256 MiB gradients)",
+        &["nodes", "flat (ms)", "hierarchical (ms)", "tuner picks"],
+    );
+    let mut crossover_nodes = 0usize;
+    let mut win_64 = (0.0, 1.0); // (hier wins at 64n, flat/hier ratio)
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+        let knob = AllreduceChoice { nodes, bytes };
+        let r = tune(&knob, Strategy::Exhaustive);
+        evals_total += r.evals;
+        let pick = allreduce_algo(r.best[0].as_choice());
+        let flat = knob.cost_of(AllReduceAlgo::Flat);
+        let hier = knob.cost_of(AllReduceAlgo::Hierarchical);
+        if pick == AllReduceAlgo::Hierarchical && crossover_nodes == 0 {
+            crossover_nodes = nodes;
+        }
+        if nodes == 64 {
+            win_64 = (
+                (pick == AllReduceAlgo::Hierarchical) as u8 as f64,
+                flat / hier,
+            );
+            strategies.row(&result_row(
+                "allreduce-64n",
+                "exhaustive",
+                &knob.space(),
+                &r,
+            ));
+        }
+        allreduce.row(&[
+            nodes.to_string(),
+            format!("{:.3}", flat * 1e3),
+            format!("{:.3}", hier * 1e3),
+            knob.space()[0].format(&r.best[0]),
+        ]);
+    }
+    rec.end(span);
+    rec.gauge("tune.allreduce.hier_wins_64n", win_64.0);
+    rec.gauge("tune.allreduce.flat_over_hier_64n_256m", win_64.1);
+    rec.gauge("tune.allreduce.crossover_nodes", crossover_nodes as f64);
+
+    // ------------------------------------------------------------------
+    // Knob 3: UM footprint (hetsim::mem) — the interesting output is the
+    // knee of the sweep, not the argmin.
+    // ------------------------------------------------------------------
+    let span = rec.begin("tune-um-footprint", SpanKind::Phase);
+    let um = UmFootprint::sierra_default();
+    let um_space = um.space();
+    let trace = sweep_1d(&um);
+    evals_total += trace.len();
+    let mut um_table = Table::new(
+        "auto-tune: UM footprint sweep (s per resident GiB, UnifiedSpill)",
+        &["footprint (GiB)", "s/GiB", "verdict"],
+    );
+    let knee = knee_1d(&trace, 3.0);
+    for (i, (v, c)) in trace.iter().enumerate() {
+        let verdict = match knee {
+            Some(k) if i == k => "knee: LRU thrash begins",
+            Some(k) if i > k => "oversubscribed",
+            _ => "fits / mild spill",
+        };
+        um_table.row(&[
+            um_space[0].format(v),
+            format!("{c:.4}"),
+            verdict.to_string(),
+        ]);
+    }
+    let knee_gib = knee.map(|k| trace[k].0.as_f64()).unwrap_or(0.0);
+    // Largest footprint before the knee — what the tuner would deploy.
+    let safe_gib = knee
+        .and_then(|k| k.checked_sub(1))
+        .map(|k| trace[k].0.as_f64())
+        .unwrap_or(0.0);
+    rec.end(span);
+    rec.gauge("tune.um.knee_gib", knee_gib);
+    rec.gauge("tune.um.capacity_gib", um.capacity_gib());
+    rec.gauge("tune.um.safe_gib", safe_gib);
+
+    // ------------------------------------------------------------------
+    // Knob 4: CPU/GPU split (mlsim::hybrid) — unimodal, golden-section's
+    // home turf.
+    // ------------------------------------------------------------------
+    let span = rec.begin("tune-gpu-split", SpanKind::Phase);
+    let split = GpuSplit::kavg_sierra();
+    let split_space = split.space();
+    let split_ex = tune(&split, Strategy::Exhaustive);
+    let split_gs = tune(&split, Strategy::GoldenSection);
+    evals_total += split_ex.evals + split_gs.evals;
+    strategies.row(&result_row(
+        "gpu-split",
+        "exhaustive",
+        &split_space,
+        &split_ex,
+    ));
+    strategies.row(&result_row(
+        "gpu-split",
+        "golden-section",
+        &split_space,
+        &split_gs,
+    ));
+    rec.end(span);
+    let best_frac = split_ex.best[0].as_f64();
+    rec.gauge("tune.split.best_gpu_frac", best_frac);
+    rec.gauge(
+        "tune.split.golden_matches_exhaustive",
+        (split_gs.best == split_ex.best) as u8 as f64,
+    );
+
+    // ------------------------------------------------------------------
+    // The joint space: chunks x collective x split of one distributed
+    // training step — the annealer's territory, seeded from --param seed.
+    // ------------------------------------------------------------------
+    let span = rec.begin("tune-joint-anneal", SpanKind::Phase);
+    let joint = TrainStep::sierra_64();
+    let joint_space = joint.space();
+    let joint_ex = tune(&joint, Strategy::Exhaustive);
+    let joint_an = tune(
+        &joint,
+        Strategy::Anneal {
+            seed: params.seed(),
+            iters: 400,
+        },
+    );
+    evals_total += joint_ex.evals + joint_an.evals;
+    strategies.row(&result_row(
+        "train-step",
+        "exhaustive",
+        &joint_space,
+        &joint_ex,
+    ));
+    strategies.row(&result_row("train-step", "anneal", &joint_space, &joint_an));
+    rec.end(span);
+    rec.gauge(
+        "tune.joint.anneal_over_exhaustive",
+        joint_an.cost / joint_ex.cost,
+    );
+    rec.gauge("tune.joint.evals_exhaustive", joint_ex.evals as f64);
+    rec.gauge("tune.joint.evals_anneal", joint_an.evals as f64);
+    rec.gauge("tune.evals_total", evals_total as f64);
+
+    // ------------------------------------------------------------------
+    // Tuned vs hand-tuned: the naive configuration each activity started
+    // from, against what the optimizer found.
+    // ------------------------------------------------------------------
+    let mut vs = Table::new(
+        "auto-tune: tuned vs hand-tuned configurations (costs in ms)",
+        &[
+            "knob",
+            "naive / hand",
+            "naive cost",
+            "auto-tuned",
+            "tuned cost",
+            "gain",
+        ],
+    );
+    let gain = |naive: f64, tuned: f64| format!("{:.2}x", naive / tuned);
+    vs.row(&[
+        "pipeline-chunks".into(),
+        "serial staging".into(),
+        format!("{:.3}", serial * 1e3),
+        fmt_point(&pipe_space, &pipe_ex.best),
+        format!("{:.3}", pipe_ex.cost * 1e3),
+        gain(serial, pipe_ex.cost),
+    ]);
+    let ar64 = AllreduceChoice { nodes: 64, bytes };
+    let flat64 = ar64.cost_of(AllReduceAlgo::Flat);
+    let hier64 = ar64.cost_of(AllReduceAlgo::Hierarchical);
+    vs.row(&[
+        "allreduce (64 nodes)".into(),
+        "flat".into(),
+        format!("{:.3}", flat64 * 1e3),
+        "algo=hierarchical".into(),
+        format!("{:.3}", hier64 * 1e3),
+        gain(flat64, hier64),
+    ]);
+    let naive_um = trace.last().expect("sweep is non-empty");
+    let tuned_um = knee
+        .and_then(|k| k.checked_sub(1))
+        .map(|k| &trace[k])
+        .unwrap_or(naive_um);
+    vs.row(&[
+        "um-footprint".into(),
+        format!(
+            "{} GiB (2x oversubscribed)",
+            um_space[0].format(&naive_um.0)
+        ),
+        format!("{:.4} s/GiB", naive_um.1),
+        format!("{} GiB (below knee)", um_space[0].format(&tuned_um.0)),
+        format!("{:.4} s/GiB", tuned_um.1),
+        gain(naive_um.1, tuned_um.1),
+    ]);
+    let all_gpu = split.objective(&[Value::F64(1.0)]);
+    vs.row(&[
+        "gpu-split".into(),
+        "offload everything".into(),
+        format!("{:.3}", all_gpu * 1e3),
+        fmt_point(&split_space, &split_ex.best),
+        format!("{:.3}", split_ex.cost * 1e3),
+        gain(all_gpu, split_ex.cost),
+    ]);
+    let naive_joint = joint.objective(&[Value::Int(1), Value::Choice(0), Value::F64(1.0)]);
+    vs.row(&[
+        "train-step (joint)".into(),
+        "1 chunk, flat, all-GPU".into(),
+        format!("{:.3}", naive_joint * 1e3),
+        fmt_point(&joint_space, &joint_an.best),
+        format!("{:.3}", joint_an.cost * 1e3),
+        gain(naive_joint, joint_an.cost),
+    ]);
+
+    vec![strategies, allreduce, um_table, vs]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{machines, Loc, Sim, GIB};
+
+    fn run() -> (Vec<Table>, Recorder) {
+        let mut rec = Recorder::enabled();
+        let tables = auto_tune(&mut rec, &ExpParams::default());
+        (tables, rec)
+    }
+
+    #[test]
+    fn rediscovers_the_pipeline_chunk_crossover() {
+        let (_, rec) = run();
+        // The tuner found a pipelined configuration that beats serial
+        // staging (the crossover exists), and it is not at either extreme
+        // of the chunk grid — found by search, not told.
+        let chunks = rec.gauge_value("tune.pipeline.best_chunks").unwrap();
+        let speedup = rec.gauge_value("tune.pipeline.speedup_vs_serial").unwrap();
+        assert!(chunks > 1.0, "pipelining must beat chunks=1, got {chunks}");
+        assert!(chunks < 4096.0, "latency tail must lose, got {chunks}");
+        assert!(speedup > 1.0, "tuned pipeline must beat serial: {speedup}");
+        // Cheap strategy agrees with ground truth on this unimodal knob.
+        assert_eq!(
+            rec.gauge_value("tune.pipeline.golden_matches_exhaustive"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn rediscovers_the_hierarchical_allreduce_win_at_64_nodes() {
+        let (_, rec) = run();
+        assert_eq!(rec.gauge_value("tune.allreduce.hier_wins_64n"), Some(1.0));
+        let ratio = rec
+            .gauge_value("tune.allreduce.flat_over_hier_64n_256m")
+            .unwrap();
+        // Consistency with the model the tuner searched, derived here
+        // independently rather than hardcoded.
+        let expect = AllreduceChoice {
+            nodes: 64,
+            bytes: 256.0 * 1024.0 * 1024.0,
+        };
+        let direct =
+            expect.cost_of(AllReduceAlgo::Flat) / expect.cost_of(AllReduceAlgo::Hierarchical);
+        assert_eq!(ratio, direct);
+        assert!(ratio > 1.0, "hierarchy must win at 64 nodes: {ratio}");
+    }
+
+    #[test]
+    fn rediscovers_the_um_oversubscription_knee_at_device_capacity() {
+        let (_, rec) = run();
+        let knee = rec.gauge_value("tune.um.knee_gib").unwrap();
+        // The knee must be the first swept footprint strictly over HBM
+        // capacity — derived from the machine spec, not a pinned number.
+        let cap = Sim::new(machines::sierra_node())
+            .mem()
+            .capacity(Loc::Gpu(0))
+            / GIB;
+        let first_over = UmFootprint::sierra_default().space()[0]
+            .candidates()
+            .into_iter()
+            .map(|v| v.as_f64())
+            .find(|g| *g > cap)
+            .expect("sweep crosses capacity");
+        assert_eq!(knee, first_over);
+        assert!(rec.gauge_value("tune.um.safe_gib").unwrap() <= cap);
+    }
+
+    #[test]
+    fn finds_an_interior_gpu_split() {
+        let (_, rec) = run();
+        let frac = rec.gauge_value("tune.split.best_gpu_frac").unwrap();
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "neither device alone should win: {frac}"
+        );
+    }
+
+    #[test]
+    fn anneal_matches_exhaustive_on_the_joint_space() {
+        let (_, rec) = run();
+        let gap = rec
+            .gauge_value("tune.joint.anneal_over_exhaustive")
+            .unwrap();
+        assert_eq!(gap, 1.0, "seeded anneal should land on the joint optimum");
+        let an = rec.gauge_value("tune.joint.evals_anneal").unwrap();
+        let ex = rec.gauge_value("tune.joint.evals_exhaustive").unwrap();
+        assert!(an < ex, "anneal spent {an} evals vs exhaustive {ex}");
+    }
+
+    #[test]
+    fn comparison_table_shows_gains_over_every_naive_config() {
+        let (tables, _) = run();
+        let vs = tables.last().unwrap();
+        assert_eq!(vs.rows.len(), 5);
+        for row in &vs.rows {
+            let gain: f64 = row[5].trim_end_matches('x').parse().unwrap();
+            assert!(gain >= 1.0, "{}: tuned must not lose to naive", row[0]);
+        }
+    }
+}

@@ -16,6 +16,7 @@ pub mod exps_mem;
 pub mod exps_net;
 pub mod exps_opt;
 pub mod exps_pipeline;
+pub mod exps_tune;
 
 use hetsim::obs::Recorder;
 use icoe::{FnExperiment, Registry, Report};
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "collective-overlap",
     "cluster-spike",
     "cluster-policies",
+    "auto-tune",
     "lessons",
     "machines",
 ];
@@ -146,6 +148,11 @@ pub fn registry() -> Registry {
             "cluster-policies",
             "§4.7 at fleet scale (policy shoot-out: SLA vs joules)",
             exps_cluster::cluster_policies
+        ),
+        (
+            "auto-tune",
+            "§5 (hand-tuned crossovers rediscovered by search)",
+            exps_tune::auto_tune
         ),
     );
     reg!(

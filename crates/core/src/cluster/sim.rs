@@ -15,6 +15,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use hetsim::obs::{Recorder, SpanKind};
+use sched::policy::desc_speed_nan_last;
 use sched::{ClusterView, JobInfo, NodeView, QueuedJob, RunningJob, SchedPolicy};
 
 use super::machine::MachineClass;
@@ -330,25 +331,26 @@ pub fn simulate_cluster(
             let job = queue[d.queue_idx].job;
             // Respect the policy's pin when valid, else place on the
             // fastest fitting node (prefer awake ones, then best fit).
-            let target =
-                d.node
-                    .filter(|&ni| ni < node_views.len() && node_views[ni].fits(&job))
-                    .or_else(|| {
-                        node_views
-                            .iter()
-                            .filter(|n| n.fits(&job))
-                            .min_by(|a, b| {
-                                b.speed
-                                    .partial_cmp(&a.speed)
-                                    .expect("finite")
-                                    .then_with(|| {
-                                        (!nodes[a.id].on as usize, a.gpu_leftover(&job), a.id).cmp(
-                                            &(!nodes[b.id].on as usize, b.gpu_leftover(&job), b.id),
-                                        )
-                                    })
+            let target = d
+                .node
+                .filter(|&ni| ni < node_views.len() && node_views[ni].fits(&job))
+                .or_else(|| {
+                    node_views
+                        .iter()
+                        .filter(|n| n.fits(&job))
+                        .min_by(|a, b| {
+                            // NaN-last: a node whose speed got
+                            // corrupted must never win placement.
+                            desc_speed_nan_last(a.speed, b.speed).then_with(|| {
+                                (!nodes[a.id].on as usize, a.gpu_leftover(&job), a.id).cmp(&(
+                                    !nodes[b.id].on as usize,
+                                    b.gpu_leftover(&job),
+                                    b.id,
+                                ))
                             })
-                            .map(|n| n.id)
-                    });
+                        })
+                        .map(|n| n.id)
+                });
             let Some(ni) = target else { break };
             policy.on_select(&mut queue, d.queue_idx);
             queue.remove(d.queue_idx);
@@ -402,13 +404,7 @@ pub fn simulate_cluster(
     }
     let joules: f64 = nodes.iter().map(|n| n.joules).sum();
     waits.sort_by(|a, b| a.total_cmp(b));
-    let pct = |q: f64| -> f64 {
-        if waits.is_empty() {
-            0.0
-        } else {
-            waits[((waits.len() - 1) as f64 * q).round() as usize]
-        }
-    };
+    let pct = |q: f64| nearest_rank(&waits, q);
     let span = makespan.max(1e-9);
     let m = ClusterMetrics {
         completed,
@@ -449,6 +445,28 @@ pub fn simulate_cluster(
     rec.gauge("cluster.joules", m.joules);
     rec.gauge("cluster.makespan_s", m.makespan);
     m
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample: the value at
+/// 1-based rank `ceil(q * n)`, i.e. the smallest observation with at
+/// least a `q` fraction of the sample at or below it. The previous
+/// `round((n - 1) * q)` index both interpolated the rank and rounded it
+/// to-nearest, which biases tail quantiles low — p99 of 50 samples
+/// landed on rank 49 instead of 50, under-reporting the spike waits the
+/// cluster experiments gate on. Empty samples report 0.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    debug_assert!(
+        sorted
+            .windows(2)
+            .all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater),
+        "nearest_rank wants an ascending-sorted sample"
+    );
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -538,6 +556,52 @@ mod tests {
         let m = simulate_cluster(&cfg, &jobs, &Fcfs, &rec);
         assert_eq!(m.wakes, 1);
         assert!(m.p50_wait >= 59.0, "boot latency charged: {}", m.p50_wait);
+    }
+
+    #[test]
+    fn nearest_rank_pins_p50_and_p99_on_a_known_sample() {
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        // Rank ceil(0.5 * 10) = 5 -> the 5th smallest, not the 6th the
+        // old round((n-1) * q) formula picked.
+        assert_eq!(nearest_rank(&v, 0.50), 5.0);
+        // Rank ceil(0.99 * 10) = 10 -> the maximum.
+        assert_eq!(nearest_rank(&v, 0.99), 10.0);
+        assert_eq!(nearest_rank(&v, 0.0), 1.0);
+        assert_eq!(nearest_rank(&v, 1.0), 10.0);
+        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+        // Rank 50 of 50, not 49: the tail value itself.
+        let mut fifty: Vec<f64> = (1..=50).map(f64::from).collect();
+        fifty.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(nearest_rank(&fifty, 0.99), 50.0);
+    }
+
+    #[test]
+    fn nan_speed_nodes_lose_placement_deterministically() {
+        // A node class whose speed got corrupted to NaN, listed *first*
+        // so the old `partial_cmp(..).expect("finite")` comparator would
+        // have panicked on it: every job must land on a sane node
+        // instead, identically across runs.
+        let mut fleet = super::super::machine::default_fleet();
+        let mut cursed = fleet[0].clone();
+        cursed.count = 1;
+        cursed.speed = f64::NAN;
+        fleet.insert(0, cursed);
+        let cfg = ClusterConfig {
+            fleet,
+            park_after_s: None,
+        };
+        let jobs = small_stream();
+        let rec = Recorder::noop();
+        let a = simulate_cluster(&cfg, &jobs, &Fcfs, &rec);
+        let b = simulate_cluster(&cfg, &jobs, &Fcfs, &rec);
+        assert_eq!(a, b, "NaN speeds must not break determinism");
+        assert_eq!(a.completed, jobs.len());
+        assert!(
+            a.makespan.is_finite() && a.p99_wait.is_finite(),
+            "jobs avoided the NaN-speed node: makespan {} p99 {}",
+            a.makespan,
+            a.p99_wait
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod lessons;
 pub mod par;
 pub mod registry;
 pub mod report;
+pub mod tune;
 
 pub use exp::{ExpParams, Experiment, FnExperiment, Registry, Report};
 pub use lessons::{lessons, Evidence, Lesson};

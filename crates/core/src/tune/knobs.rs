@@ -1,0 +1,382 @@
+//! Concrete [`Tunable`]s for the workload's hand-tuned knobs.
+//!
+//! Each knob wraps an existing cost-model surface — nothing here knows the
+//! paper's answers. The `auto-tune` experiment (`bench::exps_tune`) runs
+//! the strategies over these spaces and checks that the optimizer
+//! *rediscovers* the crossovers the earlier PRs hand-tuned:
+//!
+//! * [`PipelineChunks`] — `portal::Executor::pipeline_cost` vs
+//!   `staged_cost`: the serial-vs-pipelined chunk crossover.
+//! * [`AllreduceChoice`] — `hetsim::Network::collective_cost_with`: flat
+//!   vs hierarchical allreduce on a sierra fabric.
+//! * [`UmFootprint`] — `hetsim::Sim` under `OomPolicy::UnifiedSpill`: the
+//!   oversubscription thrash cliff as footprint grows past HBM.
+//! * [`GpuSplit`] — `mlsim::hybrid::split_step_time`: the CPU/GPU work
+//!   split of a streaming batch.
+//! * [`TrainStep`] — the joint space (chunks × collective × split) one
+//!   distributed training step actually exposes, for the annealer.
+
+use hetsim::obs::Recorder;
+use hetsim::{machines, AllReduceAlgo, CollectiveKind, Loc, Machine, Network, OomPolicy, Sim, GIB};
+use portal::{Backend, Executor, PerItem, Staging};
+
+use super::{Dim, Tunable, Value};
+
+/// The two allreduce algorithms, in [`Dim::Choice`] option order.
+pub const ALLREDUCE_OPTIONS: &[&str] = &["flat", "hierarchical"];
+
+/// Map a `Choice` index from [`ALLREDUCE_OPTIONS`] to the algorithm.
+pub fn allreduce_algo(choice: usize) -> AllReduceAlgo {
+    if choice == 0 {
+        AllReduceAlgo::Flat
+    } else {
+        AllReduceAlgo::Hierarchical
+    }
+}
+
+/// Knob 1: how many chunks to pipeline a staged device loop into
+/// (`portal::exec`'s `forall_pipelined`, where `PIPELINE_BUFFERS` bounds
+/// the in-flight uploads).
+#[derive(Debug, Clone)]
+pub struct PipelineChunks {
+    pub machine: Machine,
+    pub item: PerItem,
+    pub stage: Staging,
+    pub n: usize,
+}
+
+impl PipelineChunks {
+    /// The pipeline-overlap experiment's balanced workload on sierra:
+    /// per-chunk copy time ≈ kernel time, 4M items.
+    pub fn balanced_sierra() -> PipelineChunks {
+        PipelineChunks {
+            machine: machines::sierra_node(),
+            item: PerItem::new()
+                .flops(550.0)
+                .bytes_read(8.0)
+                .bytes_written(8.0),
+            stage: Staging::new(8.0, 8.0),
+            n: 1 << 22,
+        }
+    }
+
+    /// The blocking upload/kernel/download baseline the chunk sweep is
+    /// judged against.
+    pub fn serial_cost(&self) -> f64 {
+        let mut e = Executor::new(Sim::new(self.machine.clone()));
+        e.staged_cost(0, Backend::Native, &self.item, self.stage, self.n)
+    }
+}
+
+impl Tunable for PipelineChunks {
+    fn name(&self) -> &str {
+        "pipeline-chunks"
+    }
+
+    fn space(&self) -> Vec<Dim> {
+        vec![Dim::Log2 {
+            name: "chunks",
+            lo: 1,
+            hi: 4096,
+        }]
+    }
+
+    fn objective(&self, point: &[Value]) -> f64 {
+        let chunks = point[0].as_int().max(1) as usize;
+        let mut e = Executor::new(Sim::new(self.machine.clone()));
+        e.pipeline_cost(0, Backend::Native, &self.item, self.stage, self.n, chunks)
+    }
+}
+
+/// Knob 2: flat vs hierarchical allreduce on a sierra fabric of `nodes`
+/// nodes moving `bytes` per step ([`hetsim::Network`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AllreduceChoice {
+    pub nodes: usize,
+    pub bytes: f64,
+}
+
+impl AllreduceChoice {
+    fn fabric(&self) -> Network {
+        let m = machines::sierra_node();
+        Network::for_machine(&m, self.nodes * m.node.gpu_count())
+    }
+
+    /// Cost of one algorithm (the closed-form collective arithmetic).
+    pub fn cost_of(&self, algo: AllReduceAlgo) -> f64 {
+        self.fabric()
+            .collective_cost_with(algo, CollectiveKind::AllReduce, self.bytes)
+    }
+}
+
+impl Tunable for AllreduceChoice {
+    fn name(&self) -> &str {
+        "allreduce-algo"
+    }
+
+    fn space(&self) -> Vec<Dim> {
+        vec![Dim::Choice {
+            name: "algo",
+            options: ALLREDUCE_OPTIONS,
+        }]
+    }
+
+    fn objective(&self, point: &[Value]) -> f64 {
+        self.cost_of(allreduce_algo(point[0].as_choice()))
+    }
+}
+
+/// Knob 3: managed-memory footprint on a 16 GiB V100 under
+/// [`OomPolicy::UnifiedSpill`] ([`hetsim::mem`]): how many 1 GiB regions a
+/// solver keeps resident. The objective is **seconds per resident GiB**
+/// for a cold pass plus `passes` steady sweeps — flat while the set fits,
+/// then jumping when LRU starts thrashing. The interesting output is not
+/// the argmin but the *knee* of the raw sweep (`tune::knee_1d`).
+#[derive(Debug, Clone, Copy)]
+pub struct UmFootprint {
+    /// Steady-state sweeps after the cold pass.
+    pub passes: usize,
+}
+
+impl UmFootprint {
+    pub fn sierra_default() -> UmFootprint {
+        UmFootprint { passes: 2 }
+    }
+
+    /// Device HBM capacity of the modelled GPU, in GiB.
+    pub fn capacity_gib(&self) -> f64 {
+        Sim::new(machines::sierra_node())
+            .mem()
+            .capacity(Loc::Gpu(0))
+            / GIB
+    }
+
+    /// Total modelled seconds for a working set of `regions` × 1 GiB.
+    pub fn total_time(&self, regions: usize) -> f64 {
+        let mut sim = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::UnifiedSpill);
+        sim.set_recorder(Recorder::noop());
+        let ids: Vec<_> = (0..regions)
+            .map(|_| {
+                sim.alloc(Loc::Gpu(0), GIB)
+                    .expect("UnifiedSpill is bounded by host DDR")
+            })
+            .collect();
+        for _ in 0..=self.passes {
+            for id in &ids {
+                sim.touch_mem(*id).expect("spill touch cannot OOM");
+            }
+        }
+        sim.elapsed()
+    }
+}
+
+impl Tunable for UmFootprint {
+    fn name(&self) -> &str {
+        "um-footprint"
+    }
+
+    fn space(&self) -> Vec<Dim> {
+        // Half-capacity granularity from well under to well over the
+        // device: 8, 16, 24, 32 GiB on the 16 GiB V100.
+        vec![Dim::Int {
+            name: "regions_gib",
+            lo: 8,
+            hi: 32,
+            step: 8,
+        }]
+    }
+
+    fn objective(&self, point: &[Value]) -> f64 {
+        let regions = point[0].as_int().max(1) as usize;
+        self.total_time(regions) / regions as f64
+    }
+}
+
+/// Knob 4: the CPU/GPU split of a streaming batch
+/// ([`mlsim::hybrid::split_step_time`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSplit {
+    pub workload: mlsim::HybridWorkload,
+}
+
+impl GpuSplit {
+    pub fn kavg_sierra() -> GpuSplit {
+        GpuSplit {
+            workload: mlsim::HybridWorkload::kavg_batch(),
+        }
+    }
+}
+
+impl Tunable for GpuSplit {
+    fn name(&self) -> &str {
+        "gpu-split"
+    }
+
+    fn space(&self) -> Vec<Dim> {
+        vec![Dim::F64 {
+            name: "gpu_frac",
+            lo: 0.0,
+            hi: 1.0,
+            grid: 41,
+        }]
+    }
+
+    fn objective(&self, point: &[Value]) -> f64 {
+        let sim = Sim::new(machines::sierra_node());
+        mlsim::split_step_time(&sim, &self.workload, point[0].as_f64())
+    }
+}
+
+/// The joint space one distributed training step exposes: offload
+/// `gpu_frac` of the batch through a `chunks`-deep pipeline while the
+/// rest runs on host cores, then allreduce `bytes` of gradients over
+/// `nodes` nodes with the chosen algorithm. Three interacting knobs —
+/// the annealer's territory.
+#[derive(Debug, Clone)]
+pub struct TrainStep {
+    pub machine: Machine,
+    pub item: PerItem,
+    pub stage: Staging,
+    pub n: usize,
+    pub nodes: usize,
+    pub bytes: f64,
+}
+
+impl TrainStep {
+    /// 64 sierra nodes, 256 MiB of gradients, the balanced pipeline batch.
+    pub fn sierra_64() -> TrainStep {
+        let p = PipelineChunks::balanced_sierra();
+        TrainStep {
+            machine: p.machine,
+            item: p.item,
+            stage: p.stage,
+            n: p.n,
+            nodes: 64,
+            bytes: 256.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl Tunable for TrainStep {
+    fn name(&self) -> &str {
+        "train-step"
+    }
+
+    fn space(&self) -> Vec<Dim> {
+        vec![
+            Dim::Log2 {
+                name: "chunks",
+                lo: 1,
+                hi: 4096,
+            },
+            Dim::Choice {
+                name: "algo",
+                options: ALLREDUCE_OPTIONS,
+            },
+            Dim::F64 {
+                name: "gpu_frac",
+                lo: 0.0,
+                hi: 1.0,
+                grid: 21,
+            },
+        ]
+    }
+
+    fn objective(&self, point: &[Value]) -> f64 {
+        let chunks = point[0].as_int().max(1) as usize;
+        let algo = allreduce_algo(point[1].as_choice());
+        let frac = point[2].as_f64().clamp(0.0, 1.0);
+        let gpu_items = (self.n as f64 * frac).round() as usize;
+        let cpu_items = self.n - gpu_items;
+        let t_gpu = if gpu_items > 0 {
+            let mut e = Executor::new(Sim::new(self.machine.clone()));
+            e.pipeline_cost(
+                0,
+                Backend::Native,
+                &self.item,
+                self.stage,
+                gpu_items,
+                chunks,
+            )
+        } else {
+            0.0
+        };
+        let t_cpu = if cpu_items > 0 {
+            let sim = Sim::new(self.machine.clone());
+            let profile = self.item.profile(
+                "train_step_cpu",
+                cpu_items,
+                portal::Policy::Threads(usize::MAX),
+            );
+            sim.cost(hetsim::Target::cpu_all(), &profile)
+        } else {
+            0.0
+        };
+        let comm = AllreduceChoice {
+            nodes: self.nodes,
+            bytes: self.bytes,
+        }
+        .cost_of(algo);
+        t_cpu.max(t_gpu) + comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tune::{knee_1d, sweep_1d, tune, Strategy};
+
+    #[test]
+    fn pipeline_chunk_objective_matches_the_portal_schedule() {
+        let k = PipelineChunks::balanced_sierra();
+        let mut e = Executor::new(Sim::new(machines::sierra_node()));
+        let direct = e.pipeline_cost(0, Backend::Native, &k.item, k.stage, k.n, 16);
+        assert_eq!(k.objective(&[Value::Int(16)]), direct);
+        assert!(k.serial_cost() > 0.0);
+    }
+
+    #[test]
+    fn allreduce_choice_costs_both_algorithms() {
+        let k = AllreduceChoice {
+            nodes: 64,
+            bytes: 256.0 * 1024.0 * 1024.0,
+        };
+        let flat = k.objective(&[Value::Choice(0)]);
+        let hier = k.objective(&[Value::Choice(1)]);
+        assert_eq!(flat, k.cost_of(AllReduceAlgo::Flat));
+        assert_eq!(hier, k.cost_of(AllReduceAlgo::Hierarchical));
+        assert!(flat > 0.0 && hier > 0.0);
+    }
+
+    #[test]
+    fn um_footprint_sweep_has_a_knee_past_capacity() {
+        let k = UmFootprint::sierra_default();
+        let trace = sweep_1d(&k);
+        let knee = knee_1d(&trace, 3.0).expect("the thrash cliff is a >=3x jump");
+        // The knee sits at the first candidate strictly over HBM capacity
+        // — derived from the machine spec, not hardcoded.
+        let cap = k.capacity_gib();
+        let first_over = trace
+            .iter()
+            .position(|(v, _)| v.as_f64() > cap)
+            .expect("sweep crosses capacity");
+        assert_eq!(knee, first_over);
+    }
+
+    #[test]
+    fn gpu_split_objective_is_finite_across_the_grid() {
+        let k = GpuSplit::kavg_sierra();
+        for (v, c) in sweep_1d(&k) {
+            assert!(c.is_finite() && c > 0.0, "{v:?} -> {c}");
+        }
+    }
+
+    #[test]
+    fn train_step_joint_space_is_searchable() {
+        let k = TrainStep::sierra_64();
+        let r = tune(&k, Strategy::Exhaustive);
+        assert_eq!(r.best.len(), 3);
+        assert!(r.cost.is_finite() && r.cost > 0.0);
+        assert_eq!(r.evals, 13 * 2 * 21);
+    }
+}

@@ -1,0 +1,609 @@
+//! `icoe::tune` — hardware-aware auto-tuning over the `hetsim` cost model.
+//!
+//! The paper's winning configurations (pipeline chunk counts, CPU/GPU work
+//! split, collective algorithm, memory footprint) were found by hand, per
+//! machine. ROADMAP item 2 replaces those hand-tuned constants with a
+//! search layer: a [`Tunable`] exposes a typed parameter space of [`Dim`]s
+//! and a deterministic objective evaluated through the existing cost
+//! model, and [`tune`] searches it with one of three [`Strategy`]s —
+//! exhaustive sweep, golden-section on unimodal 1-D spaces, or seeded
+//! simulated annealing for joint spaces.
+//!
+//! Because objectives are *model evaluations* (closed-form link/kernel
+//! arithmetic, no real work), a full exhaustive sweep of a few hundred
+//! configurations costs microseconds — exhaustive is the ground truth the
+//! cheaper strategies are checked against, not a luxury. Every objective
+//! must be a pure function of its point: same point, same `f64`, bit for
+//! bit. That is what makes tuning results reproducible and lets the
+//! `auto-tune` experiment live under the golden byte-identity contract.
+//!
+//! Concrete knobs for the workload live in [`knobs`].
+
+pub mod knobs;
+
+use std::collections::HashMap;
+
+/// One coordinate of a tuning point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    F64(f64),
+    /// Index into the owning [`Dim::Choice`]'s options.
+    Choice(usize),
+}
+
+impl Value {
+    pub fn as_int(&self) -> i64 {
+        match *self {
+            Value::Int(v) => v,
+            Value::F64(v) => v as i64,
+            Value::Choice(i) => i as i64,
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Value::Int(v) => v as f64,
+            Value::F64(v) => v,
+            Value::Choice(i) => i as f64,
+        }
+    }
+
+    pub fn as_choice(&self) -> usize {
+        match *self {
+            Value::Choice(i) => i,
+            Value::Int(v) => v as usize,
+            Value::F64(v) => v as usize,
+        }
+    }
+}
+
+/// One dimension of a parameter space. Every dimension is discretised to
+/// a finite, ordered candidate list ([`Dim::candidates`]); strategies
+/// only ever evaluate candidates, so they cannot step outside the
+/// declared bounds by construction.
+#[derive(Debug, Clone)]
+pub enum Dim {
+    /// Inclusive integer range `lo..=hi` swept in `step`s.
+    Int {
+        name: &'static str,
+        lo: i64,
+        hi: i64,
+        step: i64,
+    },
+    /// Log-scaled size: `lo, 2lo, 4lo, … <= hi` (chunk counts, buffer
+    /// sizes).
+    Log2 {
+        name: &'static str,
+        lo: i64,
+        hi: i64,
+    },
+    /// Continuous range `[lo, hi]` sampled at `grid` evenly spaced
+    /// points.
+    F64 {
+        name: &'static str,
+        lo: f64,
+        hi: f64,
+        grid: usize,
+    },
+    /// Enumerated alternatives (algorithm variants, backends).
+    Choice {
+        name: &'static str,
+        options: &'static [&'static str],
+    },
+}
+
+impl Dim {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dim::Int { name, .. }
+            | Dim::Log2 { name, .. }
+            | Dim::F64 { name, .. }
+            | Dim::Choice { name, .. } => name,
+        }
+    }
+
+    /// The ordered candidate values of this dimension.
+    pub fn candidates(&self) -> Vec<Value> {
+        match *self {
+            Dim::Int { lo, hi, step, .. } => {
+                assert!(step > 0, "Int dim needs a positive step");
+                let mut v = Vec::new();
+                let mut x = lo;
+                while x <= hi {
+                    v.push(Value::Int(x));
+                    x += step;
+                }
+                v
+            }
+            Dim::Log2 { lo, hi, .. } => {
+                assert!(lo > 0, "Log2 dim needs a positive lower bound");
+                let mut v = Vec::new();
+                let mut x = lo;
+                while x <= hi {
+                    v.push(Value::Int(x));
+                    match x.checked_mul(2) {
+                        Some(nx) => x = nx,
+                        None => break,
+                    }
+                }
+                v
+            }
+            Dim::F64 { lo, hi, grid, .. } => {
+                let grid = grid.max(2);
+                (0..grid)
+                    .map(|i| {
+                        let t = i as f64 / (grid - 1) as f64;
+                        Value::F64(lo + t * (hi - lo))
+                    })
+                    .collect()
+            }
+            Dim::Choice { options, .. } => (0..options.len()).map(Value::Choice).collect(),
+        }
+    }
+
+    /// Whether `v` lies inside this dimension's declared bounds.
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (Dim::Int { lo, hi, .. }, Value::Int(x))
+            | (Dim::Log2 { lo, hi, .. }, Value::Int(x)) => *lo <= *x && *x <= *hi,
+            (Dim::F64 { lo, hi, .. }, Value::F64(x)) => *lo <= *x && *x <= *hi,
+            (Dim::Choice { options, .. }, Value::Choice(i)) => *i < options.len(),
+            _ => false,
+        }
+    }
+
+    /// Render one value of this dimension for tables.
+    pub fn format(&self, v: &Value) -> String {
+        match (self, v) {
+            (Dim::Choice { options, .. }, Value::Choice(i)) => options[*i].to_string(),
+            (Dim::F64 { .. }, Value::F64(x)) => format!("{x:.3}"),
+            (_, Value::Int(x)) => x.to_string(),
+            _ => format!("{v:?}"),
+        }
+    }
+}
+
+/// A full configuration: one [`Value`] per dimension, in `space()` order.
+pub type Point = Vec<Value>;
+
+/// Something with knobs worth turning.
+///
+/// Contract: `objective` must be **deterministic** — a pure function of
+/// `point` returning simulated cost (lower is better). Evaluations go
+/// through the `hetsim` cost model (closed-form arithmetic, no wall-clock,
+/// no RNG), which is why an exhaustive sweep over hundreds of
+/// configurations is cheap enough to serve as ground truth.
+pub trait Tunable {
+    /// Display name for tables and gauges.
+    fn name(&self) -> &str;
+
+    /// The parameter space, one [`Dim`] per knob.
+    fn space(&self) -> Vec<Dim>;
+
+    /// Deterministic modelled cost of one configuration, lower is better.
+    fn objective(&self, point: &[Value]) -> f64;
+}
+
+/// How to search a [`Tunable`]'s space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Evaluate every candidate of the cartesian product. Exact; ties
+    /// break toward the lexicographically earliest point.
+    Exhaustive,
+    /// Golden-section-style bracket shrinking over the candidate index
+    /// range of a **1-D** space. Exact on strictly unimodal objectives
+    /// with a fraction of the evaluations; panics on multi-dim spaces.
+    GoldenSection,
+    /// Seeded simulated annealing over the joint candidate grid. The
+    /// same seed is bit-identical across runs; different seeds explore
+    /// different trajectories.
+    Anneal { seed: u64, iters: usize },
+}
+
+/// What a search found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    pub best: Point,
+    pub cost: f64,
+    /// Objective evaluations spent (memoised re-visits are free).
+    pub evals: usize,
+}
+
+/// Search `t`'s space with `strategy` and return the best point found.
+pub fn tune(t: &dyn Tunable, strategy: Strategy) -> TuneResult {
+    let space = t.space();
+    assert!(!space.is_empty(), "{} declares an empty space", t.name());
+    let cands: Vec<Vec<Value>> = space.iter().map(|d| d.candidates()).collect();
+    for (d, c) in space.iter().zip(&cands) {
+        assert!(!c.is_empty(), "dim {} has no candidates", d.name());
+    }
+    match strategy {
+        Strategy::Exhaustive => exhaustive(t, &cands),
+        Strategy::GoldenSection => {
+            assert!(
+                cands.len() == 1,
+                "golden-section is 1-D; {} declares {} dims",
+                t.name(),
+                cands.len()
+            );
+            golden_section(t, &cands[0])
+        }
+        Strategy::Anneal { seed, iters } => anneal(t, &cands, seed, iters),
+    }
+}
+
+/// Evaluate a 1-D tunable at every candidate, in order. The raw trace
+/// behind [`knee_1d`] and sweep tables.
+pub fn sweep_1d(t: &dyn Tunable) -> Vec<(Value, f64)> {
+    let space = t.space();
+    assert!(space.len() == 1, "sweep_1d needs a 1-D space");
+    space[0]
+        .candidates()
+        .into_iter()
+        .map(|v| {
+            let c = t.objective(&[v]);
+            (v, c)
+        })
+        .collect()
+}
+
+/// Index of the first trace entry whose cost jumps by at least `factor`
+/// over its predecessor — the knee of a monotone cost curve (e.g. the
+/// oversubscription cliff). `None` if the curve never jumps that hard.
+pub fn knee_1d(trace: &[(Value, f64)], factor: f64) -> Option<usize> {
+    trace
+        .windows(2)
+        .position(|w| w[0].1 > 0.0 && w[1].1 >= factor * w[0].1)
+        .map(|i| i + 1)
+}
+
+fn exhaustive(t: &dyn Tunable, cands: &[Vec<Value>]) -> TuneResult {
+    let mut idx = vec![0usize; cands.len()];
+    let mut best: Option<(Point, f64)> = None;
+    let mut evals = 0usize;
+    loop {
+        let point: Point = idx.iter().zip(cands).map(|(&i, c)| c[i]).collect();
+        let cost = t.objective(&point);
+        evals += 1;
+        // Strict `<` keeps the lexicographically earliest argmin on ties.
+        if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+            best = Some((point, cost));
+        }
+        // Odometer increment over the cartesian product.
+        let mut d = cands.len();
+        loop {
+            if d == 0 {
+                let (best, cost) = best.expect("at least one candidate");
+                return TuneResult { best, cost, evals };
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < cands[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Discrete golden-section: shrink an index bracket `[lo, hi]` with two
+/// interior probes until at most three candidates remain, then sweep the
+/// remainder. Exact argmin for strictly unimodal objectives; on plateaus
+/// it returns *a* local optimum deterministically. Evaluations are
+/// memoised so no index is costed twice.
+fn golden_section(t: &dyn Tunable, cands: &[Value]) -> TuneResult {
+    let mut memo: HashMap<usize, f64> = HashMap::new();
+    let mut evals = 0usize;
+    let eval = |i: usize, evals: &mut usize, memo: &mut HashMap<usize, f64>| -> f64 {
+        if let Some(&c) = memo.get(&i) {
+            return c;
+        }
+        let c = t.objective(&[cands[i]]);
+        *evals += 1;
+        memo.insert(i, c);
+        c
+    };
+    let mut lo = 0usize;
+    let mut hi = cands.len() - 1;
+    while hi - lo > 2 {
+        let third = (hi - lo) / 3;
+        let m1 = lo + third.max(1);
+        let m2 = (hi - third.max(1)).max(m1 + 1);
+        if eval(m1, &mut evals, &mut memo) <= eval(m2, &mut evals, &mut memo) {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+    }
+    let mut best = lo;
+    let mut best_cost = eval(lo, &mut evals, &mut memo);
+    for i in (lo + 1)..=hi {
+        let c = eval(i, &mut evals, &mut memo);
+        if c < best_cost {
+            best = i;
+            best_cost = c;
+        }
+    }
+    TuneResult {
+        best: vec![cands[best]],
+        cost: best_cost,
+        evals,
+    }
+}
+
+/// SplitMix64: the same tiny deterministic generator the network layer's
+/// straggler model uses. Good enough to drive Metropolis acceptance and
+/// neighbour moves, and trivially bit-stable across platforms.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Simulated annealing over the joint candidate grid. State is one
+/// candidate index per dimension; a move perturbs one dimension by a
+/// small index step (clamped to the grid, so never out of bounds), and
+/// acceptance follows Metropolis with a geometric temperature schedule on
+/// *relative* cost increase — scale-free, so the same schedule works for
+/// nanosecond and second objectives.
+fn anneal(t: &dyn Tunable, cands: &[Vec<Value>], seed: u64, iters: usize) -> TuneResult {
+    let mut rng = SplitMix64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03);
+    let point_of = |idx: &[usize]| -> Point { idx.iter().zip(cands).map(|(&i, c)| c[i]).collect() };
+    // Deterministic start: the middle of every dimension.
+    let mut idx: Vec<usize> = cands.iter().map(|c| c.len() / 2).collect();
+    let mut cur = t.objective(&point_of(&idx));
+    let mut evals = 1usize;
+    let mut best_idx = idx.clone();
+    let mut best = cur;
+    let (t0, t_end) = (0.30f64, 1e-3f64);
+    let iters = iters.max(1);
+    for it in 0..iters {
+        let frac = it as f64 / iters as f64;
+        let temp = t0 * (t_end / t0).powf(frac);
+        let d = rng.below(cands.len());
+        let span = cands[d].len();
+        let mut nidx = idx.clone();
+        if span > 1 {
+            // ±1 or ±2 along the dimension's candidate order, clamped.
+            let step = 1 + rng.below(2);
+            let up = rng.next_u64() & 1 == 0;
+            nidx[d] = if up {
+                (idx[d] + step).min(span - 1)
+            } else {
+                idx[d].saturating_sub(step)
+            };
+        }
+        if nidx == idx {
+            continue;
+        }
+        let cand = t.objective(&point_of(&nidx));
+        evals += 1;
+        let rel = (cand - cur) / cur.abs().max(1e-300);
+        if cand <= cur || rng.next_f64() < (-rel / temp).exp() {
+            idx = nidx;
+            cur = cand;
+            if cur < best {
+                best = cur;
+                best_idx = idx.clone();
+            }
+        }
+    }
+    TuneResult {
+        best: point_of(&best_idx),
+        cost: best,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A strictly unimodal 1-D bowl over an integer grid.
+    struct Bowl {
+        dim: Dim,
+        vertex: f64,
+    }
+
+    impl Tunable for Bowl {
+        fn name(&self) -> &str {
+            "bowl"
+        }
+
+        fn space(&self) -> Vec<Dim> {
+            vec![self.dim.clone()]
+        }
+
+        fn objective(&self, p: &[Value]) -> f64 {
+            let x = p[0].as_f64();
+            (x - self.vertex) * (x - self.vertex) + 1.0
+        }
+    }
+
+    #[test]
+    fn dim_candidates_are_ordered_and_in_bounds() {
+        let d = Dim::Int {
+            name: "n",
+            lo: 8,
+            hi: 32,
+            step: 8,
+        };
+        let c = d.candidates();
+        assert_eq!(
+            c,
+            vec![
+                Value::Int(8),
+                Value::Int(16),
+                Value::Int(24),
+                Value::Int(32)
+            ]
+        );
+        assert!(c.iter().all(|v| d.contains(v)));
+        let l = Dim::Log2 {
+            name: "chunks",
+            lo: 1,
+            hi: 4096,
+        };
+        assert_eq!(l.candidates().len(), 13);
+        assert_eq!(l.candidates()[12], Value::Int(4096));
+        let f = Dim::F64 {
+            name: "frac",
+            lo: 0.0,
+            hi: 1.0,
+            grid: 5,
+        };
+        let fc = f.candidates();
+        assert_eq!(fc[0], Value::F64(0.0));
+        assert_eq!(fc[4], Value::F64(1.0));
+        assert!(fc.iter().all(|v| f.contains(v)));
+    }
+
+    #[test]
+    fn exhaustive_finds_the_grid_argmin() {
+        let b = Bowl {
+            dim: Dim::Int {
+                name: "x",
+                lo: -10,
+                hi: 10,
+                step: 1,
+            },
+            vertex: 3.2,
+        };
+        let r = tune(&b, Strategy::Exhaustive);
+        assert_eq!(r.best, vec![Value::Int(3)]);
+        assert_eq!(r.evals, 21);
+    }
+
+    #[test]
+    fn golden_section_matches_exhaustive_with_fewer_evals() {
+        let b = Bowl {
+            dim: Dim::Int {
+                name: "x",
+                lo: 0,
+                hi: 200,
+                step: 1,
+            },
+            vertex: 137.4,
+        };
+        let ex = tune(&b, Strategy::Exhaustive);
+        let gs = tune(&b, Strategy::GoldenSection);
+        assert_eq!(gs.best, ex.best);
+        assert_eq!(gs.cost, ex.cost);
+        assert!(gs.evals < ex.evals / 3, "golden used {} evals", gs.evals);
+    }
+
+    #[test]
+    fn anneal_same_seed_is_bit_identical() {
+        let b = Bowl {
+            dim: Dim::F64 {
+                name: "x",
+                lo: -1.0,
+                hi: 1.0,
+                grid: 101,
+            },
+            vertex: 0.31,
+        };
+        let s = Strategy::Anneal {
+            seed: 42,
+            iters: 500,
+        };
+        let a = tune(&b, s);
+        let c = tune(&b, s);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn anneal_finds_the_joint_optimum_of_a_separable_bowl() {
+        struct Joint;
+        impl Tunable for Joint {
+            fn name(&self) -> &str {
+                "joint"
+            }
+            fn space(&self) -> Vec<Dim> {
+                vec![
+                    Dim::Int {
+                        name: "a",
+                        lo: 0,
+                        hi: 15,
+                        step: 1,
+                    },
+                    Dim::Choice {
+                        name: "b",
+                        options: &["bad", "good"],
+                    },
+                ]
+            }
+            fn objective(&self, p: &[Value]) -> f64 {
+                let a = p[0].as_f64();
+                let b = if p[1].as_choice() == 1 { 0.0 } else { 5.0 };
+                (a - 11.0) * (a - 11.0) + b + 1.0
+            }
+        }
+        let ex = tune(&Joint, Strategy::Exhaustive);
+        let an = tune(
+            &Joint,
+            Strategy::Anneal {
+                seed: 7,
+                iters: 400,
+            },
+        );
+        assert_eq!(ex.best, vec![Value::Int(11), Value::Choice(1)]);
+        assert_eq!(an.cost, ex.cost);
+    }
+
+    #[test]
+    fn knee_detector_fires_on_the_first_big_jump() {
+        let trace = vec![
+            (Value::Int(8), 1.0),
+            (Value::Int(16), 2.0),
+            (Value::Int(24), 8.0),
+            (Value::Int(32), 11.0),
+        ];
+        assert_eq!(knee_1d(&trace, 3.0), Some(2));
+        assert_eq!(knee_1d(&trace, 100.0), None);
+    }
+
+    #[test]
+    fn exhaustive_breaks_ties_toward_the_earliest_point() {
+        struct Flat;
+        impl Tunable for Flat {
+            fn name(&self) -> &str {
+                "flat"
+            }
+            fn space(&self) -> Vec<Dim> {
+                vec![Dim::Int {
+                    name: "x",
+                    lo: 0,
+                    hi: 9,
+                    step: 1,
+                }]
+            }
+            fn objective(&self, _: &[Value]) -> f64 {
+                1.0
+            }
+        }
+        let r = tune(&Flat, Strategy::Exhaustive);
+        assert_eq!(r.best, vec![Value::Int(0)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! CPU/GPU hybrid work splitting — the Memeti–Pllana-style combinatorial
+//! work-distribution knob (`PAPERS.md`), applied to a KAVG-like streaming
+//! batch.
+//!
+//! A fraction `gpu_frac` of the batch is offloaded: those items pay
+//! host→device staging over the node link, run on the GPU, and return
+//! their results; the remainder runs on every host core. Both partitions
+//! execute concurrently, so a step costs `max(t_cpu, t_gpu)`. Because
+//! `t_cpu` falls and `t_gpu` rises monotonically in `gpu_frac`, the step
+//! time is unimodal in the split — exactly the shape golden-section search
+//! (`icoe::tune`) is built for. On machines where staging bandwidth eats
+//! the accelerator's advantage, the optimum sits strictly inside `(0, 1)`:
+//! neither device alone wins, which is the paper's recurring lesson that
+//! the right split is machine-dependent and worth searching for.
+
+use hetsim::{KernelProfile, Loc, Sim, Target, TransferKind};
+
+/// A streaming batch to split between host cores and one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridWorkload {
+    /// Independent work items in the batch.
+    pub items: usize,
+    /// Arithmetic per item.
+    pub flops_per_item: f64,
+    /// Device/host memory traffic per item (read + write).
+    pub bytes_per_item: f64,
+    /// Host→device staging bytes per *offloaded* item.
+    pub h2d_per_item: f64,
+    /// Device→host result bytes per *offloaded* item.
+    pub d2h_per_item: f64,
+}
+
+impl HybridWorkload {
+    /// A KAVG-like minibatch: modest arithmetic intensity, meaningful
+    /// staging traffic — the regime where the CPU/GPU split matters.
+    pub fn kavg_batch() -> HybridWorkload {
+        HybridWorkload {
+            items: 1 << 22,
+            flops_per_item: 64.0,
+            bytes_per_item: 16.0,
+            h2d_per_item: 8.0,
+            d2h_per_item: 0.0,
+        }
+    }
+}
+
+fn profile(name: &str, w: &HybridWorkload, items: f64) -> KernelProfile {
+    KernelProfile::new(name)
+        .flops(w.flops_per_item * items)
+        .bytes_read(w.bytes_per_item * items)
+        .parallelism(items)
+}
+
+/// Modelled seconds for one pass of `w` with `gpu_frac` of the items on
+/// GPU 0 and the rest on all host cores, run concurrently. Pure cost:
+/// nothing on `sim` is advanced, so the function is a valid deterministic
+/// `icoe::tune` objective.
+pub fn split_step_time(sim: &Sim, w: &HybridWorkload, gpu_frac: f64) -> f64 {
+    let gpu_frac = gpu_frac.clamp(0.0, 1.0);
+    let gpu_items = (w.items as f64 * gpu_frac).round();
+    let cpu_items = w.items as f64 - gpu_items;
+    let t_cpu = if cpu_items > 0.0 {
+        sim.cost(Target::cpu_all(), &profile("hybrid_cpu", w, cpu_items))
+    } else {
+        0.0
+    };
+    let t_gpu = if gpu_items > 0.0 {
+        let stage_in = sim.transfer_cost(
+            Loc::Host,
+            Loc::Gpu(0),
+            gpu_items * w.h2d_per_item,
+            TransferKind::Memcpy,
+        );
+        let stage_out = if w.d2h_per_item > 0.0 {
+            sim.transfer_cost(
+                Loc::Gpu(0),
+                Loc::Host,
+                gpu_items * w.d2h_per_item,
+                TransferKind::Memcpy,
+            )
+        } else {
+            0.0
+        };
+        stage_in + sim.cost(Target::gpu(0), &profile("hybrid_gpu", w, gpu_items)) + stage_out
+    } else {
+        0.0
+    };
+    t_cpu.max(t_gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::machines;
+
+    #[test]
+    fn endpoints_reduce_to_single_device_costs() {
+        let sim = Sim::new(machines::sierra_node());
+        let w = HybridWorkload::kavg_batch();
+        let all_cpu = split_step_time(&sim, &w, 0.0);
+        let all_gpu = split_step_time(&sim, &w, 1.0);
+        let cpu_only = sim.cost(
+            Target::cpu_all(),
+            &profile("hybrid_cpu", &w, w.items as f64),
+        );
+        assert_eq!(all_cpu, cpu_only);
+        assert!(all_gpu > sim.cost(Target::gpu(0), &profile("hybrid_gpu", &w, w.items as f64)));
+    }
+
+    #[test]
+    fn interior_split_beats_both_endpoints_on_sierra() {
+        // The staging-bound regime: NVLink feeding costs more per item
+        // than the P9 pair's compute, so neither device alone is optimal.
+        let sim = Sim::new(machines::sierra_node());
+        let w = HybridWorkload::kavg_batch();
+        let all_cpu = split_step_time(&sim, &w, 0.0);
+        let all_gpu = split_step_time(&sim, &w, 1.0);
+        let best_interior = (1..20)
+            .map(|i| split_step_time(&sim, &w, i as f64 / 20.0))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_interior < all_cpu, "{best_interior} vs cpu {all_cpu}");
+        assert!(best_interior < all_gpu, "{best_interior} vs gpu {all_gpu}");
+    }
+
+    #[test]
+    fn step_time_is_unimodal_in_the_split() {
+        // max(decreasing, increasing) — the curve falls to one valley and
+        // rises after it, with no second dip.
+        let sim = Sim::new(machines::sierra_node());
+        let w = HybridWorkload::kavg_batch();
+        let ts: Vec<f64> = (0..=40)
+            .map(|i| split_step_time(&sim, &w, i as f64 / 40.0))
+            .collect();
+        let argmin = ts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        for win in ts[..=argmin].windows(2) {
+            assert!(win[1] <= win[0] + 1e-12, "not falling before the valley");
+        }
+        for win in ts[argmin..].windows(2) {
+            assert!(win[1] >= win[0] - 1e-12, "not rising after the valley");
+        }
+    }
+
+    #[test]
+    fn pure_cost_does_not_advance_the_sim() {
+        let sim = Sim::new(machines::sierra_node());
+        split_step_time(&sim, &HybridWorkload::kavg_batch(), 0.5);
+        assert_eq!(sim.elapsed(), 0.0);
+    }
+}

@@ -18,10 +18,12 @@
 //!   sample is partitioned across 2-16 GPUs (the model exceeds one V100's
 //!   memory), weak/strong scaling to 2048 GPUs.
 
+pub mod hybrid;
 pub mod kavg;
 pub mod lbann;
 pub mod video;
 
+pub use hybrid::{split_step_time, HybridWorkload};
 pub use kavg::{train_asgd, train_kavg, train_sgd, Mlp, TrainConfig};
 pub use lbann::{scaling_point, LbannConfig, ScalingPoint};
 pub use video::{run_table3, Table3, VideoDataset};

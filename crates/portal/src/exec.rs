@@ -628,7 +628,27 @@ impl Executor {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
-        let n = out.len();
+        let threads = Policy::Device { gpu }.host_threads(&self.sim);
+        run_parallel_chunks(out, threads, |base, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                f(base + off, slot);
+            }
+        });
+        self.staged_cost(gpu, backend, item, stage, out.len())
+    }
+
+    /// Simulated cost of [`Executor::forall_staged`] for `n` items without
+    /// running any host work: the blocking upload / kernel / download
+    /// sequence, charged identically. This is the auto-tuner's serial
+    /// baseline objective (`icoe::tune`).
+    pub fn staged_cost(
+        &mut self,
+        gpu: usize,
+        backend: Backend,
+        item: &PerItem,
+        stage: Staging,
+        n: usize,
+    ) -> f64 {
         let nf = n as f64;
         let mut dt = 0.0;
         if stage.h2d_per_item > 0.0 {
@@ -639,7 +659,7 @@ impl Executor {
                 TransferKind::Memcpy,
             );
         }
-        dt += self.forall_mut(Policy::Device { gpu }, backend, item, out, f);
+        dt += self.charge("forall_mut", n, Policy::Device { gpu }, backend, item);
         if stage.d2h_per_item > 0.0 {
             dt += self.sim.transfer(
                 Loc::Gpu(gpu),
@@ -690,6 +710,45 @@ impl Executor {
         let chunks = chunks.clamp(1, n);
         let chunk_len = n.div_ceil(chunks);
         let threads = self.sim.machine().node.cpu.cores();
+
+        // Run the real computation on the host, chunk by chunk (the same
+        // chunk boundaries the simulated schedule charges below).
+        let mut rest = out;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            run_parallel_chunks(head, threads, |off, slab| {
+                for (k, slot) in slab.iter_mut().enumerate() {
+                    f(base + off + k, slot);
+                }
+            });
+            rest = tail;
+            base += take;
+        }
+        self.pipeline_cost(gpu, backend, item, stage, n, chunks)
+    }
+
+    /// Simulated cost of [`Executor::forall_pipelined`] for `n` items in
+    /// `chunks` chunks, without running any host work: the full chunked
+    /// H2D / compute / D2H schedule is charged to the sim's streams and
+    /// copy engines exactly as `forall_pipelined` charges it. This is the
+    /// auto-tuner's pipeline objective (`icoe::tune`), where the chunk
+    /// count is a searched knob rather than a hand-picked constant.
+    pub fn pipeline_cost(
+        &mut self,
+        gpu: usize,
+        backend: Backend,
+        item: &PerItem,
+        stage: Staging,
+        n: usize,
+        chunks: usize,
+    ) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let chunks = chunks.clamp(1, n);
+        let chunk_len = n.div_ceil(chunks);
         let penalty = backend.penalty(Policy::Device { gpu });
 
         let compute = StreamId::default_for(Target::gpu(gpu));
@@ -711,19 +770,10 @@ impl Executor {
         let mut kernel_done: Vec<hetsim::Event> = Vec::with_capacity(chunks);
         let mut last = hetsim::Event::at(start);
 
-        let mut rest = out;
-        let mut base = 0usize;
+        let mut left = n;
         let mut c = 0usize;
-        while !rest.is_empty() {
-            let take = chunk_len.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            // Run the chunk's real computation on the host.
-            run_parallel_chunks(head, threads, |off, slab| {
-                for (k, slot) in slab.iter_mut().enumerate() {
-                    f(base + off + k, slot);
-                }
-            });
-
+        while left > 0 {
+            let take = chunk_len.min(left);
             // Double buffering: chunk c reuses the staging buffer chunk
             // c - PIPELINE_BUFFERS computed out of.
             if c >= PIPELINE_BUFFERS {
@@ -762,8 +812,7 @@ impl Executor {
             } else {
                 ev_k
             };
-            rest = tail;
-            base += take;
+            left -= take;
             c += 1;
         }
         let dt = last.time - start;
@@ -951,6 +1000,21 @@ mod pipeline_tests {
         });
         assert!(dt > 0.0);
         assert_eq!(one[9], 9);
+    }
+
+    #[test]
+    fn cost_only_helpers_match_the_real_loops_exactly() {
+        // The auto-tuner evaluates `pipeline_cost` / `staged_cost` instead
+        // of running host work; both must charge bit-identical schedules.
+        let (item, stage) = balanced();
+        let n = 1 << 20;
+        let mut v = vec![0u8; n];
+        let full = exec().forall_pipelined(0, Backend::Native, &item, stage, &mut v, 8, |_, _| {});
+        let cost = exec().pipeline_cost(0, Backend::Native, &item, stage, n, 8);
+        assert_eq!(full, cost);
+        let full_s = exec().forall_staged(0, Backend::Native, &item, stage, &mut v, |_, _| {});
+        let cost_s = exec().staged_cost(0, Backend::Native, &item, stage, n);
+        assert_eq!(full_s, cost_s);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
         "job larger than the pool"
     );
     let mut arrivals: Vec<Job> = jobs.to_vec();
-    arrivals.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+    arrivals.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
     let mut queue: Vec<QueuedJob> = Vec::new();
     let mut running: Vec<RunningJob> = Vec::new();
     let mut free = gpus;

@@ -17,7 +17,25 @@
 //! calls [`SchedPolicy::on_select`] with the still-intact queue so ageing
 //! policies can update bypass counts before the entry is removed.
 
+use std::cmp::Ordering;
+
 use crate::workload::Job;
+
+/// Order two node speeds *descending* (fastest first) with NaN sorted
+/// last. A plain `total_cmp` on the flipped operands would do the
+/// opposite — IEEE total order ranks positive NaN above `+inf`, so a
+/// node whose speed got corrupted to NaN would win every placement.
+/// Every descending-speed preference in the built-in policies (and in
+/// `icoe::cluster`'s placement fallback) routes through this instead, so
+/// a NaN speed deterministically loses.
+pub fn desc_speed_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
 
 /// What a policy sees about one waiting job.
 ///
@@ -218,12 +236,9 @@ impl SchedPolicy for Sjf {
             .iter()
             .enumerate()
             .filter(|(_, q)| view.fits(&q.job))
-            .min_by(|a, b| {
-                a.1.job
-                    .duration
-                    .partial_cmp(&b.1.job.duration)
-                    .expect("finite")
-            })
+            // total_cmp: a NaN duration sorts after +inf, so a corrupt
+            // estimate queues last instead of panicking the simulator.
+            .min_by(|a, b| a.1.job.duration.total_cmp(&b.1.job.duration))
             .map(|(i, _)| Decision::pick(i))
     }
 }
@@ -253,12 +268,7 @@ impl SchedPolicy for SjfQuota {
             .iter()
             .enumerate()
             .filter(|(_, q)| view.fits(&q.job))
-            .min_by(|a, b| {
-                a.1.job
-                    .duration
-                    .partial_cmp(&b.1.job.duration)
-                    .expect("finite")
-            })
+            .min_by(|a, b| a.1.job.duration.total_cmp(&b.1.job.duration))
             .map(|(i, _)| Decision::pick(i))
     }
 
@@ -294,7 +304,7 @@ impl SchedPolicy for EasyBackfill {
         // conservative approximation).
         let mut finishes: Vec<(f64, usize)> =
             view.running.iter().map(|r| (r.finish, r.gpus)).collect();
-        finishes.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        finishes.sort_by(|a, b| a.0.total_cmp(&b.0));
         let head_need = head.job.gpus;
         let mut avail = view.free_gpus;
         let mut shadow = f64::INFINITY;
@@ -338,12 +348,10 @@ impl SchedPolicy for GpuBinPack {
             .enumerate()
             .filter(|(_, q)| view.fits(&q.job))
             .min_by(|a, b| {
-                b.1.job.gpus.cmp(&a.1.job.gpus).then(
-                    a.1.job
-                        .duration
-                        .partial_cmp(&b.1.job.duration)
-                        .expect("finite"),
-                )
+                b.1.job
+                    .gpus
+                    .cmp(&a.1.job.gpus)
+                    .then(a.1.job.duration.total_cmp(&b.1.job.duration))
             })?;
         let node = view
             .nodes
@@ -381,22 +389,14 @@ impl SchedPolicy for SlaUrgency {
             .iter()
             .enumerate()
             .filter(|(_, q)| view.fits(&q.job))
-            .min_by(|a, b| {
-                a.1.job
-                    .slack(view.now)
-                    .partial_cmp(&b.1.job.slack(view.now))
-                    .expect("slack is never NaN")
-            })?;
+            // total_cmp: a NaN slack (corrupt duration/deadline) sorts
+            // after +inf — behind every best-effort job.
+            .min_by(|a, b| a.1.job.slack(view.now).total_cmp(&b.1.job.slack(view.now)))?;
         let node = view
             .nodes
             .iter()
             .filter(|n| n.fits(&q.job))
-            .min_by(|a, b| {
-                b.speed
-                    .partial_cmp(&a.speed)
-                    .expect("finite")
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|a, b| desc_speed_nan_last(a.speed, b.speed).then(a.id.cmp(&b.id)))
             .map(|n| n.id);
         Some(Decision { queue_idx: i, node })
     }
@@ -541,6 +541,65 @@ mod tests {
         let d = SlaUrgency.select(&v).expect("fits");
         assert_eq!(d.queue_idx, 1);
         assert_eq!(d.node, Some(1), "fastest node protects the deadline");
+    }
+
+    #[test]
+    fn nan_duration_jobs_sort_last_deterministically() {
+        // total_cmp puts NaN after +inf: a job whose runtime estimate got
+        // corrupted queues behind everything, FIFO among fellow NaNs.
+        let q = [
+            job(0, f64::NAN, 1),
+            job(1, 5.0, 1),
+            job(2, f64::INFINITY, 1),
+        ];
+        let v = pool_view(&q, 4, 4);
+        assert_eq!(Sjf.select(&v), Some(Decision::pick(1)));
+        assert_eq!(SjfQuota { quota: 9 }.select(&v), Some(Decision::pick(1)));
+        assert_eq!(GpuBinPack.select(&v).map(|d| d.queue_idx), Some(1));
+        // All-NaN queue: min_by keeps the first minimum — arrival order.
+        let q = [job(0, f64::NAN, 1), job(1, f64::NAN, 1)];
+        let v = pool_view(&q, 4, 4);
+        assert_eq!(Sjf.select(&v), Some(Decision::pick(0)));
+        // A NaN slack (deadline - now - NaN duration) loses to infinite
+        // slack too.
+        let q = [job(0, f64::NAN, 1), job(1, 5.0, 1)];
+        let v = pool_view(&q, 4, 4);
+        assert_eq!(SlaUrgency.select(&v).map(|d| d.queue_idx), Some(1));
+    }
+
+    #[test]
+    fn nan_speed_node_is_never_preferred() {
+        let slow = NodeView {
+            id: 0,
+            class: 0,
+            gpus_free: 2,
+            cores_free: 8,
+            gpus_total: 2,
+            cores_total: 8,
+            speed: f64::NAN,
+            busy: false,
+        };
+        let fast = NodeView {
+            id: 1,
+            speed: 0.25,
+            ..slow
+        };
+        let q = [job(0, 10.0, 1)];
+        let v = ClusterView {
+            now: 0.0,
+            queue: &q,
+            running: &[],
+            free_gpus: 4,
+            total_gpus: 4,
+            nodes: &[slow, fast],
+        };
+        let d = SlaUrgency.select(&v).expect("fits");
+        assert_eq!(d.node, Some(1), "NaN speed must lose placement");
+        // And the comparator itself documents the full order.
+        let mut speeds = [1.0, f64::NAN, 2.0, f64::INFINITY];
+        speeds.sort_by(|a, b| desc_speed_nan_last(*a, *b));
+        assert!(speeds[0].is_infinite() && speeds[1] == 2.0 && speeds[2] == 1.0);
+        assert!(speeds[3].is_nan());
     }
 
     #[test]

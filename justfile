@@ -50,6 +50,11 @@ par-smoke:
     echo "parallel output byte-identical to serial"
     rm -f out_par.json out_ser.json out_par.norm out_ser.norm
 
+# The auto-tuner rediscovering the paper's crossovers (pipeline chunks,
+# hierarchical allreduce at 64 nodes, the UM knee) from the cost model.
+tune-smoke:
+    cargo run --release --offline -p bench --bin experiments -- auto-tune --json --bench-dir out
+
 # The fleet-serving layer: spike survival + policy shoot-out, with the
 # SLA/joules gauges and the `cluster` timeline track.
 cluster-smoke:

@@ -44,6 +44,7 @@ fn experiment_list_matches_design_doc_index() {
         "collective-overlap",
         "cluster-spike",
         "cluster-policies",
+        "auto-tune",
         "lessons",
         "machines",
     ];
