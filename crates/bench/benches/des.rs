@@ -1,0 +1,110 @@
+//! Criterion bench for the unified `hetsim::des` event kernel (ISSUE 8):
+//! hierarchical allreduce expressed as events, swept over simulated rank
+//! counts up to 1M. After the criterion cells a direct throughput probe
+//! prints `des.ranks_per_s.r<N> <value>` lines — simulated ranks pushed
+//! and popped per host wall-second; the EXPERIMENTS.md target is ≥1M
+//! ranks/s at the 1M-rank point on a release build.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::des::EventKernel;
+
+/// Ranks per host (the sierra preset's GPU count).
+const RANKS_PER_HOST: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Ready(usize),
+    HostDone,
+    RoundDone,
+}
+
+/// One hierarchical allreduce round: every rank posts a gradient-ready
+/// event, each host's last arrival schedules the intra-node reduction,
+/// the last host schedules the inter-node phase. Returns events popped.
+fn allreduce_round(ranks: usize, intra_s: f64, inter_s: f64) -> u64 {
+    let hosts = ranks.div_ceil(RANKS_PER_HOST);
+    let mut kernel: EventKernel<Ev> = EventKernel::new();
+    let mut host_pending = vec![0usize; hosts];
+    for r in 0..ranks {
+        kernel.schedule((r % 7) as f64 * 0.5e-6, Ev::Ready(r));
+        host_pending[r / RANKS_PER_HOST] += 1;
+    }
+    let mut hosts_pending = hosts;
+    let mut popped = 0u64;
+    while let Some((key, ev)) = kernel.pop() {
+        popped += 1;
+        match ev {
+            Ev::Ready(r) => {
+                let h = r / RANKS_PER_HOST;
+                host_pending[h] -= 1;
+                if host_pending[h] == 0 {
+                    kernel.schedule(key.time + intra_s, Ev::HostDone);
+                }
+            }
+            Ev::HostDone => {
+                hosts_pending -= 1;
+                if hosts_pending == 0 {
+                    kernel.schedule(key.time + inter_s, Ev::RoundDone);
+                }
+            }
+            Ev::RoundDone => break,
+        }
+    }
+    popped
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// Criterion cells: one allreduce round per iteration at each rank count.
+fn bench_rank_sweep(c: &mut Criterion) {
+    for ranks in [1024usize, 65536, 1 << 20] {
+        c.bench_function(&format!("des/hier_allreduce_r{ranks}"), |b| {
+            b.iter(|| allreduce_round(ranks, 1e-3, 3e-3));
+        });
+    }
+}
+
+/// The headline gauge: simulated ranks per host wall-second, printed in
+/// the greppable `des.ranks_per_s.r<N> <value>` form.
+fn bench_ranks_per_s(c: &mut Criterion) {
+    for ranks in [65536usize, 1 << 20] {
+        let rounds = if ranks >= 1 << 20 { 3 } else { 10 };
+        let start = Instant::now();
+        let mut popped = 0u64;
+        for _ in 0..rounds {
+            popped += allreduce_round(ranks, 1e-3, 3e-3);
+        }
+        let wall = start.elapsed().as_secs_f64().max(1e-12);
+        let rps = (ranks * rounds) as f64 / wall;
+        eprintln!("des.ranks_per_s.r{ranks} {rps:.0}  ({popped} events in {wall:.3} s)");
+    }
+    // Keep the harness shape: one trivial criterion cell so the group is
+    // never empty even if the sweep above is trimmed.
+    c.bench_function("des/kernel_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut k: EventKernel<u32> = EventKernel::new();
+            for i in 0..1024u32 {
+                k.schedule((i % 13) as f64, i);
+            }
+            let mut n = 0u32;
+            while k.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_rank_sweep, bench_ranks_per_s
+}
+criterion_main!(benches);

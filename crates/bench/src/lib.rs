@@ -12,6 +12,7 @@ pub mod exps_apps;
 pub mod exps_cluster;
 pub mod exps_compute;
 pub mod exps_core;
+pub mod exps_des;
 pub mod exps_mem;
 pub mod exps_net;
 pub mod exps_opt;
@@ -49,6 +50,7 @@ pub const ALL: &[&str] = &[
     "auto-tune",
     "lessons",
     "machines",
+    "rank-throughput",
 ];
 
 /// Build the full experiment registry, in paper order.
@@ -166,6 +168,11 @@ pub fn registry() -> Registry {
             "machines",
             "§2.1 (hardware inventory)",
             exps_core::machines_table
+        ),
+        (
+            "rank-throughput",
+            "ISSUE 8 (des kernel: simulated ranks per host-second)",
+            exps_des::rank_throughput
         ),
     );
     debug_assert_eq!(r.ids(), ALL, "ALL must mirror the registry order");

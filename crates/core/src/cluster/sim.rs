@@ -2,7 +2,8 @@
 //! per-node power states serving a job stream under any [`SchedPolicy`].
 //!
 //! The simulator owns three event kinds — job arrival, job finish, and
-//! node park — on one binary heap keyed by simulated time. After every
+//! node park — scheduled on the shared [`hetsim::des::EventKernel`]
+//! (earliest `(time, seq)` first). After every
 //! event batch it rebuilds a [`ClusterView`] (queue, running set, and one
 //! [`NodeView`] per node) and calls the policy's `select` repeatedly
 //! until it declines. Placement rescales the job's reference duration by
@@ -11,10 +12,8 @@
 //! each node carries a `power_mark`, advanced (and its joules charged at
 //! the power state in force) whenever the node's state changes.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use hetsim::obs::{Recorder, SpanKind};
+use hetsim::des::EventKernel;
+use hetsim::obs::{quantile, Recorder, SpanKind};
 use sched::policy::desc_speed_nan_last;
 use sched::{ClusterView, JobInfo, NodeView, QueuedJob, RunningJob, SchedPolicy};
 
@@ -78,34 +77,6 @@ enum Ev {
         node: usize,
         idle_stamp: f64,
     },
-}
-
-struct HeapEv {
-    time: f64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for HeapEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for HeapEv {}
-impl PartialOrd for HeapEv {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEv {
-    // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
-    // insertion order (`seq`) breaking time ties deterministically.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
 }
 
 struct NodeState {
@@ -182,25 +153,17 @@ pub fn simulate_cluster(
         );
     }
 
-    let mut heap: BinaryHeap<HeapEv> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<HeapEv>, seq: &mut u64, time: f64, ev: Ev| {
-        heap.push(HeapEv {
-            time,
-            seq: *seq,
-            ev,
-        });
-        *seq += 1;
-    };
+    // The shared `hetsim::des` kernel replaces this module's private
+    // `BinaryHeap<HeapEv>`: same `(time, seq)` earliest-first total order,
+    // same deterministic insertion tie-break, one implementation.
+    let mut events: EventKernel<Ev> = EventKernel::new();
     for (i, j) in jobs.iter().enumerate() {
-        push(&mut heap, &mut seq, j.arrival, Ev::Arrive(i));
+        events.schedule(j.arrival, Ev::Arrive(i));
     }
     // The whole fleet starts on and idle: the governor's first sweep.
     if let Some(d) = cfg.park_after_s {
         for ni in 0..nodes.len() {
-            push(
-                &mut heap,
-                &mut seq,
+            events.schedule(
                 d,
                 Ev::Park {
                     node: ni,
@@ -235,16 +198,16 @@ pub fn simulate_cluster(
         n.power_mark = now;
     };
 
-    while let Some(head) = heap.pop() {
-        let now = head.time;
+    while let Some((key, head)) = events.pop() {
+        let now = key.time;
         makespan = makespan.max(now);
-        let mut batch = vec![head.ev];
+        let mut batch = vec![head];
         // Drain simultaneous events so one scheduling pass sees them all.
-        while let Some(nxt) = heap.peek() {
-            if nxt.time > now {
+        while let Some(k) = events.peek_key() {
+            if k.time > now {
                 break;
             }
-            batch.push(heap.pop().expect("peeked").ev);
+            batch.push(events.pop().expect("peeked").1);
         }
         for ev in batch {
             match ev {
@@ -272,9 +235,7 @@ pub fn simulate_cluster(
                     if n.running == 0 {
                         n.idle_since = now;
                         if let Some(d) = cfg.park_after_s {
-                            push(
-                                &mut heap,
-                                &mut seq,
+                            events.schedule(
                                 now + d,
                                 Ev::Park {
                                     node,
@@ -380,9 +341,7 @@ pub fn simulate_cluster(
                     cores: job.cores,
                 },
             ));
-            push(
-                &mut heap,
-                &mut seq,
+            events.schedule(
                 finish,
                 Ev::Finish {
                     node: ni,
@@ -396,7 +355,10 @@ pub fn simulate_cluster(
             break;
         }
     }
-    assert!(queue.is_empty(), "drained heap with jobs still queued");
+    assert!(
+        queue.is_empty(),
+        "drained event queue with jobs still queued"
+    );
     assert_eq!(completed, jobs.len());
 
     for n in &mut nodes {
@@ -404,7 +366,7 @@ pub fn simulate_cluster(
     }
     let joules: f64 = nodes.iter().map(|n| n.joules).sum();
     waits.sort_by(|a, b| a.total_cmp(b));
-    let pct = |q: f64| nearest_rank(&waits, q);
+    let pct = |q: f64| quantile(&waits, q);
     let span = makespan.max(1e-9);
     let m = ClusterMetrics {
         completed,
@@ -445,28 +407,6 @@ pub fn simulate_cluster(
     rec.gauge("cluster.joules", m.joules);
     rec.gauge("cluster.makespan_s", m.makespan);
     m
-}
-
-/// Nearest-rank quantile of an ascending-sorted sample: the value at
-/// 1-based rank `ceil(q * n)`, i.e. the smallest observation with at
-/// least a `q` fraction of the sample at or below it. The previous
-/// `round((n - 1) * q)` index both interpolated the rank and rounded it
-/// to-nearest, which biases tail quantiles low — p99 of 50 samples
-/// landed on rank 49 instead of 50, under-reporting the spike waits the
-/// cluster experiments gate on. Empty samples report 0.
-fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
-    debug_assert!(
-        sorted
-            .windows(2)
-            .all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater),
-        "nearest_rank wants an ascending-sorted sample"
-    );
-    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -560,19 +500,22 @@ mod tests {
 
     #[test]
     fn nearest_rank_pins_p50_and_p99_on_a_known_sample() {
+        // The wait quantiles now delegate to the one shared
+        // `hetsim::obs::quantile`; this pin guards the delegation keeps
+        // the nearest-rank semantics the cluster experiments gate on.
         let v: Vec<f64> = (1..=10).map(f64::from).collect();
         // Rank ceil(0.5 * 10) = 5 -> the 5th smallest, not the 6th the
         // old round((n-1) * q) formula picked.
-        assert_eq!(nearest_rank(&v, 0.50), 5.0);
+        assert_eq!(quantile(&v, 0.50), 5.0);
         // Rank ceil(0.99 * 10) = 10 -> the maximum.
-        assert_eq!(nearest_rank(&v, 0.99), 10.0);
-        assert_eq!(nearest_rank(&v, 0.0), 1.0);
-        assert_eq!(nearest_rank(&v, 1.0), 10.0);
-        assert_eq!(nearest_rank(&[], 0.5), 0.0);
+        assert_eq!(quantile(&v, 0.99), 10.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 10.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
         // Rank 50 of 50, not 49: the tail value itself.
         let mut fifty: Vec<f64> = (1..=50).map(f64::from).collect();
         fifty.sort_by(|a, b| a.total_cmp(b));
-        assert_eq!(nearest_rank(&fifty, 0.99), 50.0);
+        assert_eq!(quantile(&fifty, 0.99), 50.0);
     }
 
     #[test]

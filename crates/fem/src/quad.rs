@@ -47,7 +47,10 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
         x[n - 1 - i] = xi;
         w[n - 1 - i] = 2.0 / ((1.0 - xi * xi) * dp * dp);
     }
-    x.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // total_cmp: Newton-refined nodes are finite by construction, but a
+    // total order removes the panic path the workspace-wide NaN audit
+    // scrubbed everywhere else.
+    x.sort_by(|a, b| a.total_cmp(b));
     (x, w)
 }
 
@@ -75,7 +78,7 @@ pub fn gauss_lobatto(n: usize) -> (Vec<f64>, Vec<f64>) {
         }
         x[i] = xi;
     }
-    x.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    x.sort_by(|a, b| a.total_cmp(b));
     let mut w = vec![0.0f64; n];
     for i in 0..n {
         let (p, _) = legendre(m, x[i]);

@@ -41,6 +41,7 @@
 //! assert!(t_gpu < t_cpu, "HBM beats DDR on a bandwidth-bound kernel");
 //! ```
 
+pub mod des;
 pub mod kernel;
 pub mod machines;
 pub mod mem;
@@ -51,6 +52,7 @@ pub mod spec;
 pub mod trace;
 pub mod unified;
 
+pub use des::{desc_nan_last, EventKernel, EventKey, EventQueue, TrackBank, TrackId, TrackSet};
 pub use kernel::{CostTerms, KernelProfile, LaunchClass, Precision};
 pub use mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
 pub use network::{AllReduceAlgo, CollectiveKind, NetCounters, Network, StragglerSpec};

@@ -45,6 +45,8 @@ use std::sync::Mutex;
 
 use serde::Serialize;
 
+use crate::des::TrackBank;
+
 use crate::obs::{Recorder, SpanKind};
 use crate::sim::Event;
 use crate::spec::{Machine, NetworkSpec, TopologySpec};
@@ -176,8 +178,10 @@ pub struct NetCounters {
 #[derive(Debug, Default)]
 struct NetState {
     counters: NetCounters,
-    /// Busy-until clock per rank's NIC injection track (lazily grown).
-    nic: Vec<f64>,
+    /// Busy-until clock per rank's NIC injection track (lazily grown) —
+    /// a dense [`TrackBank`] on the unified `des` clock storage, the same
+    /// structure-of-arrays bank `Sim` keeps its stream/engine clocks in.
+    nic: TrackBank,
     /// In-flight point-to-point flows as `(start, end)` intervals.
     flows: Vec<(f64, f64)>,
 }
@@ -323,13 +327,13 @@ impl Network {
     /// (0.0 before any traffic).
     pub fn now(&self) -> f64 {
         let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.nic.iter().copied().fold(0.0, f64::max)
+        s.nic.frontier()
     }
 
     /// Busy-until clock of `rank`'s NIC injection track.
     pub fn nic_time(&self, rank: usize) -> f64 {
         let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.nic.get(rank).copied().unwrap_or(0.0)
+        s.nic.time(rank)
     }
 
     fn note(&self, kind: &str, msgs: u64, volume: f64, seconds: f64) {
@@ -525,13 +529,11 @@ impl Network {
         let dst = dst.min(self.ranks.saturating_sub(1));
         let (start, end) = {
             let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            if s.nic.len() < self.ranks {
-                s.nic.resize(self.ranks, 0.0);
-            }
-            let start = s.nic[src].max(after.map(|e| e.time).unwrap_or(0.0));
+            s.nic.ensure(self.ranks);
+            let start = s.nic.time(src).max(after.map(|e| e.time).unwrap_or(0.0));
             // Flows that ended before every NIC front can never overlap a
             // future issue; prune them so the table stays small.
-            let min_front = s.nic.iter().copied().fold(f64::INFINITY, f64::min);
+            let min_front = s.nic.min_front();
             s.flows.retain(|f| f.1 > min_front);
             let active = s
                 .flows
@@ -544,7 +546,7 @@ impl Network {
             }
             let end = start + dur;
             s.flows.push((start, end));
-            s.nic[src] = end;
+            s.nic.set(src, end);
             (start, end)
         };
         self.note("p2p", 1, bytes, end - start);
@@ -574,10 +576,8 @@ impl Network {
         let n = self.ranks as f64;
         let (start, dur) = {
             let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            if s.nic.len() < self.ranks {
-                s.nic.resize(self.ranks, 0.0);
-            }
-            let front = s.nic.iter().copied().fold(0.0, f64::max);
+            s.nic.ensure(self.ranks);
+            let front = s.nic.frontier();
             let start = front.max(after.map(|e| e.time).unwrap_or(0.0));
             let mut dur = if self.ranks == 1 {
                 0.0
@@ -588,9 +588,9 @@ impl Network {
                 dur *= st.max_factor(self.ranks);
             }
             let end = start + dur;
-            for t in s.nic.iter_mut() {
-                *t = end;
-            }
+            // The collective joins every NIC front: a barrier on the
+            // shared clock bank.
+            s.nic.join_all(end);
             (start, dur)
         };
         let end = start + dur;

@@ -626,7 +626,11 @@ impl Recorder {
                 .filter(|&&id| seen[id as usize])
                 .map(|&id| (s.interner.resolve(id).to_string(), busy[id as usize]))
                 .collect();
-            out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // NaN-last: a span with a corrupt timestamp must sink to the
+            // bottom of the profile, not tie-freeze mid-list (the old
+            // `partial_cmp(..).unwrap_or(Equal)` pinned NaN wherever the
+            // stable sort found it).
+            out.sort_by(|a, b| crate::des::desc_nan_last(a.1, b.1));
             out
         })
         .unwrap_or_default()
@@ -786,6 +790,32 @@ impl Recorder {
         std::fs::write(&path, self.summary_json(experiment))?;
         Ok(path)
     }
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample: the value at
+/// 1-based rank `ceil(q * n)`, i.e. the smallest observation with at
+/// least a `q` fraction of the sample at or below it. Empty samples
+/// report 0.
+///
+/// This is the **one** quantile in the workspace — every wait/latency
+/// report routes through it. The previous per-crate copies used a
+/// `round((n - 1) * q)` index that both interpolated the rank and rounded
+/// it to-nearest, which biases tail quantiles low: p99 of 50 samples
+/// landed on rank 49 instead of 50, under-reporting exactly the spike
+/// waits the cluster experiments gate on.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    debug_assert!(
+        sorted
+            .windows(2)
+            .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater),
+        "quantile wants an ascending-sorted sample"
+    );
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -1005,6 +1035,41 @@ mod tests {
         assert_eq!(hot[0].0, "big");
     }
 
+    #[test]
+    fn hot_list_sinks_nan_durations_last() {
+        // A span with a NaN *start* but finite end survives the
+        // finite-end filter and aggregates to a NaN busy time. The old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator froze it wherever
+        // the stable sort found it (here: at the top); NaN-last ordering
+        // must sink it below every real measurement.
+        let r = Recorder::enabled();
+        r.record_span("corrupt", SpanKind::Kernel, "gpu0.s0", f64::NAN, 1.0);
+        r.record_span("real", SpanKind::Kernel, "gpu0.s0", 0.0, 2.0);
+        r.record_span("tiny", SpanKind::Kernel, "gpu0.s0", 2.0, 2.5);
+        let hot = r.hot_list();
+        assert_eq!(hot.len(), 3);
+        assert_eq!(hot[0].0, "real");
+        assert_eq!(hot[1].0, "tiny");
+        assert_eq!(hot[2].0, "corrupt");
+        assert!(hot[2].1.is_nan());
+    }
+
+    #[test]
+    fn quantile_pins_nearest_rank_semantics() {
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        // Rank ceil(0.5 * 10) = 5 -> the 5th smallest, not the 6th the
+        // old round((n-1) * q) formula picked.
+        assert_eq!(quantile(&v, 0.50), 5.0);
+        // Rank ceil(0.99 * 10) = 10 -> the maximum.
+        assert_eq!(quantile(&v, 0.99), 10.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 10.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        // Rank 50 of 50, not 49: the tail value itself.
+        let fifty: Vec<f64> = (1..=50).map(f64::from).collect();
+        assert_eq!(quantile(&fifty, 0.99), 50.0);
+    }
+
     /// The naive reference implementations hot_list / render_timeline had
     /// before interning: clone every span, aggregate through
     /// `BTreeMap<String, _>`. The interned fast paths must stay
@@ -1017,7 +1082,7 @@ mod tests {
             }
         }
         let mut out: Vec<(String, f64)> = agg.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| crate::des::desc_nan_last(a.1, b.1));
         out
     }
 

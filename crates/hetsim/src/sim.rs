@@ -24,6 +24,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use crate::des::{TrackId, TrackSet};
 use crate::kernel::KernelProfile;
 use crate::mem::{MemId, MemTracker, Migration, OomError, OomPolicy};
 use crate::obs::{Recorder, SpanKind, Sym};
@@ -239,15 +240,25 @@ impl HotSyms {
     }
 }
 
+/// One clock of the node: an execution stream or a copy engine. The key
+/// under which [`Sim`]'s busy-until times intern into the unified
+/// [`TrackSet`] (see [`crate::des`]) — streams and engines share one
+/// dense bank, so the wall clock is a single frontier fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SimTrack {
+    Stream(StreamId),
+    Engine(Engine),
+}
+
 /// The per-node simulator.
 #[derive(Debug, Clone)]
 pub struct Sim {
     machine: Machine,
-    /// Current time of each stream, seconds.
-    streams: HashMap<StreamId, f64>,
-    /// Busy-until time of each copy engine, seconds. Copies sharing an
-    /// engine queue FIFO behind this clock.
-    engines: HashMap<Engine, f64>,
+    /// Busy-until clocks of every stream and copy engine, on the unified
+    /// event kernel's dense track storage. Times are **absolute**
+    /// simulated seconds (the `des` clock contract); copies sharing an
+    /// engine queue FIFO behind its track.
+    tracks: TrackSet<SimTrack>,
     counters: Counters,
     /// Observability sink; [`Recorder::noop`] by default, so the hot paths
     /// pay one branch when tracing is off.
@@ -273,8 +284,7 @@ impl Sim {
         let recorder = Recorder::noop();
         Sim {
             machine,
-            streams: HashMap::new(),
-            engines: HashMap::new(),
+            tracks: TrackSet::new(),
             counters: Counters::default(),
             hot_syms: HotSyms::for_recorder(&recorder),
             stream_track_syms: HashMap::new(),
@@ -315,6 +325,17 @@ impl Sim {
         self.stream_track_syms.clear();
         self.engine_track_syms.clear();
         self.recorder = recorder;
+    }
+
+    /// Unified-kernel clock track for one (resolved) stream, interning it
+    /// on first sight (the `des` intern-once discipline).
+    fn stream_track(&mut self, stream: StreamId) -> TrackId {
+        self.tracks.track(SimTrack::Stream(stream))
+    }
+
+    /// Unified-kernel clock track for one copy engine.
+    fn engine_track(&mut self, engine: Engine) -> TrackId {
+        self.tracks.track(SimTrack::Engine(engine))
     }
 
     /// Interned track symbol for one stream, formatting the label only on
@@ -398,9 +419,9 @@ impl Sim {
     pub fn launch_on(&mut self, stream: impl Into<StreamId>, k: &KernelProfile) -> f64 {
         let stream = self.resolve_stream(stream.into());
         let dt = self.cost(stream.target, k);
-        let slot = self.streams.entry(stream).or_insert(0.0);
-        let start = *slot;
-        *slot += dt;
+        let track = self.stream_track(stream);
+        let start = self.tracks.time(track);
+        self.tracks.set(track, start + dt);
         self.counters.kernels_launched += 1;
         self.counters.flops += k.flops;
         *self
@@ -571,11 +592,14 @@ impl Sim {
             .max(self.stream_time(b))
             .max(self.engine_time(engine));
         let done = start + dt;
-        self.streams.insert(a, done);
+        let ta = self.stream_track(a);
+        self.tracks.set(ta, done);
         if b != a {
-            self.streams.insert(b, done);
+            let tb = self.stream_track(b);
+            self.tracks.set(tb, done);
         }
-        self.engines.insert(engine, done);
+        let te = self.engine_track(engine);
+        self.tracks.set(te, done);
         self.account_transfer(src, dst, bytes, engine, start, done);
         dt
     }
@@ -606,8 +630,10 @@ impl Sim {
         let engine = Engine::for_route(src, dst);
         let start = self.stream_time(stream).max(self.engine_time(engine));
         let done = start + dt;
-        self.streams.insert(stream, done);
-        self.engines.insert(engine, done);
+        let ts = self.stream_track(stream);
+        self.tracks.set(ts, done);
+        let te = self.engine_track(engine);
+        self.tracks.set(te, done);
         self.account_transfer(src, dst, bytes, engine, start, done);
         Event { time: done }
     }
@@ -666,12 +692,12 @@ impl Sim {
 
     /// Current time of one stream.
     pub fn stream_time(&self, s: StreamId) -> f64 {
-        self.streams.get(&s).copied().unwrap_or(0.0)
+        self.tracks.time_of(&SimTrack::Stream(s))
     }
 
     /// Busy-until time of one copy engine.
     pub fn engine_time(&self, e: Engine) -> f64 {
-        self.engines.get(&e).copied().unwrap_or(0.0)
+        self.tracks.time_of(&SimTrack::Engine(e))
     }
 
     /// Current time of the default stream of `target`.
@@ -679,25 +705,17 @@ impl Sim {
         self.stream_time(StreamId::default_for(self.resolve_threads(target)))
     }
 
-    /// Wall clock: the max over all streams and copy engines.
+    /// Wall clock: the max over all streams and copy engines (one
+    /// frontier fold over the unified track bank).
     pub fn elapsed(&self) -> f64 {
-        self.streams
-            .values()
-            .chain(self.engines.values())
-            .copied()
-            .fold(0.0, f64::max)
+        self.tracks.frontier()
     }
 
     /// Join all streams *and* copy-engine tracks at the current wall clock
     /// (device-synchronize: in-flight async copies complete too).
     pub fn sync_all(&mut self) -> f64 {
         let t = self.elapsed();
-        for v in self.streams.values_mut() {
-            *v = t;
-        }
-        for v in self.engines.values_mut() {
-            *v = t;
-        }
+        self.tracks.join_all(t);
         t
     }
 
@@ -711,7 +729,8 @@ impl Sim {
         let waiter = self.resolve_stream(waiter);
         let event = self.resolve_stream(event);
         let t = self.stream_time(event).max(self.stream_time(waiter));
-        self.streams.insert(waiter, t);
+        let track = self.stream_track(waiter);
+        self.tracks.set(track, t);
     }
 
     /// Record an [`Event`] at `stream`'s current head (CUDA
@@ -730,7 +749,8 @@ impl Sim {
     pub fn wait_event(&mut self, waiter: impl Into<StreamId>, event: Event) {
         let waiter = self.resolve_stream(waiter.into());
         let t = self.stream_time(waiter).max(event.time);
-        self.streams.insert(waiter, t);
+        let track = self.stream_track(waiter);
+        self.tracks.set(track, t);
     }
 
     /// Advance the default stream of `target` by `dt` seconds (used by
@@ -742,17 +762,25 @@ impl Sim {
     /// Advance one specific stream by `dt` seconds.
     pub fn advance_stream(&mut self, stream: impl Into<StreamId>, dt: f64) {
         let stream = self.resolve_stream(stream.into());
-        *self.streams.entry(stream).or_insert(0.0) += dt;
+        let track = self.stream_track(stream);
+        let t = self.tracks.time(track);
+        self.tracks.set(track, t + dt);
     }
 
     /// Reset all clocks, counters and memory accounting, keeping the
-    /// machine, recorder and OOM policy.
+    /// machine, recorder and OOM policy (interned track ids survive, per
+    /// the `des` reset discipline) — and scrub this sim's `sim.*` /
+    /// `mem.*` counters and gauges from the recorder, exactly as
+    /// [`crate::Network::reset`] scrubs `net.*`. Before the scrub, a
+    /// reused recorder leaked stale `mem.<loc>.high_water` gauges (and
+    /// `sim.phantom_link_hits` counts) across sweep iterations.
     pub fn reset(&mut self) {
-        self.streams.clear();
-        self.engines.clear();
+        self.tracks.reset_times();
         self.counters = Counters::default();
         self.mem = MemTracker::for_machine(&self.machine, self.mem.policy());
         self.phantom_routes.borrow_mut().clear();
+        self.recorder.remove_prefixed("sim.");
+        self.recorder.remove_prefixed("mem.");
     }
 
     // --------------------------------------------- memory-capacity model
@@ -1274,6 +1302,40 @@ mod tests {
         assert_eq!(s.phantom_link_hits(), 1);
         s.reset();
         assert_eq!(s.phantom_link_hits(), 0);
+    }
+
+    #[test]
+    fn reset_scrubs_sim_and_mem_metrics_from_the_recorder() {
+        // Regression: `reset()` cleared clocks, counters, and phantom
+        // routes but left `sim.*` counters and `mem.<loc>.*` gauges in an
+        // attached recorder — unlike `Network::reset`, which scrubs
+        // `net.*`. A sweep reusing one recorder leaked iteration 1's
+        // high-water marks into every later document.
+        let rec = crate::obs::Recorder::enabled();
+        let mut s = Sim::new(machines::ea_minsky()).with_recorder(rec.clone());
+        s.transfer_cost(Loc::Host, Loc::Nvme, 1e9, TransferKind::Memcpy);
+        s.alloc(Loc::Gpu(0), 1e9).expect("fits");
+        assert_eq!(rec.counter("sim.phantom_link_hits"), 1.0);
+        assert!(rec.gauge_value("mem.gpu0.high_water").is_some());
+        // An unrelated namespace must survive the scrub.
+        rec.gauge("net.unrelated", 7.0);
+        s.reset();
+        assert_eq!(
+            rec.counter("sim.phantom_link_hits"),
+            0.0,
+            "sim.* counters scrubbed"
+        );
+        assert_eq!(
+            rec.gauge_value("mem.gpu0.high_water"),
+            None,
+            "mem.* gauges scrubbed"
+        );
+        assert_eq!(
+            rec.gauge_value("mem.gpu0.bytes"),
+            None,
+            "mem.* usage gauges scrubbed"
+        );
+        assert_eq!(rec.gauge_value("net.unrelated"), Some(7.0));
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl TracedSim {
             *agg.entry(s.name.clone()).or_insert(0.0) += s.duration();
         }
         let mut out: Vec<(String, f64)> = agg.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        // NaN-last instead of the old `partial_cmp(..).expect("finite")`,
+        // which panicked outright on a span with a corrupt timestamp.
+        out.sort_by(|a, b| crate::des::desc_nan_last(a.1, b.1));
         out
     }
 
@@ -189,6 +191,25 @@ mod tests {
         let hot = t.hot_list();
         assert_eq!(hot[0].0, "big");
         assert_eq!(hot.len(), 2);
+    }
+
+    #[test]
+    fn hot_list_survives_nan_spans_and_sinks_them_last() {
+        // A span whose timestamps got corrupted to NaN used to panic the
+        // hot-list sort (`partial_cmp(..).expect("finite")`); it must now
+        // rank below every real kernel instead.
+        let mut t = traced();
+        t.launch(Target::gpu(0), &KernelProfile::new("real").flops(1e9));
+        t.spans.push(Span {
+            name: "corrupt".into(),
+            stream: "gpu0.s0".into(),
+            start: f64::NAN,
+            end: 1.0,
+        });
+        let hot = t.hot_list();
+        assert_eq!(hot[0].0, "real");
+        assert_eq!(hot[1].0, "corrupt");
+        assert!(hot[1].1.is_nan());
     }
 
     #[test]

@@ -6,8 +6,23 @@
 //! survives as a `#[deprecated]` adapter that forwards to them, so
 //! pre-trait call sites compile (and behave) unchanged.
 
+use hetsim::des::EventQueue;
+
 use crate::policy::{ClusterView, JobInfo, QueuedJob, RunningJob, SchedPolicy};
 use crate::workload::Job;
+
+/// What the pool simulator schedules on the shared event queue: job
+/// arrivals (by index into the arrival-sorted job list) and launch
+/// completions. A `Finish` event carries no payload — popping it only
+/// establishes *when* the completion sweep runs; the sweep itself scans
+/// the `running` set with the same epsilon, which keeps the set order
+/// (and therefore every policy-visible `ClusterView`) bitwise identical
+/// to the pre-kernel scan loop.
+#[derive(Debug, Clone, Copy)]
+enum SimEv {
+    Arrive(usize),
+    Finish,
+}
 
 /// Scheduling policy — the original closed enum, kept as a thin adapter.
 ///
@@ -85,10 +100,17 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
     let mut running: Vec<RunningJob> = Vec::new();
     let mut free = gpus;
     let mut t = 0.0f64;
-    let mut next_arrival = 0usize;
     let mut waits: Vec<f64> = Vec::new();
     let mut busy_gpu_seconds = 0.0;
     let n = arrivals.len();
+
+    // All arrivals go on the shared `hetsim::des` event queue up front;
+    // pushing in sorted order makes the queue's `seq` tie-break reproduce
+    // the old sorted-index order for simultaneous arrivals exactly.
+    let mut events: EventQueue<SimEv> = EventQueue::new();
+    for (i, j) in arrivals.iter().enumerate() {
+        events.push(j.arrival, SimEv::Arrive(i));
+    }
 
     while waits.len() < n {
         // Launch everything the policy allows right now.
@@ -105,28 +127,42 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
             policy.on_select(&mut queue, d.queue_idx);
             let q = queue.remove(d.queue_idx);
             free -= q.job.gpus;
+            let finish = t + q.job.duration;
             running.push(RunningJob {
-                finish: t + q.job.duration,
+                finish,
                 gpus: q.job.gpus,
                 cores: q.job.cores,
             });
+            events.push(finish, SimEv::Finish);
             busy_gpu_seconds += q.job.duration * q.job.gpus as f64;
             waits.push(t - q.job.arrival);
         }
-        // Advance to the next event: arrival or completion.
-        let t_arr = arrivals.get(next_arrival).map(|j| j.arrival);
-        let t_done = running
-            .iter()
-            .map(|r| r.finish)
-            .fold(f64::INFINITY, f64::min);
-        let t_next = match t_arr {
-            Some(a) => a.min(t_done),
-            None => t_done,
-        };
-        if !t_next.is_finite() {
+        // Advance to the next event: arrival or completion. A NaN or
+        // infinite key sorts after every finite one (`total_cmp` with
+        // NaN normalized positive), so a non-finite head means nothing
+        // actionable remains — the same condition the old scan loop's
+        // NaN-ignoring `f64::min` fold produced.
+        let Some(head) = events.peek_key() else { break };
+        if !head.time.is_finite() {
             break; // nothing left to do but queue non-empty => stuck
         }
-        t = t_next;
+        t = head.time;
+        // Pop this step's events. `Finish` pops are discarded: the
+        // `running` sweep below removes exactly the jobs whose finish
+        // events just popped (bitwise-equal times, same epsilon), in the
+        // set order the old loop used.
+        let mut arrived: Vec<usize> = Vec::new();
+        while let Some(k) = events.peek_key() {
+            // total_cmp: a (positive-normalised) NaN key compares greater
+            // than any finite threshold, so corrupt finishes stay queued
+            // exactly as the old scan loop left them running.
+            if k.time.total_cmp(&(t + 1e-12)) == std::cmp::Ordering::Greater {
+                break;
+            }
+            if let Some((_, SimEv::Arrive(i))) = events.pop() {
+                arrived.push(i);
+            }
+        }
         // Process completions at t.
         running.retain(|r| {
             if r.finish <= t + 1e-12 {
@@ -136,13 +172,12 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
                 true
             }
         });
-        // Process arrivals at t.
-        while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= t + 1e-12 {
+        // Process arrivals at t (pop order == arrival-sorted order).
+        for i in arrived {
             queue.push(QueuedJob {
-                job: JobInfo::from_job(&arrivals[next_arrival]),
+                job: JobInfo::from_job(&arrivals[i]),
                 bypassed: 0,
             });
-            next_arrival += 1;
         }
     }
 

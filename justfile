@@ -67,3 +67,16 @@ bench:
 # Observability hot-path + parallel-engine benches only (quick mode).
 bench-recorder:
     ICOE_BENCH_QUICK=1 cargo bench --offline -p bench --bench recorder
+
+# The unified des kernel's scale probe: deterministic simulated metrics in
+# the document, wall-clock ranks-per-host-second on stderr, plus the
+# criterion rank sweep to 1M ranks.
+des-smoke:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo run --release --offline -p bench --bin experiments -- rank-throughput --json --bench-dir out 2> des.txt > /dev/null
+    grep "des.ranks_per_s" des.txt
+    rps=$(awk '/^des.ranks_per_s / { print $2 }' des.txt)
+    awk -v r="$rps" 'BEGIN { exit !(r >= 100000) }'
+    rm -f des.txt
+    cargo bench --offline -p bench --bench des

@@ -1,0 +1,261 @@
+//! Property-based tests for the unified `hetsim::des` event kernel
+//! (ISSUE 8): the calendar queue is a faithful priority queue under any
+//! interleaving, simultaneous events keep insertion order, and the
+//! kernel-backed `sched::des::simulate` is *bitwise* identical to the
+//! pre-kernel scan loop it replaced.
+
+use hetsim::des::{EventKey, EventQueue};
+use proptest::prelude::*;
+use sched::policy::{ClusterView, JobInfo, QueuedJob, RunningJob, SchedPolicy};
+use sched::{simulate, EasyBackfill, Fcfs, GpuBinPack, Job, Metrics, Sjf, SjfQuota, SlaUrgency};
+
+/// One queue operation for the interleaving property, decoded from a
+/// plain `(selector, time-knob)` tuple (the proptest shim has no
+/// `prop_oneof`): selectors 0–5 push a clustered finite time — a small
+/// value set, so collisions exercise the same-epoch and same-time
+/// paths — 6 pushes NaN, and 7–9 pop.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(f64),
+    Pop,
+}
+
+fn decode_op(sel: u8, knob: i32) -> Op {
+    match sel {
+        0..=5 => Op::Push(knob as f64 * 0.125),
+        6 => Op::Push(f64::NAN),
+        _ => Op::Pop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary interleaved push/pop, every pop returns the
+    /// globally minimal `(time, seq)` key among the pending events —
+    /// checked against a plain sorted-Vec reference model.
+    #[test]
+    fn pops_are_globally_time_seq_ordered_under_interleaving(
+        raw_ops in prop::collection::vec((0u8..10, -16i32..160), 1..400),
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Reference model: the pending (key, payload) set, kept naively.
+        let mut model: Vec<(EventKey, u32)> = Vec::new();
+        let mut payload = 0u32;
+        for (sel, knob) in raw_ops {
+            match decode_op(sel, knob) {
+                Op::Push(t) => {
+                    let key = q.push(t, payload);
+                    // The queue normalises NaN to positive NaN; mirror it.
+                    prop_assert!(key.time.total_cmp(&key.time).is_eq());
+                    model.push((key, payload));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    if model.is_empty() {
+                        prop_assert!(got.is_none());
+                    } else {
+                        let (key, ev) = got.expect("model says nonempty");
+                        let best = model
+                            .iter()
+                            .enumerate()
+                            .min_by(|a, b| a.1.0.cmp(&b.1.0))
+                            .map(|(i, _)| i)
+                            .expect("nonempty");
+                        let (want_key, want_ev) = model.remove(best);
+                        prop_assert_eq!(key, want_key);
+                        prop_assert_eq!(ev, want_ev);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain: the remainder comes out fully sorted.
+        let mut last: Option<EventKey> = None;
+        while let Some((key, _)) = q.pop() {
+            if let Some(prev) = last {
+                prop_assert!(prev < key, "{prev:?} !< {key:?}");
+            }
+            last = Some(key);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Simultaneous events pop in insertion order, including batches big
+    /// enough to trigger the sorted-head-bucket fast path (> 64 events
+    /// at one instant).
+    #[test]
+    fn same_time_events_preserve_insertion_order(
+        sizes in prop::collection::vec(1usize..90, 1..6),
+        t0 in -3.0f64..3.0,
+    ) {
+        let mut q: EventQueue<(usize, usize)> = EventQueue::new();
+        for (batch, &n) in sizes.iter().enumerate() {
+            let t = t0 + batch as f64; // one instant per batch
+            for i in 0..n {
+                q.push(t, (batch, i));
+            }
+        }
+        for (batch, &n) in sizes.iter().enumerate() {
+            for i in 0..n {
+                let (key, ev) = q.pop().expect("all batches pending");
+                prop_assert_eq!(ev, (batch, i));
+                prop_assert!((key.time - (t0 + batch as f64)).abs() < 1e-12);
+            }
+        }
+        prop_assert!(q.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------- conformance
+
+/// The pre-ISSUE-8 `sched::des::simulate` scan loop, copied verbatim
+/// (next-event time from an O(n) min-fold over `running` plus an arrival
+/// cursor, no event queue). The kernel-backed port must match it bitwise.
+fn reference_simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics {
+    assert!(gpus >= 1);
+    assert!(
+        jobs.iter().all(|j| j.gpus <= gpus),
+        "job larger than the pool"
+    );
+    let mut arrivals: Vec<Job> = jobs.to_vec();
+    arrivals.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    let mut queue: Vec<QueuedJob> = Vec::new();
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut free = gpus;
+    let mut t = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut waits: Vec<f64> = Vec::new();
+    let mut busy_gpu_seconds = 0.0;
+    let n = arrivals.len();
+
+    while waits.len() < n {
+        loop {
+            let view = ClusterView {
+                now: t,
+                queue: &queue,
+                running: &running,
+                free_gpus: free,
+                total_gpus: gpus,
+                nodes: &[],
+            };
+            let Some(d) = policy.select(&view) else { break };
+            policy.on_select(&mut queue, d.queue_idx);
+            let q = queue.remove(d.queue_idx);
+            free -= q.job.gpus;
+            running.push(RunningJob {
+                finish: t + q.job.duration,
+                gpus: q.job.gpus,
+                cores: q.job.cores,
+            });
+            busy_gpu_seconds += q.job.duration * q.job.gpus as f64;
+            waits.push(t - q.job.arrival);
+        }
+        let t_arr = arrivals.get(next_arrival).map(|j| j.arrival);
+        let t_done = running
+            .iter()
+            .map(|r| r.finish)
+            .fold(f64::INFINITY, f64::min);
+        let t_next = match t_arr {
+            Some(a) => a.min(t_done),
+            None => t_done,
+        };
+        if !t_next.is_finite() {
+            break;
+        }
+        t = t_next;
+        running.retain(|r| {
+            if r.finish <= t + 1e-12 {
+                free += r.gpus;
+                false
+            } else {
+                true
+            }
+        });
+        while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= t + 1e-12 {
+            queue.push(QueuedJob {
+                job: JobInfo::from_job(&arrivals[next_arrival]),
+                bypassed: 0,
+            });
+            next_arrival += 1;
+        }
+    }
+
+    let makespan = t.max(running.iter().map(|r| r.finish).fold(t, f64::max));
+    let mean_wait = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
+    let max_wait = waits.iter().copied().fold(0.0, f64::max);
+    Metrics {
+        makespan,
+        mean_wait,
+        max_wait,
+        utilization: busy_gpu_seconds / (gpus as f64 * makespan.max(1e-12)),
+        completed: waits.len(),
+    }
+}
+
+fn jobs_from(durations: &[f64], gaps: &[f64], widths: &[usize], gpus: usize) -> Vec<Job> {
+    let mut t = 0.0;
+    durations
+        .iter()
+        .zip(gaps)
+        .zip(widths)
+        .enumerate()
+        .map(|(id, ((&d, &gap), &w))| {
+            t += gap;
+            Job {
+                id,
+                arrival: t,
+                duration: d,
+                gpus: 1 + w % gpus,
+            }
+        })
+        .collect()
+}
+
+fn assert_bitwise_eq(a: Metrics, b: Metrics, ctx: &str) {
+    assert_eq!(a.completed, b.completed, "{ctx}: completed");
+    for (name, x, y) in [
+        ("makespan", a.makespan, b.makespan),
+        ("mean_wait", a.mean_wait, b.mean_wait),
+        ("max_wait", a.max_wait, b.max_wait),
+        ("utilization", a.utilization, b.utilization),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: {name} {x} != {y} (bitwise)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The kernel-backed simulator reproduces the old scan loop bitwise
+    /// for every built-in policy on random workloads (including
+    /// simultaneous arrivals via zero gaps).
+    #[test]
+    fn kernel_backed_simulate_matches_the_scan_loop_bitwise(
+        durations in prop::collection::vec(0.25f64..60.0, 1..40),
+        gaps in prop::collection::vec(0.0f64..8.0, 40),
+        widths in prop::collection::vec(0usize..8, 40),
+    ) {
+        let gpus = 8;
+        let jobs = jobs_from(&durations, &gaps, &widths, gpus);
+        let policies: Vec<Box<dyn SchedPolicy>> = vec![
+            Box::new(Fcfs),
+            Box::new(Sjf),
+            Box::new(SjfQuota { quota: 4 }),
+            Box::new(EasyBackfill),
+            Box::new(GpuBinPack),
+            Box::new(SlaUrgency),
+        ];
+        for p in policies {
+            let name = p.name().to_string();
+            let got = simulate(&jobs, gpus, p.as_ref());
+            let want = reference_simulate(&jobs, gpus, p.as_ref());
+            assert_bitwise_eq(got, want, &name);
+        }
+    }
+}

@@ -47,6 +47,7 @@ fn experiment_list_matches_design_doc_index() {
         "auto-tune",
         "lessons",
         "machines",
+        "rank-throughput",
     ];
     assert_eq!(bench::ALL, &expected);
 }
