@@ -4,6 +4,12 @@
 //! experiments list                     show the index (id + paper artifact)
 //! experiments <id> [flags]             one experiment
 //! experiments all  [flags]             everything, in paper order
+//! experiments matrix [flags]           the registry across every MATRIX
+//!                                      machine preset (portability smoke):
+//!                                      machine-sensitive experiments re-run
+//!                                      per column, the rest reuse their
+//!                                      sierra baseline cells; exits 1 on any
+//!                                      failed cell or phantom_link_hits
 //!
 //! flags:
 //!   --json               print the structured JSON document instead of text
@@ -15,8 +21,9 @@
 //!                        parallelism). Output is emitted in paper order
 //!                        and is byte-identical to --jobs 1.
 //!   --param k=v          typed experiment parameters (repeatable):
-//!                        seed=<u64>, scale=<f64>. Defaults regenerate
-//!                        the golden documents byte-identically.
+//!                        seed=<u64>, scale=<f64>, machine=<preset>.
+//!                        Defaults regenerate the golden documents
+//!                        byte-identically.
 //! ```
 //!
 //! Every run happens under a root span `exp:<id>` on an enabled
@@ -79,7 +86,9 @@ fn main() {
                     }
                 }
                 None => {
-                    eprintln!("--param needs a key=value argument (seed=<u64>, scale=<f64>)");
+                    eprintln!(
+                        "--param needs a key=value argument (seed=<u64>, scale=<f64>, machine=<preset>)"
+                    );
                     std::process::exit(2);
                 }
             },
@@ -102,10 +111,11 @@ fn main() {
                 println!("  {:width$}  {}", e.id(), e.paper_artifact());
             }
             println!(
-                "\nusage: experiments <id> | all  [--json] [--timeline] [--bench-dir <dir>] [--jobs <n>] [--param k=v]"
+                "\nusage: experiments <id> | all | matrix  [--json] [--timeline] [--bench-dir <dir>] [--jobs <n>] [--param k=v]"
             );
         }
         "all" => run_all(&reg, &opts),
+        "matrix" => run_matrix_cmd(&reg, &opts),
         id => {
             if reg.get(id).is_some() {
                 run_one(&reg, id, &opts);
@@ -153,6 +163,40 @@ fn run_all(reg: &Registry, opts: &Opts) {
             failed.len(),
             failed.join(", ")
         );
+        std::process::exit(1);
+    }
+}
+
+/// Run the whole registry across the portability-matrix presets and
+/// summarise each column. One line per machine; `--json` makes the lines
+/// JSON objects. Any failed cell or phantom-route hit fails the run.
+fn run_matrix_cmd(reg: &Registry, opts: &Opts) {
+    let machines = hetsim::machines::MATRIX;
+    let matrix = reg.run_matrix(machines, opts.jobs, &opts.params);
+    let mut bad = false;
+    for col in &matrix.columns {
+        let (ran, reused, failed) = col.tally();
+        let phantom = col.phantom_hits();
+        bad |= failed > 0 || phantom > 0.0;
+        if opts.json {
+            println!(
+                "{{\"machine\":\"{}\",\"ran\":{ran},\"reused\":{reused},\"failed\":{failed},\"phantom_link_hits\":{phantom}}}",
+                col.machine
+            );
+        } else {
+            println!(
+                "{:<14} ran {ran:>2}  reused {reused:>2}  failed {failed}  phantom_link_hits {phantom}",
+                col.machine
+            );
+        }
+        for cell in &col.cells {
+            if cell.is_err() {
+                eprintln!("  cell '{}' failed on {}", cell.id(), col.machine);
+            }
+        }
+    }
+    if bad {
+        eprintln!("portability matrix has failing or phantom-routed cells");
         std::process::exit(1);
     }
 }

@@ -11,6 +11,14 @@
 //! it does not, because a sequential sweep is LRU's worst case — every
 //! region is evicted just before it is needed again.
 //!
+//! Under `--param machine=<preset>` the same relative sweep runs against
+//! that machine's device capacity, so the *knee moves with the HBM size*
+//! (16 GiB on sierra, 64 GiB per MI250X GCD, 96 GiB on an H100) while the
+//! ratio-space cliff shape is architecture-invariant — the portability
+//! matrix's canonical capacity-relative observation. The NVMe-spill
+//! demonstration only runs on machines that declare node-local NVMe;
+//! elsewhere it reports n/a rather than fabricating a phantom device.
+//!
 //! # Thrash model
 //!
 //! With `n` regions of `B` bytes each, device capacity `C`, and
@@ -30,8 +38,9 @@
 //! `P = 2`.
 
 use hetsim::obs::{Recorder, SpanKind};
-use hetsim::{machines, Loc, OomPolicy, Sim, TransferKind, GIB};
+use hetsim::{LinkKind, Loc, Machine, OomPolicy, Sim, TransferKind, GIB};
 use icoe::report::Table;
+use icoe::ExpParams;
 
 /// Region size: 1 GiB, a typical coarse-grid level in the BoomerAMG
 /// hierarchy.
@@ -40,12 +49,22 @@ const CHUNK: f64 = GIB;
 /// Steady-state passes after the cold pass.
 const PASSES: usize = 2;
 
+/// What the UM pages migrate over, for the human-readable verdicts.
+fn link_label(kind: LinkKind) -> &'static str {
+    match kind {
+        LinkKind::NvLink1 | LinkKind::NvLink2 => "NVLink",
+        LinkKind::Coherent => "coherent link",
+        LinkKind::Pcie3 => "PCIe",
+        _ => "the local bus",
+    }
+}
+
 /// One oversubscription run: allocate `ratio x capacity` of 1 GiB managed
 /// regions on gpu0, fault them in (cold pass), then sweep them `PASSES`
 /// more times. Returns (cold-pass seconds, per-steady-pass seconds,
 /// total seconds, regions).
-fn run_unified(ratio: f64, rec: Option<&Recorder>) -> (f64, f64, f64, usize) {
-    let mut sim = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::UnifiedSpill);
+fn run_unified(machine: &Machine, ratio: f64, rec: Option<&Recorder>) -> (f64, f64, f64, usize) {
+    let mut sim = Sim::new(machine.clone()).with_oom_policy(OomPolicy::UnifiedSpill);
     if let Some(rec) = rec {
         sim.set_recorder(rec.clone());
     }
@@ -75,10 +94,30 @@ fn run_unified(ratio: f64, rec: Option<&Recorder>) -> (f64, f64, f64, usize) {
 /// um-oversubscription: sweep the working-set ratio, check the thrash
 /// model, demonstrate `Fail` and `NvmeSpill` on the same overflow, and
 /// capture a timeline where UM migrations occupy the copy engines.
-pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
+pub fn um_oversubscription(rec: &mut Recorder, params: &ExpParams) -> Vec<Table> {
+    let machine = params.machine();
+    let name = params.machine_name();
+    if machine.node.gpus.is_empty() {
+        let mut t = Table::new(
+            format!("um-oversubscription: n/a on {name} (no device memory to oversubscribe)"),
+            &["machine", "verdict"],
+        );
+        t.row(&[
+            name.to_string(),
+            "host-only: the working set already lives in DDR".into(),
+        ]);
+        rec.gauge("um.na_no_gpu", 1.0);
+        return vec![t];
+    }
+    let cap_gib = machine.node.gpus[0].mem_capacity_gib;
+    let gpu_name = machine.node.gpus[0].name;
+    let migrate = link_label(machine.host_gpu_link().kind);
+
     let sweep = rec.begin("ratio-sweep", SpanKind::Phase);
     let mut t = Table::new(
-        "um-oversubscription: working set vs 16 GiB V100 under UnifiedSpill (sierra, 1 GiB regions)",
+        format!(
+            "um-oversubscription: working set vs {cap_gib:.0} GiB {gpu_name} under UnifiedSpill ({name}, 1 GiB regions)"
+        ),
         &[
             "ratio",
             "regions",
@@ -88,10 +127,10 @@ pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
             "verdict",
         ],
     );
-    let (_, _, base_total, _) = run_unified(1.0, None);
+    let (_, _, base_total, _) = run_unified(&machine, 1.0, None);
     let mut cliff_ratio = 0.0;
     for &ratio in &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
-        let (cold, steady, total, n) = run_unified(ratio, None);
+        let (cold, steady, total, n) = run_unified(&machine, ratio, None);
         let rel = total / base_total;
         if (ratio - 1.5).abs() < 1e-9 {
             cliff_ratio = rel;
@@ -120,11 +159,11 @@ pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
         "thrash model check: steady pass vs 2 n t(B) (over capacity every touch misses twice)",
         &["ratio", "predicted (ms)", "measured (ms)", "ratio"],
     );
-    let probe = Sim::new(machines::sierra_node());
+    let probe = Sim::new(machine.clone());
     let t_b = probe.transfer_cost(Loc::Host, Loc::Gpu(0), CHUNK, TransferKind::Unified);
     let mut worst = 1.0f64;
     for &ratio in &[1.25, 1.5, 2.0] {
-        let (_, steady, _, n) = run_unified(ratio, None);
+        let (_, steady, _, n) = run_unified(&machine, ratio, None);
         let predicted = 2.0 * n as f64 * t_b;
         let q = steady / predicted;
         worst = worst.max(q.max(1.0 / q));
@@ -139,44 +178,56 @@ pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
     rec.gauge("um.model_worst_ratio", worst);
 
     // Policy comparison on the same 1.5x overflow: Fail refuses instead of
-    // silently fitting; NvmeSpill survives but stages over the 2 GB/s SSD.
+    // silently fitting; NvmeSpill survives but stages over the SSD — and
+    // only exists on machines that actually mount one.
+    let over_n = ((1.5 * cap_gib * GIB) / CHUNK).round() as usize;
     let pol = rec.begin("policy-comparison", SpanKind::Phase);
     let mut p = Table::new(
-        "OomPolicy on a 24 GiB working set (1.5x HBM)",
+        format!("OomPolicy on a {over_n} GiB working set (1.5x HBM)"),
         &["policy", "outcome"],
     );
-    let mut fail = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::Fail);
+    let mut fail = Sim::new(machine.clone()).with_oom_policy(OomPolicy::Fail);
     let mut err = None;
-    for _ in 0..24 {
+    for _ in 0..over_n {
         if let Err(e) = fail.alloc(Loc::Gpu(0), CHUNK) {
             err = Some(e);
             break;
         }
     }
-    let err = err.expect("24 GiB of cudaMalloc must overflow a 16 GiB V100");
+    let err = err.expect("1.5x HBM of cudaMalloc must overflow the device");
     p.row(&["fail".into(), format!("Err({err})")]);
     p.row(&[
         "unified-spill".into(),
-        format!("runs, {cliff_ratio:.1}x slower than in-capacity (thrash over NVLink)"),
+        format!("runs, {cliff_ratio:.1}x slower than in-capacity (thrash over {migrate})"),
     ]);
-    let mut nv = Sim::new(machines::sierra_node()).with_oom_policy(OomPolicy::NvmeSpill);
-    let nv_ids: Vec<_> = (0..24)
-        .map(|_| {
-            nv.alloc(Loc::Gpu(0), CHUNK)
-                .expect("NVMe absorbs the spill")
-        })
-        .collect();
-    let t0 = nv.elapsed();
-    for id in &nv_ids {
-        nv.touch_mem(*id).expect("NVMe staging cannot OOM here");
+    if let Some((_, nvme_bw)) = machine.node.nvme {
+        let mut nv = Sim::new(machine.clone()).with_oom_policy(OomPolicy::NvmeSpill);
+        let nv_ids: Vec<_> = (0..over_n)
+            .map(|_| {
+                nv.alloc(Loc::Gpu(0), CHUNK)
+                    .expect("NVMe absorbs the spill")
+            })
+            .collect();
+        let t0 = nv.elapsed();
+        for id in &nv_ids {
+            nv.touch_mem(*id).expect("NVMe staging cannot OOM here");
+        }
+        p.row(&[
+            "nvme-spill".into(),
+            format!(
+                "runs, sweep stages over NVMe in {:.0} ms ({:.0} GB/s, not {:.0} GB/s {})",
+                (nv.elapsed() - t0) * 1e3,
+                nvme_bw,
+                machine.host_gpu_link().bw_gbs,
+                migrate,
+            ),
+        ]);
+    } else {
+        p.row(&[
+            "nvme-spill".into(),
+            format!("n/a: no node-local NVMe on {name} (spilling would fabricate a device)"),
+        ]);
     }
-    p.row(&[
-        "nvme-spill".into(),
-        format!(
-            "runs, sweep stages over NVMe in {:.0} ms (2 GB/s, not 68 GB/s NVLink)",
-            (nv.elapsed() - t0) * 1e3
-        ),
-    ]);
     rec.end(pol);
 
     // Timeline capture: re-run the 1.25x thrash under the caller's
@@ -184,7 +235,7 @@ pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
     // gpu0.h2d / gpu0.d2h next to ordinary memcpys, and the
     // `mem.gpu0.bytes` / `mem.gpu0.high_water` gauges are published.
     let shape = rec.begin("timeline-capture", SpanKind::Phase);
-    run_unified(1.25, Some(rec));
+    run_unified(&machine, 1.25, Some(rec));
     rec.end(shape);
     rec.gauge("um.base_total_ms", base_total * 1e3);
 
@@ -194,14 +245,14 @@ pub fn um_oversubscription(rec: &mut Recorder) -> Vec<Table> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetsim::OomError;
+    use hetsim::{machines, OomError};
 
     #[test]
     fn cliff_clears_the_acceptance_bar() {
         // ISSUE 3 acceptance: at 1.5x device capacity under UnifiedSpill the
         // modelled time is >= 3x the in-capacity run.
         let mut rec = Recorder::enabled();
-        let tables = um_oversubscription(&mut rec);
+        let tables = um_oversubscription(&mut rec, &ExpParams::default());
         assert_eq!(tables.len(), 3);
         let cliff = rec.gauge_value("um.cliff_ratio_1_5x").unwrap();
         assert!(cliff >= 3.0, "1.5x run only {cliff}x slower than 1.0x");
@@ -209,7 +260,7 @@ mod tests {
 
     #[test]
     fn in_capacity_steady_passes_are_free() {
-        let (cold, steady, _, n) = run_unified(0.75, None);
+        let (cold, steady, _, n) = run_unified(&machines::sierra_node(), 0.75, None);
         assert_eq!(n, 12);
         assert!(cold > 0.0, "cold pass must fault the set in");
         assert!(
@@ -221,7 +272,7 @@ mod tests {
     #[test]
     fn thrash_model_matches_within_20_percent() {
         let mut rec = Recorder::enabled();
-        um_oversubscription(&mut rec);
+        um_oversubscription(&mut rec, &ExpParams::default());
         let worst = rec.gauge_value("um.model_worst_ratio").unwrap();
         assert!(
             worst <= 1.2,
@@ -245,11 +296,47 @@ mod tests {
     fn timeline_capture_puts_um_migrations_on_the_copy_engines() {
         // ISSUE 3 acceptance: UM migrations appear as engine-track spans.
         let mut rec = Recorder::enabled();
-        um_oversubscription(&mut rec);
+        um_oversubscription(&mut rec, &ExpParams::default());
         let spans = rec.spans();
         assert!(spans.iter().any(|s| s.track == "gpu0.h2d"), "fault-ins");
         assert!(spans.iter().any(|s| s.track == "gpu0.d2h"), "evictions");
         assert!(rec.gauge_value("mem.gpu0.bytes").is_some());
         assert!(rec.gauge_value("mem.gpu0.high_water").is_some());
+    }
+
+    #[test]
+    fn knee_moves_with_device_capacity_across_machines() {
+        // The capacity-relative sweep is the architecture-invariant shape;
+        // the absolute knee tracks each machine's HBM size.
+        let sierra = um_oversubscription(&mut Recorder::noop(), &ExpParams::default());
+        let mut gh = Recorder::enabled();
+        let gh_tables =
+            um_oversubscription(&mut gh, &ExpParams::new().with_machine("grace-hopper"));
+        assert!(sierra[0].title.contains("16 GiB V100"));
+        assert!(gh_tables[0].title.contains("96 GiB H100 (SXM)"));
+        // Both machines still show the same relative cliff.
+        assert!(gh.gauge_value("um.cliff_ratio_1_5x").unwrap() >= 3.0);
+    }
+
+    #[test]
+    fn machines_without_nvme_report_na_instead_of_phantom_spill() {
+        let mut rec = Recorder::enabled();
+        let tables = um_oversubscription(&mut rec, &ExpParams::new().with_machine("grace-hopper"));
+        let policy = &tables[2];
+        let nvme_row = policy
+            .rows
+            .iter()
+            .find(|r| r[0] == "nvme-spill")
+            .expect("policy table keeps the nvme row");
+        assert!(nvme_row[1].contains("n/a: no node-local NVMe"));
+        assert_eq!(rec.counter("sim.phantom_link_hits"), 0.0);
+    }
+
+    #[test]
+    fn cpu_only_machines_report_na_instead_of_panicking() {
+        let mut rec = Recorder::enabled();
+        let tables = um_oversubscription(&mut rec, &ExpParams::new().with_machine("a64fx"));
+        assert_eq!(tables.len(), 1);
+        assert_eq!(rec.gauge_value("um.na_no_gpu"), Some(1.0));
     }
 }

@@ -13,6 +13,7 @@ pub mod exps_cluster;
 pub mod exps_compute;
 pub mod exps_core;
 pub mod exps_des;
+pub mod exps_matrix;
 pub mod exps_mem;
 pub mod exps_net;
 pub mod exps_opt;
@@ -20,7 +21,7 @@ pub mod exps_pipeline;
 pub mod exps_tune;
 
 use hetsim::obs::Recorder;
-use icoe::{FnExperiment, Registry, Report};
+use icoe::{FnExperiment, MachineSensitiveExperiment, Registry, Report};
 
 pub use icoe::report::{fmt_time, Table};
 
@@ -51,6 +52,7 @@ pub const ALL: &[&str] = &[
     "lessons",
     "machines",
     "rank-throughput",
+    "portability-matrix",
 ];
 
 /// Build the full experiment registry, in paper order.
@@ -74,6 +76,18 @@ pub fn registry() -> Registry {
                 paper_artifact: $artifact,
                 f: |rec, params| Report::new($path(rec, params)),
             }); )+
+        };
+    }
+    // Machine-sensitive experiments additionally re-run per column of the
+    // portability matrix (`icoe::matrix`); everything else reuses its
+    // sierra baseline cell byte-for-byte.
+    macro_rules! reg_m {
+        ($r:ident, $( ($id:literal, $artifact:literal, $path:path) ),+ $(,)?) => {
+            $( $r.register(MachineSensitiveExperiment(FnExperiment {
+                id: $id,
+                paper_artifact: $artifact,
+                f: |rec, params| Report::new($path(rec, params)),
+            })); )+
         };
     }
     let mut r = Registry::new();
@@ -123,6 +137,9 @@ pub fn registry() -> Registry {
         ),
         ("opt", "§4.7 (scheduler + texture + SIMP)", exps_opt::opt),
         ("kavg", "§4.5 (KAVG time-to-quality)", exps_opt::kavg),
+    );
+    reg_m!(
+        r,
         (
             "pipeline-overlap",
             "§4 (streams: serial vs pipelined crossover)",
@@ -175,6 +192,14 @@ pub fn registry() -> Registry {
             exps_des::rank_throughput
         ),
     );
+    reg_p!(
+        r,
+        (
+            "portability-matrix",
+            "ISSUE 9 (conclusions across machine presets)",
+            exps_matrix::portability_matrix
+        ),
+    );
     debug_assert_eq!(r.ids(), ALL, "ALL must mirror the registry order");
     r
 }
@@ -198,6 +223,24 @@ mod tests {
         let r = registry();
         assert_eq!(r.ids(), ALL);
         assert_eq!(r.len(), ALL.len());
+    }
+
+    #[test]
+    fn exactly_the_machine_shaped_experiments_are_matrix_sensitive() {
+        let sensitive: Vec<&str> = registry()
+            .iter()
+            .filter(|e| e.machine_sensitive())
+            .map(|e| e.id())
+            .collect();
+        assert_eq!(
+            sensitive,
+            [
+                "pipeline-overlap",
+                "um-oversubscription",
+                "collective-overlap"
+            ],
+            "matrix columns re-run only these; everything else reuses sierra cells"
+        );
     }
 
     #[test]

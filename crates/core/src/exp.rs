@@ -84,6 +84,7 @@ impl Report {
 pub struct ExpParams {
     seed: u64,
     scale: f64,
+    machine: String,
 }
 
 impl Default for ExpParams {
@@ -91,6 +92,7 @@ impl Default for ExpParams {
         ExpParams {
             seed: 42,
             scale: 1.0,
+            machine: "sierra".to_string(),
         }
     }
 }
@@ -114,12 +116,38 @@ impl ExpParams {
         self
     }
 
+    /// Target machine preset (`hetsim::machines::preset` name). The
+    /// default, "sierra", is the golden path: machine-sensitive
+    /// experiments must be byte-identical under it to a run that never
+    /// mentions the machine at all. Panics on unknown names — use
+    /// [`ExpParams::set`] for fallible CLI input.
+    pub fn with_machine(mut self, name: &str) -> ExpParams {
+        assert!(
+            hetsim::machines::preset(name).is_some(),
+            "unknown machine preset '{name}'"
+        );
+        self.machine = name.to_string();
+        self
+    }
+
     pub fn seed(&self) -> u64 {
         self.seed
     }
 
     pub fn scale(&self) -> f64 {
         self.scale
+    }
+
+    /// The target machine preset's registry name.
+    pub fn machine_name(&self) -> &str {
+        &self.machine
+    }
+
+    /// Build the target machine. Infallible because every path that sets
+    /// the name validates it against the preset registry first.
+    pub fn machine(&self) -> hetsim::Machine {
+        hetsim::machines::preset(&self.machine)
+            .unwrap_or_else(|| panic!("machine preset '{}' vanished", self.machine))
     }
 
     /// A baseline count scaled by `scale`, never below 1.
@@ -145,7 +173,20 @@ impl ExpParams {
                 }
                 self.scale = s;
             }
-            other => return Err(format!("unknown param '{other}' (known: seed, scale)")),
+            "machine" => {
+                if hetsim::machines::preset(value).is_none() {
+                    return Err(format!(
+                        "unknown machine '{value}' (known: {})",
+                        hetsim::machines::preset_names().join(", ")
+                    ));
+                }
+                self.machine = value.to_string();
+            }
+            other => {
+                return Err(format!(
+                    "unknown param '{other}' (known: seed, scale, machine)"
+                ))
+            }
         }
         Ok(())
     }
@@ -174,6 +215,14 @@ pub trait Experiment: Send + Sync {
     fn run(&self, rec: &mut Recorder) -> Report {
         self.run_with(rec, &ExpParams::default())
     }
+
+    /// Whether this experiment's output depends on `params.machine()`.
+    /// The portability-matrix runner re-executes only machine-sensitive
+    /// experiments per machine column and reuses the baseline outcome for
+    /// the rest (`icoe::matrix`).
+    fn machine_sensitive(&self) -> bool {
+        false
+    }
 }
 
 /// An [`Experiment`] built from plain function pointers — how `bench`
@@ -184,6 +233,12 @@ pub struct FnExperiment {
     pub paper_artifact: &'static str,
     pub f: fn(&mut Recorder, &ExpParams) -> Report,
 }
+
+/// An [`FnExperiment`] whose output depends on `params.machine()`. The
+/// portability-matrix runner re-executes only these per machine column
+/// and reuses the baseline outcome for everything else (re-running a
+/// machine-blind experiment per machine would re-derive the same bytes).
+pub struct MachineSensitiveExperiment(pub FnExperiment);
 
 impl Experiment for FnExperiment {
     fn id(&self) -> &'static str {
@@ -196,6 +251,24 @@ impl Experiment for FnExperiment {
 
     fn run_with(&self, rec: &mut Recorder, params: &ExpParams) -> Report {
         (self.f)(rec, params)
+    }
+}
+
+impl Experiment for MachineSensitiveExperiment {
+    fn id(&self) -> &'static str {
+        self.0.id
+    }
+
+    fn paper_artifact(&self) -> &'static str {
+        self.0.paper_artifact
+    }
+
+    fn run_with(&self, rec: &mut Recorder, params: &ExpParams) -> Report {
+        (self.0.f)(rec, params)
+    }
+
+    fn machine_sensitive(&self) -> bool {
+        true
     }
 }
 
@@ -324,7 +397,28 @@ mod tests {
         assert!(cli.set_pair("bogus=1").is_err(), "unknown key");
         assert!(cli.set_pair("scale=-1").is_err(), "negative scale");
         assert!(cli.set_pair("seed=x").is_err(), "non-numeric seed");
+        assert!(
+            cli.set_pair("machine=atari-2600").is_err(),
+            "unknown preset"
+        );
         assert_eq!(cli, built, "failed sets leave params untouched");
+    }
+
+    #[test]
+    fn machine_param_resolves_presets_and_defaults_to_sierra() {
+        let p = ExpParams::default();
+        assert_eq!(p.machine_name(), "sierra");
+        assert_eq!(p.machine().node.gpu_count(), 4);
+        let mut cli = ExpParams::default();
+        cli.set_pair("machine=frontier").expect("known preset");
+        assert_eq!(cli, ExpParams::new().with_machine("frontier"));
+        assert_eq!(cli.machine().topology().ranks_per_node, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine preset")]
+    fn with_machine_rejects_unknown_presets() {
+        let _ = ExpParams::new().with_machine("atari-2600");
     }
 
     #[test]

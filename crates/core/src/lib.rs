@@ -28,13 +28,15 @@
 pub mod cluster;
 pub mod exp;
 pub mod lessons;
+pub mod matrix;
 pub mod par;
 pub mod registry;
 pub mod report;
 pub mod tune;
 
-pub use exp::{ExpParams, Experiment, FnExperiment, Registry, Report};
+pub use exp::{ExpParams, Experiment, FnExperiment, MachineSensitiveExperiment, Registry, Report};
 pub use lessons::{lessons, Evidence, Lesson};
+pub use matrix::{Cell, MachineColumn, Matrix};
 pub use par::{default_jobs, ExpOutput, ExpRun};
 pub use registry::{activities, Activity, Approach};
 pub use report::Table;

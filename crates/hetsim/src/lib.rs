@@ -59,7 +59,8 @@ pub use network::{AllReduceAlgo, CollectiveKind, NetCounters, Network, Straggler
 pub use obs::{Recorder, SpanKind, SpanRecord};
 pub use sim::{Engine, Event, Loc, Sim, StreamId, Target, TransferKind, PHANTOM_NVME_BW_GBS};
 pub use spec::{
-    CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NetworkSpec, NodeConfig, PowerSpec, TopologySpec,
+    BackendSpec, CpuSpec, GpuSpec, LinkKind, LinkSpec, Machine, NetworkSpec, NodeConfig, PowerSpec,
+    TopologySpec,
 };
 pub use trace::Span;
 #[allow(deprecated)]

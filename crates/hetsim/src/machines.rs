@@ -11,6 +11,19 @@
 //! | [`bgq_node`] | Blue Gene/Q — where the workload previously scaled |
 //! | [`catalyst`] | Catalyst (NVMe data-intensive cluster, Table 2) |
 //! | [`kraken`], [`leviathan`], [`hyperion`], [`bertha`] | historical Table 2 machines |
+//!
+//! Post-Sierra presets for the portability matrix (ISSUE 9), calibrated
+//! from public specifications of the machine class each stands in for:
+//!
+//! | Preset | Class |
+//! |---|---|
+//! | [`frontier_node`] | Frontier-like (EPYC + 4x MI250X = 8 GCDs, Slingshot) |
+//! | [`grace_hopper_node`] | GH200-like (Grace + H100, NVLink-C2C, 1 rank/node) |
+//! | [`a64fx_node`] | A64FX/Fugaku-class (CPU-only, HBM2, Tofu-D) |
+//! | [`edge_node`] | Inference-edge (Orin-class ARM + integrated GPU) |
+//!
+//! [`preset`] resolves any of them by name; [`MATRIX`] lists the columns
+//! the portability-matrix experiment sweeps.
 
 use crate::spec::*;
 
@@ -404,6 +417,223 @@ pub fn catalyst() -> Machine {
     )
 }
 
+/// Frontier-like node: one 64-core EPYC plus 4x MI250X, each presenting
+/// two GCDs (so 8 ranks/node), Infinity Fabric links, Slingshot NICs.
+/// Figures follow the published node architecture: ~24 Tflop/s fp64 and
+/// 1.6 TB/s HBM2e per GCD, 64 GiB per GCD, 2x node-local NVMe.
+pub fn frontier_node() -> Machine {
+    let gcd = GpuSpec {
+        name: "MI250X (1 GCD)",
+        fp64_gflops: 23_900.0,
+        fp32_gflops: 23_900.0,
+        mem_bw_gbs: 1_638.0,
+        mem_capacity_gib: 64.0,
+        // Early ROCm launch path is a touch heavier than mature CUDA.
+        launch_overhead_us: 7.0,
+        compute_efficiency: 0.55,
+        texture_gain: 1.0,
+        shared_mem_gain: 1.6,
+    };
+    Machine {
+        name: "Frontier-like (MI250X)",
+        year: 2022,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "EPYC 7A53 (64c)",
+                sockets: 1,
+                cores_per_socket: 64,
+                gflops_per_core: 32.0,
+                mem_bw_gbs: 205.0,
+                mem_capacity_gib: 512.0,
+                compute_efficiency: 0.55,
+            },
+            gpus: vec![gcd; 8],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::Coherent,
+                bw_gbs: 36.0,
+                latency_us: 8.0,
+            }),
+            peer_link: Some(LinkSpec {
+                kind: LinkKind::Coherent,
+                bw_gbs: 50.0,
+                latency_us: 6.0,
+            }),
+            nvme: Some((3_680.0, 8.0)),
+        },
+        nodes: 1,
+        network: NetworkSpec {
+            // 4x 200 Gb/s Slingshot NICs per node, one per GCD pair.
+            // `injection_bw_gbs` is per-rank (the Hockney beta), so this
+            // is the 25 GB/s rail share — the same rail-per-GPU-pair
+            // convention the sierra preset uses for its EDR rails, not
+            // the 100 GB/s node aggregate.
+            injection_bw_gbs: 25.0,
+            latency_us: 1.7,
+            gpudirect: true,
+        },
+    }
+}
+
+/// Grace-Hopper-like node: one 72-core Grace plus one H100 over
+/// NVLink-C2C — the "one fat rank per node" superchip shape.
+pub fn grace_hopper_node() -> Machine {
+    Machine {
+        name: "Grace-Hopper-like (GH200)",
+        year: 2023,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "Grace (72c)",
+                sockets: 1,
+                cores_per_socket: 72,
+                gflops_per_core: 54.4,
+                mem_bw_gbs: 500.0,
+                mem_capacity_gib: 480.0,
+                compute_efficiency: 0.6,
+            },
+            gpus: vec![GpuSpec {
+                name: "H100 (SXM)",
+                fp64_gflops: 33_900.0,
+                fp32_gflops: 67_000.0,
+                mem_bw_gbs: 3_350.0,
+                mem_capacity_gib: 96.0,
+                launch_overhead_us: 4.0,
+                compute_efficiency: 0.6,
+                texture_gain: 1.0,
+                shared_mem_gain: 1.8,
+            }],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::Coherent,
+                bw_gbs: 450.0,
+                latency_us: 2.0,
+            }),
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 1,
+        network: NetworkSpec {
+            injection_bw_gbs: 25.0,
+            latency_us: 1.5,
+            gpudirect: true,
+        },
+    }
+}
+
+/// A64FX/Fugaku-class node: CPU-only ARM with on-package HBM2 and a
+/// Tofu-D-class fabric. The GPU-free column of the portability matrix.
+pub fn a64fx_node() -> Machine {
+    Machine {
+        name: "A64FX (Fugaku-class)",
+        year: 2020,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "A64FX (48c)",
+                sockets: 1,
+                cores_per_socket: 48,
+                gflops_per_core: 70.4,
+                mem_bw_gbs: 1_024.0,
+                mem_capacity_gib: 32.0,
+                // SVE sustains well on stencils, poorly on irregular code.
+                compute_efficiency: 0.45,
+            },
+            gpus: vec![],
+            host_gpu_link: None,
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 1,
+        network: NetworkSpec {
+            injection_bw_gbs: 6.8,
+            latency_us: 1.2,
+            gpudirect: false,
+        },
+    }
+}
+
+/// Inference-edge node: Orin-class ARM cores plus a small integrated GPU
+/// sharing LPDDR5 with the host — the smallest column of the matrix.
+pub fn edge_node() -> Machine {
+    Machine {
+        name: "Edge (Orin-class)",
+        year: 2023,
+        node: NodeConfig {
+            cpu: CpuSpec {
+                name: "Orin ARM (12c)",
+                sockets: 1,
+                cores_per_socket: 12,
+                gflops_per_core: 8.8,
+                mem_bw_gbs: 102.0,
+                mem_capacity_gib: 24.0,
+                compute_efficiency: 0.5,
+            },
+            gpus: vec![GpuSpec {
+                name: "Orin iGPU (Ampere)",
+                fp64_gflops: 170.0,
+                fp32_gflops: 5_300.0,
+                // Shares the LPDDR5 bus with the host cores.
+                mem_bw_gbs: 102.0,
+                mem_capacity_gib: 8.0,
+                launch_overhead_us: 12.0,
+                compute_efficiency: 0.45,
+                texture_gain: 1.2,
+                shared_mem_gain: 1.5,
+            }],
+            host_gpu_link: Some(LinkSpec {
+                kind: LinkKind::Local,
+                bw_gbs: 51.0,
+                latency_us: 2.0,
+            }),
+            peer_link: None,
+            nvme: None,
+        },
+        nodes: 4,
+        network: NetworkSpec {
+            injection_bw_gbs: 1.25,
+            latency_us: 30.0,
+            gpudirect: false,
+        },
+    }
+}
+
+/// A named machine-preset constructor.
+pub type PresetEntry = (&'static str, fn() -> Machine);
+
+/// Every named preset the CLI, docs, and tests can refer to.
+pub const PRESETS: &[PresetEntry] = &[
+    ("sierra", sierra_node),
+    ("sierra-full", sierra),
+    ("ea", ea_minsky),
+    ("dev-k80", dev_k80),
+    ("viz-k40", viz_k40),
+    ("cori2", cori2),
+    ("bgq", bgq_node),
+    ("kraken", kraken),
+    ("leviathan", leviathan),
+    ("hyperion", hyperion),
+    ("bertha", bertha),
+    ("catalyst", catalyst),
+    ("frontier", frontier_node),
+    ("grace-hopper", grace_hopper_node),
+    ("a64fx", a64fx_node),
+    ("edge", edge_node),
+];
+
+/// The portability-matrix columns (ISSUE 9): the paper's machine plus the
+/// four post-Sierra architecture classes.
+pub const MATRIX: &[&str] = &["sierra", "frontier", "grace-hopper", "a64fx", "edge"];
+
+/// Resolve a preset by its registry name.
+pub fn preset(name: &str) -> Option<Machine> {
+    PRESETS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, build)| build())
+}
+
+/// Every registry name, in declaration order.
+pub fn preset_names() -> Vec<&'static str> {
+    PRESETS.iter().map(|(n, _)| *n).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,22 +665,44 @@ mod tests {
 
     #[test]
     fn all_presets_have_positive_specs() {
-        for m in [
-            sierra(),
-            ea_minsky(),
-            dev_k80(),
-            viz_k40(),
-            cori2(),
-            bgq_node(),
-            kraken(),
-            leviathan(),
-            hyperion(),
-            bertha(),
-            catalyst(),
-        ] {
-            assert!(m.peak_gflops() > 0.0, "{}", m.name);
-            assert!(m.network.injection_bw_gbs > 0.0);
-            assert!(m.node.cpu.mem_bw_gbs > 0.0);
+        for (name, build) in PRESETS {
+            let m = build();
+            assert!(m.peak_gflops() > 0.0, "{name}");
+            assert!(m.network.injection_bw_gbs > 0.0, "{name}");
+            assert!(m.node.cpu.mem_bw_gbs > 0.0, "{name}");
         }
+    }
+
+    #[test]
+    fn preset_resolves_every_registered_name_and_rejects_unknowns() {
+        for name in preset_names() {
+            let m = preset(name).expect("registered name must resolve");
+            assert!(!m.name.is_empty());
+        }
+        assert!(preset("sierra").unwrap().node.gpu_count() == 4);
+        assert!(preset("mystery-machine").is_none());
+    }
+
+    #[test]
+    fn matrix_columns_are_registered_and_span_the_architecture_classes() {
+        for name in MATRIX {
+            assert!(preset(name).is_some(), "{name} missing from PRESETS");
+        }
+        // The matrix spans multi-GPU, single-rank-fat-GPU, CPU-only, and
+        // edge classes — that diversity is what the classification needs.
+        assert_eq!(preset("frontier").unwrap().topology().ranks_per_node, 8);
+        assert_eq!(preset("grace-hopper").unwrap().topology().ranks_per_node, 1);
+        assert!(preset("a64fx").unwrap().node.gpus.is_empty());
+        let edge = preset("edge").unwrap();
+        assert!(edge.node.gpus[0].mem_capacity_gib < 16.0);
+    }
+
+    #[test]
+    fn post_sierra_backend_factors_vary_by_toolchain() {
+        let b = |n: &str| preset(n).unwrap().backend();
+        assert_eq!(b("sierra").device_factor, 1.30);
+        assert!(b("frontier").device_factor > b("sierra").device_factor);
+        assert!(b("grace-hopper").device_factor < b("sierra").device_factor);
+        assert!(b("a64fx").host_factor > b("sierra").host_factor);
     }
 }

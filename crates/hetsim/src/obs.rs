@@ -807,13 +807,17 @@ pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    debug_assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
     debug_assert!(
         sorted
             .windows(2)
             .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater),
         "quantile wants an ascending-sorted sample"
     );
+    // Clamp hostile fractions to the sample's support instead of
+    // asserting: p0 (and anything below, or NaN) is the minimum, p100
+    // and above the maximum. A NaN `q` would otherwise cast to rank 0
+    // in release builds and read past the front of the slice logic.
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
     sorted[rank.min(sorted.len()) - 1]
 }
@@ -1068,6 +1072,23 @@ mod tests {
         // Rank 50 of 50, not 49: the tail value itself.
         let fifty: Vec<f64> = (1..=50).map(f64::from).collect();
         assert_eq!(quantile(&fifty, 0.99), 50.0);
+    }
+
+    /// p0/p100 regression (ISSUE 9 satellite): the extremes pin to the
+    /// sample's min/max, out-of-range and NaN fractions clamp to the
+    /// same endpoints, and the degenerate slices stay total.
+    #[test]
+    fn quantile_clamps_p0_p100_and_hostile_fractions() {
+        let v = [3.0, 7.0, 9.0];
+        assert_eq!(quantile(&v, 0.0), 3.0, "p0 is the minimum");
+        assert_eq!(quantile(&v, 1.0), 9.0, "p100 is the maximum");
+        assert_eq!(quantile(&v, -0.25), 3.0, "below-range clamps to p0");
+        assert_eq!(quantile(&v, 1.75), 9.0, "above-range clamps to p100");
+        assert_eq!(quantile(&v, f64::NAN), 3.0, "NaN fraction degrades to p0");
+        assert_eq!(quantile(&[], 0.0), 0.0);
+        assert_eq!(quantile(&[], 1.0), 0.0);
+        assert_eq!(quantile(&[42.0], 0.0), 42.0);
+        assert_eq!(quantile(&[42.0], 1.0), 42.0);
     }
 
     /// The naive reference implementations hot_list / render_timeline had

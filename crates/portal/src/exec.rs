@@ -64,12 +64,32 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Time multiplier relative to a native kernel.
+    /// Time multiplier relative to a native kernel, at the paper's own
+    /// Sierra calibration (1.3 on device, 1.05 on host). Prefer
+    /// [`Backend::penalty_on`] where a machine is in hand — on Sierra the
+    /// two agree exactly.
     pub fn penalty(&self, policy: Policy) -> f64 {
         match (self, policy.is_device()) {
             (Backend::Native, _) => 1.0,
             (Backend::Portal, true) => 1.3,
             (Backend::Portal, false) => 1.05,
+        }
+    }
+
+    /// Time multiplier relative to a native kernel on a specific machine:
+    /// the per-architecture generalization of the paper's single RAJA
+    /// figure, from [`hetsim::Machine::backend`]'s calibration table.
+    pub fn penalty_on(&self, machine: &hetsim::Machine, policy: Policy) -> f64 {
+        match self {
+            Backend::Native => 1.0,
+            Backend::Portal => {
+                let b = machine.backend();
+                if policy.is_device() {
+                    b.device_factor
+                } else {
+                    b.host_factor
+                }
+            }
         }
     }
 }
@@ -227,7 +247,7 @@ impl Executor {
         let profile = item.profile(name, n, policy);
         let target = policy.target(&self.sim);
         let base = self.sim.launch(target, &profile);
-        let dt = base * backend.penalty(policy);
+        let dt = base * backend.penalty_on(self.sim.machine(), policy);
         // `launch` advanced the stream by the unpenalised time; charge the
         // abstraction overhead on top.
         self.sim.advance(target, dt - base);
@@ -749,7 +769,7 @@ impl Executor {
         }
         let chunks = chunks.clamp(1, n);
         let chunk_len = n.div_ceil(chunks);
-        let penalty = backend.penalty(Policy::Device { gpu });
+        let penalty = backend.penalty_on(self.sim.machine(), Policy::Device { gpu });
 
         let compute = StreamId::default_for(Target::gpu(gpu));
         let h2d_q = StreamId {

@@ -38,7 +38,9 @@ pub fn solver_step_cost(
     }
     let t = sim.cost(Target::gpu(0), &k);
     if portal_backend {
-        t * 1.3
+        // The machine's own portal-over-native calibration (1.3 on every
+        // CUDA-class GPU the paper measured; varies on newer toolchains).
+        t * machine.backend().device_factor
     } else {
         t
     }

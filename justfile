@@ -55,6 +55,20 @@ par-smoke:
 tune-smoke:
     cargo run --release --offline -p bench --bin experiments -- auto-tune --json --bench-dir out
 
+# The portability matrix: the registry across every MATRIX machine preset
+# (machine-sensitive experiments re-run per column, the rest reuse their
+# sierra cells), then the classified Sierra-specific vs
+# architecture-invariant conclusions.
+matrix-smoke:
+    cargo run --release --offline -p bench --bin experiments -- matrix --jobs 4
+    cargo run --release --offline -p bench --bin experiments -- portability-matrix --json --bench-dir out
+
+# Rewrite tests/golden/ after an *intentional* output change, then show
+# what moved. Committed goldens are the conformance contract in CI.
+golden-update:
+    UPDATE_GOLDEN=1 cargo test --offline -p xtests --test golden_determinism
+    git diff --stat tests/golden
+
 # The fleet-serving layer: spike survival + policy shoot-out, with the
 # SLA/joules gauges and the `cluster` timeline track.
 cluster-smoke:

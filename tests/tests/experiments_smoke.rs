@@ -48,6 +48,7 @@ fn experiment_list_matches_design_doc_index() {
         "lessons",
         "machines",
         "rank-throughput",
+        "portability-matrix",
     ];
     assert_eq!(bench::ALL, &expected);
 }

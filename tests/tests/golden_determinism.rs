@@ -1,10 +1,17 @@
-//! Golden-determinism conformance suite (ISSUE 4 satellite): every
-//! registered experiment, run twice under a fresh enabled recorder, must
-//! produce byte-identical structured JSON documents. This pins down the
-//! whole stack — table cell formatting, counter/gauge names and values,
-//! span bookkeeping — so a seed change or an accidental wall-clock leak
-//! into a table shows up as a one-line diff in CI rather than flaky
-//! artifact files.
+//! Golden-file conformance suite (ISSUE 4 satellite, committed-file form
+//! since ISSUE 9): every registered experiment, run twice under a fresh
+//! enabled recorder, must produce byte-identical structured JSON
+//! documents — and those bytes must match the snapshot committed under
+//! `tests/golden/<id>.json`. This pins down the whole stack — table cell
+//! formatting, counter/gauge names and values, span bookkeeping — so a
+//! seed change or an accidental wall-clock leak into a table shows up as
+//! a first-diverging-line diff in CI rather than flaky artifact files.
+//!
+//! Regenerate the snapshots after an intentional output change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p xtests --test golden_determinism
+//! ```
 //!
 //! Wall time is the one legitimately nondeterministic input, so the
 //! comparison fixes `elapsed_s = 0.0`; experiments that *measure* host
@@ -13,6 +20,7 @@
 
 use hetsim::obs::Recorder;
 use icoe::exp::document_json;
+use std::path::{Path, PathBuf};
 
 /// One experiment's canonical document with wall time zeroed.
 fn doc(id: &str) -> String {
@@ -22,25 +30,110 @@ fn doc(id: &str) -> String {
     document_json(id, &report, &rec, 0.0)
 }
 
+/// The committed snapshot for one experiment id.
+fn golden_path(id: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{id}.json"))
+}
+
+/// Largest char boundary <= `i` (documents contain multi-byte glyphs).
+fn floor_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn window(s: &str, at: usize) -> &str {
+    let lo = floor_boundary(s, at.saturating_sub(60));
+    let hi = floor_boundary(s, at + 60);
+    &s[lo..hi]
+}
+
+/// Compare two documents; on mismatch, panic naming the first diverging
+/// line (with a byte window into it, since documents are one long line).
+fn assert_identical(id: &str, a_label: &str, a: &str, b_label: &str, b: &str) {
+    if a == b {
+        return;
+    }
+    let (mut al, mut bl) = (a.lines(), b.lines());
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        let (x, y) = (al.next(), bl.next());
+        if x == y {
+            if x.is_none() {
+                panic!("{id}: {a_label} and {b_label} differ only in trailing whitespace");
+            }
+            continue;
+        }
+        let x = x.unwrap_or("<end of document>");
+        let y = y.unwrap_or("<end of document>");
+        let at = x
+            .bytes()
+            .zip(y.bytes())
+            .position(|(p, q)| p != q)
+            .unwrap_or(x.len().min(y.len()));
+        panic!(
+            "{id}: documents diverge at line {lineno}, byte {at}\n  \
+             {a_label}: ...{}...\n  {b_label}: ...{}...\n\
+             (intentional change? regenerate with UPDATE_GOLDEN=1)",
+            window(x, at),
+            window(y, at),
+        );
+    }
+}
+
+/// The committed-golden contract: re-running an experiment is
+/// byte-stable, and the bytes are exactly the checked-in snapshot.
+/// `UPDATE_GOLDEN=1` rewrites the snapshots instead of comparing.
 #[test]
-fn every_experiment_document_is_byte_identical_across_runs() {
+fn every_experiment_document_matches_its_committed_golden_file() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
     for id in bench::ALL {
         let a = doc(id);
         let b = doc(id);
-        if a != b {
-            // Locate the first divergence so the failure is actionable.
-            let at = a
-                .bytes()
-                .zip(b.bytes())
-                .position(|(x, y)| x != y)
-                .unwrap_or(a.len().min(b.len()));
-            let lo = at.saturating_sub(60);
-            panic!(
-                "{id}: documents diverge at byte {at}:\n run 1: ...{}\n run 2: ...{}",
-                &a[lo..(at + 60).min(a.len())],
-                &b[lo..(at + 60).min(b.len())]
-            );
+        assert_identical(id, "run 1", &a, "run 2", &b);
+        let path = golden_path(id);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+            std::fs::write(&path, format!("{a}\n")).expect("write golden file");
+            continue;
         }
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} for '{id}' ({e}); \
+                 regenerate with UPDATE_GOLDEN=1 cargo test -p xtests --test golden_determinism",
+                path.display()
+            )
+        });
+        assert_identical(
+            id,
+            "committed",
+            committed.trim_end_matches('\n'),
+            "regenerated",
+            &a,
+        );
+    }
+}
+
+/// No stale snapshots: every file in tests/golden/ names a registered
+/// experiment (catches renamed/removed experiments leaving orphans).
+#[test]
+fn golden_directory_has_no_orphan_snapshots() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden");
+    for entry in std::fs::read_dir(&dir).expect("tests/golden is committed") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let id = name
+            .strip_suffix(".json")
+            .unwrap_or_else(|| panic!("unexpected file in tests/golden: {name}"));
+        assert!(
+            bench::ALL.contains(&id),
+            "tests/golden/{name} does not match any registered experiment"
+        );
     }
 }
 

@@ -1,0 +1,75 @@
+//! Cross-machine portability smoke (ISSUE 9 satellite): the registry must
+//! run to completion on **every** machine preset — not just the five
+//! MATRIX columns — with no panics and no phantom-route hits, and the
+//! `sierra` baseline column must be bitwise-identical to the committed
+//! golden documents (machine parameterisation is an extension, never a
+//! perturbation, of the single-machine paths).
+//!
+//! One `run_matrix` call covers all of it: the baseline column re-executes
+//! the full registry on sierra, every other column re-executes only the
+//! machine-sensitive experiments (`pipeline-overlap`, `um-oversubscription`,
+//! `collective-overlap`) and reuses the baseline cells for the rest — the
+//! design that keeps a 16-preset sweep inside a unit-test budget.
+
+use hetsim::machines::preset_names;
+use icoe::exp::document_json;
+use icoe::{Cell, ExpParams};
+use std::path::Path;
+
+#[test]
+fn registry_survives_every_preset_and_sierra_matches_the_goldens() {
+    let reg = bench::registry();
+    let names = preset_names();
+    assert_eq!(names[0], "sierra", "sierra anchors the baseline column");
+    let matrix = reg.run_matrix(&names, 4, &ExpParams::default());
+    assert_eq!(matrix.columns.len(), names.len());
+
+    let sensitive = [
+        "pipeline-overlap",
+        "um-oversubscription",
+        "collective-overlap",
+    ];
+    for (i, col) in matrix.columns.iter().enumerate() {
+        let (ran, reused, failed) = col.tally();
+        assert_eq!(failed, 0, "failing cells on {}", col.machine);
+        assert_eq!(
+            col.phantom_hits(),
+            0.0,
+            "{} costed a transfer over undeclared hardware",
+            col.machine
+        );
+        if i == 0 {
+            assert_eq!((ran, reused), (bench::ALL.len(), 0));
+        } else {
+            assert_eq!(ran, sensitive.len(), "{} re-ran the wrong set", col.machine);
+            for cell in &col.cells {
+                match cell {
+                    Cell::Ran(run) => assert!(sensitive.contains(&run.id)),
+                    Cell::Reused { id, baseline } => {
+                        assert!(!sensitive.contains(id));
+                        assert_eq!(matrix.baseline().cells[*baseline].id(), *id);
+                    }
+                }
+            }
+        }
+    }
+
+    // The sierra column IS the single-machine suite, byte for byte.
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden");
+    for cell in &matrix.baseline().cells {
+        let Cell::Ran(run) = cell else {
+            panic!("baseline reuses nothing")
+        };
+        let out = run.outcome.as_ref().expect("baseline cell succeeded");
+        let doc = document_json(run.id, &out.report, &out.recorder, 0.0);
+        let path = golden_dir.join(format!("{}.json", run.id));
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+        assert_eq!(
+            doc,
+            golden.trim_end_matches('\n'),
+            "{}: sierra matrix cell differs from the committed golden",
+            run.id
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Machine-preset invariants (ISSUE 9 satellite): every preset — the
+//! paper's machines and the post-Sierra portability-matrix classes — must
+//! describe physically coherent hardware. The derived models (topology,
+//! power, backend factors) are pure functions of the specs, so these
+//! checks also pin the derivations themselves.
+
+use hetsim::machines::{preset, PRESETS};
+
+#[test]
+fn every_preset_has_positive_specs() {
+    for (name, build) in PRESETS {
+        let m = build();
+        let cpu = &m.node.cpu;
+        assert!(cpu.sockets >= 1 && cpu.cores_per_socket >= 1, "{name}");
+        assert!(cpu.gflops_per_core > 0.0, "{name}");
+        assert!(cpu.mem_bw_gbs > 0.0, "{name}");
+        assert!(cpu.mem_capacity_gib > 0.0, "{name}");
+        assert!(
+            cpu.compute_efficiency > 0.0 && cpu.compute_efficiency <= 1.0,
+            "{name}"
+        );
+        for g in &m.node.gpus {
+            assert!(
+                g.fp64_gflops > 0.0 && g.fp32_gflops > 0.0,
+                "{name}/{}",
+                g.name
+            );
+            assert!(g.mem_bw_gbs > 0.0, "{name}/{}", g.name);
+            assert!(g.mem_capacity_gib > 0.0, "{name}/{}", g.name);
+            assert!(g.launch_overhead_us >= 0.0, "{name}/{}", g.name);
+            assert!(
+                g.compute_efficiency > 0.0 && g.compute_efficiency <= 1.0,
+                "{name}/{}",
+                g.name
+            );
+            assert!(
+                g.texture_gain >= 1.0 && g.shared_mem_gain >= 1.0,
+                "{name}/{}",
+                g.name
+            );
+        }
+        for link in [&m.node.host_gpu_link, &m.node.peer_link]
+            .into_iter()
+            .flatten()
+        {
+            assert!(link.bw_gbs > 0.0 && link.latency_us >= 0.0, "{name}");
+        }
+        if let Some((cap_gb, bw_gbs)) = m.node.nvme {
+            assert!(cap_gb > 0.0 && bw_gbs > 0.0, "{name} nvme");
+        }
+        assert!(m.nodes >= 1, "{name}");
+        assert!(m.network.injection_bw_gbs > 0.0, "{name}");
+        assert!(m.network.latency_us > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn every_topology_is_self_consistent() {
+    for (name, build) in PRESETS {
+        let m = build();
+        let topo = m.topology();
+        assert!(topo.ranks_per_node >= 1, "{name}");
+        // One rank per GPU; CPU-only machines collapse to one per node.
+        assert_eq!(topo.ranks_per_node, m.node.gpu_count().max(1), "{name}");
+        // The intra-node link always exists (it falls back to host memory),
+        // and a multi-rank node needs real bandwidth on it for the
+        // hierarchical collectives to make sense.
+        assert!(topo.intra_link.bw_gbs > 0.0, "{name}");
+        if topo.ranks_per_node > 1 {
+            assert!(
+                m.node.peer_link.is_some() || m.node.host_gpu_link.is_some(),
+                "{name}: multi-rank node with no declared intra-node link"
+            );
+        }
+        // A whole-machine rank count is always a multiple of the node shape.
+        let ranks = m.nodes * topo.ranks_per_node;
+        assert_eq!(ranks % topo.ranks_per_node, 0, "{name}");
+    }
+}
+
+#[test]
+fn every_power_model_orders_its_states() {
+    for (name, build) in PRESETS {
+        let p = build().power();
+        assert!(p.off_w >= 0.0, "{name}");
+        assert!(p.off_w < p.idle_w, "{name}: off must draw less than idle");
+        assert!(
+            p.idle_w <= p.active_w,
+            "{name}: idle must not exceed active"
+        );
+        assert!(p.gpu_active_w >= 0.0, "{name}");
+    }
+}
+
+#[test]
+fn every_backend_factor_is_a_penalty_never_a_speedup() {
+    for (name, build) in PRESETS {
+        let b = build().backend();
+        assert!(b.device_factor >= 1.0, "{name}: portal cannot beat native");
+        assert!(b.host_factor >= 1.0, "{name}: portal cannot beat native");
+    }
+    // The paper's measured calibration stays pinned on its machines.
+    assert_eq!(preset("sierra").unwrap().backend().device_factor, 1.30);
+    assert_eq!(preset("ea").unwrap().backend().device_factor, 1.30);
+    assert_eq!(preset("sierra").unwrap().backend().host_factor, 1.05);
+}
