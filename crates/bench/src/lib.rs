@@ -53,6 +53,7 @@ pub const ALL: &[&str] = &[
     "machines",
     "rank-throughput",
     "portability-matrix",
+    "cluster-throughput",
 ];
 
 /// Build the full experiment registry, in paper order.
@@ -198,6 +199,11 @@ pub fn registry() -> Registry {
             "portability-matrix",
             "ISSUE 9 (conclusions across machine presets)",
             exps_matrix::portability_matrix
+        ),
+        (
+            "cluster-throughput",
+            "ISSUE 10 (incremental cluster serving: placed jobs per host-second)",
+            exps_cluster::cluster_throughput
         ),
     );
     debug_assert_eq!(r.ids(), ALL, "ALL must mirror the registry order");

@@ -28,9 +28,11 @@
 //! ```
 
 pub mod machine;
+pub mod reference;
 pub mod sim;
 pub mod stream;
 
 pub use machine::{default_fleet, Arch, MachineClass};
-pub use sim::{simulate_cluster, ClusterConfig, ClusterMetrics};
+pub use reference::simulate_cluster_reference;
+pub use sim::{simulate_cluster, ClusterConfig, ClusterMetrics, ClusterSim};
 pub use stream::{job_stream, ClusterJob, Spike, StreamConfig, TaskClass};

@@ -2,15 +2,41 @@
 //! per-node power states serving a job stream under any [`SchedPolicy`].
 //!
 //! The simulator owns three event kinds — job arrival, job finish, and
-//! node park — scheduled on the shared [`hetsim::des::EventKernel`]
-//! (earliest `(time, seq)` first). After every
-//! event batch it rebuilds a [`ClusterView`] (queue, running set, and one
-//! [`NodeView`] per node) and calls the policy's `select` repeatedly
-//! until it declines. Placement rescales the job's reference duration by
-//! the node's relative speed; waking a parked node charges the class's
-//! boot latency to the job's wait. Per-node energy is integrated lazily:
-//! each node carries a `power_mark`, advanced (and its joules charged at
-//! the power state in force) whenever the node's state changes.
+//! node park. Finishes and parks live on the shared
+//! [`hetsim::des::EventKernel`] (earliest `(time, seq)` first); arrivals
+//! ride a cursor over the time-sorted job slice, merged against the
+//! queue head per batch — same total order, but the calendar only ever
+//! holds live finishes and park checks, so it stays cache-resident at
+//! million-job scale. After every event batch the simulator asks the
+//! policy's `select` repeatedly until it declines.
+//!
+//! Since ISSUE 10 the scheduler state is **incrementally maintained**
+//! (the million-job serving tentpole): where the original loop rebuilt a
+//! fresh `Vec<NodeView>`, re-cloned the running set, and re-summed
+//! `free_gpus` on *every* `select` call, [`ClusterSim`] keeps
+//!
+//! * a persistent [`NodeView`] bank patched in place by place / finish
+//!   deltas (the `TrackBank` intern-once discipline from `hetsim::des`
+//!   applied to scheduler state: resolve once, then every update is an
+//!   array store);
+//! * the running set in policy-visible order with a job→slot index, so a
+//!   finish is one `swap_remove` instead of an O(running) scan;
+//! * the queue as a dense vector behind a head cursor, so the FCFS-shaped
+//!   head removal is O(1) and mid-queue removal is one `memmove`;
+//! * cached `free_gpus` / capacity aggregates, updated by the same deltas
+//!   (debug builds periodically recount from scratch and assert equality);
+//! * reusable scratch buffers (event batch, waits, the event arena), so
+//!   the steady-state loop allocates nothing per event.
+//!
+//! Placement rescales the job's reference duration by the node's relative
+//! speed; waking a parked node charges the class's boot latency to the
+//! job's wait. Per-node energy is integrated lazily: each node carries a
+//! `power_mark`, advanced (and its joules charged at the power state in
+//! force) whenever the node's state changes.
+//!
+//! Every metric is **bitwise identical** to the retained naive reference
+//! loop ([`super::reference`]), pinned by
+//! `tests/tests/cluster_scale_props.rs` across all six built-in policies.
 
 use hetsim::des::EventKernel;
 use hetsim::obs::{quantile, Recorder, SpanKind};
@@ -64,53 +90,634 @@ pub struct ClusterMetrics {
     pub parks: usize,
 }
 
+/// Events carry **slice indices** into the job list, never `ClusterJob::id`
+/// (the historical id-as-index coupling broke on non-contiguous ids; see
+/// `shuffled_ids_*` tests).
 #[derive(Debug, Clone, Copy)]
 enum Ev {
-    Arrive(usize),
+    Arrive(u32),
     Finish {
-        node: usize,
-        job: usize,
+        node: u32,
+        /// Index into the `jobs` slice (== running-slot key).
+        job: u32,
     },
     /// Park check scheduled when a node went idle at `idle_stamp`; fires
     /// only if the node is still in that same idle stretch.
     Park {
-        node: usize,
+        node: u32,
         idle_stamp: f64,
     },
 }
 
-struct NodeState {
-    class: usize,
-    speed: f64,
+/// Per-node state the policies never see: power bookkeeping and the
+/// park governor inputs. Resource counts live in the [`NodeView`] bank —
+/// one source of truth, borrowed directly by every `ClusterView`.
+#[derive(Debug, Clone)]
+struct NodeAux {
     wake_s: f64,
-    gpus_total: usize,
-    cores_total: usize,
-    gpus_free: usize,
-    cores_free: usize,
-    running: usize,
     on: bool,
     idle_since: f64,
     power_mark: f64,
     joules: f64,
+    running: u32,
 }
 
-impl NodeState {
-    fn view(&self, id: usize) -> NodeView {
-        NodeView {
-            id,
-            class: self.class,
-            gpus_free: self.gpus_free,
-            cores_free: self.cores_free,
-            gpus_total: self.gpus_total,
-            cores_total: self.cores_total,
-            speed: self.speed,
-            busy: self.running > 0,
+/// One contiguous id range of identical nodes (one machine class).
+#[derive(Debug, Clone, Copy)]
+struct ClassRange {
+    start: usize,
+    end: usize,
+    gpus_per_node: usize,
+    cores_per_node: usize,
+}
+
+/// Maximum GPUs per node the packed placement key can hold (24 bits).
+const MAX_GPUS_PER_NODE: usize = (1 << 24) - 1;
+
+/// Sampling period (events) for the debug-build aggregate recount.
+#[cfg(debug_assertions)]
+const CHECK_EVERY: u64 = 1024;
+
+/// A reusable cluster simulator: fleet state, event queue, and scratch
+/// buffers built once and recycled across [`ClusterSim::run`] calls, so a
+/// measurement loop's steady state touches the allocator zero times per
+/// event (asserted by `benches/cluster.rs` under the counting allocator).
+pub struct ClusterSim {
+    fleet: Vec<MachineClass>,
+    park_after_s: Option<f64>,
+    /// The persistent policy-visible node bank (resource source of truth).
+    views: Vec<NodeView>,
+    aux: Vec<NodeAux>,
+    /// Machine classes grouped by bitwise-equal speed, groups in
+    /// descending-speed order (NaN last) — the simulator-side placement
+    /// fallback walks groups and stops at the first with a fitting node,
+    /// which is exactly the old full-fleet `min_by` order.
+    groups: Vec<Vec<ClassRange>>,
+    total_gpus: usize,
+    total_cores: usize,
+    /// Cached aggregate: sum of `views[i].gpus_free`.
+    free_gpus: usize,
+    events: EventKernel<Ev>,
+    /// Waiting jobs in arrival order, dense behind `head` (the policy
+    /// sees `&queue[head..]`; head removal is a cursor bump).
+    queue: Vec<QueuedJob>,
+    /// Slice index of each queue entry (parallel to `queue`).
+    queue_jobs: Vec<u32>,
+    head: usize,
+    /// Running jobs in policy-visible order (push + `swap_remove`).
+    running: Vec<RunningJob>,
+    /// Slice index of each running entry (parallel to `running`).
+    running_jobs: Vec<u32>,
+    /// Slice index → position in `running` (u32::MAX = not running).
+    job_slot: Vec<u32>,
+    waits: Vec<f64>,
+    /// Scratch for one same-time event batch.
+    batch: Vec<Ev>,
+    #[cfg(debug_assertions)]
+    events_seen: u64,
+}
+
+impl ClusterSim {
+    /// Build the fleet state for `cfg`. All allocation-heavy setup happens
+    /// here (and on the first `run` as buffers grow to the stream's peak);
+    /// later runs reuse every buffer.
+    pub fn new(cfg: &ClusterConfig) -> ClusterSim {
+        let fleet = cfg.fleet.clone();
+        let mut views: Vec<NodeView> = Vec::new();
+        let mut aux: Vec<NodeAux> = Vec::new();
+        let mut ranges: Vec<(usize, ClassRange)> = Vec::new();
+        for (ci, c) in fleet.iter().enumerate() {
+            assert!(
+                c.gpus_per_node <= MAX_GPUS_PER_NODE,
+                "class {} gpus_per_node {} overflows the placement key",
+                c.name,
+                c.gpus_per_node
+            );
+            let start = views.len();
+            for _ in 0..c.count {
+                let id = views.len();
+                views.push(NodeView {
+                    id,
+                    class: ci,
+                    gpus_free: c.gpus_per_node,
+                    cores_free: c.cores_per_node,
+                    gpus_total: c.gpus_per_node,
+                    cores_total: c.cores_per_node,
+                    speed: c.speed,
+                    busy: false,
+                });
+                aux.push(NodeAux {
+                    wake_s: c.wake_s,
+                    on: true,
+                    idle_since: 0.0,
+                    power_mark: 0.0,
+                    joules: 0.0,
+                    running: 0,
+                });
+            }
+            if c.count > 0 {
+                ranges.push((
+                    ci,
+                    ClassRange {
+                        start,
+                        end: views.len(),
+                        gpus_per_node: c.gpus_per_node,
+                        cores_per_node: c.cores_per_node,
+                    },
+                ));
+            }
         }
+        assert!(views.len() < u32::MAX as usize, "fleet too large");
+        // Groups of bitwise-equal speed, descending (NaN last): inside a
+        // group the secondary key (!on, leftover, id) decides, across
+        // groups the speed always does — so walking groups in order and
+        // stopping at the first hit reproduces the global minimum.
+        ranges.sort_by(|a, b| {
+            desc_speed_nan_last(fleet[a.0].speed, fleet[b.0].speed).then(a.0.cmp(&b.0))
+        });
+        let mut groups: Vec<Vec<ClassRange>> = Vec::new();
+        for (ci, r) in ranges {
+            let same = groups.last().is_some_and(|g: &Vec<ClassRange>| {
+                let prev = fleet[views[g[0].start].class].speed;
+                desc_speed_nan_last(prev, fleet[ci].speed) == std::cmp::Ordering::Equal
+            });
+            if same {
+                groups.last_mut().expect("nonempty").push(r);
+            } else {
+                groups.push(vec![r]);
+            }
+        }
+        let total_gpus: usize = views.iter().map(|n| n.gpus_total).sum();
+        let total_cores: usize = views.iter().map(|n| n.cores_total).sum();
+        let free_gpus = total_gpus;
+        ClusterSim {
+            fleet,
+            park_after_s: cfg.park_after_s,
+            views,
+            aux,
+            groups,
+            total_gpus,
+            total_cores,
+            free_gpus,
+            events: EventKernel::new(),
+            queue: Vec::new(),
+            queue_jobs: Vec::new(),
+            head: 0,
+            running: Vec::new(),
+            running_jobs: Vec::new(),
+            job_slot: Vec::new(),
+            waits: Vec::new(),
+            batch: Vec::new(),
+            #[cfg(debug_assertions)]
+            events_seen: 0,
+        }
+    }
+
+    /// Rewind every clock and counter to the fresh-fleet state, keeping
+    /// all buffer capacity (the reuse discipline of `hetsim::des`).
+    fn reset(&mut self, jobs: usize) {
+        for v in &mut self.views {
+            v.gpus_free = v.gpus_total;
+            v.cores_free = v.cores_total;
+            v.busy = false;
+        }
+        for a in &mut self.aux {
+            a.on = true;
+            a.idle_since = 0.0;
+            a.power_mark = 0.0;
+            a.joules = 0.0;
+            a.running = 0;
+        }
+        self.free_gpus = self.total_gpus;
+        self.events.reset();
+        self.queue.clear();
+        self.queue_jobs.clear();
+        self.head = 0;
+        self.running.clear();
+        self.running_jobs.clear();
+        self.job_slot.clear();
+        self.job_slot.resize(jobs, u32::MAX);
+        self.waits.clear();
+        self.waits.reserve(jobs);
+        self.batch.clear();
+    }
+
+    /// Charge node `ni`'s energy at its current power state up to `now`.
+    #[inline]
+    fn integrate(&mut self, ni: usize, now: f64) {
+        let v = &self.views[ni];
+        let a = &mut self.aux[ni];
+        let frac = if v.cores_total == 0 {
+            0.0
+        } else {
+            (v.cores_total - v.cores_free) as f64 / v.cores_total as f64
+        };
+        let busy_gpus = v.gpus_total - v.gpus_free;
+        let w = self.fleet[v.class].power.node_watts(a.on, frac, busy_gpus);
+        a.joules += w * (now - a.power_mark);
+        a.power_mark = now;
+    }
+
+    /// The simulator's placement fallback: the fastest fitting node,
+    /// preferring awake ones, then best GPU fit, then lowest id —
+    /// bitwise-equal to the old whole-fleet
+    /// `min_by(desc_speed_nan_last.then((!on, leftover, id)))` scan, but
+    /// walking speed groups with whole-class skips, so only the winning
+    /// group's nodes are touched.
+    fn place_fallback(&self, job: &JobInfo) -> Option<usize> {
+        for group in &self.groups {
+            // Secondary key packed for a branch-light scan:
+            // (!on) << 56 | gpus_free << 32 | id. Minimizing gpus_free
+            // minimizes leftover (constant offset), ids are unique.
+            let mut best = u64::MAX;
+            for r in group {
+                if job.gpus > r.gpus_per_node || job.cores > r.cores_per_node {
+                    continue; // no node of this class can ever fit it
+                }
+                for i in r.start..r.end {
+                    let v = &self.views[i];
+                    if v.gpus_free >= job.gpus && v.cores_free >= job.cores {
+                        let key = ((!self.aux[i].on as u64) << 56)
+                            | ((v.gpus_free as u64) << 32)
+                            | i as u64;
+                        if key < best {
+                            best = key;
+                        }
+                    }
+                }
+            }
+            if best != u64::MAX {
+                return Some((best & u32::MAX as u64) as usize);
+            }
+        }
+        None
+    }
+
+    /// From-scratch recount of the incremental aggregates: cached
+    /// `free_gpus` vs a fresh per-node sum, busy flags vs running counts,
+    /// and the job→slot index vs the running set. Debug builds assert
+    /// this periodically from the event loop (every [`CHECK_EVERY`]
+    /// events) and once at end of run; the conformance suite
+    /// (`tests/tests/cluster_scale_props.rs`) checks it explicitly.
+    pub fn aggregates_consistent(&self) -> bool {
+        let free: usize = self.views.iter().map(|v| v.gpus_free).sum();
+        let running_gpus: usize = self.running.iter().map(|r| r.gpus).sum();
+        let busy_ok = self
+            .views
+            .iter()
+            .zip(&self.aux)
+            .all(|(v, a)| v.busy == (a.running > 0));
+        let slots_ok = self
+            .running_jobs
+            .iter()
+            .enumerate()
+            .all(|(pos, &j)| self.job_slot[j as usize] == pos as u32);
+        free == self.free_gpus && self.total_gpus - free == running_gpus && busy_ok && slots_ok
+    }
+
+    #[inline]
+    fn debug_check(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.events_seen += 1;
+            if self.events_seen.is_multiple_of(CHECK_EVERY) {
+                debug_assert!(
+                    self.aggregates_consistent(),
+                    "incremental aggregates diverged from recount"
+                );
+            }
+        }
+    }
+
+    /// Serve `jobs` on the fleet under `policy`, recording `cluster.*`
+    /// gauges/counters and a `cluster`-track span into `rec` (skipped
+    /// entirely — including the span-name formatting — when `rec` is a
+    /// noop).
+    ///
+    /// Panics if some job fits no node of the fleet (it could never
+    /// run), or if `jobs` is not sorted by arrival time (the shape
+    /// [`super::stream::job_stream`] always produces).
+    pub fn run(
+        &mut self,
+        jobs: &[ClusterJob],
+        policy: &dyn SchedPolicy,
+        rec: &Recorder,
+    ) -> ClusterMetrics {
+        assert!(jobs.len() < u32::MAX as usize, "job stream too large");
+        self.reset(jobs.len());
+        // Fit check against machine classes, not nodes: every node of a
+        // class has the class's exact totals, so this is equivalent to
+        // the historical whole-fleet scan at O(classes) per job.
+        for j in jobs {
+            assert!(
+                self.groups
+                    .iter()
+                    .flatten()
+                    .any(|r| j.gpus <= r.gpus_per_node && j.cores <= r.cores_per_node),
+                "job {} ({} GPUs, {} cores) fits no node of the fleet",
+                j.id,
+                j.gpus,
+                j.cores
+            );
+        }
+
+        // Arrivals are NOT scheduled on the event queue: `job_stream`
+        // hands them out time-sorted, so a cursor merge against the
+        // queue head reproduces the reference pop order exactly (at
+        // equal times arrivals carried the smallest `seq`s there, so
+        // they always drained first) while keeping the calendar down to
+        // live finishes and park checks — cache-resident, where a
+        // million pre-scheduled arrivals made every bucket probe a miss.
+        let mut next_arrival = 0usize;
+        for w in jobs.windows(2) {
+            assert!(
+                w[0].arrival.total_cmp(&w[1].arrival) != std::cmp::Ordering::Greater,
+                "cluster job streams must be sorted by arrival time"
+            );
+        }
+        // The whole fleet starts on and idle: the governor's first sweep.
+        if let Some(d) = self.park_after_s {
+            for ni in 0..self.views.len() {
+                self.events.schedule(
+                    d,
+                    Ev::Park {
+                        node: ni as u32,
+                        idle_stamp: 0.0,
+                    },
+                );
+            }
+        }
+
+        let mut completed = 0usize;
+        let mut sla_tracked = 0usize;
+        let mut sla_violations = 0usize;
+        let mut busy_gpu_s = 0.0f64;
+        let mut busy_core_s = 0.0f64;
+        let mut wakes = 0usize;
+        let mut parks = 0usize;
+        let mut makespan = 0.0f64;
+
+        loop {
+            // Next batch time: earliest of the arrival cursor and the
+            // queue head (ties go to the arrival, which held the smaller
+            // `seq` in the reference order). `total_cmp` so a NaN finish
+            // time loses to any real arrival instead of poisoning `min`.
+            let ev_key = self.events.peek_key();
+            let now = match (jobs.get(next_arrival), ev_key) {
+                (None, None) => break,
+                (Some(j), None) => j.arrival,
+                (None, Some(k)) => k.time,
+                (Some(j), Some(k)) => {
+                    if j.arrival.total_cmp(&k.time) != std::cmp::Ordering::Greater {
+                        j.arrival
+                    } else {
+                        k.time
+                    }
+                }
+            };
+            makespan = makespan.max(now);
+            // Drain simultaneous events into the reusable scratch batch so
+            // one scheduling pass sees them all (and an event scheduled
+            // *by* this batch never joins it, whatever its timestamp).
+            // Arrivals first — the reference's seq order for time ties.
+            self.batch.clear();
+            while next_arrival < jobs.len() && jobs[next_arrival].arrival <= now {
+                self.batch.push(Ev::Arrive(next_arrival as u32));
+                next_arrival += 1;
+            }
+            while let Some(k) = self.events.peek_key() {
+                if k.time > now {
+                    break;
+                }
+                self.batch.push(self.events.pop().expect("peeked").1);
+            }
+            debug_assert!(!self.batch.is_empty(), "batch time chosen from nothing");
+            for bi in 0..self.batch.len() {
+                let ev = self.batch[bi];
+                self.debug_check();
+                match ev {
+                    Ev::Arrive(i) => {
+                        let j = &jobs[i as usize];
+                        self.queue.push(QueuedJob {
+                            job: JobInfo {
+                                id: j.id,
+                                arrival: j.arrival,
+                                duration: j.duration,
+                                gpus: j.gpus,
+                                cores: j.cores,
+                                deadline: j.deadline,
+                            },
+                            bypassed: 0,
+                        });
+                        self.queue_jobs.push(i);
+                    }
+                    Ev::Finish { node, job } => {
+                        let ni = node as usize;
+                        let j = &jobs[job as usize];
+                        self.integrate(ni, now);
+                        let v = &mut self.views[ni];
+                        v.gpus_free += j.gpus;
+                        v.cores_free += j.cores;
+                        self.free_gpus += j.gpus;
+                        let a = &mut self.aux[ni];
+                        a.running -= 1;
+                        if a.running == 0 {
+                            v.busy = false;
+                            a.idle_since = now;
+                            if let Some(d) = self.park_after_s {
+                                self.events.schedule(
+                                    now + d,
+                                    Ev::Park {
+                                        node,
+                                        idle_stamp: now,
+                                    },
+                                );
+                            }
+                        }
+                        // O(1) removal via the job→slot index; the moved
+                        // tail entry inherits the vacated slot, exactly
+                        // like the old id-scan + swap_remove.
+                        let pos = self.job_slot[job as usize] as usize;
+                        debug_assert!(pos != u32::MAX as usize, "finishing job is running");
+                        self.running.swap_remove(pos);
+                        self.running_jobs.swap_remove(pos);
+                        self.job_slot[job as usize] = u32::MAX;
+                        if pos < self.running.len() {
+                            self.job_slot[self.running_jobs[pos] as usize] = pos as u32;
+                        }
+                        completed += 1;
+                        if j.deadline.is_finite() {
+                            sla_tracked += 1;
+                            if now > j.deadline + 1e-9 {
+                                sla_violations += 1;
+                            }
+                        }
+                    }
+                    Ev::Park { node, idle_stamp } => {
+                        let ni = node as usize;
+                        let a = &self.aux[ni];
+                        if a.on && a.running == 0 && a.idle_since == idle_stamp {
+                            self.integrate(ni, now);
+                            self.aux[ni].on = false;
+                            parks += 1;
+                        }
+                    }
+                }
+            }
+
+            // Scheduling pass: ask the policy until it declines. The view
+            // is a cheap borrow of the incremental state — no per-decision
+            // rebuild.
+            loop {
+                if self.head == self.queue.len() {
+                    break;
+                }
+                let view = ClusterView {
+                    now,
+                    queue: &self.queue[self.head..],
+                    running: &self.running,
+                    free_gpus: self.free_gpus,
+                    total_gpus: self.total_gpus,
+                    nodes: &self.views,
+                };
+                let Some(d) = policy.select(&view) else { break };
+                let qlen = self.queue.len() - self.head;
+                if d.queue_idx >= qlen {
+                    break; // defensive: a buggy policy must not wedge the sim
+                }
+                let at = self.head + d.queue_idx;
+                let job = self.queue[at].job;
+                let job_idx = self.queue_jobs[at];
+                // Respect the policy's pin when valid, else place on the
+                // fastest fitting node (prefer awake ones, then best fit).
+                let target = d
+                    .node
+                    .filter(|&ni| ni < self.views.len() && self.views[ni].fits(&job))
+                    .or_else(|| self.place_fallback(&job));
+                let Some(ni) = target else { break };
+                policy.on_select(&mut self.queue[self.head..], d.queue_idx);
+                if d.queue_idx == 0 {
+                    self.head += 1;
+                    // Amortized compaction keeps the dead prefix bounded.
+                    if self.head >= 64 && self.head * 2 >= self.queue.len() {
+                        self.queue.drain(..self.head);
+                        self.queue_jobs.drain(..self.head);
+                        self.head = 0;
+                    }
+                } else {
+                    self.queue.remove(at);
+                    self.queue_jobs.remove(at);
+                }
+
+                self.integrate(ni, now);
+                let a = &mut self.aux[ni];
+                let start = if a.on {
+                    now
+                } else {
+                    a.on = true;
+                    wakes += 1;
+                    now + a.wake_s
+                };
+                let v = &mut self.views[ni];
+                v.gpus_free -= job.gpus;
+                v.cores_free -= job.cores;
+                v.busy = true;
+                self.free_gpus -= job.gpus;
+                self.aux[ni].running += 1;
+                let runtime = job.duration / v.speed;
+                let finish = start + runtime;
+                self.waits.push(start - job.arrival);
+                busy_gpu_s += runtime * job.gpus as f64;
+                busy_core_s += runtime * job.cores as f64;
+                self.job_slot[job_idx as usize] = self.running.len() as u32;
+                self.running.push(RunningJob {
+                    finish,
+                    gpus: job.gpus,
+                    cores: job.cores,
+                });
+                self.running_jobs.push(job_idx);
+                self.events.schedule(
+                    finish,
+                    Ev::Finish {
+                        node: ni as u32,
+                        job: job_idx,
+                    },
+                );
+            }
+            if completed == jobs.len() {
+                // Only governor park checks remain; the serving run is over
+                // and `makespan` is the last job's finish.
+                break;
+            }
+        }
+        assert!(
+            self.head == self.queue.len(),
+            "drained event queue with jobs still queued"
+        );
+        assert_eq!(completed, jobs.len());
+        debug_assert!(self.aggregates_consistent());
+
+        for ni in 0..self.views.len() {
+            self.integrate(ni, makespan);
+        }
+        let joules: f64 = self.aux.iter().map(|a| a.joules).sum();
+        self.waits.sort_by(|a, b| a.total_cmp(b));
+        let waits = &self.waits;
+        let pct = |q: f64| quantile(waits, q);
+        let span = makespan.max(1e-9);
+        let m = ClusterMetrics {
+            completed,
+            sla_tracked,
+            sla_violations,
+            sla_violation_rate: if sla_tracked == 0 {
+                0.0
+            } else {
+                sla_violations as f64 / sla_tracked as f64
+            },
+            utilization: busy_gpu_s / (self.total_gpus.max(1) as f64 * span),
+            cpu_utilization: busy_core_s / (self.total_cores.max(1) as f64 * span),
+            mean_wait: waits.iter().sum::<f64>() / waits.len().max(1) as f64,
+            p50_wait: pct(0.50),
+            p99_wait: pct(0.99),
+            makespan,
+            joules,
+            wakes,
+            parks,
+        };
+
+        // The noop-recorder path publishes nothing — not even the
+        // formatted span name (the old unconditional `format!` allocated
+        // on every run of an instrument-free measurement loop).
+        if rec.is_enabled() {
+            rec.record_span(
+                format!("cluster:{}", policy.name()),
+                SpanKind::Phase,
+                "cluster",
+                0.0,
+                makespan,
+            );
+            rec.incr("cluster.jobs_completed", m.completed as f64);
+            rec.incr("cluster.sla_violations", m.sla_violations as f64);
+            rec.incr("cluster.node_wakes", m.wakes as f64);
+            rec.incr("cluster.node_parks", m.parks as f64);
+            rec.gauge("cluster.sla_violation_rate", m.sla_violation_rate);
+            rec.gauge("cluster.utilization", m.utilization);
+            rec.gauge("cluster.cpu_utilization", m.cpu_utilization);
+            rec.gauge("cluster.p50_wait_s", m.p50_wait);
+            rec.gauge("cluster.p99_wait_s", m.p99_wait);
+            rec.gauge("cluster.joules", m.joules);
+            rec.gauge("cluster.makespan_s", m.makespan);
+        }
+        m
     }
 }
 
 /// Serve `jobs` on the configured fleet under `policy`, recording
 /// `cluster.*` gauges/counters and a `cluster`-track span into `rec`.
+///
+/// One-shot wrapper over [`ClusterSim`]; measurement loops that re-serve
+/// streams on the same fleet should hold a `ClusterSim` and call
+/// [`ClusterSim::run`] to reuse its buffers.
 ///
 /// Panics if some job fits no node of the fleet (it could never run).
 pub fn simulate_cluster(
@@ -119,298 +726,12 @@ pub fn simulate_cluster(
     policy: &dyn SchedPolicy,
     rec: &Recorder,
 ) -> ClusterMetrics {
-    let fleet = &cfg.fleet;
-    let mut nodes: Vec<NodeState> = Vec::new();
-    for (ci, c) in fleet.iter().enumerate() {
-        for _ in 0..c.count {
-            nodes.push(NodeState {
-                class: ci,
-                speed: c.speed,
-                wake_s: c.wake_s,
-                gpus_total: c.gpus_per_node,
-                cores_total: c.cores_per_node,
-                gpus_free: c.gpus_per_node,
-                cores_free: c.cores_per_node,
-                running: 0,
-                on: true,
-                idle_since: 0.0,
-                power_mark: 0.0,
-                joules: 0.0,
-            });
-        }
-    }
-    let total_gpus: usize = nodes.iter().map(|n| n.gpus_total).sum();
-    let total_cores: usize = nodes.iter().map(|n| n.cores_total).sum();
-    for j in jobs {
-        assert!(
-            nodes
-                .iter()
-                .any(|n| j.gpus <= n.gpus_total && j.cores <= n.cores_total),
-            "job {} ({} GPUs, {} cores) fits no node of the fleet",
-            j.id,
-            j.gpus,
-            j.cores
-        );
-    }
-
-    // The shared `hetsim::des` kernel replaces this module's private
-    // `BinaryHeap<HeapEv>`: same `(time, seq)` earliest-first total order,
-    // same deterministic insertion tie-break, one implementation.
-    let mut events: EventKernel<Ev> = EventKernel::new();
-    for (i, j) in jobs.iter().enumerate() {
-        events.schedule(j.arrival, Ev::Arrive(i));
-    }
-    // The whole fleet starts on and idle: the governor's first sweep.
-    if let Some(d) = cfg.park_after_s {
-        for ni in 0..nodes.len() {
-            events.schedule(
-                d,
-                Ev::Park {
-                    node: ni,
-                    idle_stamp: 0.0,
-                },
-            );
-        }
-    }
-
-    let mut queue: Vec<QueuedJob> = Vec::new();
-    let mut running: Vec<(usize, RunningJob)> = Vec::new();
-    let mut waits: Vec<f64> = Vec::with_capacity(jobs.len());
-    let mut completed = 0usize;
-    let mut sla_tracked = 0usize;
-    let mut sla_violations = 0usize;
-    let mut busy_gpu_s = 0.0f64;
-    let mut busy_core_s = 0.0f64;
-    let mut wakes = 0usize;
-    let mut parks = 0usize;
-    let mut makespan = 0.0f64;
-
-    // Charge a node's energy at its current power state up to `now`.
-    let integrate = |n: &mut NodeState, power: &[MachineClass], now: f64| {
-        let frac = if n.cores_total == 0 {
-            0.0
-        } else {
-            (n.cores_total - n.cores_free) as f64 / n.cores_total as f64
-        };
-        let busy_gpus = n.gpus_total - n.gpus_free;
-        let w = power[n.class].power.node_watts(n.on, frac, busy_gpus);
-        n.joules += w * (now - n.power_mark);
-        n.power_mark = now;
-    };
-
-    while let Some((key, head)) = events.pop() {
-        let now = key.time;
-        makespan = makespan.max(now);
-        let mut batch = vec![head];
-        // Drain simultaneous events so one scheduling pass sees them all.
-        while let Some(k) = events.peek_key() {
-            if k.time > now {
-                break;
-            }
-            batch.push(events.pop().expect("peeked").1);
-        }
-        for ev in batch {
-            match ev {
-                Ev::Arrive(i) => {
-                    let j = &jobs[i];
-                    queue.push(QueuedJob {
-                        job: JobInfo {
-                            id: j.id,
-                            arrival: j.arrival,
-                            duration: j.duration,
-                            gpus: j.gpus,
-                            cores: j.cores,
-                            deadline: j.deadline,
-                        },
-                        bypassed: 0,
-                    });
-                }
-                Ev::Finish { node, job } => {
-                    let j = &jobs[job];
-                    let n = &mut nodes[node];
-                    integrate(n, fleet, now);
-                    n.gpus_free += j.gpus;
-                    n.cores_free += j.cores;
-                    n.running -= 1;
-                    if n.running == 0 {
-                        n.idle_since = now;
-                        if let Some(d) = cfg.park_after_s {
-                            events.schedule(
-                                now + d,
-                                Ev::Park {
-                                    node,
-                                    idle_stamp: now,
-                                },
-                            );
-                        }
-                    }
-                    let pos = running
-                        .iter()
-                        .position(|&(id, _)| id == job)
-                        .expect("finishing job is running");
-                    running.swap_remove(pos);
-                    completed += 1;
-                    if j.deadline.is_finite() {
-                        sla_tracked += 1;
-                        if now > j.deadline + 1e-9 {
-                            sla_violations += 1;
-                        }
-                    }
-                }
-                Ev::Park { node, idle_stamp } => {
-                    let n = &mut nodes[node];
-                    if n.on && n.running == 0 && n.idle_since == idle_stamp {
-                        integrate(n, fleet, now);
-                        n.on = false;
-                        parks += 1;
-                    }
-                }
-            }
-        }
-
-        // Scheduling pass: ask the policy until it declines.
-        loop {
-            if queue.is_empty() {
-                break;
-            }
-            let node_views: Vec<NodeView> =
-                nodes.iter().enumerate().map(|(i, n)| n.view(i)).collect();
-            let free_gpus = nodes.iter().map(|n| n.gpus_free).sum();
-            let run_view: Vec<RunningJob> = running.iter().map(|&(_, r)| r).collect();
-            let view = ClusterView {
-                now,
-                queue: &queue,
-                running: &run_view,
-                free_gpus,
-                total_gpus,
-                nodes: &node_views,
-            };
-            let Some(d) = policy.select(&view) else { break };
-            if d.queue_idx >= queue.len() {
-                break; // defensive: a buggy policy must not wedge the sim
-            }
-            let job = queue[d.queue_idx].job;
-            // Respect the policy's pin when valid, else place on the
-            // fastest fitting node (prefer awake ones, then best fit).
-            let target = d
-                .node
-                .filter(|&ni| ni < node_views.len() && node_views[ni].fits(&job))
-                .or_else(|| {
-                    node_views
-                        .iter()
-                        .filter(|n| n.fits(&job))
-                        .min_by(|a, b| {
-                            // NaN-last: a node whose speed got
-                            // corrupted must never win placement.
-                            desc_speed_nan_last(a.speed, b.speed).then_with(|| {
-                                (!nodes[a.id].on as usize, a.gpu_leftover(&job), a.id).cmp(&(
-                                    !nodes[b.id].on as usize,
-                                    b.gpu_leftover(&job),
-                                    b.id,
-                                ))
-                            })
-                        })
-                        .map(|n| n.id)
-                });
-            let Some(ni) = target else { break };
-            policy.on_select(&mut queue, d.queue_idx);
-            queue.remove(d.queue_idx);
-
-            let n = &mut nodes[ni];
-            integrate(n, fleet, now);
-            let start = if n.on {
-                now
-            } else {
-                n.on = true;
-                wakes += 1;
-                now + n.wake_s
-            };
-            n.gpus_free -= job.gpus;
-            n.cores_free -= job.cores;
-            n.running += 1;
-            let runtime = job.duration / n.speed;
-            let finish = start + runtime;
-            waits.push(start - job.arrival);
-            busy_gpu_s += runtime * job.gpus as f64;
-            busy_core_s += runtime * job.cores as f64;
-            running.push((
-                job.id,
-                RunningJob {
-                    finish,
-                    gpus: job.gpus,
-                    cores: job.cores,
-                },
-            ));
-            events.schedule(
-                finish,
-                Ev::Finish {
-                    node: ni,
-                    job: job.id,
-                },
-            );
-        }
-        if completed == jobs.len() {
-            // Only governor park checks remain; the serving run is over
-            // and `makespan` is the last job's finish.
-            break;
-        }
-    }
-    assert!(
-        queue.is_empty(),
-        "drained event queue with jobs still queued"
-    );
-    assert_eq!(completed, jobs.len());
-
-    for n in &mut nodes {
-        integrate(n, fleet, makespan);
-    }
-    let joules: f64 = nodes.iter().map(|n| n.joules).sum();
-    waits.sort_by(|a, b| a.total_cmp(b));
-    let pct = |q: f64| quantile(&waits, q);
-    let span = makespan.max(1e-9);
-    let m = ClusterMetrics {
-        completed,
-        sla_tracked,
-        sla_violations,
-        sla_violation_rate: if sla_tracked == 0 {
-            0.0
-        } else {
-            sla_violations as f64 / sla_tracked as f64
-        },
-        utilization: busy_gpu_s / (total_gpus.max(1) as f64 * span),
-        cpu_utilization: busy_core_s / (total_cores.max(1) as f64 * span),
-        mean_wait: waits.iter().sum::<f64>() / waits.len().max(1) as f64,
-        p50_wait: pct(0.50),
-        p99_wait: pct(0.99),
-        makespan,
-        joules,
-        wakes,
-        parks,
-    };
-
-    rec.record_span(
-        format!("cluster:{}", policy.name()),
-        SpanKind::Phase,
-        "cluster",
-        0.0,
-        makespan,
-    );
-    rec.incr("cluster.jobs_completed", m.completed as f64);
-    rec.incr("cluster.sla_violations", m.sla_violations as f64);
-    rec.incr("cluster.node_wakes", m.wakes as f64);
-    rec.incr("cluster.node_parks", m.parks as f64);
-    rec.gauge("cluster.sla_violation_rate", m.sla_violation_rate);
-    rec.gauge("cluster.utilization", m.utilization);
-    rec.gauge("cluster.cpu_utilization", m.cpu_utilization);
-    rec.gauge("cluster.p50_wait_s", m.p50_wait);
-    rec.gauge("cluster.p99_wait_s", m.p99_wait);
-    rec.gauge("cluster.joules", m.joules);
-    rec.gauge("cluster.makespan_s", m.makespan);
-    m
+    ClusterSim::new(cfg).run(jobs, policy, rec)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::reference::simulate_cluster_reference;
     use super::super::stream::{job_stream, StreamConfig};
     use super::*;
     use sched::{EasyBackfill, Fcfs, GpuBinPack, Sjf, SjfQuota, SlaUrgency};
@@ -451,6 +772,105 @@ mod tests {
         let a = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
         let b = simulate_cluster(&cfg, &jobs, &GpuBinPack, &rec);
         assert_eq!(a, b);
+    }
+
+    /// Bitwise field-level equality (stricter than `PartialEq`: `-0.0`
+    /// and `0.0` differ, and the comparison would catch a NaN leak).
+    pub(crate) fn assert_bitwise_eq(a: &ClusterMetrics, b: &ClusterMetrics, ctx: &str) {
+        assert_eq!(
+            (a.completed, a.sla_tracked, a.sla_violations),
+            (b.completed, b.sla_tracked, b.sla_violations),
+            "{ctx}"
+        );
+        assert_eq!((a.wakes, a.parks), (b.wakes, b.parks), "{ctx}");
+        for (name, x, y) in [
+            (
+                "sla_violation_rate",
+                a.sla_violation_rate,
+                b.sla_violation_rate,
+            ),
+            ("utilization", a.utilization, b.utilization),
+            ("cpu_utilization", a.cpu_utilization, b.cpu_utilization),
+            ("mean_wait", a.mean_wait, b.mean_wait),
+            ("p50_wait", a.p50_wait, b.p50_wait),
+            ("p99_wait", a.p99_wait, b.p99_wait),
+            ("makespan", a.makespan, b.makespan),
+            ("joules", a.joules, b.joules),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: {name} diverged ({x} vs {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_simulator_matches_the_naive_reference_bitwise() {
+        // The tentpole's conformance bar in miniature (the full sweep
+        // lives in tests/tests/cluster_scale_props.rs): same stream, same
+        // policy, bitwise-equal metrics against the retained naive loop.
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = small_stream();
+        let rec = Recorder::noop();
+        for p in [&Fcfs as &dyn SchedPolicy, &Sjf, &GpuBinPack, &SlaUrgency] {
+            let fast = simulate_cluster(&cfg, &jobs, p, &rec);
+            let naive = simulate_cluster_reference(&cfg, &jobs, p);
+            assert_bitwise_eq(&fast, &naive, p.name());
+        }
+    }
+
+    #[test]
+    fn reused_simulator_replays_bitwise() {
+        // A warm ClusterSim (buffers grown, event arena warm) must be
+        // indistinguishable from a fresh one — the reuse contract the
+        // 0-alloc bench leans on.
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = small_stream();
+        let rec = Recorder::noop();
+        let mut sim = ClusterSim::new(&cfg);
+        let first = sim.run(&jobs, &SlaUrgency, &rec);
+        let second = sim.run(&jobs, &SlaUrgency, &rec);
+        let fresh = simulate_cluster(&cfg, &jobs, &SlaUrgency, &rec);
+        assert_bitwise_eq(&first, &second, "warm replay");
+        assert_bitwise_eq(&first, &fresh, "warm vs fresh");
+    }
+
+    #[test]
+    fn shuffled_non_contiguous_ids_schedule_identically() {
+        // The id-as-index regression (ISSUE 10 satellite): `Ev::Finish`
+        // used to carry `job.id` and index the jobs slice with it, which
+        // silently required ids == positions. Relabelled ids must neither
+        // panic nor change any metric (no policy reads ids).
+        let cfg = ClusterConfig::default_fleet();
+        let jobs = small_stream();
+        let mut relabelled = jobs.clone();
+        let n = relabelled.len();
+        for (i, j) in relabelled.iter_mut().enumerate() {
+            // Non-contiguous, decreasing, and far out of slice range.
+            j.id = 10_000 + 7 * (n - i);
+        }
+        let rec = Recorder::noop();
+        for p in [&Fcfs as &dyn SchedPolicy, &Sjf, &SlaUrgency] {
+            let base = simulate_cluster(&cfg, &jobs, p, &rec);
+            let shuffled = simulate_cluster(&cfg, &relabelled, p, &rec);
+            assert_bitwise_eq(&base, &shuffled, p.name());
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_complete_correctly() {
+        // Even all-identical ids are fine now: the running set is keyed
+        // by slice position, not id (the old loop's position scan would
+        // have freed the wrong entry).
+        let cfg = ClusterConfig::default_fleet();
+        let mut jobs = small_stream();
+        for j in &mut jobs {
+            j.id = 42;
+        }
+        let rec = Recorder::noop();
+        let m = simulate_cluster(&cfg, &jobs, &Sjf, &rec);
+        assert_eq!(m.completed, jobs.len());
     }
 
     #[test]
@@ -500,7 +920,7 @@ mod tests {
 
     #[test]
     fn nearest_rank_pins_p50_and_p99_on_a_known_sample() {
-        // The wait quantiles now delegate to the one shared
+        // The wait quantiles delegate to the one shared
         // `hetsim::obs::quantile`; this pin guards the delegation keeps
         // the nearest-rank semantics the cluster experiments gate on.
         let v: Vec<f64> = (1..=10).map(f64::from).collect();
@@ -523,7 +943,8 @@ mod tests {
         // A node class whose speed got corrupted to NaN, listed *first*
         // so the old `partial_cmp(..).expect("finite")` comparator would
         // have panicked on it: every job must land on a sane node
-        // instead, identically across runs.
+        // instead, identically across runs. (In the grouped placement
+        // scan, the NaN class forms the terminal speed group.)
         let mut fleet = super::super::machine::default_fleet();
         let mut cursed = fleet[0].clone();
         cursed.count = 1;
@@ -545,6 +966,9 @@ mod tests {
             a.makespan,
             a.p99_wait
         );
+        // And it still matches the reference's ungrouped min_by scan.
+        let naive = simulate_cluster_reference(&cfg, &jobs, &Fcfs);
+        assert_bitwise_eq(&a, &naive, "NaN-speed fleet");
     }
 
     #[test]

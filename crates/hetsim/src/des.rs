@@ -34,8 +34,9 @@
 //! * `reset` zeroes clocks but keeps interned track ids and queue
 //!   capacity, so measurement loops do not churn the allocator.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap};
+use std::cell::Cell;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hash;
 
 /// Order two floats *descending* with NaN sorted last.
@@ -95,15 +96,47 @@ impl Ord for EventKey {
 /// rebuild (when the times inside it actually span a nonzero interval).
 const MAX_BUCKET: usize = 64;
 
+/// Fibonacci (multiplicative) hasher for the `i64` epoch keys: a single
+/// 64-bit multiply by the golden-ratio constant. Calendar epochs are
+/// small, near-sequential integers chosen by the queue itself, so
+/// SipHash's flooding resistance buys nothing here while costing a
+/// measurable slice of every push/peek at million-event scale.
+#[derive(Debug, Default, Clone)]
+pub struct EpochHasher(u64);
+
+impl std::hash::Hasher for EpochHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.0 = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; the table
+        // indexes by the low bits, so rotate them into place.
+        self.0.rotate_left(32)
+    }
+}
+
+type EpochMap<V> = HashMap<i64, V, std::hash::BuildHasherDefault<EpochHasher>>;
+
 /// Radix-bucketed calendar queue with exact `(time, seq)` pop order.
 ///
 /// Events live in an arena (`slots` + free list); the calendar buckets
 /// hold `(key, slot)` pairs radixed by `floor(time / width)`, and a
-/// `BTreeSet` over the occupied epochs makes "earliest nonempty bucket"
-/// an O(log buckets) lookup even when the timeline is sparse. Within a
-/// bucket records are unsorted; `pop` scans the head bucket for the
-/// minimum [`EventKey`] — bounded by the adaptive rebuild that narrows
-/// `width` whenever a burst of distinct times piles into one epoch.
+/// lazy-deletion min-heap over the occupied epochs makes "earliest
+/// nonempty bucket" an O(1) peek even when the timeline is sparse.
+/// Within a bucket records are unsorted; `pop` scans the head bucket for
+/// the minimum [`EventKey`] (memoised across the peek-then-pop rhythm) —
+/// bounded by the adaptive rebuild that narrows `width` whenever a burst
+/// of distinct times piles into one epoch.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// Arena of event payloads; `free` recycles slots so a steady-state
@@ -111,9 +144,24 @@ pub struct EventQueue<E> {
     slots: Vec<Option<E>>,
     free: Vec<u32>,
     /// Calendar: epoch -> unsorted `(key, slot)` records.
-    buckets: HashMap<i64, Vec<(EventKey, u32)>>,
-    /// Occupied epochs, ordered — the radix index `pop` walks.
-    epochs: BTreeSet<i64>,
+    buckets: EpochMap<Vec<(EventKey, u32)>>,
+    /// Retired bucket vectors, capacity kept warm. An epoch emptying and
+    /// a later epoch opening is the *steady state* of a calendar queue —
+    /// without this pool every epoch transition paid a `Vec` free/alloc
+    /// pair, the last per-event allocation in the cluster serving loop.
+    spare: Vec<Vec<(EventKey, u32)>>,
+    /// Min-heap over occupied epochs with lazy deletion: an epoch is
+    /// pushed when its bucket is created and popped only when found
+    /// stale (bucket gone) at the top, so the backing `Vec` keeps its
+    /// capacity and the steady state allocates nothing — where the
+    /// previous `BTreeSet` index paid node churn on every epoch
+    /// transition. Invariant: the top entry, if any, always names an
+    /// occupied bucket (stale tops are drained eagerly in `pop`).
+    epochs: BinaryHeap<Reverse<i64>>,
+    /// Memo of the last `locate_min` answer, so the peek-then-pop
+    /// rhythm every simulator drains batches with scans the head bucket
+    /// once, not twice. Invalidated by any mutation.
+    min_at: Cell<Option<(i64, usize)>>,
     /// Seconds per calendar bucket.
     width: f64,
     /// Epoch whose bucket is currently sorted descending by key (minimum
@@ -136,8 +184,10 @@ impl<E> EventQueue<E> {
         EventQueue {
             slots: Vec::new(),
             free: Vec::new(),
-            buckets: HashMap::new(),
-            epochs: BTreeSet::new(),
+            buckets: EpochMap::default(),
+            spare: Vec::new(),
+            epochs: BinaryHeap::new(),
+            min_at: Cell::new(None),
             width: 1.0,
             sorted: None,
             len: 0,
@@ -187,9 +237,15 @@ impl<E> EventQueue<E> {
         if self.sorted == Some(epoch) {
             self.sorted = None;
         }
-        let bucket = self.buckets.entry(epoch).or_default();
+        let bucket = match self.buckets.entry(epoch) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.epochs.push(Reverse(epoch));
+                v.insert(self.spare.pop().unwrap_or_default())
+            }
+        };
         bucket.push((key, slot));
-        self.epochs.insert(epoch);
+        self.min_at.set(None);
         self.len += 1;
         if bucket.len() > MAX_BUCKET && bucket.len().is_power_of_two() {
             self.maybe_narrow(epoch);
@@ -216,31 +272,46 @@ impl<E> EventQueue<E> {
             return;
         }
         self.width = span / 8.0;
-        let old = std::mem::take(&mut self.buckets);
+        let mut old = std::mem::take(&mut self.buckets);
         self.epochs.clear();
+        self.min_at.set(None);
         self.sorted = None;
-        for (_, bucket) in old {
-            for (key, slot) in bucket {
+        for (_, mut bucket) in old.drain() {
+            for (key, slot) in bucket.drain(..) {
                 let e = self.epoch_of(key.time);
-                self.buckets.entry(e).or_default().push((key, slot));
-                self.epochs.insert(e);
+                let b = match self.buckets.entry(e) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        self.epochs.push(Reverse(e));
+                        v.insert(self.spare.pop().unwrap_or_default())
+                    }
+                };
+                b.push((key, slot));
             }
+            self.spare.push(bucket);
         }
     }
 
-    /// Position of the minimum key: `(epoch, index-in-bucket)`.
+    /// Position of the minimum key: `(epoch, index-in-bucket)`. Memoised
+    /// in `min_at`, so a `peek_key` followed by `pop` scans once.
     fn locate_min(&self) -> Option<(i64, usize)> {
-        let &epoch = self.epochs.first()?;
+        if let Some(hit) = self.min_at.get() {
+            return Some(hit);
+        }
+        let &Reverse(epoch) = self.epochs.peek()?;
         let bucket = &self.buckets[&epoch];
-        if self.sorted == Some(epoch) {
-            return Some((epoch, bucket.len() - 1));
-        }
-        let mut best = 0usize;
-        for (i, (k, _)) in bucket.iter().enumerate().skip(1) {
-            if *k < bucket[best].0 {
-                best = i;
+        let best = if self.sorted == Some(epoch) {
+            bucket.len() - 1
+        } else {
+            let mut best = 0usize;
+            for (i, (k, _)) in bucket.iter().enumerate().skip(1) {
+                if *k < bucket[best].0 {
+                    best = i;
+                }
             }
-        }
+            best
+        };
+        self.min_at.set(Some((epoch, best)));
         Some((epoch, best))
     }
 
@@ -262,19 +333,31 @@ impl<E> EventQueue<E> {
         // batch that narrowing can't split) is sorted once, descending,
         // so the minimum pops from the back in O(1). Sorting by the full
         // key preserves the exact `(time, seq)` pop order.
-        if let Some(&epoch) = self.epochs.first() {
+        if let Some(&Reverse(epoch)) = self.epochs.peek() {
             let bucket = self.buckets.get_mut(&epoch).expect("occupied epoch");
             if self.sorted != Some(epoch) && bucket.len() > MAX_BUCKET {
-                bucket.sort_unstable_by_key(|&(key, _)| std::cmp::Reverse(key));
+                bucket.sort_unstable_by_key(|&(key, _)| Reverse(key));
                 self.sorted = Some(epoch);
+                self.min_at.set(None);
             }
         }
         let (epoch, i) = self.locate_min()?;
+        self.min_at.set(None);
         let bucket = self.buckets.get_mut(&epoch).expect("occupied epoch");
         let (key, slot) = bucket.swap_remove(i);
         if bucket.is_empty() {
-            self.buckets.remove(&epoch);
-            self.epochs.remove(&epoch);
+            let retired = self.buckets.remove(&epoch).expect("present");
+            self.spare.push(retired);
+            // The emptied epoch is the heap top (locate_min peeked it);
+            // drop it, then drain any stale duplicates so the top stays
+            // a live bucket — the invariant peek/locate_min lean on.
+            self.epochs.pop();
+            while let Some(&Reverse(e)) = self.epochs.peek() {
+                if self.buckets.contains_key(&e) {
+                    break;
+                }
+                self.epochs.pop();
+            }
             self.sorted = None;
         }
         let ev = self.slots[slot as usize].take().expect("live slot");
@@ -291,8 +374,12 @@ impl<E> EventQueue<E> {
         }
         self.free.clear();
         self.free.extend(0..self.slots.len() as u32);
-        self.buckets.clear();
+        for (_, mut b) in self.buckets.drain() {
+            b.clear();
+            self.spare.push(b);
+        }
         self.epochs.clear();
+        self.min_at.set(None);
         self.sorted = None;
         self.len = 0;
     }

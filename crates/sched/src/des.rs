@@ -111,6 +111,9 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
     for (i, j) in arrivals.iter().enumerate() {
         events.push(j.arrival, SimEv::Arrive(i));
     }
+    // Scratch for one step's arrivals, reused across steps (the per-step
+    // `Vec::new` was the last allocation in this loop's steady state).
+    let mut arrived: Vec<usize> = Vec::new();
 
     while waits.len() < n {
         // Launch everything the policy allows right now.
@@ -151,7 +154,7 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
         // `running` sweep below removes exactly the jobs whose finish
         // events just popped (bitwise-equal times, same epsilon), in the
         // set order the old loop used.
-        let mut arrived: Vec<usize> = Vec::new();
+        arrived.clear();
         while let Some(k) = events.peek_key() {
             // total_cmp: a (positive-normalised) NaN key compares greater
             // than any finite threshold, so corrupt finishes stay queued
@@ -173,7 +176,7 @@ pub fn simulate(jobs: &[Job], gpus: usize, policy: impl SchedPolicy) -> Metrics 
             }
         });
         // Process arrivals at t (pop order == arrival-sorted order).
-        for i in arrived {
+        for &i in &arrived {
             queue.push(QueuedJob {
                 job: JobInfo::from_job(&arrivals[i]),
                 bypassed: 0,

@@ -82,6 +82,20 @@ bench:
 bench-recorder:
     ICOE_BENCH_QUICK=1 cargo bench --offline -p bench --bench recorder
 
+# The incremental cluster-serving loop: the criterion sweep (jobs x fleet
+# x policy), the 1M-job FCFS acceptance probe, and the steady-state
+# allocation audit, then the registered throughput experiment with its
+# wall-clock jobs-per-second floor on stderr.
+cluster-bench:
+    #!/usr/bin/env bash
+    set -euo pipefail
+    cargo bench --offline -p bench --bench cluster
+    cargo run --release --offline -p bench --bin experiments -- cluster-throughput --json --bench-dir out 2> ct.txt > /dev/null
+    grep "cluster.jobs_per_s" ct.txt
+    jps=$(awk '/^cluster.jobs_per_s / { print $2 }' ct.txt)
+    awk -v j="$jps" 'BEGIN { exit !(j >= 100000) }'
+    rm -f ct.txt
+
 # The unified des kernel's scale probe: deterministic simulated metrics in
 # the document, wall-clock ranks-per-host-second on stderr, plus the
 # criterion rank sweep to 1M ranks.

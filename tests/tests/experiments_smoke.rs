@@ -49,6 +49,7 @@ fn experiment_list_matches_design_doc_index() {
         "machines",
         "rank-throughput",
         "portability-matrix",
+        "cluster-throughput",
     ];
     assert_eq!(bench::ALL, &expected);
 }
